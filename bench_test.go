@@ -1,0 +1,320 @@
+// Benchmarks: one per table and figure of the paper's evaluation, plus
+// micro-benchmarks of the reclamation hot paths. Each figure benchmark runs
+// a scaled-but-faithful version of its experiment end to end, so
+// `go test -bench=. -benchmem` both times the reproduction and re-derives
+// its headline numbers (reported as custom metrics where meaningful).
+//
+// Scaling: figure benches default to one capacity and a shorter horizon so
+// a full -bench=. pass stays in laptop territory; cmd/paperbench runs the
+// full configurations.
+package besteffs_test
+
+import (
+	"testing"
+	"time"
+
+	"besteffs/internal/experiments"
+	"besteffs/internal/object"
+)
+
+// benchSink keeps results alive so the compiler cannot elide the runs.
+var benchSink any
+
+const benchGB = experiments.GB
+
+// BenchmarkFig2StorageDemand regenerates the cumulative demand curve of
+// Figure 2 (one year of the ramp workload).
+func BenchmarkFig2StorageDemand(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig2(experiments.Fig2Config{Seed: 42})
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSink = res
+		b.ReportMetric(res.TotalGB, "demand-GB")
+		b.ReportMetric(float64(res.FillDay80), "fill80-day")
+	}
+}
+
+// fig3Bench runs the Section 5.1 comparison at bench scale.
+func fig3Bench(b *testing.B) []experiments.PolicyRun {
+	b.Helper()
+	runs, err := experiments.RunFig3(experiments.Fig3Config{
+		Seed:       42,
+		Horizon:    180 * experiments.Day,
+		Capacities: []int64{80 * benchGB},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return runs
+}
+
+// BenchmarkFig3Lifetimes regenerates the achieved-lifetime comparison of
+// Figure 3 (three policies on one pressured disk).
+func BenchmarkFig3Lifetimes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runs := fig3Bench(b)
+		benchSink = runs
+		for _, r := range runs {
+			if r.Policy == experiments.PolicyTemporal {
+				b.ReportMetric(r.LifetimeSummary.Median, "temporal-median-days")
+			}
+		}
+	}
+}
+
+// BenchmarkFig4Rejections regenerates the requests-turned-down counts of
+// Figure 4.
+func BenchmarkFig4Rejections(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runs := fig3Bench(b)
+		benchSink = runs
+		for _, r := range runs {
+			switch r.Policy {
+			case experiments.PolicyNoTemporal:
+				b.ReportMetric(float64(r.TotalRejections), "nodecay-rejections")
+			case experiments.PolicyTemporal:
+				b.ReportMetric(float64(r.TotalRejections), "temporal-rejections")
+			}
+		}
+	}
+}
+
+// BenchmarkFig5TimeConstant regenerates the Palimpsest time-constant
+// analysis of Figure 5 (hour, day and month windows).
+func BenchmarkFig5TimeConstant(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig5(experiments.Fig5Config{Seed: 42})
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSink = res
+		b.ReportMetric(res.Analyses[0].CoV, "hourly-cov")
+		b.ReportMetric(res.Analyses[2].CoV, "monthly-cov")
+	}
+}
+
+// BenchmarkFig6Density regenerates the instantaneous density series of
+// Figure 6.
+func BenchmarkFig6Density(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runs := fig3Bench(b)
+		benchSink = runs
+		for _, r := range runs {
+			if r.Policy != experiments.PolicyTemporal {
+				continue
+			}
+			peak := 0.0
+			for _, p := range r.Density {
+				if p.V > peak {
+					peak = p.V
+				}
+			}
+			b.ReportMetric(peak, "peak-density")
+		}
+	}
+}
+
+// BenchmarkFig7ImportanceCDF regenerates the byte-importance snapshot of
+// Figure 7 (the paper's density-0.8369 instant).
+func BenchmarkFig7ImportanceCDF(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig7(experiments.Fig7Config{Seed: 42})
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSink = res
+		b.ReportMetric(res.FractionAtOne, "bytes-at-one")
+		b.ReportMetric(res.MinStoredImportance, "min-stored-importance")
+	}
+}
+
+// BenchmarkTable1Lifetimes regenerates the Table 1 lifetime parameters.
+func BenchmarkTable1Lifetimes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.RunTable1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSink = rows
+	}
+}
+
+// BenchmarkFig8Trace regenerates the synthetic downloads-per-day trace of
+// Figure 8.
+func BenchmarkFig8Trace(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig8(experiments.Fig8Config{Seed: 42})
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSink = res
+	}
+}
+
+// lectureBench runs the Section 5.2 scenario at bench scale.
+func lectureBench(b *testing.B, palimpsest bool) []experiments.LectureRun {
+	b.Helper()
+	runs, err := experiments.RunLecture(experiments.LectureConfig{
+		Seed:       42,
+		Years:      2,
+		Capacities: []int64{80 * benchGB},
+		Palimpsest: palimpsest,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return runs
+}
+
+// BenchmarkFig9LectureLifetimes regenerates the per-class achieved
+// lifetimes of Figure 9.
+func BenchmarkFig9LectureLifetimes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runs := lectureBench(b, false)
+		benchSink = runs
+		uni := runs[0].ByClass[object.ClassUniversity]
+		if len(uni.Evictions) > 0 {
+			b.ReportMetric(uni.LifetimeSummary.Median, "university-median-days")
+		}
+	}
+}
+
+// BenchmarkFig10ReclamationImportance regenerates the
+// importance-at-reclamation comparison of Figure 10 (with the Palimpsest
+// projection).
+func BenchmarkFig10ReclamationImportance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runs := lectureBench(b, true)
+		benchSink = runs
+		for _, r := range runs {
+			uni := r.ByClass[object.ClassUniversity]
+			if r.Policy == experiments.PolicyTemporal && len(uni.Evictions) > 0 {
+				b.ReportMetric(uni.ReclaimImportance.Median, "reclaim-importance-median")
+			}
+		}
+	}
+}
+
+// BenchmarkFig11TimeConstant regenerates the lecture-workload time-constant
+// analysis of Figure 11.
+func BenchmarkFig11TimeConstant(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runs := lectureBench(b, false)
+		benchSink = runs
+		tcs := runs[0].TimeConstants
+		if len(tcs) == 3 {
+			b.ReportMetric(tcs[2].CoV, "monthly-cov")
+		}
+	}
+}
+
+// BenchmarkFig12Density regenerates the lecture-workload density series of
+// Figure 12.
+func BenchmarkFig12Density(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runs := lectureBench(b, false)
+		benchSink = runs
+		b.ReportMetric(float64(len(runs[0].Density)), "density-samples")
+	}
+}
+
+// BenchmarkSec53UniversityWide regenerates the distributed university-wide
+// capture of Section 5.3 at bench scale (40 nodes, 40 courses, one year).
+func BenchmarkSec53UniversityWide(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runs, err := experiments.RunUniWide(experiments.UniWideConfig{
+			Seed:           42,
+			Nodes:          40,
+			Courses:        40,
+			Years:          1,
+			NodeCapacities: []int64{80 * benchGB},
+			DensityProbe:   7 * 24 * time.Hour,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSink = runs
+		b.ReportMetric(runs[0].FinalAvgDensity, "final-avg-density")
+		b.ReportMetric(float64(runs[0].Placements), "placements")
+	}
+}
+
+// BenchmarkAblationPersistWane sweeps the persist/wane split of a fixed
+// 30-day annotation (the DESIGN.md design-choice ablation) at bench scale.
+func BenchmarkAblationPersistWane(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.RunAblation(experiments.AblationConfig{
+			Seed:         42,
+			Horizon:      180 * experiments.Day,
+			PersistSteps: []int{0, 15, 30},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSink = rows
+		b.ReportMetric(float64(rows[len(rows)-1].Rejections), "nodecay-rejections")
+	}
+}
+
+// BenchmarkScalingSweep regenerates the Section 4.2 capacity sweep at bench
+// scale.
+func BenchmarkScalingSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.RunScaling(experiments.ScalingConfig{
+			Seed: 42, Horizon: 180 * experiments.Day, CapacitiesGB: []int{40, 120},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSink = rows
+		b.ReportMetric(float64(rows[0].Rejections), "small-disk-rejections")
+	}
+}
+
+// BenchmarkMixedApplications regenerates the multi-application sharing run
+// at bench scale.
+func BenchmarkMixedApplications(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunMixed(experiments.MixedConfig{
+			Seed: 42, Horizon: 120 * experiments.Day,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSink = res
+		b.ReportMetric(res.FinalDensity, "final-density")
+	}
+}
+
+// BenchmarkRefreshStrategies regenerates the Palimpsest-refresh loss
+// comparison at bench scale (daily estimator window only).
+func BenchmarkRefreshStrategies(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.RunRefresh(experiments.RefreshConfig{
+			Seed: 42, Horizon: 180 * experiments.Day,
+			Windows: []time.Duration{24 * time.Hour},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSink = rows
+		b.ReportMetric(rows[0].LostFraction, "estimator-loss-fraction")
+	}
+}
+
+// BenchmarkPredictorGap regenerates the density-gap longevity correlation
+// at bench scale.
+func BenchmarkPredictorGap(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunPredictor(experiments.PredictorConfig{
+			Seed: 42, Horizon: 180 * experiments.Day,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSink = res
+		b.ReportMetric(res.Correlation, "gap-lifetime-correlation")
+	}
+}

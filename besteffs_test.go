@@ -1,0 +1,168 @@
+package besteffs_test
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net"
+	"testing"
+	"time"
+
+	"besteffs"
+)
+
+// TestFacadeUnitLifecycle drives the storage unit entirely through the
+// public API: admission, preemption, density, rejuvenation.
+func TestFacadeUnitLifecycle(t *testing.T) {
+	var evicted []besteffs.ObjectID
+	unit, err := besteffs.NewUnit(100, besteffs.TemporalImportance{},
+		besteffs.WithUnitName("api-test"),
+		besteffs.WithEvictionHook(func(e besteffs.Eviction) {
+			evicted = append(evicted, e.Object.ID)
+		}),
+	)
+	if err != nil {
+		t.Fatalf("NewUnit: %v", err)
+	}
+	if unit.Name() != "api-test" || unit.Capacity() != 100 {
+		t.Errorf("unit = %s/%d", unit.Name(), unit.Capacity())
+	}
+
+	low, err := besteffs.NewObject("low", 100, 0, besteffs.Constant{Level: 0.3})
+	if err != nil {
+		t.Fatalf("NewObject: %v", err)
+	}
+	if d, err := unit.Put(low, 0); err != nil || !d.Admit {
+		t.Fatalf("Put low = %+v, %v", d, err)
+	}
+	if got := unit.DensityAt(0); got != 0.3 {
+		t.Errorf("density = %v, want 0.3", got)
+	}
+
+	high, err := besteffs.NewObject("high", 50, besteffs.Day, besteffs.Constant{Level: 0.9})
+	if err != nil {
+		t.Fatalf("NewObject: %v", err)
+	}
+	d, err := unit.Put(high, besteffs.Day)
+	if err != nil || !d.Admit || len(evicted) != 1 || evicted[0] != "low" {
+		t.Fatalf("Put high = %+v, %v; evicted %v", d, err, evicted)
+	}
+
+	if _, err := unit.Rejuvenate("high", besteffs.Constant{Level: 0.1}, 2*besteffs.Day); err != nil {
+		t.Fatalf("Rejuvenate: %v", err)
+	}
+	got, err := unit.Get("high")
+	if err != nil || got.Version != 2 {
+		t.Errorf("rejuvenated object = %+v, %v", got, err)
+	}
+}
+
+// TestFacadeImportanceHelpers exercises parsing and validation through the
+// facade.
+func TestFacadeImportanceHelpers(t *testing.T) {
+	f, err := besteffs.ParseImportance("twostep:p=0.5,persist=10d,wane=20d")
+	if err != nil {
+		t.Fatalf("ParseImportance: %v", err)
+	}
+	if err := besteffs.ValidateImportance(f); err != nil {
+		t.Errorf("ValidateImportance: %v", err)
+	}
+	if got := f.At(10 * besteffs.Day); got != 0.5 {
+		t.Errorf("At(persist) = %v, want 0.5", got)
+	}
+	if _, err := besteffs.ParseImportance("bogus"); err == nil {
+		t.Error("bogus spec accepted")
+	}
+	if _, err := besteffs.NewTwoStep(2, 0, 0); err == nil {
+		t.Error("out-of-range plateau accepted")
+	}
+}
+
+// TestFacadeCluster exercises the simulated distributed store through the
+// facade.
+func TestFacadeCluster(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	cl, err := besteffs.NewCluster(10, 1000, besteffs.TemporalImportance{}, 3, rng,
+		besteffs.WithSampleSize(4),
+		besteffs.WithMaxTries(2),
+		besteffs.WithWalkLength(6),
+	)
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	for i := 0; i < 20; i++ {
+		o, err := besteffs.NewObject(besteffs.ObjectID(fmt.Sprintf("o%02d", i)),
+			200, 0, besteffs.Constant{Level: 0.5})
+		if err != nil {
+			t.Fatalf("NewObject: %v", err)
+		}
+		if _, _, err := cl.Place(o, 0); err != nil {
+			t.Fatalf("Place: %v", err)
+		}
+	}
+	if cl.Placements() == 0 {
+		t.Error("no placements")
+	}
+	if d := cl.AverageDensity(0); d <= 0 || d > 1 {
+		t.Errorf("density = %v", d)
+	}
+}
+
+// TestFacadeLiveNode runs a server + cluster client end to end through the
+// facade, with an on-disk blob store.
+func TestFacadeLiveNode(t *testing.T) {
+	files, err := besteffs.NewFileBlobStore(t.TempDir())
+	if err != nil {
+		t.Fatalf("NewFileBlobStore: %v", err)
+	}
+	srv, err := besteffs.NewServer(1<<20, besteffs.TemporalImportance{},
+		besteffs.WithBlobStore(files))
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ctx, l) }()
+	t.Cleanup(func() {
+		cancel()
+		if err := <-done; err != nil {
+			t.Errorf("Serve: %v", err)
+		}
+	})
+
+	cc, err := besteffs.DialCluster([]string{l.Addr().String()}, time.Second,
+		rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatalf("DialCluster: %v", err)
+	}
+	defer cc.Close()
+
+	lifetime, err := besteffs.NewTwoStep(1, besteffs.Day, besteffs.Day)
+	if err != nil {
+		t.Fatalf("NewTwoStep: %v", err)
+	}
+	p, err := cc.Put(besteffs.PutRequest{
+		ID:         "api/obj",
+		Importance: lifetime,
+		Payload:    []byte("payload"),
+	})
+	if err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if p.Node != 0 {
+		t.Errorf("node = %d", p.Node)
+	}
+	got, err := cc.Get("api/obj")
+	if err != nil || string(got.Payload) != "payload" {
+		t.Errorf("Get = %+v, %v", got, err)
+	}
+	// The payload really is on disk.
+	onDisk, err := files.Get("api/obj")
+	if err != nil || string(onDisk) != "payload" {
+		t.Errorf("on-disk payload = %q, %v", onDisk, err)
+	}
+}

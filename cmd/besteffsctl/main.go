@@ -1,0 +1,259 @@
+// Command besteffsctl is the client CLI for Besteffs storage nodes.
+//
+// Usage:
+//
+//	besteffsctl [-addrs HOST:PORT[,HOST:PORT...]] <command> [args]
+//
+// Commands:
+//
+//	put <id> <file> -importance <spec> [-owner NAME] [-class N]
+//	    store a file; with several -addrs the paper's placement
+//	    algorithm (probe x nodes, up to m rounds, lowest boundary) picks
+//	    the node
+//	get <id> [file]     retrieve an object (to stdout or a file)
+//	delete <id>         remove an object (single node only)
+//	stat                print capacity, usage and density per node
+//	probe <size> -importance <spec>
+//	    ask each node for the admission boundary of a hypothetical object
+//	rejuvenate <id> -importance <spec>
+//	    replace an object's annotation with a fresh one aging from now
+//	    (single node only)
+//	density             print the storage importance density per node
+//	list                list resident object IDs per node
+//
+// Importance specs use the syntax of importance.ParseSpec, e.g.
+// "twostep:p=1,persist=15d,wane=15d", "constant:p=0.5", "dirac".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"besteffs/internal/client"
+	"besteffs/internal/importance"
+	"besteffs/internal/object"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "besteffsctl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("besteffsctl", flag.ContinueOnError)
+	addrs := fs.String("addrs", "127.0.0.1:7459", "comma-separated node addresses")
+	impSpec := fs.String("importance", "twostep:p=1,persist=30d,wane=30d", "importance spec for put/probe")
+	owner := fs.String("owner", "", "object owner for put")
+	class := fs.Int("class", 0, "object class for put (0 generic, 1 university, 2 student)")
+	timeout := fs.Duration("timeout", 5*time.Second, "dial timeout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() < 1 {
+		fs.Usage()
+		return fmt.Errorf("need a command")
+	}
+	cmd, rest := fs.Arg(0), fs.Args()[1:]
+
+	addrList := strings.Split(*addrs, ",")
+	clients := make([]*client.Client, 0, len(addrList))
+	defer func() {
+		for _, c := range clients {
+			c.Close()
+		}
+	}()
+	for _, addr := range addrList {
+		c, err := client.Dial(strings.TrimSpace(addr), *timeout)
+		if err != nil {
+			return err
+		}
+		clients = append(clients, c)
+	}
+
+	switch cmd {
+	case "put":
+		return cmdPut(clients, rest, *impSpec, *owner, *class)
+	case "get":
+		return cmdGet(clients, rest)
+	case "delete":
+		if len(rest) != 1 {
+			return fmt.Errorf("usage: delete <id>")
+		}
+		if len(clients) != 1 {
+			return fmt.Errorf("delete needs exactly one -addrs node")
+		}
+		return clients[0].Delete(object.ID(rest[0]))
+	case "rejuvenate":
+		if len(rest) != 1 {
+			return fmt.Errorf("usage: rejuvenate <id>")
+		}
+		if len(clients) != 1 {
+			return fmt.Errorf("rejuvenate needs exactly one -addrs node")
+		}
+		imp, err := importance.ParseSpec(*impSpec)
+		if err != nil {
+			return err
+		}
+		version, err := clients[0].Rejuvenate(object.ID(rest[0]), imp)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("rejuvenated %s to version %d with %s\n", rest[0], version, *impSpec)
+		return nil
+	case "stat":
+		return cmdStat(clients, addrList)
+	case "probe":
+		return cmdProbe(clients, addrList, rest, *impSpec)
+	case "density":
+		return cmdDensity(clients, addrList)
+	case "list":
+		return cmdList(clients, addrList)
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+func cmdPut(clients []*client.Client, args []string, impSpec, owner string, class int) error {
+	if len(args) != 2 {
+		return fmt.Errorf("usage: put <id> <file>")
+	}
+	imp, err := importance.ParseSpec(impSpec)
+	if err != nil {
+		return err
+	}
+	payload, err := os.ReadFile(args[1])
+	if err != nil {
+		return fmt.Errorf("read payload: %w", err)
+	}
+	req := client.PutRequest{
+		ID:         object.ID(args[0]),
+		Owner:      owner,
+		Class:      object.Class(class),
+		Importance: imp,
+		Payload:    payload,
+	}
+	if len(clients) == 1 {
+		res, err := clients[0].Put(req)
+		if err != nil {
+			return err
+		}
+		if !res.Admitted {
+			return fmt.Errorf("rejected: storage full at importance boundary %.3f", res.Boundary)
+		}
+		fmt.Printf("stored %s (%d bytes); preempted %d object(s), highest importance %.3f\n",
+			req.ID, len(payload), len(res.Evicted), res.Boundary)
+		return nil
+	}
+	cc, err := client.NewClusterClient(clients, rand.New(rand.NewSource(time.Now().UnixNano())))
+	if err != nil {
+		return err
+	}
+	p, err := cc.Put(req)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("stored %s on node %d (boundary %.3f, %d eviction(s))\n",
+		req.ID, p.Node, p.Boundary, len(p.Evicted))
+	return nil
+}
+
+func cmdGet(clients []*client.Client, args []string) error {
+	if len(args) < 1 || len(args) > 2 {
+		return fmt.Errorf("usage: get <id> [file]")
+	}
+	id := object.ID(args[0])
+	var (
+		obj client.Object
+		err error
+	)
+	if len(clients) == 1 {
+		obj, err = clients[0].Get(id)
+	} else {
+		var cc *client.ClusterClient
+		cc, err = client.NewClusterClient(clients, rand.New(rand.NewSource(1)))
+		if err != nil {
+			return err
+		}
+		obj, err = cc.Get(id)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "%s: %d bytes, owner %q, class %s, age %s, current importance %.3f\n",
+		obj.ID, len(obj.Payload), obj.Owner, obj.Class, obj.Age.Round(time.Second), obj.CurrentImportance)
+	if len(args) == 2 {
+		if err := os.WriteFile(args[1], obj.Payload, 0o644); err != nil {
+			return fmt.Errorf("write payload: %w", err)
+		}
+		return nil
+	}
+	_, err = os.Stdout.Write(obj.Payload)
+	return err
+}
+
+func cmdStat(clients []*client.Client, addrs []string) error {
+	for i, c := range clients {
+		st, err := c.Stat()
+		if err != nil {
+			return fmt.Errorf("node %s: %w", addrs[i], err)
+		}
+		fmt.Printf("%s: %d/%d bytes used, %d objects, density %.4f\n",
+			addrs[i], st.Used, st.Capacity, st.Objects, st.Density)
+	}
+	return nil
+}
+
+func cmdProbe(clients []*client.Client, addrs, args []string, impSpec string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: probe <size-bytes>")
+	}
+	size, err := strconv.ParseInt(args[0], 10, 64)
+	if err != nil {
+		return fmt.Errorf("bad size %q: %w", args[0], err)
+	}
+	imp, err := importance.ParseSpec(impSpec)
+	if err != nil {
+		return err
+	}
+	for i, c := range clients {
+		admissible, boundary, err := c.Probe(size, imp)
+		if err != nil {
+			return fmt.Errorf("node %s: %w", addrs[i], err)
+		}
+		fmt.Printf("%s: admissible=%t highest-importance-preempted=%.3f\n",
+			addrs[i], admissible, boundary)
+	}
+	return nil
+}
+
+func cmdDensity(clients []*client.Client, addrs []string) error {
+	for i, c := range clients {
+		d, err := c.Density()
+		if err != nil {
+			return fmt.Errorf("node %s: %w", addrs[i], err)
+		}
+		fmt.Printf("%s: %.4f\n", addrs[i], d)
+	}
+	return nil
+}
+
+func cmdList(clients []*client.Client, addrs []string) error {
+	for i, c := range clients {
+		ids, err := c.List()
+		if err != nil {
+			return fmt.Errorf("node %s: %w", addrs[i], err)
+		}
+		fmt.Printf("%s: %d object(s)\n", addrs[i], len(ids))
+		for _, id := range ids {
+			fmt.Printf("  %s\n", id)
+		}
+	}
+	return nil
+}

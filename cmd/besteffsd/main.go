@@ -1,0 +1,155 @@
+// Command besteffsd runs one live Besteffs storage node: a TCP server that
+// stores objects annotated with temporal importance functions and reclaims
+// space with the paper's preemption policy. It is the building block of a
+// fully distributed deployment -- start one daemon per machine and point
+// besteffsctl (or client.ClusterClient) at the set.
+//
+// Usage:
+//
+//	besteffsd [-addr HOST:PORT] [-capacity BYTES] [-policy NAME] [-data DIR]
+//	          [-sweep DUR] [-status HOST:PORT]
+//
+// With -data, payload bytes are kept in crash-safe files under DIR/blobs, a
+// metadata journal is appended at DIR/journal.log, and on startup the node
+// restores its previous state (resident objects, annotations, versions and
+// clock) from the journal, reconciling metadata against the payload files.
+//
+// Policies: temporal (default), fifo, traditional, fair-share (per-owner
+// quotas; tune with -share).
+//
+// The daemon shuts down gracefully on SIGINT/SIGTERM.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"besteffs/internal/blob"
+	"besteffs/internal/journal"
+	"besteffs/internal/policy"
+	"besteffs/internal/server"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "besteffsd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("besteffsd", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:7459", "listen address")
+	capacity := fs.Int64("capacity", 1<<30, "storage capacity in bytes")
+	policyName := fs.String("policy", "temporal", "admission policy: temporal, fifo, traditional or fair-share")
+	share := fs.Float64("share", 0.5, "per-owner capacity fraction for -policy fair-share")
+	dataDir := fs.String("data", "", "directory for on-disk payloads (default: in-memory)")
+	sweep := fs.Duration("sweep", 0, "reclaim expired objects every interval (0 disables)")
+	statusAddr := fs.String("status", "", "serve a JSON status endpoint on this address (optional)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	pol, err := policyByName(*policyName, *share)
+	if err != nil {
+		return err
+	}
+	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	opts := []server.Option{server.WithLogger(log)}
+	if *sweep > 0 {
+		opts = append(opts, server.WithMaintenance(*sweep))
+	}
+	journalPath := ""
+	if *dataDir != "" {
+		files, err := blob.NewFileStore(filepath.Join(*dataDir, "blobs"))
+		if err != nil {
+			return err
+		}
+		journalPath = filepath.Join(*dataDir, "journal.log")
+		w, err := journal.Open(journalPath)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if err := w.Close(); err != nil {
+				log.Error("close journal", "err", err)
+			}
+		}()
+		opts = append(opts, server.WithBlobStore(files), server.WithJournal(w))
+		log.Info("persistent node", "blobs", files.Root(), "journal", journalPath)
+	}
+	srv, err := server.New(*capacity, pol, opts...)
+	if err != nil {
+		return err
+	}
+	if journalPath != "" {
+		stats, err := srv.Restore(journalPath)
+		if err != nil {
+			return err
+		}
+		log.Info("restored",
+			"records", stats.Records, "residents", stats.Residents,
+			"resume", stats.Resume, "dropped_no_payload", stats.DroppedNoPayload,
+			"dropped_orphan_blobs", stats.DroppedOrphanBlobs)
+	}
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return fmt.Errorf("listen on %s: %w", *addr, err)
+	}
+	log.Info("besteffsd listening",
+		"addr", l.Addr().String(), "capacity", *capacity, "policy", pol.Name())
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	if *statusAddr != "" {
+		statusSrv := &http.Server{Addr: *statusAddr, Handler: srv.StatusHandler()}
+		go func() {
+			<-ctx.Done()
+			shutdownCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			if err := statusSrv.Shutdown(shutdownCtx); err != nil {
+				log.Error("status shutdown", "err", err)
+			}
+		}()
+		go func() {
+			log.Info("status endpoint", "addr", *statusAddr)
+			if err := statusSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Error("status endpoint", "err", err)
+			}
+		}()
+	}
+	if err := srv.Serve(ctx, l); err != nil {
+		return err
+	}
+	log.Info("besteffsd stopped")
+	return nil
+}
+
+// policyByName maps a CLI name to a policy.
+func policyByName(name string, share float64) (policy.Policy, error) {
+	switch name {
+	case "temporal":
+		return policy.TemporalImportance{}, nil
+	case "fifo":
+		return policy.FIFO{}, nil
+	case "traditional":
+		return policy.Traditional{}, nil
+	case "fair-share", "fairshare":
+		if share <= 0 || share > 1 {
+			return nil, fmt.Errorf("-share %v outside (0, 1]", share)
+		}
+		return policy.FairShare{MaxFraction: share}, nil
+	default:
+		return nil, fmt.Errorf("unknown policy %q (want temporal, fifo, traditional or fair-share)", name)
+	}
+}

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunValidation(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("missing -trace accepted")
+	}
+	if err := run([]string{"-trace", "/nonexistent/trace.csv"}); err == nil {
+		t.Error("missing trace file accepted")
+	}
+	if err := run([]string{"-trace", "x", "-policy", "bogus"}); err == nil {
+		t.Error("bogus policy accepted")
+	}
+	if err := run([]string{"-trace", "x", "-horizon", "soon"}); err == nil {
+		t.Error("bad horizon accepted")
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "trace.csv")
+	content := strings.Join([]string{
+		"t,id,size_bytes,importance,owner,class",
+		`1h,a,400,"twostep:p=1,persist=5d,wane=5d",u,1`,
+		`2d,b,400,constant:p=0.9,u,0`,
+		`4d,c,400,constant:p=0.95,v,0`,
+		"",
+	}, "\n")
+	if err := os.WriteFile(trace, []byte(content), 0o644); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	csvOut := filepath.Join(dir, "density.csv")
+	if err := run([]string{
+		"-trace", trace, "-capacity", "1000", "-horizon", "20d",
+		"-density-csv", csvOut,
+	}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out, err := os.ReadFile(csvOut)
+	if err != nil {
+		t.Fatalf("density csv not written: %v", err)
+	}
+	if !strings.HasPrefix(string(out), "t_seconds,density\n") {
+		t.Errorf("csv header = %q", string(out[:30]))
+	}
+}

@@ -1,0 +1,132 @@
+// Command paperbench regenerates every table and figure of the paper's
+// evaluation (Section 5) from the reproduction library and renders them as
+// ASCII charts and tables, optionally emitting CSV for external plotting.
+//
+// Usage:
+//
+//	paperbench [flags] <experiment>
+//
+// Experiments: fig2 fig3 fig4 fig5 fig6 fig7 table1 fig8 fig9 fig10 fig11
+// fig12 uniwide ablation churn predictor scaling refresh mixed all
+//
+// Flags:
+//
+//	-seed N     workload seed (default 42)
+//	-years N    lecture-scenario years (default 5)
+//	-full       run the university-wide experiment at full paper scale
+//	            (2000 nodes, 2321 courses, 5 years); the default is a
+//	            10x-scaled run with the same pressure ratio
+//	-csv DIR    also write per-figure CSV files into DIR
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"besteffs/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "paperbench:", err)
+		os.Exit(1)
+	}
+}
+
+type config struct {
+	seed  int64
+	years int
+	full  bool
+	csv   string
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("paperbench", flag.ContinueOnError)
+	cfg := config{}
+	fs.Int64Var(&cfg.seed, "seed", 42, "workload random seed")
+	fs.IntVar(&cfg.years, "years", 5, "lecture scenario duration in years")
+	fs.BoolVar(&cfg.full, "full", false, "run uniwide at the paper's full scale")
+	fs.StringVar(&cfg.csv, "csv", "", "directory for CSV output (optional)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return fmt.Errorf("need exactly one experiment, got %d", fs.NArg())
+	}
+	name := strings.ToLower(fs.Arg(0))
+	if cfg.csv != "" {
+		if err := os.MkdirAll(cfg.csv, 0o755); err != nil {
+			return fmt.Errorf("create csv dir: %w", err)
+		}
+	}
+
+	commands := map[string]func(config) error{
+		"fig2":      cmdFig2,
+		"fig3":      cmdFig3,
+		"fig4":      cmdFig4,
+		"fig5":      cmdFig5,
+		"fig6":      cmdFig6,
+		"fig7":      cmdFig7,
+		"table1":    cmdTable1,
+		"fig8":      cmdFig8,
+		"fig9":      cmdFig9,
+		"fig10":     cmdFig10,
+		"fig11":     cmdFig11,
+		"fig12":     cmdFig12,
+		"uniwide":   cmdUniWide,
+		"ablation":  cmdAblation,
+		"churn":     cmdChurn,
+		"predictor": cmdPredictor,
+		"scaling":   cmdScaling,
+		"refresh":   cmdRefresh,
+		"mixed":     cmdMixed,
+	}
+	if name == "all" {
+		for _, n := range []string{
+			"fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "table1",
+			"fig8", "fig9", "fig10", "fig11", "fig12", "uniwide", "ablation",
+			"churn", "predictor", "scaling", "refresh", "mixed",
+		} {
+			fmt.Printf("==== %s ====\n", n)
+			if err := commands[n](cfg); err != nil {
+				return fmt.Errorf("%s: %w", n, err)
+			}
+			fmt.Println()
+		}
+		return nil
+	}
+	cmd, ok := commands[name]
+	if !ok {
+		return fmt.Errorf("unknown experiment %q", name)
+	}
+	return cmd(cfg)
+}
+
+// writeCSV writes rows to <dir>/<name>.csv when -csv is set.
+func writeCSV(cfg config, name, header string, rows []string) error {
+	if cfg.csv == "" {
+		return nil
+	}
+	path := filepath.Join(cfg.csv, name+".csv")
+	var b strings.Builder
+	b.WriteString(header)
+	b.WriteByte('\n')
+	for _, r := range rows {
+		b.WriteString(r)
+		b.WriteByte('\n')
+	}
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		return fmt.Errorf("write %s: %w", path, err)
+	}
+	fmt.Printf("(csv written to %s)\n", path)
+	return nil
+}
+
+// gbDays formats a capacity in GB.
+func gbCap(capacity int64) string {
+	return fmt.Sprintf("%dGB", capacity/experiments.GB)
+}

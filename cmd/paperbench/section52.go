@@ -1,0 +1,289 @@
+package main
+
+import (
+	"fmt"
+
+	"besteffs/internal/experiments"
+	"besteffs/internal/object"
+	"besteffs/internal/plot"
+)
+
+// cmdTable1 prints the lecture lifetime parameters.
+func cmdTable1(cfg config) error {
+	rows, err := experiments.RunTable1()
+	if err != nil {
+		return err
+	}
+	var cells [][]string
+	var csv []string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			r.Term.String(),
+			fmt.Sprintf("%d", r.TermBegin),
+			fmt.Sprintf("%d - today", r.PersistUntilDay),
+			fmt.Sprintf("%d", r.WaneDays),
+		})
+		csv = append(csv, fmt.Sprintf("%s,%d,%d,%d",
+			r.Term, r.TermBegin, r.PersistUntilDay, r.WaneDays))
+	}
+	fmt.Println("Table 1: lifetimes for the lecture capture system")
+	fmt.Print(plot.Table(
+		[]string{"term", "term begin (day of year)", "t_persist (days)", "t_wane (days)"}, cells))
+	return writeCSV(cfg, "table1", "term,term_begin,persist_until_day,wane_days", csv)
+}
+
+// cmdFig8 prints the synthetic download trace.
+func cmdFig8(cfg config) error {
+	res, err := experiments.RunFig8(experiments.Fig8Config{Seed: cfg.seed})
+	if err != nil {
+		return err
+	}
+	chart := plot.Chart{
+		Title:  "Figure 8 (synthetic): lecture downloads per day, spring term + tail",
+		XLabel: "day of term", YLabel: "downloads", Height: 12,
+	}
+	pts := make([]plot.Point, len(res.Days))
+	csv := make([]string, len(res.Days))
+	for i, d := range res.Days {
+		pts[i] = plot.Point{X: float64(d.Day), Y: float64(d.Downloads)}
+		csv[i] = fmt.Sprintf("%d,%d,%t,%t", d.Day, d.Downloads, d.Exam, d.Slashdot)
+	}
+	chart.Add("downloads", pts)
+	fmt.Print(chart.Render())
+	fmt.Printf("total downloads: %d; peak %d on day %d (the slashdotting)\n",
+		res.Total, res.PeakDownloads, res.PeakDay)
+	fmt.Println("(synthetic trace: the paper's raw access log is unavailable; see DESIGN.md)")
+	return writeCSV(cfg, "fig8", "day,downloads,exam,slashdot", csv)
+}
+
+// runLecture shares the Section 5.2 run across fig9..fig12.
+func runLecture(cfg config) ([]experiments.LectureRun, error) {
+	return experiments.RunLecture(experiments.LectureConfig{
+		Seed: cfg.seed, Years: cfg.years, Palimpsest: true,
+	})
+}
+
+// cmdFig9 prints the lifetimes achieved in the lecture scenario.
+func cmdFig9(cfg config) error {
+	runs, err := runLecture(cfg)
+	if err != nil {
+		return err
+	}
+	var rows [][]string
+	var csv []string
+	for _, r := range runs {
+		for _, class := range []object.Class{object.ClassUniversity, object.ClassStudent} {
+			o := r.ByClass[class]
+			s := o.LifetimeSummary
+			rows = append(rows, []string{
+				string(r.Policy), gbCap(r.Capacity), class.String(),
+				fmt.Sprintf("%d", o.Generated),
+				fmt.Sprintf("%d", len(o.Evictions)),
+				fmt.Sprintf("%d", o.Rejected),
+				fmt.Sprintf("%.0f", s.Median),
+				fmt.Sprintf("%.0f", s.P90),
+			})
+			for _, p := range o.Evictions {
+				csv = append(csv, fmt.Sprintf("%s,%d,%s,%.2f,%.2f",
+					r.Policy, r.Capacity/experiments.GB, class, p.EvictionDay, p.LifetimeDays))
+			}
+		}
+	}
+	fmt.Println("Figure 9: lifetime achieved, lecture capture (two-step importance)")
+	fmt.Print(plot.Table([]string{
+		"policy", "disk", "class", "objects", "evicted", "rejected",
+		"median lifetime (d)", "p90 (d)",
+	}, rows))
+	return writeCSV(cfg, "fig9", "policy,capacity_gb,class,eviction_day,lifetime_days", csv)
+}
+
+// cmdFig10 prints importance at reclamation for university objects.
+func cmdFig10(cfg config) error {
+	runs, err := runLecture(cfg)
+	if err != nil {
+		return err
+	}
+	var rows [][]string
+	var csv []string
+	for _, r := range runs {
+		o := r.ByClass[object.ClassUniversity]
+		if len(o.Evictions) == 0 {
+			continue
+		}
+		s := o.ReclaimImportance
+		rows = append(rows, []string{
+			string(r.Policy), gbCap(r.Capacity),
+			fmt.Sprintf("%d", len(o.Evictions)),
+			fmt.Sprintf("%.2f", s.Min),
+			fmt.Sprintf("%.2f", s.P10),
+			fmt.Sprintf("%.2f", s.Median),
+			fmt.Sprintf("%.2f", s.Max),
+		})
+		for _, p := range o.Evictions {
+			csv = append(csv, fmt.Sprintf("%s,%d,%.2f,%.4f",
+				r.Policy, r.Capacity/experiments.GB, p.EvictionDay, p.Importance))
+		}
+	}
+	fmt.Println("Figure 10: importance at reclamation, university-created objects")
+	fmt.Println("(Palimpsest importance is projected from the two-step function)")
+	fmt.Print(plot.Table([]string{
+		"policy", "disk", "evictions", "min", "p10", "median", "max",
+	}, rows))
+	return writeCSV(cfg, "fig10", "policy,capacity_gb,eviction_day,importance", csv)
+}
+
+// cmdFig11 prints the lecture-scenario time constants.
+func cmdFig11(cfg config) error {
+	runs, err := runLecture(cfg)
+	if err != nil {
+		return err
+	}
+	for _, r := range runs {
+		if r.Policy != experiments.PolicyTemporal {
+			continue
+		}
+		title := fmt.Sprintf("Figure 11: time constant, lecture workload, %s", gbCap(r.Capacity))
+		if err := printTimeConstants(title, cfg,
+			fmt.Sprintf("fig11_%s", gbCap(r.Capacity)), r.TimeConstants); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// cmdFig12 prints the lecture-scenario density series.
+func cmdFig12(cfg config) error {
+	runs, err := runLecture(cfg)
+	if err != nil {
+		return err
+	}
+	var csv []string
+	for _, r := range runs {
+		if r.Policy != experiments.PolicyTemporal {
+			continue
+		}
+		chart := plot.Chart{
+			Title: fmt.Sprintf(
+				"Figure 12: instantaneous storage importance density, lecture workload, %s",
+				gbCap(r.Capacity)),
+			XLabel: "day", YLabel: "density", Height: 12,
+			YFixed: true, YMin: 0, YMax: 1,
+		}
+		pts := make([]plot.Point, 0, len(r.Density))
+		for _, p := range r.Density {
+			day := float64(p.T) / float64(experiments.Day)
+			pts = append(pts, plot.Point{X: day, Y: p.V})
+			csv = append(csv, fmt.Sprintf("%d,%.3f,%.4f", r.Capacity/experiments.GB, day, p.V))
+		}
+		chart.Add("density", pts)
+		fmt.Print(chart.Render())
+	}
+	fmt.Println("(as storage pressure eases, more objects are retained and the density drops)")
+	return writeCSV(cfg, "fig12", "capacity_gb,day,density", csv)
+}
+
+// cmdUniWide prints the Section 5.3 summary.
+func cmdUniWide(cfg config) error {
+	runs, err := experiments.RunUniWide(experiments.UniWideConfig{
+		Seed: cfg.seed, FullScale: cfg.full,
+	})
+	if err != nil {
+		return err
+	}
+	var rows [][]string
+	var csv []string
+	for _, r := range runs {
+		for _, class := range []object.Class{object.ClassUniversity, object.ClassStudent} {
+			o := r.ByClass[class]
+			rejFrac := 0.0
+			if o.Generated > 0 {
+				rejFrac = float64(o.Rejected) / float64(o.Generated)
+			}
+			rows = append(rows, []string{
+				gbCap(r.NodeCapacity), class.String(),
+				fmt.Sprintf("%d", o.Generated),
+				fmt.Sprintf("%d", o.Rejected),
+				fmt.Sprintf("%.1f%%", rejFrac*100),
+				fmt.Sprintf("%.0f", o.LifetimeSummary.Median),
+			})
+			csv = append(csv, fmt.Sprintf("%d,%s,%d,%d,%.4f,%.1f",
+				r.NodeCapacity/experiments.GB, class, o.Generated, o.Rejected,
+				rejFrac, o.LifetimeSummary.Median))
+		}
+	}
+	fmt.Println("Section 5.3: university-wide capture on the distributed store")
+	fmt.Print(plot.Table([]string{
+		"node disk", "class", "objects", "rejected", "reject %", "median lifetime (d)",
+	}, rows))
+	for _, r := range runs {
+		fmt.Printf("%s nodes: total capacity %.0f GB, demand %.0f GB, placements %d, cluster rejections %d, final avg density %.3f, utilization median %.2f\n",
+			gbCap(r.NodeCapacity), r.TotalCapacityGB, r.DemandGB, r.Placements,
+			r.ClusterRejections, r.FinalAvgDensity, r.UnitUtilization.Median)
+		fmt.Printf("  gossip density estimate at node 0: %.3f after %d push-sum rounds (true mean %.3f, no central component)\n",
+			r.GossipDensity, r.GossipRounds, r.FinalAvgDensity)
+	}
+	return writeCSV(cfg, "uniwide",
+		"node_capacity_gb,class,objects,rejected,reject_frac,median_lifetime_days", csv)
+}
+
+// cmdChurn runs the growing-storage churn scenario (the hardware turnover
+// the paper anticipates but does not simulate).
+func cmdChurn(cfg config) error {
+	res, err := experiments.RunChurn(experiments.ChurnConfig{Seed: cfg.seed})
+	if err != nil {
+		return err
+	}
+	var rows [][]string
+	var csv []string
+	for _, y := range res.Years {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", y.Year),
+			fmt.Sprintf("%.0f", y.TotalCapacityGB),
+			fmt.Sprintf("%d", y.Replacements),
+			fmt.Sprintf("%.3f", y.AvgDensity),
+			fmt.Sprintf("%.0f", y.StudentLifetime.Median),
+			fmt.Sprintf("%d", y.StudentRejected),
+		})
+		csv = append(csv, fmt.Sprintf("%d,%.0f,%d,%.4f,%.1f,%d",
+			y.Year, y.TotalCapacityGB, y.Replacements, y.AvgDensity,
+			y.StudentLifetime.Median, y.StudentRejected))
+	}
+	fmt.Println("Churn (extension): 40% of desktops replaced yearly with 2x disks; annotations unchanged")
+	fmt.Print(plot.Table([]string{
+		"year", "capacity (GB)", "replaced", "avg density",
+		"student median lifetime (d)", "student rejected",
+	}, rows))
+	fmt.Println("added storage flows to the less important objects without re-annotation (Section 1)")
+	return writeCSV(cfg, "churn",
+		"year,capacity_gb,replacements,avg_density,student_median_days,student_rejected", csv)
+}
+
+// cmdPredictor quantifies the Section 5.1.2 longevity hint: the gap between
+// an object's importance and the admission-time density predicts its
+// achieved lifetime.
+func cmdPredictor(cfg config) error {
+	res, err := experiments.RunPredictor(experiments.PredictorConfig{Seed: cfg.seed})
+	if err != nil {
+		return err
+	}
+	var rows [][]string
+	var csv []string
+	for _, b := range res.Buckets {
+		if b.Count == 0 {
+			continue
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("[%.2f, %.2f)", b.Lo, b.Hi),
+			fmt.Sprintf("%d", b.Count),
+			fmt.Sprintf("%.1f", b.MeanLifetimeDays),
+		})
+		csv = append(csv, fmt.Sprintf("%.2f,%.2f,%d,%.2f", b.Lo, b.Hi, b.Count, b.MeanLifetimeDays))
+	}
+	fmt.Println("Predictor (extension): importance-minus-density gap at admission vs lifetime achieved")
+	fmt.Print(plot.Table([]string{"gap band", "objects", "mean lifetime (d)"}, rows))
+	fmt.Printf("Pearson correlation (gap, lifetime): %.3f over %d evictions; %d arrivals rejected below the boundary\n",
+		res.Correlation, res.Samples, res.RejectedBelowBoundary)
+	fmt.Println("\"the difference between the storage density and the object importance gives")
+	fmt.Println("some indication of the object longevity\" (Section 5.1.2)")
+	return writeCSV(cfg, "predictor", "gap_lo,gap_hi,objects,mean_lifetime_days", csv)
+}

@@ -1,0 +1,103 @@
+package besteffs_test
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"besteffs"
+)
+
+// Example shows the core reclamation loop: a small unit under pressure
+// admits an important arrival by preempting the least important resident.
+func Example() {
+	unit, err := besteffs.NewUnit(100, besteffs.TemporalImportance{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cache, err := besteffs.NewObject("cache/trailer", 60, 0, besteffs.Dirac{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	archive, err := besteffs.NewObject("tax/2026", 40, 0, besteffs.Constant{Level: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, o := range []*besteffs.Object{cache, archive} {
+		if _, err := unit.Put(o, 0); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	lecture, err := besteffs.NewObject("lectures/os-12", 50, 0,
+		besteffs.TwoStep{Plateau: 1, Persist: 15 * besteffs.Day, Wane: 15 * besteffs.Day})
+	if err != nil {
+		log.Fatal(err)
+	}
+	d, err := unit.Put(lecture, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("admitted=%t victims=%d first=%s\n", d.Admit, len(d.Victims), d.Victims[0].ID)
+	fmt.Printf("density=%.2f\n", unit.DensityAt(0))
+	// Output:
+	// admitted=true victims=1 first=cache/trailer
+	// density=0.90
+}
+
+// ExampleTwoStep evaluates the paper's two-piece importance function over
+// an object's life.
+func ExampleTwoStep() {
+	f, err := besteffs.NewTwoStep(1.0, 15*besteffs.Day, 15*besteffs.Day)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, age := range []time.Duration{0, 15 * besteffs.Day, 22*besteffs.Day + 12*time.Hour, 30 * besteffs.Day} {
+		fmt.Printf("day %4.1f: L = %.2f\n", age.Hours()/24, f.At(age))
+	}
+	// Output:
+	// day  0.0: L = 1.00
+	// day 15.0: L = 1.00
+	// day 22.5: L = 0.50
+	// day 30.0: L = 0.00
+}
+
+// ExampleParseImportance parses the CLI spec syntax.
+func ExampleParseImportance() {
+	f, err := besteffs.ParseImportance("twostep:p=0.5,persist=10d,wane=20d")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("L(0) = %.2f, L(20d) = %.2f\n", f.At(0), f.At(20*besteffs.Day))
+	// Output:
+	// L(0) = 0.50, L(20d) = 0.25
+}
+
+// ExampleUnit_Probe shows the density-feedback loop: a creator probes the
+// unit before choosing an annotation.
+func ExampleUnit_Probe() {
+	unit, err := besteffs.NewUnit(100, besteffs.TemporalImportance{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	resident, err := besteffs.NewObject("r", 100, 0, besteffs.Constant{Level: 0.6})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := unit.Put(resident, 0); err != nil {
+		log.Fatal(err)
+	}
+	for _, level := range []float64{0.5, 0.7} {
+		probe, err := besteffs.NewObject("probe", 50, 0, besteffs.Constant{Level: level})
+		if err != nil {
+			log.Fatal(err)
+		}
+		d := unit.Probe(probe, 0)
+		fmt.Printf("importance %.1f: admissible=%t (boundary %.1f)\n",
+			level, d.Admit, d.HighestPreempted)
+	}
+	// Output:
+	// importance 0.5: admissible=false (boundary 0.6)
+	// importance 0.7: admissible=true (boundary 0.6)
+}

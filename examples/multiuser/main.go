@@ -1,0 +1,101 @@
+// Multi-user fairness: the paper's Section 1 warning, demonstrated and
+// fixed.
+//
+// "On a multi-user system, the system should restrict the importance
+// functions for fairness, lest every user request infinite lifetime,
+// essentially reverting to the traditional persistent until deleted model."
+//
+// Two users share one disk. "hoarder" annotates everything at importance
+// 1.0 forever; "scientist" uses honest two-step lifetimes. Under the plain
+// temporal-importance policy the hoarder freezes the scientist out; under
+// the FairShare policy (per-owner capacity quotas layered over the same
+// preemption rules) each user's data competes only within their share.
+//
+// Run with:
+//
+//	go run ./examples/multiuser
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"besteffs"
+)
+
+const mb = int64(1) << 20
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// user produces a deterministic arrival stream.
+type user struct {
+	name string
+	imp  besteffs.ImportanceFunc
+	size int64
+}
+
+func run() error {
+	honest, err := besteffs.NewTwoStep(1, 7*besteffs.Day, 7*besteffs.Day)
+	if err != nil {
+		return err
+	}
+	users := []user{
+		{name: "hoarder", imp: besteffs.Constant{Level: 1}, size: 8 * mb},
+		{name: "scientist", imp: honest, size: 8 * mb},
+	}
+
+	for _, setup := range []struct {
+		label  string
+		policy besteffs.Policy
+	}{
+		{"plain temporal-importance", besteffs.TemporalImportance{}},
+		{"fair-share (50% per owner)", besteffs.FairShare{MaxFraction: 0.5}},
+	} {
+		unit, err := besteffs.NewUnit(200*mb, setup.policy)
+		if err != nil {
+			return err
+		}
+		held := map[string]int64{}
+		rejected := map[string]int{}
+		rng := rand.New(rand.NewSource(1))
+
+		// Interleaved arrivals over 60 days; both users keep producing.
+		for day := 0; day < 60; day++ {
+			now := time.Duration(day) * besteffs.Day
+			for _, u := range users {
+				id := besteffs.ObjectID(fmt.Sprintf("%s/%s/d%03d-%d", setup.label, u.name, day, rng.Intn(1000)))
+				o, err := besteffs.NewObject(id, u.size, now, u.imp)
+				if err != nil {
+					return err
+				}
+				o.Owner = u.name
+				d, err := unit.Put(o, now)
+				if err != nil {
+					return err
+				}
+				if !d.Admit {
+					rejected[u.name]++
+				}
+			}
+		}
+		for _, o := range unit.Residents() {
+			held[o.Owner] += o.Size
+		}
+
+		fmt.Printf("%s:\n", setup.label)
+		for _, u := range users {
+			fmt.Printf("  %-9s holds %3d MB, %2d arrivals rejected\n",
+				u.name, held[u.name]/mb, rejected[u.name])
+		}
+		fmt.Printf("  density %.3f\n\n", unit.DensityAt(60*besteffs.Day))
+	}
+	fmt.Println("the quota confines the hoarder to their share; the scientist's honest")
+	fmt.Println("annotations keep cycling inside the other half")
+	return nil
+}

@@ -1,0 +1,122 @@
+// Quickstart: a single storage unit with temporal importance annotations.
+//
+// The example stores three objects with different lifetime annotations on a
+// small unit, then watches the paper's reclamation rules play out as the
+// unit comes under pressure: importance-one objects are untouchable,
+// waning objects become preemptible as they age, and the storage importance
+// density tells a content creator what the unit will accept.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"besteffs"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	const mb = 1 << 20
+
+	var evictions []besteffs.Eviction
+	unit, err := besteffs.NewUnit(100*mb, besteffs.TemporalImportance{},
+		besteffs.WithUnitName("quickstart"),
+		besteffs.WithEvictionHook(func(e besteffs.Eviction) {
+			evictions = append(evictions, e)
+		}),
+	)
+	if err != nil {
+		return err
+	}
+
+	// Three annotations from the paper's Section 3: an archival object
+	// that never expires, a two-step lecture-like object, and a cache
+	// object that is freely replaceable from birth.
+	archival := besteffs.Constant{Level: 1}
+	lecture, err := besteffs.NewTwoStep(1, 15*besteffs.Day, 15*besteffs.Day)
+	if err != nil {
+		return err
+	}
+	cache := besteffs.Dirac{}
+
+	now := time.Duration(0)
+	for _, item := range []struct {
+		id   besteffs.ObjectID
+		size int64
+		imp  besteffs.ImportanceFunc
+	}{
+		{"tax-records", 40 * mb, archival},
+		{"os-lecture-12", 40 * mb, lecture},
+		{"cached-trailer", 20 * mb, cache},
+	} {
+		o, err := besteffs.NewObject(item.id, item.size, now, item.imp)
+		if err != nil {
+			return err
+		}
+		d, err := unit.Put(o, now)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("t=%4s  put %-15s admitted=%-5t density=%.3f\n",
+			now, item.id, d.Admit, unit.DensityAt(now))
+	}
+
+	// The unit is byte-full. A new object must preempt: the cached
+	// trailer (importance zero) goes first.
+	now = 1 * besteffs.Day
+	newLecture, err := besteffs.NewObject("os-lecture-13", 20*mb, now, lecture)
+	if err != nil {
+		return err
+	}
+	d, err := unit.Put(newLecture, now)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("t=%4s  put %-15s admitted=%-5t highest preempted=%.2f\n",
+		now, newLecture.ID, d.Admit, d.HighestPreempted)
+
+	// Ten days in, lecture 12 is still on its importance-one plateau, so
+	// an equal-importance arrival finds the unit full.
+	now = 10 * besteffs.Day
+	blocked, err := besteffs.NewObject("os-lecture-14", 40*mb, now, lecture)
+	if err != nil {
+		return err
+	}
+	if d, err = unit.Put(blocked, now); err != nil {
+		return err
+	}
+	fmt.Printf("t=%4s  put %-15s admitted=%-5t reason=%v boundary=%.2f\n",
+		now, blocked.ID, d.Admit, d.Reason, d.HighestPreempted)
+
+	// At day 25 lecture 12 has waned to 1/3 importance and can be
+	// preempted by the same arrival.
+	now = 25 * besteffs.Day
+	retry, err := besteffs.NewObject("os-lecture-14b", 40*mb, now, lecture)
+	if err != nil {
+		return err
+	}
+	if d, err = unit.Put(retry, now); err != nil {
+		return err
+	}
+	fmt.Printf("t=%4s  put %-15s admitted=%-5t highest preempted=%.2f density=%.3f\n",
+		now, retry.ID, d.Admit, d.HighestPreempted, unit.DensityAt(now))
+
+	fmt.Println("\nevictions:")
+	for _, e := range evictions {
+		fmt.Printf("  %-15s lifetime=%-6s importance-at-eviction=%.2f preempted-by=%s\n",
+			e.Object.ID, e.LifetimeAchieved, e.Importance, e.PreemptedBy)
+	}
+	fmt.Printf("\nfinal density %.3f; the tax records (importance one) are never preemptible\n",
+		unit.DensityAt(now))
+	return nil
+}

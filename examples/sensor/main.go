@@ -1,0 +1,133 @@
+// Sensor storage: the paper's Section 6 extension scenario with
+// rejuvenation triggers.
+//
+// "Storage in sensor scenarios might treat unprocessed data as important
+// but retain processed data to accommodate for communications failure in
+// propagating the results. ... These scenarios might require the ability to
+// dynamically change the importance values based on triggers such as the
+// receipt of an acknowledgment."
+//
+// A sensor node buffers raw readings at importance 1.0 (losing unprocessed
+// data is catastrophic). Once a reading is processed, its raw form is
+// *rejuvenated downward* to a short two-step lifetime -- kept only long
+// enough to survive a communications failure -- and the derived summary is
+// stored at moderate importance. When the base station acknowledges receipt
+// of a summary, a second trigger demotes it to cache-like importance. The
+// storage reclaims everything automatically, newest-critical data always
+// wins, and no application ever issues a delete.
+//
+// Run with:
+//
+//	go run ./examples/sensor
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"besteffs"
+)
+
+const kb = int64(1) << 10
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// A tiny flash budget: 512 KB, like a mote's external flash.
+	var evictions, rejections int
+	unit, err := besteffs.NewUnit(512*kb, besteffs.TemporalImportance{},
+		besteffs.WithEvictionHook(func(besteffs.Eviction) { evictions++ }),
+		besteffs.WithRejectionHook(func(besteffs.Rejection) { rejections++ }),
+	)
+	if err != nil {
+		return err
+	}
+
+	// Lifetimes for the three data states.
+	rawCritical := besteffs.Constant{Level: 1} // unprocessed: never preemptible
+	rawProcessed, err := besteffs.NewTwoStep(0.6, 2*time.Hour, 6*time.Hour)
+	if err != nil {
+		return err
+	}
+	summaryPending, err := besteffs.NewTwoStep(0.8, 12*time.Hour, 12*time.Hour)
+	if err != nil {
+		return err
+	}
+	summaryAcked, err := besteffs.NewTwoStep(0.2, 1*time.Hour, 3*time.Hour)
+	if err != nil {
+		return err
+	}
+
+	rng := rand.New(rand.NewSource(9))
+	now := time.Duration(0)
+
+	fmt.Println("hour  unprocessed  processed  acked  density  evicted  rejected")
+	for hour := 0; hour < 48; hour++ {
+		now = time.Duration(hour) * time.Hour
+
+		// Each hour the sensor captures a raw reading burst (~24 KB).
+		rawID := besteffs.ObjectID(fmt.Sprintf("raw/%03d", hour))
+		raw, err := besteffs.NewObject(rawID, 16*kb+int64(rng.Intn(int(16*kb))), now, rawCritical)
+		if err != nil {
+			return err
+		}
+		if _, err := unit.Put(raw, now); err != nil {
+			return err
+		}
+
+		// The CPU processes the backlog with a two-hour lag: trigger 1 --
+		// demote the raw reading, store the summary.
+		if hour >= 2 {
+			doneHour := hour - 2
+			doneID := besteffs.ObjectID(fmt.Sprintf("raw/%03d", doneHour))
+			if _, err := unit.Rejuvenate(doneID, rawProcessed, now); err == nil {
+				sumID := besteffs.ObjectID(fmt.Sprintf("sum/%03d", doneHour))
+				summary, err := besteffs.NewObject(sumID, 2*kb, now, summaryPending)
+				if err != nil {
+					return err
+				}
+				if _, err := unit.Put(summary, now); err != nil {
+					return err
+				}
+			}
+		}
+
+		// The uplink is flaky: acknowledgments arrive for a random older
+		// summary 60% of the time. Trigger 2 -- demote acked summaries.
+		if hour >= 4 && rng.Float64() < 0.6 {
+			ackID := besteffs.ObjectID(fmt.Sprintf("sum/%03d", rng.Intn(hour-3)))
+			// Ignore not-found: the summary may already be reclaimed.
+			_, _ = unit.Rejuvenate(ackID, summaryAcked, now)
+		}
+
+		if hour%6 == 5 {
+			var rawPending, rawDone, acked int
+			for _, o := range unit.Residents() {
+				isRaw := o.ID[:3] == "raw"
+				switch {
+				case isRaw && o.Version == 1:
+					rawPending++
+				case isRaw:
+					rawDone++
+				case o.Version > 1:
+					acked++
+				}
+			}
+			fmt.Printf("%4d  %11d  %9d  %5d  %7.3f  %7d  %8d\n",
+				hour, rawPending, rawDone, acked,
+				unit.DensityAt(now), evictions, rejections)
+		}
+	}
+
+	fmt.Printf("\nafter 48 hours on a 512 KB flash: %d evictions, %d rejections, %d residents\n",
+		evictions, rejections, unit.Len())
+	fmt.Println("unprocessed readings were never reclaimed (importance 1.0);")
+	fmt.Println("processed data and acknowledged summaries drained automatically")
+	return nil
+}

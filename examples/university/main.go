@@ -1,0 +1,120 @@
+// University-wide capture: the paper's Section 5.3 scenario on the
+// simulated distributed store.
+//
+// Dozens of courses record lectures into a cluster of desktop-sized storage
+// units joined by a p2p overlay. Placement follows the paper's algorithm:
+// sample x units by random walk, probe each for the highest-importance
+// object it would preempt, retry up to m rounds, and store on the unit with
+// the lowest boundary. The example runs a scaled deployment (50 nodes, 50
+// courses, two years) and prints the cluster-wide density, placement
+// spread, and per-class outcomes.
+//
+// Run with:
+//
+//	go run ./examples/university
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"besteffs"
+	"besteffs/internal/calendar"
+	"besteffs/internal/cluster"
+	"besteffs/internal/object"
+	"besteffs/internal/sim"
+	"besteffs/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	const gb = int64(1) << 30
+	const (
+		nodes   = 50
+		courses = 50
+		years   = 2
+	)
+	horizon := time.Duration(years) * calendar.Year
+	rng := rand.New(rand.NewSource(53))
+
+	evicted := map[besteffs.Class]int{}
+	rejected := map[besteffs.Class]int{}
+	cl, err := besteffs.NewCluster(nodes, 80*gb, besteffs.TemporalImportance{}, 6, rng,
+		besteffs.WithSampleSize(5),
+		besteffs.WithMaxTries(3),
+		cluster.WithEvictionHook(func(e cluster.Eviction) {
+			evicted[e.Object.Class]++
+		}),
+		cluster.WithRejectionHook(func(r cluster.Rejection) {
+			rejected[r.Object.Class]++
+		}),
+	)
+	if err != nil {
+		return err
+	}
+
+	engine := sim.NewEngine()
+	generated := map[besteffs.Class]int{}
+	sink := workload.SinkFunc(func(o *object.Object, now time.Duration) error {
+		generated[o.Class]++
+		return cl.Offer(o, now)
+	})
+	lec := &workload.Lecture{Courses: courses}
+	if err := lec.Install(engine, sink, rng, horizon); err != nil {
+		return err
+	}
+
+	fmt.Printf("simulating %d courses on %d nodes x 80 GB for %d years...\n\n",
+		courses, nodes, years)
+	err = engine.Every(90*calendar.Day, 90*calendar.Day, horizon, func(now time.Duration) {
+		year, day := calendar.DayOfYear(now)
+		fmt.Printf("  y%d d%03d: avg density %.3f, placements %d, cluster rejections %d\n",
+			year, day, cl.AverageDensity(now), cl.Placements(), cl.Rejections())
+	})
+	if err != nil {
+		return err
+	}
+	engine.Run(horizon)
+	if err := lec.Err(); err != nil {
+		return err
+	}
+
+	fmt.Println("\nper-class outcomes:")
+	for _, class := range []besteffs.Class{besteffs.ClassUniversity, besteffs.ClassStudent} {
+		fmt.Printf("  %-10s generated %6d, evicted %6d, rejected %5d (%.1f%%)\n",
+			class, generated[class], evicted[class], rejected[class],
+			100*float64(rejected[class])/float64(max(generated[class], 1)))
+	}
+
+	// Per-unit utilization spread: the overlay's random walks balance
+	// load without central coordination.
+	var minUtil, maxUtil, sum float64
+	minUtil = 1
+	for i := 0; i < cl.Len(); i++ {
+		u, err := cl.Unit(i)
+		if err != nil {
+			return err
+		}
+		util := float64(u.Used()) / float64(u.Capacity())
+		sum += util
+		if util < minUtil {
+			minUtil = util
+		}
+		if util > maxUtil {
+			maxUtil = util
+		}
+	}
+	fmt.Printf("\nunit utilization: min %.2f, mean %.2f, max %.2f across %d nodes\n",
+		minUtil, sum/float64(cl.Len()), maxUtil, cl.Len())
+	fmt.Printf("final cluster density: %.3f\n", cl.AverageDensity(horizon))
+	fmt.Println("\nstudent streams are squeezed first; adding storage lengthens their")
+	fmt.Println("lifetimes without changing any annotation (Section 5.3)")
+	return nil
+}

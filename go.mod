@@ -1,0 +1,3 @@
+module besteffs
+
+go 1.22

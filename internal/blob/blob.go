@@ -1,0 +1,198 @@
+// Package blob stores object payloads for live Besteffs nodes. The storage
+// unit (package store) tracks metadata and makes reclamation decisions;
+// a blob.Store holds the bytes. Two implementations are provided: an
+// in-memory map for tests and simulations, and a crash-safe file store
+// (write-to-temp, fsync, rename) for the besteffsd daemon, where payloads
+// must survive living on a real desktop disk -- the paper's deployment
+// target is "unused desktop storage as well as dedicated storage bricks".
+//
+// Consistent with Besteffs semantics, the file store provides no more
+// durability than a single copy on the underlying disk; there is no
+// replication and no write-ahead metadata log.
+package blob
+
+import (
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"besteffs/internal/object"
+)
+
+// ErrNotFound reports a missing payload.
+var ErrNotFound = errors.New("blob: not found")
+
+// Store holds object payloads keyed by object ID. Implementations must be
+// safe for concurrent use.
+type Store interface {
+	// Put stores a payload, replacing any previous payload for the ID.
+	Put(id object.ID, payload []byte) error
+	// Get returns the payload for the ID, or ErrNotFound.
+	Get(id object.ID) ([]byte, error)
+	// Delete removes the payload; deleting an absent ID is not an error.
+	Delete(id object.ID) error
+}
+
+// MemStore is an in-memory Store. The zero value is not usable; construct
+// with NewMemStore.
+type MemStore struct {
+	mu       sync.Mutex
+	payloads map[object.ID][]byte
+}
+
+var _ Store = (*MemStore)(nil)
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore {
+	return &MemStore{payloads: make(map[object.ID][]byte)}
+}
+
+// Put implements Store.
+func (s *MemStore) Put(id object.ID, payload []byte) error {
+	cp := make([]byte, len(payload))
+	copy(cp, payload)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.payloads[id] = cp
+	return nil
+}
+
+// Get implements Store.
+func (s *MemStore) Get(id object.ID) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.payloads[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	cp := make([]byte, len(p))
+	copy(cp, p)
+	return cp, nil
+}
+
+// Delete implements Store.
+func (s *MemStore) Delete(id object.ID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.payloads, id)
+	return nil
+}
+
+// Len returns the number of stored payloads.
+func (s *MemStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.payloads)
+}
+
+// FileStore keeps each payload in one file under a root directory. Writes
+// go to a temporary file in the same directory and are renamed into place
+// after an fsync, so a crash never leaves a torn payload visible. Object
+// IDs are hex-encoded into file names, so arbitrary IDs (including path
+// separators) cannot escape the root.
+type FileStore struct {
+	root string
+	// writeMu serializes temp-name generation only; payload writes
+	// themselves proceed concurrently per file.
+	seq   uint64
+	seqMu sync.Mutex
+}
+
+var _ Store = (*FileStore)(nil)
+
+// NewFileStore opens (creating if needed) a file store rooted at dir.
+func NewFileStore(dir string) (*FileStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("blob: create root: %w", err)
+	}
+	return &FileStore{root: dir}, nil
+}
+
+// Root returns the store's root directory.
+func (s *FileStore) Root() string { return s.root }
+
+// path maps an object ID to its file path.
+func (s *FileStore) path(id object.ID) string {
+	return filepath.Join(s.root, hex.EncodeToString([]byte(id))+".obj")
+}
+
+// tempName returns a unique temp file path in the root.
+func (s *FileStore) tempName() string {
+	s.seqMu.Lock()
+	s.seq++
+	n := s.seq
+	s.seqMu.Unlock()
+	return filepath.Join(s.root, fmt.Sprintf(".tmp-%d-%d", os.Getpid(), n))
+}
+
+// Put implements Store with an atomic write: temp file, fsync, rename.
+func (s *FileStore) Put(id object.ID, payload []byte) error {
+	tmp := s.tempName()
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("blob: create temp: %w", err)
+	}
+	if _, err := f.Write(payload); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("blob: write: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("blob: sync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("blob: close: %w", err)
+	}
+	if err := os.Rename(tmp, s.path(id)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("blob: rename: %w", err)
+	}
+	return nil
+}
+
+// Get implements Store.
+func (s *FileStore) Get(id object.ID) ([]byte, error) {
+	b, err := os.ReadFile(s.path(id))
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
+		}
+		return nil, fmt.Errorf("blob: read: %w", err)
+	}
+	return b, nil
+}
+
+// Delete implements Store.
+func (s *FileStore) Delete(id object.ID) error {
+	if err := os.Remove(s.path(id)); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("blob: delete: %w", err)
+	}
+	return nil
+}
+
+// IDs returns the object IDs present on disk, for startup inspection.
+func (s *FileStore) IDs() ([]object.ID, error) {
+	entries, err := os.ReadDir(s.root)
+	if err != nil {
+		return nil, fmt.Errorf("blob: list: %w", err)
+	}
+	var ids []object.ID
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || filepath.Ext(name) != ".obj" {
+			continue
+		}
+		raw, err := hex.DecodeString(name[:len(name)-len(".obj")])
+		if err != nil {
+			continue // foreign file; ignore
+		}
+		ids = append(ids, object.ID(raw))
+	}
+	return ids, nil
+}

@@ -1,0 +1,209 @@
+package blob
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"besteffs/internal/object"
+)
+
+// storeTests exercises the Store contract against any implementation.
+func storeTests(t *testing.T, s Store) {
+	t.Helper()
+	// Missing payloads report ErrNotFound.
+	if _, err := s.Get("missing"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Get missing err = %v, want ErrNotFound", err)
+	}
+	// Round trip.
+	payload := []byte("the payload bytes")
+	if err := s.Put("a/b/c", payload); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	got, err := s.Get("a/b/c")
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if string(got) != string(payload) {
+		t.Errorf("Get = %q, want %q", got, payload)
+	}
+	// Replace.
+	if err := s.Put("a/b/c", []byte("v2")); err != nil {
+		t.Fatalf("Put replace: %v", err)
+	}
+	got, err = s.Get("a/b/c")
+	if err != nil || string(got) != "v2" {
+		t.Errorf("Get after replace = %q, %v", got, err)
+	}
+	// Delete is idempotent.
+	if err := s.Delete("a/b/c"); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if err := s.Delete("a/b/c"); err != nil {
+		t.Errorf("second Delete: %v", err)
+	}
+	if _, err := s.Get("a/b/c"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Get after delete err = %v, want ErrNotFound", err)
+	}
+	// Hostile IDs must not escape or collide.
+	hostile := []object.ID{"../../etc/passwd", "..", ".", "a//b", "a\x00b"}
+	for i, id := range hostile {
+		if err := s.Put(id, []byte{byte(i)}); err != nil {
+			t.Fatalf("Put hostile %q: %v", id, err)
+		}
+	}
+	for i, id := range hostile {
+		got, err := s.Get(id)
+		if err != nil || len(got) != 1 || got[0] != byte(i) {
+			t.Errorf("hostile %q = %v, %v", id, got, err)
+		}
+	}
+}
+
+func TestMemStore(t *testing.T) {
+	storeTests(t, NewMemStore())
+}
+
+func TestFileStore(t *testing.T) {
+	s, err := NewFileStore(t.TempDir())
+	if err != nil {
+		t.Fatalf("NewFileStore: %v", err)
+	}
+	storeTests(t, s)
+}
+
+func TestMemStoreCopiesPayloads(t *testing.T) {
+	s := NewMemStore()
+	payload := []byte("abc")
+	if err := s.Put("x", payload); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	payload[0] = 'z' // must not alias into the store
+	got, err := s.Get("x")
+	if err != nil || got[0] != 'a' {
+		t.Errorf("store aliased caller slice: %q, %v", got, err)
+	}
+	got[1] = 'z' // must not alias out of the store
+	again, err := s.Get("x")
+	if err != nil || again[1] != 'b' {
+		t.Errorf("store leaked internal slice: %q, %v", again, err)
+	}
+	if s.Len() != 1 {
+		t.Errorf("Len = %d, want 1", s.Len())
+	}
+}
+
+func TestFileStoreFilesStayUnderRoot(t *testing.T) {
+	root := t.TempDir()
+	s, err := NewFileStore(root)
+	if err != nil {
+		t.Fatalf("NewFileStore: %v", err)
+	}
+	if err := s.Put("../escape", []byte("x")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	// Nothing outside the root.
+	parent := filepath.Dir(root)
+	entries, err := os.ReadDir(parent)
+	if err != nil {
+		t.Fatalf("ReadDir: %v", err)
+	}
+	for _, e := range entries {
+		if e.Name() == "escape" {
+			t.Fatal("payload escaped the root directory")
+		}
+	}
+	// Exactly one .obj file inside, no leftover temp files.
+	inside, err := os.ReadDir(root)
+	if err != nil {
+		t.Fatalf("ReadDir root: %v", err)
+	}
+	objs := 0
+	for _, e := range inside {
+		if filepath.Ext(e.Name()) == ".obj" {
+			objs++
+		} else {
+			t.Errorf("unexpected file %q in root", e.Name())
+		}
+	}
+	if objs != 1 {
+		t.Errorf("objs = %d, want 1", objs)
+	}
+}
+
+func TestFileStorePersistsAcrossReopen(t *testing.T) {
+	root := t.TempDir()
+	s, err := NewFileStore(root)
+	if err != nil {
+		t.Fatalf("NewFileStore: %v", err)
+	}
+	if err := s.Put("survivor", []byte("data")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	reopened, err := NewFileStore(root)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	got, err := reopened.Get("survivor")
+	if err != nil || string(got) != "data" {
+		t.Errorf("after reopen: %q, %v", got, err)
+	}
+	ids, err := reopened.IDs()
+	if err != nil || len(ids) != 1 || ids[0] != "survivor" {
+		t.Errorf("IDs = %v, %v", ids, err)
+	}
+}
+
+func TestFileStoreIDsIgnoresForeignFiles(t *testing.T) {
+	root := t.TempDir()
+	s, err := NewFileStore(root)
+	if err != nil {
+		t.Fatalf("NewFileStore: %v", err)
+	}
+	if err := os.WriteFile(filepath.Join(root, "notes.txt"), []byte("x"), 0o644); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	if err := os.WriteFile(filepath.Join(root, "zz-not-hex.obj"), []byte("x"), 0o644); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	ids, err := s.IDs()
+	if err != nil || len(ids) != 0 {
+		t.Errorf("IDs = %v, %v; want empty", ids, err)
+	}
+}
+
+func TestFileStoreConcurrent(t *testing.T) {
+	s, err := NewFileStore(t.TempDir())
+	if err != nil {
+		t.Fatalf("NewFileStore: %v", err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 30; i++ {
+				id := object.ID(fmt.Sprintf("w%d/o%d", w, i))
+				if err := s.Put(id, []byte{byte(w), byte(i)}); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := s.Get(id); err != nil {
+					t.Error(err)
+					return
+				}
+				if i%3 == 2 {
+					if err := s.Delete(id); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

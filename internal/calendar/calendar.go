@@ -1,0 +1,171 @@
+// Package calendar encodes the academic calendar and the Table 1 lifetime
+// parameters of the paper's lecture-capture scenario (Section 5.2.1).
+//
+// The simulated year is 365 days; virtual time zero is midnight of January
+// 1st of year zero. The paper's terms are: spring starts after the first
+// week of January (day 8) and runs to mid-May (day 120); summer starts at
+// day 150 and runs two months to day 210; fall starts in the second week of
+// September (day 248) and runs to the end of the year (day 360).
+package calendar
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"besteffs/internal/importance"
+	"besteffs/internal/object"
+)
+
+// Day is one simulated day.
+const Day = importance.Day
+
+// YearDays is the length of the simulated year in days (leap years are
+// ignored, as in the paper's simulator).
+const YearDays = 365
+
+// Year is one simulated year.
+const Year = YearDays * Day
+
+// Term is an academic term.
+type Term int
+
+// Terms of the academic year. TermBreak marks days outside any term.
+const (
+	TermBreak Term = iota
+	TermSpring
+	TermSummer
+	TermFall
+)
+
+// String returns the lower-case term name.
+func (t Term) String() string {
+	switch t {
+	case TermSpring:
+		return "spring"
+	case TermSummer:
+		return "summer"
+	case TermFall:
+		return "fall"
+	case TermBreak:
+		return "break"
+	default:
+		return fmt.Sprintf("term(%d)", int(t))
+	}
+}
+
+// Bounds gives a term's first and last day of year (both inclusive),
+// straight from Table 1 and the Section 5.2.1 narrative.
+type Bounds struct {
+	// Begin is the first day of classes (day of year).
+	Begin int
+	// End is the last day of classes (day of year); lifetimes persist
+	// until this day.
+	End int
+	// Wane is how long importance takes to reach zero after End for
+	// university-created objects.
+	Wane time.Duration
+}
+
+// bounds holds the paper's Table 1 parameters.
+var bounds = map[Term]Bounds{
+	TermSpring: {Begin: 8, End: 120, Wane: 730 * Day},
+	TermSummer: {Begin: 150, End: 210, Wane: 365 * Day},
+	TermFall:   {Begin: 248, End: 360, Wane: 850 * Day},
+}
+
+// TermBounds returns the bounds of a term; ok is false for TermBreak or an
+// unknown term.
+func TermBounds(t Term) (Bounds, bool) {
+	b, ok := bounds[t]
+	return b, ok
+}
+
+// StudentWane is how long a student-created object's importance takes to
+// reach zero after the end of its term: "gradually dropping in importance
+// two weeks after the end of the term".
+const StudentWane = 14 * Day
+
+// StudentPlateau is the initial importance of student-created streams,
+// versus 1.0 for the university-maintained cameras.
+const StudentPlateau = 0.5
+
+// DayOfYear splits virtual time t into (year, day-of-year). Days of year
+// count from zero; negative times are an error for callers and clamp to
+// time zero.
+func DayOfYear(t time.Duration) (year, day int) {
+	if t < 0 {
+		return 0, 0
+	}
+	days := int(t / Day)
+	return days / YearDays, days % YearDays
+}
+
+// TimeOf is the inverse of DayOfYear at midnight: the virtual time of the
+// given day of the given year.
+func TimeOf(year, day int) time.Duration {
+	return time.Duration(year)*Year + time.Duration(day)*Day
+}
+
+// TermAt returns the term in session on the given virtual time, or
+// TermBreak when classes are out.
+func TermAt(t time.Duration) Term {
+	_, day := DayOfYear(t)
+	for _, term := range []Term{TermSpring, TermSummer, TermFall} {
+		b := bounds[term]
+		if day >= b.Begin && day <= b.End {
+			return term
+		}
+	}
+	return TermBreak
+}
+
+// ErrOutsideTerm reports a lecture lifetime requested for a time outside
+// every term.
+var ErrOutsideTerm = errors.New("calendar: time is outside every term")
+
+// LectureLifetime builds the Table 1 two-step importance function for a
+// lecture captured at virtual time t by a creator of the given class.
+//
+// University objects hold importance 1.0 until the end of the current term
+// (persist = termEnd - today) and wane over the term's Wane (730, 365 or
+// 850 days for spring, summer and fall). Student objects hold importance
+// 0.5 until the end of the term and wane over two weeks.
+func LectureLifetime(class object.Class, t time.Duration) (importance.TwoStep, error) {
+	term := TermAt(t)
+	b, ok := TermBounds(term)
+	if !ok {
+		return importance.TwoStep{}, fmt.Errorf("%w: %v", ErrOutsideTerm, t)
+	}
+	_, day := DayOfYear(t)
+	persist := time.Duration(b.End-day) * Day
+	switch class {
+	case object.ClassStudent:
+		return importance.NewTwoStep(StudentPlateau, persist, StudentWane)
+	default:
+		return importance.NewTwoStep(1, persist, b.Wane)
+	}
+}
+
+// Weekday returns the day-of-week of virtual time t, with time zero defined
+// to be a Monday (0 = Monday ... 6 = Sunday).
+func Weekday(t time.Duration) int {
+	if t < 0 {
+		return 0
+	}
+	return int(t/Day) % 7
+}
+
+// IsLectureDay reports whether classes meet on t under a
+// Monday/Wednesday/Friday schedule during a term.
+func IsLectureDay(t time.Duration) bool {
+	if TermAt(t) == TermBreak {
+		return false
+	}
+	switch Weekday(t) {
+	case 0, 2, 4: // Monday, Wednesday, Friday
+		return true
+	default:
+		return false
+	}
+}

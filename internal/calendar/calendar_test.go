@@ -1,0 +1,184 @@
+package calendar
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"besteffs/internal/importance"
+	"besteffs/internal/object"
+)
+
+func TestDayOfYear(t *testing.T) {
+	cases := []struct {
+		in       time.Duration
+		wantYear int
+		wantDay  int
+	}{
+		{0, 0, 0},
+		{5 * Day, 0, 5},
+		{Year, 1, 0},
+		{Year + 100*Day, 1, 100},
+		{3*Year + 364*Day, 3, 364},
+		{-Day, 0, 0},
+	}
+	for _, tt := range cases {
+		y, d := DayOfYear(tt.in)
+		if y != tt.wantYear || d != tt.wantDay {
+			t.Errorf("DayOfYear(%v) = %d, %d; want %d, %d", tt.in, y, d, tt.wantYear, tt.wantDay)
+		}
+	}
+}
+
+func TestTimeOfRoundTrip(t *testing.T) {
+	for _, tt := range []struct{ year, day int }{{0, 0}, {2, 150}, {9, 364}} {
+		got := TimeOf(tt.year, tt.day)
+		y, d := DayOfYear(got)
+		if y != tt.year || d != tt.day {
+			t.Errorf("DayOfYear(TimeOf(%d, %d)) = %d, %d", tt.year, tt.day, y, d)
+		}
+	}
+}
+
+func TestTermAt(t *testing.T) {
+	cases := []struct {
+		day  int
+		want Term
+	}{
+		{0, TermBreak},   // new year break
+		{7, TermBreak},   // day before spring
+		{8, TermSpring},  // spring begins
+		{60, TermSpring}, // mid spring
+		{120, TermSpring},
+		{121, TermBreak}, // summer break
+		{150, TermSummer},
+		{210, TermSummer},
+		{211, TermBreak},
+		{247, TermBreak},
+		{248, TermFall},
+		{300, TermFall},
+		{360, TermFall},
+		{361, TermBreak}, // winter break
+	}
+	for _, tt := range cases {
+		if got := TermAt(TimeOf(1, tt.day)); got != tt.want {
+			t.Errorf("TermAt(day %d) = %v, want %v", tt.day, got, tt.want)
+		}
+	}
+}
+
+func TestTermBounds(t *testing.T) {
+	spring, ok := TermBounds(TermSpring)
+	if !ok || spring.Begin != 8 || spring.End != 120 || spring.Wane != 730*Day {
+		t.Errorf("spring bounds = %+v, %v", spring, ok)
+	}
+	summer, ok := TermBounds(TermSummer)
+	if !ok || summer.Begin != 150 || summer.End != 210 || summer.Wane != 365*Day {
+		t.Errorf("summer bounds = %+v, %v", summer, ok)
+	}
+	fall, ok := TermBounds(TermFall)
+	if !ok || fall.Begin != 248 || fall.End != 360 || fall.Wane != 850*Day {
+		t.Errorf("fall bounds = %+v, %v", fall, ok)
+	}
+	if _, ok := TermBounds(TermBreak); ok {
+		t.Error("TermBreak should have no bounds")
+	}
+}
+
+func TestLectureLifetimeTable1(t *testing.T) {
+	// Table 1: a spring lecture captured on day 50 persists 120-50 = 70
+	// days and wanes over 730 days at importance 1.
+	f, err := LectureLifetime(object.ClassUniversity, TimeOf(0, 50))
+	if err != nil {
+		t.Fatalf("LectureLifetime: %v", err)
+	}
+	if f.Plateau != 1 || f.Persist != 70*Day || f.Wane != 730*Day {
+		t.Errorf("spring university lifetime = %+v", f)
+	}
+
+	// A summer lecture on day 160 persists 210-160 = 50 days, wanes 365.
+	f, err = LectureLifetime(object.ClassUniversity, TimeOf(2, 160))
+	if err != nil {
+		t.Fatalf("LectureLifetime: %v", err)
+	}
+	if f.Persist != 50*Day || f.Wane != 365*Day {
+		t.Errorf("summer university lifetime = %+v", f)
+	}
+
+	// A fall lecture on day 300 persists 60 days, wanes 850.
+	f, err = LectureLifetime(object.ClassUniversity, TimeOf(0, 300))
+	if err != nil {
+		t.Fatalf("LectureLifetime: %v", err)
+	}
+	if f.Persist != 60*Day || f.Wane != 850*Day {
+		t.Errorf("fall university lifetime = %+v", f)
+	}
+
+	// Student objects: plateau 0.5, same persist, two-week wane.
+	f, err = LectureLifetime(object.ClassStudent, TimeOf(0, 50))
+	if err != nil {
+		t.Fatalf("LectureLifetime: %v", err)
+	}
+	if f.Plateau != StudentPlateau || f.Persist != 70*Day || f.Wane != StudentWane {
+		t.Errorf("student lifetime = %+v", f)
+	}
+}
+
+func TestLectureLifetimeOutsideTerm(t *testing.T) {
+	if _, err := LectureLifetime(object.ClassUniversity, TimeOf(0, 130)); !errors.Is(err, ErrOutsideTerm) {
+		t.Errorf("break lifetime err = %v, want ErrOutsideTerm", err)
+	}
+}
+
+func TestLectureLifetimeIsValid(t *testing.T) {
+	// Every in-term day must yield a valid monotone function for both
+	// classes.
+	for day := 0; day < YearDays; day++ {
+		at := TimeOf(0, day)
+		if TermAt(at) == TermBreak {
+			continue
+		}
+		for _, class := range []object.Class{object.ClassUniversity, object.ClassStudent} {
+			f, err := LectureLifetime(class, at)
+			if err != nil {
+				t.Fatalf("day %d class %v: %v", day, class, err)
+			}
+			if err := importance.Validate(f); err != nil {
+				t.Fatalf("day %d class %v: invalid lifetime: %v", day, class, err)
+			}
+		}
+	}
+}
+
+func TestWeekdayAndLectureDay(t *testing.T) {
+	if Weekday(0) != 0 || Weekday(Day) != 1 || Weekday(7*Day) != 0 {
+		t.Error("Weekday arithmetic broken")
+	}
+	if Weekday(-Day) != 0 {
+		t.Error("negative time Weekday should clamp to 0")
+	}
+	// Day 8 of year 0: Weekday(8d) = 1 (Tuesday) -> not a lecture day;
+	// day 9 is Wednesday -> lecture day.
+	if IsLectureDay(TimeOf(0, 8)) {
+		t.Error("Tuesday flagged as MWF lecture day")
+	}
+	if !IsLectureDay(TimeOf(0, 9)) {
+		t.Error("Wednesday not flagged as lecture day")
+	}
+	if IsLectureDay(TimeOf(0, 130)) {
+		t.Error("break day flagged as lecture day")
+	}
+}
+
+func TestTermString(t *testing.T) {
+	for term, want := range map[Term]string{
+		TermSpring: "spring", TermSummer: "summer", TermFall: "fall", TermBreak: "break",
+	} {
+		if got := term.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(term), got, want)
+		}
+	}
+	if got := Term(42).String(); got != "term(42)" {
+		t.Errorf("unknown term String = %q", got)
+	}
+}

@@ -1,0 +1,498 @@
+// Package client is the Go client for Besteffs storage nodes: a
+// single-node connection speaking the wire protocol, plus ClusterClient,
+// which runs the paper's Section 5.3 placement algorithm over real sockets
+// -- probe a sample of nodes for the highest importance each would preempt,
+// retry up to m rounds, and store on the node with the lowest boundary.
+package client
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"besteffs/internal/importance"
+	"besteffs/internal/object"
+	"besteffs/internal/wire"
+)
+
+// Client errors.
+var (
+	// ErrNotFound reports a missing object.
+	ErrNotFound = errors.New("client: object not found")
+	// ErrDuplicate reports a Put of an existing ID.
+	ErrDuplicate = errors.New("client: duplicate object ID")
+	// ErrUnexpected reports a protocol violation by the server.
+	ErrUnexpected = errors.New("client: unexpected response")
+	// ErrClusterFull reports that no sampled node admitted the object.
+	ErrClusterFull = errors.New("client: cluster full for object")
+)
+
+// Client is a connection to one storage node. Methods are safe for
+// concurrent use; requests are serialized over the single connection.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+}
+
+// Dial connects to a node.
+func Dial(addr string, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("client: dial %s: %w", addr, err)
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection (tests use net.Pipe).
+func NewClient(conn net.Conn) *Client {
+	return &Client{
+		conn: conn,
+		br:   bufio.NewReader(conn),
+		bw:   bufio.NewWriter(conn),
+	}
+}
+
+// Close closes the connection.
+func (c *Client) Close() error {
+	if err := c.conn.Close(); err != nil {
+		return fmt.Errorf("client: close: %w", err)
+	}
+	return nil
+}
+
+// roundTrip sends one request and reads one response.
+func (c *Client) roundTrip(req wire.Message) (wire.Message, error) {
+	body, err := wire.Encode(req)
+	if err != nil {
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := wire.WriteFrame(c.bw, body); err != nil {
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	if err := c.bw.Flush(); err != nil {
+		return nil, fmt.Errorf("client: flush: %w", err)
+	}
+	respBody, err := wire.ReadFrame(c.br)
+	if err != nil {
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	resp, err := wire.Decode(respBody)
+	if err != nil {
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	return resp, nil
+}
+
+// translateError maps wire errors to package errors.
+func translateError(e *wire.ErrorMsg) error {
+	switch e.Code {
+	case wire.CodeNotFound:
+		return fmt.Errorf("%w: %s", ErrNotFound, e.Text)
+	case wire.CodeDuplicate:
+		return fmt.Errorf("%w: %s", ErrDuplicate, e.Text)
+	default:
+		return e
+	}
+}
+
+// PutRequest describes one object to store.
+type PutRequest struct {
+	// ID names the object.
+	ID object.ID
+	// Owner and Class annotate the creator.
+	Owner string
+	Class object.Class
+	// Version is the write-once version (default 1).
+	Version uint32
+	// Importance is the temporal importance annotation.
+	Importance importance.Function
+	// Payload is the object's bytes.
+	Payload []byte
+}
+
+// PutResult reports the admission outcome.
+type PutResult struct {
+	// Admitted reports whether the node stored the object.
+	Admitted bool
+	// Boundary is the highest importance preempted (admitted) or the
+	// importance that blocked admission (rejected).
+	Boundary float64
+	// Evicted lists the objects reclaimed to make room.
+	Evicted []object.ID
+}
+
+// Put stores an object on the node. A policy rejection is not an error; it
+// is reported through the result.
+func (c *Client) Put(req PutRequest) (PutResult, error) {
+	msg := &wire.Put{
+		ID:         req.ID,
+		Owner:      req.Owner,
+		Class:      req.Class,
+		Version:    req.Version,
+		Importance: req.Importance,
+		Payload:    req.Payload,
+	}
+	resp, err := c.roundTrip(msg)
+	if err != nil {
+		return PutResult{}, err
+	}
+	switch r := resp.(type) {
+	case *wire.PutResult:
+		return PutResult{Admitted: r.Admitted, Boundary: r.Boundary, Evicted: r.Evicted}, nil
+	case *wire.ErrorMsg:
+		return PutResult{}, translateError(r)
+	default:
+		return PutResult{}, fmt.Errorf("%w: %v", ErrUnexpected, resp.Op())
+	}
+}
+
+// Update supersedes the resident version of req.ID with new bytes and a
+// new annotation (Besteffs versioned writes). The old version's space is
+// reclaimable by right; a rejection leaves it untouched. ErrNotFound means
+// nothing is resident under the ID (use Put instead).
+func (c *Client) Update(req PutRequest) (PutResult, error) {
+	msg := &wire.Update{
+		ID:         req.ID,
+		Owner:      req.Owner,
+		Class:      req.Class,
+		Importance: req.Importance,
+		Payload:    req.Payload,
+	}
+	resp, err := c.roundTrip(msg)
+	if err != nil {
+		return PutResult{}, err
+	}
+	switch r := resp.(type) {
+	case *wire.PutResult:
+		return PutResult{Admitted: r.Admitted, Boundary: r.Boundary, Evicted: r.Evicted}, nil
+	case *wire.ErrorMsg:
+		return PutResult{}, translateError(r)
+	default:
+		return PutResult{}, fmt.Errorf("%w: %v", ErrUnexpected, resp.Op())
+	}
+}
+
+// Object is a retrieved object.
+type Object struct {
+	ID                object.ID
+	Owner             string
+	Class             object.Class
+	Version           uint32
+	Importance        importance.Function
+	Age               time.Duration
+	CurrentImportance float64
+	Payload           []byte
+}
+
+// Get retrieves an object.
+func (c *Client) Get(id object.ID) (Object, error) {
+	resp, err := c.roundTrip(&wire.Get{ID: id})
+	if err != nil {
+		return Object{}, err
+	}
+	switch r := resp.(type) {
+	case *wire.ObjectMsg:
+		return Object{
+			ID:                r.ID,
+			Owner:             r.Owner,
+			Class:             r.Class,
+			Version:           r.Version,
+			Importance:        r.Importance,
+			Age:               time.Duration(r.AgeNanos),
+			CurrentImportance: r.CurrentImportance,
+			Payload:           r.Payload,
+		}, nil
+	case *wire.ErrorMsg:
+		return Object{}, translateError(r)
+	default:
+		return Object{}, fmt.Errorf("%w: %v", ErrUnexpected, resp.Op())
+	}
+}
+
+// Delete removes an object.
+func (c *Client) Delete(id object.ID) error {
+	resp, err := c.roundTrip(&wire.Delete{ID: id})
+	if err != nil {
+		return err
+	}
+	switch r := resp.(type) {
+	case *wire.OK:
+		return nil
+	case *wire.ErrorMsg:
+		return translateError(r)
+	default:
+		return fmt.Errorf("%w: %v", ErrUnexpected, resp.Op())
+	}
+}
+
+// Stats reports a node's capacity, usage and density.
+type Stats struct {
+	Capacity, Used int64
+	Objects        int
+	Density        float64
+}
+
+// Stat fetches node statistics.
+func (c *Client) Stat() (Stats, error) {
+	resp, err := c.roundTrip(&wire.Stat{})
+	if err != nil {
+		return Stats{}, err
+	}
+	switch r := resp.(type) {
+	case *wire.StatResult:
+		return Stats{
+			Capacity: r.Capacity,
+			Used:     r.Used,
+			Objects:  int(r.Objects),
+			Density:  r.Density,
+		}, nil
+	case *wire.ErrorMsg:
+		return Stats{}, translateError(r)
+	default:
+		return Stats{}, fmt.Errorf("%w: %v", ErrUnexpected, resp.Op())
+	}
+}
+
+// Probe asks the node for the admission boundary of a hypothetical object.
+func (c *Client) Probe(size int64, imp importance.Function) (admissible bool, boundary float64, err error) {
+	resp, err := c.roundTrip(&wire.Probe{Size: size, Importance: imp})
+	if err != nil {
+		return false, 0, err
+	}
+	switch r := resp.(type) {
+	case *wire.ProbeResult:
+		return r.Admissible, r.Boundary, nil
+	case *wire.ErrorMsg:
+		return false, 0, translateError(r)
+	default:
+		return false, 0, fmt.Errorf("%w: %v", ErrUnexpected, resp.Op())
+	}
+}
+
+// Rejuvenate replaces a resident object's importance annotation with a
+// fresh function aging from the node's current time, returning the
+// object's new version. This is the paper's "active intervention by the
+// user" escape from monotone lifetimes: lower the importance after a
+// successful backup, or raise it on renewed interest.
+func (c *Client) Rejuvenate(id object.ID, imp importance.Function) (version uint32, err error) {
+	resp, err := c.roundTrip(&wire.Rejuvenate{ID: id, Importance: imp})
+	if err != nil {
+		return 0, err
+	}
+	switch r := resp.(type) {
+	case *wire.RejuvenateResult:
+		return r.Version, nil
+	case *wire.ErrorMsg:
+		return 0, translateError(r)
+	default:
+		return 0, fmt.Errorf("%w: %v", ErrUnexpected, resp.Op())
+	}
+}
+
+// Density fetches the node's storage importance density.
+func (c *Client) Density() (float64, error) {
+	resp, err := c.roundTrip(&wire.Density{})
+	if err != nil {
+		return 0, err
+	}
+	switch r := resp.(type) {
+	case *wire.DensityResult:
+		return r.Density, nil
+	case *wire.ErrorMsg:
+		return 0, translateError(r)
+	default:
+		return 0, fmt.Errorf("%w: %v", ErrUnexpected, resp.Op())
+	}
+}
+
+// List fetches the node's resident object IDs.
+func (c *Client) List() ([]object.ID, error) {
+	resp, err := c.roundTrip(&wire.List{})
+	if err != nil {
+		return nil, err
+	}
+	switch r := resp.(type) {
+	case *wire.ListResult:
+		return r.IDs, nil
+	case *wire.ErrorMsg:
+		return nil, translateError(r)
+	default:
+		return nil, fmt.Errorf("%w: %v", ErrUnexpected, resp.Op())
+	}
+}
+
+// ClusterClient places objects across many nodes with the Section 5.3
+// algorithm. It holds one connection per node and is safe for concurrent
+// use.
+type ClusterClient struct {
+	clients []*Client
+	rng     *rand.Rand
+	rngMu   sync.Mutex
+
+	// SampleSize is x, the nodes probed per round.
+	SampleSize int
+	// MaxTries is m, the sampling rounds before settling.
+	MaxTries int
+}
+
+// NewClusterClient wraps per-node clients. The random source drives node
+// sampling (the networked stand-in for overlay random walks).
+func NewClusterClient(clients []*Client, rng *rand.Rand) (*ClusterClient, error) {
+	if len(clients) == 0 {
+		return nil, errors.New("client: no nodes")
+	}
+	if rng == nil {
+		return nil, errors.New("client: nil random source")
+	}
+	return &ClusterClient{
+		clients:    clients,
+		rng:        rng,
+		SampleSize: 5,
+		MaxTries:   3,
+	}, nil
+}
+
+// DialCluster connects to every address and wraps the cluster client.
+func DialCluster(addrs []string, timeout time.Duration, rng *rand.Rand) (*ClusterClient, error) {
+	clients := make([]*Client, 0, len(addrs))
+	for _, addr := range addrs {
+		c, err := Dial(addr, timeout)
+		if err != nil {
+			for _, open := range clients {
+				open.Close()
+			}
+			return nil, err
+		}
+		clients = append(clients, c)
+	}
+	return NewClusterClient(clients, rng)
+}
+
+// Close closes every node connection, returning the first error.
+func (cc *ClusterClient) Close() error {
+	var first error
+	for _, c := range cc.clients {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// sample draws up to x distinct node indexes.
+func (cc *ClusterClient) sample(x int) []int {
+	cc.rngMu.Lock()
+	defer cc.rngMu.Unlock()
+	n := len(cc.clients)
+	if x >= n {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	seen := make(map[int]bool, x)
+	out := make([]int, 0, x)
+	for len(out) < x {
+		i := cc.rng.Intn(n)
+		if !seen[i] {
+			seen[i] = true
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Placement reports where an object landed.
+type Placement struct {
+	// Node is the index of the chosen node.
+	Node int
+	// Boundary is the highest importance preempted there.
+	Boundary float64
+	// Evicted lists objects reclaimed on that node.
+	Evicted []object.ID
+}
+
+// Put places an object on the cluster: probe x sampled nodes per round for
+// up to m rounds, store immediately on a node with boundary zero, otherwise
+// on the admitting node with the lowest boundary. ErrClusterFull means no
+// sampled node would admit the object.
+func (cc *ClusterClient) Put(req PutRequest) (Placement, error) {
+	size := int64(len(req.Payload))
+	bestNode, bestBoundary := -1, 2.0
+	probed := make(map[int]bool)
+	for try := 0; try < cc.MaxTries; try++ {
+		for _, idx := range cc.sample(cc.SampleSize) {
+			if probed[idx] {
+				continue
+			}
+			probed[idx] = true
+			admissible, boundary, err := cc.clients[idx].Probe(size, req.Importance)
+			if err != nil {
+				return Placement{}, fmt.Errorf("probe node %d: %w", idx, err)
+			}
+			if !admissible {
+				continue
+			}
+			if boundary == 0 {
+				return cc.commit(idx, req)
+			}
+			if boundary < bestBoundary {
+				bestNode, bestBoundary = idx, boundary
+			}
+		}
+	}
+	if bestNode < 0 {
+		return Placement{}, fmt.Errorf("%w: %s", ErrClusterFull, req.ID)
+	}
+	return cc.commit(bestNode, req)
+}
+
+// commit stores the object on the chosen node.
+func (cc *ClusterClient) commit(node int, req PutRequest) (Placement, error) {
+	res, err := cc.clients[node].Put(req)
+	if err != nil {
+		return Placement{}, fmt.Errorf("put on node %d: %w", node, err)
+	}
+	if !res.Admitted {
+		// The node's state moved between probe and put; the caller can
+		// retry.
+		return Placement{}, fmt.Errorf("%w: %s (node %d refused after probe)", ErrClusterFull, req.ID, node)
+	}
+	return Placement{Node: node, Boundary: res.Boundary, Evicted: res.Evicted}, nil
+}
+
+// Get retrieves an object by asking every node until one has it.
+func (cc *ClusterClient) Get(id object.ID) (Object, error) {
+	for _, c := range cc.clients {
+		o, err := c.Get(id)
+		if err == nil {
+			return o, nil
+		}
+		if !errors.Is(err, ErrNotFound) {
+			return Object{}, err
+		}
+	}
+	return Object{}, fmt.Errorf("%w: %s", ErrNotFound, id)
+}
+
+// AverageDensity averages the density across all nodes.
+func (cc *ClusterClient) AverageDensity() (float64, error) {
+	total := 0.0
+	for i, c := range cc.clients {
+		d, err := c.Density()
+		if err != nil {
+			return 0, fmt.Errorf("density of node %d: %w", i, err)
+		}
+		total += d
+	}
+	return total / float64(len(cc.clients)), nil
+}

@@ -1,0 +1,158 @@
+package client
+
+import (
+	"errors"
+	"net"
+	"testing"
+
+	"besteffs/internal/importance"
+	"besteffs/internal/wire"
+)
+
+// fakeNode answers every request on conn with the same prepared response,
+// exercising the client's protocol-violation handling.
+func fakeNode(t *testing.T, conn net.Conn, resp wire.Message) {
+	t.Helper()
+	go func() {
+		defer conn.Close()
+		for {
+			if _, err := wire.ReadFrame(conn); err != nil {
+				return
+			}
+			body, err := wire.Encode(resp)
+			if err != nil {
+				return
+			}
+			if err := wire.WriteFrame(conn, body); err != nil {
+				return
+			}
+		}
+	}()
+}
+
+// pipeClient returns a client wired to a fake node.
+func pipeClient(t *testing.T, resp wire.Message) *Client {
+	t.Helper()
+	clientEnd, serverEnd := net.Pipe()
+	fakeNode(t, serverEnd, resp)
+	c := NewClient(clientEnd)
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestClientRejectsMismatchedResponses(t *testing.T) {
+	// Every method must fail with ErrUnexpected when the server answers
+	// with the wrong message type.
+	wrong := &wire.OK{} // wrong for everything except Delete
+	c := pipeClient(t, wrong)
+	imp := importance.Constant{Level: 1}
+
+	if _, err := c.Put(PutRequest{ID: "x", Importance: imp, Payload: []byte("p")}); !errors.Is(err, ErrUnexpected) {
+		t.Errorf("Put err = %v, want ErrUnexpected", err)
+	}
+	if _, err := c.Get("x"); !errors.Is(err, ErrUnexpected) {
+		t.Errorf("Get err = %v, want ErrUnexpected", err)
+	}
+	if _, err := c.Stat(); !errors.Is(err, ErrUnexpected) {
+		t.Errorf("Stat err = %v, want ErrUnexpected", err)
+	}
+	if _, _, err := c.Probe(1, imp); !errors.Is(err, ErrUnexpected) {
+		t.Errorf("Probe err = %v, want ErrUnexpected", err)
+	}
+	if _, err := c.Density(); !errors.Is(err, ErrUnexpected) {
+		t.Errorf("Density err = %v, want ErrUnexpected", err)
+	}
+	if _, err := c.List(); !errors.Is(err, ErrUnexpected) {
+		t.Errorf("List err = %v, want ErrUnexpected", err)
+	}
+	if _, err := c.Rejuvenate("x", imp); !errors.Is(err, ErrUnexpected) {
+		t.Errorf("Rejuvenate err = %v, want ErrUnexpected", err)
+	}
+
+	del := pipeClient(t, &wire.PutResult{}) // wrong for Delete
+	if err := del.Delete("x"); !errors.Is(err, ErrUnexpected) {
+		t.Errorf("Delete err = %v, want ErrUnexpected", err)
+	}
+}
+
+func TestClientSurfacesRemoteErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		resp *wire.ErrorMsg
+		want error
+	}{
+		{"not found", &wire.ErrorMsg{Code: wire.CodeNotFound, Text: "x"}, ErrNotFound},
+		{"duplicate", &wire.ErrorMsg{Code: wire.CodeDuplicate, Text: "x"}, ErrDuplicate},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			c := pipeClient(t, tt.resp)
+			imp := importance.Constant{Level: 1}
+			if _, err := c.Put(PutRequest{ID: "x", Importance: imp, Payload: []byte("p")}); !errors.Is(err, tt.want) {
+				t.Errorf("Put err = %v, want %v", err, tt.want)
+			}
+			if _, err := c.Get("x"); !errors.Is(err, tt.want) {
+				t.Errorf("Get err = %v, want %v", err, tt.want)
+			}
+			if err := c.Delete("x"); !errors.Is(err, tt.want) {
+				t.Errorf("Delete err = %v, want %v", err, tt.want)
+			}
+			if _, err := c.Stat(); !errors.Is(err, tt.want) {
+				t.Errorf("Stat err = %v, want %v", err, tt.want)
+			}
+			if _, _, err := c.Probe(1, imp); !errors.Is(err, tt.want) {
+				t.Errorf("Probe err = %v, want %v", err, tt.want)
+			}
+			if _, err := c.Density(); !errors.Is(err, tt.want) {
+				t.Errorf("Density err = %v, want %v", err, tt.want)
+			}
+			if _, err := c.List(); !errors.Is(err, tt.want) {
+				t.Errorf("List err = %v, want %v", err, tt.want)
+			}
+			if _, err := c.Rejuvenate("x", imp); !errors.Is(err, tt.want) {
+				t.Errorf("Rejuvenate err = %v, want %v", err, tt.want)
+			}
+		})
+	}
+}
+
+func TestClientInternalErrorPassesThrough(t *testing.T) {
+	c := pipeClient(t, &wire.ErrorMsg{Code: wire.CodeInternal, Text: "disk on fire"})
+	_, err := c.Density()
+	if err == nil || errors.Is(err, ErrNotFound) || errors.Is(err, ErrDuplicate) {
+		t.Errorf("internal error mis-translated: %v", err)
+	}
+	var remote *wire.ErrorMsg
+	if !errors.As(err, &remote) || remote.Text != "disk on fire" {
+		t.Errorf("remote detail lost: %v", err)
+	}
+}
+
+func TestClientClosedConnection(t *testing.T) {
+	clientEnd, serverEnd := net.Pipe()
+	serverEnd.Close()
+	c := NewClient(clientEnd)
+	defer c.Close()
+	if _, err := c.Density(); err == nil {
+		t.Error("request on closed connection succeeded")
+	}
+}
+
+func TestClientSuccessResponses(t *testing.T) {
+	// Well-formed responses decode into the typed results.
+	c := pipeClient(t, &wire.StatResult{Capacity: 100, Used: 40, Objects: 2, Density: 0.3})
+	st, err := c.Stat()
+	if err != nil || st.Capacity != 100 || st.Used != 40 || st.Objects != 2 || st.Density != 0.3 {
+		t.Errorf("Stat = %+v, %v", st, err)
+	}
+	c2 := pipeClient(t, &wire.RejuvenateResult{Version: 7})
+	v, err := c2.Rejuvenate("x", importance.Constant{Level: 1})
+	if err != nil || v != 7 {
+		t.Errorf("Rejuvenate = %d, %v", v, err)
+	}
+	c3 := pipeClient(t, &wire.ListResult{IDs: nil})
+	ids, err := c3.List()
+	if err != nil || len(ids) != 0 {
+		t.Errorf("List = %v, %v", ids, err)
+	}
+}

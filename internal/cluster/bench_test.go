@@ -1,0 +1,146 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"besteffs/internal/importance"
+	"besteffs/internal/object"
+	"besteffs/internal/policy"
+)
+
+// benchCluster builds a moderately pressured cluster for placement benches.
+func benchCluster(b *testing.B, opts ...Option) *Cluster {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	c, err := New(100, 512*mb, policy.TemporalImportance{}, 6, rng, opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Preload to ~80% so placements exercise probing and preemption.
+	for i := 0; i < 100*40; i++ {
+		o, err := object.New(object.ID(fmt.Sprintf("seed/%06d", i)),
+			int64(5+rng.Intn(5))*mb, 0,
+			importance.TwoStep{
+				Plateau: 0.2 + 0.6*rng.Float64(),
+				Persist: time.Duration(rng.Intn(20)) * day,
+				Wane:    time.Duration(rng.Intn(40)) * day,
+			})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := c.Offer(o, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return c
+}
+
+// BenchmarkPlace measures one placement (sample, probe, commit) at the
+// paper's default x=5, m=3.
+func BenchmarkPlace(b *testing.B) {
+	c := benchCluster(b)
+	rng := rand.New(rand.NewSource(2))
+	now := 10 * day
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now += time.Minute
+		o, err := object.New(object.ID(fmt.Sprintf("bench/%09d", i)), 8*mb, now,
+			importance.TwoStep{Plateau: 0.9, Persist: 10 * day, Wane: 10 * day})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := c.Place(o, now); err != nil {
+			b.Fatal(err)
+		}
+		_ = rng
+	}
+}
+
+// BenchmarkPlaceSampleSize is the ablation over x, the units probed per
+// round: larger samples find lower boundaries at linear probe cost.
+func BenchmarkPlaceSampleSize(b *testing.B) {
+	for _, x := range []int{1, 3, 5, 10, 20} {
+		b.Run(fmt.Sprintf("x=%d", x), func(b *testing.B) {
+			c := benchCluster(b, WithSampleSize(x))
+			now := 10 * day
+			boundarySum, placed := 0.0, 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				now += time.Minute
+				o, err := object.New(object.ID(fmt.Sprintf("bench/%09d", i)), 8*mb, now,
+					importance.TwoStep{Plateau: 0.9, Persist: 10 * day, Wane: 10 * day})
+				if err != nil {
+					b.Fatal(err)
+				}
+				p, ok, err := c.Place(o, now)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if ok {
+					boundarySum += p.Boundary
+					placed++
+				}
+			}
+			if placed > 0 {
+				b.ReportMetric(boundarySum/float64(placed), "mean-boundary")
+			}
+		})
+	}
+}
+
+// BenchmarkPlaceMaxTries is the ablation over m, the sampling rounds.
+func BenchmarkPlaceMaxTries(b *testing.B) {
+	for _, m := range []int{1, 3, 6} {
+		b.Run(fmt.Sprintf("m=%d", m), func(b *testing.B) {
+			c := benchCluster(b, WithMaxTries(m))
+			now := 10 * day
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				now += time.Minute
+				o, err := object.New(object.ID(fmt.Sprintf("bench/%09d", i)), 8*mb, now,
+					importance.TwoStep{Plateau: 0.9, Persist: 10 * day, Wane: 10 * day})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, _, err := c.Place(o, now); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPlaceWalkLength is the ablation over the random-walk length:
+// longer walks mix better at linear cost.
+func BenchmarkPlaceWalkLength(b *testing.B) {
+	for _, steps := range []int{2, 8, 32} {
+		b.Run(fmt.Sprintf("steps=%d", steps), func(b *testing.B) {
+			c := benchCluster(b, WithWalkLength(steps))
+			now := 10 * day
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				now += time.Minute
+				o, err := object.New(object.ID(fmt.Sprintf("bench/%09d", i)), 8*mb, now,
+					importance.TwoStep{Plateau: 0.9, Persist: 10 * day, Wane: 10 * day})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, _, err := c.Place(o, now); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAverageDensity measures the cluster-wide feedback signal.
+func BenchmarkAverageDensity(b *testing.B) {
+	c := benchCluster(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = c.AverageDensity(time.Duration(i) * time.Minute)
+	}
+}

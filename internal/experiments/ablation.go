@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"besteffs/internal/importance"
+	"besteffs/internal/policy"
+	"besteffs/internal/stats"
+	"besteffs/internal/workload"
+)
+
+// AblationConfig parameterizes the two-step annotation ablation: how the
+// persist/wane split of a fixed 30-day lifetime trades admission for
+// guaranteed persistence. The endpoints recover the paper's §5.1 policies
+// exactly -- persist=0 is pure linear decay, persist=30 is the no-temporal
+// fixed-priority policy -- and the middle is the spectrum a content creator
+// actually chooses from.
+type AblationConfig struct {
+	// Seed drives the workload randomness (the same arrival stream is
+	// replayed for every split).
+	Seed int64
+	// Horizon is the simulated span (default one year).
+	Horizon time.Duration
+	// Capacity is the disk size (default 80 GB, the pressured case).
+	Capacity int64
+	// TotalDays is the fixed t_expire in days (default 30).
+	TotalDays int
+	// PersistSteps are the persist values in days to sweep (default
+	// 0, 5, 10, 15, 20, 25, 30).
+	PersistSteps []int
+}
+
+// AblationRow is the outcome of one persist/wane split.
+type AblationRow struct {
+	// PersistDays and WaneDays are the split.
+	PersistDays, WaneDays int
+	// Rejections counts requests turned down.
+	Rejections int
+	// Admitted and Evicted are the unit totals.
+	Admitted, Evicted int64
+	// Lifetime summarizes achieved lifetimes in days.
+	Lifetime stats.Summary
+	// GuaranteedDays is the shortest achieved lifetime: the persistence
+	// actually guaranteed by the plateau.
+	GuaranteedDays float64
+	// MeanDensity is the average storage importance density over the
+	// pressured phase.
+	MeanDensity float64
+}
+
+// RunAblation sweeps the persist/wane split over the §5.1 ramp workload.
+func RunAblation(cfg AblationConfig) ([]AblationRow, error) {
+	if cfg.Horizon == 0 {
+		cfg.Horizon = 365 * Day
+	}
+	if cfg.Capacity == 0 {
+		cfg.Capacity = 80 * GB
+	}
+	if cfg.TotalDays == 0 {
+		cfg.TotalDays = 30
+	}
+	if len(cfg.PersistSteps) == 0 {
+		cfg.PersistSteps = []int{0, 5, 10, 15, 20, 25, 30}
+	}
+	var out []AblationRow
+	for _, persist := range cfg.PersistSteps {
+		if persist < 0 || persist > cfg.TotalDays {
+			return nil, fmt.Errorf("experiments: persist %d outside [0, %d]", persist, cfg.TotalDays)
+		}
+		row, err := runAblationCell(cfg, persist)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+func runAblationCell(cfg AblationConfig, persistDays int) (AblationRow, error) {
+	row := AblationRow{PersistDays: persistDays, WaneDays: cfg.TotalDays - persistDays}
+	lifetime := importance.TwoStep{
+		Plateau: 1,
+		Persist: time.Duration(persistDays) * Day,
+		Wane:    time.Duration(row.WaneDays) * Day,
+	}
+	r, err := newSingleUnitRun(cfg.Capacity, policy.TemporalImportance{}, cfg.Horizon, time.Hour)
+	if err != nil {
+		return AblationRow{}, err
+	}
+	ramp := &workload.Ramp{Lifetime: func(time.Duration) importanceFunction { return lifetime }}
+	if err := ramp.Install(r.engine, workload.UnitSink{Unit: r.unit}, newRng(cfg.Seed), cfg.Horizon); err != nil {
+		return AblationRow{}, fmt.Errorf("experiments: ablation persist=%d: %w", persistDays, err)
+	}
+	r.engine.Run(cfg.Horizon)
+	if err := ramp.Err(); err != nil {
+		return AblationRow{}, fmt.Errorf("experiments: ablation persist=%d: %w", persistDays, err)
+	}
+
+	counters := r.unit.CountersSnapshot()
+	row.Rejections = r.rejections.Total()
+	row.Admitted = counters.Admitted
+	row.Evicted = counters.Evicted
+	if vals := lifetimeValues(r.lifetimes); len(vals) > 0 {
+		if row.Lifetime, err = stats.Summarize(vals); err != nil {
+			return AblationRow{}, err
+		}
+		row.GuaranteedDays = row.Lifetime.Min
+	}
+	// Density over the second half of the run, past the fill-up phase.
+	var sum float64
+	var n int
+	for _, p := range r.density.Points() {
+		if p.T >= cfg.Horizon/2 {
+			sum += p.V
+			n++
+		}
+	}
+	if n > 0 {
+		row.MeanDensity = sum / float64(n)
+	}
+	return row, nil
+}

@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestFig3Deterministic runs the Section 5.1 comparison twice with one seed
+// and requires identical results: the whole simulator stack must be free of
+// map-iteration and scheduling nondeterminism.
+func TestFig3Deterministic(t *testing.T) {
+	cfg := Fig3Config{Seed: 77, Horizon: 120 * Day, Capacities: []int64{40 * GB}}
+	a, err := RunFig3(cfg)
+	if err != nil {
+		t.Fatalf("RunFig3: %v", err)
+	}
+	b, err := RunFig3(cfg)
+	if err != nil {
+		t.Fatalf("RunFig3: %v", err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("run lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].TotalRejections != b[i].TotalRejections ||
+			a[i].Admitted != b[i].Admitted ||
+			a[i].Evicted != b[i].Evicted {
+			t.Fatalf("cell %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+		if !reflect.DeepEqual(a[i].Lifetimes, b[i].Lifetimes) {
+			t.Fatalf("cell %d lifetime points differ", i)
+		}
+		if !reflect.DeepEqual(a[i].Density, b[i].Density) {
+			t.Fatalf("cell %d density series differ", i)
+		}
+	}
+}
+
+// TestUniWideDeterministic requires the distributed run -- overlay
+// construction, random walks, placement, gossip-free aggregation -- to be
+// reproducible per seed.
+func TestUniWideDeterministic(t *testing.T) {
+	cfg := UniWideConfig{
+		Seed: 9, Nodes: 15, Courses: 10, Years: 1,
+		NodeCapacities: []int64{20 * GB},
+		DensityProbe:   10 * 24 * time.Hour,
+	}
+	a, err := RunUniWide(cfg)
+	if err != nil {
+		t.Fatalf("RunUniWide: %v", err)
+	}
+	b, err := RunUniWide(cfg)
+	if err != nil {
+		t.Fatalf("RunUniWide: %v", err)
+	}
+	if a[0].Placements != b[0].Placements ||
+		a[0].ClusterRejections != b[0].ClusterRejections ||
+		a[0].FinalAvgDensity != b[0].FinalAvgDensity ||
+		a[0].DemandGB != b[0].DemandGB {
+		t.Fatalf("runs differ:\n%+v\n%+v", a[0], b[0])
+	}
+	if !reflect.DeepEqual(a[0].AvgDensity, b[0].AvgDensity) {
+		t.Fatal("density series differ across identical seeds")
+	}
+	for class, oa := range a[0].ByClass {
+		ob := b[0].ByClass[class]
+		if oa.Generated != ob.Generated || oa.Rejected != ob.Rejected ||
+			len(oa.Evictions) != len(ob.Evictions) {
+			t.Fatalf("class %v differs: %+v vs %+v", class, oa, ob)
+		}
+	}
+}
+
+// TestLectureDeterministic covers the Section 5.2 runner.
+func TestLectureDeterministic(t *testing.T) {
+	cfg := LectureConfig{Seed: 13, Years: 1, Capacities: []int64{40 * GB}}
+	a, err := RunLecture(cfg)
+	if err != nil {
+		t.Fatalf("RunLecture: %v", err)
+	}
+	b, err := RunLecture(cfg)
+	if err != nil {
+		t.Fatalf("RunLecture: %v", err)
+	}
+	for i := range a {
+		if a[i].Counters != b[i].Counters {
+			t.Fatalf("cell %d counters differ: %+v vs %+v", i, a[i].Counters, b[i].Counters)
+		}
+		for class, oa := range a[i].ByClass {
+			ob := b[i].ByClass[class]
+			if !reflect.DeepEqual(oa.Evictions, ob.Evictions) {
+				t.Fatalf("cell %d class %v evictions differ", i, class)
+			}
+		}
+	}
+}

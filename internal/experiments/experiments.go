@@ -1,0 +1,144 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (Section 5). Each runner builds the scenario from the
+// substrate packages, executes it on the discrete-event simulator and
+// returns structured results; cmd/paperbench renders them as ASCII charts
+// and CSV, the repository benchmarks time them, and EXPERIMENTS.md records
+// paper-versus-measured values.
+//
+// All runners are deterministic for a given configuration: randomness flows
+// from the config seed only.
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"besteffs/internal/importance"
+	"besteffs/internal/metrics"
+	"besteffs/internal/policy"
+	"besteffs/internal/sim"
+	"besteffs/internal/store"
+	"besteffs/internal/workload"
+)
+
+// Day is one simulated day.
+const Day = importance.Day
+
+// GB is one gibibyte.
+const GB = workload.GB
+
+// Capacities returns the disk sizes used throughout the paper: 80 GB and
+// 120 GB.
+func Capacities() []int64 { return []int64{80 * GB, 120 * GB} }
+
+// PolicyName identifies the three Section 5.1 policies.
+type PolicyName string
+
+// The Section 5.1 policy set.
+const (
+	// PolicyTemporal is the paper's two-step temporal importance
+	// function: importance 1 for 15 days, waning to zero by day 30.
+	PolicyTemporal PolicyName = "temporal-importance"
+	// PolicyNoTemporal is the fixed-priority lifetime without decay:
+	// L(t) = 1 with t_expire = 30 days.
+	PolicyNoTemporal PolicyName = "no-temporal-importance"
+	// PolicyPalimpsest is the FIFO baseline.
+	PolicyPalimpsest PolicyName = "palimpsest"
+)
+
+// PolicyNames lists the Section 5.1 policies in presentation order.
+func PolicyNames() []PolicyName {
+	return []PolicyName{PolicyNoTemporal, PolicyTemporal, PolicyPalimpsest}
+}
+
+// sectionOnePolicy maps a policy name to the unit policy and the lifetime
+// annotation its objects carry.
+func sectionOnePolicy(name PolicyName) (policy.Policy, func(time.Duration) importance.Function, error) {
+	switch name {
+	case PolicyTemporal:
+		f := importance.TwoStep{Plateau: 1, Persist: 15 * Day, Wane: 15 * Day}
+		return policy.TemporalImportance{}, func(time.Duration) importance.Function { return f }, nil
+	case PolicyNoTemporal:
+		f := importance.TwoStep{Plateau: 1, Persist: 30 * Day, Wane: 0}
+		return policy.TemporalImportance{}, func(time.Duration) importance.Function { return f }, nil
+	case PolicyPalimpsest:
+		return policy.FIFO{}, func(time.Duration) importance.Function { return importance.Dirac{} }, nil
+	default:
+		return nil, nil, fmt.Errorf("experiments: unknown policy %q", name)
+	}
+}
+
+// LifetimePoint is one achieved lifetime, indexed by eviction day (the
+// x-axis of Figures 3 and 9).
+type LifetimePoint struct {
+	// EvictionDay is the simulated day the object was reclaimed.
+	EvictionDay float64
+	// LifetimeDays is the achieved lifetime in days.
+	LifetimeDays float64
+	// Importance is the object's importance at reclamation (Figure 10).
+	Importance float64
+}
+
+// singleUnitRun wires one storage unit, one workload and the standard
+// collectors together.
+type singleUnitRun struct {
+	unit       *store.Unit
+	engine     *sim.Engine
+	lifetimes  []LifetimePoint
+	rejections *metrics.DailyCounter
+	density    *metrics.Series
+}
+
+// newSingleUnitRun builds a unit with collectors attached and an hourly
+// density probe over the horizon.
+func newSingleUnitRun(capacity int64, pol policy.Policy, horizon time.Duration, probe time.Duration) (*singleUnitRun, error) {
+	r := &singleUnitRun{
+		engine:     sim.NewEngine(),
+		rejections: metrics.NewDailyCounter(),
+		density:    metrics.NewSeries("density"),
+	}
+	unit, err := store.New(capacity, pol,
+		store.WithEvictionHook(func(e store.Eviction) {
+			r.lifetimes = append(r.lifetimes, LifetimePoint{
+				EvictionDay:  days(e.Time),
+				LifetimeDays: days(e.LifetimeAchieved),
+				Importance:   e.Importance,
+			})
+		}),
+		store.WithRejectionHook(func(rej store.Rejection) {
+			r.rejections.Add(rej.Time, 1)
+		}),
+	)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: build unit: %w", err)
+	}
+	r.unit = unit
+	if probe > 0 {
+		err := r.engine.Every(probe, probe, horizon, func(now time.Duration) {
+			r.density.Add(now, unit.DensityAt(now))
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: install density probe: %w", err)
+		}
+	}
+	return r, nil
+}
+
+// days converts a duration to fractional days.
+func days(d time.Duration) float64 { return float64(d) / float64(Day) }
+
+// gb converts bytes to fractional gibibytes.
+func gb(b int64) float64 { return float64(b) / float64(GB) }
+
+// importanceFunction aliases the annotation interface for brevity in the
+// per-figure files.
+type importanceFunction = importance.Function
+
+// twoStep15x15 is the Section 5.1 temporal annotation: "definitely
+// important for 15 days, might be important for another 15 days and
+// probably not after 30 days".
+var twoStep15x15 = importance.TwoStep{Plateau: 1, Persist: 15 * Day, Wane: 15 * Day}
+
+// newRng returns the deterministic random source for a run.
+func newRng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,584 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"besteffs/internal/calendar"
+	"besteffs/internal/object"
+)
+
+func TestRunFig2DemandShape(t *testing.T) {
+	res, err := RunFig2(Fig2Config{Seed: 1})
+	if err != nil {
+		t.Fatalf("RunFig2: %v", err)
+	}
+	if res.Objects == 0 || len(res.CumulativeGB) == 0 {
+		t.Fatal("no demand generated")
+	}
+	// The paper: a traditional 80 GB disk fills in about 40 to 50 days.
+	if res.FillDay80 < 30 || res.FillDay80 > 60 {
+		t.Errorf("80 GB fill day = %d, want about 40-50", res.FillDay80)
+	}
+	if res.FillDay120 <= res.FillDay80 {
+		t.Errorf("120 GB fills on day %d, not after 80 GB (day %d)", res.FillDay120, res.FillDay80)
+	}
+	// Year total: roughly 0.3 duty * mean(0.25..0.65) GB/hr * 8760 hr.
+	if res.TotalGB < 700 || res.TotalGB > 1800 {
+		t.Errorf("TotalGB = %.0f, want in [700, 1800]", res.TotalGB)
+	}
+	// Cumulative demand is monotone.
+	prev := 0.0
+	for _, d := range res.CumulativeGB {
+		if d.Value < prev {
+			t.Fatalf("cumulative demand decreased at day %d", d.Day)
+		}
+		prev = d.Value
+	}
+}
+
+// fig3Cells runs the Section 5.1 comparison once for the whole test file.
+var fig3Cache []PolicyRun
+
+func fig3Runs(t *testing.T) []PolicyRun {
+	t.Helper()
+	if fig3Cache != nil {
+		return fig3Cache
+	}
+	runs, err := RunFig3(Fig3Config{Seed: 42})
+	if err != nil {
+		t.Fatalf("RunFig3: %v", err)
+	}
+	fig3Cache = runs
+	return runs
+}
+
+func cell(t *testing.T, runs []PolicyRun, name PolicyName, capacity int64) PolicyRun {
+	t.Helper()
+	for _, r := range runs {
+		if r.Policy == name && r.Capacity == capacity {
+			return r
+		}
+	}
+	t.Fatalf("no cell for %s/%d", name, capacity)
+	return PolicyRun{}
+}
+
+func TestFig3LifetimeOrdering(t *testing.T) {
+	runs := fig3Runs(t)
+	for _, capacity := range Capacities() {
+		noTmp := cell(t, runs, PolicyNoTemporal, capacity)
+		tmp := cell(t, runs, PolicyTemporal, capacity)
+		fifo := cell(t, runs, PolicyPalimpsest, capacity)
+
+		// "No importance is at the top, followed by Temporal importance
+		// and Palimpsest" (Figure 3).
+		if !(noTmp.LifetimeSummary.Median >= tmp.LifetimeSummary.Median) {
+			t.Errorf("cap %dGB: no-temporal median %.1f < temporal median %.1f",
+				capacity/GB, noTmp.LifetimeSummary.Median, tmp.LifetimeSummary.Median)
+		}
+		if !(tmp.LifetimeSummary.Median >= fifo.LifetimeSummary.Median) {
+			t.Errorf("cap %dGB: temporal median %.1f < palimpsest median %.1f",
+				capacity/GB, tmp.LifetimeSummary.Median, fifo.LifetimeSummary.Median)
+		}
+
+		// The no-decay policy gives every accepted object its full 30
+		// days (evictions happen only after expiry).
+		if noTmp.LifetimeSummary.Min < 30 {
+			t.Errorf("cap %dGB: no-temporal min lifetime %.1f < requested 30 days",
+				capacity/GB, noTmp.LifetimeSummary.Min)
+		}
+		// The two-step plateau (importance one for 15 days) is never
+		// preemptible, so no eviction can occur before day 15.
+		if tmp.LifetimeSummary.Min < 15 {
+			t.Errorf("cap %dGB: temporal min lifetime %.1f < plateau 15 days",
+				capacity/GB, tmp.LifetimeSummary.Min)
+		}
+	}
+	// Under severe pressure (80 GB) the temporal policy trades lifetime
+	// for admission: some objects are reclaimed before their 30 days. At
+	// 120 GB the plateau-phase data fits and early reclamation fades --
+	// "when there is plenty of storage, all these policies perform in a
+	// similar fashion".
+	tmp80 := cell(t, runs, PolicyTemporal, 80*GB)
+	if tmp80.LifetimeSummary.P25 >= 30 {
+		t.Errorf("80GB: temporal P25 %.1f shows no early reclamation", tmp80.LifetimeSummary.P25)
+	}
+	tmp120 := cell(t, runs, PolicyTemporal, 120*GB)
+	if tmp120.LifetimeSummary.P25 < tmp80.LifetimeSummary.P25 {
+		t.Errorf("more storage shortened lifetimes: 120GB P25 %.1f < 80GB P25 %.1f",
+			tmp120.LifetimeSummary.P25, tmp80.LifetimeSummary.P25)
+	}
+}
+
+func TestFig4RejectionOrdering(t *testing.T) {
+	runs := fig3Runs(t)
+	for _, capacity := range Capacities() {
+		noTmp := cell(t, runs, PolicyNoTemporal, capacity)
+		tmp := cell(t, runs, PolicyTemporal, capacity)
+		fifo := cell(t, runs, PolicyPalimpsest, capacity)
+		// "this policy rejects many more objects than a policy that
+		// implements the temporal importance function" and "storage is
+		// never full for Palimpsest".
+		if noTmp.TotalRejections <= tmp.TotalRejections {
+			t.Errorf("cap %dGB: no-temporal rejections %d <= temporal %d",
+				capacity/GB, noTmp.TotalRejections, tmp.TotalRejections)
+		}
+		if fifo.TotalRejections != 0 {
+			t.Errorf("cap %dGB: palimpsest rejections %d, want 0",
+				capacity/GB, fifo.TotalRejections)
+		}
+	}
+	// Only the severely pressured 80 GB disk forces the temporal policy
+	// to turn down newer objects ("Under severe storage pressure, the
+	// temporal importance also begins to reject newer objects").
+	if tmp80 := cell(t, runs, PolicyTemporal, 80*GB); tmp80.TotalRejections == 0 {
+		t.Error("80GB: temporal policy rejected nothing under severe pressure")
+	}
+	// More storage means fewer rejections for both rejecting policies.
+	for _, name := range []PolicyName{PolicyNoTemporal, PolicyTemporal} {
+		small := cell(t, runs, name, 80*GB)
+		large := cell(t, runs, name, 120*GB)
+		if large.TotalRejections >= small.TotalRejections {
+			t.Errorf("%s: 120GB rejections %d >= 80GB rejections %d",
+				name, large.TotalRejections, small.TotalRejections)
+		}
+	}
+}
+
+func TestFig6DensityShape(t *testing.T) {
+	runs := fig3Runs(t)
+	tmp := cell(t, runs, PolicyTemporal, 80*GB)
+	if len(tmp.Density) == 0 {
+		t.Fatal("no density samples")
+	}
+	peak := 0.0
+	for _, p := range tmp.Density {
+		if p.V < 0 || p.V > 1 {
+			t.Fatalf("density %v out of [0, 1] at %v", p.V, p.T)
+		}
+		if p.V > peak {
+			peak = p.V
+		}
+	}
+	// Under sustained pressure the importance density climbs high; the
+	// paper's snapshot instant sat at 0.8369.
+	if peak < 0.7 {
+		t.Errorf("peak density %.3f, want > 0.7 under pressure", peak)
+	}
+}
+
+func TestRunFig5TimeConstantUnpredictability(t *testing.T) {
+	res, err := RunFig5(Fig5Config{Seed: 7, Horizon: 3 * 365 * Day})
+	if err != nil {
+		t.Fatalf("RunFig5: %v", err)
+	}
+	if len(res.Analyses) != 3 {
+		t.Fatalf("analyses = %d, want 3", len(res.Analyses))
+	}
+	hourly, daily, monthly := res.Analyses[0], res.Analyses[1], res.Analyses[2]
+	// "the measured time constant varied considerably, especially for
+	// analyzing every hour".
+	if !(hourly.CoV > daily.CoV && daily.CoV > monthly.CoV) {
+		t.Errorf("CoV ordering broken: hour %.3f, day %.3f, month %.3f",
+			hourly.CoV, daily.CoV, monthly.CoV)
+	}
+	// "The results for analyzing every day also exhibit
+	// heteroscedasticity of the variance".
+	if !daily.Hetero.Heteroscedastic() {
+		t.Errorf("daily windows not heteroscedastic: LM = %.2f", daily.Hetero.LM)
+	}
+}
+
+func TestRunFig7Snapshot(t *testing.T) {
+	res, err := RunFig7(Fig7Config{Seed: 42})
+	if err != nil {
+		t.Fatalf("RunFig7: %v", err)
+	}
+	if res.Density < 0.78 || res.Density > 0.89 {
+		t.Errorf("snapshot density %.4f not near target 0.8369", res.Density)
+	}
+	if len(res.CDF) == 0 {
+		t.Fatal("empty CDF")
+	}
+	// A large fraction of bytes sits at importance one (57% in the
+	// paper's snapshot); the rest spreads over the wane.
+	if res.FractionAtOne < 0.3 || res.FractionAtOne > 0.9 {
+		t.Errorf("fraction at importance one = %.3f, want substantial", res.FractionAtOne)
+	}
+	// Under pressure, low-importance objects cannot be stored: the
+	// storability floor is strictly positive (0.25 in the paper).
+	if res.MinStoredImportance <= 0.05 {
+		t.Errorf("min stored importance = %.3f, want a clear positive floor", res.MinStoredImportance)
+	}
+	if res.SnapshotDay <= 0 {
+		t.Errorf("snapshot day = %v", res.SnapshotDay)
+	}
+}
+
+func TestRunTable1(t *testing.T) {
+	rows, err := RunTable1()
+	if err != nil {
+		t.Fatalf("RunTable1: %v", err)
+	}
+	want := []Table1Row{
+		{Term: calendar.TermSpring, TermBegin: 8, PersistUntilDay: 120, WaneDays: 730},
+		{Term: calendar.TermSummer, TermBegin: 150, PersistUntilDay: 210, WaneDays: 365},
+		{Term: calendar.TermFall, TermBegin: 248, PersistUntilDay: 360, WaneDays: 850},
+	}
+	if len(rows) != len(want) {
+		t.Fatalf("rows = %+v", rows)
+	}
+	for i := range want {
+		if rows[i] != want[i] {
+			t.Errorf("row %d = %+v, want %+v", i, rows[i], want[i])
+		}
+	}
+}
+
+func TestRunFig8Trace(t *testing.T) {
+	res, err := RunFig8(Fig8Config{Seed: 3})
+	if err != nil {
+		t.Fatalf("RunFig8: %v", err)
+	}
+	if res.Total == 0 || len(res.Days) == 0 {
+		t.Fatal("empty trace")
+	}
+	// The slashdot spike dominates the whole trace.
+	if res.PeakDay != 55 {
+		t.Errorf("peak on day %d, want the slashdot day 55", res.PeakDay)
+	}
+}
+
+func TestRunLectureShape(t *testing.T) {
+	runs, err := RunLecture(LectureConfig{Seed: 11, Years: 3, Palimpsest: true})
+	if err != nil {
+		t.Fatalf("RunLecture: %v", err)
+	}
+	get := func(name PolicyName, capacity int64) LectureRun {
+		for _, r := range runs {
+			if r.Policy == name && r.Capacity == capacity {
+				return r
+			}
+		}
+		t.Fatalf("missing run %s/%d", name, capacity)
+		return LectureRun{}
+	}
+	tmp80 := get(PolicyTemporal, 80*GB)
+	tmp120 := get(PolicyTemporal, 120*GB)
+	fifo80 := get(PolicyPalimpsest, 80*GB)
+
+	uni80 := tmp80.ByClass[object.ClassUniversity]
+	stu80 := tmp80.ByClass[object.ClassStudent]
+	if uni80.Generated == 0 || stu80.Generated == 0 {
+		t.Fatal("classes not generated")
+	}
+
+	// University objects outlive student objects under temporal
+	// importance (Figure 9): importance 1.0 vs 0.5.
+	if len(uni80.Evictions) > 0 && len(stu80.Evictions) > 0 {
+		if uni80.LifetimeSummary.Median <= stu80.LifetimeSummary.Median {
+			t.Errorf("80GB: university median %.0f <= student median %.0f days",
+				uni80.LifetimeSummary.Median, stu80.LifetimeSummary.Median)
+		}
+	}
+	// University lifetimes land in the few-hundred-day range (the paper
+	// reports 200-400 days at 80 GB).
+	if m := uni80.LifetimeSummary.Median; m < 100 || m > 600 {
+		t.Errorf("80GB university median lifetime = %.0f days, want a few hundred", m)
+	}
+
+	// More storage eases the floor: importance at reclamation reaches
+	// lower values at 120 GB than at 80 GB (Figure 10).
+	uni120 := tmp120.ByClass[object.ClassUniversity]
+	if len(uni120.Evictions) > 0 && len(uni80.Evictions) > 0 {
+		if uni120.ReclaimImportance.P10 >= uni80.ReclaimImportance.P10 {
+			t.Errorf("reclaim importance P10: 120GB %.3f >= 80GB %.3f (pressure should ease)",
+				uni120.ReclaimImportance.P10, uni80.ReclaimImportance.P10)
+		}
+	}
+	// Students fare better with more storage: fewer rejections or longer
+	// lifetimes (Section 5.2.2).
+	stu120 := tmp120.ByClass[object.ClassStudent]
+	if stu120.Rejected > stu80.Rejected {
+		t.Errorf("student rejections grew with capacity: 120GB %d > 80GB %d",
+			stu120.Rejected, stu80.Rejected)
+	}
+
+	// Palimpsest offers no differentiation between classes (Section
+	// 5.2.2): class medians are close together.
+	funi := fifo80.ByClass[object.ClassUniversity]
+	fstu := fifo80.ByClass[object.ClassStudent]
+	if len(funi.Evictions) > 0 && len(fstu.Evictions) > 0 {
+		ratio := funi.LifetimeSummary.Median / fstu.LifetimeSummary.Median
+		if ratio < 0.5 || ratio > 2 {
+			t.Errorf("palimpsest class medians differ by %.2fx; expected no differentiation", ratio)
+		}
+	}
+	// Palimpsest never rejects.
+	if fifo80.Counters.Rejected != 0 {
+		t.Errorf("palimpsest rejections = %d, want 0", fifo80.Counters.Rejected)
+	}
+
+	// Figure 11/12 data present.
+	if len(tmp80.TimeConstants) != 3 || len(tmp80.Density) == 0 {
+		t.Errorf("missing time constants (%d) or density (%d)",
+			len(tmp80.TimeConstants), len(tmp80.Density))
+	}
+}
+
+func TestRunUniWideShape(t *testing.T) {
+	runs, err := RunUniWide(UniWideConfig{
+		Seed:           5,
+		Nodes:          20,
+		Courses:        20,
+		Years:          2,
+		NodeCapacities: []int64{40 * GB, 80 * GB},
+		DensityProbe:   2 * 24 * time.Hour,
+	})
+	if err != nil {
+		t.Fatalf("RunUniWide: %v", err)
+	}
+	if len(runs) != 2 {
+		t.Fatalf("runs = %d, want 2", len(runs))
+	}
+	small, large := runs[0], runs[1]
+	for _, r := range runs {
+		if r.Placements == 0 {
+			t.Fatalf("capacity %dGB: no placements", r.NodeCapacity/GB)
+		}
+		if r.FinalAvgDensity < 0 || r.FinalAvgDensity > 1 {
+			t.Errorf("capacity %dGB: final density %v", r.NodeCapacity/GB, r.FinalAvgDensity)
+		}
+		if len(r.AvgDensity) == 0 {
+			t.Errorf("capacity %dGB: no density series", r.NodeCapacity/GB)
+		}
+		if r.UnitUtilization.Max > 1 {
+			t.Errorf("capacity %dGB: unit over capacity: %v", r.NodeCapacity/GB, r.UnitUtilization.Max)
+		}
+		// Demand exceeds capacity in this configuration, as in the
+		// paper ("cannot fully store a year's worth of new contents").
+		if r.DemandGB <= r.TotalCapacityGB {
+			t.Errorf("capacity %dGB: demand %.0f <= capacity %.0f; scenario not under pressure",
+				r.NodeCapacity/GB, r.DemandGB, r.TotalCapacityGB)
+		}
+	}
+	// Students are squeezed hardest under pressure; extra capacity helps
+	// them ("the available storage to student cameras remains small until
+	// more storage is available").
+	stuSmall := small.ByClass[object.ClassStudent]
+	stuLarge := large.ByClass[object.ClassStudent]
+	if stuSmall.Rejected+len(stuSmall.Evictions) == 0 {
+		t.Error("small capacity: students unaffected by pressure")
+	}
+	if stuLarge.Rejected > stuSmall.Rejected {
+		t.Errorf("student rejections grew with capacity: %d > %d",
+			stuLarge.Rejected, stuSmall.Rejected)
+	}
+	// The gossip estimate agrees with the true mean without any central
+	// component.
+	for _, r := range runs {
+		if diff := r.GossipDensity - r.FinalAvgDensity; diff > 0.01 || diff < -0.01 {
+			t.Errorf("capacity %dGB: gossip estimate %.4f vs true %.4f",
+				r.NodeCapacity/GB, r.GossipDensity, r.FinalAvgDensity)
+		}
+		if r.GossipRounds == 0 {
+			t.Errorf("capacity %dGB: gossip converged in zero rounds on unequal densities",
+				r.NodeCapacity/GB)
+		}
+	}
+	// University objects are admitted preferentially over students.
+	uniSmall := small.ByClass[object.ClassUniversity]
+	uniRejFrac := float64(uniSmall.Rejected) / float64(uniSmall.Generated)
+	stuRejFrac := float64(stuSmall.Rejected) / float64(stuSmall.Generated)
+	if uniRejFrac > stuRejFrac {
+		t.Errorf("university rejection fraction %.3f > student %.3f", uniRejFrac, stuRejFrac)
+	}
+}
+
+func TestRunAblationTradeoff(t *testing.T) {
+	rows, err := RunAblation(AblationConfig{Seed: 42})
+	if err != nil {
+		t.Fatalf("RunAblation: %v", err)
+	}
+	if len(rows) != 7 {
+		t.Fatalf("rows = %d, want 7", len(rows))
+	}
+	// The split must sum to the fixed lifetime, and the endpoints must
+	// reproduce the Section 5.1 policies.
+	for _, r := range rows {
+		if r.PersistDays+r.WaneDays != 30 {
+			t.Errorf("split %d+%d != 30", r.PersistDays, r.WaneDays)
+		}
+	}
+	first, last := rows[0], rows[len(rows)-1]
+	// Longer plateaus strengthen the guarantee but reject more:
+	// rejections are non-decreasing in persist, and the guaranteed
+	// lifetime of the pure fixed-priority policy is the full 30 days.
+	prev := -1
+	for _, r := range rows {
+		if r.Rejections < prev {
+			t.Errorf("rejections fell from %d to %d at persist %d",
+				prev, r.Rejections, r.PersistDays)
+		}
+		prev = r.Rejections
+	}
+	if last.Rejections <= first.Rejections {
+		t.Errorf("no admission cost across the sweep: %d vs %d",
+			first.Rejections, last.Rejections)
+	}
+	if last.GuaranteedDays < 30 {
+		t.Errorf("no-temporal endpoint guarantees %.1f days, want 30",
+			last.GuaranteedDays)
+	}
+	if first.GuaranteedDays >= last.GuaranteedDays {
+		t.Errorf("guarantee did not grow: %.1f vs %.1f",
+			first.GuaranteedDays, last.GuaranteedDays)
+	}
+	// Guarantees never shrink as the plateau lengthens.
+	prevG := 0.0
+	for _, r := range rows {
+		if r.GuaranteedDays+1e-9 < prevG {
+			t.Errorf("guarantee fell to %.2f at persist %d", r.GuaranteedDays, r.PersistDays)
+		}
+		prevG = r.GuaranteedDays
+	}
+}
+
+func TestRunChurnGrowsStudentLifetimes(t *testing.T) {
+	res, err := RunChurn(ChurnConfig{
+		Seed:  3,
+		Nodes: 30, Courses: 30, Years: 3,
+		InitialCapacity:        40 * GB,
+		GrowthFactor:           2.0,
+		ReplaceFractionPerYear: 0.4,
+	})
+	if err != nil {
+		t.Fatalf("RunChurn: %v", err)
+	}
+	if len(res.Years) != 3 {
+		t.Fatalf("years = %d, want 3", len(res.Years))
+	}
+	first, last := res.Years[0], res.Years[len(res.Years)-1]
+	if last.TotalCapacityGB <= first.TotalCapacityGB {
+		t.Errorf("capacity did not grow: %.0f -> %.0f",
+			first.TotalCapacityGB, last.TotalCapacityGB)
+	}
+	if last.Replacements == 0 {
+		t.Error("no desktops were replaced")
+	}
+	// The Section 1 claim: added storage prolongs the less important
+	// objects -- student lifetimes or rejections must improve from the
+	// first pressured year to the last.
+	improved := last.StudentLifetime.Median > first.StudentLifetime.Median ||
+		last.StudentRejected < first.StudentRejected
+	if first.StudentLifetime.Count > 0 && last.StudentLifetime.Count > 0 && !improved {
+		t.Errorf("students did not benefit from growth: year0 median %.0f d (%d rejected), year%d median %.0f d (%d rejected)",
+			first.StudentLifetime.Median, first.StudentRejected,
+			last.Year, last.StudentLifetime.Median, last.StudentRejected)
+	}
+	// Whole-run class outcomes exist.
+	if res.ByClass[object.ClassStudent].Generated == 0 {
+		t.Error("no student objects generated")
+	}
+}
+
+func TestRunPredictorGapPredictsLongevity(t *testing.T) {
+	res, err := RunPredictor(PredictorConfig{Seed: 21})
+	if err != nil {
+		t.Fatalf("RunPredictor: %v", err)
+	}
+	if res.Samples < 100 {
+		t.Fatalf("samples = %d, want plenty", res.Samples)
+	}
+	// "The difference between the storage density and the object
+	// importance gives some indication of the object longevity": the
+	// correlation must be clearly positive.
+	if res.Correlation < 0.3 {
+		t.Errorf("gap-lifetime correlation = %.3f, want clearly positive", res.Correlation)
+	}
+	// Bucket means are (weakly) increasing across the populated bands.
+	var prev float64 = -1
+	for _, b := range res.Buckets {
+		if b.Count < 20 {
+			continue
+		}
+		if prev >= 0 && b.MeanLifetimeDays+5 < prev {
+			t.Errorf("bucket [%.2f, %.2f) mean %.1f d fell well below previous %.1f d",
+				b.Lo, b.Hi, b.MeanLifetimeDays, prev)
+		}
+		prev = b.MeanLifetimeDays
+	}
+	if res.RejectedBelowBoundary == 0 {
+		t.Error("no arrivals were rejected; boundary never exercised")
+	}
+}
+
+func TestRunScalingMonotone(t *testing.T) {
+	rows, err := RunScaling(ScalingConfig{Seed: 42, CapacitiesGB: []int{40, 80, 160}})
+	if err != nil {
+		t.Fatalf("RunScaling: %v", err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Section 4.2: constant annotations, behavior scales with storage --
+	// rejections never increase and median lifetimes never decrease as
+	// the disk grows.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Rejections > rows[i-1].Rejections {
+			t.Errorf("rejections grew with capacity: %dGB %d -> %dGB %d",
+				rows[i-1].CapacityGB, rows[i-1].Rejections,
+				rows[i].CapacityGB, rows[i].Rejections)
+		}
+		if rows[i].Lifetime.Median+0.5 < rows[i-1].Lifetime.Median {
+			t.Errorf("median lifetime fell with capacity: %dGB %.1f -> %dGB %.1f",
+				rows[i-1].CapacityGB, rows[i-1].Lifetime.Median,
+				rows[i].CapacityGB, rows[i].Lifetime.Median)
+		}
+		if rows[i].SteadyDensity > rows[i-1].SteadyDensity+0.02 {
+			t.Errorf("steady density rose with capacity: %dGB %.3f -> %dGB %.3f",
+				rows[i-1].CapacityGB, rows[i-1].SteadyDensity,
+				rows[i].CapacityGB, rows[i].SteadyDensity)
+		}
+	}
+	// The smallest disk is clearly pressured, the largest clearly is not.
+	if rows[0].Rejections == 0 {
+		t.Error("40GB disk rejected nothing; sweep not pressured")
+	}
+}
+
+func TestRunRefreshAnnotationBeatsEstimators(t *testing.T) {
+	rows, err := RunRefresh(RefreshConfig{Seed: 42})
+	if err != nil {
+		t.Fatalf("RunRefresh: %v", err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 3 estimator windows + 1 annotation row", len(rows))
+	}
+	annotation := rows[len(rows)-1]
+	if annotation.Tracked < 200 {
+		t.Fatalf("annotation row tracked = %d", annotation.Tracked)
+	}
+	// Section 5.1.3: an accepted object needs no further management, and
+	// the no-decay annotation guarantees the full goal.
+	if annotation.Lost != 0 || annotation.Refreshes != 0 {
+		t.Errorf("annotation row = %+v, want zero losses and zero wake-ups", annotation)
+	}
+	// Every estimator-driven strategy pays continuous management...
+	worstLoss := 0.0
+	for _, r := range rows[:len(rows)-1] {
+		if r.Refreshes < r.Tracked {
+			t.Errorf("%s: only %d refreshes for %d objects; estimator never woke up",
+				r.Strategy, r.Refreshes, r.Tracked)
+		}
+		if r.LostFraction > worstLoss {
+			worstLoss = r.LostFraction
+		}
+	}
+	// ...and the noisy windows still lose a meaningful fraction
+	// ("objects might be irreparably lost").
+	if worstLoss < 0.05 {
+		t.Errorf("worst estimator loss = %.3f, want a visible failure rate", worstLoss)
+	}
+}

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"besteffs/internal/object"
+	"besteffs/internal/sim"
+	"besteffs/internal/workload"
+)
+
+// Fig2Config parameterizes the Section 5.1 storage-demand measurement.
+type Fig2Config struct {
+	// Seed drives the workload randomness.
+	Seed int64
+	// Horizon is the measured span (default one year, as in Figure 2).
+	Horizon time.Duration
+}
+
+// Fig2Result is the cumulative storage demand of the ramp workload
+// (Figure 2) plus the traditional-fill calibration points quoted in the
+// text ("fully used up in about 40 to 50 days").
+type Fig2Result struct {
+	// CumulativeGB is the running storage demand sampled daily.
+	CumulativeGB []DayValue
+	// TotalGB is the year's total demand.
+	TotalGB float64
+	// Objects is the number of objects generated.
+	Objects int
+	// FillDay80 and FillDay120 are the days a traditional (never
+	// reclaiming) 80 GB and 120 GB disk fill up; -1 if never.
+	FillDay80, FillDay120 int
+}
+
+// DayValue is one day-indexed value.
+type DayValue struct {
+	Day   int
+	Value float64
+}
+
+// RunFig2 measures the raw demand of the ramp workload.
+func RunFig2(cfg Fig2Config) (Fig2Result, error) {
+	if cfg.Horizon == 0 {
+		cfg.Horizon = 365 * Day
+	}
+	eng := sim.NewEngine()
+	var (
+		res      Fig2Result
+		cum      int64
+		lastDay  = -1
+		fill80   = int64(-1)
+		fill120  = int64(-1)
+		capacity = [2]int64{80 * GB, 120 * GB}
+	)
+	res.FillDay80, res.FillDay120 = -1, -1
+	sink := workload.SinkFunc(func(o *object.Object, now time.Duration) error {
+		cum += o.Size
+		res.Objects++
+		day := int(now / Day)
+		if day != lastDay {
+			res.CumulativeGB = append(res.CumulativeGB, DayValue{Day: day, Value: gb(cum)})
+			lastDay = day
+		} else if n := len(res.CumulativeGB); n > 0 {
+			res.CumulativeGB[n-1].Value = gb(cum)
+		}
+		if fill80 < 0 && cum >= capacity[0] {
+			fill80 = int64(day)
+			res.FillDay80 = day
+		}
+		if fill120 < 0 && cum >= capacity[1] {
+			fill120 = int64(day)
+			res.FillDay120 = day
+		}
+		return nil
+	})
+	ramp := &workload.Ramp{Lifetime: rampTwoStep}
+	if err := ramp.Install(eng, sink, newRng(cfg.Seed), cfg.Horizon); err != nil {
+		return Fig2Result{}, fmt.Errorf("experiments: fig2: %w", err)
+	}
+	eng.Run(cfg.Horizon)
+	if err := ramp.Err(); err != nil {
+		return Fig2Result{}, fmt.Errorf("experiments: fig2: %w", err)
+	}
+	res.TotalGB = gb(cum)
+	return res, nil
+}
+
+// rampTwoStep is the Section 5.1 temporal annotation; Figure 2 only
+// measures demand, so any annotation works here.
+func rampTwoStep(time.Duration) importanceFunction {
+	return twoStep15x15
+}

@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"besteffs/internal/metrics"
+	"besteffs/internal/stats"
+	"besteffs/internal/workload"
+)
+
+// Fig3Config parameterizes the Section 5.1 policy comparison (Figures 3, 4,
+// 6 and 7 share this scenario).
+type Fig3Config struct {
+	// Seed drives the workload randomness; the same seed produces the
+	// same arrival stream for every policy, as in the paper.
+	Seed int64
+	// Horizon is the simulated span (default one year).
+	Horizon time.Duration
+	// Capacities are the disk sizes (default 80 GB and 120 GB).
+	Capacities []int64
+	// DensityProbe is the density sampling interval (default one hour);
+	// zero disables sampling for runs that do not need Figure 6.
+	DensityProbe time.Duration
+}
+
+func (c *Fig3Config) applyDefaults() {
+	if c.Horizon == 0 {
+		c.Horizon = 365 * Day
+	}
+	if len(c.Capacities) == 0 {
+		c.Capacities = Capacities()
+	}
+	if c.DensityProbe == 0 {
+		c.DensityProbe = time.Hour
+	}
+}
+
+// PolicyRun is the outcome of one (policy, capacity) cell of Figures 3/4.
+type PolicyRun struct {
+	// Policy names the admission policy.
+	Policy PolicyName
+	// Capacity is the disk size in bytes.
+	Capacity int64
+	// Lifetimes are the achieved lifetimes, one point per eviction.
+	Lifetimes []LifetimePoint
+	// LifetimeSummary summarizes the achieved lifetimes in days over the
+	// pressured phase (after the disk first filled).
+	LifetimeSummary stats.Summary
+	// RejectionsByDay counts requests turned down per day (Figure 4).
+	RejectionsByDay []metrics.DayCount
+	// TotalRejections is the Figure 4 headline count.
+	TotalRejections int
+	// Admitted and Evicted are the unit's totals.
+	Admitted, Evicted int64
+	// Density is the hourly storage importance density (Figure 6).
+	Density []metrics.Point
+}
+
+// RunFig3 executes the three-policy comparison across the configured
+// capacities and returns one PolicyRun per cell.
+func RunFig3(cfg Fig3Config) ([]PolicyRun, error) {
+	cfg.applyDefaults()
+	var out []PolicyRun
+	for _, capacity := range cfg.Capacities {
+		for _, name := range PolicyNames() {
+			run, err := runSectionOneCell(cfg, name, capacity)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, run)
+		}
+	}
+	return out, nil
+}
+
+// runSectionOneCell runs one policy on one capacity.
+func runSectionOneCell(cfg Fig3Config, name PolicyName, capacity int64) (PolicyRun, error) {
+	pol, lifetime, err := sectionOnePolicy(name)
+	if err != nil {
+		return PolicyRun{}, err
+	}
+	r, err := newSingleUnitRun(capacity, pol, cfg.Horizon, cfg.DensityProbe)
+	if err != nil {
+		return PolicyRun{}, err
+	}
+	ramp := &workload.Ramp{Lifetime: lifetime}
+	if err := ramp.Install(r.engine, workload.UnitSink{Unit: r.unit}, newRng(cfg.Seed), cfg.Horizon); err != nil {
+		return PolicyRun{}, fmt.Errorf("experiments: fig3 %s: %w", name, err)
+	}
+	r.engine.Run(cfg.Horizon)
+	if err := ramp.Err(); err != nil {
+		return PolicyRun{}, fmt.Errorf("experiments: fig3 %s: %w", name, err)
+	}
+
+	counters := r.unit.CountersSnapshot()
+	run := PolicyRun{
+		Policy:          name,
+		Capacity:        capacity,
+		Lifetimes:       r.lifetimes,
+		RejectionsByDay: r.rejections.Days(),
+		TotalRejections: r.rejections.Total(),
+		Admitted:        counters.Admitted,
+		Evicted:         counters.Evicted,
+		Density:         r.density.Points(),
+	}
+	if vals := lifetimeValues(r.lifetimes); len(vals) > 0 {
+		if run.LifetimeSummary, err = stats.Summarize(vals); err != nil {
+			return PolicyRun{}, fmt.Errorf("experiments: fig3 %s: %w", name, err)
+		}
+	}
+	return run, nil
+}
+
+// lifetimeValues extracts achieved lifetimes in days.
+func lifetimeValues(points []LifetimePoint) []float64 {
+	out := make([]float64, len(points))
+	for i, p := range points {
+		out[i] = p.LifetimeDays
+	}
+	return out
+}

@@ -1,0 +1,207 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"besteffs/internal/calendar"
+	"besteffs/internal/metrics"
+	"besteffs/internal/object"
+	"besteffs/internal/policy"
+	"besteffs/internal/sim"
+	"besteffs/internal/stats"
+	"besteffs/internal/store"
+	"besteffs/internal/timeconst"
+	"besteffs/internal/workload"
+)
+
+// LectureConfig parameterizes the single-instructor scenario of Section 5.2
+// (Figures 9 through 12).
+type LectureConfig struct {
+	// Seed drives the workload randomness.
+	Seed int64
+	// Years is the simulated span (default 5, as in the paper).
+	Years int
+	// Capacities are the disk sizes (default 80 GB and 120 GB).
+	Capacities []int64
+	// Palimpsest additionally runs the FIFO baseline for the Figure 9/10
+	// comparison.
+	Palimpsest bool
+	// DensityProbe is the density sampling interval (default six hours).
+	DensityProbe time.Duration
+	// TimeConstWindows are the Figure 11 windows (default hour, day,
+	// month).
+	TimeConstWindows []time.Duration
+}
+
+func (c *LectureConfig) applyDefaults() {
+	if c.Years == 0 {
+		c.Years = 5
+	}
+	if len(c.Capacities) == 0 {
+		c.Capacities = Capacities()
+	}
+	if c.DensityProbe == 0 {
+		c.DensityProbe = 6 * time.Hour
+	}
+	if len(c.TimeConstWindows) == 0 {
+		c.TimeConstWindows = []time.Duration{time.Hour, 24 * time.Hour, 30 * 24 * time.Hour}
+	}
+}
+
+// ClassOutcome summarizes one object class under one configuration.
+type ClassOutcome struct {
+	// Class is the object class.
+	Class object.Class
+	// Generated is the number of objects offered.
+	Generated int
+	// Evictions are the achieved-lifetime points for evicted objects.
+	Evictions []LifetimePoint
+	// LifetimeSummary summarizes achieved lifetimes in days.
+	LifetimeSummary stats.Summary
+	// ReclaimImportance summarizes the importance at reclamation
+	// (Figure 10).
+	ReclaimImportance stats.Summary
+	// Rejected counts admission failures for the class.
+	Rejected int
+}
+
+// LectureRun is the outcome of one (policy, capacity) lecture cell.
+type LectureRun struct {
+	// Policy names the admission policy ("temporal-importance" or
+	// "palimpsest").
+	Policy PolicyName
+	// Capacity is the disk size in bytes.
+	Capacity int64
+	// ByClass holds per-class outcomes (university, student).
+	ByClass map[object.Class]*ClassOutcome
+	// Density is the sampled storage importance density (Figure 12).
+	Density []metrics.Point
+	// TimeConstants are the Figure 11 analyses, one per window.
+	TimeConstants []timeconst.Analysis
+	// Counters are the unit totals.
+	Counters store.Counters
+}
+
+// RunLecture executes the Section 5.2 scenario and returns one LectureRun
+// per (policy, capacity) pair: the temporal-importance policy always, plus
+// the FIFO baseline when cfg.Palimpsest is set.
+func RunLecture(cfg LectureConfig) ([]LectureRun, error) {
+	cfg.applyDefaults()
+	pols := []struct {
+		name PolicyName
+		pol  policy.Policy
+	}{{PolicyTemporal, policy.TemporalImportance{}}}
+	if cfg.Palimpsest {
+		pols = append(pols, struct {
+			name PolicyName
+			pol  policy.Policy
+		}{PolicyPalimpsest, policy.FIFO{}})
+	}
+
+	var out []LectureRun
+	for _, capacity := range cfg.Capacities {
+		for _, p := range pols {
+			run, err := runLectureCell(cfg, p.name, p.pol, capacity)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, run)
+		}
+	}
+	return out, nil
+}
+
+func runLectureCell(cfg LectureConfig, name PolicyName, pol policy.Policy, capacity int64) (LectureRun, error) {
+	horizon := time.Duration(cfg.Years) * calendar.Year
+	run := LectureRun{
+		Policy:   name,
+		Capacity: capacity,
+		ByClass: map[object.Class]*ClassOutcome{
+			object.ClassUniversity: {Class: object.ClassUniversity},
+			object.ClassStudent:    {Class: object.ClassStudent},
+		},
+	}
+	outcome := func(class object.Class) *ClassOutcome {
+		if o, ok := run.ByClass[class]; ok {
+			return o
+		}
+		o := &ClassOutcome{Class: class}
+		run.ByClass[class] = o
+		return o
+	}
+
+	engine := sim.NewEngine()
+	// The generic collectors cannot attribute records to a class, so the
+	// lecture cell wires class-aware hooks directly.
+	unit, err := store.New(capacity, pol,
+		store.WithEvictionHook(func(e store.Eviction) {
+			o := outcome(e.Object.Class)
+			o.Evictions = append(o.Evictions, LifetimePoint{
+				EvictionDay:  days(e.Time),
+				LifetimeDays: days(e.LifetimeAchieved),
+				Importance:   e.Importance,
+			})
+		}),
+		store.WithRejectionHook(func(rej store.Rejection) {
+			outcome(rej.Object.Class).Rejected++
+		}),
+	)
+	if err != nil {
+		return LectureRun{}, fmt.Errorf("experiments: lecture unit: %w", err)
+	}
+	density := metrics.NewSeries("density")
+	err = engine.Every(cfg.DensityProbe, cfg.DensityProbe, horizon, func(now time.Duration) {
+		density.Add(now, unit.DensityAt(now))
+	})
+	if err != nil {
+		return LectureRun{}, fmt.Errorf("experiments: lecture probe: %w", err)
+	}
+
+	lec := &workload.Lecture{KeepLog: name == PolicyPalimpsest || len(cfg.TimeConstWindows) > 0}
+	// Objects keep their two-step annotations under every policy: the
+	// FIFO baseline ignores importance for admission and victim choice
+	// (Palimpsest semantics), while the eviction records still carry the
+	// projected two-step importance -- exactly the projection the paper
+	// uses for the Figure 10 comparison.
+	sink := workload.SinkFunc(func(o *object.Object, now time.Duration) error {
+		outcome(o.Class).Generated++
+		return workload.UnitSink{Unit: unit}.Offer(o, now)
+	})
+	if err := lec.Install(engine, sink, newRng(cfg.Seed), horizon); err != nil {
+		return LectureRun{}, fmt.Errorf("experiments: lecture: %w", err)
+	}
+	engine.Run(horizon)
+	if err := lec.Err(); err != nil {
+		return LectureRun{}, fmt.Errorf("experiments: lecture: %w", err)
+	}
+
+	run.Density = density.Points()
+	run.Counters = unit.CountersSnapshot()
+	for _, o := range run.ByClass {
+		if len(o.Evictions) == 0 {
+			continue
+		}
+		lifetimes := make([]float64, len(o.Evictions))
+		imps := make([]float64, len(o.Evictions))
+		for i, e := range o.Evictions {
+			lifetimes[i] = e.LifetimeDays
+			imps[i] = e.Importance
+		}
+		if o.LifetimeSummary, err = stats.Summarize(lifetimes); err != nil {
+			return LectureRun{}, fmt.Errorf("experiments: lecture summary: %w", err)
+		}
+		if o.ReclaimImportance, err = stats.Summarize(imps); err != nil {
+			return LectureRun{}, fmt.Errorf("experiments: lecture summary: %w", err)
+		}
+	}
+	for _, w := range cfg.TimeConstWindows {
+		est := timeconst.Estimator{Capacity: capacity, Window: w}
+		a, err := est.Analyze(lec.Arrivals(), horizon)
+		if err != nil {
+			return LectureRun{}, fmt.Errorf("experiments: lecture time constant %v: %w", w, err)
+		}
+		run.TimeConstants = append(run.TimeConstants, a)
+	}
+	return run, nil
+}

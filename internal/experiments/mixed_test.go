@@ -1,0 +1,58 @@
+package experiments
+
+import "testing"
+
+func TestRunMixedApplications(t *testing.T) {
+	res, err := RunMixed(MixedConfig{Seed: 42})
+	if err != nil {
+		t.Fatalf("RunMixed: %v", err)
+	}
+	if len(res.Apps) != 3 {
+		t.Fatalf("apps = %d, want 3", len(res.Apps))
+	}
+	archiver, lecture, cache := res.Apps[0], res.Apps[1], res.Apps[2]
+
+	// The archiver's importance-one objects are never preempted. (A
+	// handful of late-year rejections are legitimate: once durable data
+	// saturates the disk, even importance one cannot preempt importance
+	// one.)
+	if archiver.Evicted != 0 {
+		t.Errorf("archiver evicted %d objects; importance one is non-preemptible", archiver.Evicted)
+	}
+	if frac := float64(archiver.Rejected) / float64(archiver.Offered); frac > 0.02 {
+		t.Errorf("archiver rejected %.1f%% of offers, want near zero", frac*100)
+	}
+	if archiver.ResidentBytesAtEnd == 0 {
+		t.Error("archiver holds nothing at the end")
+	}
+
+	// The lecture app cycles: admitted objects eventually evicted after
+	// their plateau, never catastrophically rejected.
+	if lecture.Admitted == 0 || lecture.Evicted == 0 {
+		t.Errorf("lecture app = %+v, want steady churn", lecture)
+	}
+	if lecture.Lifetime.Count > 0 && lecture.Lifetime.Min < 15 {
+		t.Errorf("lecture min lifetime %.1f < plateau 15d", lecture.Lifetime.Min)
+	}
+
+	// The cache (importance zero) starves as durable data accumulates:
+	// "the storage appears full for less important objects".
+	if cache.Rejected == 0 {
+		t.Error("cache never rejected; the squeeze did not happen")
+	}
+	first, last := res.CacheAdmitRateByQuarter[0], res.CacheAdmitRateByQuarter[3]
+	if last >= first {
+		t.Errorf("cache admit rate did not fall: Q1 %.2f -> Q4 %.2f", first, last)
+	}
+
+	// Lifetime ordering by importance class: archiver (never evicted) >
+	// lecture > cache.
+	if cache.Lifetime.Count > 0 && lecture.Lifetime.Count > 0 &&
+		cache.Lifetime.Median >= lecture.Lifetime.Median {
+		t.Errorf("cache median %.1f >= lecture median %.1f",
+			cache.Lifetime.Median, lecture.Lifetime.Median)
+	}
+	if res.FinalDensity <= 0.3 || res.FinalDensity > 1 {
+		t.Errorf("final density = %.3f", res.FinalDensity)
+	}
+}

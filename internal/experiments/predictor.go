@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"besteffs/internal/importance"
+	"besteffs/internal/object"
+	"besteffs/internal/policy"
+	"besteffs/internal/sim"
+	"besteffs/internal/stats"
+	"besteffs/internal/store"
+	"besteffs/internal/workload"
+)
+
+// PredictorConfig parameterizes the density-gap longevity experiment. The
+// paper's usability claim is that a creator can read the storage importance
+// density before storing and predict what their annotation will buy: "The
+// difference between the storage density and the object importance gives
+// some indication of the object longevity" (Section 5.1.2). This runner
+// quantifies that: objects arrive with varied plateau levels, each records
+// the gap between its importance and the instantaneous density at
+// admission, and the gap is correlated against the achieved lifetime.
+type PredictorConfig struct {
+	// Seed drives the workload randomness.
+	Seed int64
+	// Horizon is the simulated span (default one year).
+	Horizon time.Duration
+	// Capacity is the disk size (default 80 GB, the pressured case).
+	Capacity int64
+}
+
+// GapBucket aggregates achieved lifetimes for one band of the
+// importance-minus-density gap.
+type GapBucket struct {
+	// Lo and Hi bound the gap band.
+	Lo, Hi float64
+	// Count is the number of evicted objects in the band.
+	Count int
+	// MeanLifetimeDays is their mean achieved lifetime.
+	MeanLifetimeDays float64
+}
+
+// PredictorResult reports how well the admission-time gap predicts
+// longevity.
+type PredictorResult struct {
+	// Correlation is the Pearson correlation between gap and achieved
+	// lifetime across evicted objects.
+	Correlation float64
+	// Samples is the number of evicted objects measured.
+	Samples int
+	// Buckets are band means for presentation.
+	Buckets []GapBucket
+	// RejectedBelowBoundary counts arrivals rejected outright; their
+	// importance sat below the storability floor the density signals.
+	RejectedBelowBoundary int
+}
+
+// RunPredictor executes the experiment.
+func RunPredictor(cfg PredictorConfig) (PredictorResult, error) {
+	if cfg.Horizon == 0 {
+		cfg.Horizon = 365 * Day
+	}
+	if cfg.Capacity == 0 {
+		cfg.Capacity = 80 * GB
+	}
+
+	type admitted struct {
+		gap float64
+	}
+	byID := make(map[object.ID]admitted)
+	var gaps, lifetimes []float64
+	rejected := 0
+
+	eng := sim.NewEngine()
+	unit, err := store.New(cfg.Capacity, policy.TemporalImportance{},
+		store.WithEvictionHook(func(e store.Eviction) {
+			a, ok := byID[e.Object.ID]
+			if !ok {
+				return
+			}
+			gaps = append(gaps, a.gap)
+			lifetimes = append(lifetimes, days(e.LifetimeAchieved))
+			delete(byID, e.Object.ID)
+		}),
+		store.WithRejectionHook(func(store.Rejection) { rejected++ }),
+	)
+	if err != nil {
+		return PredictorResult{}, fmt.Errorf("experiments: predictor: %w", err)
+	}
+
+	// Mixed-importance ramp: plateau levels drawn uniformly from
+	// {0.2 .. 1.0} so arrivals span the density boundary.
+	levelRng := newRng(cfg.Seed + 1)
+	lifetime := func(time.Duration) importanceFunction {
+		level := 0.2 + 0.8*levelRng.Float64()
+		return importance.TwoStep{Plateau: level, Persist: 15 * Day, Wane: 15 * Day}
+	}
+	sink := workload.SinkFunc(func(o *object.Object, now time.Duration) error {
+		gap := o.ImportanceAt(now) - unit.DensityAt(now)
+		if _, err := unit.Put(o, now); err != nil {
+			return err
+		}
+		if _, resident := byID[o.ID]; !resident {
+			if _, err := unit.Get(o.ID); err == nil {
+				byID[o.ID] = admitted{gap: gap}
+			}
+		}
+		return nil
+	})
+	ramp := &workload.Ramp{Lifetime: lifetime}
+	if err := ramp.Install(eng, sink, newRng(cfg.Seed), cfg.Horizon); err != nil {
+		return PredictorResult{}, fmt.Errorf("experiments: predictor: %w", err)
+	}
+	eng.Run(cfg.Horizon)
+	if err := ramp.Err(); err != nil {
+		return PredictorResult{}, fmt.Errorf("experiments: predictor: %w", err)
+	}
+	if len(gaps) < 2 {
+		return PredictorResult{}, fmt.Errorf("experiments: predictor: only %d evictions", len(gaps))
+	}
+
+	res := PredictorResult{Samples: len(gaps), RejectedBelowBoundary: rejected}
+	if res.Correlation, err = stats.Correlation(gaps, lifetimes); err != nil {
+		return PredictorResult{}, fmt.Errorf("experiments: predictor: %w", err)
+	}
+	// Bucket the gap range into fixed bands for the table.
+	bands := []struct{ lo, hi float64 }{
+		{-1, -0.5}, {-0.5, -0.25}, {-0.25, 0}, {0, 0.25}, {0.25, 0.5}, {0.5, 1},
+	}
+	for _, band := range bands {
+		b := GapBucket{Lo: band.lo, Hi: band.hi}
+		var sum float64
+		for i, g := range gaps {
+			if g >= band.lo && g < band.hi {
+				b.Count++
+				sum += lifetimes[i]
+			}
+		}
+		if b.Count > 0 {
+			b.MeanLifetimeDays = sum / float64(b.Count)
+		}
+		res.Buckets = append(res.Buckets, b)
+	}
+	return res, nil
+}

@@ -1,0 +1,281 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"besteffs/internal/importance"
+	"besteffs/internal/object"
+	"besteffs/internal/policy"
+	"besteffs/internal/sim"
+	"besteffs/internal/store"
+	"besteffs/internal/workload"
+)
+
+// RefreshConfig parameterizes the Palimpsest rejuvenation experiment. The
+// paper's critique of soft-capacity storage (Section 2) is that "the object
+// creator monitors the various storage units to identify current
+// reclamation rates (time constant) and continuously rejuvenate important
+// objects. Unless the application can predict this rejuvenation duration
+// accurately, objects might be irreparably lost." Section 5.1.2 adds the
+// failure mode: an application that misreads the arrival rate "might ...
+// wake up later than necessary, potentially losing the object to
+// reclamation."
+//
+// The experiment makes that concrete. A FIFO (Palimpsest) store carries the
+// Section 5.1 background traffic. An application stores one tracked object
+// per day and wants each to survive GoalDays. Before sleeping, it estimates
+// the store's time constant from the trailing arrival window and wakes
+// after SafetyFactor x tau_est to refresh the object (a rewrite that moves
+// it to the back of the FIFO queue). The measured outcome is the fraction
+// of tracked objects irreparably lost before their goal, per estimator
+// window -- and, for contrast, a temporal-importance store where the
+// annotation does all the work with zero wake-ups.
+type RefreshConfig struct {
+	// Seed drives the background workload.
+	Seed int64
+	// Horizon is the simulated span (default one year).
+	Horizon time.Duration
+	// Capacity is the disk size (default 80 GB).
+	Capacity int64
+	// GoalDays is how long each tracked object must survive (default 30).
+	GoalDays int
+	// SafetyFactor scales the estimated time constant into the sleep
+	// interval (default 0.5: wake at half the estimated deadline).
+	SafetyFactor float64
+	// Windows are the estimator windows compared (default hour, day,
+	// month).
+	Windows []time.Duration
+}
+
+// RefreshRow is the outcome for one estimation strategy.
+type RefreshRow struct {
+	// Strategy names the estimator ("window=1h", ... or
+	// "temporal-importance" for the annotation-based contrast row).
+	Strategy string
+	// Tracked is the number of tracked objects whose goal deadline fell
+	// within the run.
+	Tracked int
+	// Lost is how many were reclaimed before reaching the goal.
+	Lost int
+	// LostFraction is Lost/Tracked.
+	LostFraction float64
+	// Refreshes is the total number of wake-ups the application paid.
+	Refreshes int
+}
+
+// RunRefresh executes the experiment.
+func RunRefresh(cfg RefreshConfig) ([]RefreshRow, error) {
+	if cfg.Horizon == 0 {
+		cfg.Horizon = 365 * Day
+	}
+	if cfg.Capacity == 0 {
+		cfg.Capacity = 80 * GB
+	}
+	if cfg.GoalDays == 0 {
+		cfg.GoalDays = 30
+	}
+	if cfg.SafetyFactor == 0 {
+		cfg.SafetyFactor = 0.5
+	}
+	if len(cfg.Windows) == 0 {
+		cfg.Windows = []time.Duration{time.Hour, 24 * time.Hour, 30 * 24 * time.Hour}
+	}
+	var out []RefreshRow
+	for _, w := range cfg.Windows {
+		row, err := runRefreshCell(cfg, w)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, row)
+	}
+	temporal, err := runRefreshTemporal(cfg)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, temporal)
+	return out, nil
+}
+
+// trackedState follows one tracked object through its goal window.
+type trackedState struct {
+	id       object.ID
+	deadline time.Duration
+	lost     bool
+	done     bool
+}
+
+func runRefreshCell(cfg RefreshConfig, window time.Duration) (RefreshRow, error) {
+	row := RefreshRow{Strategy: fmt.Sprintf("palimpsest refresh, window=%s", window)}
+	goal := time.Duration(cfg.GoalDays) * Day
+
+	unit, err := store.New(cfg.Capacity, policy.FIFO{})
+	if err != nil {
+		return RefreshRow{}, err
+	}
+	eng := sim.NewEngine()
+
+	// Background traffic with a kept arrival log for rate estimation.
+	ramp := &workload.Ramp{
+		Lifetime: func(time.Duration) importanceFunction { return importance.Dirac{} },
+		KeepLog:  true,
+	}
+	if err := ramp.Install(eng, workload.UnitSink{Unit: unit}, newRng(cfg.Seed), cfg.Horizon); err != nil {
+		return RefreshRow{}, fmt.Errorf("experiments: refresh: %w", err)
+	}
+
+	// tauEstimate reads the trailing window of the arrival log. The log
+	// is sorted by arrival time; scan back from the end.
+	tauEstimate := func(now time.Duration) time.Duration {
+		arrivals := ramp.Arrivals()
+		var vol int64
+		for i := len(arrivals) - 1; i >= 0; i-- {
+			if arrivals[i].Time < now-window {
+				break
+			}
+			vol += arrivals[i].Size
+		}
+		if vol == 0 {
+			// An empty window reads as "no pressure": the app sleeps a
+			// full goal period, the riskiest possible misread.
+			return goal
+		}
+		rate := float64(vol) / window.Hours() // bytes per hour
+		hours := float64(cfg.Capacity) / rate
+		return time.Duration(hours * float64(time.Hour))
+	}
+
+	var states []*trackedState
+	var refreshes int
+	refreshSize := int64(512 << 20)
+
+	// One tracked object per day, while its goal fits in the horizon.
+	for d := 1; time.Duration(d)*Day+goal < cfg.Horizon; d++ {
+		st := &trackedState{
+			id:       object.ID(fmt.Sprintf("tracked/%04d", d)),
+			deadline: time.Duration(d)*Day + goal,
+		}
+		states = append(states, st)
+		var wake func(now time.Duration)
+		wake = func(now time.Duration) {
+			if st.done || st.lost {
+				return
+			}
+			if _, err := unit.Get(st.id); err != nil {
+				// Reclaimed between wake-ups: irreparably lost.
+				st.lost = true
+				return
+			}
+			if now >= st.deadline {
+				st.done = true
+				return
+			}
+			if now > time.Duration(0) && now != st.deadline {
+				// Refresh: rewrite moves the object to the FIFO tail.
+				fresh, err := object.New(st.id, refreshSize, now, importance.Dirac{})
+				if err != nil {
+					return
+				}
+				if _, err := unit.Update(fresh, now); err == nil {
+					refreshes++
+				}
+			}
+			sleep := time.Duration(float64(tauEstimate(now)) * cfg.SafetyFactor)
+			if sleep < time.Hour {
+				sleep = time.Hour
+			}
+			next := now + sleep
+			if next > st.deadline {
+				next = st.deadline
+			}
+			_ = eng.Schedule(next, wake)
+		}
+		at := time.Duration(d) * Day
+		err := eng.Schedule(at, func(now time.Duration) {
+			o, err := object.New(st.id, refreshSize, now, importance.Dirac{})
+			if err != nil {
+				return
+			}
+			if _, err := unit.Put(o, now); err != nil {
+				return
+			}
+			// First estimation wake-up an hour after the write.
+			_ = eng.Schedule(now+time.Hour, wake)
+		})
+		if err != nil {
+			return RefreshRow{}, fmt.Errorf("experiments: refresh: %w", err)
+		}
+	}
+	eng.Run(cfg.Horizon)
+	if err := ramp.Err(); err != nil {
+		return RefreshRow{}, fmt.Errorf("experiments: refresh: %w", err)
+	}
+
+	for _, st := range states {
+		row.Tracked++
+		if st.lost {
+			row.Lost++
+		}
+	}
+	if row.Tracked > 0 {
+		row.LostFraction = float64(row.Lost) / float64(row.Tracked)
+	}
+	row.Refreshes = refreshes
+	return row, nil
+}
+
+// runRefreshTemporal is the contrast row: the same tracked objects on a
+// temporal-importance store with a no-decay 30-day annotation need no
+// wake-ups at all -- "the application need not continue to manage an object
+// that was accepted for storage" (Section 5.1.3).
+func runRefreshTemporal(cfg RefreshConfig) (RefreshRow, error) {
+	row := RefreshRow{Strategy: "temporal-importance annotation (no refreshes)"}
+	goal := time.Duration(cfg.GoalDays) * Day
+
+	var lost, tracked int
+	unit, err := store.New(cfg.Capacity, policy.TemporalImportance{},
+		store.WithEvictionHook(func(e store.Eviction) {
+			if len(e.Object.ID) >= 7 && e.Object.ID[:7] == "tracked" &&
+				e.LifetimeAchieved < goal {
+				lost++
+			}
+		}),
+	)
+	if err != nil {
+		return RefreshRow{}, err
+	}
+	eng := sim.NewEngine()
+	ramp := &workload.Ramp{
+		Lifetime: func(time.Duration) importanceFunction { return twoStep15x15 },
+	}
+	if err := ramp.Install(eng, workload.UnitSink{Unit: unit}, newRng(cfg.Seed), cfg.Horizon); err != nil {
+		return RefreshRow{}, fmt.Errorf("experiments: refresh: %w", err)
+	}
+	annotation := importance.TwoStep{Plateau: 1, Persist: goal, Wane: 0}
+	for d := 1; time.Duration(d)*Day+goal < cfg.Horizon; d++ {
+		id := object.ID(fmt.Sprintf("tracked/%04d", d))
+		at := time.Duration(d) * Day
+		err := eng.Schedule(at, func(now time.Duration) {
+			o, err := object.New(id, 512<<20, now, annotation)
+			if err != nil {
+				return
+			}
+			if dec, err := unit.Put(o, now); err == nil && dec.Admit {
+				tracked++
+			}
+		})
+		if err != nil {
+			return RefreshRow{}, fmt.Errorf("experiments: refresh: %w", err)
+		}
+	}
+	eng.Run(cfg.Horizon)
+	if err := ramp.Err(); err != nil {
+		return RefreshRow{}, fmt.Errorf("experiments: refresh: %w", err)
+	}
+	row.Tracked = tracked
+	row.Lost = lost
+	if tracked > 0 {
+		row.LostFraction = float64(lost) / float64(tracked)
+	}
+	return row, nil
+}

@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"besteffs/internal/policy"
+	"besteffs/internal/stats"
+	"besteffs/internal/workload"
+)
+
+// ScalingConfig parameterizes the capacity sweep behind the paper's third
+// system objective: "Scalability: Can the system behavior scale with the
+// availability of more storage? We prefer object annotations that remain
+// constant while the specific system behavior depended on the available
+// storage" (Section 4.2). The sweep holds the workload and the two-step
+// annotation fixed and grows only the disk.
+type ScalingConfig struct {
+	// Seed drives the workload randomness; the identical arrival stream
+	// is replayed at every capacity.
+	Seed int64
+	// Horizon is the simulated span (default one year).
+	Horizon time.Duration
+	// CapacitiesGB are the disk sizes swept (default 40..200 in steps of
+	// 40).
+	CapacitiesGB []int
+}
+
+// ScalingRow is one capacity's outcome.
+type ScalingRow struct {
+	// CapacityGB is the disk size.
+	CapacityGB int
+	// Rejections counts requests turned down.
+	Rejections int
+	// Lifetime summarizes achieved lifetimes in days.
+	Lifetime stats.Summary
+	// SteadyDensity is the mean density over the second half of the run.
+	SteadyDensity float64
+}
+
+// RunScaling executes the sweep.
+func RunScaling(cfg ScalingConfig) ([]ScalingRow, error) {
+	if cfg.Horizon == 0 {
+		cfg.Horizon = 365 * Day
+	}
+	if len(cfg.CapacitiesGB) == 0 {
+		cfg.CapacitiesGB = []int{40, 80, 120, 160, 200}
+	}
+	var out []ScalingRow
+	for _, capGB := range cfg.CapacitiesGB {
+		if capGB <= 0 {
+			return nil, fmt.Errorf("experiments: capacity %d GB must be positive", capGB)
+		}
+		row, err := runScalingCell(cfg, capGB)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+func runScalingCell(cfg ScalingConfig, capGB int) (ScalingRow, error) {
+	row := ScalingRow{CapacityGB: capGB}
+	r, err := newSingleUnitRun(int64(capGB)*GB, policy.TemporalImportance{}, cfg.Horizon, time.Hour)
+	if err != nil {
+		return ScalingRow{}, err
+	}
+	ramp := &workload.Ramp{Lifetime: func(time.Duration) importanceFunction { return twoStep15x15 }}
+	if err := ramp.Install(r.engine, workload.UnitSink{Unit: r.unit}, newRng(cfg.Seed), cfg.Horizon); err != nil {
+		return ScalingRow{}, fmt.Errorf("experiments: scaling %dGB: %w", capGB, err)
+	}
+	r.engine.Run(cfg.Horizon)
+	if err := ramp.Err(); err != nil {
+		return ScalingRow{}, fmt.Errorf("experiments: scaling %dGB: %w", capGB, err)
+	}
+	row.Rejections = r.rejections.Total()
+	if vals := lifetimeValues(r.lifetimes); len(vals) > 0 {
+		if row.Lifetime, err = stats.Summarize(vals); err != nil {
+			return ScalingRow{}, err
+		}
+	}
+	var sum float64
+	var n int
+	for _, p := range r.density.Points() {
+		if p.T >= cfg.Horizon/2 {
+			sum += p.V
+			n++
+		}
+	}
+	if n > 0 {
+		row.SteadyDensity = sum / float64(n)
+	}
+	return row, nil
+}

@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"besteffs/internal/calendar"
+	"besteffs/internal/object"
+	"besteffs/internal/trace"
+)
+
+// Table1Row is one row of the paper's Table 1: the lecture-capture lifetime
+// parameters for a term.
+type Table1Row struct {
+	// Term is the academic term.
+	Term calendar.Term
+	// TermBegin is the first day of classes (day of year).
+	TermBegin int
+	// PersistUntilDay is the day of year until which lectures persist at
+	// full importance ("t_persist = <day> - today").
+	PersistUntilDay int
+	// WaneDays is the university wane duration in days.
+	WaneDays int
+}
+
+// RunTable1 regenerates Table 1 from the calendar package and verifies the
+// derived two-step functions against the table semantics.
+func RunTable1() ([]Table1Row, error) {
+	var rows []Table1Row
+	for _, term := range []calendar.Term{calendar.TermSpring, calendar.TermSummer, calendar.TermFall} {
+		b, ok := calendar.TermBounds(term)
+		if !ok {
+			return nil, fmt.Errorf("experiments: no bounds for %v", term)
+		}
+		rows = append(rows, Table1Row{
+			Term:            term,
+			TermBegin:       b.Begin,
+			PersistUntilDay: b.End,
+			WaneDays:        int(b.Wane / Day),
+		})
+		// Cross-check: a lecture on the term's first day persists until
+		// the table's end day.
+		f, err := calendar.LectureLifetime(object.ClassUniversity, calendar.TimeOf(0, b.Begin))
+		if err != nil {
+			return nil, fmt.Errorf("experiments: table1 %v: %w", term, err)
+		}
+		if want := time.Duration(b.End-b.Begin) * Day; f.Persist != want {
+			return nil, fmt.Errorf("experiments: table1 %v: persist %v, want %v", term, f.Persist, want)
+		}
+	}
+	return rows, nil
+}
+
+// Fig8Config parameterizes the synthetic download trace.
+type Fig8Config struct {
+	// Seed drives the trace randomness.
+	Seed int64
+	// Trace tunes the generator; zero values take the Section 5.2.1
+	// defaults (38 students, two midterms and a final, one slashdotting).
+	Trace trace.Config
+}
+
+// Fig8Result is the synthetic stand-in for the paper's empirical
+// downloads-per-day plot.
+type Fig8Result struct {
+	// Days is the daily download trace.
+	Days []trace.DayAccess
+	// Total is the trace's total downloads.
+	Total int
+	// PeakDay and PeakDownloads locate the slashdot spike.
+	PeakDay, PeakDownloads int
+}
+
+// RunFig8 generates the trace.
+func RunFig8(cfg Fig8Config) (Fig8Result, error) {
+	days, err := trace.Generate(cfg.Trace, newRng(cfg.Seed))
+	if err != nil {
+		return Fig8Result{}, fmt.Errorf("experiments: fig8: %w", err)
+	}
+	res := Fig8Result{Days: days, Total: trace.Total(days)}
+	for _, d := range days {
+		if d.Downloads > res.PeakDownloads {
+			res.PeakDay, res.PeakDownloads = d.Day, d.Downloads
+		}
+	}
+	return res, nil
+}

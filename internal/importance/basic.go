@@ -1,0 +1,145 @@
+package importance
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Constant is the no-expiration importance function of traditional
+// persistent storage: L(t) = Level for all ages, t_expire = infinity.
+// At Level == 1 the object is never preemptible and never expires,
+// reproducing the "persistent until deleted" model.
+type Constant struct {
+	// Level is the importance held forever, in [0, 1].
+	Level float64
+}
+
+var _ Function = Constant{}
+
+// NewConstant validates the level and returns the constant function.
+func NewConstant(level float64) (Constant, error) {
+	if err := checkLevel(level); err != nil {
+		return Constant{}, err
+	}
+	return Constant{Level: level}, nil
+}
+
+// At returns Level regardless of age.
+func (f Constant) At(time.Duration) float64 { return f.Level }
+
+// ExpireAge reports that the function never expires, except in the
+// degenerate Level == 0 case which is expired from birth.
+func (f Constant) ExpireAge() (time.Duration, bool) {
+	if f.Level == 0 {
+		return 0, true
+	}
+	return 0, false
+}
+
+// String renders the function in the package's spec syntax.
+func (f Constant) String() string { return fmt.Sprintf("constant:p=%g", f.Level) }
+
+// Dirac is the cache-like degradation of systems such as Palimpsest and web
+// caches: L(t) = delta(t), t_expire = 0. Every stored object is immediately
+// at importance zero and may be freely replaced by any other object; the
+// store is never full.
+type Dirac struct{}
+
+var _ Function = Dirac{}
+
+// At returns zero for every age: a Dirac object carries no persistent
+// importance once stored.
+func (Dirac) At(time.Duration) float64 { return 0 }
+
+// ExpireAge returns zero: a Dirac object is expired at birth.
+func (Dirac) ExpireAge() (time.Duration, bool) { return 0, true }
+
+// String renders the function in the package's spec syntax.
+func (Dirac) String() string { return "dirac" }
+
+// Linear decays linearly from Start at age zero to zero at age Expire.
+// It is the two-step function with no plateau.
+type Linear struct {
+	// Start is the importance at age zero, in [0, 1].
+	Start float64
+	// Expire is the age at which the importance reaches zero.
+	Expire time.Duration
+}
+
+var _ Function = Linear{}
+
+// NewLinear validates the parameters and returns the linear function.
+func NewLinear(start float64, expire time.Duration) (Linear, error) {
+	if err := checkLevel(start); err != nil {
+		return Linear{}, err
+	}
+	if expire < 0 {
+		return Linear{}, fmt.Errorf("expire: %w: %v", ErrNegativeDuration, expire)
+	}
+	return Linear{Start: start, Expire: expire}, nil
+}
+
+// At returns the linearly interpolated importance at the given age.
+func (f Linear) At(age time.Duration) float64 {
+	age = clampAge(age)
+	if f.Expire == 0 || f.Start == 0 || age >= f.Expire {
+		return 0
+	}
+	return f.Start * (1 - float64(age)/float64(f.Expire))
+}
+
+// ExpireAge returns the configured expiry age.
+func (f Linear) ExpireAge() (time.Duration, bool) { return f.Expire, true }
+
+// String renders the function in the package's spec syntax.
+func (f Linear) String() string {
+	return fmt.Sprintf("linear:p=%g,expire=%s", f.Start, f.Expire)
+}
+
+// Exponential decays exponentially from Start with the given half-life and
+// is truncated to zero at age Expire. The truncation keeps the function a
+// proper expiring lifetime as required by the storage system; an Expire of
+// zero means the function expires immediately.
+type Exponential struct {
+	// Start is the importance at age zero, in [0, 1].
+	Start float64
+	// HalfLife is the age increment over which importance halves.
+	HalfLife time.Duration
+	// Expire is the age at which the importance is truncated to zero.
+	Expire time.Duration
+}
+
+var _ Function = Exponential{}
+
+// NewExponential validates the parameters and returns the exponential
+// function.
+func NewExponential(start float64, halfLife, expire time.Duration) (Exponential, error) {
+	if err := checkLevel(start); err != nil {
+		return Exponential{}, err
+	}
+	if halfLife <= 0 {
+		return Exponential{}, fmt.Errorf("half-life must be positive: %w: %v", ErrNegativeDuration, halfLife)
+	}
+	if expire < 0 {
+		return Exponential{}, fmt.Errorf("expire: %w: %v", ErrNegativeDuration, expire)
+	}
+	return Exponential{Start: start, HalfLife: halfLife, Expire: expire}, nil
+}
+
+// At returns Start * 2^(-age/HalfLife), truncated to zero at Expire.
+func (f Exponential) At(age time.Duration) float64 {
+	age = clampAge(age)
+	if f.Start == 0 || age >= f.Expire {
+		return 0
+	}
+	return f.Start * math.Exp2(-float64(age)/float64(f.HalfLife))
+}
+
+// ExpireAge returns the truncation age.
+func (f Exponential) ExpireAge() (time.Duration, bool) { return f.Expire, true }
+
+// String renders the function in the package's spec syntax.
+func (f Exponential) String() string {
+	return fmt.Sprintf("exp:p=%g,halflife=%s,expire=%s", f.Start, f.HalfLife, f.Expire)
+}

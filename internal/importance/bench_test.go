@@ -1,0 +1,65 @@
+package importance
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// BenchmarkTwoStepAt measures the hot-path importance evaluation: every
+// admission sorts residents by this value.
+func BenchmarkTwoStepAt(b *testing.B) {
+	f := TwoStep{Plateau: 1, Persist: 15 * Day, Wane: 15 * Day}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = f.At(time.Duration(i%40) * Day)
+	}
+}
+
+// BenchmarkPiecewiseAt measures evaluation of the general family (binary
+// search + interpolation).
+func BenchmarkPiecewiseAt(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	f := genPiecewise(rng)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = f.At(time.Duration(i%2000) * Day)
+	}
+}
+
+// BenchmarkEncode measures the wire encoding of a two-step annotation.
+func BenchmarkEncode(b *testing.B) {
+	f := TwoStep{Plateau: 1, Persist: 15 * Day, Wane: 15 * Day}
+	buf := make([]byte, 0, 32)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var err error
+		buf, err = AppendEncode(buf[:0], f)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDecode measures the wire decoding (including re-validation).
+func BenchmarkDecode(b *testing.B) {
+	buf, err := Encode(TwoStep{Plateau: 1, Persist: 15 * Day, Wane: 15 * Day})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Decode(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkParseSpec measures the CLI spec parser.
+func BenchmarkParseSpec(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseSpec("twostep:p=1,persist=15d,wane=15d"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,308 @@
+package importance
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+)
+
+func TestTwoStepAt(t *testing.T) {
+	f, err := NewTwoStep(1, 15*Day, 15*Day)
+	if err != nil {
+		t.Fatalf("NewTwoStep: %v", err)
+	}
+	tests := []struct {
+		name string
+		age  time.Duration
+		want float64
+	}{
+		{"negative age clamps to plateau", -time.Hour, 1},
+		{"birth", 0, 1},
+		{"mid persist", 7 * Day, 1},
+		{"end of persist", 15 * Day, 1},
+		{"one third into wane", 20 * Day, 2.0 / 3},
+		{"mid wane", 22*Day + 12*time.Hour, 0.5},
+		{"expiry", 30 * Day, 0},
+		{"past expiry", 400 * Day, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := f.At(tt.age); math.Abs(got-tt.want) > 1e-12 {
+				t.Errorf("At(%v) = %v, want %v", tt.age, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestTwoStepExpireAge(t *testing.T) {
+	f := TwoStep{Plateau: 0.5, Persist: 10 * Day, Wane: 5 * Day}
+	exp, ok := f.ExpireAge()
+	if !ok || exp != 15*Day {
+		t.Errorf("ExpireAge() = %v, %v; want 15d, true", exp, ok)
+	}
+	zero := TwoStep{Plateau: 0, Persist: 10 * Day, Wane: 5 * Day}
+	exp, ok = zero.ExpireAge()
+	if !ok || exp != 0 {
+		t.Errorf("zero-plateau ExpireAge() = %v, %v; want 0, true", exp, ok)
+	}
+}
+
+func TestTwoStepZeroWaneIsFixedPriority(t *testing.T) {
+	// Wane == 0 reproduces the paper's "no temporal degradation" policy:
+	// L(t) = p until t_expire, then 0.
+	f, err := NewTwoStep(1, 30*Day, 0)
+	if err != nil {
+		t.Fatalf("NewTwoStep: %v", err)
+	}
+	if got := f.At(30 * Day); got != 1 {
+		t.Errorf("At(persist) = %v, want 1", got)
+	}
+	if got := f.At(30*Day + time.Minute); got != 0 {
+		t.Errorf("At(persist+1m) = %v, want 0", got)
+	}
+}
+
+func TestNewTwoStepValidation(t *testing.T) {
+	tests := []struct {
+		name    string
+		plateau float64
+		persist time.Duration
+		wane    time.Duration
+		wantErr error
+	}{
+		{"negative plateau", -0.1, Day, Day, ErrOutOfRange},
+		{"plateau above one", 1.1, Day, Day, ErrOutOfRange},
+		{"NaN plateau", math.NaN(), Day, Day, ErrOutOfRange},
+		{"negative persist", 0.5, -Day, Day, ErrNegativeDuration},
+		{"negative wane", 0.5, Day, -Day, ErrNegativeDuration},
+		{"valid", 0.5, Day, Day, nil},
+		{"valid zero durations", 1, 0, 0, nil},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := NewTwoStep(tt.plateau, tt.persist, tt.wane)
+			if !errors.Is(err, tt.wantErr) {
+				t.Errorf("NewTwoStep() error = %v, want %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestConstant(t *testing.T) {
+	f, err := NewConstant(0.7)
+	if err != nil {
+		t.Fatalf("NewConstant: %v", err)
+	}
+	for _, age := range []time.Duration{0, Day, 100 * 365 * Day} {
+		if got := f.At(age); got != 0.7 {
+			t.Errorf("At(%v) = %v, want 0.7", age, got)
+		}
+	}
+	if _, ok := f.ExpireAge(); ok {
+		t.Error("non-zero Constant should never expire")
+	}
+	zero := Constant{}
+	if exp, ok := zero.ExpireAge(); !ok || exp != 0 {
+		t.Errorf("zero Constant ExpireAge() = %v, %v; want 0, true", exp, ok)
+	}
+}
+
+func TestDirac(t *testing.T) {
+	var f Dirac
+	if got := f.At(0); got != 0 {
+		t.Errorf("At(0) = %v, want 0", got)
+	}
+	exp, ok := f.ExpireAge()
+	if !ok || exp != 0 {
+		t.Errorf("ExpireAge() = %v, %v; want 0, true", exp, ok)
+	}
+	if !Expired(f, 0) {
+		t.Error("Dirac should be expired at birth")
+	}
+}
+
+func TestLinear(t *testing.T) {
+	f, err := NewLinear(0.8, 10*Day)
+	if err != nil {
+		t.Fatalf("NewLinear: %v", err)
+	}
+	if got := f.At(5 * Day); math.Abs(got-0.4) > 1e-12 {
+		t.Errorf("At(mid) = %v, want 0.4", got)
+	}
+	if got := f.At(10 * Day); got != 0 {
+		t.Errorf("At(expire) = %v, want 0", got)
+	}
+	degenerate := Linear{Start: 1, Expire: 0}
+	if got := degenerate.At(0); got != 0 {
+		t.Errorf("zero-expire Linear At(0) = %v, want 0", got)
+	}
+}
+
+func TestExponential(t *testing.T) {
+	f, err := NewExponential(1, 10*Day, 100*Day)
+	if err != nil {
+		t.Fatalf("NewExponential: %v", err)
+	}
+	if got := f.At(10 * Day); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("At(half-life) = %v, want 0.5", got)
+	}
+	if got := f.At(20 * Day); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("At(2 half-lives) = %v, want 0.25", got)
+	}
+	if got := f.At(100 * Day); got != 0 {
+		t.Errorf("At(expire) = %v, want 0 (truncated)", got)
+	}
+	if _, err := NewExponential(1, 0, Day); err == nil {
+		t.Error("NewExponential with zero half-life should fail")
+	}
+}
+
+func TestPiecewise(t *testing.T) {
+	f, err := NewPiecewise([]Point{
+		{Age: 0, Value: 1},
+		{Age: 10 * Day, Value: 1},
+		{Age: 20 * Day, Value: 0.5},
+		{Age: 40 * Day, Value: 0},
+	})
+	if err != nil {
+		t.Fatalf("NewPiecewise: %v", err)
+	}
+	tests := []struct {
+		age  time.Duration
+		want float64
+	}{
+		{0, 1},
+		{5 * Day, 1},
+		{15 * Day, 0.75},
+		{30 * Day, 0.25},
+		{40 * Day, 0},
+		{50 * Day, 0},
+	}
+	for _, tt := range tests {
+		if got := f.At(tt.age); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("At(%v) = %v, want %v", tt.age, got, tt.want)
+		}
+	}
+	exp, ok := f.ExpireAge()
+	if !ok || exp != 40*Day {
+		t.Errorf("ExpireAge() = %v, %v; want 40d, true", exp, ok)
+	}
+}
+
+func TestPiecewiseExpireTrailingZeros(t *testing.T) {
+	f, err := NewPiecewise([]Point{
+		{Age: 0, Value: 1},
+		{Age: 10 * Day, Value: 0},
+		{Age: 20 * Day, Value: 0},
+	})
+	if err != nil {
+		t.Fatalf("NewPiecewise: %v", err)
+	}
+	exp, ok := f.ExpireAge()
+	if !ok || exp != 10*Day {
+		t.Errorf("ExpireAge() = %v, %v; want first zero at 10d", exp, ok)
+	}
+}
+
+func TestPiecewiseNeverExpires(t *testing.T) {
+	f, err := NewPiecewise([]Point{{Age: 0, Value: 1}, {Age: Day, Value: 0.5}})
+	if err != nil {
+		t.Fatalf("NewPiecewise: %v", err)
+	}
+	if _, ok := f.ExpireAge(); ok {
+		t.Error("piecewise ending above zero should not expire")
+	}
+	if got := f.At(100 * Day); got != 0.5 {
+		t.Errorf("At past last point = %v, want final value 0.5", got)
+	}
+}
+
+func TestNewPiecewiseValidation(t *testing.T) {
+	tests := []struct {
+		name    string
+		points  []Point
+		wantErr error
+	}{
+		{"empty", nil, ErrEmpty},
+		{"unordered ages", []Point{{Age: Day, Value: 1}, {Age: Day, Value: 0.5}}, ErrUnordered},
+		{"increasing values", []Point{{Age: 0, Value: 0.5}, {Age: Day, Value: 0.8}}, ErrNotMonotone},
+		{"negative age", []Point{{Age: -Day, Value: 1}}, ErrNegativeDuration},
+		{"value out of range", []Point{{Age: 0, Value: 1.5}}, ErrOutOfRange},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := NewPiecewise(tt.points); !errors.Is(err, tt.wantErr) {
+				t.Errorf("NewPiecewise() error = %v, want %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestPiecewisePointsIsCopy(t *testing.T) {
+	orig := []Point{{Age: 0, Value: 1}, {Age: Day, Value: 0}}
+	f, err := NewPiecewise(orig)
+	if err != nil {
+		t.Fatalf("NewPiecewise: %v", err)
+	}
+	orig[0].Value = 0 // must not alias into f
+	if got := f.At(0); got != 1 {
+		t.Errorf("mutating input slice changed the function: At(0) = %v", got)
+	}
+	pts := f.Points()
+	pts[0].Value = 0 // must not alias out of f
+	if got := f.At(0); got != 1 {
+		t.Errorf("mutating Points() result changed the function: At(0) = %v", got)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := []Function{
+		TwoStep{Plateau: 1, Persist: 15 * Day, Wane: 15 * Day},
+		Constant{Level: 1},
+		Dirac{},
+		Linear{Start: 0.5, Expire: 30 * Day},
+		Exponential{Start: 1, HalfLife: 10 * Day, Expire: 100 * Day},
+	}
+	for _, f := range good {
+		if err := Validate(f); err != nil {
+			t.Errorf("Validate(%v) = %v, want nil", f, err)
+		}
+	}
+	bad := []Function{
+		TwoStep{Plateau: 2, Persist: Day, Wane: Day},
+		Constant{Level: -1},
+		increasing{},
+	}
+	for _, f := range bad {
+		if err := Validate(f); err == nil {
+			t.Errorf("Validate(%#v) = nil, want error", f)
+		}
+	}
+}
+
+// increasing violates monotonicity on purpose.
+type increasing struct{}
+
+func (increasing) At(age time.Duration) float64 {
+	if age > 30*Day {
+		return 1
+	}
+	return 0.1
+}
+func (increasing) ExpireAge() (time.Duration, bool) { return 0, false }
+
+func TestRemaining(t *testing.T) {
+	f := TwoStep{Plateau: 1, Persist: 10 * Day, Wane: 20 * Day}
+	rem, ok := Remaining(f, 5*Day)
+	if !ok || rem != 25*Day {
+		t.Errorf("Remaining at 5d = %v, %v; want 25d, true", rem, ok)
+	}
+	rem, ok = Remaining(f, 31*Day)
+	if !ok || rem != 0 {
+		t.Errorf("Remaining past expiry = %v, %v; want 0, true", rem, ok)
+	}
+	if _, ok := Remaining(Constant{Level: 1}, Day); ok {
+		t.Error("Remaining of a never-expiring function should report false")
+	}
+}

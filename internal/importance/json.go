@@ -1,0 +1,52 @@
+package importance
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// JSON wraps a Function for JSON (de)serialization. The function is encoded
+// as its spec string (see ParseSpec), which keeps configuration files and
+// API payloads human-editable:
+//
+//	{"importance": "twostep:p=1,persist=360h,wane=720h"}
+type JSON struct {
+	// Function is the wrapped importance function. A nil Function
+	// marshals as JSON null.
+	Function Function
+}
+
+var (
+	_ json.Marshaler   = JSON{}
+	_ json.Unmarshaler = (*JSON)(nil)
+)
+
+// MarshalJSON encodes the wrapped function as its spec string.
+func (j JSON) MarshalJSON() ([]byte, error) {
+	if j.Function == nil {
+		return []byte("null"), nil
+	}
+	spec, err := FormatSpec(j.Function)
+	if err != nil {
+		return nil, fmt.Errorf("marshal importance: %w", err)
+	}
+	return json.Marshal(spec)
+}
+
+// UnmarshalJSON decodes a spec string (or null) into the wrapped function.
+func (j *JSON) UnmarshalJSON(data []byte) error {
+	if string(data) == "null" {
+		j.Function = nil
+		return nil
+	}
+	var spec string
+	if err := json.Unmarshal(data, &spec); err != nil {
+		return fmt.Errorf("unmarshal importance: %w", err)
+	}
+	f, err := ParseSpec(spec)
+	if err != nil {
+		return fmt.Errorf("unmarshal importance: %w", err)
+	}
+	j.Function = f
+	return nil
+}

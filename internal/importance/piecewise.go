@@ -1,0 +1,117 @@
+package importance
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Point is one breakpoint of a piecewise-linear importance function.
+type Point struct {
+	// Age is the object age of the breakpoint.
+	Age time.Duration
+	// Value is the importance at that age, in [0, 1].
+	Value float64
+}
+
+// Piecewise is a general monotonically decreasing piecewise-linear
+// importance function, the paper's "general function" family. Importance is
+// linearly interpolated between breakpoints, constant before the first
+// breakpoint, and constant after the last (zero if the last value is zero).
+//
+// Construct values with NewPiecewise, which enforces strictly increasing
+// ages and non-increasing values.
+type Piecewise struct {
+	points []Point
+}
+
+var _ Function = Piecewise{}
+
+// NewPiecewise validates the breakpoints and returns the piecewise function.
+// Ages must be strictly increasing, values must be non-increasing and in
+// [0, 1]. The points slice is copied.
+func NewPiecewise(points []Point) (Piecewise, error) {
+	if len(points) == 0 {
+		return Piecewise{}, ErrEmpty
+	}
+	cp := make([]Point, len(points))
+	copy(cp, points)
+	for i, p := range cp {
+		if p.Age < 0 {
+			return Piecewise{}, fmt.Errorf("point %d: %w: %v", i, ErrNegativeDuration, p.Age)
+		}
+		if err := checkLevel(p.Value); err != nil {
+			return Piecewise{}, fmt.Errorf("point %d: %w", i, err)
+		}
+		if i > 0 {
+			if p.Age <= cp[i-1].Age {
+				return Piecewise{}, fmt.Errorf("point %d: %w", i, ErrUnordered)
+			}
+			if p.Value > cp[i-1].Value {
+				return Piecewise{}, fmt.Errorf("point %d: %w", i, ErrNotMonotone)
+			}
+		}
+	}
+	return Piecewise{points: cp}, nil
+}
+
+// Points returns a copy of the breakpoints.
+func (f Piecewise) Points() []Point {
+	cp := make([]Point, len(f.points))
+	copy(cp, f.points)
+	return cp
+}
+
+// At returns the interpolated importance at the given age.
+func (f Piecewise) At(age time.Duration) float64 {
+	age = clampAge(age)
+	n := len(f.points)
+	if n == 0 {
+		return 0
+	}
+	if age <= f.points[0].Age {
+		return f.points[0].Value
+	}
+	if age >= f.points[n-1].Age {
+		return f.points[n-1].Value
+	}
+	// First breakpoint strictly beyond age; interpolate on [i-1, i].
+	i := sort.Search(n, func(i int) bool { return f.points[i].Age > age })
+	lo, hi := f.points[i-1], f.points[i]
+	frac := float64(age-lo.Age) / float64(hi.Age-lo.Age)
+	return lo.Value + (hi.Value-lo.Value)*frac
+}
+
+// ExpireAge returns the first age at which the interpolated importance
+// reaches zero. A piecewise function whose final value is positive never
+// expires.
+func (f Piecewise) ExpireAge() (time.Duration, bool) {
+	n := len(f.points)
+	if n == 0 {
+		return 0, true
+	}
+	if f.points[n-1].Value > 0 {
+		return 0, false
+	}
+	// Walk back over the trailing zero-valued points to the first moment
+	// the function touches zero.
+	i := n - 1
+	for i > 0 && f.points[i-1].Value == 0 {
+		i--
+	}
+	return f.points[i].Age, true
+}
+
+// String renders the function in the package's spec syntax.
+func (f Piecewise) String() string {
+	var b strings.Builder
+	b.WriteString("piecewise:")
+	for i, p := range f.points {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%g", p.Age, p.Value)
+	}
+	return b.String()
+}

@@ -1,0 +1,191 @@
+package importance
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// quickConfig bounds generated values to the domains the package accepts.
+var quickConfig = &quick.Config{MaxCount: 500}
+
+// genLevel maps an arbitrary float64 into [0, 1].
+func genLevel(v float64) float64 {
+	if v != v || math.IsInf(v, 0) {
+		return 0.5
+	}
+	v = math.Abs(v)
+	return v - math.Floor(v)
+}
+
+// genDur maps an arbitrary int64 into a non-negative duration of at most
+// roughly twenty years, keeping ages within the validator horizon.
+func genDur(v int64) time.Duration {
+	if v < 0 {
+		v = -(v + 1)
+	}
+	return time.Duration(v % int64(20*365*Day))
+}
+
+func TestQuickTwoStepInvariants(t *testing.T) {
+	prop := func(level float64, persist, wane int64, age1, age2 int64) bool {
+		f, err := NewTwoStep(genLevel(level), genDur(persist), genDur(wane))
+		if err != nil {
+			return false
+		}
+		a1, a2 := genDur(age1), genDur(age2)
+		if a1 > a2 {
+			a1, a2 = a2, a1
+		}
+		v1, v2 := f.At(a1), f.At(a2)
+		if v1 < 0 || v1 > 1 || v2 < 0 || v2 > 1 {
+			return false
+		}
+		if v2 > v1 { // must be monotonically decreasing
+			return false
+		}
+		exp, ok := f.ExpireAge()
+		return ok && f.At(exp) == 0
+	}
+	if err := quick.Check(prop, quickConfig); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickLinearDominatedByStart(t *testing.T) {
+	prop := func(level float64, expire, age int64) bool {
+		f, err := NewLinear(genLevel(level), genDur(expire))
+		if err != nil {
+			return false
+		}
+		v := f.At(genDur(age))
+		return v >= 0 && v <= f.Start
+	}
+	if err := quick.Check(prop, quickConfig); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickExponentialMonotone(t *testing.T) {
+	prop := func(level float64, half, expire, age1, age2 int64) bool {
+		h := genDur(half)
+		if h == 0 {
+			h = time.Minute
+		}
+		f, err := NewExponential(genLevel(level), h, genDur(expire))
+		if err != nil {
+			return false
+		}
+		a1, a2 := genDur(age1), genDur(age2)
+		if a1 > a2 {
+			a1, a2 = a2, a1
+		}
+		return f.At(a2) <= f.At(a1)
+	}
+	if err := quick.Check(prop, quickConfig); err != nil {
+		t.Error(err)
+	}
+}
+
+// genPiecewise builds a valid random piecewise function from a seed.
+func genPiecewise(rng *rand.Rand) Piecewise {
+	n := 1 + rng.Intn(8)
+	points := make([]Point, 0, n)
+	age := time.Duration(0)
+	value := 1 - rng.Float64()*0.1
+	for i := 0; i < n; i++ {
+		points = append(points, Point{Age: age, Value: value})
+		age += time.Duration(1+rng.Intn(400)) * Day
+		value -= rng.Float64() * value
+		if value < 1e-9 {
+			value = 0
+		}
+	}
+	f, err := NewPiecewise(points)
+	if err != nil {
+		panic(err) // generator bug, not a property failure
+	}
+	return f
+}
+
+func TestQuickPiecewiseValidatorAccepts(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		f := genPiecewise(rng)
+		if err := Validate(f); err != nil {
+			t.Fatalf("random valid piecewise rejected: %v (%v)", err, f)
+		}
+	}
+}
+
+func TestQuickCodecRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 300; i++ {
+		f := randomFunction(rng)
+		encoded, err := Encode(f)
+		if err != nil {
+			t.Fatalf("Encode(%v): %v", f, err)
+		}
+		decoded, n, err := Decode(encoded)
+		if err != nil {
+			t.Fatalf("Decode(%v): %v", f, err)
+		}
+		if n != len(encoded) {
+			t.Fatalf("Decode consumed %d of %d bytes", n, len(encoded))
+		}
+		for _, age := range []time.Duration{0, Day, 40 * Day, 1000 * Day} {
+			if got, want := decoded.At(age), f.At(age); math.Abs(got-want) > 1e-12 {
+				t.Fatalf("round trip of %v changed At(%v): %v != %v", f, age, got, want)
+			}
+		}
+	}
+}
+
+func TestQuickSpecRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 300; i++ {
+		f := randomFunction(rng)
+		spec, err := FormatSpec(f)
+		if err != nil {
+			t.Fatalf("FormatSpec(%v): %v", f, err)
+		}
+		parsed, err := ParseSpec(spec)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", spec, err)
+		}
+		for _, age := range []time.Duration{0, Day / 2, 17 * Day, 900 * Day} {
+			got, want := parsed.At(age), f.At(age)
+			if math.Abs(got-want) > 1e-9 {
+				t.Fatalf("spec round trip of %q changed At(%v): %v != %v", spec, age, got, want)
+			}
+		}
+	}
+}
+
+// randomFunction draws a valid function across every encodable family.
+func randomFunction(rng *rand.Rand) Function {
+	switch rng.Intn(6) {
+	case 0:
+		return TwoStep{
+			Plateau: rng.Float64(),
+			Persist: time.Duration(rng.Intn(1000)) * Day,
+			Wane:    time.Duration(rng.Intn(1000)) * Day,
+		}
+	case 1:
+		return Constant{Level: rng.Float64()}
+	case 2:
+		return Dirac{}
+	case 3:
+		return Linear{Start: rng.Float64(), Expire: time.Duration(rng.Intn(1000)) * Day}
+	case 4:
+		return Exponential{
+			Start:    rng.Float64(),
+			HalfLife: time.Duration(1+rng.Intn(400)) * Day,
+			Expire:   time.Duration(rng.Intn(2000)) * Day,
+		}
+	default:
+		return genPiecewise(rng)
+	}
+}

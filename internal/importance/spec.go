@@ -1,0 +1,193 @@
+package importance
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ErrBadSpec reports an unparsable importance spec string.
+var ErrBadSpec = errors.New("importance: bad spec")
+
+// ParseSpec parses the human-readable importance spec syntax used by the
+// command-line tools and examples. The syntax is
+//
+//	<family>[:<key>=<value>,...]
+//
+// with families
+//
+//	twostep:p=<level>,persist=<dur>,wane=<dur>
+//	constant:p=<level>
+//	dirac
+//	linear:p=<level>,expire=<dur>
+//	exp:p=<level>,halflife=<dur>,expire=<dur>
+//	piecewise:<dur>=<level>,<dur>=<level>,...
+//
+// Durations use Go syntax ("360h", "15m") extended with a "d" day unit
+// ("30d", "2.5d"). Examples:
+//
+//	twostep:p=1,persist=15d,wane=15d
+//	constant:p=0.5
+//	piecewise:0s=1,120d=1,850d=0
+//
+// The String methods of the function types emit this syntax, modulo the day
+// unit, so ParseSpec(f.String()) round-trips every family.
+func ParseSpec(spec string) (Function, error) {
+	family, rest, _ := strings.Cut(spec, ":")
+	family = strings.ToLower(strings.TrimSpace(family))
+	switch family {
+	case "dirac":
+		if rest != "" {
+			return nil, fmt.Errorf("%w: dirac takes no parameters: %q", ErrBadSpec, spec)
+		}
+		return Dirac{}, nil
+	case "piecewise":
+		return parsePiecewiseSpec(rest)
+	case "twostep", "constant", "linear", "exp", "exponential":
+		kv, err := parseKeyValues(rest)
+		if err != nil {
+			return nil, err
+		}
+		return buildFromKeyValues(family, kv)
+	default:
+		return nil, fmt.Errorf("%w: unknown family %q", ErrBadSpec, family)
+	}
+}
+
+// MustParseSpec is a ParseSpec that panics on error, for tests and
+// package-level example tables with compile-time-constant specs.
+func MustParseSpec(spec string) Function {
+	f, err := ParseSpec(spec)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// FormatSpec renders a function in the spec syntax accepted by ParseSpec.
+func FormatSpec(f Function) (string, error) {
+	switch f := f.(type) {
+	case TwoStep:
+		return f.String(), nil
+	case Constant:
+		return f.String(), nil
+	case Dirac:
+		return f.String(), nil
+	case Linear:
+		return f.String(), nil
+	case Exponential:
+		return f.String(), nil
+	case Piecewise:
+		return f.String(), nil
+	default:
+		return "", fmt.Errorf("%w: %T", ErrUnknownKind, f)
+	}
+}
+
+type specValues struct {
+	floats map[string]float64
+	durs   map[string]time.Duration
+}
+
+func parseKeyValues(rest string) (specValues, error) {
+	kv := specValues{
+		floats: make(map[string]float64),
+		durs:   make(map[string]time.Duration),
+	}
+	if strings.TrimSpace(rest) == "" {
+		return kv, nil
+	}
+	for _, part := range strings.Split(rest, ",") {
+		key, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return kv, fmt.Errorf("%w: missing '=' in %q", ErrBadSpec, part)
+		}
+		key = strings.ToLower(strings.TrimSpace(key))
+		val = strings.TrimSpace(val)
+		switch key {
+		case "p", "level", "start":
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return kv, fmt.Errorf("%w: level %q: %v", ErrBadSpec, val, err)
+			}
+			kv.floats["p"] = f
+		case "persist", "wane", "expire", "halflife":
+			d, err := ParseDuration(val)
+			if err != nil {
+				return kv, fmt.Errorf("%w: duration %q: %v", ErrBadSpec, val, err)
+			}
+			kv.durs[key] = d
+		default:
+			return kv, fmt.Errorf("%w: unknown key %q", ErrBadSpec, key)
+		}
+	}
+	return kv, nil
+}
+
+func buildFromKeyValues(family string, kv specValues) (Function, error) {
+	level, hasLevel := kv.floats["p"]
+	if !hasLevel {
+		level = 1
+	}
+	switch family {
+	case "twostep":
+		return NewTwoStep(level, kv.durs["persist"], kv.durs["wane"])
+	case "constant":
+		return NewConstant(level)
+	case "linear":
+		return NewLinear(level, kv.durs["expire"])
+	case "exp", "exponential":
+		return NewExponential(level, kv.durs["halflife"], kv.durs["expire"])
+	default:
+		return nil, fmt.Errorf("%w: unknown family %q", ErrBadSpec, family)
+	}
+}
+
+func parsePiecewiseSpec(rest string) (Function, error) {
+	if strings.TrimSpace(rest) == "" {
+		return nil, fmt.Errorf("%w: piecewise needs at least one point", ErrBadSpec)
+	}
+	var points []Point
+	for _, part := range strings.Split(rest, ",") {
+		ageStr, valStr, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("%w: missing '=' in piecewise point %q", ErrBadSpec, part)
+		}
+		age, err := ParseDuration(strings.TrimSpace(ageStr))
+		if err != nil {
+			return nil, fmt.Errorf("%w: piecewise age %q: %v", ErrBadSpec, ageStr, err)
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(valStr), 64)
+		if err != nil {
+			return nil, fmt.Errorf("%w: piecewise value %q: %v", ErrBadSpec, valStr, err)
+		}
+		points = append(points, Point{Age: age, Value: v})
+	}
+	return NewPiecewise(points)
+}
+
+// ParseDuration parses a Go duration extended with a day unit: a suffix of
+// "d" multiplies the numeric prefix by 24 hours. Mixed forms such as "1d12h"
+// are not supported; use either the day form or plain Go syntax.
+func ParseDuration(s string) (time.Duration, error) {
+	if strings.HasSuffix(s, "d") && !strings.HasSuffix(s, "nd") { // not a Go unit
+		days, err := strconv.ParseFloat(strings.TrimSuffix(s, "d"), 64)
+		if err != nil {
+			return 0, fmt.Errorf("importance: bad day duration %q: %w", s, err)
+		}
+		return time.Duration(days * float64(Day)), nil
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		return 0, fmt.Errorf("importance: %w", err)
+	}
+	return d, nil
+}
+
+// FormatDays renders a duration as a fractional day count, the natural unit
+// of the paper's lifetime discussions.
+func FormatDays(d time.Duration) string {
+	return strconv.FormatFloat(float64(d)/float64(Day), 'g', 6, 64) + "d"
+}

@@ -1,0 +1,81 @@
+package importance
+
+import (
+	"fmt"
+	"time"
+)
+
+// TwoStep is the paper's two-piece temporal importance function (Figure 1):
+// a constant plateau at level Plateau for the first Persist of an object's
+// life, followed by a linear wane to zero over the next Wane.
+//
+//	L(t) = Plateau                                    t <= Persist
+//	L(t) = Plateau * (1 - (t-Persist)/Wane)           Persist < t < Persist+Wane
+//	L(t) = 0                                          t >= Persist+Wane
+//
+// The two-step function generalizes the other policies the paper discusses:
+// Wane == 0 yields the fixed-priority "no temporal degradation" policy, and
+// Persist == Wane == 0 yields cache-like degradation (see Dirac).
+type TwoStep struct {
+	// Plateau is the constant importance level during the persist phase,
+	// in [0, 1]. University-created lecture objects use 1.0; student
+	// interpretations use 0.5 in the paper's Section 5.2 scenario.
+	Plateau float64
+	// Persist is the duration of the constant-importance phase.
+	Persist time.Duration
+	// Wane is the duration of the linear decay that follows.
+	Wane time.Duration
+}
+
+var _ Function = TwoStep{}
+
+// NewTwoStep validates the parameters and returns the two-step function.
+func NewTwoStep(plateau float64, persist, wane time.Duration) (TwoStep, error) {
+	f := TwoStep{Plateau: plateau, Persist: persist, Wane: wane}
+	if err := f.check(); err != nil {
+		return TwoStep{}, err
+	}
+	return f, nil
+}
+
+func (f TwoStep) check() error {
+	if err := checkLevel(f.Plateau); err != nil {
+		return err
+	}
+	if f.Persist < 0 {
+		return fmt.Errorf("persist: %w: %v", ErrNegativeDuration, f.Persist)
+	}
+	if f.Wane < 0 {
+		return fmt.Errorf("wane: %w: %v", ErrNegativeDuration, f.Wane)
+	}
+	return nil
+}
+
+// At returns the importance at the given age.
+func (f TwoStep) At(age time.Duration) float64 {
+	age = clampAge(age)
+	switch {
+	case f.Plateau == 0:
+		return 0
+	case age <= f.Persist:
+		return f.Plateau
+	case age >= f.Persist+f.Wane:
+		return 0
+	default:
+		frac := float64(age-f.Persist) / float64(f.Wane)
+		return f.Plateau * (1 - frac)
+	}
+}
+
+// ExpireAge returns Persist+Wane. A two-step function always expires.
+func (f TwoStep) ExpireAge() (time.Duration, bool) {
+	if f.Plateau == 0 {
+		return 0, true
+	}
+	return f.Persist + f.Wane, true
+}
+
+// String renders the function in the package's spec syntax.
+func (f TwoStep) String() string {
+	return fmt.Sprintf("twostep:p=%g,persist=%s,wane=%s", f.Plateau, f.Persist, f.Wane)
+}

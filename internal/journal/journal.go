@@ -1,0 +1,305 @@
+// Package journal persists a Besteffs node's metadata history as an
+// append-only record log, so a daemon restart can rebuild its storage unit
+// -- which objects are resident, their arrival times, annotations and
+// versions -- and resume its clock where the previous process stopped.
+//
+// Each record is framed as [u32 length][u32 CRC-32][body]; replay stops
+// cleanly at the first torn or corrupt frame, which is exactly the state a
+// crash mid-append leaves behind. The journal records history (admissions,
+// deletions, evictions, rejuvenations); it is not a write-ahead log and
+// provides no more durability than the paper promises for Besteffs (a
+// single copy on one disk).
+package journal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+	"time"
+
+	"besteffs/internal/importance"
+	"besteffs/internal/object"
+)
+
+// Kind identifies a record type. Values are file-format-stable.
+type Kind uint8
+
+// Record kinds.
+const (
+	KindInvalid Kind = iota
+	// KindPut records an admission.
+	KindPut
+	// KindDelete records an explicit delete.
+	KindDelete
+	// KindEvict records a policy eviction.
+	KindEvict
+	// KindRejuvenate records an annotation replacement.
+	KindRejuvenate
+)
+
+// String returns the record-kind mnemonic.
+func (k Kind) String() string {
+	switch k {
+	case KindPut:
+		return "put"
+	case KindDelete:
+		return "delete"
+	case KindEvict:
+		return "evict"
+	case KindRejuvenate:
+		return "rejuvenate"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Record is one journal entry. Put and Rejuvenate carry an importance
+// function; Put additionally carries the object metadata.
+type Record struct {
+	// Kind is the record type.
+	Kind Kind
+	// At is the node time of the event.
+	At time.Duration
+	// ID names the object.
+	ID object.ID
+	// Size, Owner, Class and Version describe a put.
+	Size    int64
+	Owner   string
+	Class   object.Class
+	Version uint32
+	// Importance is set for puts and rejuvenations.
+	Importance importance.Function
+}
+
+// Format errors.
+var (
+	// ErrCorrupt reports a record that fails its checksum or decoding
+	// mid-file (a torn tail is not an error; replay just stops there).
+	ErrCorrupt = errors.New("journal: corrupt record")
+)
+
+const maxRecordSize = 1 << 20
+
+// encode serializes a record body (no framing).
+func encode(r Record) ([]byte, error) {
+	buf := make([]byte, 0, 64)
+	buf = append(buf, byte(r.Kind))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(r.At))
+	if len(r.ID) > 0xFFFF {
+		return nil, fmt.Errorf("journal: ID too long: %d bytes", len(r.ID))
+	}
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(r.ID)))
+	buf = append(buf, r.ID...)
+	switch r.Kind {
+	case KindPut:
+		buf = binary.BigEndian.AppendUint64(buf, uint64(r.Size))
+		if len(r.Owner) > 0xFFFF {
+			return nil, fmt.Errorf("journal: owner too long: %d bytes", len(r.Owner))
+		}
+		buf = binary.BigEndian.AppendUint16(buf, uint16(len(r.Owner)))
+		buf = append(buf, r.Owner...)
+		buf = append(buf, byte(r.Class))
+		buf = binary.BigEndian.AppendUint32(buf, r.Version)
+		imp, err := importance.Encode(r.Importance)
+		if err != nil {
+			return nil, fmt.Errorf("journal: %w", err)
+		}
+		buf = binary.BigEndian.AppendUint16(buf, uint16(len(imp)))
+		buf = append(buf, imp...)
+	case KindRejuvenate:
+		imp, err := importance.Encode(r.Importance)
+		if err != nil {
+			return nil, fmt.Errorf("journal: %w", err)
+		}
+		buf = binary.BigEndian.AppendUint16(buf, uint16(len(imp)))
+		buf = append(buf, imp...)
+	case KindDelete, KindEvict:
+		// ID only.
+	default:
+		return nil, fmt.Errorf("journal: cannot encode %v", r.Kind)
+	}
+	return buf, nil
+}
+
+// decode parses a record body.
+func decode(buf []byte) (Record, error) {
+	fail := func(msg string) (Record, error) {
+		return Record{}, fmt.Errorf("%w: %s", ErrCorrupt, msg)
+	}
+	if len(buf) < 11 {
+		return fail("short header")
+	}
+	r := Record{Kind: Kind(buf[0])}
+	r.At = time.Duration(binary.BigEndian.Uint64(buf[1:]))
+	idLen := int(binary.BigEndian.Uint16(buf[9:]))
+	buf = buf[11:]
+	if len(buf) < idLen {
+		return fail("short id")
+	}
+	r.ID = object.ID(buf[:idLen])
+	buf = buf[idLen:]
+	switch r.Kind {
+	case KindPut:
+		if len(buf) < 8+2 {
+			return fail("short put")
+		}
+		r.Size = int64(binary.BigEndian.Uint64(buf))
+		ownerLen := int(binary.BigEndian.Uint16(buf[8:]))
+		buf = buf[10:]
+		if len(buf) < ownerLen+1+4+2 {
+			return fail("short put owner")
+		}
+		r.Owner = string(buf[:ownerLen])
+		buf = buf[ownerLen:]
+		r.Class = object.Class(buf[0])
+		r.Version = binary.BigEndian.Uint32(buf[1:])
+		impLen := int(binary.BigEndian.Uint16(buf[5:]))
+		buf = buf[7:]
+		if len(buf) < impLen {
+			return fail("short put importance")
+		}
+		f, _, err := importance.Decode(buf[:impLen])
+		if err != nil {
+			return Record{}, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+		r.Importance = f
+	case KindRejuvenate:
+		if len(buf) < 2 {
+			return fail("short rejuvenate")
+		}
+		impLen := int(binary.BigEndian.Uint16(buf))
+		buf = buf[2:]
+		if len(buf) < impLen {
+			return fail("short rejuvenate importance")
+		}
+		f, _, err := importance.Decode(buf[:impLen])
+		if err != nil {
+			return Record{}, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+		r.Importance = f
+	case KindDelete, KindEvict:
+		// ID only.
+	default:
+		return fail("unknown kind")
+	}
+	return r, nil
+}
+
+// Writer appends records to a journal file. Writers are safe for
+// concurrent use.
+type Writer struct {
+	mu sync.Mutex
+	f  *os.File
+	bw *bufio.Writer
+}
+
+// Open opens (creating if needed) a journal for appending.
+func Open(path string) (*Writer, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: open: %w", err)
+	}
+	return &Writer{f: f, bw: bufio.NewWriter(f)}, nil
+}
+
+// Append writes one record.
+func (w *Writer) Append(r Record) error {
+	body, err := encode(r)
+	if err != nil {
+		return err
+	}
+	var hdr [8]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(body)))
+	binary.BigEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(body))
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, err := w.bw.Write(hdr[:]); err != nil {
+		return fmt.Errorf("journal: append: %w", err)
+	}
+	if _, err := w.bw.Write(body); err != nil {
+		return fmt.Errorf("journal: append: %w", err)
+	}
+	// Flush per record (no fsync): the journal is history, not a WAL,
+	// and the file store already fsyncs payloads. A crash can tear only
+	// the final record, which replay tolerates.
+	if err := w.bw.Flush(); err != nil {
+		return fmt.Errorf("journal: append: %w", err)
+	}
+	return nil
+}
+
+// Sync flushes buffered records to the OS and fsyncs the file.
+func (w *Writer) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.bw.Flush(); err != nil {
+		return fmt.Errorf("journal: flush: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("journal: sync: %w", err)
+	}
+	return nil
+}
+
+// Close flushes and closes the journal.
+func (w *Writer) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.bw.Flush(); err != nil {
+		w.f.Close()
+		return fmt.Errorf("journal: flush: %w", err)
+	}
+	if err := w.f.Close(); err != nil {
+		return fmt.Errorf("journal: close: %w", err)
+	}
+	return nil
+}
+
+// Replay streams the journal's records into fn, in order. It returns the
+// number of records applied. A torn or corrupt tail ends replay without an
+// error (that is the expected post-crash state); an fn error aborts replay
+// and is returned. A missing file replays zero records.
+func Replay(path string, fn func(Record) error) (int, error) {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("journal: open for replay: %w", err)
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	applied := 0
+	for {
+		var hdr [8]byte
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			return applied, nil // clean EOF or torn header: stop
+		}
+		length := binary.BigEndian.Uint32(hdr[:4])
+		sum := binary.BigEndian.Uint32(hdr[4:])
+		if length > maxRecordSize {
+			return applied, nil // garbage length: treat as torn tail
+		}
+		body := make([]byte, length)
+		if _, err := io.ReadFull(br, body); err != nil {
+			return applied, nil // torn body
+		}
+		if crc32.ChecksumIEEE(body) != sum {
+			return applied, nil // corrupt tail
+		}
+		rec, err := decode(body)
+		if err != nil {
+			return applied, nil // undecodable tail
+		}
+		if err := fn(rec); err != nil {
+			return applied, fmt.Errorf("journal: replay record %d (%v %s): %w",
+				applied, rec.Kind, rec.ID, err)
+		}
+		applied++
+	}
+}

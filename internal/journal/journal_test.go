@@ -1,0 +1,200 @@
+package journal
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"besteffs/internal/importance"
+	"besteffs/internal/object"
+)
+
+const day = importance.Day
+
+func sampleRecords() []Record {
+	return []Record{
+		{
+			Kind: KindPut, At: time.Hour, ID: "cs101/l1", Size: 1024,
+			Owner: "prof", Class: object.ClassUniversity, Version: 1,
+			Importance: importance.TwoStep{Plateau: 1, Persist: 15 * day, Wane: 15 * day},
+		},
+		{
+			Kind: KindPut, At: 2 * time.Hour, ID: "cs101/l2", Size: 2048,
+			Owner: "student", Class: object.ClassStudent, Version: 1,
+			Importance: importance.Constant{Level: 0.5},
+		},
+		{Kind: KindEvict, At: 3 * time.Hour, ID: "cs101/l2"},
+		{
+			Kind: KindRejuvenate, At: 4 * time.Hour, ID: "cs101/l1",
+			Importance: importance.Constant{Level: 0.2},
+		},
+		{Kind: KindDelete, At: 5 * time.Hour, ID: "cs101/l1"},
+	}
+}
+
+func writeAll(t *testing.T, path string, records []Record) {
+	t.Helper()
+	w, err := Open(path)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	for i, r := range records {
+		if err := w.Append(r); err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.log")
+	want := sampleRecords()
+	writeAll(t, path, want)
+
+	var got []Record
+	n, err := Replay(path, func(r Record) error {
+		got = append(got, r)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if n != len(want) || len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", n, len(want))
+	}
+	for i := range want {
+		w, g := want[i], got[i]
+		if g.Kind != w.Kind || g.At != w.At || g.ID != w.ID ||
+			g.Size != w.Size || g.Owner != w.Owner || g.Class != w.Class ||
+			g.Version != w.Version {
+			t.Errorf("record %d = %+v, want %+v", i, g, w)
+		}
+		if w.Importance != nil {
+			if g.Importance == nil {
+				t.Fatalf("record %d lost importance", i)
+			}
+			for _, age := range []time.Duration{0, 10 * day, 20 * day} {
+				if g.Importance.At(age) != w.Importance.At(age) {
+					t.Errorf("record %d importance changed at %v", i, age)
+				}
+			}
+		}
+	}
+}
+
+func TestReplayMissingFile(t *testing.T) {
+	n, err := Replay(filepath.Join(t.TempDir(), "nope.log"), func(Record) error {
+		t.Error("fn called for missing file")
+		return nil
+	})
+	if err != nil || n != 0 {
+		t.Errorf("Replay missing = %d, %v; want 0, nil", n, err)
+	}
+}
+
+func TestReplayTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.log")
+	writeAll(t, path, sampleRecords())
+	// Chop bytes off the end: replay must apply the intact prefix and
+	// stop silently.
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	for _, cut := range []int{1, 5, 9, len(full) / 2} {
+		torn := filepath.Join(t.TempDir(), "torn.log")
+		if err := os.WriteFile(torn, full[:len(full)-cut], 0o644); err != nil {
+			t.Fatalf("WriteFile: %v", err)
+		}
+		n, err := Replay(torn, func(Record) error { return nil })
+		if err != nil {
+			t.Errorf("cut %d: Replay err = %v, want nil", cut, err)
+		}
+		if n >= len(sampleRecords()) || n < 0 {
+			t.Errorf("cut %d: applied %d records", cut, n)
+		}
+	}
+}
+
+func TestReplayCorruptTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.log")
+	writeAll(t, path, sampleRecords())
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	// Flip a byte in the final record's body: CRC must reject it.
+	full[len(full)-1] ^= 0xFF
+	corrupt := filepath.Join(t.TempDir(), "corrupt.log")
+	if err := os.WriteFile(corrupt, full, 0o644); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	n, err := Replay(corrupt, func(Record) error { return nil })
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if n != len(sampleRecords())-1 {
+		t.Errorf("applied %d records, want %d (all but the corrupt tail)",
+			n, len(sampleRecords())-1)
+	}
+}
+
+func TestReplayFnErrorAborts(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.log")
+	writeAll(t, path, sampleRecords())
+	calls := 0
+	_, err := Replay(path, func(Record) error {
+		calls++
+		if calls == 2 {
+			return os.ErrInvalid
+		}
+		return nil
+	})
+	if err == nil {
+		t.Error("fn error not propagated")
+	}
+	if calls != 2 {
+		t.Errorf("fn called %d times, want 2", calls)
+	}
+}
+
+func TestAppendAfterReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.log")
+	writeAll(t, path, sampleRecords()[:2])
+	writeAll(t, path, sampleRecords()[2:])
+	n, err := Replay(path, func(Record) error { return nil })
+	if err != nil || n != len(sampleRecords()) {
+		t.Errorf("after reopen: %d records, %v", n, err)
+	}
+}
+
+func TestEncodeRejectsInvalidKind(t *testing.T) {
+	w, err := Open(filepath.Join(t.TempDir(), "j.log"))
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer w.Close()
+	if err := w.Append(Record{Kind: KindInvalid, ID: "x"}); err == nil {
+		t.Error("invalid kind accepted")
+	}
+	if err := w.Append(Record{Kind: KindPut, ID: "x"}); err == nil {
+		t.Error("put without importance accepted")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		KindPut: "put", KindDelete: "delete", KindEvict: "evict",
+		KindRejuvenate: "rejuvenate", Kind(99): "kind(99)",
+	} {
+		if got := k.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", k, got, want)
+		}
+	}
+}

@@ -1,0 +1,172 @@
+// Package metrics collects the time series the paper's figures are drawn
+// from: instantaneous density samples, per-day rejection counts, achieved
+// lifetimes indexed by eviction day. It offers bucketed downsampling for
+// plotting and CSV emission for external tools.
+package metrics
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// Point is one time-stamped sample on a virtual-time axis.
+type Point struct {
+	T time.Duration
+	V float64
+}
+
+// Series is an append-only time series. The zero value is ready to use.
+// Series is not safe for concurrent use; the simulator is single-threaded
+// and network servers should keep one series per goroutine or lock
+// externally.
+type Series struct {
+	name   string
+	points []Point
+}
+
+// NewSeries returns an empty named series.
+func NewSeries(name string) *Series { return &Series{name: name} }
+
+// Name returns the series name.
+func (s *Series) Name() string { return s.name }
+
+// Add appends a sample. Samples should be added in non-decreasing time
+// order; Bucketed and CSV sort defensively if they are not.
+func (s *Series) Add(t time.Duration, v float64) {
+	s.points = append(s.points, Point{T: t, V: v})
+}
+
+// Len returns the number of samples.
+func (s *Series) Len() int { return len(s.points) }
+
+// Points returns a copy of the samples sorted by time.
+func (s *Series) Points() []Point {
+	out := append([]Point(nil), s.points...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].T < out[j].T })
+	return out
+}
+
+// Values returns the sample values in insertion order.
+func (s *Series) Values() []float64 {
+	out := make([]float64, len(s.points))
+	for i, p := range s.points {
+		out[i] = p.V
+	}
+	return out
+}
+
+// ErrBadBucket reports a non-positive bucket width.
+var ErrBadBucket = errors.New("metrics: bucket width must be positive")
+
+// Bucket is one aggregate over a fixed-width time window.
+type Bucket struct {
+	// Start is the window's inclusive start time.
+	Start time.Duration
+	// Count is the number of samples in the window.
+	Count int
+	// Mean, Min and Max summarize the samples.
+	Mean, Min, Max float64
+	// Sum is the sample total (used for per-window volumes).
+	Sum float64
+}
+
+// Bucketed aggregates the series into fixed-width windows, skipping empty
+// windows. Figures downsample with this before ASCII rendering.
+func (s *Series) Bucketed(width time.Duration) ([]Bucket, error) {
+	if width <= 0 {
+		return nil, ErrBadBucket
+	}
+	pts := s.Points()
+	var out []Bucket
+	for i := 0; i < len(pts); {
+		start := pts[i].T - pts[i].T%width
+		b := Bucket{Start: start, Min: pts[i].V, Max: pts[i].V}
+		for ; i < len(pts) && pts[i].T < start+width; i++ {
+			v := pts[i].V
+			b.Count++
+			b.Sum += v
+			if v < b.Min {
+				b.Min = v
+			}
+			if v > b.Max {
+				b.Max = v
+			}
+		}
+		b.Mean = b.Sum / float64(b.Count)
+		out = append(out, b)
+	}
+	return out, nil
+}
+
+// CSV writes "t_seconds,value" rows (with a header) to w.
+func (s *Series) CSV(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "t_seconds,%s\n", s.name); err != nil {
+		return fmt.Errorf("metrics: write csv: %w", err)
+	}
+	for _, p := range s.Points() {
+		if _, err := fmt.Fprintf(w, "%.0f,%g\n", p.T.Seconds(), p.V); err != nil {
+			return fmt.Errorf("metrics: write csv: %w", err)
+		}
+	}
+	return nil
+}
+
+// DailyCounter counts events per simulated day (Figure 4's
+// rejections-per-day, Figure 8's downloads-per-day).
+type DailyCounter struct {
+	counts map[int]int
+}
+
+// NewDailyCounter returns an empty counter.
+func NewDailyCounter() *DailyCounter {
+	return &DailyCounter{counts: make(map[int]int)}
+}
+
+// Add increments the day containing t by n.
+func (c *DailyCounter) Add(t time.Duration, n int) {
+	c.counts[int(t/(24*time.Hour))] += n
+}
+
+// Total returns the sum over all days.
+func (c *DailyCounter) Total() int {
+	total := 0
+	for _, n := range c.counts {
+		total += n
+	}
+	return total
+}
+
+// Days returns (day index, count) pairs sorted by day, including only days
+// with at least one event.
+func (c *DailyCounter) Days() []DayCount {
+	out := make([]DayCount, 0, len(c.counts))
+	for d, n := range c.counts {
+		out = append(out, DayCount{Day: d, Count: n})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Day < out[j].Day })
+	return out
+}
+
+// DayCount is one day's event count.
+type DayCount struct {
+	Day   int
+	Count int
+}
+
+// CumulativeByDay converts per-day counts into a running total series,
+// filling gap days with the previous value.
+func CumulativeByDay(days []DayCount) []DayCount {
+	if len(days) == 0 {
+		return nil
+	}
+	out := make([]DayCount, 0, len(days))
+	total := 0
+	for _, d := range days {
+		total += d.Count
+		out = append(out, DayCount{Day: d.Day, Count: total})
+	}
+	return out
+}

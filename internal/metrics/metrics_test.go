@@ -1,0 +1,128 @@
+package metrics
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+const day = 24 * time.Hour
+
+func TestSeriesBasics(t *testing.T) {
+	s := NewSeries("density")
+	if s.Name() != "density" || s.Len() != 0 {
+		t.Errorf("fresh series: name %q len %d", s.Name(), s.Len())
+	}
+	s.Add(time.Hour, 0.5)
+	s.Add(2*time.Hour, 0.7)
+	if s.Len() != 2 {
+		t.Errorf("Len = %d, want 2", s.Len())
+	}
+	vals := s.Values()
+	if len(vals) != 2 || vals[0] != 0.5 || vals[1] != 0.7 {
+		t.Errorf("Values = %v", vals)
+	}
+}
+
+func TestSeriesPointsSorted(t *testing.T) {
+	s := NewSeries("x")
+	s.Add(3*time.Hour, 3)
+	s.Add(time.Hour, 1)
+	s.Add(2*time.Hour, 2)
+	pts := s.Points()
+	for i := 1; i < len(pts); i++ {
+		if pts[i].T < pts[i-1].T {
+			t.Fatalf("Points not sorted: %v", pts)
+		}
+	}
+}
+
+func TestBucketed(t *testing.T) {
+	s := NewSeries("x")
+	// Two samples on day 0, one on day 2, none on day 1.
+	s.Add(time.Hour, 1)
+	s.Add(20*time.Hour, 3)
+	s.Add(2*day+time.Hour, 10)
+	buckets, err := s.Bucketed(day)
+	if err != nil {
+		t.Fatalf("Bucketed: %v", err)
+	}
+	if len(buckets) != 2 {
+		t.Fatalf("buckets = %+v, want 2 (empty windows skipped)", buckets)
+	}
+	b0 := buckets[0]
+	if b0.Start != 0 || b0.Count != 2 || b0.Mean != 2 || b0.Min != 1 || b0.Max != 3 || b0.Sum != 4 {
+		t.Errorf("bucket 0 = %+v", b0)
+	}
+	b1 := buckets[1]
+	if b1.Start != 2*day || b1.Count != 1 || b1.Mean != 10 {
+		t.Errorf("bucket 1 = %+v", b1)
+	}
+}
+
+func TestBucketedBadWidth(t *testing.T) {
+	s := NewSeries("x")
+	if _, err := s.Bucketed(0); !errors.Is(err, ErrBadBucket) {
+		t.Errorf("zero width err = %v, want ErrBadBucket", err)
+	}
+}
+
+func TestBucketedEmpty(t *testing.T) {
+	s := NewSeries("x")
+	buckets, err := s.Bucketed(day)
+	if err != nil || len(buckets) != 0 {
+		t.Errorf("empty Bucketed = %v, %v", buckets, err)
+	}
+}
+
+func TestCSV(t *testing.T) {
+	s := NewSeries("v")
+	s.Add(60*time.Second, 0.25)
+	s.Add(120*time.Second, 0.5)
+	var b strings.Builder
+	if err := s.CSV(&b); err != nil {
+		t.Fatalf("CSV: %v", err)
+	}
+	want := "t_seconds,v\n60,0.25\n120,0.5\n"
+	if b.String() != want {
+		t.Errorf("CSV = %q, want %q", b.String(), want)
+	}
+}
+
+func TestDailyCounter(t *testing.T) {
+	c := NewDailyCounter()
+	c.Add(time.Hour, 1)        // day 0
+	c.Add(23*time.Hour, 2)     // day 0
+	c.Add(25*time.Hour, 5)     // day 1
+	c.Add(10*day+time.Hour, 1) // day 10
+	if c.Total() != 9 {
+		t.Errorf("Total = %d, want 9", c.Total())
+	}
+	days := c.Days()
+	if len(days) != 3 {
+		t.Fatalf("Days = %v", days)
+	}
+	if days[0] != (DayCount{Day: 0, Count: 3}) ||
+		days[1] != (DayCount{Day: 1, Count: 5}) ||
+		days[2] != (DayCount{Day: 10, Count: 1}) {
+		t.Errorf("Days = %v", days)
+	}
+}
+
+func TestCumulativeByDay(t *testing.T) {
+	in := []DayCount{{Day: 0, Count: 3}, {Day: 2, Count: 2}, {Day: 5, Count: 1}}
+	got := CumulativeByDay(in)
+	want := []DayCount{{Day: 0, Count: 3}, {Day: 2, Count: 5}, {Day: 5, Count: 6}}
+	if len(got) != len(want) {
+		t.Fatalf("CumulativeByDay = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("cumulative[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if CumulativeByDay(nil) != nil {
+		t.Error("CumulativeByDay(nil) should be nil")
+	}
+}

@@ -1,0 +1,200 @@
+// Package overlay provides the peer-to-peer membership graph Besteffs uses
+// to find candidate storage units: "random walks on our p2p overlay help us
+// choose a good set of storage units" (Section 5.3). The overlay is a
+// random regular-ish undirected graph; placement samples units by running
+// short random walks from an origin node.
+package overlay
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Construction errors.
+var (
+	// ErrTooSmall reports a graph with fewer than two nodes.
+	ErrTooSmall = errors.New("overlay: need at least two nodes")
+	// ErrBadDegree reports a degree below one or at least the node count.
+	ErrBadDegree = errors.New("overlay: bad degree")
+	// ErrNilRand reports a missing random source.
+	ErrNilRand = errors.New("overlay: nil random source")
+	// ErrBadNode reports a node index out of range.
+	ErrBadNode = errors.New("overlay: node out of range")
+)
+
+// Graph is an undirected membership graph over nodes 0..N-1. Graphs are
+// immutable after construction and safe for concurrent reads.
+type Graph struct {
+	neighbors [][]int
+}
+
+// NewRandomRegular builds a connected random graph in which every node has
+// at least degree neighbors: each node draws degree distinct random peers
+// and edges are made bidirectional, then any disconnected components are
+// stitched along a random ring. Randomness comes from rng; a fixed seed
+// reproduces the topology.
+func NewRandomRegular(n, degree int, rng *rand.Rand) (*Graph, error) {
+	if rng == nil {
+		return nil, ErrNilRand
+	}
+	if n < 2 {
+		return nil, fmt.Errorf("%w: %d", ErrTooSmall, n)
+	}
+	if degree < 1 || degree >= n {
+		return nil, fmt.Errorf("%w: %d for %d nodes", ErrBadDegree, degree, n)
+	}
+	adj := make([]map[int]bool, n)
+	for i := range adj {
+		adj[i] = make(map[int]bool, degree*2)
+	}
+	for i := 0; i < n; i++ {
+		for len(adj[i]) < degree {
+			j := rng.Intn(n)
+			if j == i {
+				continue
+			}
+			adj[i][j] = true
+			adj[j][i] = true
+		}
+	}
+	g := &Graph{neighbors: make([][]int, n)}
+	for i, set := range adj {
+		list := make([]int, 0, len(set))
+		for j := range set {
+			list = append(list, j)
+		}
+		sort.Ints(list)
+		g.neighbors[i] = list
+	}
+	g.connect(rng)
+	return g, nil
+}
+
+// connect stitches disconnected components together with ring edges so that
+// random walks can reach every node.
+func (g *Graph) connect(rng *rand.Rand) {
+	n := len(g.neighbors)
+	comp := g.components()
+	if len(comp) <= 1 {
+		return
+	}
+	// Link a random member of each component to one of the next.
+	for i := 0; i < len(comp); i++ {
+		a := comp[i][rng.Intn(len(comp[i]))]
+		next := comp[(i+1)%len(comp)]
+		b := next[rng.Intn(len(next))]
+		if a != b && !g.hasEdge(a, b) {
+			g.neighbors[a] = insertSorted(g.neighbors[a], b)
+			g.neighbors[b] = insertSorted(g.neighbors[b], a)
+		}
+	}
+	_ = n
+}
+
+func insertSorted(list []int, v int) []int {
+	i := sort.SearchInts(list, v)
+	list = append(list, 0)
+	copy(list[i+1:], list[i:])
+	list[i] = v
+	return list
+}
+
+func (g *Graph) hasEdge(a, b int) bool {
+	list := g.neighbors[a]
+	i := sort.SearchInts(list, b)
+	return i < len(list) && list[i] == b
+}
+
+// components returns the connected components as node lists.
+func (g *Graph) components() [][]int {
+	n := len(g.neighbors)
+	seen := make([]bool, n)
+	var out [][]int
+	for start := 0; start < n; start++ {
+		if seen[start] {
+			continue
+		}
+		var comp []int
+		queue := []int{start}
+		seen[start] = true
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			comp = append(comp, v)
+			for _, w := range g.neighbors[v] {
+				if !seen[w] {
+					seen[w] = true
+					queue = append(queue, w)
+				}
+			}
+		}
+		out = append(out, comp)
+	}
+	return out
+}
+
+// Len returns the number of nodes.
+func (g *Graph) Len() int { return len(g.neighbors) }
+
+// Neighbors returns a copy of a node's neighbor list.
+func (g *Graph) Neighbors(node int) ([]int, error) {
+	if node < 0 || node >= len(g.neighbors) {
+		return nil, fmt.Errorf("%w: %d", ErrBadNode, node)
+	}
+	return append([]int(nil), g.neighbors[node]...), nil
+}
+
+// IsConnected reports whether every node can reach every other.
+func (g *Graph) IsConnected() bool { return len(g.components()) == 1 }
+
+// RandomWalk performs a walk of the given number of steps from start and
+// returns the final node.
+func (g *Graph) RandomWalk(rng *rand.Rand, start, steps int) (int, error) {
+	if rng == nil {
+		return 0, ErrNilRand
+	}
+	if start < 0 || start >= len(g.neighbors) {
+		return 0, fmt.Errorf("%w: %d", ErrBadNode, start)
+	}
+	cur := start
+	for s := 0; s < steps; s++ {
+		nbrs := g.neighbors[cur]
+		if len(nbrs) == 0 {
+			break
+		}
+		cur = nbrs[rng.Intn(len(nbrs))]
+	}
+	return cur, nil
+}
+
+// SampleViaWalks gathers up to count distinct nodes by repeated random
+// walks from start. It gives up after a bounded number of attempts on
+// small graphs, so the result may be shorter than count; the walk origin
+// itself may be included (a storage unit can store its own capture).
+func (g *Graph) SampleViaWalks(rng *rand.Rand, start, count, steps int) ([]int, error) {
+	if rng == nil {
+		return nil, ErrNilRand
+	}
+	if start < 0 || start >= len(g.neighbors) {
+		return nil, fmt.Errorf("%w: %d", ErrBadNode, start)
+	}
+	if count <= 0 {
+		return nil, nil
+	}
+	seen := make(map[int]bool, count)
+	var out []int
+	maxAttempts := count * 8
+	for attempt := 0; attempt < maxAttempts && len(out) < count; attempt++ {
+		node, err := g.RandomWalk(rng, start, steps)
+		if err != nil {
+			return nil, err
+		}
+		if !seen[node] {
+			seen[node] = true
+			out = append(out, node)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,204 @@
+package overlay
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func TestNewRandomRegularValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := NewRandomRegular(1, 1, rng); !errors.Is(err, ErrTooSmall) {
+		t.Errorf("one node err = %v, want ErrTooSmall", err)
+	}
+	if _, err := NewRandomRegular(10, 0, rng); !errors.Is(err, ErrBadDegree) {
+		t.Errorf("zero degree err = %v, want ErrBadDegree", err)
+	}
+	if _, err := NewRandomRegular(10, 10, rng); !errors.Is(err, ErrBadDegree) {
+		t.Errorf("degree==n err = %v, want ErrBadDegree", err)
+	}
+	if _, err := NewRandomRegular(10, 3, nil); !errors.Is(err, ErrNilRand) {
+		t.Errorf("nil rng err = %v, want ErrNilRand", err)
+	}
+}
+
+func TestGraphStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g, err := NewRandomRegular(200, 4, rng)
+	if err != nil {
+		t.Fatalf("NewRandomRegular: %v", err)
+	}
+	if g.Len() != 200 {
+		t.Errorf("Len = %d, want 200", g.Len())
+	}
+	if !g.IsConnected() {
+		t.Error("graph not connected")
+	}
+	for i := 0; i < g.Len(); i++ {
+		nbrs, err := g.Neighbors(i)
+		if err != nil {
+			t.Fatalf("Neighbors(%d): %v", i, err)
+		}
+		if len(nbrs) < 4 {
+			t.Errorf("node %d has %d neighbors, want >= 4", i, len(nbrs))
+		}
+		for _, j := range nbrs {
+			if j == i {
+				t.Errorf("node %d has a self-loop", i)
+			}
+			// Undirected: j must list i.
+			back, err := g.Neighbors(j)
+			if err != nil {
+				t.Fatalf("Neighbors(%d): %v", j, err)
+			}
+			found := false
+			for _, k := range back {
+				if k == i {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("edge %d->%d not symmetric", i, j)
+			}
+		}
+	}
+}
+
+func TestNeighborsOutOfRange(t *testing.T) {
+	g, err := NewRandomRegular(10, 2, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatalf("NewRandomRegular: %v", err)
+	}
+	if _, err := g.Neighbors(-1); !errors.Is(err, ErrBadNode) {
+		t.Errorf("Neighbors(-1) err = %v, want ErrBadNode", err)
+	}
+	if _, err := g.Neighbors(10); !errors.Is(err, ErrBadNode) {
+		t.Errorf("Neighbors(10) err = %v, want ErrBadNode", err)
+	}
+	// Neighbor lists are copies.
+	nbrs, err := g.Neighbors(0)
+	if err != nil {
+		t.Fatalf("Neighbors(0): %v", err)
+	}
+	if len(nbrs) > 0 {
+		nbrs[0] = -99
+		again, _ := g.Neighbors(0)
+		if again[0] == -99 {
+			t.Error("Neighbors returned internal slice")
+		}
+	}
+}
+
+func TestRandomWalk(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g, err := NewRandomRegular(50, 3, rng)
+	if err != nil {
+		t.Fatalf("NewRandomRegular: %v", err)
+	}
+	end, err := g.RandomWalk(rng, 0, 0)
+	if err != nil || end != 0 {
+		t.Errorf("zero-step walk = %d, %v; want 0", end, err)
+	}
+	end, err = g.RandomWalk(rng, 0, 10)
+	if err != nil || end < 0 || end >= 50 {
+		t.Errorf("walk = %d, %v", end, err)
+	}
+	if _, err := g.RandomWalk(rng, -1, 5); !errors.Is(err, ErrBadNode) {
+		t.Errorf("bad start err = %v, want ErrBadNode", err)
+	}
+	if _, err := g.RandomWalk(nil, 0, 5); !errors.Is(err, ErrNilRand) {
+		t.Errorf("nil rng err = %v, want ErrNilRand", err)
+	}
+}
+
+func TestRandomWalkReachesManyNodes(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g, err := NewRandomRegular(100, 4, rng)
+	if err != nil {
+		t.Fatalf("NewRandomRegular: %v", err)
+	}
+	seen := make(map[int]bool)
+	for i := 0; i < 2000; i++ {
+		end, err := g.RandomWalk(rng, 0, 12)
+		if err != nil {
+			t.Fatalf("RandomWalk: %v", err)
+		}
+		seen[end] = true
+	}
+	if len(seen) < 80 {
+		t.Errorf("2000 walks reached only %d/100 nodes; overlay too clumpy", len(seen))
+	}
+}
+
+func TestSampleViaWalks(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g, err := NewRandomRegular(100, 4, rng)
+	if err != nil {
+		t.Fatalf("NewRandomRegular: %v", err)
+	}
+	sample, err := g.SampleViaWalks(rng, 7, 10, 8)
+	if err != nil {
+		t.Fatalf("SampleViaWalks: %v", err)
+	}
+	if len(sample) != 10 {
+		t.Errorf("sample size = %d, want 10", len(sample))
+	}
+	seen := make(map[int]bool)
+	for _, v := range sample {
+		if seen[v] {
+			t.Errorf("duplicate node %d in sample", v)
+		}
+		seen[v] = true
+	}
+
+	// Zero count yields nothing; bad origin errors.
+	empty, err := g.SampleViaWalks(rng, 0, 0, 8)
+	if err != nil || len(empty) != 0 {
+		t.Errorf("zero-count sample = %v, %v", empty, err)
+	}
+	if _, err := g.SampleViaWalks(rng, 999, 5, 8); !errors.Is(err, ErrBadNode) {
+		t.Errorf("bad origin err = %v, want ErrBadNode", err)
+	}
+	if _, err := g.SampleViaWalks(nil, 0, 5, 8); !errors.Is(err, ErrNilRand) {
+		t.Errorf("nil rng err = %v, want ErrNilRand", err)
+	}
+}
+
+func TestSampleViaWalksSmallGraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	g, err := NewRandomRegular(3, 1, rng)
+	if err != nil {
+		t.Fatalf("NewRandomRegular: %v", err)
+	}
+	// Asking for more nodes than exist must terminate and return at most 3.
+	sample, err := g.SampleViaWalks(rng, 0, 10, 4)
+	if err != nil {
+		t.Fatalf("SampleViaWalks: %v", err)
+	}
+	if len(sample) > 3 {
+		t.Errorf("sample = %v, more nodes than the graph has", sample)
+	}
+}
+
+func TestDeterministicTopology(t *testing.T) {
+	build := func() *Graph {
+		g, err := NewRandomRegular(40, 3, rand.New(rand.NewSource(99)))
+		if err != nil {
+			t.Fatalf("NewRandomRegular: %v", err)
+		}
+		return g
+	}
+	a, b := build(), build()
+	for i := 0; i < a.Len(); i++ {
+		na, _ := a.Neighbors(i)
+		nb, _ := b.Neighbors(i)
+		if len(na) != len(nb) {
+			t.Fatalf("node %d degree differs across identical seeds", i)
+		}
+		for j := range na {
+			if na[j] != nb[j] {
+				t.Fatalf("node %d neighbors differ across identical seeds", i)
+			}
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package overlay
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestQuickGraphInvariants checks structural invariants over many random
+// topologies: connectivity, symmetry, minimum degree, no self-loops.
+func TestQuickGraphInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + rng.Intn(150)
+		degree := 1 + rng.Intn(n-1)
+		g, err := NewRandomRegular(n, degree, rng)
+		if err != nil {
+			t.Fatalf("trial %d (n=%d, d=%d): %v", trial, n, degree, err)
+		}
+		if !g.IsConnected() {
+			t.Fatalf("trial %d (n=%d, d=%d): disconnected", trial, n, degree)
+		}
+		for i := 0; i < n; i++ {
+			nbrs, err := g.Neighbors(i)
+			if err != nil {
+				t.Fatalf("Neighbors(%d): %v", i, err)
+			}
+			if len(nbrs) < degree {
+				t.Fatalf("trial %d: node %d degree %d < %d", trial, i, len(nbrs), degree)
+			}
+			seen := make(map[int]bool, len(nbrs))
+			for _, j := range nbrs {
+				if j == i {
+					t.Fatalf("trial %d: self-loop at %d", trial, i)
+				}
+				if j < 0 || j >= n {
+					t.Fatalf("trial %d: edge to out-of-range %d", trial, j)
+				}
+				if seen[j] {
+					t.Fatalf("trial %d: duplicate neighbor %d of %d", trial, j, i)
+				}
+				seen[j] = true
+				if !g.hasEdge(j, i) {
+					t.Fatalf("trial %d: asymmetric edge %d-%d", trial, i, j)
+				}
+			}
+		}
+	}
+}
+
+// TestQuickWalksStayInGraph checks that every walk ends at a valid node
+// and that samples never contain duplicates.
+func TestQuickWalksStayInGraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	g, err := NewRandomRegular(80, 4, rng)
+	if err != nil {
+		t.Fatalf("NewRandomRegular: %v", err)
+	}
+	for trial := 0; trial < 300; trial++ {
+		start := rng.Intn(80)
+		steps := rng.Intn(30)
+		end, err := g.RandomWalk(rng, start, steps)
+		if err != nil {
+			t.Fatalf("RandomWalk: %v", err)
+		}
+		if end < 0 || end >= 80 {
+			t.Fatalf("walk escaped the graph: %d", end)
+		}
+		count := 1 + rng.Intn(12)
+		sample, err := g.SampleViaWalks(rng, start, count, 1+steps)
+		if err != nil {
+			t.Fatalf("SampleViaWalks: %v", err)
+		}
+		if len(sample) > count {
+			t.Fatalf("sample larger than requested: %d > %d", len(sample), count)
+		}
+		seen := make(map[int]bool, len(sample))
+		for _, v := range sample {
+			if seen[v] {
+				t.Fatalf("duplicate %d in sample", v)
+			}
+			seen[v] = true
+		}
+	}
+}

@@ -1,0 +1,182 @@
+// Package plot renders experiment results as ASCII charts and aligned
+// tables for the paperbench binary and EXPERIMENTS.md. It is intentionally
+// small: scatter/line charts on a character grid with per-series glyphs,
+// plus column-aligned tables. For external tooling, every figure also emits
+// CSV via internal/metrics.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Point is one (x, y) sample.
+type Point struct {
+	X, Y float64
+}
+
+// Chart is an ASCII scatter chart with one glyph per series.
+type Chart struct {
+	// Title is printed above the grid.
+	Title string
+	// XLabel and YLabel name the axes.
+	XLabel, YLabel string
+	// Width and Height are the grid size in characters (defaults 72x20).
+	Width, Height int
+	// YMin and YMax fix the y range when YFixed is set; otherwise the
+	// range adapts to the data.
+	YMin, YMax float64
+	// YFixed pins the y range to [YMin, YMax] (for densities in [0,1]).
+	YFixed bool
+
+	series []series
+}
+
+type series struct {
+	name   string
+	glyph  byte
+	points []Point
+}
+
+// glyphs are assigned to series in order.
+var glyphs = []byte{'*', '+', 'o', 'x', '#', '@', '%', '~'}
+
+// Add appends a named series. Series beyond the glyph set reuse glyphs.
+func (c *Chart) Add(name string, points []Point) {
+	g := glyphs[len(c.series)%len(glyphs)]
+	c.series = append(c.series, series{name: name, glyph: g, points: points})
+}
+
+// Render draws the chart. An empty chart renders a note instead of a grid.
+func (c *Chart) Render() string {
+	width, height := c.Width, c.Height
+	if width <= 0 {
+		width = 72
+	}
+	if height <= 0 {
+		height = 20
+	}
+
+	var all []Point
+	for _, s := range c.series {
+		all = append(all, s.points...)
+	}
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	if len(all) == 0 {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, p := range all {
+		xmin, xmax = math.Min(xmin, p.X), math.Max(xmax, p.X)
+		ymin, ymax = math.Min(ymin, p.Y), math.Max(ymax, p.Y)
+	}
+	if c.YFixed {
+		ymin, ymax = c.YMin, c.YMax
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for _, s := range c.series {
+		for _, p := range s.points {
+			col := int((p.X - xmin) / (xmax - xmin) * float64(width-1))
+			row := int((p.Y - ymin) / (ymax - ymin) * float64(height-1))
+			if col < 0 || col >= width || row < 0 || row >= height {
+				continue
+			}
+			grid[height-1-row][col] = s.glyph
+		}
+	}
+
+	yLo, yHi := formatTick(ymin), formatTick(ymax)
+	labelWidth := max(len(yLo), len(yHi))
+	for i, row := range grid {
+		label := strings.Repeat(" ", labelWidth)
+		switch i {
+		case 0:
+			label = pad(yHi, labelWidth)
+		case height - 1:
+			label = pad(yLo, labelWidth)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(row))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", labelWidth), strings.Repeat("-", width))
+	xLo, xHi := formatTick(xmin), formatTick(xmax)
+	gap := width - len(xLo) - len(xHi)
+	if gap < 1 {
+		gap = 1
+	}
+	fmt.Fprintf(&b, "%s  %s%s%s\n", strings.Repeat(" ", labelWidth), xLo, strings.Repeat(" ", gap), xHi)
+	if c.XLabel != "" || c.YLabel != "" {
+		fmt.Fprintf(&b, "  x: %s, y: %s\n", c.XLabel, c.YLabel)
+	}
+	for _, s := range c.series {
+		fmt.Fprintf(&b, "  %c %s\n", s.glyph, s.name)
+	}
+	return b.String()
+}
+
+func formatTick(v float64) string {
+	return fmt.Sprintf("%.4g", v)
+}
+
+func pad(s string, width int) string {
+	if len(s) >= width {
+		return s
+	}
+	return strings.Repeat(" ", width-len(s)) + s
+}
+
+// Table renders rows under headers with aligned columns.
+func Table(headers []string, rows [][]string) string {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, w := range widths {
+			cell := ""
+			if i < len(cells) {
+				cell = cells[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			b.WriteString(strings.Repeat(" ", w-len(cell)))
+		}
+		b.WriteString("\n")
+	}
+	writeRow(headers)
+	sep := make([]string, len(headers))
+	for i, w := range widths {
+		sep[i] = strings.Repeat("-", w)
+	}
+	writeRow(sep)
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}

@@ -1,0 +1,89 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestChartRender(t *testing.T) {
+	c := Chart{Title: "demo", XLabel: "day", YLabel: "density", Width: 40, Height: 10}
+	c.Add("a", []Point{{0, 0}, {5, 0.5}, {10, 1}})
+	c.Add("b", []Point{{0, 1}, {10, 0}})
+	out := c.Render()
+	for _, want := range []string{"demo", "*", "+", "x: day, y: density", "a\n", "b\n"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(out, "\n")
+	// Title + 10 grid rows + axis + tick labels + axis names + 2 legend + trailing.
+	if len(lines) < 15 {
+		t.Errorf("render too short: %d lines", len(lines))
+	}
+}
+
+func TestChartEmpty(t *testing.T) {
+	c := Chart{Title: "empty"}
+	out := c.Render()
+	if !strings.Contains(out, "(no data)") {
+		t.Errorf("empty chart = %q", out)
+	}
+}
+
+func TestChartFixedYRange(t *testing.T) {
+	c := Chart{Width: 20, Height: 5, YFixed: true, YMin: 0, YMax: 1}
+	c.Add("s", []Point{{0, 0.5}, {1, 0.5}})
+	out := c.Render()
+	if !strings.Contains(out, "1") || !strings.Contains(out, "0") {
+		t.Errorf("fixed range ticks missing:\n%s", out)
+	}
+}
+
+func TestChartSinglePoint(t *testing.T) {
+	c := Chart{Width: 10, Height: 4}
+	c.Add("s", []Point{{3, 7}})
+	out := c.Render()
+	if !strings.Contains(out, "*") {
+		t.Errorf("single point not plotted:\n%s", out)
+	}
+}
+
+func TestChartGlyphsCycle(t *testing.T) {
+	c := Chart{Width: 10, Height: 4}
+	for i := 0; i < 10; i++ {
+		c.Add("s", []Point{{float64(i), 1}})
+	}
+	out := c.Render()
+	if !strings.Contains(out, "*") {
+		t.Errorf("glyph cycling broke:\n%s", out)
+	}
+}
+
+func TestTable(t *testing.T) {
+	out := Table([]string{"policy", "rejections"}, [][]string{
+		{"temporal-importance", "12"},
+		{"palimpsest-fifo", "0"},
+	})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table lines = %d, want 4:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "policy") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "---") {
+		t.Errorf("separator = %q", lines[1])
+	}
+	// Columns align: "rejections" starts at the same offset everywhere.
+	idx := strings.Index(lines[0], "rejections")
+	if got := strings.Index(lines[2], "12"); got != idx {
+		t.Errorf("column misaligned: header at %d, row at %d\n%s", idx, got, out)
+	}
+}
+
+func TestTableShortRow(t *testing.T) {
+	out := Table([]string{"a", "b"}, [][]string{{"only"}})
+	if !strings.Contains(out, "only") {
+		t.Errorf("short row dropped:\n%s", out)
+	}
+}

@@ -1,0 +1,148 @@
+package policy
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+
+	"besteffs/internal/importance"
+	"besteffs/internal/object"
+)
+
+// oraclePlan is an independent, deliberately naive restatement of the
+// Section 5.3 admission rule, used as a differential-testing oracle:
+//
+//	sort residents by (current importance, remaining lifetime, ID);
+//	walk the prefix of residents with importance 0 or < arriving;
+//	admissible iff free space plus that prefix covers the object.
+//
+// It shares no code with TemporalImportance.Plan.
+func oraclePlan(view View, incoming *object.Object, now time.Duration) (admit bool, victims []object.ID) {
+	if incoming.Size > view.Capacity {
+		return false, nil
+	}
+	need := incoming.Size - view.Free
+	if need <= 0 {
+		return true, nil
+	}
+	type entry struct {
+		id      object.ID
+		imp     float64
+		remain  time.Duration
+		forever bool
+		size    int64
+	}
+	entries := make([]entry, 0, len(view.Residents))
+	for _, o := range view.Residents {
+		e := entry{id: o.ID, imp: o.ImportanceAt(now), size: o.Size}
+		rem, ok := o.Remaining(now)
+		e.remain, e.forever = rem, !ok
+		entries = append(entries, e)
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		a, b := entries[i], entries[j]
+		if a.imp != b.imp {
+			return a.imp < b.imp
+		}
+		if a.forever != b.forever {
+			return !a.forever
+		}
+		if a.remain != b.remain {
+			return a.remain < b.remain
+		}
+		return a.id < b.id
+	})
+	arriving := incoming.ImportanceAt(now)
+	for _, e := range entries {
+		if need <= 0 {
+			break
+		}
+		if e.imp != 0 && e.imp >= arriving {
+			return false, nil
+		}
+		victims = append(victims, e.id)
+		need -= e.size
+	}
+	return need <= 0, victims
+}
+
+// TestTemporalImportanceMatchesOracle differentially tests Plan against the
+// oracle over thousands of random unit states.
+func TestTemporalImportanceMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	var p TemporalImportance
+	for trial := 0; trial < 4000; trial++ {
+		capacity := int64(100 + rng.Intn(2000))
+		used := int64(0)
+		var residents []*object.Object
+		for i := 0; used < capacity && i < 30; i++ {
+			size := int64(1 + rng.Intn(300))
+			if used+size > capacity {
+				size = capacity - used
+			}
+			used += size
+			var imp importance.Function
+			switch rng.Intn(4) {
+			case 0:
+				imp = importance.Constant{Level: float64(rng.Intn(11)) / 10}
+			case 1:
+				imp = importance.Dirac{}
+			default:
+				imp = importance.TwoStep{
+					Plateau: float64(rng.Intn(11)) / 10,
+					Persist: time.Duration(rng.Intn(20)) * day,
+					Wane:    time.Duration(rng.Intn(20)) * day,
+				}
+			}
+			o, err := object.New(object.ID(fmt.Sprintf("r%02d", i)), size,
+				time.Duration(rng.Intn(40))*day, imp)
+			if err != nil {
+				t.Fatalf("object.New: %v", err)
+			}
+			residents = append(residents, o)
+		}
+		now := 40 * day
+		view := View{Capacity: capacity, Free: capacity - used, Residents: residents}
+		incoming, err := object.New("in", int64(1+rng.Intn(int(capacity))), now,
+			importance.Constant{Level: float64(rng.Intn(11)) / 10})
+		if err != nil {
+			t.Fatalf("object.New: %v", err)
+		}
+
+		want, wantVictims := oraclePlan(view, incoming, now)
+		got := p.Plan(view, incoming, now)
+		if got.Admit != want {
+			t.Fatalf("trial %d: Plan admit = %t, oracle %t\nview: cap %d free %d, %d residents; incoming %d @ %.1f",
+				trial, got.Admit, want, capacity, view.Free, len(residents),
+				incoming.Size, incoming.ImportanceAt(now))
+		}
+		if !got.Admit {
+			continue
+		}
+		if len(got.Victims) != len(wantVictims) {
+			t.Fatalf("trial %d: victims %d vs oracle %d", trial, len(got.Victims), len(wantVictims))
+		}
+		for i, v := range got.Victims {
+			if v.ID != wantVictims[i] {
+				t.Fatalf("trial %d: victim %d = %s, oracle %s", trial, i, v.ID, wantVictims[i])
+			}
+		}
+		// FreedBytes and HighestPreempted are consistent with victims.
+		var freed int64
+		highest := 0.0
+		for _, v := range got.Victims {
+			freed += v.Size
+			if imp := v.ImportanceAt(now); imp > highest {
+				highest = imp
+			}
+		}
+		if freed != got.FreedBytes {
+			t.Fatalf("trial %d: FreedBytes %d, victims sum %d", trial, got.FreedBytes, freed)
+		}
+		if highest != got.HighestPreempted {
+			t.Fatalf("trial %d: HighestPreempted %v, victims max %v", trial, got.HighestPreempted, highest)
+		}
+	}
+}

@@ -1,0 +1,251 @@
+// Package policy implements the admission and preemption policies evaluated
+// in the paper: the temporal-importance policy of Section 5.3, the
+// Palimpsest-like FIFO baseline, and a traditional never-reclaim policy.
+//
+// A policy is a pure planner: given a read-only view of a storage unit and
+// an incoming object, it decides whether the object is admissible and which
+// residents must be evicted to make room. The storage unit (package store)
+// executes the plan; the same planner also serves non-mutating probes, which
+// is how distributed placement asks a unit "how important is the most
+// important object you would preempt for this?" without committing.
+package policy
+
+import (
+	"sort"
+	"time"
+
+	"besteffs/internal/object"
+)
+
+// View is the read-only state a policy plans against. The Residents slice
+// is owned by the policy for the duration of Plan and may be reordered, but
+// the objects themselves must not be mutated.
+type View struct {
+	// Capacity is the unit's total size in bytes.
+	Capacity int64
+	// Free is the currently unallocated space in bytes.
+	Free int64
+	// Residents are the currently stored objects, in no particular order.
+	Residents []*object.Object
+}
+
+// Reason explains a rejection.
+type Reason int
+
+// Rejection reasons.
+const (
+	// ReasonNone marks an admitted object.
+	ReasonNone Reason = iota
+	// ReasonTooLarge marks an object bigger than the unit's capacity.
+	ReasonTooLarge
+	// ReasonFull marks an object for which the unit is full: freeing
+	// enough space would require preempting an object of equal or higher
+	// current importance.
+	ReasonFull
+)
+
+// String returns a short reason label.
+func (r Reason) String() string {
+	switch r {
+	case ReasonNone:
+		return "none"
+	case ReasonTooLarge:
+		return "too-large"
+	case ReasonFull:
+		return "full"
+	case ReasonQuota:
+		return "quota"
+	default:
+		return "unknown"
+	}
+}
+
+// Decision is a reclamation plan for one incoming object.
+type Decision struct {
+	// Admit reports whether the object can be stored.
+	Admit bool
+	// Victims are the residents to evict, in eviction order. Empty when
+	// the object fits in free space or is rejected.
+	Victims []*object.Object
+	// HighestPreempted is the current importance of the most important
+	// victim the plan preempts (zero if no victims). For a rejection it
+	// is the importance of the object that blocked admission: the
+	// importance boundary at which this unit is full. Distributed
+	// placement minimizes this value across candidate units.
+	HighestPreempted float64
+	// FreedBytes is the total size of the victims.
+	FreedBytes int64
+	// Reason explains a rejection; ReasonNone for admitted objects.
+	Reason Reason
+}
+
+// Policy plans admissions for a storage unit. Implementations must be
+// stateless and safe for concurrent use; Plan must not retain or mutate the
+// objects in the view.
+type Policy interface {
+	// Name returns a short identifier used in reports.
+	Name() string
+	// Plan decides admission of incoming at virtual time now.
+	Plan(view View, incoming *object.Object, now time.Duration) Decision
+}
+
+// Compile-time interface checks.
+var (
+	_ Policy = TemporalImportance{}
+	_ Policy = FIFO{}
+	_ Policy = Traditional{}
+)
+
+// TemporalImportance is the paper's reclamation policy. Residents are
+// considered for preemption in increasing order of current importance,
+// breaking ties by smaller remaining lifetime (Section 5.3). An incoming
+// object with current importance i may preempt residents of strictly lower
+// current importance; residents at importance zero (expired, Dirac, or
+// freely replaceable) may be preempted by any object. If freeing enough
+// space would require evicting a resident at importance >= i (and > 0), the
+// unit is full for this object and nothing is evicted.
+//
+// Consequences match the paper's Section 3 rules: importance-one residents
+// are never preemptible (no incoming importance exceeds one), and
+// importance-zero residents are freely replaceable.
+type TemporalImportance struct{}
+
+// Name returns "temporal-importance".
+func (TemporalImportance) Name() string { return "temporal-importance" }
+
+// Plan implements Policy.
+func (TemporalImportance) Plan(view View, incoming *object.Object, now time.Duration) Decision {
+	if incoming.Size > view.Capacity {
+		return Decision{Reason: ReasonTooLarge}
+	}
+	need := incoming.Size - view.Free
+	if need <= 0 {
+		return Decision{Admit: true}
+	}
+	ranked := rankByImportance(view.Residents, now)
+	arriving := incoming.ImportanceAt(now)
+	var d Decision
+	for _, c := range ranked {
+		if need <= 0 {
+			break
+		}
+		if c.imp > 0 && c.imp >= arriving {
+			// The cheapest remaining victim is already at or above
+			// the incoming importance: the unit is full for this
+			// object. Record the boundary and evict nothing.
+			return Decision{Reason: ReasonFull, HighestPreempted: c.imp}
+		}
+		d.Victims = append(d.Victims, c.obj)
+		d.FreedBytes += c.obj.Size
+		if c.imp > d.HighestPreempted {
+			d.HighestPreempted = c.imp
+		}
+		need -= c.obj.Size
+	}
+	if need > 0 {
+		// Defensive: only possible if Free+Σsizes < Capacity was violated
+		// by the caller; treat as full with the observed boundary.
+		return Decision{Reason: ReasonFull, HighestPreempted: d.HighestPreempted}
+	}
+	d.Admit = true
+	return d
+}
+
+// candidate caches the sort keys of one resident.
+type candidate struct {
+	obj       *object.Object
+	imp       float64
+	remaining time.Duration
+	forever   bool
+}
+
+// rankByImportance orders residents by increasing current importance, then
+// by smaller remaining lifetime, then by ID for determinism. Never-expiring
+// residents sort after expiring ones at equal importance.
+func rankByImportance(residents []*object.Object, now time.Duration) []candidate {
+	ranked := make([]candidate, 0, len(residents))
+	for _, o := range residents {
+		c := candidate{obj: o, imp: o.ImportanceAt(now)}
+		rem, ok := o.Remaining(now)
+		c.remaining, c.forever = rem, !ok
+		ranked = append(ranked, c)
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		a, b := ranked[i], ranked[j]
+		if a.imp != b.imp {
+			return a.imp < b.imp
+		}
+		if a.forever != b.forever {
+			return !a.forever
+		}
+		if a.remaining != b.remaining {
+			return a.remaining < b.remaining
+		}
+		return a.obj.ID < b.obj.ID
+	})
+	return ranked
+}
+
+// FIFO is the Palimpsest-like baseline: the oldest residents are discarded
+// first and the store is never full for an object that fits the capacity.
+// Objects carry no effective importance ("this requires that all objects
+// have an importance of 0"); to reproduce Figure 10's comparison, the plan
+// still reports the projected current importance of the most important
+// victim as HighestPreempted.
+type FIFO struct{}
+
+// Name returns "palimpsest-fifo".
+func (FIFO) Name() string { return "palimpsest-fifo" }
+
+// Plan implements Policy.
+func (FIFO) Plan(view View, incoming *object.Object, now time.Duration) Decision {
+	if incoming.Size > view.Capacity {
+		return Decision{Reason: ReasonTooLarge}
+	}
+	need := incoming.Size - view.Free
+	if need <= 0 {
+		return Decision{Admit: true}
+	}
+	byArrival := append([]*object.Object(nil), view.Residents...)
+	sort.Slice(byArrival, func(i, j int) bool {
+		if byArrival[i].Arrival != byArrival[j].Arrival {
+			return byArrival[i].Arrival < byArrival[j].Arrival
+		}
+		return byArrival[i].ID < byArrival[j].ID
+	})
+	d := Decision{Admit: true}
+	for _, o := range byArrival {
+		if need <= 0 {
+			break
+		}
+		d.Victims = append(d.Victims, o)
+		d.FreedBytes += o.Size
+		if imp := o.ImportanceAt(now); imp > d.HighestPreempted {
+			d.HighestPreempted = imp
+		}
+		need -= o.Size
+	}
+	if need > 0 {
+		return Decision{Reason: ReasonFull, HighestPreempted: d.HighestPreempted}
+	}
+	return d
+}
+
+// Traditional is classical persistent storage: nothing is ever reclaimed
+// and an object that does not fit in free space is rejected. It calibrates
+// the "fully used up in about 40 to 50 days" observation of Section 5.1.
+type Traditional struct{}
+
+// Name returns "traditional".
+func (Traditional) Name() string { return "traditional" }
+
+// Plan implements Policy.
+func (Traditional) Plan(view View, incoming *object.Object, _ time.Duration) Decision {
+	if incoming.Size > view.Capacity {
+		return Decision{Reason: ReasonTooLarge}
+	}
+	if incoming.Size <= view.Free {
+		return Decision{Admit: true}
+	}
+	return Decision{Reason: ReasonFull}
+}

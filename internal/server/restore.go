@@ -1,0 +1,121 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"besteffs/internal/blob"
+	"besteffs/internal/journal"
+	"besteffs/internal/object"
+	"besteffs/internal/store"
+)
+
+// RestoreStats summarizes a journal recovery.
+type RestoreStats struct {
+	// Records is the number of journal records applied.
+	Records int
+	// Residents is the number of objects resident after recovery.
+	Residents int
+	// Resume is the node time recovery resumed from: the timestamp of
+	// the last applied record. The server clock continues from here.
+	Resume time.Duration
+	// DroppedNoPayload counts residents discarded because their payload
+	// was missing from the blob store (a crash between the journal
+	// append and the payload write).
+	DroppedNoPayload int
+	// DroppedOrphanBlobs counts payload files deleted because no
+	// resident references them (a crash after an eviction's payload
+	// delete was journaled but before the file was removed, or vice
+	// versa).
+	DroppedOrphanBlobs int
+}
+
+// Restore replays the journal at path into the server's unit, resumes the
+// node clock from the last record, and reconciles the blob store when it
+// is a file store. Call it after New and before Serve; the server must not
+// be serving traffic during recovery.
+func (s *Server) Restore(path string) (RestoreStats, error) {
+	var stats RestoreStats
+	resume := time.Duration(0)
+	records, err := journal.Replay(path, func(r journal.Record) error {
+		if r.At > resume {
+			resume = r.At
+		}
+		switch r.Kind {
+		case journal.KindPut:
+			o, err := object.New(r.ID, r.Size, r.At, r.Importance)
+			if err != nil {
+				return err
+			}
+			o.Owner = r.Owner
+			o.Class = r.Class
+			if r.Version > 0 {
+				o.Version = int(r.Version)
+			}
+			return s.unit.Restore(o)
+		case journal.KindDelete, journal.KindEvict:
+			if err := s.unit.Remove(r.ID); err != nil && !errors.Is(err, store.ErrNotFound) {
+				return err
+			}
+			return nil
+		case journal.KindRejuvenate:
+			if _, err := s.unit.Rejuvenate(r.ID, r.Importance, r.At); err != nil &&
+				!errors.Is(err, store.ErrNotFound) {
+				return err
+			}
+			return nil
+		default:
+			return fmt.Errorf("server: unknown journal record %v", r.Kind)
+		}
+	})
+	if err != nil {
+		return stats, fmt.Errorf("server: restore: %w", err)
+	}
+	stats.Records = records
+
+	if files, ok := s.blobs.(*blob.FileStore); ok {
+		if err := s.reconcileBlobs(files, &stats); err != nil {
+			return stats, err
+		}
+	}
+	stats.Residents = s.unit.Len()
+	stats.Resume = resume
+
+	// The node clock continues where the previous process stopped, so
+	// recovered objects keep aging correctly.
+	start := time.Now()
+	s.clock = func() time.Duration { return resume + time.Since(start) }
+	return stats, nil
+}
+
+// reconcileBlobs makes the resident set and the payload files agree after
+// a crash: residents without payloads are dropped, payload files without
+// residents are deleted.
+func (s *Server) reconcileBlobs(files *blob.FileStore, stats *RestoreStats) error {
+	onDisk, err := files.IDs()
+	if err != nil {
+		return fmt.Errorf("server: reconcile: %w", err)
+	}
+	present := make(map[object.ID]bool, len(onDisk))
+	for _, id := range onDisk {
+		present[id] = true
+	}
+	for _, o := range s.unit.Residents() {
+		if present[o.ID] {
+			delete(present, o.ID)
+			continue
+		}
+		if err := s.unit.Remove(o.ID); err != nil {
+			return fmt.Errorf("server: reconcile drop %s: %w", o.ID, err)
+		}
+		stats.DroppedNoPayload++
+	}
+	for id := range present {
+		if err := files.Delete(id); err != nil {
+			return fmt.Errorf("server: reconcile orphan %s: %w", id, err)
+		}
+		stats.DroppedOrphanBlobs++
+	}
+	return nil
+}

@@ -1,0 +1,193 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"net"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"besteffs/internal/blob"
+	"besteffs/internal/client"
+	"besteffs/internal/importance"
+	"besteffs/internal/journal"
+	"besteffs/internal/object"
+	"besteffs/internal/policy"
+)
+
+// startPersistentNode builds a node backed by a file blob store and a
+// journal, restores prior state, and serves on a loopback listener.
+func startPersistentNode(t *testing.T, dir string, clock *manualClock) (*client.Client, *Server, RestoreStats) {
+	t.Helper()
+	files, err := blob.NewFileStore(filepath.Join(dir, "blobs"))
+	if err != nil {
+		t.Fatalf("NewFileStore: %v", err)
+	}
+	journalPath := filepath.Join(dir, "journal.log")
+	w, err := journal.Open(journalPath)
+	if err != nil {
+		t.Fatalf("journal.Open: %v", err)
+	}
+	t.Cleanup(func() { w.Close() })
+
+	opts := []Option{WithBlobStore(files), WithJournal(w)}
+	if clock != nil {
+		opts = append(opts, WithClock(clock.Now))
+	}
+	srv, err := New(1<<20, policy.TemporalImportance{}, opts...)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	stats, err := srv.Restore(journalPath)
+	if err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if clock != nil {
+		// Tests that drive time explicitly re-pin the clock after
+		// Restore replaced it with the resumed wall clock.
+		srv.clock = clock.Now
+	}
+
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ctx, l) }()
+	t.Cleanup(func() {
+		cancel()
+		if err := <-done; err != nil {
+			t.Errorf("Serve: %v", err)
+		}
+	})
+	c, err := client.Dial(l.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c, srv, stats
+}
+
+func TestRestoreAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	clock := &manualClock{}
+
+	// First life: store three objects, delete one, rejuvenate another.
+	c1, _, stats := startPersistentNode(t, dir, clock)
+	if stats.Records != 0 || stats.Residents != 0 {
+		t.Fatalf("fresh node restore stats = %+v", stats)
+	}
+	twoStep := importance.TwoStep{Plateau: 1, Persist: 10 * day, Wane: 10 * day}
+	for _, id := range []string{"a", "b", "c"} {
+		if _, err := c1.Put(client.PutRequest{
+			ID: object.ID(id), Owner: "owner-" + id,
+			Importance: twoStep, Payload: []byte("payload-" + id),
+		}); err != nil {
+			t.Fatalf("Put %s: %v", id, err)
+		}
+		clock.Advance(time.Hour)
+	}
+	if err := c1.Delete("b"); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if _, err := c1.Rejuvenate("c", importance.Constant{Level: 0.3}); err != nil {
+		t.Fatalf("Rejuvenate: %v", err)
+	}
+	if res, err := c1.Update(client.PutRequest{
+		ID: "a", Owner: "owner-a", Importance: twoStep, Payload: []byte("payload-a-v2"),
+	}); err != nil || !res.Admitted {
+		t.Fatalf("Update = %+v, %v", res, err)
+	}
+	// (The first node's listener and journal close via t.Cleanup at the
+	// end of the test; reopening the same journal for append is safe.)
+
+	// Second life: a brand-new server over the same directory.
+	c2, srv2, stats2 := startPersistentNode(t, dir, nil)
+	// 3 puts + 1 delete + 1 rejuvenate + 1 update (evict of the old
+	// version + put of the new).
+	if stats2.Records != 7 {
+		t.Errorf("restored records = %d, want 7", stats2.Records)
+	}
+	if stats2.Residents != 2 {
+		t.Errorf("restored residents = %d, want 2 (a, c)", stats2.Residents)
+	}
+	if stats2.Resume < 3*time.Hour {
+		t.Errorf("resume = %v, want >= 3h", stats2.Resume)
+	}
+	if srv2.Now() < stats2.Resume {
+		t.Errorf("clock %v did not resume from %v", srv2.Now(), stats2.Resume)
+	}
+
+	got, err := c2.Get("a")
+	if err != nil {
+		t.Fatalf("Get a after restart: %v", err)
+	}
+	if string(got.Payload) != "payload-a-v2" || got.Owner != "owner-a" || got.Version != 2 {
+		t.Errorf("restored a = version %d, %q, owner %q", got.Version, got.Payload, got.Owner)
+	}
+	if _, err := c2.Get("b"); !errors.Is(err, client.ErrNotFound) {
+		t.Errorf("deleted object resurrected: %v", err)
+	}
+	gotC, err := c2.Get("c")
+	if err != nil {
+		t.Fatalf("Get c: %v", err)
+	}
+	if gotC.Version != 2 || gotC.CurrentImportance != 0.3 {
+		t.Errorf("rejuvenation lost across restart: %+v", gotC)
+	}
+}
+
+func TestRestoreReconcilesMissingPayload(t *testing.T) {
+	dir := t.TempDir()
+	clock := &manualClock{}
+	c1, _, _ := startPersistentNode(t, dir, clock)
+	for _, id := range []string{"keep", "lost"} {
+		if _, err := c1.Put(client.PutRequest{
+			ID: object.ID(id), Importance: importance.Constant{Level: 1},
+			Payload: []byte(id),
+		}); err != nil {
+			t.Fatalf("Put %s: %v", id, err)
+		}
+	}
+	// Simulate a crash that lost one payload file but kept the journal.
+	files, err := blob.NewFileStore(filepath.Join(dir, "blobs"))
+	if err != nil {
+		t.Fatalf("NewFileStore: %v", err)
+	}
+	if err := files.Delete("lost"); err != nil {
+		t.Fatalf("Delete payload: %v", err)
+	}
+
+	c2, _, stats := startPersistentNode(t, dir, nil)
+	if stats.DroppedNoPayload != 1 {
+		t.Errorf("DroppedNoPayload = %d, want 1", stats.DroppedNoPayload)
+	}
+	if _, err := c2.Get("lost"); !errors.Is(err, client.ErrNotFound) {
+		t.Errorf("payloadless object still resident: %v", err)
+	}
+	if _, err := c2.Get("keep"); err != nil {
+		t.Errorf("intact object lost: %v", err)
+	}
+}
+
+func TestRestoreReconcilesOrphanBlob(t *testing.T) {
+	dir := t.TempDir()
+	files, err := blob.NewFileStore(filepath.Join(dir, "blobs"))
+	if err != nil {
+		t.Fatalf("NewFileStore: %v", err)
+	}
+	// A payload file with no journal history (crash before the journal
+	// append, or leftover from a reclaimed object).
+	if err := files.Put("orphan", []byte("x")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	_, _, stats := startPersistentNode(t, dir, nil)
+	if stats.DroppedOrphanBlobs != 1 {
+		t.Errorf("DroppedOrphanBlobs = %d, want 1", stats.DroppedOrphanBlobs)
+	}
+	if _, err := files.Get("orphan"); err == nil {
+		t.Error("orphan payload survived reconciliation")
+	}
+}

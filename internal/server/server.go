@@ -1,0 +1,449 @@
+// Package server implements a live Besteffs storage node: a TCP server
+// exposing the wire protocol over a policy-governed storage unit. It is the
+// networked counterpart of the simulated units -- the same store.Unit
+// engine, the same temporal-importance admission, evaluated against real
+// wall-clock object ages.
+//
+// The paper's Besteffs is "object level, fully distributed ... with no
+// centralized components"; a deployment is simply many of these nodes plus
+// clients running the Section 5.3 placement against them (see
+// internal/client.ClusterClient). Payload bytes live in memory alongside
+// the unit metadata; evictions drop them atomically via the unit's hook.
+package server
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"sync"
+	"time"
+
+	"besteffs/internal/blob"
+	"besteffs/internal/journal"
+	"besteffs/internal/object"
+	"besteffs/internal/policy"
+	"besteffs/internal/store"
+	"besteffs/internal/wire"
+)
+
+// Clock reports the node's current virtual time; object ages are measured
+// against it. The default clock is wall time since server construction.
+type Clock func() time.Duration
+
+// Server is one Besteffs storage node.
+type Server struct {
+	unit    *store.Unit
+	clock   Clock
+	log     *slog.Logger
+	blobs   blob.Store
+	journal *journal.Writer
+
+	maintenance time.Duration
+}
+
+// Option configures a Server.
+type Option func(*Server)
+
+// WithClock overrides the node clock (tests use a manual clock).
+func WithClock(c Clock) Option {
+	return func(s *Server) {
+		if c != nil {
+			s.clock = c
+		}
+	}
+}
+
+// WithLogger sets the server's logger (default: slog.Default).
+func WithLogger(l *slog.Logger) Option {
+	return func(s *Server) {
+		if l != nil {
+			s.log = l
+		}
+	}
+}
+
+// WithBlobStore sets where payload bytes live (default: in memory). The
+// besteffsd daemon passes a blob.FileStore so payloads survive on the
+// node's disk, matching the paper's "unused desktop storage" deployment.
+func WithBlobStore(b blob.Store) Option {
+	return func(s *Server) {
+		if b != nil {
+			s.blobs = b
+		}
+	}
+}
+
+// WithMaintenance runs a background sweep every interval that reclaims
+// expired residents (importance zero) and their payloads. The paper makes
+// no availability promise past expiry and lets expired objects linger
+// absent pressure; a live node usually wants the bytes back eagerly.
+// The sweep starts with Serve and stops with its context.
+func WithMaintenance(interval time.Duration) Option {
+	return func(s *Server) {
+		if interval > 0 {
+			s.maintenance = interval
+		}
+	}
+}
+
+// WithJournal records every admission, eviction, delete and rejuvenation
+// to an append-only journal so Restore can rebuild the node after a
+// restart. Journal failures are logged, never fatal to requests: the
+// journal is history, not a commit log.
+func WithJournal(w *journal.Writer) Option {
+	return func(s *Server) { s.journal = w }
+}
+
+// New builds a node with the given capacity and policy.
+func New(capacity int64, pol policy.Policy, opts ...Option) (*Server, error) {
+	s := &Server{
+		blobs: blob.NewMemStore(),
+		log:   slog.Default(),
+	}
+	start := time.Now()
+	s.clock = func() time.Duration { return time.Since(start) }
+	unit, err := store.New(capacity, pol,
+		store.WithEvictionHook(func(e store.Eviction) {
+			// The unit lock is held here; the blob store and journal
+			// synchronize themselves and never call back into the unit.
+			if err := s.blobs.Delete(e.Object.ID); err != nil {
+				s.log.Error("drop evicted payload", "id", e.Object.ID, "err", err)
+			}
+			s.journalAppend(journal.Record{
+				Kind: journal.KindEvict, At: e.Time, ID: e.Object.ID,
+			})
+		}),
+	)
+	if err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
+	s.unit = unit
+	for _, opt := range opts {
+		opt(s)
+	}
+	return s, nil
+}
+
+// journalAppend records one journal entry, logging failures.
+func (s *Server) journalAppend(r journal.Record) {
+	if s.journal == nil {
+		return
+	}
+	if err := s.journal.Append(r); err != nil {
+		s.log.Error("journal append", "kind", r.Kind, "id", r.ID, "err", err)
+	}
+}
+
+// Unit exposes the underlying storage unit (for stats and tests).
+func (s *Server) Unit() *store.Unit { return s.unit }
+
+// Now returns the node's current time.
+func (s *Server) Now() time.Duration { return s.clock() }
+
+// Serve accepts connections on l until ctx is cancelled, then closes the
+// listener and every connection it accepted and waits for their handlers
+// to finish. A server may run Serve on several listeners concurrently;
+// each call tracks only its own connections.
+func (s *Server) Serve(ctx context.Context, l net.Listener) error {
+	var (
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		conns = make(map[net.Conn]struct{})
+	)
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case <-ctx.Done():
+			l.Close()
+			mu.Lock()
+			for conn := range conns {
+				conn.Close()
+			}
+			mu.Unlock()
+		case <-done:
+		}
+	}()
+	if s.maintenance > 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.maintain(ctx)
+		}()
+	}
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			wg.Wait()
+			if ctx.Err() != nil {
+				return nil // graceful shutdown
+			}
+			return fmt.Errorf("server: accept: %w", err)
+		}
+		mu.Lock()
+		if ctx.Err() != nil {
+			// Cancellation raced the accept; drop the connection now
+			// rather than leaving it untracked.
+			mu.Unlock()
+			conn.Close()
+			continue
+		}
+		conns[conn] = struct{}{}
+		mu.Unlock()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				mu.Lock()
+				delete(conns, conn)
+				mu.Unlock()
+			}()
+			s.handleConn(ctx, conn)
+		}()
+	}
+}
+
+// maintain sweeps expired residents until ctx is cancelled. Evictions run
+// through the unit's hook, so payloads and the journal stay consistent.
+func (s *Server) maintain(ctx context.Context) {
+	ticker := time.NewTicker(s.maintenance)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			if n := s.unit.DropExpired(s.clock()); n > 0 {
+				s.log.Debug("maintenance sweep", "reclaimed", n)
+			}
+		}
+	}
+}
+
+// handleConn serves one connection's request loop.
+func (s *Server) handleConn(ctx context.Context, conn net.Conn) {
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		body, err := wire.ReadFrame(br)
+		if errors.Is(err, io.EOF) {
+			return
+		}
+		if err != nil {
+			s.log.Debug("read frame", "remote", conn.RemoteAddr(), "err", err)
+			return
+		}
+		resp := s.dispatch(body)
+		out, err := wire.Encode(resp)
+		if err != nil {
+			s.log.Error("encode response", "err", err)
+			return
+		}
+		if err := wire.WriteFrame(bw, out); err != nil {
+			s.log.Debug("write frame", "remote", conn.RemoteAddr(), "err", err)
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// dispatch decodes and executes one request, returning the response.
+func (s *Server) dispatch(body []byte) wire.Message {
+	msg, err := wire.Decode(body)
+	if err != nil {
+		return &wire.ErrorMsg{Code: wire.CodeBadRequest, Text: err.Error()}
+	}
+	now := s.clock()
+	switch m := msg.(type) {
+	case *wire.Put:
+		return s.handlePut(m, now)
+	case *wire.Get:
+		return s.handleGet(m, now)
+	case *wire.Delete:
+		if err := s.unit.Delete(m.ID); err != nil {
+			if errors.Is(err, store.ErrNotFound) {
+				return &wire.ErrorMsg{Code: wire.CodeNotFound, Text: string(m.ID)}
+			}
+			return &wire.ErrorMsg{Code: wire.CodeInternal, Text: err.Error()}
+		}
+		if err := s.blobs.Delete(m.ID); err != nil {
+			return &wire.ErrorMsg{Code: wire.CodeInternal, Text: err.Error()}
+		}
+		s.journalAppend(journal.Record{Kind: journal.KindDelete, At: now, ID: m.ID})
+		return &wire.OK{}
+	case *wire.Stat:
+		return &wire.StatResult{
+			Capacity: s.unit.Capacity(),
+			Used:     s.unit.Used(),
+			Objects:  uint32(s.unit.Len()),
+			Density:  s.unit.DensityAt(now),
+		}
+	case *wire.Probe:
+		o, err := object.New("probe", m.Size, now, m.Importance)
+		if err != nil {
+			return &wire.ErrorMsg{Code: wire.CodeBadRequest, Text: err.Error()}
+		}
+		d := s.unit.Probe(o, now)
+		return &wire.ProbeResult{Admissible: d.Admit, Boundary: d.HighestPreempted}
+	case *wire.Density:
+		return &wire.DensityResult{Density: s.unit.DensityAt(now)}
+	case *wire.Update:
+		return s.handleUpdate(m, now)
+	case *wire.Rejuvenate:
+		fresh, err := s.unit.Rejuvenate(m.ID, m.Importance, now)
+		if err != nil {
+			if errors.Is(err, store.ErrNotFound) {
+				return &wire.ErrorMsg{Code: wire.CodeNotFound, Text: string(m.ID)}
+			}
+			return &wire.ErrorMsg{Code: wire.CodeBadRequest, Text: err.Error()}
+		}
+		s.journalAppend(journal.Record{
+			Kind: journal.KindRejuvenate, At: now, ID: m.ID, Importance: m.Importance,
+		})
+		return &wire.RejuvenateResult{Version: uint32(fresh.Version)}
+	case *wire.List:
+		residents := s.unit.Residents()
+		ids := make([]object.ID, len(residents))
+		for i, o := range residents {
+			ids[i] = o.ID
+		}
+		return &wire.ListResult{IDs: ids}
+	default:
+		return &wire.ErrorMsg{
+			Code: wire.CodeBadRequest,
+			Text: fmt.Sprintf("unexpected request %v", msg.Op()),
+		}
+	}
+}
+
+func (s *Server) handlePut(m *wire.Put, now time.Duration) wire.Message {
+	if len(m.Payload) == 0 {
+		return &wire.ErrorMsg{Code: wire.CodeBadRequest, Text: "empty payload"}
+	}
+	o, err := object.New(m.ID, int64(len(m.Payload)), now, m.Importance)
+	if err != nil {
+		return &wire.ErrorMsg{Code: wire.CodeBadRequest, Text: err.Error()}
+	}
+	o.Owner = m.Owner
+	o.Class = m.Class
+	if m.Version > 0 {
+		o.Version = int(m.Version)
+	}
+	d, err := s.unit.Put(o, now)
+	if err != nil {
+		if errors.Is(err, store.ErrDuplicateID) {
+			return &wire.ErrorMsg{Code: wire.CodeDuplicate, Text: string(m.ID)}
+		}
+		return &wire.ErrorMsg{Code: wire.CodeInternal, Text: err.Error()}
+	}
+	res := &wire.PutResult{
+		Admitted: d.Admit,
+		Boundary: d.HighestPreempted,
+		Reason:   uint8(d.Reason),
+	}
+	if d.Admit {
+		// Metadata first, payload second: a concurrent Get in the gap
+		// sees not-found, never a torn object. A blob failure rolls the
+		// admission back.
+		if err := s.blobs.Put(o.ID, m.Payload); err != nil {
+			if delErr := s.unit.Delete(o.ID); delErr != nil {
+				s.log.Error("roll back admission", "id", o.ID, "err", delErr)
+			}
+			return &wire.ErrorMsg{Code: wire.CodeInternal, Text: err.Error()}
+		}
+		s.journalAppend(journal.Record{
+			Kind: journal.KindPut, At: now, ID: o.ID, Size: o.Size,
+			Owner: o.Owner, Class: o.Class, Version: uint32(o.Version),
+			Importance: o.Importance,
+		})
+		for _, v := range d.Victims {
+			res.Evicted = append(res.Evicted, v.ID)
+		}
+	}
+	return res
+}
+
+// handleUpdate supersedes a resident version with new bytes.
+func (s *Server) handleUpdate(m *wire.Update, now time.Duration) wire.Message {
+	if len(m.Payload) == 0 {
+		return &wire.ErrorMsg{Code: wire.CodeBadRequest, Text: "empty payload"}
+	}
+	o, err := object.New(m.ID, int64(len(m.Payload)), now, m.Importance)
+	if err != nil {
+		return &wire.ErrorMsg{Code: wire.CodeBadRequest, Text: err.Error()}
+	}
+	o.Owner = m.Owner
+	o.Class = m.Class
+	d, err := s.unit.Update(o, now)
+	if err != nil {
+		if errors.Is(err, store.ErrNotResident) {
+			return &wire.ErrorMsg{Code: wire.CodeNotFound, Text: string(m.ID)}
+		}
+		return &wire.ErrorMsg{Code: wire.CodeInternal, Text: err.Error()}
+	}
+	res := &wire.PutResult{
+		Admitted: d.Admit,
+		Boundary: d.HighestPreempted,
+		Reason:   uint8(d.Reason),
+	}
+	if !d.Admit {
+		return res
+	}
+	fresh, err := s.unit.Get(o.ID)
+	if err != nil {
+		return &wire.ErrorMsg{Code: wire.CodeInternal, Text: err.Error()}
+	}
+	if err := s.blobs.Put(o.ID, m.Payload); err != nil {
+		// The old version is already gone; losing the new payload means
+		// the object is effectively lost (single-copy semantics).
+		if delErr := s.unit.Delete(o.ID); delErr != nil {
+			s.log.Error("roll back update", "id", o.ID, "err", delErr)
+		}
+		return &wire.ErrorMsg{Code: wire.CodeInternal, Text: err.Error()}
+	}
+	s.journalAppend(journal.Record{
+		Kind: journal.KindPut, At: now, ID: o.ID, Size: o.Size,
+		Owner: o.Owner, Class: o.Class, Version: uint32(fresh.Version),
+		Importance: o.Importance,
+	})
+	for _, v := range d.Victims {
+		res.Evicted = append(res.Evicted, v.ID)
+	}
+	return res
+}
+
+func (s *Server) handleGet(m *wire.Get, now time.Duration) wire.Message {
+	o, err := s.unit.Get(m.ID)
+	if err != nil {
+		return &wire.ErrorMsg{Code: wire.CodeNotFound, Text: string(m.ID)}
+	}
+	payload, err := s.blobs.Get(m.ID)
+	if err != nil {
+		if errors.Is(err, blob.ErrNotFound) {
+			// The object was evicted between the metadata lookup and
+			// the payload read; report it as gone.
+			return &wire.ErrorMsg{Code: wire.CodeNotFound, Text: string(m.ID)}
+		}
+		return &wire.ErrorMsg{Code: wire.CodeInternal, Text: err.Error()}
+	}
+	return &wire.ObjectMsg{
+		ID:                o.ID,
+		Owner:             o.Owner,
+		Class:             o.Class,
+		Version:           uint32(o.Version),
+		Importance:        o.Importance,
+		AgeNanos:          int64(o.Age(now)),
+		CurrentImportance: o.ImportanceAt(now),
+		Payload:           payload,
+	}
+}

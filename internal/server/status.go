@@ -1,0 +1,77 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"time"
+)
+
+// Status is the observability snapshot a node exposes over HTTP.
+type Status struct {
+	// Now is the node's virtual time.
+	Now time.Duration `json:"now_nanos"`
+	// Capacity, Used and Free are byte counts.
+	Capacity int64 `json:"capacity_bytes"`
+	Used     int64 `json:"used_bytes"`
+	Free     int64 `json:"free_bytes"`
+	// Objects is the resident count.
+	Objects int `json:"objects"`
+	// Density is the instantaneous storage importance density: the
+	// signal clients read before choosing annotations.
+	Density float64 `json:"density"`
+	// Policy names the admission policy.
+	Policy string `json:"policy"`
+	// Counters are cumulative admission statistics.
+	Counters StatusCounters `json:"counters"`
+}
+
+// StatusCounters mirrors the unit's activity counters for JSON.
+type StatusCounters struct {
+	Admitted      int64 `json:"admitted"`
+	Rejected      int64 `json:"rejected"`
+	Evicted       int64 `json:"evicted"`
+	Deleted       int64 `json:"deleted"`
+	AdmittedBytes int64 `json:"admitted_bytes"`
+	EvictedBytes  int64 `json:"evicted_bytes"`
+}
+
+// StatusSnapshot assembles the current status.
+func (s *Server) StatusSnapshot() Status {
+	now := s.clock()
+	c := s.unit.CountersSnapshot()
+	return Status{
+		Now:      now,
+		Capacity: s.unit.Capacity(),
+		Used:     s.unit.Used(),
+		Free:     s.unit.Free(),
+		Objects:  s.unit.Len(),
+		Density:  s.unit.DensityAt(now),
+		Policy:   s.unit.Policy().Name(),
+		Counters: StatusCounters{
+			Admitted:      c.Admitted,
+			Rejected:      c.Rejected,
+			Evicted:       c.Evicted,
+			Deleted:       c.Deleted,
+			AdmittedBytes: c.AdmittedBytes,
+			EvictedBytes:  c.EvictedBytes,
+		},
+	}
+}
+
+// StatusHandler serves the status snapshot as JSON on GET; other methods
+// get 405. Mount it on a private interface -- it is observability, not part
+// of the storage protocol.
+func (s *Server) StatusHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(s.StatusSnapshot()); err != nil {
+			s.log.Error("encode status", "err", err)
+		}
+	})
+}

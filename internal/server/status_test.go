@@ -1,0 +1,64 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"besteffs/internal/client"
+	"besteffs/internal/importance"
+)
+
+func TestStatusHandler(t *testing.T) {
+	c, srv, clock := startNode(t, 1000)
+	if _, err := c.Put(client.PutRequest{
+		ID:         "a",
+		Importance: importance.Constant{Level: 0.5},
+		Payload:    make([]byte, 400),
+	}); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	clock.Advance(day)
+
+	ts := httptest.NewServer(srv.StatusHandler())
+	t.Cleanup(ts.Close)
+
+	resp, err := http.Get(ts.URL)
+	if err != nil {
+		t.Fatalf("GET: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content type = %q", ct)
+	}
+	var st Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if st.Capacity != 1000 || st.Used != 400 || st.Free != 600 || st.Objects != 1 {
+		t.Errorf("status = %+v", st)
+	}
+	if st.Density != 0.2 { // 400 bytes at 0.5 over 1000
+		t.Errorf("density = %v, want 0.2", st.Density)
+	}
+	if st.Policy != "temporal-importance" {
+		t.Errorf("policy = %q", st.Policy)
+	}
+	if st.Counters.Admitted != 1 {
+		t.Errorf("counters = %+v", st.Counters)
+	}
+
+	// Non-GET is rejected.
+	post, err := http.Post(ts.URL, "text/plain", nil)
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	post.Body.Close()
+	if post.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST status = %d, want 405", post.StatusCode)
+	}
+}

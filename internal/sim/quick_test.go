@@ -1,0 +1,54 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestQuickEventOrdering schedules random events (including from inside
+// handlers) and checks the core engine contract: events fire in
+// non-decreasing time order, handlers see the event's own time as now, and
+// nothing fires past the run horizon.
+func TestQuickEventOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 50; trial++ {
+		e := NewEngine()
+		horizon := time.Duration(1+rng.Intn(100)) * time.Hour
+		var fired []time.Duration
+		var schedule func(at time.Duration, depth int)
+		schedule = func(at time.Duration, depth int) {
+			err := e.Schedule(at, func(now time.Duration) {
+				fired = append(fired, now)
+				if now != e.Now() {
+					t.Fatalf("handler now %v != engine now %v", now, e.Now())
+				}
+				// Handlers may schedule follow-ups.
+				if depth < 3 && rng.Intn(2) == 0 {
+					schedule(now+time.Duration(rng.Intn(600))*time.Minute, depth+1)
+				}
+			})
+			if err != nil {
+				t.Fatalf("Schedule: %v", err)
+			}
+		}
+		for i := 0; i < 30; i++ {
+			schedule(time.Duration(rng.Intn(120))*time.Hour, 0)
+		}
+		e.Run(horizon)
+		prev := time.Duration(-1)
+		for i, at := range fired {
+			if at < prev {
+				t.Fatalf("trial %d: event %d fired at %v after %v", trial, i, at, prev)
+			}
+			if at > horizon {
+				t.Fatalf("trial %d: event fired at %v past horizon %v", trial, at, horizon)
+			}
+			prev = at
+		}
+		// Everything left pending is beyond the horizon.
+		if e.Now() != horizon {
+			t.Fatalf("trial %d: clock at %v, want %v", trial, e.Now(), horizon)
+		}
+	}
+}

@@ -1,0 +1,165 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestScheduleAndRunOrder(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	mustSchedule(t, e, 2*time.Hour, func(time.Duration) { got = append(got, 2) })
+	mustSchedule(t, e, time.Hour, func(time.Duration) { got = append(got, 1) })
+	mustSchedule(t, e, 3*time.Hour, func(time.Duration) { got = append(got, 3) })
+	fired := e.Run(4 * time.Hour)
+	if fired != 3 {
+		t.Errorf("fired = %d, want 3", fired)
+	}
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Errorf("order = %v, want [1 2 3]", got)
+	}
+	if e.Now() != 4*time.Hour {
+		t.Errorf("Now = %v, want 4h (clock advances to until)", e.Now())
+	}
+}
+
+func mustSchedule(t *testing.T, e *Engine, at time.Duration, fn Handler) {
+	t.Helper()
+	if err := e.Schedule(at, fn); err != nil {
+		t.Fatalf("Schedule(%v): %v", at, err)
+	}
+}
+
+func TestSimultaneousEventsFIFO(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		mustSchedule(t, e, time.Hour, func(time.Duration) { got = append(got, i) })
+	}
+	e.Run(time.Hour)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("simultaneous events fired out of order: %v", got)
+		}
+	}
+}
+
+func TestGranularityQuantization(t *testing.T) {
+	e := NewEngine() // default minute granularity
+	var at time.Duration
+	mustSchedule(t, e, 90*time.Second, func(now time.Duration) { at = now })
+	e.Run(time.Hour)
+	if at != 2*time.Minute {
+		t.Errorf("event fired at %v, want rounded up to 2m", at)
+	}
+
+	coarse := NewEngine(WithGranularity(time.Hour))
+	mustSchedule(t, coarse, time.Minute, func(now time.Duration) { at = now })
+	coarse.Run(2 * time.Hour)
+	if at != time.Hour {
+		t.Errorf("coarse event fired at %v, want 1h", at)
+	}
+}
+
+func TestScheduleErrors(t *testing.T) {
+	e := NewEngine()
+	if err := e.Schedule(time.Hour, nil); !errors.Is(err, ErrNilHandler) {
+		t.Errorf("nil handler err = %v, want ErrNilHandler", err)
+	}
+	mustSchedule(t, e, time.Hour, func(time.Duration) {})
+	e.Run(time.Hour)
+	if err := e.Schedule(time.Minute, func(time.Duration) {}); !errors.Is(err, ErrPast) {
+		t.Errorf("past schedule err = %v, want ErrPast", err)
+	}
+	if err := e.After(-time.Minute, func(time.Duration) {}); !errors.Is(err, ErrPast) {
+		t.Errorf("negative After err = %v, want ErrPast", err)
+	}
+	if err := e.Every(0, 0, time.Hour, func(time.Duration) {}); !errors.Is(err, ErrBadInterval) {
+		t.Errorf("zero interval err = %v, want ErrBadInterval", err)
+	}
+	if err := e.Every(0, time.Hour, time.Hour, nil); !errors.Is(err, ErrNilHandler) {
+		t.Errorf("nil periodic handler err = %v, want ErrNilHandler", err)
+	}
+}
+
+func TestHandlerSchedulesMore(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	var chain Handler
+	chain = func(now time.Duration) {
+		count++
+		if count < 5 {
+			if err := e.Schedule(now+time.Hour, chain); err != nil {
+				t.Errorf("chained Schedule: %v", err)
+			}
+		}
+	}
+	mustSchedule(t, e, time.Hour, chain)
+	e.Run(24 * time.Hour)
+	if count != 5 {
+		t.Errorf("chain fired %d times, want 5", count)
+	}
+}
+
+func TestEvery(t *testing.T) {
+	e := NewEngine()
+	var times []time.Duration
+	if err := e.Every(time.Hour, 2*time.Hour, 9*time.Hour, func(now time.Duration) {
+		times = append(times, now)
+	}); err != nil {
+		t.Fatalf("Every: %v", err)
+	}
+	e.Run(24 * time.Hour)
+	want := []time.Duration{1 * time.Hour, 3 * time.Hour, 5 * time.Hour, 7 * time.Hour, 9 * time.Hour}
+	if len(times) != len(want) {
+		t.Fatalf("ticks = %v, want %v", times, want)
+	}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Errorf("tick %d at %v, want %v", i, times[i], want[i])
+		}
+	}
+}
+
+func TestRunStopsAtUntil(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	mustSchedule(t, e, 2*time.Hour, func(time.Duration) { fired = true })
+	e.Run(time.Hour)
+	if fired {
+		t.Error("event beyond until fired")
+	}
+	if e.Pending() != 1 {
+		t.Errorf("Pending = %d, want 1", e.Pending())
+	}
+	e.Run(3 * time.Hour)
+	if !fired {
+		t.Error("event not fired after extending the run")
+	}
+	if e.Processed() != 1 {
+		t.Errorf("Processed = %d, want 1", e.Processed())
+	}
+}
+
+func TestStepEmpty(t *testing.T) {
+	e := NewEngine()
+	if e.Step() {
+		t.Error("Step on empty queue returned true")
+	}
+}
+
+func TestLongRunManyEvents(t *testing.T) {
+	// A year of hourly events: sanity-check heap behaviour at scale.
+	e := NewEngine()
+	count := 0
+	year := 365 * 24 * time.Hour
+	if err := e.Every(0, time.Hour, year, func(time.Duration) { count++ }); err != nil {
+		t.Fatalf("Every: %v", err)
+	}
+	e.Run(year)
+	if want := 365*24 + 1; count != want {
+		t.Errorf("count = %d, want %d", count, want)
+	}
+}

@@ -1,0 +1,98 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+)
+
+// WeightedSample is one value with an attached weight. Figure 7 of the paper
+// is the cumulative distribution of stored-byte importance: each resident
+// object contributes its current importance as the value and its size in
+// bytes as the weight.
+type WeightedSample struct {
+	Value  float64
+	Weight float64
+}
+
+// CDFPoint is one step of an empirical cumulative distribution: the
+// cumulative fraction of total weight at values <= Value.
+type CDFPoint struct {
+	Value    float64
+	Fraction float64
+}
+
+// WeightedCDF builds the empirical weight-fraction CDF of the samples.
+// Samples with non-positive weight are ignored; equal values are merged
+// into a single step. The result is sorted by value and ends at fraction 1.
+func WeightedCDF(samples []WeightedSample) ([]CDFPoint, error) {
+	total := 0.0
+	kept := make([]WeightedSample, 0, len(samples))
+	for _, s := range samples {
+		if s.Weight <= 0 || s.Value != s.Value {
+			continue
+		}
+		kept = append(kept, s)
+		total += s.Weight
+	}
+	if total == 0 {
+		return nil, ErrEmpty
+	}
+	sort.Slice(kept, func(i, j int) bool { return kept[i].Value < kept[j].Value })
+	points := make([]CDFPoint, 0, len(kept))
+	cum := 0.0
+	for _, s := range kept {
+		cum += s.Weight
+		frac := cum / total
+		if n := len(points); n > 0 && points[n-1].Value == s.Value {
+			points[n-1].Fraction = frac
+			continue
+		}
+		points = append(points, CDFPoint{Value: s.Value, Fraction: frac})
+	}
+	return points, nil
+}
+
+// FractionAtOrBelow evaluates the CDF at v: the fraction of weight with
+// value <= v. The CDF must be sorted by value, as returned by WeightedCDF.
+func FractionAtOrBelow(cdf []CDFPoint, v float64) float64 {
+	// First point strictly above v; everything before it is <= v.
+	i := sort.Search(len(cdf), func(i int) bool { return cdf[i].Value > v })
+	if i == 0 {
+		return 0
+	}
+	return cdf[i-1].Fraction
+}
+
+// FractionAtOrAbove returns the fraction of weight with value >= v.
+func FractionAtOrAbove(cdf []CDFPoint, v float64) float64 {
+	i := sort.Search(len(cdf), func(i int) bool { return cdf[i].Value >= v })
+	if i == 0 {
+		return 1
+	}
+	return 1 - cdf[i-1].Fraction
+}
+
+// Histogram counts values into nbins equal-width bins over [lo, hi]. Values
+// outside the range are clamped into the edge bins, which suits the bounded
+// quantities (importance in [0,1]) this package serves.
+func Histogram(xs []float64, lo, hi float64, nbins int) ([]int, error) {
+	if nbins <= 0 {
+		return nil, fmt.Errorf("stats: nbins must be positive, got %d", nbins)
+	}
+	if hi <= lo {
+		return nil, fmt.Errorf("stats: empty range [%v, %v]", lo, hi)
+	}
+	bins := make([]int, nbins)
+	width := (hi - lo) / float64(nbins)
+	for _, x := range xs {
+		i := int((x - lo) / width)
+		if i < 0 {
+			i = 0
+		}
+		if i >= nbins {
+			i = nbins - 1
+		}
+		bins[i]++
+	}
+	return bins, nil
+}

@@ -1,0 +1,122 @@
+package stats
+
+import "math"
+
+// Regression is an ordinary-least-squares fit of y = Intercept + Slope*x.
+type Regression struct {
+	Slope, Intercept float64
+	// R2 is the coefficient of determination of the fit.
+	R2 float64
+	// N is the number of paired samples.
+	N int
+}
+
+// OLS fits y on x by ordinary least squares. It requires at least two
+// samples and non-zero variance in x.
+func OLS(x, y []float64) (Regression, error) {
+	if len(x) != len(y) {
+		return Regression{}, ErrMismatched
+	}
+	if len(x) < 2 {
+		return Regression{}, ErrEmpty
+	}
+	mx, err := Mean(x)
+	if err != nil {
+		return Regression{}, err
+	}
+	my, err := Mean(y)
+	if err != nil {
+		return Regression{}, err
+	}
+	var sxx, sxy, syy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return Regression{}, ErrEmpty
+	}
+	slope := sxy / sxx
+	r := Regression{Slope: slope, Intercept: my - slope*mx, N: len(x)}
+	if syy > 0 {
+		r.R2 = (sxy * sxy) / (sxx * syy)
+	}
+	return r, nil
+}
+
+// Residuals returns y - (fit at x) for each paired sample.
+func (r Regression) Residuals(x, y []float64) ([]float64, error) {
+	if len(x) != len(y) {
+		return nil, ErrMismatched
+	}
+	res := make([]float64, len(x))
+	for i := range x {
+		res[i] = y[i] - (r.Intercept + r.Slope*x[i])
+	}
+	return res, nil
+}
+
+// HeteroscedasticityResult reports a Breusch-Pagan-style test of whether the
+// residual variance of a fit depends on the regressor. The paper observes
+// exactly this pathology for Palimpsest time constants measured over daily
+// windows: "the variance of the time constant is not the same for all time
+// intervals and depends on the arrival rate" (Section 5.1.2).
+type HeteroscedasticityResult struct {
+	// LM is the Lagrange-multiplier statistic n * R2 of the auxiliary
+	// regression of squared residuals on x. Under homoscedasticity it is
+	// asymptotically chi-squared with one degree of freedom; values above
+	// ~3.84 reject constant variance at the 5% level.
+	LM float64
+	// AuxR2 is the R2 of the auxiliary regression.
+	AuxR2 float64
+	// Slope is the auxiliary slope: the direction in which variance moves
+	// with x.
+	Slope float64
+	// N is the sample count.
+	N int
+}
+
+// Heteroscedastic reports whether the test rejects constant variance at the
+// 5% level (chi-squared(1) critical value 3.841).
+func (h HeteroscedasticityResult) Heteroscedastic() bool { return h.LM > 3.841 }
+
+// BreuschPagan runs the test on the fit of y over x.
+func BreuschPagan(x, y []float64) (HeteroscedasticityResult, error) {
+	fit, err := OLS(x, y)
+	if err != nil {
+		return HeteroscedasticityResult{}, err
+	}
+	res, err := fit.Residuals(x, y)
+	if err != nil {
+		return HeteroscedasticityResult{}, err
+	}
+	sq := make([]float64, len(res))
+	for i, r := range res {
+		sq[i] = r * r
+	}
+	aux, err := OLS(x, sq)
+	if err != nil {
+		return HeteroscedasticityResult{}, err
+	}
+	return HeteroscedasticityResult{
+		LM:    float64(len(x)) * aux.R2,
+		AuxR2: aux.R2,
+		Slope: aux.Slope,
+		N:     len(x),
+	}, nil
+}
+
+// Correlation returns the Pearson correlation coefficient of x and y.
+func Correlation(x, y []float64) (float64, error) {
+	fit, err := OLS(x, y)
+	if err != nil {
+		return 0, err
+	}
+	r := math.Sqrt(fit.R2)
+	if fit.Slope < 0 {
+		r = -r
+	}
+	return r, nil
+}

@@ -1,0 +1,141 @@
+// Package stats provides the summary statistics the paper's evaluation
+// relies on: means and variances of Palimpsest time constants, percentile
+// summaries of achieved lifetimes, byte-weighted cumulative distributions of
+// importance (Figure 7), and the regression machinery behind the paper's
+// heteroscedasticity observation about time-constant variance (Section
+// 5.1.2, citing Kleinbaum et al.).
+//
+// Everything is plain float64 slices in, scalars out; no hidden state.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrEmpty reports a statistic requested over no samples.
+var ErrEmpty = errors.New("stats: no samples")
+
+// ErrMismatched reports paired-sample functions called with slices of
+// different lengths.
+var ErrMismatched = errors.New("stats: mismatched sample lengths")
+
+// Mean returns the arithmetic mean of xs.
+func Mean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs)), nil
+}
+
+// Variance returns the unbiased sample variance of xs. A single sample has
+// zero variance.
+func Variance(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if len(xs) == 1 {
+		return 0, nil
+	}
+	m, err := Mean(xs)
+	if err != nil {
+		return 0, err
+	}
+	sum := 0.0
+	for _, x := range xs {
+		d := x - m
+		sum += d * d
+	}
+	return sum / float64(len(xs)-1), nil
+}
+
+// StdDev returns the sample standard deviation of xs.
+func StdDev(xs []float64) (float64, error) {
+	v, err := Variance(xs)
+	if err != nil {
+		return 0, err
+	}
+	return math.Sqrt(v), nil
+}
+
+// CoefficientOfVariation returns StdDev/Mean, the scale-free dispersion the
+// paper's time-constant plots visualize. A zero mean yields an error.
+func CoefficientOfVariation(xs []float64) (float64, error) {
+	m, err := Mean(xs)
+	if err != nil {
+		return 0, err
+	}
+	if m == 0 {
+		return 0, errors.New("stats: zero mean")
+	}
+	sd, err := StdDev(xs)
+	if err != nil {
+		return 0, err
+	}
+	return sd / m, nil
+}
+
+// Percentile returns the p-quantile (0 <= p <= 1) of xs using linear
+// interpolation between order statistics. xs is not modified.
+func Percentile(xs []float64, p float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if p < 0 || p > 1 || p != p {
+		return 0, errors.New("stats: percentile out of [0, 1]")
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0], nil
+	}
+	pos := p * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo], nil
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac, nil
+}
+
+// Summary bundles the descriptive statistics reported in EXPERIMENTS.md.
+type Summary struct {
+	Count              int
+	Mean, StdDev       float64
+	Min, Median, Max   float64
+	P10, P25, P75, P90 float64
+}
+
+// Summarize computes a Summary of xs.
+func Summarize(xs []float64) (Summary, error) {
+	if len(xs) == 0 {
+		return Summary{}, ErrEmpty
+	}
+	var s Summary
+	var err error
+	s.Count = len(xs)
+	if s.Mean, err = Mean(xs); err != nil {
+		return Summary{}, err
+	}
+	if s.StdDev, err = StdDev(xs); err != nil {
+		return Summary{}, err
+	}
+	for _, q := range []struct {
+		p   float64
+		dst *float64
+	}{
+		{0, &s.Min}, {0.10, &s.P10}, {0.25, &s.P25}, {0.5, &s.Median},
+		{0.75, &s.P75}, {0.90, &s.P90}, {1, &s.Max},
+	} {
+		if *q.dst, err = Percentile(xs, q.p); err != nil {
+			return Summary{}, err
+		}
+	}
+	return s, nil
+}

@@ -1,0 +1,307 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMeanVarianceStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	m, err := Mean(xs)
+	if err != nil || !almost(m, 5) {
+		t.Errorf("Mean = %v, %v; want 5", m, err)
+	}
+	v, err := Variance(xs)
+	if err != nil || !almost(v, 32.0/7) {
+		t.Errorf("Variance = %v, %v; want %v", v, err, 32.0/7)
+	}
+	sd, err := StdDev(xs)
+	if err != nil || !almost(sd, math.Sqrt(32.0/7)) {
+		t.Errorf("StdDev = %v, %v", sd, err)
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	if _, err := Mean(nil); !errors.Is(err, ErrEmpty) {
+		t.Errorf("Mean(nil) err = %v, want ErrEmpty", err)
+	}
+	if _, err := Variance(nil); !errors.Is(err, ErrEmpty) {
+		t.Errorf("Variance(nil) err = %v, want ErrEmpty", err)
+	}
+	if _, err := Percentile(nil, 0.5); !errors.Is(err, ErrEmpty) {
+		t.Errorf("Percentile(nil) err = %v, want ErrEmpty", err)
+	}
+	if _, err := Summarize(nil); !errors.Is(err, ErrEmpty) {
+		t.Errorf("Summarize(nil) err = %v, want ErrEmpty", err)
+	}
+	if _, err := WeightedCDF(nil); !errors.Is(err, ErrEmpty) {
+		t.Errorf("WeightedCDF(nil) err = %v, want ErrEmpty", err)
+	}
+}
+
+func TestSingleSample(t *testing.T) {
+	v, err := Variance([]float64{3})
+	if err != nil || v != 0 {
+		t.Errorf("Variance of one sample = %v, %v; want 0", v, err)
+	}
+	p, err := Percentile([]float64{3}, 0.9)
+	if err != nil || p != 3 {
+		t.Errorf("Percentile of one sample = %v, %v; want 3", p, err)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{15, 20, 35, 40, 50}
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 15}, {0.25, 20}, {0.5, 35}, {0.75, 40}, {1, 50}, {0.4, 29},
+	}
+	for _, tt := range tests {
+		got, err := Percentile(xs, tt.p)
+		if err != nil || !almost(got, tt.want) {
+			t.Errorf("Percentile(%v) = %v, %v; want %v", tt.p, got, err, tt.want)
+		}
+	}
+	if _, err := Percentile(xs, 1.5); err == nil {
+		t.Error("Percentile out of range should fail")
+	}
+	// Input must not be mutated.
+	if xs[0] != 15 || xs[4] != 50 {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+func TestCoefficientOfVariation(t *testing.T) {
+	cv, err := CoefficientOfVariation([]float64{10, 10, 10})
+	if err != nil || cv != 0 {
+		t.Errorf("CV of constant samples = %v, %v; want 0", cv, err)
+	}
+	if _, err := CoefficientOfVariation([]float64{-1, 1}); err == nil {
+		t.Error("CV with zero mean should fail")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	xs := make([]float64, 101)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	s, err := Summarize(xs)
+	if err != nil {
+		t.Fatalf("Summarize: %v", err)
+	}
+	if s.Count != 101 || !almost(s.Mean, 50) || !almost(s.Median, 50) ||
+		!almost(s.Min, 0) || !almost(s.Max, 100) || !almost(s.P25, 25) || !almost(s.P90, 90) {
+		t.Errorf("Summarize = %+v", s)
+	}
+}
+
+func TestWeightedCDF(t *testing.T) {
+	// 570 bytes at importance 1, 250 at 0.5, 180 at 0.25: mirrors the
+	// Figure 7 structure where 57% of bytes sit at importance one.
+	samples := []WeightedSample{
+		{Value: 1, Weight: 570},
+		{Value: 0.5, Weight: 250},
+		{Value: 0.25, Weight: 180},
+		{Value: 0.9, Weight: 0},  // zero weight dropped
+		{Value: 0.1, Weight: -5}, // negative weight dropped
+	}
+	cdf, err := WeightedCDF(samples)
+	if err != nil {
+		t.Fatalf("WeightedCDF: %v", err)
+	}
+	if len(cdf) != 3 {
+		t.Fatalf("len(cdf) = %d, want 3", len(cdf))
+	}
+	if !almost(FractionAtOrBelow(cdf, 0.25), 0.18) {
+		t.Errorf("F(0.25) = %v, want 0.18", FractionAtOrBelow(cdf, 0.25))
+	}
+	if !almost(FractionAtOrBelow(cdf, 0.75), 0.43) {
+		t.Errorf("F(0.75) = %v, want 0.43", FractionAtOrBelow(cdf, 0.75))
+	}
+	if !almost(FractionAtOrBelow(cdf, 1), 1) {
+		t.Errorf("F(1) = %v, want 1", FractionAtOrBelow(cdf, 1))
+	}
+	if !almost(FractionAtOrAbove(cdf, 1), 0.57) {
+		t.Errorf("fraction at importance one = %v, want 0.57", FractionAtOrAbove(cdf, 1))
+	}
+	if !almost(FractionAtOrBelow(cdf, 0.1), 0) {
+		t.Errorf("F(0.1) = %v, want 0", FractionAtOrBelow(cdf, 0.1))
+	}
+}
+
+func TestWeightedCDFMergesEqualValues(t *testing.T) {
+	cdf, err := WeightedCDF([]WeightedSample{
+		{Value: 0.5, Weight: 1}, {Value: 0.5, Weight: 1}, {Value: 1, Weight: 2},
+	})
+	if err != nil {
+		t.Fatalf("WeightedCDF: %v", err)
+	}
+	if len(cdf) != 2 {
+		t.Fatalf("len(cdf) = %d, want 2 (equal values merged)", len(cdf))
+	}
+	if !almost(cdf[0].Fraction, 0.5) {
+		t.Errorf("merged fraction = %v, want 0.5", cdf[0].Fraction)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	bins, err := Histogram([]float64{0, 0.1, 0.5, 0.5, 0.99, 1.0, 1.5, -1}, 0, 1, 4)
+	if err != nil {
+		t.Fatalf("Histogram: %v", err)
+	}
+	want := []int{3, 0, 2, 3} // clamped: -1 joins bin 0; 1.0 and 1.5 join bin 3
+	for i := range want {
+		if bins[i] != want[i] {
+			t.Errorf("bin %d = %d, want %d (all: %v)", i, bins[i], want[i], bins)
+		}
+	}
+	if _, err := Histogram(nil, 0, 1, 0); err == nil {
+		t.Error("Histogram with zero bins should fail")
+	}
+	if _, err := Histogram(nil, 1, 0, 4); err == nil {
+		t.Error("Histogram with inverted range should fail")
+	}
+}
+
+func TestOLSPerfectLine(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	y := []float64{3, 5, 7, 9} // y = 1 + 2x
+	fit, err := OLS(x, y)
+	if err != nil {
+		t.Fatalf("OLS: %v", err)
+	}
+	if !almost(fit.Slope, 2) || !almost(fit.Intercept, 1) || !almost(fit.R2, 1) {
+		t.Errorf("fit = %+v, want slope 2, intercept 1, R2 1", fit)
+	}
+	res, err := fit.Residuals(x, y)
+	if err != nil {
+		t.Fatalf("Residuals: %v", err)
+	}
+	for i, r := range res {
+		if !almost(r, 0) {
+			t.Errorf("residual %d = %v, want 0", i, r)
+		}
+	}
+}
+
+func TestOLSErrors(t *testing.T) {
+	if _, err := OLS([]float64{1}, []float64{1, 2}); !errors.Is(err, ErrMismatched) {
+		t.Errorf("mismatched OLS err = %v, want ErrMismatched", err)
+	}
+	if _, err := OLS([]float64{1}, []float64{1}); !errors.Is(err, ErrEmpty) {
+		t.Errorf("single-point OLS err = %v, want ErrEmpty", err)
+	}
+	if _, err := OLS([]float64{2, 2, 2}, []float64{1, 2, 3}); err == nil {
+		t.Error("OLS with zero x variance should fail")
+	}
+}
+
+func TestBreuschPaganDetectsHeteroscedasticity(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	n := 400
+	x := make([]float64, n)
+	hetero := make([]float64, n)
+	homo := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i] = 1 + 9*rng.Float64()
+		noise := rng.NormFloat64()
+		hetero[i] = 2*x[i] + noise*x[i]*2 // noise scale grows with x
+		homo[i] = 2*x[i] + noise          // constant noise
+	}
+	h, err := BreuschPagan(x, hetero)
+	if err != nil {
+		t.Fatalf("BreuschPagan: %v", err)
+	}
+	if !h.Heteroscedastic() {
+		t.Errorf("heteroscedastic data not detected: LM = %v", h.LM)
+	}
+	h2, err := BreuschPagan(x, homo)
+	if err != nil {
+		t.Fatalf("BreuschPagan: %v", err)
+	}
+	if h2.Heteroscedastic() {
+		t.Errorf("homoscedastic data falsely flagged: LM = %v", h2.LM)
+	}
+}
+
+func TestCorrelationSign(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	up := []float64{2, 4, 6, 8, 10}
+	down := []float64{10, 8, 6, 4, 2}
+	r, err := Correlation(x, up)
+	if err != nil || !almost(r, 1) {
+		t.Errorf("Correlation up = %v, %v; want 1", r, err)
+	}
+	r, err = Correlation(x, down)
+	if err != nil || !almost(r, -1) {
+		t.Errorf("Correlation down = %v, %v; want -1", r, err)
+	}
+}
+
+func TestQuickCDFProperties(t *testing.T) {
+	prop := func(raw []float64) bool {
+		samples := make([]WeightedSample, 0, len(raw))
+		for i, v := range raw {
+			if v != v || math.IsInf(v, 0) {
+				continue
+			}
+			samples = append(samples, WeightedSample{
+				Value:  math.Mod(math.Abs(v), 1),
+				Weight: float64(1 + i%7),
+			})
+		}
+		cdf, err := WeightedCDF(samples)
+		if err != nil {
+			return len(samples) == 0
+		}
+		// Fractions must be non-decreasing, end at 1, values sorted.
+		prev := 0.0
+		prevV := math.Inf(-1)
+		for _, p := range cdf {
+			if p.Fraction < prev || p.Value <= prevV {
+				return false
+			}
+			prev, prevV = p.Fraction, p.Value
+		}
+		return almost(prev, 1)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickPercentileWithinRange(t *testing.T) {
+	prop := func(raw []float64, pRaw float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if v == v && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		p := math.Mod(math.Abs(pRaw), 1)
+		if p != p {
+			p = 0.5
+		}
+		got, err := Percentile(xs, p)
+		if err != nil {
+			return false
+		}
+		lo, _ := Percentile(xs, 0)
+		hi, _ := Percentile(xs, 1)
+		return got >= lo && got <= hi
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

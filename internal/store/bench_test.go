@@ -1,0 +1,100 @@
+package store
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"besteffs/internal/importance"
+	"besteffs/internal/object"
+	"besteffs/internal/policy"
+)
+
+// fillUnit builds a unit with n random two-step residents under light
+// pressure.
+func fillUnit(b *testing.B, n int) (*Unit, *rand.Rand) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	u, err := New(int64(n)*1000, policy.TemporalImportance{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		o, err := object.New(object.ID(fmt.Sprintf("seed/%06d", i)),
+			int64(500+rng.Intn(500)), time.Duration(rng.Intn(100))*day,
+			importance.TwoStep{
+				Plateau: rng.Float64(),
+				Persist: time.Duration(rng.Intn(30)) * day,
+				Wane:    time.Duration(rng.Intn(60)) * day,
+			})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := u.Put(o, 100*day); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return u, rng
+}
+
+// BenchmarkPutUnderPressure measures admission with preemption on units of
+// increasing resident counts (the per-arrival cost of the paper's sort-and
+// -preempt algorithm).
+func BenchmarkPutUnderPressure(b *testing.B) {
+	for _, n := range []int{64, 256, 1024} {
+		b.Run(fmt.Sprintf("residents=%d", n), func(b *testing.B) {
+			u, rng := fillUnit(b, n)
+			now := 100 * day
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				now += time.Minute
+				o, err := object.New(object.ID(fmt.Sprintf("bench/%09d", i)),
+					int64(500+rng.Intn(500)), now,
+					importance.TwoStep{Plateau: 0.9, Persist: 10 * day, Wane: 10 * day})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := u.Put(o, now); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkProbe measures the non-mutating placement probe.
+func BenchmarkProbe(b *testing.B) {
+	for _, n := range []int{64, 256, 1024} {
+		b.Run(fmt.Sprintf("residents=%d", n), func(b *testing.B) {
+			u, _ := fillUnit(b, n)
+			o, err := object.New("probe", 1000, 100*day, importance.Constant{Level: 0.9})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				u.Probe(o, 100*day)
+			}
+		})
+	}
+}
+
+// BenchmarkDensityAt measures the density computation that every probe
+// interval pays.
+func BenchmarkDensityAt(b *testing.B) {
+	u, _ := fillUnit(b, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = u.DensityAt(time.Duration(i) * time.Minute)
+	}
+}
+
+// BenchmarkByteImportance measures the Figure 7 snapshot path.
+func BenchmarkByteImportance(b *testing.B) {
+	u, _ := fillUnit(b, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = u.ByteImportance(100 * day)
+	}
+}

@@ -1,0 +1,155 @@
+package store
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"besteffs/internal/importance"
+	"besteffs/internal/object"
+	"besteffs/internal/policy"
+)
+
+// TestInvariantRandomizedWorkload drives a unit with a random object stream
+// and checks the paper's structural invariants after every operation:
+//
+//  1. used + free == capacity and both are non-negative;
+//  2. the storage importance density stays in [0, 1];
+//  3. an importance-one resident is never evicted by preemption;
+//  4. every eviction preempts only objects whose current importance was
+//     strictly below the preemptor's (or exactly zero);
+//  5. rejected objects leave the unit untouched.
+func TestInvariantRandomizedWorkload(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			arrivalsByID := make(map[object.ID]*object.Object)
+			var evictions []Eviction
+			u, err := New(10_000, policy.TemporalImportance{},
+				WithEvictionHook(func(e Eviction) { evictions = append(evictions, e) }))
+			if err != nil {
+				t.Fatalf("New: %v", err)
+			}
+
+			now := time.Duration(0)
+			for i := 0; i < 3000; i++ {
+				now += time.Duration(rng.Intn(12)) * time.Hour
+				var imp importance.Function
+				switch rng.Intn(4) {
+				case 0:
+					imp = importance.Constant{Level: float64(rng.Intn(11)) / 10}
+				case 1:
+					imp = importance.Dirac{}
+				default:
+					imp = importance.TwoStep{
+						Plateau: float64(1+rng.Intn(10)) / 10,
+						Persist: time.Duration(rng.Intn(30)) * day,
+						Wane:    time.Duration(rng.Intn(30)) * day,
+					}
+				}
+				o, err := object.New(object.ID(fmt.Sprintf("o%05d", i)),
+					int64(1+rng.Intn(3000)), now, imp)
+				if err != nil {
+					t.Fatalf("object.New: %v", err)
+				}
+				arrivalsByID[o.ID] = o
+
+				beforeUsed, beforeLen := u.Used(), u.Len()
+				evBefore := len(evictions)
+				d, err := u.Put(o, now)
+				if err != nil {
+					t.Fatalf("Put %d: %v", i, err)
+				}
+
+				if u.Used()+u.Free() != u.Capacity() {
+					t.Fatalf("step %d: used %d + free %d != capacity %d", i, u.Used(), u.Free(), u.Capacity())
+				}
+				if u.Used() < 0 || u.Free() < 0 {
+					t.Fatalf("step %d: negative accounting", i)
+				}
+				if dens := u.DensityAt(now); dens < 0 || dens > 1+1e-9 {
+					t.Fatalf("step %d: density %v out of range", i, dens)
+				}
+				if !d.Admit {
+					if u.Used() != beforeUsed || u.Len() != beforeLen || len(evictions) != evBefore {
+						t.Fatalf("step %d: rejection mutated the unit", i)
+					}
+					continue
+				}
+				incomingImp := o.ImportanceAt(now)
+				for _, e := range evictions[evBefore:] {
+					if e.PreemptedBy != o.ID {
+						t.Fatalf("step %d: eviction attributed to %s, want %s", i, e.PreemptedBy, o.ID)
+					}
+					if e.Importance == 1 {
+						t.Fatalf("step %d: importance-one object %s was preempted", i, e.Object.ID)
+					}
+					if e.Importance != 0 && e.Importance >= incomingImp {
+						t.Fatalf("step %d: victim at %v preempted by arrival at %v",
+							i, e.Importance, incomingImp)
+					}
+					if want := e.Time - e.Object.Arrival; e.LifetimeAchieved != want {
+						t.Fatalf("step %d: lifetime achieved %v, want %v", i, e.LifetimeAchieved, want)
+					}
+				}
+			}
+
+			// Cross-check: every eviction corresponds to a real arrival and
+			// no evicted object is still resident.
+			for _, e := range evictions {
+				if _, ok := arrivalsByID[e.Object.ID]; !ok {
+					t.Fatalf("eviction of unknown object %s", e.Object.ID)
+				}
+				if _, err := u.Get(e.Object.ID); err == nil {
+					t.Fatalf("evicted object %s still resident", e.Object.ID)
+				}
+			}
+		})
+	}
+}
+
+// TestConcurrentAccess exercises the unit from many goroutines under the
+// race detector: puts, probes, reads and density queries must be safe.
+func TestConcurrentAccess(t *testing.T) {
+	u, err := New(1_000_000, policy.TemporalImportance{})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 200; i++ {
+				now := time.Duration(i) * time.Hour
+				id := object.ID(fmt.Sprintf("w%d-o%d", w, i))
+				o, err := object.New(id, int64(1+rng.Intn(5000)), now,
+					importance.TwoStep{Plateau: rng.Float64(), Persist: day, Wane: day})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := u.Put(o, now); err != nil {
+					t.Error(err)
+					return
+				}
+				u.Probe(o, now)
+				u.DensityAt(now)
+				u.ByteImportance(now)
+				_, _ = u.Get(id)
+				if i%10 == 9 {
+					_ = u.Delete(id)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if u.Used()+u.Free() != u.Capacity() {
+		t.Errorf("used %d + free %d != capacity %d", u.Used(), u.Free(), u.Capacity())
+	}
+}

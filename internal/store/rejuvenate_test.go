@@ -1,0 +1,101 @@
+package store
+
+import (
+	"errors"
+	"testing"
+
+	"besteffs/internal/importance"
+	"besteffs/internal/policy"
+)
+
+func TestRejuvenateExtendsLifetime(t *testing.T) {
+	u := newUnit(t, 1000, policy.TemporalImportance{})
+	o := mkObj(t, "video", 500, 0, importance.TwoStep{Plateau: 1, Persist: 10 * day, Wane: 10 * day})
+	if _, err := u.Put(o, 0); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+
+	// Deep in the wane the object is at 0.25 importance.
+	now := 15 * day
+	got, err := u.Get("video")
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if imp := got.ImportanceAt(now); imp != 0.5 {
+		t.Fatalf("pre-rejuvenation importance = %v, want 0.5", imp)
+	}
+
+	fresh, err := u.Rejuvenate("video", importance.TwoStep{Plateau: 1, Persist: 30 * day, Wane: 0}, now)
+	if err != nil {
+		t.Fatalf("Rejuvenate: %v", err)
+	}
+	if fresh.Version != 2 {
+		t.Errorf("version = %d, want 2", fresh.Version)
+	}
+	if fresh.Arrival != now {
+		t.Errorf("arrival = %v, want re-aged from %v", fresh.Arrival, now)
+	}
+	if imp := fresh.ImportanceAt(now); imp != 1 {
+		t.Errorf("post-rejuvenation importance = %v, want 1", imp)
+	}
+	// The resident set serves the new version.
+	again, err := u.Get("video")
+	if err != nil {
+		t.Fatalf("Get after rejuvenate: %v", err)
+	}
+	if again.Version != 2 || again.ImportanceAt(now+20*day) != 1 {
+		t.Errorf("resident after rejuvenate = %+v", again)
+	}
+	// Accounting is untouched: same bytes, same count.
+	if u.Used() != 500 || u.Len() != 1 {
+		t.Errorf("Used/Len = %d/%d, want 500/1", u.Used(), u.Len())
+	}
+}
+
+func TestRejuvenateDemotion(t *testing.T) {
+	// The paper's backup scenario: the object is critical until a backup
+	// succeeds, then demoted so it competes like any cache entry.
+	u := newUnit(t, 1000, policy.TemporalImportance{})
+	o := mkObj(t, "roadtrip", 1000, 0, importance.Constant{Level: 1})
+	if _, err := u.Put(o, 0); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	// While critical, nothing can displace it.
+	in := mkObj(t, "in", 500, day, importance.Constant{Level: 0.9})
+	if d, err := u.Put(in, day); err != nil || d.Admit {
+		t.Fatalf("pre-demotion Put = %+v, %v; want rejection", d, err)
+	}
+	if _, err := u.Rejuvenate("roadtrip", importance.Constant{Level: 0.1}, day); err != nil {
+		t.Fatalf("Rejuvenate: %v", err)
+	}
+	retry := mkObj(t, "in2", 500, 2*day, importance.Constant{Level: 0.9})
+	d, err := u.Put(retry, 2*day)
+	if err != nil || !d.Admit {
+		t.Fatalf("post-demotion Put = %+v, %v; want admission", d, err)
+	}
+	if len(d.Victims) != 1 || d.Victims[0].ID != "roadtrip" {
+		t.Errorf("victims = %v, want the demoted object", d.Victims)
+	}
+}
+
+func TestRejuvenateErrors(t *testing.T) {
+	u := newUnit(t, 1000, policy.TemporalImportance{})
+	if _, err := u.Rejuvenate("missing", importance.Constant{Level: 1}, 0); !errors.Is(err, ErrNotFound) {
+		t.Errorf("missing object err = %v, want ErrNotFound", err)
+	}
+	o := mkObj(t, "x", 10, 0, importance.Constant{Level: 1})
+	if _, err := u.Put(o, 0); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if _, err := u.Rejuvenate("x", nil, 0); err == nil {
+		t.Error("nil importance accepted")
+	}
+	if _, err := u.Rejuvenate("x", importance.Dirac{}, 0); !errors.Is(err, ErrRejuvenateExpired) {
+		t.Errorf("expired replacement err = %v, want ErrRejuvenateExpired", err)
+	}
+	// The resident is unchanged after failed attempts.
+	got, err := u.Get("x")
+	if err != nil || got.Version != 1 {
+		t.Errorf("resident after failed rejuvenations = %+v, %v", got, err)
+	}
+}

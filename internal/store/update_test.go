@@ -1,0 +1,100 @@
+package store
+
+import (
+	"errors"
+	"testing"
+
+	"besteffs/internal/importance"
+	"besteffs/internal/policy"
+)
+
+func TestUpdateReplacesVersion(t *testing.T) {
+	var evictions []Eviction
+	u := newUnit(t, 1000, policy.TemporalImportance{},
+		WithEvictionHook(func(e Eviction) { evictions = append(evictions, e) }))
+	v1 := mkObj(t, "doc", 400, 0, importance.Constant{Level: 0.5})
+	if _, err := u.Put(v1, 0); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+
+	v2 := mkObj(t, "doc", 600, day, importance.Constant{Level: 0.8})
+	d, err := u.Update(v2, day)
+	if err != nil || !d.Admit {
+		t.Fatalf("Update = %+v, %v", d, err)
+	}
+	got, err := u.Get("doc")
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if got.Version != 2 || got.Size != 600 || got.ImportanceAt(day) != 0.8 {
+		t.Errorf("updated object = %+v", got)
+	}
+	if u.Used() != 600 || u.Len() != 1 {
+		t.Errorf("Used/Len = %d/%d, want 600/1", u.Used(), u.Len())
+	}
+	// The superseded version is reported, attributed to its own ID.
+	if len(evictions) != 1 || evictions[0].Object.Version != 1 || evictions[0].PreemptedBy != "doc" {
+		t.Errorf("evictions = %+v", evictions)
+	}
+}
+
+func TestUpdateCountsOldBytesAsFree(t *testing.T) {
+	// Unit is byte-full with the old version plus an importance-one
+	// neighbor; the update fits exactly because the old version's bytes
+	// are reclaimable by right.
+	u := newUnit(t, 1000, policy.TemporalImportance{})
+	if _, err := u.Put(mkObj(t, "pinned", 500, 0, importance.Constant{Level: 1}), 0); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if _, err := u.Put(mkObj(t, "doc", 500, 0, importance.Constant{Level: 0.5}), 0); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	d, err := u.Update(mkObj(t, "doc", 500, day, importance.Constant{Level: 0.5}), day)
+	if err != nil || !d.Admit {
+		t.Fatalf("same-size update = %+v, %v", d, err)
+	}
+	// A larger update cannot fit: the only other resident is pinned.
+	d, err = u.Update(mkObj(t, "doc", 600, 2*day, importance.Constant{Level: 0.5}), 2*day)
+	if err != nil {
+		t.Fatalf("Update: %v", err)
+	}
+	if d.Admit || d.Reason != policy.ReasonFull {
+		t.Fatalf("oversized update = %+v, want ReasonFull", d)
+	}
+	// The rejection left version 2 intact.
+	got, err := u.Get("doc")
+	if err != nil || got.Version != 2 || got.Size != 500 {
+		t.Errorf("after rejected update: %+v, %v", got, err)
+	}
+}
+
+func TestUpdatePreemptsForExtraSpace(t *testing.T) {
+	u := newUnit(t, 1000, policy.TemporalImportance{})
+	if _, err := u.Put(mkObj(t, "cheap", 500, 0, importance.Constant{Level: 0.1}), 0); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if _, err := u.Put(mkObj(t, "doc", 500, 0, importance.Constant{Level: 0.5}), 0); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	// Growing the doc to 800 requires preempting the cheap object too.
+	d, err := u.Update(mkObj(t, "doc", 800, day, importance.Constant{Level: 0.5}), day)
+	if err != nil || !d.Admit {
+		t.Fatalf("Update = %+v, %v", d, err)
+	}
+	if len(d.Victims) != 1 || d.Victims[0].ID != "cheap" {
+		t.Errorf("victims = %v, want [cheap]", d.Victims)
+	}
+	if u.Used() != 800 || u.Len() != 1 {
+		t.Errorf("Used/Len = %d/%d, want 800/1", u.Used(), u.Len())
+	}
+}
+
+func TestUpdateErrors(t *testing.T) {
+	u := newUnit(t, 1000, policy.TemporalImportance{})
+	if _, err := u.Update(nil, 0); err == nil {
+		t.Error("nil object accepted")
+	}
+	if _, err := u.Update(mkObj(t, "ghost", 10, 0, importance.Constant{Level: 1}), 0); !errors.Is(err, ErrNotResident) {
+		t.Errorf("absent target err = %v, want ErrNotResident", err)
+	}
+}

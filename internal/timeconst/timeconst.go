@@ -1,0 +1,149 @@
+// Package timeconst implements Palimpsest's time-constant estimator and the
+// paper's analysis of it (Sections 5.1.2 and 5.2.3, Figures 5 and 11).
+//
+// Palimpsest is a soft-capacity FIFO store: an object survives roughly
+// tau = capacity / arrival-rate after it is written, and applications must
+// refresh objects they care about before tau elapses. The paper's point is
+// that tau, measured over hourly and daily windows, is so variable -- with
+// variance that itself depends on the arrival rate (heteroscedasticity) --
+// that a creator cannot reliably predict when to rejuvenate, whereas the
+// storage importance density is a stable predictor.
+package timeconst
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"besteffs/internal/stats"
+	"besteffs/internal/workload"
+)
+
+// Estimator computes time constants from an arrival log.
+type Estimator struct {
+	// Capacity is the storage size in bytes.
+	Capacity int64
+	// Window is the measurement window (hour, day or month in the
+	// paper's figures).
+	Window time.Duration
+}
+
+// Sample is one window's measurement.
+type Sample struct {
+	// Start is the window's start time.
+	Start time.Duration
+	// Bytes is the volume that arrived during the window.
+	Bytes int64
+	// Rate is the arrival rate in bytes per hour.
+	Rate float64
+	// Tau is capacity / rate: the expected survival time of a new object
+	// under FIFO reclamation.
+	Tau time.Duration
+}
+
+// Estimator errors.
+var (
+	// ErrBadCapacity reports a non-positive capacity.
+	ErrBadCapacity = errors.New("timeconst: capacity must be positive")
+	// ErrBadWindow reports a non-positive window.
+	ErrBadWindow = errors.New("timeconst: window must be positive")
+	// ErrNoWindows reports an arrival log with no active windows.
+	ErrNoWindows = errors.New("timeconst: no windows with arrivals")
+)
+
+// Series buckets the arrival log into consecutive windows over [0, horizon)
+// and returns one sample per window with at least one arrival, plus the
+// number of empty windows skipped. Empty windows have an undefined
+// (infinite) time constant; their frequency is itself part of why hourly
+// estimates mislead.
+func (e Estimator) Series(arrivals []workload.Arrival, horizon time.Duration) ([]Sample, int, error) {
+	if e.Capacity <= 0 {
+		return nil, 0, fmt.Errorf("%w: %d", ErrBadCapacity, e.Capacity)
+	}
+	if e.Window <= 0 {
+		return nil, 0, fmt.Errorf("%w: %v", ErrBadWindow, e.Window)
+	}
+	if horizon <= 0 {
+		return nil, 0, fmt.Errorf("timeconst: horizon %v must be positive", horizon)
+	}
+	nwin := int((horizon + e.Window - 1) / e.Window)
+	volumes := make([]int64, nwin)
+	for _, a := range arrivals {
+		if a.Time < 0 || a.Time >= horizon {
+			continue
+		}
+		volumes[int(a.Time/e.Window)] += a.Size
+	}
+	samples := make([]Sample, 0, nwin)
+	empty := 0
+	for i, v := range volumes {
+		if v == 0 {
+			empty++
+			continue
+		}
+		// The final window may extend past the horizon; rate over its
+		// covered span only, so a partial window is not misread as a
+		// rate collapse.
+		span := e.Window
+		if start := time.Duration(i) * e.Window; start+span > horizon {
+			span = horizon - start
+		}
+		rate := float64(v) / span.Hours()
+		tau := time.Duration(float64(e.Capacity) / rate * float64(time.Hour))
+		samples = append(samples, Sample{
+			Start: time.Duration(i) * e.Window,
+			Bytes: v,
+			Rate:  rate,
+			Tau:   tau,
+		})
+	}
+	return samples, empty, nil
+}
+
+// Analysis summarizes the predictability of a time-constant series.
+type Analysis struct {
+	// Window is the measurement window analyzed.
+	Window time.Duration
+	// Samples is the number of non-empty windows.
+	Samples int
+	// EmptyWindows counts windows with no arrivals.
+	EmptyWindows int
+	// TauDays summarizes the time constants in days.
+	TauDays stats.Summary
+	// CoV is the coefficient of variation of tau: the headline
+	// unpredictability number.
+	CoV float64
+	// Hetero tests whether tau's residual variance depends on the
+	// arrival rate, the paper's heteroscedasticity observation.
+	Hetero stats.HeteroscedasticityResult
+}
+
+// Analyze runs Series and computes the summary statistics.
+func (e Estimator) Analyze(arrivals []workload.Arrival, horizon time.Duration) (Analysis, error) {
+	samples, empty, err := e.Series(arrivals, horizon)
+	if err != nil {
+		return Analysis{}, err
+	}
+	if len(samples) == 0 {
+		return Analysis{}, ErrNoWindows
+	}
+	taus := make([]float64, len(samples))
+	rates := make([]float64, len(samples))
+	for i, s := range samples {
+		taus[i] = s.Tau.Hours() / 24
+		rates[i] = s.Rate
+	}
+	a := Analysis{Window: e.Window, Samples: len(samples), EmptyWindows: empty}
+	if a.TauDays, err = stats.Summarize(taus); err != nil {
+		return Analysis{}, err
+	}
+	if len(taus) >= 2 {
+		if cov, err := stats.CoefficientOfVariation(taus); err == nil {
+			a.CoV = cov
+		}
+		if h, err := stats.BreuschPagan(rates, taus); err == nil {
+			a.Hetero = h
+		}
+	}
+	return a, nil
+}

@@ -1,0 +1,144 @@
+package timeconst
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"besteffs/internal/workload"
+)
+
+const (
+	day = 24 * time.Hour
+	gb  = int64(1) << 30
+)
+
+func TestSeriesSteadyRate(t *testing.T) {
+	// 1 GB arrives every hour; capacity 100 GB. Tau must be a steady
+	// 100 hours in every window regardless of window size.
+	var arrivals []workload.Arrival
+	horizon := 10 * day
+	for ts := time.Duration(0); ts < horizon; ts += time.Hour {
+		arrivals = append(arrivals, workload.Arrival{Time: ts, Size: gb})
+	}
+	for _, window := range []time.Duration{time.Hour, day} {
+		est := Estimator{Capacity: 100 * gb, Window: window}
+		samples, empty, err := est.Series(arrivals, horizon)
+		if err != nil {
+			t.Fatalf("Series(%v): %v", window, err)
+		}
+		if empty != 0 {
+			t.Errorf("window %v: %d empty windows, want 0", window, empty)
+		}
+		for _, s := range samples {
+			if got := s.Tau; got < 99*time.Hour || got > 101*time.Hour {
+				t.Errorf("window %v: tau = %v, want ~100h", window, got)
+			}
+		}
+	}
+}
+
+func TestSeriesCountsEmptyWindows(t *testing.T) {
+	arrivals := []workload.Arrival{
+		{Time: 0, Size: gb},
+		{Time: 5 * day, Size: gb},
+	}
+	est := Estimator{Capacity: 10 * gb, Window: day}
+	samples, empty, err := est.Series(arrivals, 6*day)
+	if err != nil {
+		t.Fatalf("Series: %v", err)
+	}
+	if len(samples) != 2 || empty != 4 {
+		t.Errorf("samples = %d, empty = %d; want 2, 4", len(samples), empty)
+	}
+}
+
+func TestSeriesIgnoresOutOfHorizon(t *testing.T) {
+	arrivals := []workload.Arrival{
+		{Time: -time.Hour, Size: gb},
+		{Time: 0, Size: gb},
+		{Time: 10 * day, Size: gb}, // beyond horizon
+	}
+	est := Estimator{Capacity: 10 * gb, Window: day}
+	samples, _, err := est.Series(arrivals, 5*day)
+	if err != nil {
+		t.Fatalf("Series: %v", err)
+	}
+	if len(samples) != 1 || samples[0].Bytes != gb {
+		t.Errorf("samples = %+v, want one window with 1 GB", samples)
+	}
+}
+
+func TestSeriesValidation(t *testing.T) {
+	if _, _, err := (Estimator{Capacity: 0, Window: day}).Series(nil, day); !errors.Is(err, ErrBadCapacity) {
+		t.Errorf("zero capacity err = %v", err)
+	}
+	if _, _, err := (Estimator{Capacity: 1, Window: 0}).Series(nil, day); !errors.Is(err, ErrBadWindow) {
+		t.Errorf("zero window err = %v", err)
+	}
+	if _, _, err := (Estimator{Capacity: 1, Window: day}).Series(nil, 0); err == nil {
+		t.Error("zero horizon should fail")
+	}
+}
+
+func TestAnalyzeVariabilityShrinksWithWindow(t *testing.T) {
+	// Bursty arrivals: hourly tau estimates must be far noisier than
+	// monthly ones -- the paper's core claim about Palimpsest's
+	// predictability (Figures 5 and 11).
+	rng := rand.New(rand.NewSource(11))
+	var arrivals []workload.Arrival
+	horizon := 365 * day
+	for ts := time.Duration(0); ts < horizon; ts += time.Hour {
+		if rng.Float64() < 0.3 {
+			arrivals = append(arrivals, workload.Arrival{
+				Time: ts, Size: int64(rng.Float64() * float64(gb)),
+			})
+		}
+	}
+	cov := func(window time.Duration) float64 {
+		est := Estimator{Capacity: 80 * gb, Window: window}
+		a, err := est.Analyze(arrivals, horizon)
+		if err != nil {
+			t.Fatalf("Analyze(%v): %v", window, err)
+		}
+		return a.CoV
+	}
+	hourly, daily, monthly := cov(time.Hour), cov(day), cov(30*day)
+	if !(hourly > daily && daily > monthly) {
+		t.Errorf("CoV not shrinking with window: hour %v, day %v, month %v",
+			hourly, daily, monthly)
+	}
+	if monthly > 0.5 {
+		t.Errorf("monthly CoV = %v, want reasonably stable (< 0.5)", monthly)
+	}
+	if hourly < 0.5 {
+		t.Errorf("hourly CoV = %v, want clearly noisy (> 0.5)", hourly)
+	}
+}
+
+func TestAnalyzeNoWindows(t *testing.T) {
+	est := Estimator{Capacity: gb, Window: day}
+	if _, err := est.Analyze(nil, day); !errors.Is(err, ErrNoWindows) {
+		t.Errorf("Analyze with no arrivals err = %v, want ErrNoWindows", err)
+	}
+}
+
+func TestAnalyzeSummary(t *testing.T) {
+	arrivals := []workload.Arrival{
+		{Time: time.Hour, Size: gb},
+		{Time: 25 * time.Hour, Size: 2 * gb},
+	}
+	est := Estimator{Capacity: 10 * gb, Window: day}
+	a, err := est.Analyze(arrivals, 2*day)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	if a.Samples != 2 || a.EmptyWindows != 0 {
+		t.Errorf("analysis = %+v", a)
+	}
+	// Window rates: 1 GB/day and 2 GB/day -> tau 10 days and 5 days.
+	if a.TauDays.Max < 9.9 || a.TauDays.Max > 10.1 || a.TauDays.Min < 4.9 || a.TauDays.Min > 5.1 {
+		t.Errorf("tau summary = %+v, want max ~10d min ~5d", a.TauDays)
+	}
+}

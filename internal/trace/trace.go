@@ -1,0 +1,160 @@
+// Package trace synthesizes the per-day lecture-download trace of Figure 8.
+//
+// The paper plots the empirical access log of the authors' Spring 2006
+// undergraduate Operating Systems course (38 students): weekday downloads
+// after each lecture release, surges before the two midterms and the final,
+// a brief slashdotting, and decay after the semester ends. The raw log is
+// not available, so this package generates a synthetic trace with the same
+// qualitative structure; no simulation result depends on it (it motivates
+// the Table 1 retention parameters). See DESIGN.md, substitution 1.
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"besteffs/internal/calendar"
+)
+
+// Config shapes the synthetic download trace.
+type Config struct {
+	// Students is the class size (default 38).
+	Students int
+	// BaselinePerStudent is the mean daily download probability per
+	// student on an ordinary teaching day (default 0.12).
+	BaselinePerStudent float64
+	// ExamDays are day-of-term offsets (from the term's first day) of
+	// exams; the days before an exam surge. Defaults to two midterms and
+	// a final for a spring term.
+	ExamDays []int
+	// ExamSurge multiplies the baseline over the three days before an
+	// exam (default 4).
+	ExamSurge float64
+	// SlashdotDay is the day-of-term offset of an external popularity
+	// spike; negative disables it (default 55).
+	SlashdotDay int
+	// SlashdotPeak is the extra download count at the spike's peak
+	// (default 400).
+	SlashdotPeak int
+	// TailDays is how many days past the end of term to model (default
+	// 60); interest decays exponentially after classes end.
+	TailDays int
+}
+
+func (c *Config) applyDefaults() {
+	if c.Students == 0 {
+		c.Students = 38
+	}
+	if c.BaselinePerStudent == 0 {
+		c.BaselinePerStudent = 0.12
+	}
+	if c.ExamDays == nil {
+		c.ExamDays = []int{35, 70, 112}
+	}
+	if c.ExamSurge == 0 {
+		c.ExamSurge = 4
+	}
+	if c.SlashdotDay == 0 {
+		c.SlashdotDay = 55
+	}
+	if c.SlashdotPeak == 0 {
+		c.SlashdotPeak = 400
+	}
+	if c.TailDays == 0 {
+		c.TailDays = 60
+	}
+}
+
+// DayAccess is one day of the trace.
+type DayAccess struct {
+	// Day is the offset from the first day of term.
+	Day int
+	// Downloads is the number of lecture downloads that day.
+	Downloads int
+	// Exam marks an exam day.
+	Exam bool
+	// Slashdot marks the external spike.
+	Slashdot bool
+}
+
+// Generate builds the trace for one spring term. Randomness comes from rng;
+// a fixed seed reproduces the trace exactly.
+func Generate(cfg Config, rng *rand.Rand) ([]DayAccess, error) {
+	if rng == nil {
+		return nil, errors.New("trace: nil random source")
+	}
+	cfg.applyDefaults()
+	if cfg.Students < 0 || cfg.BaselinePerStudent < 0 || cfg.ExamSurge < 0 {
+		return nil, fmt.Errorf("trace: negative config: %+v", cfg)
+	}
+	spring, ok := calendar.TermBounds(calendar.TermSpring)
+	if !ok {
+		return nil, errors.New("trace: no spring bounds")
+	}
+	termDays := spring.End - spring.Begin + 1
+	total := termDays + cfg.TailDays
+
+	exams := make(map[int]bool, len(cfg.ExamDays))
+	for _, d := range cfg.ExamDays {
+		exams[d] = true
+	}
+
+	out := make([]DayAccess, 0, total)
+	for day := 0; day < total; day++ {
+		mean := float64(cfg.Students) * cfg.BaselinePerStudent
+		inTerm := day < termDays
+		if !inTerm {
+			// Exponential decay of interest after the semester.
+			mean *= math.Exp(-float64(day-termDays) / 14)
+		}
+		// Weekends see roughly half the traffic.
+		if wd := (spring.Begin + day) % 7; wd == 5 || wd == 6 {
+			mean *= 0.5
+		}
+		// Surge in the three days before each exam.
+		if inTerm {
+			for e := range exams {
+				if day < e && e-day <= 3 {
+					mean *= cfg.ExamSurge
+				}
+			}
+		}
+		downloads := poisson(rng, mean)
+		rec := DayAccess{Day: day, Downloads: downloads, Exam: exams[day]}
+		if inTerm && cfg.SlashdotDay >= 0 &&
+			day >= cfg.SlashdotDay && day <= cfg.SlashdotDay+1 {
+			rec.Slashdot = true
+			rec.Downloads += cfg.SlashdotPeak / (1 + day - cfg.SlashdotDay)
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+// poisson draws from a Poisson distribution with the given mean using
+// Knuth's method; the means here are small enough for it.
+func poisson(rng *rand.Rand, mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	l := math.Exp(-mean)
+	k, p := 0, 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// Total sums the downloads across the trace.
+func Total(days []DayAccess) int {
+	total := 0
+	for _, d := range days {
+		total += d.Downloads
+	}
+	return total
+}

@@ -1,0 +1,135 @@
+package trace
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestGenerateShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	days, err := Generate(Config{}, rng)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	// Spring term is days 8..120 (113 days) plus a 60-day tail.
+	if len(days) != 113+60 {
+		t.Fatalf("len(days) = %d, want 173", len(days))
+	}
+
+	var examEveCount, ordinaryCount int
+	var examEveSum, ordinarySum float64
+	examDays := map[int]bool{35: true, 70: true, 112: true}
+	slashdotDays := map[int]bool{55: true, 56: true}
+	for _, d := range days {
+		if d.Day >= 113 || slashdotDays[d.Day] {
+			continue
+		}
+		preExam := false
+		for e := range examDays {
+			if d.Day < e && e-d.Day <= 3 {
+				preExam = true
+			}
+		}
+		if preExam {
+			examEveCount++
+			examEveSum += float64(d.Downloads)
+		} else {
+			ordinaryCount++
+			ordinarySum += float64(d.Downloads)
+		}
+	}
+	if examEveCount == 0 || ordinaryCount == 0 {
+		t.Fatal("classification found no days")
+	}
+	examMean := examEveSum / float64(examEveCount)
+	ordMean := ordinarySum / float64(ordinaryCount)
+	if examMean < 2*ordMean {
+		t.Errorf("pre-exam mean %v not clearly above ordinary mean %v", examMean, ordMean)
+	}
+
+	// The slashdot spike towers over everything.
+	spike := days[55].Downloads
+	if !days[55].Slashdot {
+		t.Error("day 55 not marked as slashdot")
+	}
+	if float64(spike) < 5*examMean {
+		t.Errorf("slashdot spike %d not dominant (exam mean %v)", spike, examMean)
+	}
+
+	// The tail decays: last tail week far below term average.
+	var tailLast float64
+	for _, d := range days[len(days)-7:] {
+		tailLast += float64(d.Downloads)
+	}
+	if tailLast/7 > ordMean/2 {
+		t.Errorf("tail mean %v has not decayed below half of %v", tailLast/7, ordMean)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(Config{}, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	b, err := Generate(Config{}, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("traces diverge at day %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	if _, err := Generate(Config{}, nil); err == nil {
+		t.Error("nil rng should fail")
+	}
+	if _, err := Generate(Config{Students: -1}, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("negative students should fail")
+	}
+}
+
+func TestGenerateNoSlashdot(t *testing.T) {
+	days, err := Generate(Config{SlashdotDay: -1}, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	for _, d := range days {
+		if d.Slashdot {
+			t.Fatalf("slashdot disabled but day %d flagged", d.Day)
+		}
+	}
+}
+
+func TestTotal(t *testing.T) {
+	days := []DayAccess{{Downloads: 3}, {Downloads: 4}}
+	if Total(days) != 7 {
+		t.Errorf("Total = %d, want 7", Total(days))
+	}
+	if Total(nil) != 0 {
+		t.Error("Total(nil) should be 0")
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n, sum := 20000, 0
+	for i := 0; i < n; i++ {
+		sum += poisson(rng, 4.5)
+	}
+	mean := float64(sum) / float64(n)
+	if mean < 4.3 || mean > 4.7 {
+		t.Errorf("poisson mean = %v, want ~4.5", mean)
+	}
+	if poisson(rng, 0) != 0 {
+		t.Error("poisson(0) should be 0")
+	}
+	if poisson(rng, -1) != 0 {
+		t.Error("poisson(negative) should be 0")
+	}
+}

@@ -1,0 +1,63 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+
+	"besteffs/internal/importance"
+)
+
+// BenchmarkEncodePut measures request serialization for a media-sized
+// payload.
+func BenchmarkEncodePut(b *testing.B) {
+	m := &Put{
+		ID:         "cs101/spring-0/lecture-12/u",
+		Owner:      "university",
+		Importance: importance.TwoStep{Plateau: 1, Persist: 70 * importance.Day, Wane: 730 * importance.Day},
+		Payload:    make([]byte, 1<<20),
+	}
+	b.ReportAllocs()
+	b.SetBytes(1 << 20)
+	for i := 0; i < b.N; i++ {
+		if _, err := Encode(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDecodePut measures request parsing.
+func BenchmarkDecodePut(b *testing.B) {
+	m := &Put{
+		ID:         "cs101/spring-0/lecture-12/u",
+		Owner:      "university",
+		Importance: importance.TwoStep{Plateau: 1, Persist: 70 * importance.Day, Wane: 730 * importance.Day},
+		Payload:    make([]byte, 1<<20),
+	}
+	body, err := Encode(m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.SetBytes(1 << 20)
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(body); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFrameRoundTrip measures framing overhead.
+func BenchmarkFrameRoundTrip(b *testing.B) {
+	body := make([]byte, 4096)
+	var buf bytes.Buffer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := WriteFrame(&buf, body); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ReadFrame(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,656 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+
+	"besteffs/internal/importance"
+	"besteffs/internal/object"
+)
+
+// Message is a decoded protocol message.
+type Message interface {
+	// Op returns the message's opcode.
+	Op() Op
+	// append encodes the message body (opcode included) onto dst.
+	append(dst []byte) ([]byte, error)
+}
+
+// ErrUnknownOp reports an unrecognized opcode.
+var ErrUnknownOp = errors.New("wire: unknown opcode")
+
+// Encode serializes a message into a frame body.
+func Encode(m Message) ([]byte, error) {
+	body, err := m.append(make([]byte, 0, 64))
+	if err != nil {
+		return nil, fmt.Errorf("wire: encode %v: %w", m.Op(), err)
+	}
+	return body, nil
+}
+
+// Decode parses a frame body into a message.
+func Decode(body []byte) (Message, error) {
+	c := &cursor{buf: body}
+	op, err := c.u8()
+	if err != nil {
+		return nil, fmt.Errorf("wire: decode: %w", err)
+	}
+	var m Message
+	switch Op(op) {
+	case OpPut:
+		m, err = decodePut(c)
+	case OpGet:
+		m, err = decodeID(c, func(id object.ID) Message { return &Get{ID: id} })
+	case OpDelete:
+		m, err = decodeID(c, func(id object.ID) Message { return &Delete{ID: id} })
+	case OpStat:
+		m = &Stat{}
+	case OpProbe:
+		m, err = decodeProbe(c)
+	case OpDensity:
+		m = &Density{}
+	case OpList:
+		m = &List{}
+	case OpRejuvenate:
+		m, err = decodeRejuvenate(c)
+	case OpUpdate:
+		m, err = decodeUpdate(c)
+	case OpPutResult:
+		m, err = decodePutResult(c)
+	case OpObject:
+		m, err = decodeObjectMsg(c)
+	case OpOK:
+		m = &OK{}
+	case OpStatResult:
+		m, err = decodeStatResult(c)
+	case OpProbeResult:
+		m, err = decodeProbeResult(c)
+	case OpDensityResult:
+		m, err = decodeDensityResult(c)
+	case OpListResult:
+		m, err = decodeListResult(c)
+	case OpError:
+		m, err = decodeErrorMsg(c)
+	case OpRejuvenateResult:
+		m, err = decodeRejuvenateResult(c)
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrUnknownOp, op)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("wire: decode %v: %w", Op(op), err)
+	}
+	return m, nil
+}
+
+// Put stores an object with its importance annotation.
+type Put struct {
+	ID         object.ID
+	Owner      string
+	Class      object.Class
+	Version    uint32
+	Importance importance.Function
+	Payload    []byte
+}
+
+// Op implements Message.
+func (*Put) Op() Op { return OpPut }
+
+func (m *Put) append(dst []byte) ([]byte, error) {
+	dst = appendU8(dst, uint8(OpPut))
+	dst, err := appendStr(dst, string(m.ID))
+	if err != nil {
+		return nil, err
+	}
+	if dst, err = appendStr(dst, m.Owner); err != nil {
+		return nil, err
+	}
+	dst = appendU8(dst, uint8(m.Class))
+	dst = appendU32(dst, m.Version)
+	imp, err := importance.Encode(m.Importance)
+	if err != nil {
+		return nil, err
+	}
+	dst = appendU16(dst, uint16(len(imp)))
+	dst = append(dst, imp...)
+	return appendBytes(dst, m.Payload), nil
+}
+
+func decodePut(c *cursor) (Message, error) {
+	m := &Put{}
+	id, err := c.str()
+	if err != nil {
+		return nil, err
+	}
+	m.ID = object.ID(id)
+	if m.Owner, err = c.str(); err != nil {
+		return nil, err
+	}
+	class, err := c.u8()
+	if err != nil {
+		return nil, err
+	}
+	m.Class = object.Class(class)
+	if m.Version, err = c.u32(); err != nil {
+		return nil, err
+	}
+	impLen, err := c.u16()
+	if err != nil {
+		return nil, err
+	}
+	if len(c.rest()) < int(impLen) {
+		return nil, ErrShort
+	}
+	f, consumed, err := importance.Decode(c.rest()[:impLen])
+	if err != nil {
+		return nil, err
+	}
+	if consumed != int(impLen) {
+		return nil, fmt.Errorf("wire: importance encoding has %d trailing bytes", int(impLen)-consumed)
+	}
+	if err := c.advance(int(impLen)); err != nil {
+		return nil, err
+	}
+	m.Importance = f
+	if m.Payload, err = c.bytes(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Update supersedes the resident version of an object with new bytes and a
+// new annotation: Besteffs's "write once with versioned updates". The field
+// layout matches Put; the response is a PutResult.
+type Update struct {
+	ID         object.ID
+	Owner      string
+	Class      object.Class
+	Importance importance.Function
+	Payload    []byte
+}
+
+// Op implements Message.
+func (*Update) Op() Op { return OpUpdate }
+
+func (m *Update) append(dst []byte) ([]byte, error) {
+	dst = appendU8(dst, uint8(OpUpdate))
+	dst, err := appendStr(dst, string(m.ID))
+	if err != nil {
+		return nil, err
+	}
+	if dst, err = appendStr(dst, m.Owner); err != nil {
+		return nil, err
+	}
+	dst = appendU8(dst, uint8(m.Class))
+	imp, err := importance.Encode(m.Importance)
+	if err != nil {
+		return nil, err
+	}
+	dst = appendU16(dst, uint16(len(imp)))
+	dst = append(dst, imp...)
+	return appendBytes(dst, m.Payload), nil
+}
+
+func decodeUpdate(c *cursor) (Message, error) {
+	m := &Update{}
+	id, err := c.str()
+	if err != nil {
+		return nil, err
+	}
+	m.ID = object.ID(id)
+	if m.Owner, err = c.str(); err != nil {
+		return nil, err
+	}
+	class, err := c.u8()
+	if err != nil {
+		return nil, err
+	}
+	m.Class = object.Class(class)
+	impLen, err := c.u16()
+	if err != nil {
+		return nil, err
+	}
+	if len(c.rest()) < int(impLen) {
+		return nil, ErrShort
+	}
+	f, consumed, err := importance.Decode(c.rest()[:impLen])
+	if err != nil {
+		return nil, err
+	}
+	if consumed != int(impLen) {
+		return nil, fmt.Errorf("wire: importance encoding has %d trailing bytes", int(impLen)-consumed)
+	}
+	if err := c.advance(int(impLen)); err != nil {
+		return nil, err
+	}
+	m.Importance = f
+	if m.Payload, err = c.bytes(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Get retrieves an object by ID.
+type Get struct{ ID object.ID }
+
+// Op implements Message.
+func (*Get) Op() Op { return OpGet }
+
+func (m *Get) append(dst []byte) ([]byte, error) {
+	dst = appendU8(dst, uint8(OpGet))
+	return appendStr(dst, string(m.ID))
+}
+
+// Delete removes an object by ID.
+type Delete struct{ ID object.ID }
+
+// Op implements Message.
+func (*Delete) Op() Op { return OpDelete }
+
+func (m *Delete) append(dst []byte) ([]byte, error) {
+	dst = appendU8(dst, uint8(OpDelete))
+	return appendStr(dst, string(m.ID))
+}
+
+func decodeID(c *cursor, build func(object.ID) Message) (Message, error) {
+	id, err := c.str()
+	if err != nil {
+		return nil, err
+	}
+	return build(object.ID(id)), nil
+}
+
+// Stat requests unit statistics.
+type Stat struct{}
+
+// Op implements Message.
+func (*Stat) Op() Op { return OpStat }
+
+func (m *Stat) append(dst []byte) ([]byte, error) {
+	return appendU8(dst, uint8(OpStat)), nil
+}
+
+// Probe asks for the admission boundary of a hypothetical object: the
+// placement primitive of Section 5.3.
+type Probe struct {
+	Size       int64
+	Importance importance.Function
+}
+
+// Op implements Message.
+func (*Probe) Op() Op { return OpProbe }
+
+func (m *Probe) append(dst []byte) ([]byte, error) {
+	dst = appendU8(dst, uint8(OpProbe))
+	dst = appendU64(dst, uint64(m.Size))
+	imp, err := importance.Encode(m.Importance)
+	if err != nil {
+		return nil, err
+	}
+	dst = appendU16(dst, uint16(len(imp)))
+	return append(dst, imp...), nil
+}
+
+func decodeProbe(c *cursor) (Message, error) {
+	m := &Probe{}
+	size, err := c.u64()
+	if err != nil {
+		return nil, err
+	}
+	m.Size = int64(size)
+	impLen, err := c.u16()
+	if err != nil {
+		return nil, err
+	}
+	if len(c.rest()) < int(impLen) {
+		return nil, ErrShort
+	}
+	f, _, err := importance.Decode(c.rest()[:impLen])
+	if err != nil {
+		return nil, err
+	}
+	if err := c.advance(int(impLen)); err != nil {
+		return nil, err
+	}
+	m.Importance = f
+	return m, nil
+}
+
+// Density requests the instantaneous storage importance density.
+type Density struct{}
+
+// Op implements Message.
+func (*Density) Op() Op { return OpDensity }
+
+func (m *Density) append(dst []byte) ([]byte, error) {
+	return appendU8(dst, uint8(OpDensity)), nil
+}
+
+// List requests the resident object IDs.
+type List struct{}
+
+// Op implements Message.
+func (*List) Op() Op { return OpList }
+
+func (m *List) append(dst []byte) ([]byte, error) {
+	return appendU8(dst, uint8(OpList)), nil
+}
+
+// PutResult reports an admission decision.
+type PutResult struct {
+	Admitted bool
+	// Boundary is the highest importance preempted (admission) or the
+	// blocking importance (rejection).
+	Boundary float64
+	// Reason is the policy.Reason value for rejections.
+	Reason uint8
+	// Evicted lists the IDs reclaimed to make room.
+	Evicted []object.ID
+}
+
+// Op implements Message.
+func (*PutResult) Op() Op { return OpPutResult }
+
+func (m *PutResult) append(dst []byte) ([]byte, error) {
+	dst = appendU8(dst, uint8(OpPutResult))
+	dst = appendU8(dst, boolByte(m.Admitted))
+	dst = appendF64(dst, m.Boundary)
+	dst = appendU8(dst, m.Reason)
+	dst = appendU16(dst, uint16(len(m.Evicted)))
+	var err error
+	for _, id := range m.Evicted {
+		if dst, err = appendStr(dst, string(id)); err != nil {
+			return nil, err
+		}
+	}
+	return dst, nil
+}
+
+func decodePutResult(c *cursor) (Message, error) {
+	m := &PutResult{}
+	admitted, err := c.u8()
+	if err != nil {
+		return nil, err
+	}
+	m.Admitted = admitted != 0
+	if m.Boundary, err = c.f64(); err != nil {
+		return nil, err
+	}
+	if m.Reason, err = c.u8(); err != nil {
+		return nil, err
+	}
+	n, err := c.u16()
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < int(n); i++ {
+		id, err := c.str()
+		if err != nil {
+			return nil, err
+		}
+		m.Evicted = append(m.Evicted, object.ID(id))
+	}
+	return m, nil
+}
+
+// ObjectMsg carries a retrieved object.
+type ObjectMsg struct {
+	ID         object.ID
+	Owner      string
+	Class      object.Class
+	Version    uint32
+	Importance importance.Function
+	// AgeNanos is the object's age on the server at response time.
+	AgeNanos int64
+	// CurrentImportance is the server-evaluated importance at response
+	// time.
+	CurrentImportance float64
+	Payload           []byte
+}
+
+// Op implements Message.
+func (*ObjectMsg) Op() Op { return OpObject }
+
+func (m *ObjectMsg) append(dst []byte) ([]byte, error) {
+	dst = appendU8(dst, uint8(OpObject))
+	dst, err := appendStr(dst, string(m.ID))
+	if err != nil {
+		return nil, err
+	}
+	if dst, err = appendStr(dst, m.Owner); err != nil {
+		return nil, err
+	}
+	dst = appendU8(dst, uint8(m.Class))
+	dst = appendU32(dst, m.Version)
+	imp, err := importance.Encode(m.Importance)
+	if err != nil {
+		return nil, err
+	}
+	dst = appendU16(dst, uint16(len(imp)))
+	dst = append(dst, imp...)
+	dst = appendU64(dst, uint64(m.AgeNanos))
+	dst = appendF64(dst, m.CurrentImportance)
+	return appendBytes(dst, m.Payload), nil
+}
+
+func decodeObjectMsg(c *cursor) (Message, error) {
+	m := &ObjectMsg{}
+	id, err := c.str()
+	if err != nil {
+		return nil, err
+	}
+	m.ID = object.ID(id)
+	if m.Owner, err = c.str(); err != nil {
+		return nil, err
+	}
+	class, err := c.u8()
+	if err != nil {
+		return nil, err
+	}
+	m.Class = object.Class(class)
+	if m.Version, err = c.u32(); err != nil {
+		return nil, err
+	}
+	impLen, err := c.u16()
+	if err != nil {
+		return nil, err
+	}
+	if len(c.rest()) < int(impLen) {
+		return nil, ErrShort
+	}
+	if m.Importance, _, err = importance.Decode(c.rest()[:impLen]); err != nil {
+		return nil, err
+	}
+	if err := c.advance(int(impLen)); err != nil {
+		return nil, err
+	}
+	age, err := c.u64()
+	if err != nil {
+		return nil, err
+	}
+	m.AgeNanos = int64(age)
+	if m.CurrentImportance, err = c.f64(); err != nil {
+		return nil, err
+	}
+	if m.Payload, err = c.bytes(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// OK acknowledges a Delete.
+type OK struct{}
+
+// Op implements Message.
+func (*OK) Op() Op { return OpOK }
+
+func (m *OK) append(dst []byte) ([]byte, error) {
+	return appendU8(dst, uint8(OpOK)), nil
+}
+
+// StatResult reports unit statistics.
+type StatResult struct {
+	Capacity, Used int64
+	Objects        uint32
+	Density        float64
+}
+
+// Op implements Message.
+func (*StatResult) Op() Op { return OpStatResult }
+
+func (m *StatResult) append(dst []byte) ([]byte, error) {
+	dst = appendU8(dst, uint8(OpStatResult))
+	dst = appendU64(dst, uint64(m.Capacity))
+	dst = appendU64(dst, uint64(m.Used))
+	dst = appendU32(dst, m.Objects)
+	return appendF64(dst, m.Density), nil
+}
+
+func decodeStatResult(c *cursor) (Message, error) {
+	m := &StatResult{}
+	capacity, err := c.u64()
+	if err != nil {
+		return nil, err
+	}
+	m.Capacity = int64(capacity)
+	used, err := c.u64()
+	if err != nil {
+		return nil, err
+	}
+	m.Used = int64(used)
+	if m.Objects, err = c.u32(); err != nil {
+		return nil, err
+	}
+	if m.Density, err = c.f64(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// ProbeResult reports the admission boundary for a probe.
+type ProbeResult struct {
+	Admissible bool
+	Boundary   float64
+}
+
+// Op implements Message.
+func (*ProbeResult) Op() Op { return OpProbeResult }
+
+func (m *ProbeResult) append(dst []byte) ([]byte, error) {
+	dst = appendU8(dst, uint8(OpProbeResult))
+	dst = appendU8(dst, boolByte(m.Admissible))
+	return appendF64(dst, m.Boundary), nil
+}
+
+func decodeProbeResult(c *cursor) (Message, error) {
+	m := &ProbeResult{}
+	admissible, err := c.u8()
+	if err != nil {
+		return nil, err
+	}
+	m.Admissible = admissible != 0
+	if m.Boundary, err = c.f64(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// DensityResult reports the storage importance density.
+type DensityResult struct{ Density float64 }
+
+// Op implements Message.
+func (*DensityResult) Op() Op { return OpDensityResult }
+
+func (m *DensityResult) append(dst []byte) ([]byte, error) {
+	dst = appendU8(dst, uint8(OpDensityResult))
+	return appendF64(dst, m.Density), nil
+}
+
+func decodeDensityResult(c *cursor) (Message, error) {
+	m := &DensityResult{}
+	var err error
+	if m.Density, err = c.f64(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// ListResult carries the resident IDs.
+type ListResult struct{ IDs []object.ID }
+
+// Op implements Message.
+func (*ListResult) Op() Op { return OpListResult }
+
+func (m *ListResult) append(dst []byte) ([]byte, error) {
+	dst = appendU8(dst, uint8(OpListResult))
+	dst = appendU32(dst, uint32(len(m.IDs)))
+	var err error
+	for _, id := range m.IDs {
+		if dst, err = appendStr(dst, string(id)); err != nil {
+			return nil, err
+		}
+	}
+	return dst, nil
+}
+
+func decodeListResult(c *cursor) (Message, error) {
+	m := &ListResult{}
+	n, err := c.u32()
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < int(n); i++ {
+		id, err := c.str()
+		if err != nil {
+			return nil, err
+		}
+		m.IDs = append(m.IDs, object.ID(id))
+	}
+	return m, nil
+}
+
+// Error codes carried by ErrorMsg.
+const (
+	CodeInternal uint8 = iota
+	CodeNotFound
+	CodeDuplicate
+	CodeBadRequest
+)
+
+// ErrorMsg reports a request failure.
+type ErrorMsg struct {
+	Code uint8
+	Text string
+}
+
+// Op implements Message.
+func (*ErrorMsg) Op() Op { return OpError }
+
+func (m *ErrorMsg) append(dst []byte) ([]byte, error) {
+	dst = appendU8(dst, uint8(OpError))
+	dst = appendU8(dst, m.Code)
+	return appendStr(dst, m.Text)
+}
+
+func decodeErrorMsg(c *cursor) (Message, error) {
+	m := &ErrorMsg{}
+	var err error
+	if m.Code, err = c.u8(); err != nil {
+		return nil, err
+	}
+	if m.Text, err = c.str(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Error implements the error interface so clients can return it directly.
+func (m *ErrorMsg) Error() string {
+	return fmt.Sprintf("wire: remote error %d: %s", m.Code, m.Text)
+}
+
+func boolByte(b bool) uint8 {
+	if b {
+		return 1
+	}
+	return 0
+}

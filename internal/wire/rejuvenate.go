@@ -1,0 +1,86 @@
+package wire
+
+import (
+	"fmt"
+
+	"besteffs/internal/importance"
+	"besteffs/internal/object"
+)
+
+// Rejuvenate replaces a resident object's importance annotation with a
+// fresh function aging from now: the paper's "active intervention by the
+// user to increase an existing importance" (Section 3), and the trigger
+// mechanism of its Section 6 scenarios (demote after a successful backup,
+// promote on renewed interest).
+type Rejuvenate struct {
+	ID         object.ID
+	Importance importance.Function
+}
+
+// Op implements Message.
+func (*Rejuvenate) Op() Op { return OpRejuvenate }
+
+func (m *Rejuvenate) append(dst []byte) ([]byte, error) {
+	dst = appendU8(dst, uint8(OpRejuvenate))
+	dst, err := appendStr(dst, string(m.ID))
+	if err != nil {
+		return nil, err
+	}
+	imp, err := importance.Encode(m.Importance)
+	if err != nil {
+		return nil, err
+	}
+	dst = appendU16(dst, uint16(len(imp)))
+	return append(dst, imp...), nil
+}
+
+func decodeRejuvenate(c *cursor) (Message, error) {
+	m := &Rejuvenate{}
+	id, err := c.str()
+	if err != nil {
+		return nil, err
+	}
+	m.ID = object.ID(id)
+	impLen, err := c.u16()
+	if err != nil {
+		return nil, err
+	}
+	if len(c.rest()) < int(impLen) {
+		return nil, ErrShort
+	}
+	f, consumed, err := importance.Decode(c.rest()[:impLen])
+	if err != nil {
+		return nil, err
+	}
+	if consumed != int(impLen) {
+		return nil, fmt.Errorf("wire: importance encoding has %d trailing bytes", int(impLen)-consumed)
+	}
+	if err := c.advance(int(impLen)); err != nil {
+		return nil, err
+	}
+	m.Importance = f
+	return m, nil
+}
+
+// RejuvenateResult acknowledges a rejuvenation with the object's new
+// write-once version number.
+type RejuvenateResult struct {
+	Version uint32
+}
+
+// Op implements Message.
+func (*RejuvenateResult) Op() Op { return OpRejuvenateResult }
+
+func (m *RejuvenateResult) append(dst []byte) ([]byte, error) {
+	dst = appendU8(dst, uint8(OpRejuvenateResult))
+	return appendU32(dst, m.Version), nil
+}
+
+func decodeRejuvenateResult(c *cursor) (Message, error) {
+	m := &RejuvenateResult{}
+	var err error
+	if m.Version, err = c.u32(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

@@ -1,0 +1,264 @@
+// Package wire defines the binary protocol spoken between Besteffs storage
+// nodes and clients: length-prefixed frames carrying fixed-layout messages.
+// The protocol surfaces exactly the operations the paper's architecture
+// needs -- store with an importance annotation, retrieve, delete, probe a
+// unit for the highest importance it would preempt (the distributed
+// placement primitive of Section 5.3), and read the storage importance
+// density (the annotation-feedback signal of Section 5.1.2).
+//
+// Framing: a 4-byte big-endian body length, then the body; the first body
+// byte is the opcode. Strings are a 2-byte length plus UTF-8 bytes; payloads
+// are a 4-byte length plus bytes; numbers are big-endian; importance
+// functions use the importance package's compact codec.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// MaxFrameSize bounds a frame body; larger frames are rejected before
+// allocation, so a hostile peer cannot trigger unbounded memory use.
+const MaxFrameSize = 64 << 20
+
+// Op identifies a message type. Values are wire-stable; never renumber.
+type Op uint8
+
+// Request opcodes.
+const (
+	OpInvalid Op = iota
+	OpPut
+	OpGet
+	OpDelete
+	OpStat
+	OpProbe
+	OpDensity
+	OpList
+	OpRejuvenate
+	OpUpdate
+)
+
+// Response opcodes.
+const (
+	OpPutResult Op = 128 + iota
+	OpObject
+	OpOK
+	OpStatResult
+	OpProbeResult
+	OpDensityResult
+	OpListResult
+	OpError
+	OpRejuvenateResult
+)
+
+// String returns the opcode mnemonic.
+func (o Op) String() string {
+	switch o {
+	case OpPut:
+		return "PUT"
+	case OpGet:
+		return "GET"
+	case OpDelete:
+		return "DELETE"
+	case OpStat:
+		return "STAT"
+	case OpProbe:
+		return "PROBE"
+	case OpDensity:
+		return "DENSITY"
+	case OpList:
+		return "LIST"
+	case OpRejuvenate:
+		return "REJUVENATE"
+	case OpUpdate:
+		return "UPDATE"
+	case OpPutResult:
+		return "PUT_RESULT"
+	case OpObject:
+		return "OBJECT"
+	case OpOK:
+		return "OK"
+	case OpStatResult:
+		return "STAT_RESULT"
+	case OpProbeResult:
+		return "PROBE_RESULT"
+	case OpDensityResult:
+		return "DENSITY_RESULT"
+	case OpListResult:
+		return "LIST_RESULT"
+	case OpError:
+		return "ERROR"
+	case OpRejuvenateResult:
+		return "REJUVENATE_RESULT"
+	default:
+		return fmt.Sprintf("OP(%d)", uint8(o))
+	}
+}
+
+// Protocol errors.
+var (
+	// ErrFrameTooLarge reports a frame beyond MaxFrameSize.
+	ErrFrameTooLarge = errors.New("wire: frame too large")
+	// ErrShort reports a truncated message body.
+	ErrShort = errors.New("wire: short message")
+	// ErrBadString reports a string field that is too long to encode.
+	ErrBadString = errors.New("wire: string too long")
+)
+
+// WriteFrame writes one frame (opcode + body) to w.
+func WriteFrame(w io.Writer, body []byte) error {
+	if len(body) > MaxFrameSize {
+		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, len(body))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("wire: write frame header: %w", err)
+	}
+	if _, err := w.Write(body); err != nil {
+		return fmt.Errorf("wire: write frame body: %w", err)
+	}
+	return nil
+}
+
+// ReadFrame reads one frame body from r. io.EOF before the header means a
+// clean connection close and is returned verbatim.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("wire: read frame header: %w", err)
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrameSize {
+		return nil, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, fmt.Errorf("wire: read frame body: %w", err)
+	}
+	return body, nil
+}
+
+// cursor walks a message body during decoding.
+type cursor struct {
+	buf []byte
+	off int
+}
+
+func (c *cursor) u8() (uint8, error) {
+	if c.off+1 > len(c.buf) {
+		return 0, ErrShort
+	}
+	v := c.buf[c.off]
+	c.off++
+	return v, nil
+}
+
+func (c *cursor) u16() (uint16, error) {
+	if c.off+2 > len(c.buf) {
+		return 0, ErrShort
+	}
+	v := binary.BigEndian.Uint16(c.buf[c.off:])
+	c.off += 2
+	return v, nil
+}
+
+func (c *cursor) u32() (uint32, error) {
+	if c.off+4 > len(c.buf) {
+		return 0, ErrShort
+	}
+	v := binary.BigEndian.Uint32(c.buf[c.off:])
+	c.off += 4
+	return v, nil
+}
+
+func (c *cursor) u64() (uint64, error) {
+	if c.off+8 > len(c.buf) {
+		return 0, ErrShort
+	}
+	v := binary.BigEndian.Uint64(c.buf[c.off:])
+	c.off += 8
+	return v, nil
+}
+
+func (c *cursor) f64() (float64, error) {
+	v, err := c.u64()
+	if err != nil {
+		return 0, err
+	}
+	return math.Float64frombits(v), nil
+}
+
+func (c *cursor) str() (string, error) {
+	n, err := c.u16()
+	if err != nil {
+		return "", err
+	}
+	if c.off+int(n) > len(c.buf) {
+		return "", ErrShort
+	}
+	s := string(c.buf[c.off : c.off+int(n)])
+	c.off += int(n)
+	return s, nil
+}
+
+func (c *cursor) bytes() ([]byte, error) {
+	n, err := c.u32()
+	if err != nil {
+		return nil, err
+	}
+	if c.off+int(n) > len(c.buf) {
+		return nil, ErrShort
+	}
+	b := make([]byte, n)
+	copy(b, c.buf[c.off:c.off+int(n)])
+	c.off += int(n)
+	return b, nil
+}
+
+// rest returns the unread remainder without consuming it.
+func (c *cursor) rest() []byte { return c.buf[c.off:] }
+
+// advance consumes n bytes.
+func (c *cursor) advance(n int) error {
+	if c.off+n > len(c.buf) {
+		return ErrShort
+	}
+	c.off += n
+	return nil
+}
+
+// Encoding helpers.
+
+func appendU8(dst []byte, v uint8) []byte { return append(dst, v) }
+func appendU16(dst []byte, v uint16) []byte {
+	return binary.BigEndian.AppendUint16(dst, v)
+}
+func appendU32(dst []byte, v uint32) []byte {
+	return binary.BigEndian.AppendUint32(dst, v)
+}
+func appendU64(dst []byte, v uint64) []byte {
+	return binary.BigEndian.AppendUint64(dst, v)
+}
+func appendF64(dst []byte, v float64) []byte {
+	return appendU64(dst, math.Float64bits(v))
+}
+
+func appendStr(dst []byte, s string) ([]byte, error) {
+	if len(s) > math.MaxUint16 {
+		return nil, fmt.Errorf("%w: %d bytes", ErrBadString, len(s))
+	}
+	dst = appendU16(dst, uint16(len(s)))
+	return append(dst, s...), nil
+}
+
+func appendBytes(dst []byte, b []byte) []byte {
+	dst = appendU32(dst, uint32(len(b)))
+	return append(dst, b...)
+}

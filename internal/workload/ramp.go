@@ -1,0 +1,144 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"besteffs/internal/importance"
+	"besteffs/internal/object"
+	"besteffs/internal/sim"
+)
+
+// Ramp is the Section 5.1 single-application workload: "objects constantly
+// arrive into the system at a rate that is randomly distributed up to 0.5
+// GB an hour for the first three months. Over the following three month
+// intervals, this rate increases to 0.7 GB/hr, 1.0 GB/hr and 1.3 GB/hr."
+//
+// Each active hour produces one object whose size is drawn uniformly from
+// (0, rate*1h]. Content creation is bursty rather than wall-to-wall, so an
+// hour is active with probability DutyCycle; the default duty cycle of 0.3
+// calibrates the paper's observation that a traditional 80 GB disk fills in
+// "about 40 to 50 days" (expected Q1 volume 0.3 * 0.25 GB/hr = 1.8 GB/day,
+// hence 80 GB at day ~44).
+type Ramp struct {
+	// QuarterRatesGBPerHour are the peak hourly rates per quarter of the
+	// simulated run, cycled if the run is longer than the schedule.
+	QuarterRatesGBPerHour []float64
+	// QuarterLength is the length of one rate step (default 91 days).
+	QuarterLength time.Duration
+	// DutyCycle is the probability that a given hour produces an object
+	// (default 0.3).
+	DutyCycle float64
+	// Diurnal concentrates activity into working hours (Section 5.1:
+	// "in realistic deployments, these rates may depend on the time of
+	// the day"): hours 9-17 carry triple weight, hours 0-6 almost none,
+	// with the mean volume preserved.
+	Diurnal bool
+	// Lifetime annotates each arrival; it receives the arrival time so
+	// calendars can shape the function. Required.
+	Lifetime func(arrival time.Duration) importance.Function
+	// IDPrefix namespaces generated object IDs (default "ramp").
+	IDPrefix string
+	// KeepLog retains the arrival log for time-constant analysis.
+	KeepLog bool
+
+	arrivals []Arrival
+	errCollector
+}
+
+// DefaultRampRates are the paper's quarterly peak rates in GB/hour.
+func DefaultRampRates() []float64 { return []float64{0.5, 0.7, 1.0, 1.3} }
+
+// Arrivals returns the arrival log (only populated with KeepLog).
+func (r *Ramp) Arrivals() []Arrival { return r.arrivals }
+
+// Install schedules the workload on the engine from time zero to horizon,
+// offering every arrival to sink. Randomness is drawn from rng at schedule
+// time, so runs are deterministic per seed.
+func (r *Ramp) Install(eng *sim.Engine, sink Sink, rng *rand.Rand, horizon time.Duration) error {
+	if err := checkCommon(eng, sink, rng); err != nil {
+		return err
+	}
+	if r.Lifetime == nil {
+		return fmt.Errorf("workload: ramp needs a Lifetime function")
+	}
+	if len(r.QuarterRatesGBPerHour) == 0 {
+		r.QuarterRatesGBPerHour = DefaultRampRates()
+	}
+	for i, rate := range r.QuarterRatesGBPerHour {
+		if rate <= 0 {
+			return fmt.Errorf("workload: quarter %d rate %v must be positive", i, rate)
+		}
+	}
+	if r.QuarterLength <= 0 {
+		r.QuarterLength = 91 * importance.Day
+	}
+	if r.DutyCycle == 0 {
+		r.DutyCycle = 0.3
+	}
+	if r.DutyCycle < 0 || r.DutyCycle > 1 {
+		return fmt.Errorf("workload: duty cycle %v out of [0, 1]", r.DutyCycle)
+	}
+	if r.IDPrefix == "" {
+		r.IDPrefix = "ramp"
+	}
+
+	seq := 0
+	for hour := time.Duration(0); hour < horizon; hour += time.Hour {
+		duty := r.DutyCycle
+		if r.Diurnal {
+			duty *= diurnalWeight(int(hour/time.Hour) % 24)
+		}
+		if duty > 1 {
+			duty = 1
+		}
+		if rng.Float64() >= duty {
+			continue
+		}
+		quarter := int(hour/r.QuarterLength) % len(r.QuarterRatesGBPerHour)
+		rate := r.QuarterRatesGBPerHour[quarter]
+		size := int64(rng.Float64() * rate * float64(GB))
+		if size <= 0 {
+			size = 1
+		}
+		// Jitter the arrival within its hour for minute-level realism.
+		at := hour + time.Duration(rng.Intn(60))*time.Minute
+		seq++
+		id := object.ID(fmt.Sprintf("%s/%06d", r.IDPrefix, seq))
+		if err := r.scheduleArrival(eng, sink, id, size, at); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (r *Ramp) scheduleArrival(eng *sim.Engine, sink Sink, id object.ID, size int64, at time.Duration) error {
+	return eng.Schedule(at, func(now time.Duration) {
+		o, err := object.New(id, size, now, r.Lifetime(now))
+		if err != nil {
+			r.record(fmt.Errorf("workload: bad generated object %s: %w", id, err))
+			return
+		}
+		if r.KeepLog {
+			r.arrivals = append(r.arrivals, Arrival{Time: now, Size: size})
+		}
+		if err := sink.Offer(o, now); err != nil {
+			r.record(err)
+		}
+	})
+}
+
+// diurnalWeight scales the duty cycle by hour of day with mean one, so the
+// total volume matches the non-diurnal workload: near zero overnight,
+// triple during the 9-17 working block.
+func diurnalWeight(hour int) float64 {
+	switch {
+	case hour >= 9 && hour < 17:
+		return 2.6
+	case hour >= 7 && hour < 9, hour >= 17 && hour < 21:
+		return 0.55
+	default: // 21-07: nights
+		return 0.066
+	}
+}

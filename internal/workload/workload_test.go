@@ -1,0 +1,324 @@
+package workload
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"besteffs/internal/calendar"
+	"besteffs/internal/importance"
+	"besteffs/internal/object"
+	"besteffs/internal/policy"
+	"besteffs/internal/sim"
+	"besteffs/internal/store"
+)
+
+const day = importance.Day
+
+// collectSink records offered objects.
+type collectSink struct {
+	objects []*object.Object
+	times   []time.Duration
+}
+
+func (s *collectSink) Offer(o *object.Object, now time.Duration) error {
+	s.objects = append(s.objects, o)
+	s.times = append(s.times, now)
+	return nil
+}
+
+func rampLifetime(time.Duration) importance.Function {
+	return importance.TwoStep{Plateau: 1, Persist: 15 * day, Wane: 15 * day}
+}
+
+func TestRampVolumeMatchesPaperCalibration(t *testing.T) {
+	eng := sim.NewEngine()
+	sink := &collectSink{}
+	rng := rand.New(rand.NewSource(1))
+	ramp := &Ramp{Lifetime: rampLifetime, KeepLog: true}
+	year := 365 * day
+	if err := ramp.Install(eng, sink, rng, year); err != nil {
+		t.Fatalf("Install: %v", err)
+	}
+	eng.Run(year)
+	if err := ramp.Err(); err != nil {
+		t.Fatalf("generator error: %v", err)
+	}
+	if len(sink.objects) == 0 {
+		t.Fatal("no arrivals generated")
+	}
+
+	// Q1 volume should fill 80 GB in roughly 40-50 days (Section 5.1:
+	// "fully used up in about 40 to 50 days" for a traditional system).
+	var cum int64
+	fillDay := -1
+	for i, o := range sink.objects {
+		cum += o.Size
+		if cum >= 80*GB {
+			fillDay = int(sink.times[i] / day)
+			break
+		}
+	}
+	if fillDay < 30 || fillDay > 60 {
+		t.Errorf("80 GB filled on day %d, want roughly 40-50", fillDay)
+	}
+
+	// Later quarters must be denser than the first.
+	quarter := func(q int) int64 {
+		var v int64
+		for i, o := range sink.objects {
+			if int(sink.times[i]/(91*day)) == q {
+				v += o.Size
+			}
+		}
+		return v
+	}
+	q0, q3 := quarter(0), quarter(3)
+	if q3 <= q0 {
+		t.Errorf("Q4 volume %d <= Q1 volume %d; ramp not increasing", q3, q0)
+	}
+	// Ratio of peak rates is 1.3/0.5 = 2.6; allow generous noise.
+	if ratio := float64(q3) / float64(q0); ratio < 1.8 || ratio > 3.6 {
+		t.Errorf("Q4/Q1 volume ratio = %v, want near 2.6", ratio)
+	}
+	if len(ramp.Arrivals()) != len(sink.objects) {
+		t.Errorf("arrival log %d entries, want %d", len(ramp.Arrivals()), len(sink.objects))
+	}
+}
+
+func TestRampDeterministicPerSeed(t *testing.T) {
+	run := func() []*object.Object {
+		eng := sim.NewEngine()
+		sink := &collectSink{}
+		ramp := &Ramp{Lifetime: rampLifetime}
+		if err := ramp.Install(eng, sink, rand.New(rand.NewSource(7)), 30*day); err != nil {
+			t.Fatalf("Install: %v", err)
+		}
+		eng.Run(30 * day)
+		return sink.objects
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("runs differ in length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].ID != b[i].ID || a[i].Size != b[i].Size || a[i].Arrival != b[i].Arrival {
+			t.Fatalf("runs diverge at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestRampValidation(t *testing.T) {
+	eng := sim.NewEngine()
+	sink := &collectSink{}
+	rng := rand.New(rand.NewSource(1))
+	if err := (&Ramp{Lifetime: rampLifetime}).Install(nil, sink, rng, day); !errors.Is(err, ErrNilEngine) {
+		t.Errorf("nil engine err = %v", err)
+	}
+	if err := (&Ramp{Lifetime: rampLifetime}).Install(eng, nil, rng, day); !errors.Is(err, ErrNilSink) {
+		t.Errorf("nil sink err = %v", err)
+	}
+	if err := (&Ramp{Lifetime: rampLifetime}).Install(eng, sink, nil, day); !errors.Is(err, ErrNilRand) {
+		t.Errorf("nil rng err = %v", err)
+	}
+	if err := (&Ramp{}).Install(eng, sink, rng, day); err == nil {
+		t.Error("missing Lifetime should fail")
+	}
+	bad := &Ramp{Lifetime: rampLifetime, QuarterRatesGBPerHour: []float64{0.5, -1}}
+	if err := bad.Install(eng, sink, rng, day); err == nil {
+		t.Error("negative rate should fail")
+	}
+	badDuty := &Ramp{Lifetime: rampLifetime, DutyCycle: 1.5}
+	if err := badDuty.Install(eng, sink, rng, day); err == nil {
+		t.Error("duty cycle > 1 should fail")
+	}
+}
+
+func TestUnitSink(t *testing.T) {
+	u, err := store.New(10*GB, policy.TemporalImportance{})
+	if err != nil {
+		t.Fatalf("store.New: %v", err)
+	}
+	sink := UnitSink{Unit: u}
+	o, err := object.New("a", GB, 0, importance.Constant{Level: 1})
+	if err != nil {
+		t.Fatalf("object.New: %v", err)
+	}
+	if err := sink.Offer(o, 0); err != nil {
+		t.Fatalf("Offer: %v", err)
+	}
+	// A rejection is not an error...
+	big, err := object.New("b", 100*GB, 0, importance.Constant{Level: 1})
+	if err != nil {
+		t.Fatalf("object.New: %v", err)
+	}
+	if err := sink.Offer(big, 0); err != nil {
+		t.Errorf("rejection surfaced as error: %v", err)
+	}
+	// ...but a duplicate ID is.
+	dup, err := object.New("a", GB, 0, importance.Constant{Level: 1})
+	if err != nil {
+		t.Fatalf("object.New: %v", err)
+	}
+	if err := sink.Offer(dup, 0); err == nil {
+		t.Error("duplicate Offer should fail")
+	}
+}
+
+func TestLectureSingleInstructor(t *testing.T) {
+	eng := sim.NewEngine()
+	sink := &collectSink{}
+	rng := rand.New(rand.NewSource(3))
+	lec := &Lecture{KeepLog: true}
+	year := calendar.Year
+	if err := lec.Install(eng, sink, rng, year); err != nil {
+		t.Fatalf("Install: %v", err)
+	}
+	eng.Run(year)
+	if err := lec.Err(); err != nil {
+		t.Fatalf("generator error: %v", err)
+	}
+	counts := lec.Counts()
+	if counts.UniversityObjects == 0 || counts.StudentObjects == 0 {
+		t.Fatalf("counts = %+v, want both classes present", counts)
+	}
+	// MWF across spring (113 days), summer (61) and fall (113) is about
+	// (113+61+113) * 3/7 = 123 lecture days; one university object each.
+	if counts.UniversityObjects < 100 || counts.UniversityObjects > 140 {
+		t.Errorf("university objects = %d, want ~123", counts.UniversityObjects)
+	}
+	// Up to 3 students, mean 1.5 per lecture.
+	ratio := float64(counts.StudentObjects) / float64(counts.UniversityObjects)
+	if ratio < 1.0 || ratio > 2.0 {
+		t.Errorf("student/university ratio = %v, want ~1.5", ratio)
+	}
+	// A semester of one course's camera streams is roughly 20-25 GB
+	// (the paper measured "over 25 GB ... in a single semester").
+	springBytes := int64(0)
+	for i, o := range sink.objects {
+		if o.Class == object.ClassUniversity && sink.times[i] < 121*day {
+			springBytes += o.Size
+		}
+	}
+	if springBytes < 10*GB || springBytes > 40*GB {
+		t.Errorf("spring camera volume = %.1f GB, want ~20", float64(springBytes)/float64(GB))
+	}
+
+	for i, o := range sink.objects {
+		if calendar.TermAt(o.Arrival) == calendar.TermBreak {
+			// Arrival jitter may spill at most a day past term end.
+			if calendar.TermAt(o.Arrival-day) == calendar.TermBreak {
+				t.Fatalf("object %d (%s) arrived deep in a break", i, o.ID)
+			}
+		}
+		if o.Class == object.ClassUniversity && o.ImportanceAt(o.Arrival) != 1 {
+			t.Fatalf("university object %s initial importance %v, want 1",
+				o.ID, o.ImportanceAt(o.Arrival))
+		}
+		if o.Class == object.ClassStudent && o.ImportanceAt(o.Arrival) != 0.5 {
+			t.Fatalf("student object %s initial importance %v, want 0.5",
+				o.ID, o.ImportanceAt(o.Arrival))
+		}
+	}
+}
+
+func TestLectureUniversityScaleCounts(t *testing.T) {
+	eng := sim.NewEngine()
+	var universityBytes int64
+	sink := SinkFunc(func(o *object.Object, now time.Duration) error {
+		if o.Class == object.ClassUniversity {
+			universityBytes += o.Size
+		}
+		return nil
+	})
+	rng := rand.New(rand.NewSource(5))
+	// Scaled-down university: 100 courses for a spring term.
+	lec := &Lecture{Courses: 100, MaxStudentStreams: 0}
+	horizon := 130 * day
+	if err := lec.Install(eng, sink, rng, horizon); err != nil {
+		t.Fatalf("Install: %v", err)
+	}
+	eng.Run(horizon)
+	if err := lec.Err(); err != nil {
+		t.Fatalf("generator error: %v", err)
+	}
+	perCourse := float64(universityBytes) / 100 / float64(GB)
+	if perCourse < 15 || perCourse > 35 {
+		t.Errorf("per-course spring volume = %.1f GB, want ~20-25", perCourse)
+	}
+}
+
+func TestLectureValidation(t *testing.T) {
+	eng := sim.NewEngine()
+	sink := &collectSink{}
+	rng := rand.New(rand.NewSource(1))
+	if err := (&Lecture{Courses: -1}).Install(eng, sink, rng, day); err == nil {
+		t.Error("negative courses should fail")
+	}
+	if err := (&Lecture{MinLectureMinutes: 90, MaxLectureMinutes: 50}).Install(eng, sink, rng, day); err == nil {
+		t.Error("inverted lecture bounds should fail")
+	}
+}
+
+func TestStreamBytes(t *testing.T) {
+	// 1 Mbps for 60 minutes = 450 MB (decimal).
+	if got := streamBytes(1, 60); got != 450_000_000 {
+		t.Errorf("streamBytes(1, 60) = %d, want 450000000", got)
+	}
+}
+
+func TestSinkFuncErrorPropagates(t *testing.T) {
+	eng := sim.NewEngine()
+	boom := errors.New("boom")
+	sink := SinkFunc(func(*object.Object, time.Duration) error { return boom })
+	ramp := &Ramp{Lifetime: rampLifetime, DutyCycle: 1}
+	if err := ramp.Install(eng, sink, rand.New(rand.NewSource(1)), 2*day); err != nil {
+		t.Fatalf("Install: %v", err)
+	}
+	eng.Run(2 * day)
+	if !errors.Is(ramp.Err(), boom) {
+		t.Errorf("Err() = %v, want boom", ramp.Err())
+	}
+}
+
+func TestRampDiurnalConcentratesWorkingHours(t *testing.T) {
+	run := func(diurnal bool) (working, night int, total int64) {
+		eng := sim.NewEngine()
+		sink := &collectSink{}
+		ramp := &Ramp{Lifetime: rampLifetime, Diurnal: diurnal}
+		if err := ramp.Install(eng, sink, rand.New(rand.NewSource(6)), 120*day); err != nil {
+			t.Fatalf("Install: %v", err)
+		}
+		eng.Run(120 * day)
+		for i, o := range sink.objects {
+			hour := int(sink.times[i]/time.Hour) % 24
+			switch {
+			case hour >= 9 && hour < 17:
+				working++
+			case hour >= 21 || hour < 7:
+				night++
+			}
+			total += o.Size
+		}
+		return working, night, total
+	}
+	w, n, totalDiurnal := run(true)
+	if w == 0 || n > w/5 {
+		t.Errorf("diurnal: %d working-hour vs %d night arrivals; want strong concentration", w, n)
+	}
+	// Mean-one weights keep the overall volume comparable.
+	_, _, totalFlat := run(false)
+	ratio := float64(totalDiurnal) / float64(totalFlat)
+	if ratio < 0.7 || ratio > 1.3 {
+		t.Errorf("diurnal volume ratio = %.2f, want near 1", ratio)
+	}
+	// The weights themselves average to one over a day.
+	sum := 0.0
+	for h := 0; h < 24; h++ {
+		sum += diurnalWeight(h)
+	}
+	if mean := sum / 24; mean < 0.95 || mean > 1.05 {
+		t.Errorf("diurnal weight mean = %.3f, want ~1", mean)
+	}
+}
