@@ -7,7 +7,8 @@
 // Usage:
 //
 //	besteffsd [-addr HOST:PORT] [-capacity BYTES] [-policy NAME] [-data DIR]
-//	          [-sweep DUR] [-status HOST:PORT]
+//	          [-sweep DUR] [-status HOST:PORT] [-max-conns N]
+//	          [-req-timeout DUR] [-drain DUR]
 //
 // With -data, payload bytes are kept in crash-safe files under DIR/blobs, a
 // metadata journal is appended at DIR/journal.log, and on startup the node
@@ -17,7 +18,10 @@
 // Policies: temporal (default), fifo, traditional, fair-share (per-owner
 // quotas; tune with -share).
 //
-// The daemon shuts down gracefully on SIGINT/SIGTERM.
+// The daemon shuts down gracefully on SIGINT/SIGTERM: it stops accepting,
+// lets in-flight requests finish for up to -drain, then syncs and closes the
+// journal so the shutdown never tears the record a client was just
+// acknowledged for.
 package main
 
 import (
@@ -56,8 +60,14 @@ func run(args []string) error {
 	dataDir := fs.String("data", "", "directory for on-disk payloads (default: in-memory)")
 	sweep := fs.Duration("sweep", 0, "reclaim expired objects every interval (0 disables)")
 	statusAddr := fs.String("status", "", "serve a JSON status endpoint on this address (optional)")
+	maxConns := fs.Int("max-conns", 0, "cap on concurrent client connections (0 = unlimited)")
+	reqTimeout := fs.Duration("req-timeout", time.Minute, "per-connection idle/write deadline (0 disables)")
+	drain := fs.Duration("drain", 5*time.Second, "grace period for in-flight requests at shutdown (0 = close immediately)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *maxConns < 0 {
+		return fmt.Errorf("-max-conns %d is negative", *maxConns)
 	}
 
 	pol, err := policyByName(*policyName, *share)
@@ -69,23 +79,37 @@ func run(args []string) error {
 	if *sweep > 0 {
 		opts = append(opts, server.WithMaintenance(*sweep))
 	}
+	if *maxConns > 0 {
+		opts = append(opts, server.WithConnLimit(*maxConns))
+	}
+	if *reqTimeout > 0 {
+		opts = append(opts,
+			server.WithIdleTimeout(*reqTimeout),
+			server.WithWriteTimeout(*reqTimeout))
+	}
+	if *drain > 0 {
+		opts = append(opts, server.WithDrainTimeout(*drain))
+	}
 	journalPath := ""
+	var jw *journal.Writer
 	if *dataDir != "" {
 		files, err := blob.NewFileStore(filepath.Join(*dataDir, "blobs"))
 		if err != nil {
 			return err
 		}
 		journalPath = filepath.Join(*dataDir, "journal.log")
-		w, err := journal.Open(journalPath)
+		jw, err = journal.Open(journalPath)
 		if err != nil {
 			return err
 		}
+		// Safety net for early-exit paths; the normal path closes
+		// explicitly after Serve drains (Close is idempotent).
 		defer func() {
-			if err := w.Close(); err != nil {
+			if err := jw.Close(); err != nil {
 				log.Error("close journal", "err", err)
 			}
 		}()
-		opts = append(opts, server.WithBlobStore(files), server.WithJournal(w))
+		opts = append(opts, server.WithBlobStore(files), server.WithJournal(jw))
 		log.Info("persistent node", "blobs", files.Root(), "journal", journalPath)
 	}
 	srv, err := server.New(*capacity, pol, opts...)
@@ -130,6 +154,17 @@ func run(args []string) error {
 	}
 	if err := srv.Serve(ctx, l); err != nil {
 		return err
+	}
+	// Serve has returned, so every handler -- and thus every journal
+	// append -- is done. Sync and close the journal now, while we can
+	// still report failures, instead of relying on the deferred Close.
+	if jw != nil {
+		if err := jw.Sync(); err != nil {
+			log.Error("sync journal", "err", err)
+		}
+		if err := jw.Close(); err != nil {
+			log.Error("close journal", "err", err)
+		}
 	}
 	log.Info("besteffsd stopped")
 	return nil

@@ -44,4 +44,7 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	if err := run([]string{"-addr", "not-an-address"}); err == nil {
 		t.Error("bad address accepted")
 	}
+	if err := run([]string{"-max-conns", "-1"}); err == nil {
+		t.Error("negative -max-conns accepted")
+	}
 }

@@ -8,13 +8,19 @@
 //
 // Consistent with Besteffs semantics, the file store provides no more
 // durability than a single copy on the underlying disk; there is no
-// replication and no write-ahead metadata log.
+// replication and no write-ahead metadata log. Both stores do, however,
+// record a CRC-32 of each payload at Put and verify it at Get, so a
+// bit-flipped payload surfaces as ErrCorrupt instead of being served
+// silently.
 package blob
 
 import (
+	"bytes"
+	"encoding/binary"
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"sync"
@@ -24,6 +30,16 @@ import (
 
 // ErrNotFound reports a missing payload.
 var ErrNotFound = errors.New("blob: not found")
+
+// ErrCorrupt reports a payload whose bytes no longer match the CRC-32
+// recorded when it was stored -- a bit flip on disk or in memory. Corrupt
+// payloads are detected on read and never served silently.
+var ErrCorrupt = errors.New("blob: corrupt payload")
+
+// fileMagic prefixes checksummed payload files: magic, then a 4-byte
+// big-endian CRC-32 (IEEE) of the payload, then the payload bytes. Files
+// without the magic are legacy raw payloads and are served unverified.
+var fileMagic = []byte{0xbe, 0xef, 0x0b, 0x01}
 
 // Store holds object payloads keyed by object ID. Implementations must be
 // safe for concurrent use.
@@ -41,13 +57,17 @@ type Store interface {
 type MemStore struct {
 	mu       sync.Mutex
 	payloads map[object.ID][]byte
+	sums     map[object.ID]uint32
 }
 
 var _ Store = (*MemStore)(nil)
 
 // NewMemStore returns an empty in-memory store.
 func NewMemStore() *MemStore {
-	return &MemStore{payloads: make(map[object.ID][]byte)}
+	return &MemStore{
+		payloads: make(map[object.ID][]byte),
+		sums:     make(map[object.ID]uint32),
+	}
 }
 
 // Put implements Store.
@@ -57,16 +77,21 @@ func (s *MemStore) Put(id object.ID, payload []byte) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.payloads[id] = cp
+	s.sums[id] = crc32.ChecksumIEEE(cp)
 	return nil
 }
 
-// Get implements Store.
+// Get implements Store. A payload whose bytes no longer match their stored
+// CRC-32 yields ErrCorrupt.
 func (s *MemStore) Get(id object.ID) ([]byte, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	p, ok := s.payloads[id]
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	if crc32.ChecksumIEEE(p) != s.sums[id] {
+		return nil, fmt.Errorf("%w: %s", ErrCorrupt, id)
 	}
 	cp := make([]byte, len(p))
 	copy(cp, p)
@@ -78,6 +103,7 @@ func (s *MemStore) Delete(id object.ID) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	delete(s.payloads, id)
+	delete(s.sums, id)
 	return nil
 }
 
@@ -128,12 +154,21 @@ func (s *FileStore) tempName() string {
 	return filepath.Join(s.root, fmt.Sprintf(".tmp-%d-%d", os.Getpid(), n))
 }
 
-// Put implements Store with an atomic write: temp file, fsync, rename.
+// Put implements Store with an atomic write: temp file, fsync, rename. The
+// file carries a CRC-32 header so Get can detect bit rot.
 func (s *FileStore) Put(id object.ID, payload []byte) error {
 	tmp := s.tempName()
 	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
 	if err != nil {
 		return fmt.Errorf("blob: create temp: %w", err)
+	}
+	var hdr [8]byte
+	copy(hdr[:4], fileMagic)
+	binary.BigEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(payload))
+	if _, err := f.Write(hdr[:]); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("blob: write header: %w", err)
 	}
 	if _, err := f.Write(payload); err != nil {
 		f.Close()
@@ -156,7 +191,9 @@ func (s *FileStore) Put(id object.ID, payload []byte) error {
 	return nil
 }
 
-// Get implements Store.
+// Get implements Store. Checksummed files (the current format) are
+// verified against their CRC-32 header and yield ErrCorrupt on mismatch;
+// files without the magic are legacy raw payloads returned unverified.
 func (s *FileStore) Get(id object.ID) ([]byte, error) {
 	b, err := os.ReadFile(s.path(id))
 	if err != nil {
@@ -165,7 +202,15 @@ func (s *FileStore) Get(id object.ID) ([]byte, error) {
 		}
 		return nil, fmt.Errorf("blob: read: %w", err)
 	}
-	return b, nil
+	if len(b) < 8 || !bytes.Equal(b[:4], fileMagic) {
+		return b, nil // legacy file: raw payload, nothing to verify
+	}
+	want := binary.BigEndian.Uint32(b[4:8])
+	payload := b[8:]
+	if crc32.ChecksumIEEE(payload) != want {
+		return nil, fmt.Errorf("%w: %s", ErrCorrupt, id)
+	}
+	return payload, nil
 }
 
 // Delete implements Store.

@@ -207,3 +207,65 @@ func TestFileStoreConcurrent(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+func TestFileStoreDetectsCorruption(t *testing.T) {
+	root := t.TempDir()
+	s, err := NewFileStore(root)
+	if err != nil {
+		t.Fatalf("NewFileStore: %v", err)
+	}
+	if err := s.Put("victim", []byte("precious bytes")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	// Flip one payload bit on disk.
+	path := s.path("victim")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	raw[len(raw)-1] ^= 0x01
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	if _, err := s.Get("victim"); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("Get bit-flipped payload err = %v, want ErrCorrupt", err)
+	}
+	// A header flip (stored checksum itself) is also detected.
+	raw[len(raw)-1] ^= 0x01 // restore payload
+	raw[5] ^= 0x80          // corrupt the CRC field
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	if _, err := s.Get("victim"); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("Get with flipped CRC err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestFileStoreServesLegacyRawFiles(t *testing.T) {
+	root := t.TempDir()
+	s, err := NewFileStore(root)
+	if err != nil {
+		t.Fatalf("NewFileStore: %v", err)
+	}
+	// A pre-checksum file: raw payload, no magic header.
+	if err := os.WriteFile(s.path("old"), []byte("legacy payload"), 0o644); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	got, err := s.Get("old")
+	if err != nil || string(got) != "legacy payload" {
+		t.Errorf("Get legacy = %q, %v", got, err)
+	}
+}
+
+func TestMemStoreDetectsCorruption(t *testing.T) {
+	s := NewMemStore()
+	if err := s.Put("victim", []byte("precious")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	s.mu.Lock()
+	s.payloads["victim"][0] ^= 0x01 // simulated in-memory bit flip
+	s.mu.Unlock()
+	if _, err := s.Get("victim"); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("Get corrupted payload err = %v, want ErrCorrupt", err)
+	}
+}

@@ -9,12 +9,15 @@ import (
 	"bufio"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math/rand"
 	"net"
+	"sort"
 	"sync"
 	"time"
 
 	"besteffs/internal/importance"
+	"besteffs/internal/metrics"
 	"besteffs/internal/object"
 	"besteffs/internal/wire"
 )
@@ -29,7 +32,55 @@ var (
 	ErrUnexpected = errors.New("client: unexpected response")
 	// ErrClusterFull reports that no sampled node admitted the object.
 	ErrClusterFull = errors.New("client: cluster full for object")
+	// ErrNoHealthyNodes reports that every probed node was dead, ejected
+	// or unreachable -- nothing even answered.
+	ErrNoHealthyNodes = errors.New("client: no healthy nodes reachable")
+	// ErrNotConnected reports a request on a client whose connection is
+	// down and not (or no longer) redialable.
+	ErrNotConnected = errors.New("client: not connected")
 )
+
+// Config tunes a client's per-request robustness behavior.
+type Config struct {
+	// RequestTimeout bounds each request's socket writes and reads
+	// (0 disables deadlines).
+	RequestTimeout time.Duration
+	// MaxRetries is how many times a transport-failed request is retried
+	// over a fresh connection (0 fails fast). Retried requests are
+	// at-least-once: a Put whose response was lost may surface as
+	// ErrDuplicate on the retry.
+	MaxRetries int
+	// BackoffBase and BackoffMax shape the exponential backoff with
+	// jitter slept between reconnect attempts.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+}
+
+// DefaultConfig is the robustness configuration Dial uses: bounded
+// requests, a couple of reconnect attempts, sub-second backoff.
+func DefaultConfig() Config {
+	return Config{
+		RequestTimeout: 10 * time.Second,
+		MaxRetries:     2,
+		BackoffBase:    50 * time.Millisecond,
+		BackoffMax:     2 * time.Second,
+	}
+}
+
+// backoff returns the pause before reconnect attempt (0-based), growing
+// exponentially with full jitter in [d/2, d] so simultaneous clients do not
+// stampede a recovering node.
+func backoff(cfg Config, attempt int) time.Duration {
+	if cfg.BackoffBase <= 0 {
+		return 0
+	}
+	d := cfg.BackoffBase << uint(attempt)
+	if cfg.BackoffMax > 0 && d > cfg.BackoffMax {
+		d = cfg.BackoffMax
+	}
+	half := d / 2
+	return half + time.Duration(rand.Int63n(int64(half)+1))
+}
 
 // Client is a connection to one storage node. Methods are safe for
 // concurrent use; requests are serialized over the single connection.
@@ -38,35 +89,137 @@ type Client struct {
 	conn net.Conn
 	br   *bufio.Reader
 	bw   *bufio.Writer
+
+	// addr is the redial target; empty for clients wrapping a raw conn,
+	// which cannot reconnect.
+	addr        string
+	dialTimeout time.Duration
+	cfg         Config
+
+	counters *metrics.CounterSet
 }
 
-// Dial connects to a node.
+// Dial connects to a node with DefaultConfig robustness: per-request
+// deadlines plus reconnect-on-error with exponential backoff.
 func Dial(addr string, timeout time.Duration) (*Client, error) {
+	return DialConfig(addr, timeout, DefaultConfig())
+}
+
+// DialConfig connects to a node with explicit robustness settings.
+func DialConfig(addr string, timeout time.Duration, cfg Config) (*Client, error) {
 	conn, err := net.DialTimeout("tcp", addr, timeout)
 	if err != nil {
 		return nil, fmt.Errorf("client: dial %s: %w", addr, err)
 	}
-	return NewClient(conn), nil
+	c := NewClient(conn)
+	c.addr = addr
+	c.dialTimeout = timeout
+	c.cfg = cfg
+	return c, nil
 }
 
-// NewClient wraps an established connection (tests use net.Pipe).
+// NewClient wraps an established connection (tests use net.Pipe). Wrapped
+// connections have no redial address, so they get no deadlines and no
+// retries unless configured via the cluster layer.
 func NewClient(conn net.Conn) *Client {
 	return &Client{
-		conn: conn,
-		br:   bufio.NewReader(conn),
-		bw:   bufio.NewWriter(conn),
+		conn:     conn,
+		br:       bufio.NewReader(conn),
+		bw:       bufio.NewWriter(conn),
+		counters: metrics.NewCounterSet(),
 	}
 }
 
-// Close closes the connection.
+// Addr returns the node address this client redials, or "" for a wrapped
+// connection.
+func (c *Client) Addr() string { return c.addr }
+
+// Counters reports the client's robustness counters ("retries",
+// "reconnects"). Cluster clients share one set across all nodes.
+func (c *Client) Counters() map[string]int64 { return c.counters.Snapshot() }
+
+// setCounters redirects the client's counters to a shared set.
+func (c *Client) setCounters(cs *metrics.CounterSet) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.counters = cs
+}
+
+// Close closes the connection. Closing an already-dropped connection is
+// not an error.
 func (c *Client) Close() error {
-	if err := c.conn.Close(); err != nil {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return nil
+	}
+	conn := c.conn
+	c.conn = nil
+	if err := conn.Close(); err != nil {
 		return fmt.Errorf("client: close: %w", err)
 	}
 	return nil
 }
 
-// roundTrip sends one request and reads one response.
+// dropConnLocked tears down a connection the client no longer trusts.
+func (c *Client) dropConnLocked() {
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+	}
+}
+
+// redialLocked replaces a dropped connection with a fresh one.
+func (c *Client) redialLocked() error {
+	c.dropConnLocked()
+	conn, err := net.DialTimeout("tcp", c.addr, c.dialTimeout)
+	if err != nil {
+		return fmt.Errorf("client: redial %s: %w", c.addr, err)
+	}
+	c.conn = conn
+	c.br = bufio.NewReader(conn)
+	c.bw = bufio.NewWriter(conn)
+	c.counters.Inc("reconnects")
+	return nil
+}
+
+// exchangeLocked writes one request frame and reads one response under the
+// client's deadline. Any transport error drops the connection: after a
+// failed round trip the stream position is unknown, so the conn cannot be
+// reused safely.
+func (c *Client) exchangeLocked(body []byte) (wire.Message, error) {
+	if c.conn == nil {
+		return nil, fmt.Errorf("%w (%s)", ErrNotConnected, c.addr)
+	}
+	if c.cfg.RequestTimeout > 0 {
+		c.conn.SetDeadline(time.Now().Add(c.cfg.RequestTimeout))
+	}
+	if err := wire.WriteFrame(c.bw, body); err != nil {
+		c.dropConnLocked()
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	if err := c.bw.Flush(); err != nil {
+		c.dropConnLocked()
+		return nil, fmt.Errorf("client: flush: %w", err)
+	}
+	respBody, err := wire.ReadFrame(c.br)
+	if err != nil {
+		c.dropConnLocked()
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	resp, err := wire.Decode(respBody)
+	if err != nil {
+		c.dropConnLocked()
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	if c.cfg.RequestTimeout > 0 && c.conn != nil {
+		c.conn.SetDeadline(time.Time{})
+	}
+	return resp, nil
+}
+
+// roundTrip sends one request and reads one response, reconnecting with
+// backoff on transport errors when the client knows its node's address.
 func (c *Client) roundTrip(req wire.Message) (wire.Message, error) {
 	body, err := wire.Encode(req)
 	if err != nil {
@@ -74,21 +227,17 @@ func (c *Client) roundTrip(req wire.Message) (wire.Message, error) {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if err := wire.WriteFrame(c.bw, body); err != nil {
-		return nil, fmt.Errorf("client: %w", err)
+	resp, err := c.exchangeLocked(body)
+	for attempt := 0; err != nil && c.addr != "" && attempt < c.cfg.MaxRetries; attempt++ {
+		c.counters.Inc("retries")
+		time.Sleep(backoff(c.cfg, attempt))
+		if rerr := c.redialLocked(); rerr != nil {
+			err = rerr
+			continue
+		}
+		resp, err = c.exchangeLocked(body)
 	}
-	if err := c.bw.Flush(); err != nil {
-		return nil, fmt.Errorf("client: flush: %w", err)
-	}
-	respBody, err := wire.ReadFrame(c.br)
-	if err != nil {
-		return nil, fmt.Errorf("client: %w", err)
-	}
-	resp, err := wire.Decode(respBody)
-	if err != nil {
-		return nil, fmt.Errorf("client: %w", err)
-	}
-	return resp, nil
+	return resp, err
 }
 
 // translateError maps wire errors to package errors.
@@ -329,57 +478,199 @@ func (c *Client) List() ([]object.ID, error) {
 	}
 }
 
+// Node health defaults for ClusterClient.
+const (
+	// DefaultFailureThreshold is the consecutive transport failures after
+	// which a node is ejected.
+	DefaultFailureThreshold = 3
+	// DefaultEjectFor is how long an ejected node's circuit stays open.
+	DefaultEjectFor = 5 * time.Second
+)
+
+// node is one cluster member with its health state. A node whose circuit is
+// open (recent consecutive failures) is skipped by placement until the
+// eject period passes; a node that never connected (partial DialCluster) is
+// lazily redialed once its backoff window allows.
+type node struct {
+	mu          sync.Mutex
+	client      *Client // nil while unconnected
+	addr        string  // "" when the client wraps a raw conn
+	dialTimeout time.Duration
+	cfg         Config
+
+	failures  int       // consecutive transport failures
+	openUntil time.Time // circuit-open deadline; zero when closed
+}
+
 // ClusterClient places objects across many nodes with the Section 5.3
-// algorithm. It holds one connection per node and is safe for concurrent
-// use.
+// algorithm. It holds one connection per node, tracks per-node health, and
+// is safe for concurrent use. A dead or hung node is marked suspect and the
+// client keeps placing on the healthy subset -- the paper's best-effort
+// ethos applied to the cluster path itself.
 type ClusterClient struct {
-	clients []*Client
-	rng     *rand.Rand
-	rngMu   sync.Mutex
+	nodes []*node
+	rng   *rand.Rand
+	rngMu sync.Mutex
 
 	// SampleSize is x, the nodes probed per round.
 	SampleSize int
 	// MaxTries is m, the sampling rounds before settling.
 	MaxTries int
+	// FailureThreshold is the consecutive transport failures after which
+	// a node's circuit opens. Set before first use.
+	FailureThreshold int
+	// EjectFor is how long an opened circuit rejects traffic before the
+	// node is retried (half-open). Set before first use.
+	EjectFor time.Duration
+
+	log      *slog.Logger
+	counters *metrics.CounterSet
 }
 
-// NewClusterClient wraps per-node clients. The random source drives node
-// sampling (the networked stand-in for overlay random walks).
-func NewClusterClient(clients []*Client, rng *rand.Rand) (*ClusterClient, error) {
-	if len(clients) == 0 {
+// newClusterClient assembles a cluster client over prepared nodes.
+func newClusterClient(nodes []*node, rng *rand.Rand) (*ClusterClient, error) {
+	if len(nodes) == 0 {
 		return nil, errors.New("client: no nodes")
 	}
 	if rng == nil {
 		return nil, errors.New("client: nil random source")
 	}
-	return &ClusterClient{
-		clients:    clients,
-		rng:        rng,
-		SampleSize: 5,
-		MaxTries:   3,
-	}, nil
+	cc := &ClusterClient{
+		nodes:            nodes,
+		rng:              rng,
+		SampleSize:       5,
+		MaxTries:         3,
+		FailureThreshold: DefaultFailureThreshold,
+		EjectFor:         DefaultEjectFor,
+		log:              slog.Default(),
+		counters:         metrics.NewCounterSet(),
+	}
+	for _, n := range cc.nodes {
+		if n.client != nil {
+			n.client.setCounters(cc.counters)
+		}
+	}
+	return cc, nil
 }
 
-// DialCluster connects to every address and wraps the cluster client.
-func DialCluster(addrs []string, timeout time.Duration, rng *rand.Rand) (*ClusterClient, error) {
-	clients := make([]*Client, 0, len(addrs))
-	for _, addr := range addrs {
-		c, err := Dial(addr, timeout)
-		if err != nil {
-			for _, open := range clients {
-				open.Close()
-			}
-			return nil, err
+// NewClusterClient wraps per-node clients. The random source drives node
+// sampling (the networked stand-in for overlay random walks). The clients'
+// robustness counters are merged into the cluster's shared set, so wrap
+// clients before issuing requests on them.
+func NewClusterClient(clients []*Client, rng *rand.Rand) (*ClusterClient, error) {
+	nodes := make([]*node, len(clients))
+	for i, c := range clients {
+		if c == nil {
+			return nil, fmt.Errorf("client: nil client at index %d", i)
 		}
-		clients = append(clients, c)
+		nodes[i] = &node{
+			client:      c,
+			addr:        c.addr,
+			dialTimeout: c.dialTimeout,
+			cfg:         c.cfg,
+		}
 	}
-	return NewClusterClient(clients, rng)
+	return newClusterClient(nodes, rng)
+}
+
+// ClusterOption configures DialCluster.
+type ClusterOption func(*clusterDialConfig)
+
+type clusterDialConfig struct {
+	quorum    int
+	clientCfg Config
+	haveCfg   bool
+}
+
+// WithQuorum enables partial-connect mode: DialCluster succeeds once at
+// least n addresses are reachable, leaving the rest as down nodes that are
+// lazily redialed when the cluster next considers them. Without this
+// option every address must connect (the strict historical behavior).
+func WithQuorum(n int) ClusterOption {
+	return func(c *clusterDialConfig) { c.quorum = n }
+}
+
+// WithClientConfig overrides DefaultConfig for every per-node client.
+func WithClientConfig(cfg Config) ClusterOption {
+	return func(c *clusterDialConfig) { c.clientCfg, c.haveCfg = cfg, true }
+}
+
+// SetLogger replaces the cluster's logger (default slog.Default). Call
+// before issuing requests.
+func (cc *ClusterClient) SetLogger(l *slog.Logger) {
+	if l != nil {
+		cc.log = l
+	}
+}
+
+// Counters reports the cluster's robustness counters: "retries" and
+// "reconnects" from the per-node clients, plus "probe_failures",
+// "node_ejections", "node_redials" and "commit_fallbacks" from placement.
+func (cc *ClusterClient) Counters() map[string]int64 { return cc.counters.Snapshot() }
+
+// DialCluster connects to every address and wraps the cluster client. By
+// default every address must be reachable; WithQuorum(n) starts with any n
+// reachable nodes and lazily redials the rest.
+func DialCluster(addrs []string, timeout time.Duration, rng *rand.Rand, opts ...ClusterOption) (*ClusterClient, error) {
+	cfg := clusterDialConfig{}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	clientCfg := DefaultConfig()
+	if cfg.haveCfg {
+		clientCfg = cfg.clientCfg
+	}
+	need := len(addrs)
+	if cfg.quorum > 0 && cfg.quorum < need {
+		need = cfg.quorum
+	}
+	nodes := make([]*node, 0, len(addrs))
+	connected := 0
+	var firstErr error
+	closeAll := func() {
+		for _, n := range nodes {
+			if n.client != nil {
+				n.client.Close()
+			}
+		}
+	}
+	for _, addr := range addrs {
+		n := &node{addr: addr, dialTimeout: timeout, cfg: clientCfg}
+		c, err := DialConfig(addr, timeout, clientCfg)
+		if err != nil {
+			if cfg.quorum <= 0 {
+				closeAll()
+				return nil, err
+			}
+			if firstErr == nil {
+				firstErr = err
+			}
+			// Leave the node down; placement redials it lazily.
+			n.failures = 1
+		} else {
+			n.client = c
+			connected++
+		}
+		nodes = append(nodes, n)
+	}
+	if connected < need {
+		closeAll()
+		return nil, fmt.Errorf("client: only %d of %d nodes reachable (quorum %d): %w",
+			connected, len(addrs), need, firstErr)
+	}
+	return newClusterClient(nodes, rng)
 }
 
 // Close closes every node connection, returning the first error.
 func (cc *ClusterClient) Close() error {
 	var first error
-	for _, c := range cc.clients {
+	for _, n := range cc.nodes {
+		n.mu.Lock()
+		c := n.client
+		n.mu.Unlock()
+		if c == nil {
+			continue
+		}
 		if err := c.Close(); err != nil && first == nil {
 			first = err
 		}
@@ -387,11 +678,69 @@ func (cc *ClusterClient) Close() error {
 	return first
 }
 
+// ready returns node i's client when the node is connected and its circuit
+// admits traffic, lazily redialing a down node whose eject period expired.
+// It returns nil for nodes that should be skipped.
+func (cc *ClusterClient) ready(i int) *Client {
+	n := cc.nodes[i]
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if time.Now().Before(n.openUntil) {
+		return nil // circuit open
+	}
+	if n.client == nil {
+		if n.addr == "" {
+			return nil // wrapped conn that died; nothing to redial
+		}
+		c, err := DialConfig(n.addr, n.dialTimeout, n.cfg)
+		if err != nil {
+			cc.markFailureLocked(n, i, err)
+			return nil
+		}
+		c.setCounters(cc.counters)
+		n.client = c
+		n.failures = 0
+		n.openUntil = time.Time{}
+		cc.counters.Inc("node_redials")
+		cc.log.Info("node reconnected", "node", i, "addr", n.addr)
+	}
+	return n.client
+}
+
+// markFailureLocked records a transport failure against n (held locked),
+// opening the circuit once failures reach the threshold.
+func (cc *ClusterClient) markFailureLocked(n *node, i int, err error) {
+	n.failures++
+	if n.failures >= cc.FailureThreshold && !time.Now().Before(n.openUntil) {
+		n.openUntil = time.Now().Add(cc.EjectFor)
+		cc.counters.Inc("node_ejections")
+		cc.log.Warn("node ejected", "node", i, "addr", n.addr,
+			"failures", n.failures, "eject_for", cc.EjectFor, "err", err)
+	}
+}
+
+// noteFailure marks node i suspect after a transport failure.
+func (cc *ClusterClient) noteFailure(i int, err error) {
+	n := cc.nodes[i]
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	cc.markFailureLocked(n, i, err)
+}
+
+// noteSuccess resets node i's health after a successful request.
+func (cc *ClusterClient) noteSuccess(i int) {
+	n := cc.nodes[i]
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.failures = 0
+	n.openUntil = time.Time{}
+}
+
 // sample draws up to x distinct node indexes.
 func (cc *ClusterClient) sample(x int) []int {
 	cc.rngMu.Lock()
 	defer cc.rngMu.Unlock()
-	n := len(cc.clients)
+	n := len(cc.nodes)
 	if x >= n {
 		out := make([]int, n)
 		for i := range out {
@@ -421,78 +770,175 @@ type Placement struct {
 	Evicted []object.ID
 }
 
+// isRemoteError reports whether err is a verdict from a node that answered
+// (not-found, duplicate, a protocol violation, or any wire-level error
+// frame) rather than a transport failure.
+func isRemoteError(err error) bool {
+	var remote *wire.ErrorMsg
+	return errors.Is(err, ErrNotFound) || errors.Is(err, ErrDuplicate) ||
+		errors.Is(err, ErrUnexpected) || errors.As(err, &remote)
+}
+
 // Put places an object on the cluster: probe x sampled nodes per round for
 // up to m rounds, store immediately on a node with boundary zero, otherwise
-// on the admitting node with the lowest boundary. ErrClusterFull means no
-// sampled node would admit the object.
+// on the admitting node with the lowest boundary. A node whose probe or
+// commit fails at the transport level is logged, marked suspect and skipped
+// -- the round continues on the healthy subset. ErrClusterFull means no
+// answering node would admit the object; ErrNoHealthyNodes means nothing
+// answered at all.
 func (cc *ClusterClient) Put(req PutRequest) (Placement, error) {
 	size := int64(len(req.Payload))
-	bestNode, bestBoundary := -1, 2.0
+	type candidate struct {
+		idx      int
+		boundary float64
+	}
+	var cands []candidate
 	probed := make(map[int]bool)
+	answered := 0
+	var lastErr error
 	for try := 0; try < cc.MaxTries; try++ {
 		for _, idx := range cc.sample(cc.SampleSize) {
 			if probed[idx] {
 				continue
 			}
-			probed[idx] = true
-			admissible, boundary, err := cc.clients[idx].Probe(size, req.Importance)
-			if err != nil {
-				return Placement{}, fmt.Errorf("probe node %d: %w", idx, err)
+			c := cc.ready(idx)
+			if c == nil {
+				continue // down or ejected; a later round may find it back
 			}
+			probed[idx] = true
+			admissible, boundary, err := c.Probe(size, req.Importance)
+			if err != nil {
+				if isRemoteError(err) {
+					return Placement{}, fmt.Errorf("probe node %d: %w", idx, err)
+				}
+				cc.counters.Inc("probe_failures")
+				cc.noteFailure(idx, err)
+				cc.log.Warn("probe failed; node marked suspect", "node", idx, "err", err)
+				continue
+			}
+			cc.noteSuccess(idx)
+			answered++
 			if !admissible {
 				continue
 			}
 			if boundary == 0 {
-				return cc.commit(idx, req)
+				p, retryable, err := cc.commit(idx, req)
+				if err == nil {
+					return p, nil
+				}
+				if !retryable {
+					return Placement{}, err
+				}
+				lastErr = err
+				continue
 			}
-			if boundary < bestBoundary {
-				bestNode, bestBoundary = idx, boundary
-			}
+			cands = append(cands, candidate{idx, boundary})
 		}
 	}
-	if bestNode < 0 {
-		return Placement{}, fmt.Errorf("%w: %s", ErrClusterFull, req.ID)
+	// Commit on the lowest boundary, falling back to the next candidate
+	// when a node dies between probe and put.
+	sort.Slice(cands, func(i, j int) bool { return cands[i].boundary < cands[j].boundary })
+	for i, cand := range cands {
+		p, retryable, err := cc.commit(cand.idx, req)
+		if err == nil {
+			return p, nil
+		}
+		if !retryable {
+			return Placement{}, err
+		}
+		lastErr = err
+		if i < len(cands)-1 {
+			cc.counters.Inc("commit_fallbacks")
+		}
 	}
-	return cc.commit(bestNode, req)
+	if lastErr != nil {
+		return Placement{}, lastErr
+	}
+	if answered == 0 {
+		return Placement{}, fmt.Errorf("%w: %s", ErrNoHealthyNodes, req.ID)
+	}
+	return Placement{}, fmt.Errorf("%w: %s", ErrClusterFull, req.ID)
 }
 
-// commit stores the object on the chosen node.
-func (cc *ClusterClient) commit(node int, req PutRequest) (Placement, error) {
-	res, err := cc.clients[node].Put(req)
+// commit stores the object on the chosen node. retryable reports whether
+// the caller may fall back to another candidate: transport failures and
+// refused-after-probe races are retryable, remote verdicts (duplicate ID,
+// protocol errors) are not.
+func (cc *ClusterClient) commit(idx int, req PutRequest) (p Placement, retryable bool, err error) {
+	c := cc.ready(idx)
+	if c == nil {
+		return Placement{}, true, fmt.Errorf("put on node %d: %w", idx, ErrNotConnected)
+	}
+	res, err := c.Put(req)
 	if err != nil {
-		return Placement{}, fmt.Errorf("put on node %d: %w", node, err)
+		if isRemoteError(err) {
+			return Placement{}, false, fmt.Errorf("put on node %d: %w", idx, err)
+		}
+		cc.noteFailure(idx, err)
+		cc.log.Warn("commit failed; node marked suspect", "node", idx, "err", err)
+		return Placement{}, true, fmt.Errorf("put on node %d: %w", idx, err)
 	}
+	cc.noteSuccess(idx)
 	if !res.Admitted {
-		// The node's state moved between probe and put; the caller can
-		// retry.
-		return Placement{}, fmt.Errorf("%w: %s (node %d refused after probe)", ErrClusterFull, req.ID, node)
+		// The node's state moved between probe and put; the caller falls
+		// back to the next candidate or retries the whole placement.
+		return Placement{}, true, fmt.Errorf("%w: %s (node %d refused after probe)", ErrClusterFull, req.ID, idx)
 	}
-	return Placement{Node: node, Boundary: res.Boundary, Evicted: res.Evicted}, nil
+	return Placement{Node: idx, Boundary: res.Boundary, Evicted: res.Evicted}, false, nil
 }
 
-// Get retrieves an object by asking every node until one has it.
+// Get retrieves an object by asking every node until one has it. Dead or
+// ejected nodes are skipped; an object stored only on a dead node reports
+// ErrNotFound until the node returns.
 func (cc *ClusterClient) Get(id object.ID) (Object, error) {
-	for _, c := range cc.clients {
+	answered := 0
+	for i := range cc.nodes {
+		c := cc.ready(i)
+		if c == nil {
+			continue
+		}
 		o, err := c.Get(id)
 		if err == nil {
 			return o, nil
 		}
-		if !errors.Is(err, ErrNotFound) {
+		if errors.Is(err, ErrNotFound) {
+			answered++
+			continue
+		}
+		if isRemoteError(err) {
 			return Object{}, err
 		}
+		cc.noteFailure(i, err)
+	}
+	if answered == 0 {
+		return Object{}, fmt.Errorf("%w: get %s", ErrNoHealthyNodes, id)
 	}
 	return Object{}, fmt.Errorf("%w: %s", ErrNotFound, id)
 }
 
-// AverageDensity averages the density across all nodes.
+// AverageDensity averages the density across the reachable nodes.
 func (cc *ClusterClient) AverageDensity() (float64, error) {
 	total := 0.0
-	for i, c := range cc.clients {
+	answered := 0
+	for i := range cc.nodes {
+		c := cc.ready(i)
+		if c == nil {
+			continue
+		}
 		d, err := c.Density()
 		if err != nil {
-			return 0, fmt.Errorf("density of node %d: %w", i, err)
+			if isRemoteError(err) {
+				return 0, fmt.Errorf("density of node %d: %w", i, err)
+			}
+			cc.noteFailure(i, err)
+			continue
 		}
+		cc.noteSuccess(i)
 		total += d
+		answered++
 	}
-	return total / float64(len(cc.clients)), nil
+	if answered == 0 {
+		return 0, ErrNoHealthyNodes
+	}
+	return total / float64(answered), nil
 }

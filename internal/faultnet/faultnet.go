@@ -1,0 +1,286 @@
+// Package faultnet injects deterministic, seedable network faults for
+// testing the Besteffs distributed path: latency, dropped connections, torn
+// (partial) writes and mid-stream resets. An Injector wraps net.Conn,
+// net.Listener or io.Writer values; every probabilistic decision is drawn
+// from one seeded random source, so a failing test reproduces exactly from
+// its seed. Wrappers compose with net.Pipe for in-process tests and with
+// real listeners for end-to-end ones.
+//
+// The package lives under internal because it is test infrastructure, but
+// it is a normal (non _test) package so any package's tests can import it.
+package faultnet
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"besteffs/internal/metrics"
+)
+
+// ErrInjected reports a failure produced by fault injection rather than the
+// real network.
+var ErrInjected = errors.New("faultnet: injected fault")
+
+// Plan configures which faults an Injector produces. Zero-value fields
+// disable the corresponding fault, so Plan{} injects nothing.
+type Plan struct {
+	// DropRate is the probability per I/O operation that the connection
+	// is closed and the operation fails with ErrInjected.
+	DropRate float64
+	// TearRate is the probability per Write that only a prefix of the
+	// buffer reaches the peer before the connection resets.
+	TearRate float64
+	// MaxDelay adds a uniform random latency in [0, MaxDelay) to each
+	// I/O operation.
+	MaxDelay time.Duration
+	// ResetAfterBytes resets every wrapped connection once its total
+	// written bytes exceed this budget (0 disables).
+	ResetAfterBytes int64
+	// FailDials makes the first N Accept calls on a wrapped listener
+	// fail with ErrInjected, simulating unreachable nodes at startup.
+	FailDials int
+}
+
+// Injector draws fault decisions from one seeded source. It is safe for
+// concurrent use; all wrapped values share the injector's plan and
+// counters.
+type Injector struct {
+	mu            sync.Mutex
+	rng           *rand.Rand
+	plan          Plan
+	failDialsLeft int
+
+	counters metrics.CounterSet
+}
+
+// NewInjector returns an injector with the given seed and plan.
+func NewInjector(seed int64, plan Plan) *Injector {
+	return &Injector{
+		rng:           rand.New(rand.NewSource(seed)),
+		plan:          plan,
+		failDialsLeft: plan.FailDials,
+	}
+}
+
+// Counters reports how many faults of each kind were injected
+// ("delays", "drops", "tears", "resets", "dial_failures").
+func (inj *Injector) Counters() map[string]int64 { return inj.counters.Snapshot() }
+
+// delay returns the injected latency for one operation.
+func (inj *Injector) delay() time.Duration {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	if inj.plan.MaxDelay <= 0 {
+		return 0
+	}
+	return time.Duration(inj.rng.Int63n(int64(inj.plan.MaxDelay)))
+}
+
+// roll returns true with probability p.
+func (inj *Injector) roll(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	return inj.rng.Float64() < p
+}
+
+// tearPoint picks how many of n bytes a torn write delivers.
+func (inj *Injector) tearPoint(n int) int {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	if n <= 1 {
+		return 0
+	}
+	return inj.rng.Intn(n)
+}
+
+// Conn wraps c with the injector's faults.
+func (inj *Injector) Conn(c net.Conn) net.Conn {
+	return &conn{Conn: c, inj: inj}
+}
+
+// Listener wraps l; accepted connections are wrapped with the injector's
+// faults, and the first Plan.FailDials accepts fail with ErrInjected.
+func (inj *Injector) Listener(l net.Listener) net.Listener {
+	return &listener{Listener: l, inj: inj}
+}
+
+// Writer wraps w so writes suffer the injector's tear faults; it is the
+// file-backed analogue of a torn connection (journal crash tests).
+func (inj *Injector) Writer(w io.Writer) io.Writer {
+	return &writer{w: w, inj: inj}
+}
+
+// conn is a fault-injecting net.Conn.
+type conn struct {
+	net.Conn
+	inj *Injector
+
+	mu      sync.Mutex
+	written int64
+	broken  bool
+}
+
+// fail marks the connection broken and closes the underlying conn.
+func (c *conn) fail(kind string) error {
+	c.inj.counters.Inc(kind)
+	c.mu.Lock()
+	c.broken = true
+	c.mu.Unlock()
+	c.Conn.Close()
+	return fmt.Errorf("%w: %s", ErrInjected, kind)
+}
+
+func (c *conn) isBroken() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.broken
+}
+
+// Read implements net.Conn with latency and drop faults.
+func (c *conn) Read(p []byte) (int, error) {
+	if c.isBroken() {
+		return 0, fmt.Errorf("%w: connection dropped", ErrInjected)
+	}
+	if d := c.inj.delay(); d > 0 {
+		c.inj.counters.Inc("delays")
+		time.Sleep(d)
+	}
+	if c.inj.roll(c.inj.plan.DropRate) {
+		return 0, c.fail("drops")
+	}
+	return c.Conn.Read(p)
+}
+
+// Write implements net.Conn with latency, drop, tear and reset faults.
+func (c *conn) Write(p []byte) (int, error) {
+	if c.isBroken() {
+		return 0, fmt.Errorf("%w: connection dropped", ErrInjected)
+	}
+	if d := c.inj.delay(); d > 0 {
+		c.inj.counters.Inc("delays")
+		time.Sleep(d)
+	}
+	if c.inj.roll(c.inj.plan.DropRate) {
+		return 0, c.fail("drops")
+	}
+	if c.inj.roll(c.inj.plan.TearRate) {
+		k := c.inj.tearPoint(len(p))
+		if k > 0 {
+			c.Conn.Write(p[:k])
+		}
+		return k, c.fail("tears")
+	}
+	n, err := c.Conn.Write(p)
+	if err != nil {
+		return n, err
+	}
+	if budget := c.inj.plan.ResetAfterBytes; budget > 0 {
+		c.mu.Lock()
+		c.written += int64(n)
+		over := c.written > budget
+		c.mu.Unlock()
+		if over {
+			return n, c.fail("resets")
+		}
+	}
+	return n, nil
+}
+
+// listener wraps accepts with dial-failure and connection faults.
+type listener struct {
+	net.Listener
+	inj *Injector
+}
+
+// Accept implements net.Listener.
+func (l *listener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	l.inj.mu.Lock()
+	failNow := l.inj.failDialsLeft > 0
+	if failNow {
+		l.inj.failDialsLeft--
+	}
+	l.inj.mu.Unlock()
+	if failNow {
+		l.inj.counters.Inc("dial_failures")
+		c.Close()
+		return nil, fmt.Errorf("%w: dial refused", ErrInjected)
+	}
+	return l.inj.Conn(c), nil
+}
+
+// writer injects tear faults into a plain io.Writer.
+type writer struct {
+	w      io.Writer
+	inj    *Injector
+	mu     sync.Mutex
+	broken bool
+}
+
+// Write implements io.Writer: once a tear fires, the writer stays broken,
+// mirroring a crashed process that never writes again.
+func (w *writer) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	broken := w.broken
+	w.mu.Unlock()
+	if broken {
+		return 0, fmt.Errorf("%w: writer torn", ErrInjected)
+	}
+	if w.inj.roll(w.inj.plan.TearRate) {
+		k := w.inj.tearPoint(len(p))
+		if k > 0 {
+			w.w.Write(p[:k])
+		}
+		w.inj.counters.Inc("tears")
+		w.mu.Lock()
+		w.broken = true
+		w.mu.Unlock()
+		return k, fmt.Errorf("%w: torn write", ErrInjected)
+	}
+	return w.w.Write(p)
+}
+
+// LimitWriter returns an io.Writer that passes through the first n bytes
+// and fails every write after the budget is exhausted, possibly mid-buffer
+// -- the deterministic "process died here" primitive behind torn-frame
+// tests. Unlike Injector faults it involves no randomness at all.
+func LimitWriter(w io.Writer, n int64) io.Writer {
+	return &limitWriter{w: w, left: n}
+}
+
+type limitWriter struct {
+	mu   sync.Mutex
+	w    io.Writer
+	left int64
+}
+
+// Write implements io.Writer.
+func (lw *limitWriter) Write(p []byte) (int, error) {
+	lw.mu.Lock()
+	defer lw.mu.Unlock()
+	if lw.left <= 0 {
+		return 0, fmt.Errorf("%w: write budget exhausted", ErrInjected)
+	}
+	if int64(len(p)) <= lw.left {
+		n, err := lw.w.Write(p)
+		lw.left -= int64(n)
+		return n, err
+	}
+	n, err := lw.w.Write(p[:lw.left])
+	lw.left -= int64(n)
+	if err != nil {
+		return n, err
+	}
+	return n, fmt.Errorf("%w: write budget exhausted", ErrInjected)
+}

@@ -1,0 +1,166 @@
+package faultnet
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+func TestConnDrop(t *testing.T) {
+	a, b := net.Pipe()
+	defer b.Close()
+	inj := NewInjector(1, Plan{DropRate: 1})
+	c := inj.Conn(a)
+	if _, err := c.Read(make([]byte, 1)); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Read on always-drop conn err = %v, want ErrInjected", err)
+	}
+	// The connection stays broken.
+	if _, err := c.Write([]byte("x")); !errors.Is(err, ErrInjected) {
+		t.Errorf("Write after drop err = %v, want ErrInjected", err)
+	}
+	if got := inj.Counters()["drops"]; got != 1 {
+		t.Errorf("drops = %d, want 1", got)
+	}
+}
+
+func TestConnTornWrite(t *testing.T) {
+	a, b := net.Pipe()
+	defer b.Close()
+	inj := NewInjector(7, Plan{TearRate: 1})
+	c := inj.Conn(a)
+
+	got := make(chan []byte, 1)
+	go func() {
+		buf, _ := io.ReadAll(b)
+		got <- buf
+	}()
+	payload := bytes.Repeat([]byte("z"), 100)
+	n, err := c.Write(payload)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("torn Write err = %v, want ErrInjected", err)
+	}
+	if n >= len(payload) {
+		t.Errorf("torn Write wrote %d bytes, want a strict prefix of %d", n, len(payload))
+	}
+	received := <-got
+	if len(received) != n {
+		t.Errorf("peer received %d bytes, writer reported %d", len(received), n)
+	}
+	if got := inj.Counters()["tears"]; got != 1 {
+		t.Errorf("tears = %d, want 1", got)
+	}
+}
+
+func TestConnResetAfterBytes(t *testing.T) {
+	a, b := net.Pipe()
+	defer b.Close()
+	inj := NewInjector(3, Plan{ResetAfterBytes: 10})
+	c := inj.Conn(a)
+	go io.Copy(io.Discard, b)
+
+	if _, err := c.Write(make([]byte, 8)); err != nil {
+		t.Fatalf("first Write: %v", err)
+	}
+	if _, err := c.Write(make([]byte, 8)); !errors.Is(err, ErrInjected) {
+		t.Fatalf("over-budget Write err = %v, want ErrInjected", err)
+	}
+	if got := inj.Counters()["resets"]; got != 1 {
+		t.Errorf("resets = %d, want 1", got)
+	}
+}
+
+func TestConnDelayCounts(t *testing.T) {
+	a, b := net.Pipe()
+	defer b.Close()
+	inj := NewInjector(5, Plan{MaxDelay: time.Millisecond})
+	c := inj.Conn(a)
+	go b.Write([]byte("hi"))
+	buf := make([]byte, 2)
+	if _, err := io.ReadFull(c, buf); err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if got := inj.Counters()["delays"]; got == 0 {
+		t.Error("no delays counted with MaxDelay set")
+	}
+}
+
+func TestListenerFailDials(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer l.Close()
+	inj := NewInjector(9, Plan{FailDials: 1})
+	fl := inj.Listener(l)
+
+	dial := func() net.Conn {
+		t.Helper()
+		c, err := net.Dial("tcp", l.Addr().String())
+		if err != nil {
+			t.Fatalf("dial: %v", err)
+		}
+		return c
+	}
+	c1 := dial()
+	defer c1.Close()
+	if _, err := fl.Accept(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("first Accept err = %v, want ErrInjected", err)
+	}
+	c2 := dial()
+	defer c2.Close()
+	conn, err := fl.Accept()
+	if err != nil {
+		t.Fatalf("second Accept: %v", err)
+	}
+	conn.Close()
+	if got := inj.Counters()["dial_failures"]; got != 1 {
+		t.Errorf("dial_failures = %d, want 1", got)
+	}
+}
+
+func TestWriterDeterministicTears(t *testing.T) {
+	// Two injectors with the same seed and plan tear at the same point.
+	tearAt := func(seed int64) (int, int) {
+		var sink bytes.Buffer
+		w := NewInjector(seed, Plan{TearRate: 0.3}).Writer(&sink)
+		total := 0
+		for i := 0; i < 100; i++ {
+			n, err := w.Write(bytes.Repeat([]byte("a"), 50))
+			total += n
+			if err != nil {
+				return i, total
+			}
+		}
+		return -1, total
+	}
+	i1, n1 := tearAt(42)
+	i2, n2 := tearAt(42)
+	if i1 != i2 || n1 != n2 {
+		t.Errorf("same seed tore at (%d,%d) and (%d,%d); want identical", i1, n1, i2, n2)
+	}
+	if i1 < 0 {
+		t.Error("TearRate 0.3 never tore in 100 writes")
+	}
+}
+
+func TestLimitWriter(t *testing.T) {
+	var sink bytes.Buffer
+	w := LimitWriter(&sink, 10)
+	if n, err := w.Write([]byte("12345")); n != 5 || err != nil {
+		t.Fatalf("Write within budget = (%d, %v)", n, err)
+	}
+	// Mid-buffer exhaustion: only the first 5 of 8 bytes land.
+	n, err := w.Write([]byte("abcdefgh"))
+	if n != 5 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("Write across budget = (%d, %v), want (5, ErrInjected)", n, err)
+	}
+	if sink.String() != "12345abcde" {
+		t.Errorf("sink = %q, want %q", sink.String(), "12345abcde")
+	}
+	if n, err := w.Write([]byte("x")); n != 0 || !errors.Is(err, ErrInjected) {
+		t.Errorf("Write after exhaustion = (%d, %v), want (0, ErrInjected)", n, err)
+	}
+}

@@ -193,9 +193,10 @@ func decode(buf []byte) (Record, error) {
 // Writer appends records to a journal file. Writers are safe for
 // concurrent use.
 type Writer struct {
-	mu sync.Mutex
-	f  *os.File
-	bw *bufio.Writer
+	mu     sync.Mutex
+	f      *os.File
+	bw     *bufio.Writer
+	closed bool
 }
 
 // Open opens (creating if needed) a journal for appending.
@@ -206,6 +207,9 @@ func Open(path string) (*Writer, error) {
 	}
 	return &Writer{f: f, bw: bufio.NewWriter(f)}, nil
 }
+
+// ErrClosed reports a write to a closed journal.
+var ErrClosed = errors.New("journal: closed")
 
 // Append writes one record.
 func (w *Writer) Append(r Record) error {
@@ -218,6 +222,9 @@ func (w *Writer) Append(r Record) error {
 	binary.BigEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(body))
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	if w.closed {
+		return ErrClosed
+	}
 	if _, err := w.bw.Write(hdr[:]); err != nil {
 		return fmt.Errorf("journal: append: %w", err)
 	}
@@ -237,6 +244,9 @@ func (w *Writer) Append(r Record) error {
 func (w *Writer) Sync() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	if w.closed {
+		return ErrClosed
+	}
 	if err := w.bw.Flush(); err != nil {
 		return fmt.Errorf("journal: flush: %w", err)
 	}
@@ -246,10 +256,16 @@ func (w *Writer) Sync() error {
 	return nil
 }
 
-// Close flushes and closes the journal.
+// Close flushes and closes the journal. Closing twice is safe: the daemon
+// closes explicitly after its server drains and keeps a deferred Close as a
+// safety net on early-exit paths.
 func (w *Writer) Close() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	if w.closed {
+		return nil
+	}
+	w.closed = true
 	if err := w.bw.Flush(); err != nil {
 		w.f.Close()
 		return fmt.Errorf("journal: flush: %w", err)

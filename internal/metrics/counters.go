@@ -1,0 +1,62 @@
+package metrics
+
+import (
+	"sort"
+	"sync"
+)
+
+// CounterSet is a set of named monotonic counters safe for concurrent use.
+// The networked path (client retries, node ejections, server connection
+// handling) records robustness events here; Snapshot feeds the server's
+// status endpoint and test assertions. The zero value is ready to use.
+type CounterSet struct {
+	mu     sync.Mutex
+	counts map[string]int64
+}
+
+// NewCounterSet returns an empty counter set.
+func NewCounterSet() *CounterSet { return &CounterSet{} }
+
+// Add increments the named counter by n (n may be negative for gauges such
+// as active connection counts).
+func (c *CounterSet) Add(name string, n int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.counts == nil {
+		c.counts = make(map[string]int64)
+	}
+	c.counts[name] += n
+}
+
+// Inc increments the named counter by one.
+func (c *CounterSet) Inc(name string) { c.Add(name, 1) }
+
+// Get returns the named counter's value (zero if never incremented).
+func (c *CounterSet) Get(name string) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.counts[name]
+}
+
+// Snapshot returns a copy of all counters.
+func (c *CounterSet) Snapshot() map[string]int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]int64, len(c.counts))
+	for k, v := range c.counts {
+		out[k] = v
+	}
+	return out
+}
+
+// Names returns the counter names in sorted order.
+func (c *CounterSet) Names() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.counts))
+	for k := range c.counts {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

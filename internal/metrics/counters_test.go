@@ -1,0 +1,54 @@
+package metrics
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func TestCounterSetBasics(t *testing.T) {
+	var c CounterSet // zero value usable
+	if got := c.Get("missing"); got != 0 {
+		t.Errorf("Get(missing) = %d, want 0", got)
+	}
+	c.Inc("a")
+	c.Add("a", 2)
+	c.Add("b", -1)
+	if got := c.Get("a"); got != 3 {
+		t.Errorf("Get(a) = %d, want 3", got)
+	}
+	if got := c.Get("b"); got != -1 {
+		t.Errorf("Get(b) = %d, want -1", got)
+	}
+	want := map[string]int64{"a": 3, "b": -1}
+	if got := c.Snapshot(); !reflect.DeepEqual(got, want) {
+		t.Errorf("Snapshot() = %v, want %v", got, want)
+	}
+	if got := c.Names(); !reflect.DeepEqual(got, []string{"a", "b"}) {
+		t.Errorf("Names() = %v, want [a b]", got)
+	}
+	// Snapshot is a copy, not a view.
+	snap := c.Snapshot()
+	snap["a"] = 99
+	if got := c.Get("a"); got != 3 {
+		t.Errorf("Get(a) after snapshot mutation = %d, want 3", got)
+	}
+}
+
+func TestCounterSetConcurrent(t *testing.T) {
+	c := NewCounterSet()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc("hits")
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Get("hits"); got != 8000 {
+		t.Errorf("Get(hits) = %d, want 8000", got)
+	}
+}

@@ -19,11 +19,13 @@ import (
 	"io"
 	"log/slog"
 	"net"
+	"runtime/debug"
 	"sync"
 	"time"
 
 	"besteffs/internal/blob"
 	"besteffs/internal/journal"
+	"besteffs/internal/metrics"
 	"besteffs/internal/object"
 	"besteffs/internal/policy"
 	"besteffs/internal/store"
@@ -43,6 +45,14 @@ type Server struct {
 	journal *journal.Writer
 
 	maintenance time.Duration
+
+	// Robustness knobs (zero = disabled, the historical behavior).
+	idleTimeout  time.Duration
+	writeTimeout time.Duration
+	drainTimeout time.Duration
+	connLimit    int
+
+	counters metrics.CounterSet
 }
 
 // Option configures a Server.
@@ -98,6 +108,57 @@ func WithJournal(w *journal.Writer) Option {
 	return func(s *Server) { s.journal = w }
 }
 
+// WithIdleTimeout closes a connection that sends no request for the given
+// duration. A hung or half-open peer can otherwise pin a handler goroutine
+// forever (0 disables).
+func WithIdleTimeout(d time.Duration) Option {
+	return func(s *Server) {
+		if d > 0 {
+			s.idleTimeout = d
+		}
+	}
+}
+
+// WithWriteTimeout bounds writing one response frame, so a peer that stops
+// reading cannot block a handler indefinitely (0 disables).
+func WithWriteTimeout(d time.Duration) Option {
+	return func(s *Server) {
+		if d > 0 {
+			s.writeTimeout = d
+		}
+	}
+}
+
+// WithConnLimit caps concurrent connections; excess connections are closed
+// immediately on accept and counted (0 = unlimited).
+func WithConnLimit(n int) Option {
+	return func(s *Server) {
+		if n > 0 {
+			s.connLimit = n
+		}
+	}
+}
+
+// WithDrainTimeout makes shutdown graceful: instead of closing every
+// connection the moment Serve's context is cancelled, the server stops
+// accepting, lets in-flight requests finish their responses for up to d,
+// then force-closes stragglers. Daemons use this so the final responses
+// and journal appends are not torn by shutdown ordering (0 keeps the
+// immediate-close behavior).
+func WithDrainTimeout(d time.Duration) Option {
+	return func(s *Server) {
+		if d > 0 {
+			s.drainTimeout = d
+		}
+	}
+}
+
+// NetCounters reports the server's connection-level robustness counters
+// ("conns_accepted", "conns_rejected_limit", "panics_recovered",
+// "read_timeouts", "conns_force_closed"). The status endpoint surfaces
+// them as the "net" object.
+func (s *Server) NetCounters() map[string]int64 { return s.counters.Snapshot() }
+
 // New builds a node with the given capacity and policy.
 func New(capacity int64, pol policy.Policy, opts ...Option) (*Server, error) {
 	s := &Server{
@@ -145,8 +206,11 @@ func (s *Server) Unit() *store.Unit { return s.unit }
 func (s *Server) Now() time.Duration { return s.clock() }
 
 // Serve accepts connections on l until ctx is cancelled, then closes the
-// listener and every connection it accepted and waits for their handlers
-// to finish. A server may run Serve on several listeners concurrently;
+// listener and shuts down: immediately closing every connection by
+// default, or -- with WithDrainTimeout -- letting in-flight requests finish
+// before force-closing stragglers. It waits for all handlers to finish
+// before returning, so callers may safely close journals and stores
+// afterwards. A server may run Serve on several listeners concurrently;
 // each call tracks only its own connections.
 func (s *Server) Serve(ctx context.Context, l net.Listener) error {
 	var (
@@ -161,10 +225,33 @@ func (s *Server) Serve(ctx context.Context, l net.Listener) error {
 		case <-ctx.Done():
 			l.Close()
 			mu.Lock()
-			for conn := range conns {
-				conn.Close()
+			if s.drainTimeout > 0 {
+				// Drain: wake handlers blocked waiting for the next
+				// request; handlers mid-request finish writing their
+				// response and exit at the next loop check.
+				for conn := range conns {
+					conn.SetReadDeadline(time.Now())
+				}
+			} else {
+				for conn := range conns {
+					conn.Close()
+				}
 			}
 			mu.Unlock()
+			if s.drainTimeout > 0 {
+				timer := time.NewTimer(s.drainTimeout)
+				defer timer.Stop()
+				select {
+				case <-timer.C:
+					mu.Lock()
+					for conn := range conns {
+						conn.Close()
+						s.counters.Inc("conns_force_closed")
+					}
+					mu.Unlock()
+				case <-done:
+				}
+			}
 		case <-done:
 		}
 	}()
@@ -192,8 +279,17 @@ func (s *Server) Serve(ctx context.Context, l net.Listener) error {
 			conn.Close()
 			continue
 		}
+		if s.connLimit > 0 && len(conns) >= s.connLimit {
+			mu.Unlock()
+			conn.Close()
+			s.counters.Inc("conns_rejected_limit")
+			s.log.Warn("connection rejected at limit",
+				"remote", conn.RemoteAddr(), "limit", s.connLimit)
+			continue
+		}
 		conns[conn] = struct{}{}
 		mu.Unlock()
+		s.counters.Inc("conns_accepted")
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -224,20 +320,36 @@ func (s *Server) maintain(ctx context.Context) {
 	}
 }
 
-// handleConn serves one connection's request loop.
+// handleConn serves one connection's request loop. A panic while serving
+// the connection is recovered and logged: one poisoned request must not
+// take down the node, only its own connection.
 func (s *Server) handleConn(ctx context.Context, conn net.Conn) {
 	defer conn.Close()
+	defer func() {
+		if r := recover(); r != nil {
+			s.counters.Inc("panics_recovered")
+			s.log.Error("panic in connection handler",
+				"remote", conn.RemoteAddr(), "panic", r, "stack", string(debug.Stack()))
+		}
+	}()
 	br := bufio.NewReader(conn)
 	bw := bufio.NewWriter(conn)
 	for {
 		if ctx.Err() != nil {
 			return
 		}
+		if s.idleTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(s.idleTimeout))
+		}
 		body, err := wire.ReadFrame(br)
 		if errors.Is(err, io.EOF) {
 			return
 		}
 		if err != nil {
+			var nerr net.Error
+			if errors.As(err, &nerr) && nerr.Timeout() {
+				s.counters.Inc("read_timeouts")
+			}
 			s.log.Debug("read frame", "remote", conn.RemoteAddr(), "err", err)
 			return
 		}
@@ -246,6 +358,9 @@ func (s *Server) handleConn(ctx context.Context, conn net.Conn) {
 		if err != nil {
 			s.log.Error("encode response", "err", err)
 			return
+		}
+		if s.writeTimeout > 0 {
+			conn.SetWriteDeadline(time.Now().Add(s.writeTimeout))
 		}
 		if err := wire.WriteFrame(bw, out); err != nil {
 			s.log.Debug("write frame", "remote", conn.RemoteAddr(), "err", err)

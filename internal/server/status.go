@@ -23,6 +23,10 @@ type Status struct {
 	Policy string `json:"policy"`
 	// Counters are cumulative admission statistics.
 	Counters StatusCounters `json:"counters"`
+	// Net is the connection-level robustness counters: accepted and
+	// limit-rejected connections, recovered panics, read timeouts and
+	// force-closed connections at drain.
+	Net map[string]int64 `json:"net"`
 }
 
 // StatusCounters mirrors the unit's activity counters for JSON.
@@ -55,6 +59,7 @@ func (s *Server) StatusSnapshot() Status {
 			AdmittedBytes: c.AdmittedBytes,
 			EvictedBytes:  c.EvictedBytes,
 		},
+		Net: s.NetCounters(),
 	}
 }
 
