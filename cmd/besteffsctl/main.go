@@ -18,7 +18,10 @@
 //	rejuvenate <id> -importance <spec>
 //	    replace an object's annotation with a fresh one aging from now
 //	    (single node only)
-//	density             print the storage importance density per node
+//	density             print the storage importance density per node,
+//	                    plus the sampled density trajectory (time, density,
+//	                    used bytes, importance boundary) from nodes running
+//	                    with -sample
 //	list                list resident object IDs per node
 //
 // Importance specs use the syntax of importance.ParseSpec, e.g.
@@ -240,6 +243,17 @@ func cmdDensity(clients []*client.Client, addrs []string) error {
 			return fmt.Errorf("node %s: %w", addrs[i], err)
 		}
 		fmt.Printf("%s: %.4f\n", addrs[i], d)
+		history, err := c.DensityHistory()
+		if err != nil {
+			// Older nodes do not speak DENSITY_HISTORY; the instantaneous
+			// density above is all they offer.
+			fmt.Fprintf(os.Stderr, "  (no density history: %v)\n", err)
+			continue
+		}
+		for _, s := range history {
+			fmt.Printf("  t=%-14s density=%.4f used=%d boundary=%.3f\n",
+				s.At, s.Density, s.Used, s.Boundary)
+		}
 	}
 	return nil
 }

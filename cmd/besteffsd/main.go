@@ -7,8 +7,15 @@
 // Usage:
 //
 //	besteffsd [-addr HOST:PORT] [-capacity BYTES] [-policy NAME] [-data DIR]
-//	          [-sweep DUR] [-status HOST:PORT] [-max-conns N]
-//	          [-req-timeout DUR] [-drain DUR]
+//	          [-sweep DUR] [-status HOST:PORT] [-pprof] [-sample DUR]
+//	          [-sample-window N] [-max-conns N] [-req-timeout DUR] [-drain DUR]
+//
+// With -status, the address serves the JSON status snapshot at /, the
+// Prometheus text exposition at /metrics, and -- with -pprof -- the standard
+// net/http/pprof profiling endpoints under /debug/pprof/. The -sample
+// interval records the node's density trajectory into a ring of
+// -sample-window samples, visible in status JSON, /metrics and
+// "besteffsctl density".
 //
 // With -data, payload bytes are kept in crash-safe files under DIR/blobs, a
 // metadata journal is appended at DIR/journal.log, and on startup the node
@@ -32,6 +39,7 @@ import (
 	"log/slog"
 	"net"
 	"net/http"
+	nhpprof "net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -59,7 +67,10 @@ func run(args []string) error {
 	share := fs.Float64("share", 0.5, "per-owner capacity fraction for -policy fair-share")
 	dataDir := fs.String("data", "", "directory for on-disk payloads (default: in-memory)")
 	sweep := fs.Duration("sweep", 0, "reclaim expired objects every interval (0 disables)")
-	statusAddr := fs.String("status", "", "serve a JSON status endpoint on this address (optional)")
+	statusAddr := fs.String("status", "", "serve status JSON and /metrics on this address (optional)")
+	pprof := fs.Bool("pprof", false, "expose /debug/pprof/ on the -status address")
+	sample := fs.Duration("sample", 10*time.Second, "record a density sample every interval (0 disables)")
+	sampleWindow := fs.Int("sample-window", 360, "density samples kept in the ring")
 	maxConns := fs.Int("max-conns", 0, "cap on concurrent client connections (0 = unlimited)")
 	reqTimeout := fs.Duration("req-timeout", time.Minute, "per-connection idle/write deadline (0 disables)")
 	drain := fs.Duration("drain", 5*time.Second, "grace period for in-flight requests at shutdown (0 = close immediately)")
@@ -68,6 +79,12 @@ func run(args []string) error {
 	}
 	if *maxConns < 0 {
 		return fmt.Errorf("-max-conns %d is negative", *maxConns)
+	}
+	if *pprof && *statusAddr == "" {
+		return errors.New("-pprof needs -status (profiling shares the status listener)")
+	}
+	if *sample > 0 && *sampleWindow < 1 {
+		return fmt.Errorf("-sample-window %d is not positive", *sampleWindow)
 	}
 
 	pol, err := policyByName(*policyName, *share)
@@ -89,6 +106,9 @@ func run(args []string) error {
 	}
 	if *drain > 0 {
 		opts = append(opts, server.WithDrainTimeout(*drain))
+	}
+	if *sample > 0 {
+		opts = append(opts, server.WithDensitySampling(*sample, *sampleWindow))
 	}
 	journalPath := ""
 	var jw *journal.Writer
@@ -136,7 +156,17 @@ func run(args []string) error {
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 	if *statusAddr != "" {
-		statusSrv := &http.Server{Addr: *statusAddr, Handler: srv.StatusHandler()}
+		mux := http.NewServeMux()
+		mux.Handle("/", srv.StatusHandler())
+		mux.Handle("/metrics", srv.MetricsHandler())
+		if *pprof {
+			mux.HandleFunc("/debug/pprof/", nhpprof.Index)
+			mux.HandleFunc("/debug/pprof/cmdline", nhpprof.Cmdline)
+			mux.HandleFunc("/debug/pprof/profile", nhpprof.Profile)
+			mux.HandleFunc("/debug/pprof/symbol", nhpprof.Symbol)
+			mux.HandleFunc("/debug/pprof/trace", nhpprof.Trace)
+		}
+		statusSrv := &http.Server{Addr: *statusAddr, Handler: mux}
 		go func() {
 			<-ctx.Done()
 			shutdownCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)

@@ -47,4 +47,10 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	if err := run([]string{"-max-conns", "-1"}); err == nil {
 		t.Error("negative -max-conns accepted")
 	}
+	if err := run([]string{"-pprof"}); err == nil {
+		t.Error("-pprof without -status accepted")
+	}
+	if err := run([]string{"-sample", "1s", "-sample-window", "0"}); err == nil {
+		t.Error("zero -sample-window accepted")
+	}
 }

@@ -96,7 +96,8 @@ type Client struct {
 	dialTimeout time.Duration
 	cfg         Config
 
-	counters *metrics.CounterSet
+	met *clientMetrics
+	log *slog.Logger
 }
 
 // Dial connects to a node with DefaultConfig robustness: per-request
@@ -123,10 +124,11 @@ func DialConfig(addr string, timeout time.Duration, cfg Config) (*Client, error)
 // retries unless configured via the cluster layer.
 func NewClient(conn net.Conn) *Client {
 	return &Client{
-		conn:     conn,
-		br:       bufio.NewReader(conn),
-		bw:       bufio.NewWriter(conn),
-		counters: metrics.NewCounterSet(),
+		conn: conn,
+		br:   bufio.NewReader(conn),
+		bw:   bufio.NewWriter(conn),
+		met:  newClientMetrics(),
+		log:  slog.Default(),
 	}
 }
 
@@ -136,13 +138,26 @@ func (c *Client) Addr() string { return c.addr }
 
 // Counters reports the client's robustness counters ("retries",
 // "reconnects"). Cluster clients share one set across all nodes.
-func (c *Client) Counters() map[string]int64 { return c.counters.Snapshot() }
+func (c *Client) Counters() map[string]int64 { return c.met.Snapshot() }
 
-// setCounters redirects the client's counters to a shared set.
-func (c *Client) setCounters(cs *metrics.CounterSet) {
+// Metrics returns the client's registry: robustness counters under
+// besteffs_client_*_total plus per-operation latency histograms
+// (besteffs_client_op_latency_seconds{op=...}).
+func (c *Client) Metrics() *metrics.Registry { return c.met.reg }
+
+// SetLogger replaces the client's logger (default slog.Default). Request
+// IDs and latencies are logged at Debug. Call before issuing requests.
+func (c *Client) SetLogger(l *slog.Logger) {
+	if l != nil {
+		c.log = l
+	}
+}
+
+// setMetrics redirects the client's instruments to a shared bundle.
+func (c *Client) setMetrics(m *clientMetrics) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.counters = cs
+	c.met = m
 }
 
 // Close closes the connection. Closing an already-dropped connection is
@@ -179,7 +194,7 @@ func (c *Client) redialLocked() error {
 	c.conn = conn
 	c.br = bufio.NewReader(conn)
 	c.bw = bufio.NewWriter(conn)
-	c.counters.Inc("reconnects")
+	c.met.Inc("reconnects")
 	return nil
 }
 
@@ -220,16 +235,37 @@ func (c *Client) exchangeLocked(body []byte) (wire.Message, error) {
 
 // roundTrip sends one request and reads one response, reconnecting with
 // backoff on transport errors when the client knows its node's address.
+// Every request carries a fresh trace ID in the frame trailer; the observed
+// latency (including any retries) lands in the per-op histogram and a Debug
+// log line carrying the same ID the server logs.
 func (c *Client) roundTrip(req wire.Message) (wire.Message, error) {
 	body, err := wire.Encode(req)
 	if err != nil {
 		return nil, fmt.Errorf("client: %w", err)
 	}
+	trace := newTraceID()
+	body = wire.AppendTraceID(body, trace)
+	start := time.Now()
+	resp, err := c.send(body)
+	elapsed := time.Since(start)
+	c.met.observe(req.Op(), elapsed)
+	if err != nil {
+		c.log.Debug("request failed", "op", req.Op(), "trace", trace,
+			"dur", elapsed, "addr", c.addr, "err", err)
+	} else {
+		c.log.Debug("request done", "op", req.Op(), "trace", trace,
+			"dur", elapsed, "addr", c.addr)
+	}
+	return resp, err
+}
+
+// send runs the encoded frame through the exchange-retry loop.
+func (c *Client) send(body []byte) (wire.Message, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	resp, err := c.exchangeLocked(body)
 	for attempt := 0; err != nil && c.addr != "" && attempt < c.cfg.MaxRetries; attempt++ {
-		c.counters.Inc("retries")
+		c.met.Inc("retries")
 		time.Sleep(backoff(c.cfg, attempt))
 		if rerr := c.redialLocked(); rerr != nil {
 			err = rerr
@@ -462,6 +498,46 @@ func (c *Client) Density() (float64, error) {
 	}
 }
 
+// DensitySample is one point of a node's sampled density trajectory.
+type DensitySample struct {
+	// At is the node's virtual time of the sample.
+	At time.Duration
+	// Density is the storage importance density at that time.
+	Density float64
+	// Used is the allocated bytes at that time.
+	Used int64
+	// Boundary is the importance boundary at that time (0 while free
+	// space remained).
+	Boundary float64
+}
+
+// DensityHistory fetches the node's sampled density trajectory, oldest
+// first. A node running without density sampling answers with a single
+// on-the-spot sample.
+func (c *Client) DensityHistory() ([]DensitySample, error) {
+	resp, err := c.roundTrip(&wire.DensityHistory{})
+	if err != nil {
+		return nil, err
+	}
+	switch r := resp.(type) {
+	case *wire.DensityHistoryResult:
+		out := make([]DensitySample, len(r.Samples))
+		for i, s := range r.Samples {
+			out[i] = DensitySample{
+				At:       time.Duration(s.AtNanos),
+				Density:  s.Density,
+				Used:     s.Used,
+				Boundary: s.Boundary,
+			}
+		}
+		return out, nil
+	case *wire.ErrorMsg:
+		return nil, translateError(r)
+	default:
+		return nil, fmt.Errorf("%w: %v", ErrUnexpected, resp.Op())
+	}
+}
+
 // List fetches the node's resident object IDs.
 func (c *Client) List() ([]object.ID, error) {
 	resp, err := c.roundTrip(&wire.List{})
@@ -523,8 +599,8 @@ type ClusterClient struct {
 	// node is retried (half-open). Set before first use.
 	EjectFor time.Duration
 
-	log      *slog.Logger
-	counters *metrics.CounterSet
+	log *slog.Logger
+	met *clientMetrics
 }
 
 // newClusterClient assembles a cluster client over prepared nodes.
@@ -543,11 +619,11 @@ func newClusterClient(nodes []*node, rng *rand.Rand) (*ClusterClient, error) {
 		FailureThreshold: DefaultFailureThreshold,
 		EjectFor:         DefaultEjectFor,
 		log:              slog.Default(),
-		counters:         metrics.NewCounterSet(),
+		met:              newClientMetrics(),
 	}
 	for _, n := range cc.nodes {
 		if n.client != nil {
-			n.client.setCounters(cc.counters)
+			n.client.setMetrics(cc.met)
 		}
 	}
 	return cc, nil
@@ -606,7 +682,11 @@ func (cc *ClusterClient) SetLogger(l *slog.Logger) {
 // Counters reports the cluster's robustness counters: "retries" and
 // "reconnects" from the per-node clients, plus "probe_failures",
 // "node_ejections", "node_redials" and "commit_fallbacks" from placement.
-func (cc *ClusterClient) Counters() map[string]int64 { return cc.counters.Snapshot() }
+func (cc *ClusterClient) Counters() map[string]int64 { return cc.met.Snapshot() }
+
+// Metrics returns the cluster's shared registry (see Client.Metrics); every
+// per-node connection reports into it.
+func (cc *ClusterClient) Metrics() *metrics.Registry { return cc.met.reg }
 
 // DialCluster connects to every address and wraps the cluster client. By
 // default every address must be reachable; WithQuorum(n) starts with any n
@@ -697,11 +777,11 @@ func (cc *ClusterClient) ready(i int) *Client {
 			cc.markFailureLocked(n, i, err)
 			return nil
 		}
-		c.setCounters(cc.counters)
+		c.setMetrics(cc.met)
 		n.client = c
 		n.failures = 0
 		n.openUntil = time.Time{}
-		cc.counters.Inc("node_redials")
+		cc.met.Inc("node_redials")
 		cc.log.Info("node reconnected", "node", i, "addr", n.addr)
 	}
 	return n.client
@@ -713,7 +793,7 @@ func (cc *ClusterClient) markFailureLocked(n *node, i int, err error) {
 	n.failures++
 	if n.failures >= cc.FailureThreshold && !time.Now().Before(n.openUntil) {
 		n.openUntil = time.Now().Add(cc.EjectFor)
-		cc.counters.Inc("node_ejections")
+		cc.met.Inc("node_ejections")
 		cc.log.Warn("node ejected", "node", i, "addr", n.addr,
 			"failures", n.failures, "eject_for", cc.EjectFor, "err", err)
 	}
@@ -811,7 +891,7 @@ func (cc *ClusterClient) Put(req PutRequest) (Placement, error) {
 				if isRemoteError(err) {
 					return Placement{}, fmt.Errorf("probe node %d: %w", idx, err)
 				}
-				cc.counters.Inc("probe_failures")
+				cc.met.Inc("probe_failures")
 				cc.noteFailure(idx, err)
 				cc.log.Warn("probe failed; node marked suspect", "node", idx, "err", err)
 				continue
@@ -848,7 +928,7 @@ func (cc *ClusterClient) Put(req PutRequest) (Placement, error) {
 		}
 		lastErr = err
 		if i < len(cands)-1 {
-			cc.counters.Inc("commit_fallbacks")
+			cc.met.Inc("commit_fallbacks")
 		}
 	}
 	if lastErr != nil {

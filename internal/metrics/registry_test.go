@@ -1,0 +1,183 @@
+package metrics
+
+import (
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total", "a counter")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	g := r.Gauge("test_gauge", "a gauge")
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Errorf("gauge = %v, want 1.5", got)
+	}
+}
+
+func TestRegistryReturnsSameHandle(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("dup_total", "help", L("op", "put"))
+	b := r.Counter("dup_total", "help", L("op", "put"))
+	if a != b {
+		t.Error("same name+labels produced distinct counters")
+	}
+	other := r.Counter("dup_total", "help", L("op", "get"))
+	if a == other {
+		t.Error("different labels share one counter")
+	}
+}
+
+func TestHistogramBucketing(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "latency", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.001, 0.01, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Errorf("count = %d, want 5", h.Count())
+	}
+	if math.Abs(h.Sum()-5.561) > 1e-9 {
+		t.Errorf("sum = %v, want 5.561", h.Sum())
+	}
+	buckets := h.Buckets()
+	wantCum := []uint64{2, 3, 4, 5} // le=0.01 counts both 0.001 and 0.01
+	for i, want := range wantCum {
+		if buckets[i].Count != want {
+			t.Errorf("bucket %d (le=%v) = %d, want %d", i, buckets[i].Le, buckets[i].Count, want)
+		}
+	}
+	if !math.IsInf(buckets[len(buckets)-1].Le, 1) {
+		t.Errorf("last bucket le = %v, want +Inf", buckets[len(buckets)-1].Le)
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	got := ExpBuckets(1, 2, 4)
+	want := []float64{1, 2, 4, 8}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ExpBuckets = %v, want %v", got, want)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("ExpBuckets(0, 2, 4) did not panic")
+		}
+	}()
+	ExpBuckets(0, 2, 4)
+}
+
+func TestWriteTextExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("besteffs_requests_total", "requests served", L("op", "put")).Add(3)
+	r.Gauge("besteffs_conns_active", "open connections").Set(2)
+	r.GaugeFunc("besteffs_density", "storage importance density", func() float64 { return 0.25 })
+	h := r.Histogram("besteffs_op_latency_seconds", "latency", []float64{0.001, 0.01})
+	h.Observe(0.0005)
+	h.Observe(0.5)
+
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE besteffs_requests_total counter",
+		`besteffs_requests_total{op="put"} 3`,
+		"# TYPE besteffs_conns_active gauge",
+		"besteffs_conns_active 2",
+		"# HELP besteffs_density storage importance density",
+		"besteffs_density 0.25",
+		"# TYPE besteffs_op_latency_seconds histogram",
+		`besteffs_op_latency_seconds_bucket{le="0.001"} 1`,
+		`besteffs_op_latency_seconds_bucket{le="+Inf"} 2`,
+		"besteffs_op_latency_seconds_sum 0.5005",
+		"besteffs_op_latency_seconds_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q; got:\n%s", want, out)
+		}
+	}
+}
+
+func TestHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("up_total", "help").Inc()
+	ts := httptest.NewServer(Handler(r))
+	t.Cleanup(ts.Close)
+
+	resp, err := http.Get(ts.URL)
+	if err != nil {
+		t.Fatalf("GET: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type = %q", ct)
+	}
+	if cc := resp.Header.Get("Cache-Control"); cc != "no-store" {
+		t.Errorf("cache-control = %q, want no-store", cc)
+	}
+
+	head, err := http.Head(ts.URL)
+	if err != nil {
+		t.Fatalf("HEAD: %v", err)
+	}
+	head.Body.Close()
+	if head.StatusCode != http.StatusOK {
+		t.Errorf("HEAD status = %d", head.StatusCode)
+	}
+
+	post, err := http.Post(ts.URL, "text/plain", nil)
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	post.Body.Close()
+	if post.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST status = %d, want 405", post.StatusCode)
+	}
+}
+
+// TestConcurrentInstruments exercises the lock-free paths under the race
+// detector.
+func TestConcurrentInstruments(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("conc_total", "")
+	g := r.Gauge("conc_gauge", "")
+	h := r.Histogram("conc_hist", "", []float64{1, 10, 100})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i % 200))
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Errorf("counter = %d, want 8000", c.Value())
+	}
+	if g.Value() != 8000 {
+		t.Errorf("gauge = %v, want 8000", g.Value())
+	}
+	if h.Count() != 8000 {
+		t.Errorf("histogram count = %d, want 8000", h.Count())
+	}
+}

@@ -25,7 +25,6 @@ import (
 
 	"besteffs/internal/blob"
 	"besteffs/internal/journal"
-	"besteffs/internal/metrics"
 	"besteffs/internal/object"
 	"besteffs/internal/policy"
 	"besteffs/internal/store"
@@ -52,7 +51,11 @@ type Server struct {
 	drainTimeout time.Duration
 	connLimit    int
 
-	counters metrics.CounterSet
+	// Density sampling (zero/nil = disabled).
+	sampleEvery time.Duration
+	samples     *store.DensityRing
+
+	met *serverMetrics
 }
 
 // Option configures a Server.
@@ -153,17 +156,51 @@ func WithDrainTimeout(d time.Duration) Option {
 	}
 }
 
+// WithDensitySampling records a density trajectory sample (density, used
+// bytes, importance boundary) every interval into a ring holding the most
+// recent size samples. The trajectory is exposed through status JSON, the
+// DENSITY_HISTORY wire request (besteffsctl density) and /metrics scrapes.
+// Sampling starts with Serve and stops with its context.
+func WithDensitySampling(interval time.Duration, size int) Option {
+	return func(s *Server) {
+		if interval > 0 && size > 0 {
+			s.sampleEvery = interval
+			s.samples = store.NewDensityRing(size)
+		}
+	}
+}
+
 // NetCounters reports the server's connection-level robustness counters
 // ("conns_accepted", "conns_rejected_limit", "panics_recovered",
-// "read_timeouts", "conns_force_closed"). The status endpoint surfaces
-// them as the "net" object.
-func (s *Server) NetCounters() map[string]int64 { return s.counters.Snapshot() }
+// "read_timeouts", "conns_force_closed", plus the "conns_active" gauge).
+// The status endpoint surfaces them as the "net" object; /metrics exports
+// the same values under besteffs_conns_* and besteffs_panics_* names.
+func (s *Server) NetCounters() map[string]int64 {
+	return map[string]int64{
+		"conns_accepted":       s.met.connsAccepted.Value(),
+		"conns_rejected_limit": s.met.connsRejectedLimit.Value(),
+		"conns_force_closed":   s.met.connsForceClosed.Value(),
+		"panics_recovered":     s.met.panicsRecovered.Value(),
+		"read_timeouts":        s.met.readTimeouts.Value(),
+		"conns_active":         int64(s.met.connsActive.Value()),
+	}
+}
+
+// DensitySamples returns the sampled density trajectory, oldest first
+// (empty when sampling is disabled).
+func (s *Server) DensitySamples() []store.DensitySample {
+	if s.samples == nil {
+		return nil
+	}
+	return s.samples.Samples()
+}
 
 // New builds a node with the given capacity and policy.
 func New(capacity int64, pol policy.Policy, opts ...Option) (*Server, error) {
 	s := &Server{
 		blobs: blob.NewMemStore(),
 		log:   slog.Default(),
+		met:   newServerMetrics(),
 	}
 	start := time.Now()
 	s.clock = func() time.Duration { return time.Since(start) }
@@ -186,6 +223,8 @@ func New(capacity int64, pol policy.Policy, opts ...Option) (*Server, error) {
 	for _, opt := range opts {
 		opt(s)
 	}
+	// After options, so the gauges close over the final clock.
+	s.registerUnitMetrics()
 	return s, nil
 }
 
@@ -246,7 +285,7 @@ func (s *Server) Serve(ctx context.Context, l net.Listener) error {
 					mu.Lock()
 					for conn := range conns {
 						conn.Close()
-						s.counters.Inc("conns_force_closed")
+						s.met.connsForceClosed.Inc()
 					}
 					mu.Unlock()
 				case <-done:
@@ -260,6 +299,13 @@ func (s *Server) Serve(ctx context.Context, l net.Listener) error {
 		go func() {
 			defer wg.Done()
 			s.maintain(ctx)
+		}()
+	}
+	if s.sampleEvery > 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.sampleDensity(ctx)
 		}()
 	}
 	for {
@@ -282,14 +328,14 @@ func (s *Server) Serve(ctx context.Context, l net.Listener) error {
 		if s.connLimit > 0 && len(conns) >= s.connLimit {
 			mu.Unlock()
 			conn.Close()
-			s.counters.Inc("conns_rejected_limit")
+			s.met.connsRejectedLimit.Inc()
 			s.log.Warn("connection rejected at limit",
 				"remote", conn.RemoteAddr(), "limit", s.connLimit)
 			continue
 		}
 		conns[conn] = struct{}{}
 		mu.Unlock()
-		s.counters.Inc("conns_accepted")
+		s.met.connsAccepted.Inc()
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -320,6 +366,22 @@ func (s *Server) maintain(ctx context.Context) {
 	}
 }
 
+// sampleDensity records one density trajectory sample per interval (plus
+// one at startup, so a freshly started node already has a point to show).
+func (s *Server) sampleDensity(ctx context.Context) {
+	s.samples.Record(s.unit.SampleAt(s.clock()))
+	ticker := time.NewTicker(s.sampleEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			s.samples.Record(s.unit.SampleAt(s.clock()))
+		}
+	}
+}
+
 // handleConn serves one connection's request loop. A panic while serving
 // the connection is recovered and logged: one poisoned request must not
 // take down the node, only its own connection.
@@ -327,11 +389,13 @@ func (s *Server) handleConn(ctx context.Context, conn net.Conn) {
 	defer conn.Close()
 	defer func() {
 		if r := recover(); r != nil {
-			s.counters.Inc("panics_recovered")
+			s.met.panicsRecovered.Inc()
 			s.log.Error("panic in connection handler",
 				"remote", conn.RemoteAddr(), "panic", r, "stack", string(debug.Stack()))
 		}
 	}()
+	s.met.connsActive.Add(1)
+	defer s.met.connsActive.Add(-1)
 	br := bufio.NewReader(conn)
 	bw := bufio.NewWriter(conn)
 	for {
@@ -348,17 +412,30 @@ func (s *Server) handleConn(ctx context.Context, conn net.Conn) {
 		if err != nil {
 			var nerr net.Error
 			if errors.As(err, &nerr) && nerr.Timeout() {
-				s.counters.Inc("read_timeouts")
+				s.met.readTimeouts.Inc()
 			}
 			s.log.Debug("read frame", "remote", conn.RemoteAddr(), "err", err)
 			return
 		}
-		resp := s.dispatch(body)
+		start := time.Now()
+		resp, op, trace := s.dispatch(body)
+		elapsed := time.Since(start)
+		s.met.observe(op, trace != "", elapsed)
+		if trace != "" {
+			s.log.Debug("request served", "op", op, "trace", trace,
+				"dur", elapsed, "remote", conn.RemoteAddr())
+		} else {
+			s.log.Debug("request served", "op", op,
+				"dur", elapsed, "remote", conn.RemoteAddr())
+		}
 		out, err := wire.Encode(resp)
 		if err != nil {
 			s.log.Error("encode response", "err", err)
 			return
 		}
+		// Echo the trace trailer so intermediaries (and the client's own
+		// logs) can correlate the response frame with the request.
+		out = wire.AppendTraceID(out, trace)
 		if s.writeTimeout > 0 {
 			conn.SetWriteDeadline(time.Now().Add(s.writeTimeout))
 		}
@@ -372,12 +449,20 @@ func (s *Server) handleConn(ctx context.Context, conn net.Conn) {
 	}
 }
 
-// dispatch decodes and executes one request, returning the response.
-func (s *Server) dispatch(body []byte) wire.Message {
-	msg, err := wire.Decode(body)
+// dispatch decodes and executes one request, returning the response, the
+// request's opcode (OpInvalid for undecodable frames) and its trace ID, if
+// the client attached one.
+func (s *Server) dispatch(body []byte) (wire.Message, wire.Op, wire.TraceID) {
+	msg, trace, err := wire.DecodeTraced(body)
 	if err != nil {
-		return &wire.ErrorMsg{Code: wire.CodeBadRequest, Text: err.Error()}
+		return &wire.ErrorMsg{Code: wire.CodeBadRequest, Text: err.Error()},
+			wire.OpInvalid, ""
 	}
+	return s.execute(msg), msg.Op(), trace
+}
+
+// execute runs one decoded request.
+func (s *Server) execute(msg wire.Message) wire.Message {
 	now := s.clock()
 	switch m := msg.(type) {
 	case *wire.Put:
@@ -412,6 +497,25 @@ func (s *Server) dispatch(body []byte) wire.Message {
 		return &wire.ProbeResult{Admissible: d.Admit, Boundary: d.HighestPreempted}
 	case *wire.Density:
 		return &wire.DensityResult{Density: s.unit.DensityAt(now)}
+	case *wire.DensityHistory:
+		samples := s.DensitySamples()
+		if len(samples) == 0 {
+			// Sampling disabled: answer with one on-demand sample so the
+			// trajectory command still shows the current point.
+			samples = []store.DensitySample{s.unit.SampleAt(now)}
+		}
+		res := &wire.DensityHistoryResult{
+			Samples: make([]wire.HistorySample, len(samples)),
+		}
+		for i, sm := range samples {
+			res.Samples[i] = wire.HistorySample{
+				AtNanos:  int64(sm.At),
+				Density:  sm.Density,
+				Used:     sm.Used,
+				Boundary: sm.Boundary,
+			}
+		}
+		return res
 	case *wire.Update:
 		return s.handleUpdate(m, now)
 	case *wire.Rejuvenate:
@@ -445,6 +549,7 @@ func (s *Server) handlePut(m *wire.Put, now time.Duration) wire.Message {
 	if len(m.Payload) == 0 {
 		return &wire.ErrorMsg{Code: wire.CodeBadRequest, Text: "empty payload"}
 	}
+	s.met.putBytes.Observe(float64(len(m.Payload)))
 	o, err := object.New(m.ID, int64(len(m.Payload)), now, m.Importance)
 	if err != nil {
 		return &wire.ErrorMsg{Code: wire.CodeBadRequest, Text: err.Error()}
@@ -493,6 +598,7 @@ func (s *Server) handleUpdate(m *wire.Update, now time.Duration) wire.Message {
 	if len(m.Payload) == 0 {
 		return &wire.ErrorMsg{Code: wire.CodeBadRequest, Text: "empty payload"}
 	}
+	s.met.putBytes.Observe(float64(len(m.Payload)))
 	o, err := object.New(m.ID, int64(len(m.Payload)), now, m.Importance)
 	if err != nil {
 		return &wire.ErrorMsg{Code: wire.CodeBadRequest, Text: err.Error()}

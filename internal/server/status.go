@@ -25,8 +25,19 @@ type Status struct {
 	Counters StatusCounters `json:"counters"`
 	// Net is the connection-level robustness counters: accepted and
 	// limit-rejected connections, recovered panics, read timeouts and
-	// force-closed connections at drain.
+	// force-closed connections at drain, plus the active-connection gauge.
 	Net map[string]int64 `json:"net"`
+	// DensityHistory is the sampled density trajectory (oldest first),
+	// present when the node runs with density sampling enabled.
+	DensityHistory []StatusSample `json:"density_history,omitempty"`
+}
+
+// StatusSample mirrors store.DensitySample for JSON.
+type StatusSample struct {
+	At       time.Duration `json:"at_nanos"`
+	Density  float64       `json:"density"`
+	Used     int64         `json:"used_bytes"`
+	Boundary float64       `json:"boundary"`
 }
 
 // StatusCounters mirrors the unit's activity counters for JSON.
@@ -43,6 +54,12 @@ type StatusCounters struct {
 func (s *Server) StatusSnapshot() Status {
 	now := s.clock()
 	c := s.unit.CountersSnapshot()
+	var history []StatusSample
+	for _, sm := range s.DensitySamples() {
+		history = append(history, StatusSample{
+			At: sm.At, Density: sm.Density, Used: sm.Used, Boundary: sm.Boundary,
+		})
+	}
 	return Status{
 		Now:      now,
 		Capacity: s.unit.Capacity(),
@@ -59,20 +76,27 @@ func (s *Server) StatusSnapshot() Status {
 			AdmittedBytes: c.AdmittedBytes,
 			EvictedBytes:  c.EvictedBytes,
 		},
-		Net: s.NetCounters(),
+		Net:            s.NetCounters(),
+		DensityHistory: history,
 	}
 }
 
-// StatusHandler serves the status snapshot as JSON on GET; other methods
-// get 405. Mount it on a private interface -- it is observability, not part
-// of the storage protocol.
+// StatusHandler serves the status snapshot as JSON on GET (headers only on
+// HEAD); other methods get 405. Snapshots are point-in-time, so responses
+// are marked uncacheable. Mount it on a private interface -- it is
+// observability, not part of the storage protocol.
 func (s *Server) StatusHandler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodGet {
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			w.Header().Set("Allow", "GET, HEAD")
 			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Cache-Control", "no-store")
+		if r.Method == http.MethodHead {
+			return
+		}
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(s.StatusSnapshot()); err != nil {

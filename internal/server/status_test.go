@@ -4,10 +4,13 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
+	"time"
 
 	"besteffs/internal/client"
 	"besteffs/internal/importance"
+	"besteffs/internal/policy"
 )
 
 func TestStatusHandler(t *testing.T) {
@@ -52,7 +55,35 @@ func TestStatusHandler(t *testing.T) {
 		t.Errorf("counters = %+v", st.Counters)
 	}
 
-	// Non-GET is rejected.
+	// Snapshots are point-in-time: never cache them.
+	if cc := resp.Header.Get("Cache-Control"); cc != "no-store" {
+		t.Errorf("Cache-Control = %q, want no-store", cc)
+	}
+	// Connection traffic shows up in the net counters.
+	if st.Net["conns_accepted"] < 1 {
+		t.Errorf("net counters = %v, want conns_accepted >= 1", st.Net)
+	}
+	if _, ok := st.Net["conns_active"]; !ok {
+		t.Errorf("net counters = %v, want conns_active present", st.Net)
+	}
+
+	// HEAD gets the same headers and no body.
+	head, err := http.Head(ts.URL)
+	if err != nil {
+		t.Fatalf("HEAD: %v", err)
+	}
+	head.Body.Close()
+	if head.StatusCode != http.StatusOK {
+		t.Errorf("HEAD status = %d, want 200", head.StatusCode)
+	}
+	if ct := head.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("HEAD content type = %q", ct)
+	}
+	if cc := head.Header.Get("Cache-Control"); cc != "no-store" {
+		t.Errorf("HEAD Cache-Control = %q, want no-store", cc)
+	}
+
+	// Non-GET/HEAD is rejected.
 	post, err := http.Post(ts.URL, "text/plain", nil)
 	if err != nil {
 		t.Fatalf("POST: %v", err)
@@ -60,5 +91,40 @@ func TestStatusHandler(t *testing.T) {
 	post.Body.Close()
 	if post.StatusCode != http.StatusMethodNotAllowed {
 		t.Errorf("POST status = %d, want 405", post.StatusCode)
+	}
+	if allow := post.Header.Get("Allow"); allow != "GET, HEAD" {
+		t.Errorf("Allow = %q, want \"GET, HEAD\"", allow)
+	}
+}
+
+func TestStatusDensityHistory(t *testing.T) {
+	// A node without sampling omits the field entirely.
+	plain, err := New(1000, policy.TemporalImportance{})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if raw, err := json.Marshal(plain.StatusSnapshot()); err != nil {
+		t.Fatalf("marshal: %v", err)
+	} else if strings.Contains(string(raw), "density_history") {
+		t.Errorf("status without sampling mentions density_history: %s", raw)
+	}
+
+	// With sampling enabled, recorded samples surface in the snapshot.
+	clock := &manualClock{}
+	srv, err := New(1000, policy.TemporalImportance{},
+		WithClock(clock.Now), WithDensitySampling(time.Hour, 4))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	srv.samples.Record(srv.unit.SampleAt(clock.Now()))
+	clock.Advance(day)
+	srv.samples.Record(srv.unit.SampleAt(clock.Now()))
+	st := srv.StatusSnapshot()
+	if len(st.DensityHistory) != 2 {
+		t.Fatalf("density_history = %+v, want 2 samples", st.DensityHistory)
+	}
+	if st.DensityHistory[0].At != 0 || st.DensityHistory[1].At != day {
+		t.Errorf("sample times = %v, %v; want 0, %v",
+			st.DensityHistory[0].At, st.DensityHistory[1].At, day)
 	}
 }

@@ -1,0 +1,81 @@
+package wire
+
+// DensityHistory requests the node's recent density trajectory: the ring of
+// (time, density, used bytes, importance boundary) samples the paper's
+// Figure-style density plots are drawn from, captured live instead of in
+// simulation.
+type DensityHistory struct{}
+
+// Op implements Message.
+func (*DensityHistory) Op() Op { return OpDensityHistory }
+
+func (m *DensityHistory) append(dst []byte) ([]byte, error) {
+	return appendU8(dst, uint8(OpDensityHistory)), nil
+}
+
+// HistorySample is one point on a node's density trajectory.
+type HistorySample struct {
+	// AtNanos is the node's virtual time of the sample.
+	AtNanos int64
+	// Density is the storage importance density at that time.
+	Density float64
+	// Used is the allocated bytes at that time.
+	Used int64
+	// Boundary is the importance level an arrival had to exceed to claim
+	// the next byte (zero while free space remained).
+	Boundary float64
+}
+
+// DensityHistoryResult carries the sampled trajectory, oldest first.
+type DensityHistoryResult struct {
+	Samples []HistorySample
+}
+
+// Op implements Message.
+func (*DensityHistoryResult) Op() Op { return OpDensityHistoryResult }
+
+func (m *DensityHistoryResult) append(dst []byte) ([]byte, error) {
+	dst = appendU8(dst, uint8(OpDensityHistoryResult))
+	dst = appendU32(dst, uint32(len(m.Samples)))
+	for _, s := range m.Samples {
+		dst = appendU64(dst, uint64(s.AtNanos))
+		dst = appendF64(dst, s.Density)
+		dst = appendU64(dst, uint64(s.Used))
+		dst = appendF64(dst, s.Boundary)
+	}
+	return dst, nil
+}
+
+func decodeDensityHistoryResult(c *cursor) (Message, error) {
+	n, err := c.u32()
+	if err != nil {
+		return nil, err
+	}
+	// Each sample is 32 bytes on the wire; reject counts the body cannot
+	// hold before allocating.
+	if int(n) > len(c.rest())/32 {
+		return nil, ErrShort
+	}
+	m := &DensityHistoryResult{Samples: make([]HistorySample, 0, n)}
+	for i := 0; i < int(n); i++ {
+		var s HistorySample
+		at, err := c.u64()
+		if err != nil {
+			return nil, err
+		}
+		s.AtNanos = int64(at)
+		if s.Density, err = c.f64(); err != nil {
+			return nil, err
+		}
+		used, err := c.u64()
+		if err != nil {
+			return nil, err
+		}
+		s.Used = int64(used)
+		if s.Boundary, err = c.f64(); err != nil {
+			return nil, err
+		}
+		m.Samples = append(m.Samples, s)
+	}
+	return m, nil
+}

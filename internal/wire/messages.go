@@ -28,9 +28,16 @@ func Encode(m Message) ([]byte, error) {
 	return body, nil
 }
 
-// Decode parses a frame body into a message.
+// Decode parses a frame body into a message, ignoring any trailing bytes
+// (including the optional trace trailer; see DecodeTraced).
 func Decode(body []byte) (Message, error) {
-	c := &cursor{buf: body}
+	m, err := decodeMsg(&cursor{buf: body})
+	return m, err
+}
+
+// decodeMsg parses one message from c, leaving the cursor positioned after
+// the message's last field so callers can inspect trailing extensions.
+func decodeMsg(c *cursor) (Message, error) {
 	op, err := c.u8()
 	if err != nil {
 		return nil, fmt.Errorf("wire: decode: %w", err)
@@ -55,6 +62,8 @@ func Decode(body []byte) (Message, error) {
 		m, err = decodeRejuvenate(c)
 	case OpUpdate:
 		m, err = decodeUpdate(c)
+	case OpDensityHistory:
+		m = &DensityHistory{}
 	case OpPutResult:
 		m, err = decodePutResult(c)
 	case OpObject:
@@ -73,6 +82,8 @@ func Decode(body []byte) (Message, error) {
 		m, err = decodeErrorMsg(c)
 	case OpRejuvenateResult:
 		m, err = decodeRejuvenateResult(c)
+	case OpDensityHistoryResult:
+		m, err = decodeDensityHistoryResult(c)
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrUnknownOp, op)
 	}

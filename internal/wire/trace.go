@@ -1,0 +1,59 @@
+package wire
+
+// Request tracing rides the existing frame format as an optional trailer
+// appended after a message's last field:
+//
+//	[1]byte magic (0xA7)  [1]byte id length  id bytes
+//
+// Decoders have never checked for trailing bytes (mutation tests rely on
+// junk suffixes being ignored), so a traced frame decodes identically on a
+// pre-trace peer: new client -> old server and old client -> new server both
+// keep working, which is the backward-compatibility contract here. Peers
+// that do understand the trailer correlate one request across client logs,
+// server logs and both sides' latency histograms.
+
+// traceMagic introduces the optional trace trailer. Chosen outside the
+// opcode ranges so a trailer misread as a message start fails cleanly.
+const traceMagic = 0xA7
+
+// MaxTraceIDLen bounds a trace ID; longer IDs are silently not attached.
+const MaxTraceIDLen = 64
+
+// TraceID identifies one request across client and server logs and
+// histograms. Empty means untraced.
+type TraceID string
+
+// AppendTraceID appends the optional trace trailer to an encoded frame
+// body. Empty or oversized IDs leave the body unchanged.
+func AppendTraceID(body []byte, id TraceID) []byte {
+	if id == "" || len(id) > MaxTraceIDLen {
+		return body
+	}
+	body = append(body, traceMagic, byte(len(id)))
+	return append(body, id...)
+}
+
+// DecodeTraced decodes a frame body and extracts the trace trailer, if any.
+// A missing or malformed trailer yields an empty TraceID, never an error:
+// tracing is observability, not protocol.
+func DecodeTraced(body []byte) (Message, TraceID, error) {
+	c := &cursor{buf: body}
+	m, err := decodeMsg(c)
+	if err != nil {
+		return nil, "", err
+	}
+	return m, parseTraceTrailer(c.rest()), nil
+}
+
+// parseTraceTrailer reads a trace trailer that spans rest exactly; anything
+// else (no trailer, junk, short) is treated as untraced.
+func parseTraceTrailer(rest []byte) TraceID {
+	if len(rest) < 2 || rest[0] != traceMagic {
+		return ""
+	}
+	n := int(rest[1])
+	if n == 0 || n > MaxTraceIDLen || len(rest) != 2+n {
+		return ""
+	}
+	return TraceID(rest[2 : 2+n])
+}

@@ -39,6 +39,7 @@ const (
 	OpList
 	OpRejuvenate
 	OpUpdate
+	OpDensityHistory
 )
 
 // Response opcodes.
@@ -52,7 +53,17 @@ const (
 	OpListResult
 	OpError
 	OpRejuvenateResult
+	OpDensityHistoryResult
 )
+
+// RequestOps lists every request opcode in wire order, for callers that
+// build per-operation instrument series (one metrics family label per op).
+func RequestOps() []Op {
+	return []Op{
+		OpPut, OpGet, OpDelete, OpStat, OpProbe,
+		OpDensity, OpList, OpRejuvenate, OpUpdate, OpDensityHistory,
+	}
+}
 
 // String returns the opcode mnemonic.
 func (o Op) String() string {
@@ -75,6 +86,8 @@ func (o Op) String() string {
 		return "REJUVENATE"
 	case OpUpdate:
 		return "UPDATE"
+	case OpDensityHistory:
+		return "DENSITY_HISTORY"
 	case OpPutResult:
 		return "PUT_RESULT"
 	case OpObject:
@@ -93,6 +106,8 @@ func (o Op) String() string {
 		return "ERROR"
 	case OpRejuvenateResult:
 		return "REJUVENATE_RESULT"
+	case OpDensityHistoryResult:
+		return "DENSITY_HISTORY_RESULT"
 	default:
 		return fmt.Sprintf("OP(%d)", uint8(o))
 	}
