@@ -1,0 +1,186 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"besteffs/internal/blob"
+	"besteffs/internal/importance"
+	"besteffs/internal/journal"
+	"besteffs/internal/object"
+	"besteffs/internal/server"
+)
+
+// buildDataDir lays down a small but complete node data directory: payload
+// files, two sealed WAL segments plus an active one, and one checkpoint.
+func buildDataDir(t *testing.T) string {
+	t.Helper()
+	dataDir := t.TempDir()
+	files, err := blob.NewFileStore(filepath.Join(dataDir, "blobs"))
+	if err != nil {
+		t.Fatalf("NewFileStore: %v", err)
+	}
+	walDir := filepath.Join(dataDir, server.WALDirName)
+	wal, err := journal.OpenWAL(walDir, journal.WithSegmentBytes(96))
+	if err != nil {
+		t.Fatalf("OpenWAL: %v", err)
+	}
+	imp := importance.Constant{Level: 0.9}
+	for i, id := range []string{"alpha", "beta", "gamma", "delta"} {
+		if err := files.Put(object.ID(id), []byte("payload of "+id)); err != nil {
+			t.Fatalf("blob put: %v", err)
+		}
+		if err := wal.Append(journal.Record{
+			Kind: journal.KindPut, At: time.Duration(i) * time.Hour,
+			ID: object.ID(id), Size: int64(len("payload of " + id)),
+			Importance: imp,
+		}); err != nil {
+			t.Fatalf("wal append: %v", err)
+		}
+	}
+	// One checkpoint covering the first records, then more history.
+	sealed, err := wal.Barrier()
+	if err != nil {
+		t.Fatalf("Barrier: %v", err)
+	}
+	cp := journal.Checkpoint{CoversSeq: sealed, Resume: 4 * time.Hour}
+	for _, id := range []string{"alpha", "beta", "gamma", "delta"} {
+		o, err := object.New(object.ID(id), int64(len("payload of "+id)), 0, imp)
+		if err != nil {
+			t.Fatalf("object.New: %v", err)
+		}
+		cp.Objects = append(cp.Objects, journal.ObjectRecord(o))
+	}
+	if err := journal.WriteCheckpoint(walDir, cp); err != nil {
+		t.Fatalf("WriteCheckpoint: %v", err)
+	}
+	if err := wal.Append(journal.Record{
+		Kind: journal.KindRejuvenate, At: 5 * time.Hour, ID: "beta",
+		Importance: importance.Constant{Level: 0.4},
+	}); err != nil {
+		t.Fatalf("wal append: %v", err)
+	}
+	if err := wal.Close(); err != nil {
+		t.Fatalf("wal close: %v", err)
+	}
+	return dataDir
+}
+
+func TestFsckCleanDirPasses(t *testing.T) {
+	dataDir := buildDataDir(t)
+	var out bytes.Buffer
+	if err := cmdFsck(dataDir, &out); err != nil {
+		t.Fatalf("fsck on clean dir: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "fsck: clean") {
+		t.Errorf("missing clean verdict:\n%s", out.String())
+	}
+}
+
+// flipByte flips one byte of a file in place.
+func flipByte(t *testing.T, path string, off int64) {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if off < 0 {
+		off += int64(len(raw))
+	}
+	raw[off] ^= 0x40
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+}
+
+func TestFsckDetectsFlippedByteInSegment(t *testing.T) {
+	dataDir := buildDataDir(t)
+	walDir := filepath.Join(dataDir, server.WALDirName)
+	segs, err := filepath.Glob(filepath.Join(walDir, "*.seg"))
+	if err != nil || len(segs) < 2 {
+		t.Fatalf("segments = %v, %v; want >= 2", segs, err)
+	}
+	// Flip a record byte in the first (sealed) segment.
+	flipByte(t, segs[0], 20)
+
+	var out bytes.Buffer
+	err = cmdFsck(dataDir, &out)
+	if err == nil {
+		t.Fatalf("fsck passed a corrupt segment:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "DAMAGE") || !strings.Contains(out.String(), "segment") {
+		t.Errorf("report does not name the damaged segment:\n%s", out.String())
+	}
+}
+
+func TestFsckDetectsFlippedByteInBlob(t *testing.T) {
+	dataDir := buildDataDir(t)
+	files, err := blob.NewFileStore(filepath.Join(dataDir, "blobs"))
+	if err != nil {
+		t.Fatalf("NewFileStore: %v", err)
+	}
+	blobs, err := filepath.Glob(filepath.Join(files.Root(), "*.obj"))
+	if err != nil || len(blobs) == 0 {
+		t.Fatalf("blobs = %v, %v", blobs, err)
+	}
+	// Flip the last payload byte of one blob file.
+	flipByte(t, blobs[0], -1)
+
+	var out bytes.Buffer
+	err = cmdFsck(dataDir, &out)
+	if err == nil {
+		t.Fatalf("fsck passed a corrupt blob:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "DAMAGE") || !strings.Contains(out.String(), "blob") {
+		t.Errorf("report does not name the damaged blob:\n%s", out.String())
+	}
+}
+
+func TestFsckDetectsDamagedCheckpoint(t *testing.T) {
+	dataDir := buildDataDir(t)
+	walDir := filepath.Join(dataDir, server.WALDirName)
+	ckpts, err := filepath.Glob(filepath.Join(walDir, "checkpoint-*.ckpt"))
+	if err != nil || len(ckpts) != 1 {
+		t.Fatalf("checkpoints = %v, %v; want 1", ckpts, err)
+	}
+	flipByte(t, ckpts[0], 30)
+
+	var out bytes.Buffer
+	err = cmdFsck(dataDir, &out)
+	if err == nil {
+		t.Fatalf("fsck passed a damaged checkpoint:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "checkpoint") {
+		t.Errorf("report does not name the checkpoint:\n%s", out.String())
+	}
+}
+
+func TestFsckTornTailIsNotDamage(t *testing.T) {
+	dataDir := buildDataDir(t)
+	walDir := filepath.Join(dataDir, server.WALDirName)
+	segs, err := filepath.Glob(filepath.Join(walDir, "*.seg"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("segments = %v, %v", segs, err)
+	}
+	// Tear the newest segment mid-record: the defined post-crash state.
+	newest := segs[len(segs)-1]
+	raw, err := os.ReadFile(newest)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if err := os.WriteFile(newest, raw[:len(raw)-3], 0o644); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+
+	var out bytes.Buffer
+	if err := cmdFsck(dataDir, &out); err != nil {
+		t.Fatalf("fsck failed on a torn tail: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "torn tail") {
+		t.Errorf("report does not mention the torn tail:\n%s", out.String())
+	}
+}

@@ -23,6 +23,10 @@
 //	                    used bytes, importance boundary) from nodes running
 //	                    with -sample
 //	list                list resident object IDs per node
+//	fsck <data-dir>     offline integrity check of a stopped node's data
+//	                    directory: verifies WAL segment and checkpoint CRCs,
+//	                    blob payload CRCs, and cross-checks residents against
+//	                    payload files; exits nonzero on hard damage
 //
 // Importance specs use the syntax of importance.ParseSpec, e.g.
 // "twostep:p=1,persist=15d,wane=15d", "constant:p=0.5", "dirac".
@@ -64,6 +68,15 @@ func run(args []string) error {
 		return fmt.Errorf("need a command")
 	}
 	cmd, rest := fs.Arg(0), fs.Args()[1:]
+
+	// fsck works offline on a data directory; handle it before dialing so
+	// it runs exactly when the daemon is down (the only safe time).
+	if cmd == "fsck" {
+		if len(rest) != 1 {
+			return fmt.Errorf("usage: fsck <data-dir>")
+		}
+		return cmdFsck(rest[0], os.Stdout)
+	}
 
 	addrList := strings.Split(*addrs, ",")
 	clients := make([]*client.Client, 0, len(addrList))

@@ -17,10 +17,17 @@
 // -sample-window samples, visible in status JSON, /metrics and
 // "besteffsctl density".
 //
-// With -data, payload bytes are kept in crash-safe files under DIR/blobs, a
-// metadata journal is appended at DIR/journal.log, and on startup the node
-// restores its previous state (resident objects, annotations, versions and
-// clock) from the journal, reconciling metadata against the payload files.
+// With -data, payload bytes are kept in crash-safe files under DIR/blobs and
+// a segmented metadata write-ahead log grows under DIR/wal (rotating at
+// -wal-segment bytes). On startup the node loads its newest checkpoint,
+// replays only the segments written after it, truncates any torn tail a
+// crash left behind, and reconciles metadata against the payload files. A
+// pre-WAL DIR/journal.log is migrated automatically on first boot. The
+// -checkpoint interval bounds recovery time and WAL disk usage; a final
+// checkpoint is also written at clean shutdown. The -scrub-interval loop
+// re-verifies payload CRCs in the background and quarantines corrupt
+// objects instead of ever serving them. If startup fails with a corruption
+// error, inspect the damage with "besteffsctl fsck DIR".
 //
 // Policies: temporal (default), fifo, traditional, fair-share (per-owner
 // quotas; tune with -share).
@@ -74,8 +81,14 @@ func run(args []string) error {
 	maxConns := fs.Int("max-conns", 0, "cap on concurrent client connections (0 = unlimited)")
 	reqTimeout := fs.Duration("req-timeout", time.Minute, "per-connection idle/write deadline (0 disables)")
 	drain := fs.Duration("drain", 5*time.Second, "grace period for in-flight requests at shutdown (0 = close immediately)")
+	checkpoint := fs.Duration("checkpoint", 10*time.Minute, "checkpoint live state and truncate the WAL every interval (0 disables; needs -data)")
+	walSegment := fs.Int64("wal-segment", journal.DefaultSegmentBytes, "WAL segment rotation size in bytes")
+	scrubInterval := fs.Duration("scrub-interval", 0, "verify payload CRCs and quarantine corrupt objects every interval (0 disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *walSegment <= 0 {
+		return fmt.Errorf("-wal-segment %d is not positive", *walSegment)
 	}
 	if *maxConns < 0 {
 		return fmt.Errorf("-max-conns %d is negative", *maxConns)
@@ -110,40 +123,56 @@ func run(args []string) error {
 	if *sample > 0 {
 		opts = append(opts, server.WithDensitySampling(*sample, *sampleWindow))
 	}
-	journalPath := ""
-	var jw *journal.Writer
+	if *scrubInterval > 0 {
+		opts = append(opts, server.WithScrub(*scrubInterval))
+	}
+	var wal *journal.WAL
 	if *dataDir != "" {
 		files, err := blob.NewFileStore(filepath.Join(*dataDir, "blobs"))
 		if err != nil {
 			return err
 		}
-		journalPath = filepath.Join(*dataDir, "journal.log")
-		jw, err = journal.Open(journalPath)
+		walDir := filepath.Join(*dataDir, server.WALDirName)
+		wal, err = journal.OpenWAL(walDir, journal.WithSegmentBytes(*walSegment))
 		if err != nil {
+			if errors.Is(err, journal.ErrCorrupt) {
+				return fmt.Errorf("%w\nrun \"besteffsctl fsck %s\" to inspect the damage", err, *dataDir)
+			}
 			return err
 		}
 		// Safety net for early-exit paths; the normal path closes
 		// explicitly after Serve drains (Close is idempotent).
 		defer func() {
-			if err := jw.Close(); err != nil {
-				log.Error("close journal", "err", err)
+			if err := wal.Close(); err != nil {
+				log.Error("close wal", "err", err)
 			}
 		}()
-		opts = append(opts, server.WithBlobStore(files), server.WithJournal(jw))
-		log.Info("persistent node", "blobs", files.Root(), "journal", journalPath)
+		opts = append(opts, server.WithBlobStore(files), server.WithWAL(wal))
+		if *checkpoint > 0 {
+			opts = append(opts, server.WithCheckpointInterval(*checkpoint))
+		}
+		log.Info("persistent node", "blobs", files.Root(), "wal", walDir)
 	}
 	srv, err := server.New(*capacity, pol, opts...)
 	if err != nil {
 		return err
 	}
-	if journalPath != "" {
-		stats, err := srv.Restore(journalPath)
+	if *dataDir != "" {
+		stats, err := srv.RestoreDir(*dataDir)
 		if err != nil {
+			if errors.Is(err, journal.ErrCorrupt) {
+				return fmt.Errorf("%w\nrun \"besteffsctl fsck %s\" to inspect the damage", err, *dataDir)
+			}
 			return err
 		}
 		log.Info("restored",
 			"records", stats.Records, "residents", stats.Residents,
-			"resume", stats.Resume, "dropped_no_payload", stats.DroppedNoPayload,
+			"resume", stats.Resume, "checkpoint_seq", stats.CheckpointSeq,
+			"checkpoint_objects", stats.CheckpointObjects,
+			"segments_replayed", stats.SegmentsReplayed,
+			"torn_tail_bytes", stats.TornTailBytes,
+			"legacy_migrated", stats.LegacyMigrated,
+			"dropped_no_payload", stats.DroppedNoPayload,
 			"dropped_orphan_blobs", stats.DroppedOrphanBlobs)
 	}
 	l, err := net.Listen("tcp", *addr)
@@ -186,14 +215,22 @@ func run(args []string) error {
 		return err
 	}
 	// Serve has returned, so every handler -- and thus every journal
-	// append -- is done. Sync and close the journal now, while we can
-	// still report failures, instead of relying on the deferred Close.
-	if jw != nil {
-		if err := jw.Sync(); err != nil {
-			log.Error("sync journal", "err", err)
+	// append -- is done. Checkpoint the final state (making the next boot
+	// replay-free), then sync and close the WAL while we can still report
+	// failures, instead of relying on the deferred Close.
+	if wal != nil {
+		if *checkpoint > 0 {
+			if cp, err := srv.Checkpoint(); err != nil {
+				log.Error("final checkpoint", "err", err)
+			} else {
+				log.Info("final checkpoint", "seq", cp.Seq, "objects", cp.Objects)
+			}
 		}
-		if err := jw.Close(); err != nil {
-			log.Error("close journal", "err", err)
+		if err := wal.Sync(); err != nil {
+			log.Error("sync wal", "err", err)
+		}
+		if err := wal.Close(); err != nil {
+			log.Error("close wal", "err", err)
 		}
 	}
 	log.Info("besteffsd stopped")

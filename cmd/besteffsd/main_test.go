@@ -53,4 +53,10 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	if err := run([]string{"-sample", "1s", "-sample-window", "0"}); err == nil {
 		t.Error("zero -sample-window accepted")
 	}
+	if err := run([]string{"-wal-segment", "0"}); err == nil {
+		t.Error("zero -wal-segment accepted")
+	}
+	if err := run([]string{"-wal-segment", "-4096"}); err == nil {
+		t.Error("negative -wal-segment accepted")
+	}
 }

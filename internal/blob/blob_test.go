@@ -257,6 +257,71 @@ func TestFileStoreServesLegacyRawFiles(t *testing.T) {
 	}
 }
 
+// verifierTests exercises the Verifier contract against any implementation:
+// intact payloads verify, missing ones report ErrNotFound, and Verify does
+// not disturb the stored bytes.
+func verifierTests(t *testing.T, s Store) {
+	t.Helper()
+	v, ok := s.(Verifier)
+	if !ok {
+		t.Fatalf("%T does not implement Verifier", s)
+	}
+	if err := v.Verify("missing"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Verify missing err = %v, want ErrNotFound", err)
+	}
+	if err := s.Put("ok", []byte("payload")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if err := v.Verify("ok"); err != nil {
+		t.Errorf("Verify intact payload: %v", err)
+	}
+	if got, err := s.Get("ok"); err != nil || string(got) != "payload" {
+		t.Errorf("Get after Verify = %q, %v", got, err)
+	}
+}
+
+func TestMemStoreVerify(t *testing.T) {
+	s := NewMemStore()
+	verifierTests(t, s)
+	if err := s.Corrupt("ok"); err != nil {
+		t.Fatalf("Corrupt: %v", err)
+	}
+	if err := s.Verify("ok"); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("Verify corrupted payload err = %v, want ErrCorrupt", err)
+	}
+	if err := s.Corrupt("missing"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Corrupt missing err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestFileStoreVerify(t *testing.T) {
+	s, err := NewFileStore(t.TempDir())
+	if err != nil {
+		t.Fatalf("NewFileStore: %v", err)
+	}
+	verifierTests(t, s)
+	// Flip one payload byte on disk: Verify must report ErrCorrupt.
+	path := s.path("ok")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	raw[len(raw)-1] ^= 0x01
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	if err := s.Verify("ok"); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("Verify bit-flipped payload err = %v, want ErrCorrupt", err)
+	}
+	// Legacy files carry no checksum and verify vacuously.
+	if err := os.WriteFile(s.path("old"), []byte("legacy"), 0o644); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	if err := s.Verify("old"); err != nil {
+		t.Errorf("Verify legacy file: %v", err)
+	}
+}
+
 func TestMemStoreDetectsCorruption(t *testing.T) {
 	s := NewMemStore()
 	if err := s.Put("victim", []byte("precious")); err != nil {

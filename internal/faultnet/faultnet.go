@@ -256,29 +256,57 @@ func (w *writer) Write(p []byte) (int, error) {
 // -- the deterministic "process died here" primitive behind torn-frame
 // tests. Unlike Injector faults it involves no randomness at all.
 func LimitWriter(w io.Writer, n int64) io.Writer {
-	return &limitWriter{w: w, left: n}
+	return NewWriteBudget(n).Writer(w)
 }
 
-type limitWriter struct {
+// WriteBudget is a byte budget shared by any number of writers: the total
+// bytes written through all of them pass through until the budget runs out,
+// then every write fails (the last one possibly mid-buffer). It extends
+// LimitWriter across file boundaries -- a segmented WAL rotates through
+// several files, and "the process died after byte N" must cut the
+// concatenated record stream at exactly N no matter which segment byte N
+// landed in.
+type WriteBudget struct {
 	mu   sync.Mutex
-	w    io.Writer
 	left int64
 }
 
+// NewWriteBudget returns a budget of n bytes.
+func NewWriteBudget(n int64) *WriteBudget {
+	return &WriteBudget{left: n}
+}
+
+// Remaining returns the unspent bytes.
+func (b *WriteBudget) Remaining() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.left
+}
+
+// Writer wraps w so its writes draw down the shared budget.
+func (b *WriteBudget) Writer(w io.Writer) io.Writer {
+	return &budgetWriter{w: w, b: b}
+}
+
+type budgetWriter struct {
+	w io.Writer
+	b *WriteBudget
+}
+
 // Write implements io.Writer.
-func (lw *limitWriter) Write(p []byte) (int, error) {
-	lw.mu.Lock()
-	defer lw.mu.Unlock()
-	if lw.left <= 0 {
+func (bw *budgetWriter) Write(p []byte) (int, error) {
+	bw.b.mu.Lock()
+	defer bw.b.mu.Unlock()
+	if bw.b.left <= 0 {
 		return 0, fmt.Errorf("%w: write budget exhausted", ErrInjected)
 	}
-	if int64(len(p)) <= lw.left {
-		n, err := lw.w.Write(p)
-		lw.left -= int64(n)
+	if int64(len(p)) <= bw.b.left {
+		n, err := bw.w.Write(p)
+		bw.b.left -= int64(n)
 		return n, err
 	}
-	n, err := lw.w.Write(p[:lw.left])
-	lw.left -= int64(n)
+	n, err := bw.w.Write(p[:bw.b.left])
+	bw.b.left -= int64(n)
 	if err != nil {
 		return n, err
 	}

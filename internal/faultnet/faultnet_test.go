@@ -164,3 +164,27 @@ func TestLimitWriter(t *testing.T) {
 		t.Errorf("Write after exhaustion = (%d, %v), want (0, ErrInjected)", n, err)
 	}
 }
+
+func TestWriteBudgetSharedAcrossWriters(t *testing.T) {
+	var a, b bytes.Buffer
+	budget := NewWriteBudget(10)
+	wa, wb := budget.Writer(&a), budget.Writer(&b)
+	if n, err := wa.Write([]byte("123456")); n != 6 || err != nil {
+		t.Fatalf("first writer = (%d, %v)", n, err)
+	}
+	// The second writer draws from the same budget: 4 bytes left, cut
+	// mid-buffer exactly where a WAL rotation would have crashed.
+	n, err := wb.Write([]byte("abcdef"))
+	if n != 4 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("second writer = (%d, %v), want (4, ErrInjected)", n, err)
+	}
+	if a.String() != "123456" || b.String() != "abcd" {
+		t.Errorf("streams = %q / %q, want %q / %q", a.String(), b.String(), "123456", "abcd")
+	}
+	if budget.Remaining() != 0 {
+		t.Errorf("Remaining = %d, want 0", budget.Remaining())
+	}
+	if n, err := wa.Write([]byte("x")); n != 0 || !errors.Is(err, ErrInjected) {
+		t.Errorf("exhausted budget accepted a write: (%d, %v)", n, err)
+	}
+}

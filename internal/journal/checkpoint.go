@@ -1,0 +1,243 @@
+package journal
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// A checkpoint is a snapshot of the live store state -- one KindPut record
+// per resident object, carrying its metadata and importance function --
+// plus the WAL position it covers. Recovery loads the newest valid
+// checkpoint and replays only segments younger than CoversSeq, so restart
+// cost is proportional to live data and post-checkpoint history, never to
+// the full lifetime of the node.
+//
+// File format: an 8-byte magic, a CRC-protected fixed header (covered
+// sequence, resume clock, object count), then the objects framed exactly
+// like journal records. Checkpoint files are written to a temp name,
+// fsynced and renamed, so a crash mid-write never shadows the previous
+// checkpoint; any verification failure makes recovery fall back to the next
+// older checkpoint (or a full replay).
+
+// checkpoint file naming and framing.
+const (
+	ckptPrefix = "checkpoint-"
+	ckptSuffix = ".ckpt"
+)
+
+var ckptMagic = []byte{'B', 'E', 'F', 'F', 'C', 'K', 'P', '1'}
+
+// ErrNoCheckpoint reports that a directory holds no valid checkpoint.
+var ErrNoCheckpoint = errors.New("journal: no valid checkpoint")
+
+// Checkpoint is a decoded snapshot.
+type Checkpoint struct {
+	// CoversSeq is the newest WAL segment whose effects the snapshot
+	// includes; recovery replays only segments > CoversSeq.
+	CoversSeq uint64
+	// Resume is the node clock at the snapshot; the restored clock
+	// continues from max(Resume, youngest replayed record).
+	Resume time.Duration
+	// Objects holds one KindPut record per live object, At carrying the
+	// object's arrival time so restored residents keep aging correctly.
+	Objects []Record
+}
+
+// ckptName renders the checkpoint file name covering seq.
+func ckptName(seq uint64) string {
+	return fmt.Sprintf("%s%0*d%s", ckptPrefix, segNameLen, seq, ckptSuffix)
+}
+
+// parseCkptName extracts the covered sequence from a checkpoint file name.
+func parseCkptName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, ckptPrefix) || !strings.HasSuffix(name, ckptSuffix) {
+		return 0, false
+	}
+	base := strings.TrimSuffix(strings.TrimPrefix(name, ckptPrefix), ckptSuffix)
+	if len(base) != segNameLen {
+		return 0, false
+	}
+	seq, err := strconv.ParseUint(base, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return seq, true
+}
+
+// ListCheckpoints returns the covered sequence numbers of the checkpoint
+// files in dir, sorted ascending. Presence does not imply validity.
+func ListCheckpoints(dir string) ([]uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("journal: list checkpoints: %w", err)
+	}
+	var seqs []uint64
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if seq, ok := parseCkptName(e.Name()); ok {
+			seqs = append(seqs, seq)
+		}
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	return seqs, nil
+}
+
+// CheckpointPath returns the file a checkpoint covering seq lives at.
+func CheckpointPath(dir string, seq uint64) string {
+	return filepath.Join(dir, ckptName(seq))
+}
+
+// WriteCheckpoint atomically writes cp into dir (temp file, fsync, rename,
+// directory fsync), replacing any checkpoint covering the same sequence.
+func WriteCheckpoint(dir string, cp Checkpoint) error {
+	// Header: coversSeq, resume, count, then CRC over those 20 bytes.
+	hdr := make([]byte, 0, 24)
+	hdr = binary.BigEndian.AppendUint64(hdr, cp.CoversSeq)
+	hdr = binary.BigEndian.AppendUint64(hdr, uint64(cp.Resume))
+	hdr = binary.BigEndian.AppendUint32(hdr, uint32(len(cp.Objects)))
+	hdr = binary.BigEndian.AppendUint32(hdr, crc32.ChecksumIEEE(hdr[:20]))
+
+	tmp := filepath.Join(dir, fmt.Sprintf(".ckpt-tmp-%d", os.Getpid()))
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: checkpoint temp: %w", err)
+	}
+	abort := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	bw := bufio.NewWriter(f)
+	if _, err := bw.Write(ckptMagic); err != nil {
+		return abort(fmt.Errorf("journal: checkpoint write: %w", err))
+	}
+	if _, err := bw.Write(hdr); err != nil {
+		return abort(fmt.Errorf("journal: checkpoint write: %w", err))
+	}
+	for _, r := range cp.Objects {
+		if r.Kind != KindPut {
+			return abort(fmt.Errorf("journal: checkpoint object %s has kind %v, want put", r.ID, r.Kind))
+		}
+		body, err := encode(r)
+		if err != nil {
+			return abort(err)
+		}
+		var frame [8]byte
+		binary.BigEndian.PutUint32(frame[:4], uint32(len(body)))
+		binary.BigEndian.PutUint32(frame[4:], crc32.ChecksumIEEE(body))
+		if _, err := bw.Write(frame[:]); err != nil {
+			return abort(fmt.Errorf("journal: checkpoint write: %w", err))
+		}
+		if _, err := bw.Write(body); err != nil {
+			return abort(fmt.Errorf("journal: checkpoint write: %w", err))
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return abort(fmt.Errorf("journal: checkpoint flush: %w", err))
+	}
+	if err := f.Sync(); err != nil {
+		return abort(fmt.Errorf("journal: checkpoint sync: %w", err))
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("journal: checkpoint close: %w", err)
+	}
+	if err := os.Rename(tmp, CheckpointPath(dir, cp.CoversSeq)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("journal: checkpoint rename: %w", err)
+	}
+	if err := syncDir(dir); err != nil {
+		return fmt.Errorf("journal: checkpoint sync dir: %w", err)
+	}
+	return nil
+}
+
+// ReadCheckpoint reads and fully verifies one checkpoint file.
+func ReadCheckpoint(path string) (Checkpoint, error) {
+	var cp Checkpoint
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return cp, fmt.Errorf("journal: read checkpoint: %w", err)
+	}
+	if len(data) < len(ckptMagic)+24 || !bytes.Equal(data[:len(ckptMagic)], ckptMagic) {
+		return cp, fmt.Errorf("%w: %s: bad checkpoint magic", ErrCorrupt, path)
+	}
+	hdr := data[len(ckptMagic) : len(ckptMagic)+24]
+	if crc32.ChecksumIEEE(hdr[:20]) != binary.BigEndian.Uint32(hdr[20:]) {
+		return cp, fmt.Errorf("%w: %s: checkpoint header checksum", ErrCorrupt, path)
+	}
+	cp.CoversSeq = binary.BigEndian.Uint64(hdr)
+	cp.Resume = time.Duration(binary.BigEndian.Uint64(hdr[8:]))
+	count := int(binary.BigEndian.Uint32(hdr[16:]))
+	cp.Objects = make([]Record, 0, count)
+	valid, n, damaged := scanFrames(data[len(ckptMagic)+24:], func(r Record) {
+		cp.Objects = append(cp.Objects, r)
+	})
+	if damaged || n != count {
+		return Checkpoint{}, fmt.Errorf("%w: %s: checkpoint holds %d valid objects (%d bytes), header says %d",
+			ErrCorrupt, path, n, valid, count)
+	}
+	return cp, nil
+}
+
+// LoadLatestCheckpoint finds the newest checkpoint in dir that verifies,
+// skipping damaged ones (skipped reports how many). It returns
+// ErrNoCheckpoint when the directory has none worth loading -- recovery
+// then falls back to a full replay.
+func LoadLatestCheckpoint(dir string) (Checkpoint, int, error) {
+	seqs, err := ListCheckpoints(dir)
+	if err != nil {
+		return Checkpoint{}, 0, err
+	}
+	skipped := 0
+	for i := len(seqs) - 1; i >= 0; i-- {
+		cp, err := ReadCheckpoint(CheckpointPath(dir, seqs[i]))
+		if err != nil {
+			skipped++
+			continue
+		}
+		return cp, skipped, nil
+	}
+	return Checkpoint{}, skipped, ErrNoCheckpoint
+}
+
+// RemoveCheckpointsBefore deletes checkpoints covering sequences older than
+// seq, keeping the one covering seq itself. Called after a newer checkpoint
+// is durably in place.
+func RemoveCheckpointsBefore(dir string, seq uint64) (int, error) {
+	seqs, err := ListCheckpoints(dir)
+	if err != nil {
+		return 0, err
+	}
+	removed := 0
+	for _, s := range seqs {
+		if s >= seq {
+			continue
+		}
+		if err := os.Remove(CheckpointPath(dir, s)); err != nil && !errors.Is(err, os.ErrNotExist) {
+			return removed, fmt.Errorf("journal: remove checkpoint %d: %w", s, err)
+		}
+		removed++
+	}
+	if removed > 0 {
+		if err := syncDir(dir); err != nil {
+			return removed, fmt.Errorf("journal: sync wal dir: %w", err)
+		}
+	}
+	return removed, nil
+}

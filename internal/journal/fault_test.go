@@ -27,11 +27,11 @@ func TestWriterCloseIdempotent(t *testing.T) {
 	if err := w.Close(); err != nil {
 		t.Fatalf("second Close: %v", err)
 	}
-	if err := w.Append(sampleRecords()[0]); !errors.Is(err, ErrClosed) {
-		t.Errorf("Append after Close err = %v, want ErrClosed", err)
+	if err := w.Append(sampleRecords()[0]); !errors.Is(err, ErrJournalClosed) {
+		t.Errorf("Append after Close err = %v, want ErrJournalClosed", err)
 	}
-	if err := w.Sync(); !errors.Is(err, ErrClosed) {
-		t.Errorf("Sync after Close err = %v, want ErrClosed", err)
+	if err := w.Sync(); err != nil {
+		t.Errorf("Sync after Close err = %v, want nil (no-op)", err)
 	}
 }
 

@@ -208,8 +208,15 @@ func Open(path string) (*Writer, error) {
 	return &Writer{f: f, bw: bufio.NewWriter(f)}, nil
 }
 
-// ErrClosed reports a write to a closed journal.
-var ErrClosed = errors.New("journal: closed")
+// ErrJournalClosed reports a write to a closed journal. It is a typed
+// sentinel so callers can distinguish "the daemon already shut the journal
+// down" from a real filesystem failure.
+var ErrJournalClosed = errors.New("journal: closed")
+
+// ErrClosed is the historical name of ErrJournalClosed.
+//
+// Deprecated: match against ErrJournalClosed.
+var ErrClosed = ErrJournalClosed
 
 // Append writes one record.
 func (w *Writer) Append(r Record) error {
@@ -223,7 +230,7 @@ func (w *Writer) Append(r Record) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.closed {
-		return ErrClosed
+		return ErrJournalClosed
 	}
 	if _, err := w.bw.Write(hdr[:]); err != nil {
 		return fmt.Errorf("journal: append: %w", err)
@@ -240,12 +247,14 @@ func (w *Writer) Append(r Record) error {
 	return nil
 }
 
-// Sync flushes buffered records to the OS and fsyncs the file.
+// Sync flushes buffered records to the OS and fsyncs the file. After Close
+// it is a no-op: Close already flushed everything, so a late Sync from a
+// shutdown race has nothing left to do and nothing to report.
 func (w *Writer) Sync() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.closed {
-		return ErrClosed
+		return nil
 	}
 	if err := w.bw.Flush(); err != nil {
 		return fmt.Errorf("journal: flush: %w", err)
@@ -291,6 +300,7 @@ func Replay(path string, fn func(Record) error) (int, error) {
 	defer f.Close()
 	br := bufio.NewReader(f)
 	applied := 0
+	var body []byte // reused across records: replay memory is O(max record)
 	for {
 		var hdr [8]byte
 		if _, err := io.ReadFull(br, hdr[:]); err != nil {
@@ -301,7 +311,10 @@ func Replay(path string, fn func(Record) error) (int, error) {
 		if length > maxRecordSize {
 			return applied, nil // garbage length: treat as torn tail
 		}
-		body := make([]byte, length)
+		if cap(body) < int(length) {
+			body = make([]byte, length)
+		}
+		body = body[:length]
 		if _, err := io.ReadFull(br, body); err != nil {
 			return applied, nil // torn body
 		}

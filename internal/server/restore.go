@@ -3,6 +3,8 @@ package server
 import (
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"time"
 
 	"besteffs/internal/blob"
@@ -11,30 +13,85 @@ import (
 	"besteffs/internal/store"
 )
 
-// RestoreStats summarizes a journal recovery.
+// WALDirName is the subdirectory of a node's data dir holding WAL segments
+// and checkpoints.
+const WALDirName = "wal"
+
+// restoreProgressEvery is how many replayed records pass between progress
+// log lines during recovery.
+const restoreProgressEvery = 10_000
+
+// RestoreStats summarizes a recovery.
 type RestoreStats struct {
-	// Records is the number of journal records applied.
-	Records int
+	// Records is the number of journal records applied (post-checkpoint
+	// records only when a checkpoint was loaded).
+	Records int `json:"records"`
 	// Residents is the number of objects resident after recovery.
-	Residents int
-	// Resume is the node time recovery resumed from: the timestamp of
-	// the last applied record. The server clock continues from here.
-	Resume time.Duration
+	Residents int `json:"residents"`
+	// Resume is the node time recovery resumed from: the latest of the
+	// checkpoint's capture time and the last applied record. The server
+	// clock continues from here.
+	Resume time.Duration `json:"resume_nanos"`
 	// DroppedNoPayload counts residents discarded because their payload
 	// was missing from the blob store (a crash between the journal
 	// append and the payload write).
-	DroppedNoPayload int
+	DroppedNoPayload int `json:"dropped_no_payload"`
 	// DroppedOrphanBlobs counts payload files deleted because no
 	// resident references them (a crash after an eviction's payload
 	// delete was journaled but before the file was removed, or vice
 	// versa).
-	DroppedOrphanBlobs int
+	DroppedOrphanBlobs int `json:"dropped_orphan_blobs"`
+	// CheckpointSeq is the WAL segment sequence the loaded checkpoint
+	// covers (0 when recovery started from an empty state).
+	CheckpointSeq uint64 `json:"checkpoint_seq,omitempty"`
+	// CheckpointObjects is the number of residents loaded from the
+	// checkpoint, before WAL replay.
+	CheckpointObjects int `json:"checkpoint_objects,omitempty"`
+	// CheckpointsSkipped counts newer checkpoint files that failed
+	// verification and were passed over for an older intact one.
+	CheckpointsSkipped int `json:"checkpoints_skipped,omitempty"`
+	// SegmentsReplayed is the number of WAL segments whose records were
+	// applied on top of the checkpoint.
+	SegmentsReplayed int `json:"segments_replayed,omitempty"`
+	// TornTailBytes is the size of the truncated partial record at the
+	// tail of the newest segment (0 for a clean shutdown).
+	TornTailBytes int64 `json:"torn_tail_bytes,omitempty"`
+	// LegacyMigrated reports that a pre-WAL single-file journal was
+	// replayed and retired during this recovery.
+	LegacyMigrated bool `json:"legacy_migrated,omitempty"`
 }
 
-// Restore replays the journal at path into the server's unit, resumes the
-// node clock from the last record, and reconciles the blob store when it
-// is a file store. Call it after New and before Serve; the server must not
-// be serving traffic during recovery.
+// applyRecord replays one journal record into the unit. Deletes and
+// evictions of absent objects are tolerated: the journal may record an
+// eviction whose put landed in a segment already folded into a checkpoint.
+func (s *Server) applyRecord(r journal.Record) error {
+	switch r.Kind {
+	case journal.KindPut:
+		o, err := r.Object()
+		if err != nil {
+			return err
+		}
+		return s.unit.Restore(o)
+	case journal.KindDelete, journal.KindEvict:
+		if err := s.unit.Remove(r.ID); err != nil && !errors.Is(err, store.ErrNotFound) {
+			return err
+		}
+		return nil
+	case journal.KindRejuvenate:
+		if _, err := s.unit.Rejuvenate(r.ID, r.Importance, r.At); err != nil &&
+			!errors.Is(err, store.ErrNotFound) {
+			return err
+		}
+		return nil
+	default:
+		return fmt.Errorf("server: unknown journal record %v", r.Kind)
+	}
+}
+
+// Restore replays the legacy single-file journal at path into the server's
+// unit, resumes the node clock from the last record, and reconciles the
+// blob store when it is a file store. Call it after New and before Serve.
+// WAL-based deployments use RestoreDir instead.
 func (s *Server) Restore(path string) (RestoreStats, error) {
 	var stats RestoreStats
 	resume := time.Duration(0)
@@ -42,51 +99,136 @@ func (s *Server) Restore(path string) (RestoreStats, error) {
 		if r.At > resume {
 			resume = r.At
 		}
-		switch r.Kind {
-		case journal.KindPut:
-			o, err := object.New(r.ID, r.Size, r.At, r.Importance)
-			if err != nil {
-				return err
-			}
-			o.Owner = r.Owner
-			o.Class = r.Class
-			if r.Version > 0 {
-				o.Version = int(r.Version)
-			}
-			return s.unit.Restore(o)
-		case journal.KindDelete, journal.KindEvict:
-			if err := s.unit.Remove(r.ID); err != nil && !errors.Is(err, store.ErrNotFound) {
-				return err
-			}
-			return nil
-		case journal.KindRejuvenate:
-			if _, err := s.unit.Rejuvenate(r.ID, r.Importance, r.At); err != nil &&
-				!errors.Is(err, store.ErrNotFound) {
-				return err
-			}
-			return nil
-		default:
-			return fmt.Errorf("server: unknown journal record %v", r.Kind)
-		}
+		return s.applyRecord(r)
 	})
 	if err != nil {
 		return stats, fmt.Errorf("server: restore: %w", err)
 	}
 	stats.Records = records
+	if err := s.finishRestore(&stats, resume); err != nil {
+		return stats, err
+	}
+	return stats, nil
+}
 
+// RestoreDir recovers the node from its data directory: load the newest
+// valid checkpoint under dataDir/wal, replay only the WAL segments younger
+// than it, and reconcile payloads. Recovery cost is proportional to the
+// live data set plus the records written since the last checkpoint, not
+// the node's full write history.
+//
+// A pre-WAL dataDir/journal.log is migrated on first boot: its records are
+// replayed in full, then the file is renamed aside so the migration runs
+// exactly once.
+func (s *Server) RestoreDir(dataDir string) (RestoreStats, error) {
+	var stats RestoreStats
+	walDir := filepath.Join(dataDir, WALDirName)
+	resume := time.Duration(0)
+
+	// Checkpoint first: it is the base image everything else layers on.
+	cp, skipped, err := journal.LoadLatestCheckpoint(walDir)
+	stats.CheckpointsSkipped = skipped
+	switch {
+	case err == nil:
+		objs := make([]*object.Object, 0, len(cp.Objects))
+		for _, r := range cp.Objects {
+			o, objErr := r.Object()
+			if objErr != nil {
+				return stats, fmt.Errorf("server: restore checkpoint: %w", objErr)
+			}
+			objs = append(objs, o)
+		}
+		if err := s.unit.LoadSnapshot(objs); err != nil {
+			return stats, fmt.Errorf("server: restore checkpoint: %w", err)
+		}
+		stats.CheckpointSeq = cp.CoversSeq
+		stats.CheckpointObjects = len(objs)
+		resume = cp.Resume
+		s.log.Info("checkpoint loaded", "seq", cp.CoversSeq,
+			"objects", len(objs), "skipped", skipped)
+	case errors.Is(err, journal.ErrNoCheckpoint):
+		// Fresh WAL (or pre-checkpoint data dir): maybe a legacy journal
+		// to migrate, then a full replay from segment 1.
+		migrated, migErr := s.migrateLegacyJournal(dataDir, &resume)
+		if migErr != nil {
+			return stats, migErr
+		}
+		stats.LegacyMigrated = migrated
+	default:
+		return stats, fmt.Errorf("server: restore: %w", err)
+	}
+
+	// Replay the segments the checkpoint does not cover, one record at a
+	// time -- memory stays bounded by one segment's read buffer plus one
+	// record, regardless of history size.
+	applied := 0
+	walStats, err := journal.ReplayWAL(walDir, stats.CheckpointSeq, func(r journal.Record) error {
+		if r.At > resume {
+			resume = r.At
+		}
+		applied++
+		if applied%restoreProgressEvery == 0 {
+			s.log.Info("replay progress", "records", applied)
+		}
+		return s.applyRecord(r)
+	})
+	if err != nil {
+		return stats, fmt.Errorf("server: restore: %w", err)
+	}
+	stats.Records = walStats.Records
+	stats.SegmentsReplayed = walStats.Segments
+	stats.TornTailBytes = walStats.TornTailBytes
+	if walStats.TornTailBytes > 0 {
+		s.log.Warn("torn journal tail truncated",
+			"segment", walStats.LastSeq, "bytes", walStats.TornTailBytes)
+	}
+	if err := s.finishRestore(&stats, resume); err != nil {
+		return stats, err
+	}
+	return stats, nil
+}
+
+// migrateLegacyJournal replays a pre-WAL dataDir/journal.log if present and
+// renames it aside, reporting whether a migration happened.
+func (s *Server) migrateLegacyJournal(dataDir string, resume *time.Duration) (bool, error) {
+	legacy := filepath.Join(dataDir, "journal.log")
+	if _, err := os.Stat(legacy); errors.Is(err, os.ErrNotExist) {
+		return false, nil
+	} else if err != nil {
+		return false, fmt.Errorf("server: restore: %w", err)
+	}
+	records, err := journal.Replay(legacy, func(r journal.Record) error {
+		if r.At > *resume {
+			*resume = r.At
+		}
+		return s.applyRecord(r)
+	})
+	if err != nil {
+		return false, fmt.Errorf("server: migrate legacy journal: %w", err)
+	}
+	if err := os.Rename(legacy, legacy+".migrated"); err != nil {
+		return false, fmt.Errorf("server: retire legacy journal: %w", err)
+	}
+	s.log.Info("legacy journal migrated", "records", records)
+	return true, nil
+}
+
+// finishRestore runs the recovery steps shared by Restore and RestoreDir:
+// blob reconciliation, final stats, and resuming the node clock so
+// recovered objects keep aging correctly.
+func (s *Server) finishRestore(stats *RestoreStats, resume time.Duration) error {
 	if files, ok := s.blobs.(*blob.FileStore); ok {
-		if err := s.reconcileBlobs(files, &stats); err != nil {
-			return stats, err
+		if err := s.reconcileBlobs(files, stats); err != nil {
+			return err
 		}
 	}
 	stats.Residents = s.unit.Len()
 	stats.Resume = resume
-
-	// The node clock continues where the previous process stopped, so
-	// recovered objects keep aging correctly.
 	start := time.Now()
 	s.clock = func() time.Duration { return resume + time.Since(start) }
-	return stats, nil
+	snapshot := *stats
+	s.lastRestore = &snapshot
+	return nil
 }
 
 // reconcileBlobs makes the resident set and the payload files agree after

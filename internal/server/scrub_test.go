@@ -1,0 +1,164 @@
+package server
+
+import (
+	"context"
+	"net"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"besteffs/internal/blob"
+	"besteffs/internal/importance"
+	"besteffs/internal/journal"
+	"besteffs/internal/object"
+	"besteffs/internal/policy"
+	"besteffs/internal/wire"
+)
+
+// scrubNode builds a WAL-backed node over an in-memory blob store with
+// three residents, returning the pieces the scrub tests poke at.
+func scrubNode(t *testing.T, dataDir string) (*Server, *blob.MemStore, *manualClock) {
+	t.Helper()
+	mem := blob.NewMemStore()
+	wal, err := journal.OpenWAL(filepath.Join(dataDir, WALDirName))
+	if err != nil {
+		t.Fatalf("OpenWAL: %v", err)
+	}
+	t.Cleanup(func() { wal.Close() })
+	clock := &manualClock{}
+	srv, err := New(1<<20, policy.TemporalImportance{},
+		WithClock(clock.Now), WithWAL(wal), WithBlobStore(mem), WithLogger(quietLogger()))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	for _, id := range []string{"a", "b", "c"} {
+		res := srv.execute(&wire.Put{
+			ID: object.ID(id), Importance: importance.Constant{Level: 0.9},
+			Payload: []byte("payload-" + id),
+		})
+		if pr, ok := res.(*wire.PutResult); !ok || !pr.Admitted {
+			t.Fatalf("Put %s = %+v", id, res)
+		}
+		clock.Advance(time.Hour)
+	}
+	return srv, mem, clock
+}
+
+func TestScrubQuarantinesCorruptPayload(t *testing.T) {
+	dataDir := t.TempDir()
+	srv, mem, _ := scrubNode(t, dataDir)
+	if err := mem.Corrupt("b"); err != nil {
+		t.Fatalf("Corrupt: %v", err)
+	}
+	pass, err := srv.ScrubNow(context.Background())
+	if err != nil {
+		t.Fatalf("ScrubNow: %v", err)
+	}
+	if pass.Checked != 3 || pass.Corrupt != 1 || pass.Missing != 0 {
+		t.Errorf("pass = %+v, want checked 3 corrupt 1 missing 0", pass)
+	}
+	if _, err := srv.unit.Get("b"); err == nil {
+		t.Error("corrupt object still resident after scrub")
+	}
+	if srv.unit.Len() != 2 {
+		t.Errorf("residents = %d, want 2", srv.unit.Len())
+	}
+	stats := srv.ScrubStats()
+	if stats.Passes != 1 || stats.Corrupt != 1 || stats.Checked != 3 {
+		t.Errorf("ScrubStats = %+v", stats)
+	}
+
+	// The quarantine was journaled: a restart must not resurrect b.
+	rec, err := New(1<<20, policy.TemporalImportance{}, WithLogger(quietLogger()))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	rstats, err := rec.RestoreDir(dataDir)
+	if err != nil {
+		t.Fatalf("RestoreDir: %v", err)
+	}
+	if rec.unit.Len() != 2 {
+		t.Errorf("recovered %d residents, want 2 (stats %+v)", rec.unit.Len(), rstats)
+	}
+	if _, err := rec.unit.Get("b"); err == nil {
+		t.Error("quarantined object resurrected by replay")
+	}
+}
+
+func TestScrubQuarantinesMissingPayload(t *testing.T) {
+	srv, mem, _ := scrubNode(t, t.TempDir())
+	// Payload vanished but the resident remains: damage, not a race.
+	if err := mem.Delete("c"); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	pass, err := srv.ScrubNow(context.Background())
+	if err != nil {
+		t.Fatalf("ScrubNow: %v", err)
+	}
+	if pass.Missing != 1 || pass.Corrupt != 0 {
+		t.Errorf("pass = %+v, want missing 1 corrupt 0", pass)
+	}
+	if srv.ScrubStats().Missing != 1 {
+		t.Errorf("ScrubStats = %+v", srv.ScrubStats())
+	}
+}
+
+func TestGetQuarantinesCorruptPayload(t *testing.T) {
+	srv, mem, _ := scrubNode(t, t.TempDir())
+	if err := mem.Corrupt("a"); err != nil {
+		t.Fatalf("Corrupt: %v", err)
+	}
+	res := srv.execute(&wire.Get{ID: "a"})
+	em, ok := res.(*wire.ErrorMsg)
+	if !ok || em.Code != wire.CodeNotFound {
+		t.Fatalf("Get corrupt object = %+v, want NotFound error", res)
+	}
+	if _, err := srv.unit.Get("a"); err == nil {
+		t.Error("corrupt object still resident after Get")
+	}
+	if got := srv.ScrubStats().Corrupt; got != 1 {
+		t.Errorf("corrupt counter = %d, want 1", got)
+	}
+	// The slot is free again: a new put of the same ID must succeed.
+	res = srv.execute(&wire.Put{
+		ID: "a", Importance: importance.Constant{Level: 0.9},
+		Payload: []byte("fresh bytes"),
+	})
+	if pr, ok := res.(*wire.PutResult); !ok || !pr.Admitted {
+		t.Fatalf("re-put after quarantine = %+v", res)
+	}
+}
+
+// TestScrubLoopRunsUnderServe wires WithScrub into a serving node and waits
+// for the background pass to quarantine an injected corruption.
+func TestScrubLoopRunsUnderServe(t *testing.T) {
+	srv, mem, _ := scrubNode(t, t.TempDir())
+	srv.scrubEvery = 5 * time.Millisecond
+	if err := mem.Corrupt("b"); err != nil {
+		t.Fatalf("Corrupt: %v", err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ctx, l) }()
+	defer func() {
+		cancel()
+		if err := <-done; err != nil {
+			t.Errorf("Serve: %v", err)
+		}
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if srv.ScrubStats().Corrupt >= 1 {
+			if _, err := srv.unit.Get("b"); err == nil {
+				t.Error("corrupt object still resident")
+			}
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("scrub loop never quarantined the corrupt object")
+}

@@ -35,15 +35,39 @@ import (
 // against it. The default clock is wall time since server construction.
 type Clock func() time.Duration
 
+// journalSink is the server's view of a journal: the legacy single-file
+// Writer and the segmented WAL both satisfy it.
+type journalSink interface {
+	Append(journal.Record) error
+}
+
 // Server is one Besteffs storage node.
 type Server struct {
 	unit    *store.Unit
 	clock   Clock
 	log     *slog.Logger
 	blobs   blob.Store
-	journal *journal.Writer
+	journal journalSink
+	wal     *journal.WAL
 
 	maintenance time.Duration
+
+	// chkMu serializes mutations against checkpointing: every mutating
+	// request holds the read side across its unit mutation and journal
+	// append, and Checkpoint holds the write side across the WAL barrier
+	// and the resident snapshot. That makes a checkpoint a clean cut: no
+	// mutation's journal record can land after the barrier while its
+	// effect is missing from the snapshot, or vice versa.
+	chkMu           sync.RWMutex
+	checkpointEvery time.Duration
+
+	// Online scrub (zero = disabled).
+	scrubEvery time.Duration
+	scrub      scrubMetrics
+
+	// lastRestore describes the most recent recovery, for status JSON
+	// (nil when the node started empty). Written once before Serve.
+	lastRestore *RestoreStats
 
 	// Robustness knobs (zero = disabled, the historical behavior).
 	idleTimeout  time.Duration
@@ -104,11 +128,54 @@ func WithMaintenance(interval time.Duration) Option {
 }
 
 // WithJournal records every admission, eviction, delete and rejuvenation
-// to an append-only journal so Restore can rebuild the node after a
+// to a legacy single-file journal so Restore can rebuild the node after a
 // restart. Journal failures are logged, never fatal to requests: the
-// journal is history, not a commit log.
+// journal is history, not a commit log. New deployments should prefer
+// WithWAL, which adds segment rotation and checkpoint truncation.
 func WithJournal(w *journal.Writer) Option {
-	return func(s *Server) { s.journal = w }
+	return func(s *Server) {
+		if w != nil {
+			s.journal = w
+		}
+	}
+}
+
+// WithWAL records the node's history to a segmented write-ahead log. A WAL
+// (unlike the legacy journal) can be barriered and truncated, which is what
+// makes checkpoints possible: Checkpoint seals the active segment, writes
+// the live state, and deletes the segments the checkpoint covers.
+func WithWAL(w *journal.WAL) Option {
+	return func(s *Server) {
+		if w != nil {
+			s.journal = w
+			s.wal = w
+		}
+	}
+}
+
+// WithCheckpointInterval checkpoints the node's live state every interval,
+// bounding both recovery time and journal disk usage to the live data set
+// rather than the full write history. Requires WithWAL; the loop starts
+// with Serve and stops with its context (0 disables).
+func WithCheckpointInterval(d time.Duration) Option {
+	return func(s *Server) {
+		if d > 0 {
+			s.checkpointEvery = d
+		}
+	}
+}
+
+// WithScrub runs a background scrub pass every interval: each resident's
+// payload is CRC-verified in place, and corrupt or missing payloads are
+// quarantined -- evicted and counted, never served. Requires a blob store
+// implementing blob.Verifier; the loop starts with Serve and stops with
+// its context (0 disables; ScrubNow is always available).
+func WithScrub(d time.Duration) Option {
+	return func(s *Server) {
+		if d > 0 {
+			s.scrubEvery = d
+		}
+	}
 }
 
 // WithIdleTimeout closes a connection that sends no request for the given
@@ -202,6 +269,7 @@ func New(capacity int64, pol policy.Policy, opts ...Option) (*Server, error) {
 		log:   slog.Default(),
 		met:   newServerMetrics(),
 	}
+	s.scrub = newScrubMetrics(s.met.reg)
 	start := time.Now()
 	s.clock = func() time.Duration { return time.Since(start) }
 	unit, err := store.New(capacity, pol,
@@ -308,6 +376,20 @@ func (s *Server) Serve(ctx context.Context, l net.Listener) error {
 			s.sampleDensity(ctx)
 		}()
 	}
+	if s.checkpointEvery > 0 && s.wal != nil {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.checkpointLoop(ctx)
+		}()
+	}
+	if s.scrubEvery > 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.scrubLoop(ctx)
+		}()
+	}
 	for {
 		conn, err := l.Accept()
 		if err != nil {
@@ -359,7 +441,10 @@ func (s *Server) maintain(ctx context.Context) {
 		case <-ctx.Done():
 			return
 		case <-ticker.C:
-			if n := s.unit.DropExpired(s.clock()); n > 0 {
+			s.chkMu.RLock()
+			n := s.unit.DropExpired(s.clock())
+			s.chkMu.RUnlock()
+			if n > 0 {
 				s.log.Debug("maintenance sweep", "reclaimed", n)
 			}
 		}
@@ -470,6 +555,8 @@ func (s *Server) execute(msg wire.Message) wire.Message {
 	case *wire.Get:
 		return s.handleGet(m, now)
 	case *wire.Delete:
+		s.chkMu.RLock()
+		defer s.chkMu.RUnlock()
 		if err := s.unit.Delete(m.ID); err != nil {
 			if errors.Is(err, store.ErrNotFound) {
 				return &wire.ErrorMsg{Code: wire.CodeNotFound, Text: string(m.ID)}
@@ -519,6 +606,8 @@ func (s *Server) execute(msg wire.Message) wire.Message {
 	case *wire.Update:
 		return s.handleUpdate(m, now)
 	case *wire.Rejuvenate:
+		s.chkMu.RLock()
+		defer s.chkMu.RUnlock()
 		fresh, err := s.unit.Rejuvenate(m.ID, m.Importance, now)
 		if err != nil {
 			if errors.Is(err, store.ErrNotFound) {
@@ -559,6 +648,8 @@ func (s *Server) handlePut(m *wire.Put, now time.Duration) wire.Message {
 	if m.Version > 0 {
 		o.Version = int(m.Version)
 	}
+	s.chkMu.RLock()
+	defer s.chkMu.RUnlock()
 	d, err := s.unit.Put(o, now)
 	if err != nil {
 		if errors.Is(err, store.ErrDuplicateID) {
@@ -605,6 +696,8 @@ func (s *Server) handleUpdate(m *wire.Update, now time.Duration) wire.Message {
 	}
 	o.Owner = m.Owner
 	o.Class = m.Class
+	s.chkMu.RLock()
+	defer s.chkMu.RUnlock()
 	d, err := s.unit.Update(o, now)
 	if err != nil {
 		if errors.Is(err, store.ErrNotResident) {
@@ -653,6 +746,13 @@ func (s *Server) handleGet(m *wire.Get, now time.Duration) wire.Message {
 		if errors.Is(err, blob.ErrNotFound) {
 			// The object was evicted between the metadata lookup and
 			// the payload read; report it as gone.
+			return &wire.ErrorMsg{Code: wire.CodeNotFound, Text: string(m.ID)}
+		}
+		if errors.Is(err, blob.ErrCorrupt) {
+			// Never serve corrupt bytes: quarantine the object (evict and
+			// count) and answer as if it were already gone. Single-copy
+			// semantics mean there is no replica to repair from.
+			s.quarantine(m.ID, now, err)
 			return &wire.ErrorMsg{Code: wire.CodeNotFound, Text: string(m.ID)}
 		}
 		return &wire.ErrorMsg{Code: wire.CodeInternal, Text: err.Error()}

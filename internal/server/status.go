@@ -30,6 +30,12 @@ type Status struct {
 	// DensityHistory is the sampled density trajectory (oldest first),
 	// present when the node runs with density sampling enabled.
 	DensityHistory []StatusSample `json:"density_history,omitempty"`
+	// Scrub is cumulative scrub activity: payloads verified and objects
+	// quarantined for corruption or missing bytes.
+	Scrub ScrubStats `json:"scrub"`
+	// Recovery describes how the node last came up, present after a
+	// RestoreDir recovery.
+	Recovery *RestoreStats `json:"recovery,omitempty"`
 }
 
 // StatusSample mirrors store.DensitySample for JSON.
@@ -78,6 +84,8 @@ func (s *Server) StatusSnapshot() Status {
 		},
 		Net:            s.NetCounters(),
 		DensityHistory: history,
+		Scrub:          s.ScrubStats(),
+		Recovery:       s.lastRestore,
 	}
 }
 
