@@ -147,9 +147,13 @@ func run(args []string) error {
 		if err != nil {
 			return fmt.Errorf("create density csv: %w", err)
 		}
-		defer out.Close()
 		if err := density.CSV(out); err != nil {
+			//lint:ignore uncheckederr the CSV write error is the one worth reporting
+			out.Close()
 			return err
+		}
+		if err := out.Close(); err != nil {
+			return fmt.Errorf("close density csv: %w", err)
 		}
 		fmt.Printf("(density samples written to %s)\n", *densityCSV)
 	}

@@ -1,0 +1,93 @@
+// Command besteffslint runs the project's static-analysis suite (see
+// internal/lint) over the repository:
+//
+//	go run ./cmd/besteffslint ./...
+//
+// Each finding prints as file:line:col: check: message. Flags:
+//
+//	-json            emit findings as a JSON array instead of text
+//	-checks a,b,...  run only the named checks (default: all)
+//	-list            print the available checks and exit
+//	-C dir           change to dir before resolving package patterns
+//
+// Findings are suppressed in source with "//lint:ignore <check> <reason>"
+// on (or directly above) the offending line; the reason is mandatory.
+// Exit status: 0 clean, 1 findings, 2 usage or load failure.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"besteffs/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("besteffslint", flag.ContinueOnError)
+	var (
+		jsonOut = fs.Bool("json", false, "emit findings as JSON")
+		checks  = fs.String("checks", "", "comma-separated checks to run (default: all)")
+		list    = fs.Bool("list", false, "list available checks and exit")
+		chdir   = fs.String("C", ".", "directory to resolve package patterns in")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	analyzers, err := lint.Select(*checks)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lint.Load(*chdir, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	diags := lint.Run(pkgs, analyzers)
+	if *jsonOut {
+		type finding struct {
+			File    string `json:"file"`
+			Line    int    `json:"line"`
+			Col     int    `json:"col"`
+			Check   string `json:"check"`
+			Message string `json:"message"`
+		}
+		out := make([]finding, len(diags))
+		for i, d := range diags {
+			out[i] = finding{File: d.Pos.Filename, Line: d.Pos.Line, Col: d.Pos.Column, Check: d.Check, Message: d.Message}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	}
+	if len(diags) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "besteffslint: %d finding(s)\n", len(diags))
+		}
+		return 1
+	}
+	return 0
+}

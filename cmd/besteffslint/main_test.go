@@ -1,0 +1,28 @@
+package main
+
+import "testing"
+
+// fixtureDir is the lint package's fixture module, which contains one
+// deliberate violation per analyzer.
+const fixtureDir = "../../internal/lint/testdata/src"
+
+func TestRunExitCodes(t *testing.T) {
+	if got := run([]string{"-list"}); got != 0 {
+		t.Errorf("run(-list) = %d, want 0", got)
+	}
+	if got := run([]string{"-checks", "nosuchcheck", "./..."}); got != 2 {
+		t.Errorf("run(-checks nosuchcheck) = %d, want 2", got)
+	}
+	if got := run([]string{"-C", fixtureDir, "./..."}); got != 1 {
+		t.Errorf("run over violation fixtures = %d, want 1", got)
+	}
+	if got := run([]string{"-C", fixtureDir, "-json", "./..."}); got != 1 {
+		t.Errorf("run -json over violation fixtures = %d, want 1", got)
+	}
+	// A check with no fixture findings in a clean subset exits 0: the
+	// dispatch fixture package violates only wireexhaustive, so running
+	// just deprecatedapi over it is clean.
+	if got := run([]string{"-C", fixtureDir, "-checks", "deprecatedapi", "./internal/dispatch/"}); got != 0 {
+		t.Errorf("run deprecatedapi over dispatch fixture = %d, want 0", got)
+	}
+}

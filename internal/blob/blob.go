@@ -204,16 +204,19 @@ func (s *FileStore) Put(id object.ID, payload []byte) error {
 	copy(hdr[:4], fileMagic)
 	binary.BigEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(payload))
 	if _, err := f.Write(hdr[:]); err != nil {
+		//lint:ignore uncheckederr already returning the write error; the temp file is removed
 		f.Close()
 		os.Remove(tmp)
 		return fmt.Errorf("blob: write header: %w", err)
 	}
 	if _, err := f.Write(payload); err != nil {
+		//lint:ignore uncheckederr already returning the write error; the temp file is removed
 		f.Close()
 		os.Remove(tmp)
 		return fmt.Errorf("blob: write: %w", err)
 	}
 	if err := f.Sync(); err != nil {
+		//lint:ignore uncheckederr already returning the sync error; the temp file is removed
 		f.Close()
 		os.Remove(tmp)
 		return fmt.Errorf("blob: sync: %w", err)

@@ -55,7 +55,35 @@ type Injector struct {
 	plan          Plan
 	failDialsLeft int
 
-	counters metrics.CounterSet
+	counters faultCounters
+}
+
+// faultCounters holds one typed metrics.Counter per fault kind. The zero
+// value is ready to use; counters are exported through Injector.Counters
+// under the same keys the old CounterSet snapshot used.
+type faultCounters struct {
+	delays       metrics.Counter
+	drops        metrics.Counter
+	tears        metrics.Counter
+	resets       metrics.Counter
+	dialFailures metrics.Counter
+}
+
+// inc bumps the counter for kind; unknown kinds are ignored (no fault site
+// passes one).
+func (fc *faultCounters) inc(kind string) {
+	switch kind {
+	case "delays":
+		fc.delays.Inc()
+	case "drops":
+		fc.drops.Inc()
+	case "tears":
+		fc.tears.Inc()
+	case "resets":
+		fc.resets.Inc()
+	case "dial_failures":
+		fc.dialFailures.Inc()
+	}
 }
 
 // NewInjector returns an injector with the given seed and plan.
@@ -69,7 +97,15 @@ func NewInjector(seed int64, plan Plan) *Injector {
 
 // Counters reports how many faults of each kind were injected
 // ("delays", "drops", "tears", "resets", "dial_failures").
-func (inj *Injector) Counters() map[string]int64 { return inj.counters.Snapshot() }
+func (inj *Injector) Counters() map[string]int64 {
+	return map[string]int64{
+		"delays":        inj.counters.delays.Value(),
+		"drops":         inj.counters.drops.Value(),
+		"tears":         inj.counters.tears.Value(),
+		"resets":        inj.counters.resets.Value(),
+		"dial_failures": inj.counters.dialFailures.Value(),
+	}
+}
 
 // delay returns the injected latency for one operation.
 func (inj *Injector) delay() time.Duration {
@@ -130,7 +166,7 @@ type conn struct {
 
 // fail marks the connection broken and closes the underlying conn.
 func (c *conn) fail(kind string) error {
-	c.inj.counters.Inc(kind)
+	c.inj.counters.inc(kind)
 	c.mu.Lock()
 	c.broken = true
 	c.mu.Unlock()
@@ -150,7 +186,7 @@ func (c *conn) Read(p []byte) (int, error) {
 		return 0, fmt.Errorf("%w: connection dropped", ErrInjected)
 	}
 	if d := c.inj.delay(); d > 0 {
-		c.inj.counters.Inc("delays")
+		c.inj.counters.inc("delays")
 		time.Sleep(d)
 	}
 	if c.inj.roll(c.inj.plan.DropRate) {
@@ -165,7 +201,7 @@ func (c *conn) Write(p []byte) (int, error) {
 		return 0, fmt.Errorf("%w: connection dropped", ErrInjected)
 	}
 	if d := c.inj.delay(); d > 0 {
-		c.inj.counters.Inc("delays")
+		c.inj.counters.inc("delays")
 		time.Sleep(d)
 	}
 	if c.inj.roll(c.inj.plan.DropRate) {
@@ -213,7 +249,7 @@ func (l *listener) Accept() (net.Conn, error) {
 	}
 	l.inj.mu.Unlock()
 	if failNow {
-		l.inj.counters.Inc("dial_failures")
+		l.inj.counters.inc("dial_failures")
 		c.Close()
 		return nil, fmt.Errorf("%w: dial refused", ErrInjected)
 	}
@@ -242,7 +278,7 @@ func (w *writer) Write(p []byte) (int, error) {
 		if k > 0 {
 			w.w.Write(p[:k])
 		}
-		w.inj.counters.Inc("tears")
+		w.inj.counters.inc("tears")
 		w.mu.Lock()
 		w.broken = true
 		w.mu.Unlock()

@@ -20,7 +20,13 @@ const (
 	KindLinear
 	KindExponential
 	KindPiecewise
+	KindMin
+	KindProduct
 )
+
+// maxCombineDepth bounds combinator nesting accepted by Decode, so a
+// hostile peer cannot exhaust the stack with deeply nested encodings.
+const maxCombineDepth = 8
 
 // String returns the lower-case family name used by the spec syntax.
 func (k Kind) String() string {
@@ -37,6 +43,10 @@ func (k Kind) String() string {
 		return "exp"
 	case KindPiecewise:
 		return "piecewise"
+	case KindMin:
+		return "min"
+	case KindProduct:
+		return "product"
 	default:
 		return fmt.Sprintf("invalid(%d)", uint8(k))
 	}
@@ -66,6 +76,10 @@ func KindOf(f Function) Kind {
 		return KindExponential
 	case Piecewise:
 		return KindPiecewise
+	case Min:
+		return KindMin
+	case Product:
+		return KindProduct
 	default:
 		return KindInvalid
 	}
@@ -109,9 +123,31 @@ func AppendEncode(dst []byte, f Function) ([]byte, error) {
 			dst = appendFloat(dst, p.Value)
 		}
 		return dst, nil
+	case Min:
+		return appendCombined(dst, KindMin, f.fns)
+	case Product:
+		return appendCombined(dst, KindProduct, f.fns)
 	default:
 		return nil, fmt.Errorf("%w: %T", ErrUnknownKind, f)
 	}
+}
+
+// appendCombined encodes a combinator: kind byte, uint16 operand count,
+// then each operand's encoding in order.
+func appendCombined(dst []byte, kind Kind, fns []Function) ([]byte, error) {
+	if len(fns) > math.MaxUint16 {
+		return nil, fmt.Errorf("importance: %s with %d operands exceeds encoding limit", kind, len(fns))
+	}
+	dst = append(dst, byte(kind))
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(fns)))
+	for _, f := range fns {
+		var err error
+		dst, err = AppendEncode(dst, f)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return dst, nil
 }
 
 // Encode returns the compact binary encoding of f.
@@ -124,6 +160,13 @@ func Encode(f Function) ([]byte, error) {
 // are re-validated, so a hostile peer cannot smuggle an out-of-range or
 // non-monotone function past the codec.
 func Decode(buf []byte) (Function, int, error) {
+	return decode(buf, 0)
+}
+
+func decode(buf []byte, depth int) (Function, int, error) {
+	if depth > maxCombineDepth {
+		return nil, 0, fmt.Errorf("importance: combinator nesting exceeds depth %d", maxCombineDepth)
+	}
 	if len(buf) == 0 {
 		return nil, 0, ErrShortBuffer
 	}
@@ -219,9 +262,45 @@ func Decode(buf []byte) (Function, int, error) {
 			return nil, 0, err
 		}
 		return f, n, nil
+	case KindMin, KindProduct:
+		fns, n, err := decodeOperands(buf, n, depth)
+		if err != nil {
+			return nil, 0, err
+		}
+		if kind == KindMin {
+			f, err := NewMin(fns...)
+			if err != nil {
+				return nil, 0, err
+			}
+			return f, n, nil
+		}
+		f, err := NewProduct(fns...)
+		if err != nil {
+			return nil, 0, err
+		}
+		return f, n, nil
 	default:
 		return nil, 0, fmt.Errorf("%w: %d", ErrUnknownKind, kind)
 	}
+}
+
+// decodeOperands parses a combinator's operand list starting at buf[n].
+func decodeOperands(buf []byte, n, depth int) ([]Function, int, error) {
+	if len(buf) < n+2 {
+		return nil, 0, ErrShortBuffer
+	}
+	count := int(binary.BigEndian.Uint16(buf[n:]))
+	n += 2
+	fns := make([]Function, 0, count)
+	for i := 0; i < count; i++ {
+		f, used, err := decode(buf[n:], depth+1)
+		if err != nil {
+			return nil, 0, err
+		}
+		n += used
+		fns = append(fns, f)
+	}
+	return fns, n, nil
 }
 
 func appendFloat(dst []byte, v float64) []byte {

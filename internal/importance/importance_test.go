@@ -50,16 +50,21 @@ func TestTwoStepExpireAge(t *testing.T) {
 
 func TestTwoStepZeroWaneIsFixedPriority(t *testing.T) {
 	// Wane == 0 reproduces the paper's "no temporal degradation" policy:
-	// L(t) = p until t_expire, then 0.
+	// L(t) = p before t_expire, then 0. The expiry age itself evaluates to
+	// zero, matching ExpireAge (At(ExpireAge()) == 0 is the Validate and
+	// Expired contract), exactly as the wane endpoint does when Wane > 0.
 	f, err := NewTwoStep(1, 30*Day, 0)
 	if err != nil {
 		t.Fatalf("NewTwoStep: %v", err)
 	}
-	if got := f.At(30 * Day); got != 1 {
-		t.Errorf("At(persist) = %v, want 1", got)
+	if got := f.At(30*Day - time.Minute); got != 1 {
+		t.Errorf("At(persist-1m) = %v, want 1", got)
 	}
-	if got := f.At(30*Day + time.Minute); got != 0 {
-		t.Errorf("At(persist+1m) = %v, want 0", got)
+	if got := f.At(30 * Day); got != 0 {
+		t.Errorf("At(persist) = %v, want 0", got)
+	}
+	if exp, ok := f.ExpireAge(); !ok || exp != 30*Day || f.At(exp) != 0 {
+		t.Errorf("ExpireAge() = %v, %v with At(exp) = %v; want 720h0m0s, true, 0", exp, ok, f.At(exp))
 	}
 }
 

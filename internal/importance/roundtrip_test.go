@@ -1,0 +1,121 @@
+package importance
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// randomFunctionDeep draws a valid function across every registered kind,
+// including the Min and Product combinators (with nesting up to two levels),
+// so the round-trip properties below exercise the full codec surface.
+func randomFunctionDeep(rng *rand.Rand, depth int) Function {
+	if depth < 2 && rng.Intn(3) == 0 {
+		n := 1 + rng.Intn(3)
+		fns := make([]Function, n)
+		for i := range fns {
+			fns[i] = randomFunctionDeep(rng, depth+1)
+		}
+		if rng.Intn(2) == 0 {
+			f, err := NewMin(fns...)
+			if err != nil {
+				panic(err) // generator bug, not a property failure
+			}
+			return f
+		}
+		f, err := NewProduct(fns...)
+		if err != nil {
+			panic(err)
+		}
+		return f
+	}
+	return randomFunction(rng)
+}
+
+// probeAges are the sample points at which round-tripped functions must
+// agree with their originals.
+var probeAges = []time.Duration{0, Day / 3, 5 * Day, 90 * Day, 1500 * Day}
+
+// TestQuickRegisteredCodecRoundTrip checks, for every registered function
+// kind, that the binary codec and the JSON (spec string) codec both
+// round-trip and that whatever comes out of either decoder still satisfies
+// the package validator -- the monotone, [0, 1]-ranged contract the
+// admission policy depends on.
+func TestQuickRegisteredCodecRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	seen := make(map[Kind]bool)
+	for i := 0; i < 600; i++ {
+		f := randomFunctionDeep(rng, 0)
+		kind := KindOf(f)
+		if kind == KindInvalid {
+			t.Fatalf("generator produced unregistered function %T", f)
+		}
+		seen[kind] = true
+
+		// Binary round trip.
+		encoded, err := Encode(f)
+		if err != nil {
+			t.Fatalf("Encode(%v): %v", f, err)
+		}
+		decoded, n, err := Decode(encoded)
+		if err != nil {
+			t.Fatalf("Decode(%v): %v", f, err)
+		}
+		if n != len(encoded) {
+			t.Fatalf("Decode consumed %d of %d bytes", n, len(encoded))
+		}
+		if err := Validate(decoded); err != nil {
+			t.Fatalf("binary-decoded %v fails validator: %v", f, err)
+		}
+		for _, age := range probeAges {
+			if got, want := decoded.At(age), f.At(age); math.Abs(got-want) > 1e-12 {
+				t.Fatalf("binary round trip of %v changed At(%v): %v != %v", f, age, got, want)
+			}
+		}
+
+		// JSON (spec string) round trip.
+		data, err := json.Marshal(JSON{Function: f})
+		if err != nil {
+			t.Fatalf("marshal %v: %v", f, err)
+		}
+		var out JSON
+		if err := json.Unmarshal(data, &out); err != nil {
+			t.Fatalf("unmarshal %s: %v", data, err)
+		}
+		if err := Validate(out.Function); err != nil {
+			t.Fatalf("JSON-decoded %s fails validator: %v", data, err)
+		}
+		for _, age := range probeAges {
+			if got, want := out.Function.At(age), f.At(age); math.Abs(got-want) > 1e-9 {
+				t.Fatalf("JSON round trip of %s changed At(%v): %v != %v", data, age, got, want)
+			}
+		}
+	}
+	for kind := KindTwoStep; kind <= KindProduct; kind++ {
+		if !seen[kind] {
+			t.Errorf("600 draws never produced kind %v; generator lost a registered family", kind)
+		}
+	}
+}
+
+// TestDecodeRejectsDeepNesting pins the combinator depth limit: a hostile
+// encoding nested past maxCombineDepth must error, not exhaust the stack.
+func TestDecodeRejectsDeepNesting(t *testing.T) {
+	f := Function(Constant{Level: 0.5})
+	for i := 0; i < maxCombineDepth+2; i++ {
+		m, err := NewMin(f)
+		if err != nil {
+			t.Fatalf("NewMin: %v", err)
+		}
+		f = m
+	}
+	encoded, err := Encode(f)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	if _, _, err := Decode(encoded); err == nil {
+		t.Fatal("Decode accepted nesting beyond maxCombineDepth")
+	}
+}

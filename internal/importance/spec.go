@@ -24,6 +24,8 @@ var ErrBadSpec = errors.New("importance: bad spec")
 //	linear:p=<level>,expire=<dur>
 //	exp:p=<level>,halflife=<dur>,expire=<dur>
 //	piecewise:<dur>=<level>,<dur>=<level>,...
+//	min(<spec>;<spec>;...)
+//	product(<spec>;<spec>;...)
 //
 // Durations use Go syntax ("360h", "15m") extended with a "d" day unit
 // ("30d", "2.5d"). Examples:
@@ -35,6 +37,9 @@ var ErrBadSpec = errors.New("importance: bad spec")
 // The String methods of the function types emit this syntax, modulo the day
 // unit, so ParseSpec(f.String()) round-trips every family.
 func ParseSpec(spec string) (Function, error) {
+	if inner, name, ok := cutCombinedSpec(spec); ok {
+		return parseCombinedSpec(name, inner)
+	}
 	family, rest, _ := strings.Cut(spec, ":")
 	family = strings.ToLower(strings.TrimSpace(family))
 	switch family {
@@ -81,9 +86,92 @@ func FormatSpec(f Function) (string, error) {
 		return f.String(), nil
 	case Piecewise:
 		return f.String(), nil
+	case Min:
+		return formatCombinedSpec("min", f.fns)
+	case Product:
+		return formatCombinedSpec("product", f.fns)
 	default:
 		return "", fmt.Errorf("%w: %T", ErrUnknownKind, f)
 	}
+}
+
+// cutCombinedSpec recognizes the combinator form "<name>(<inner>)" with
+// name "min" or "product", returning the inner operand list.
+func cutCombinedSpec(spec string) (inner, name string, ok bool) {
+	s := strings.TrimSpace(spec)
+	for _, name := range []string{"min", "product"} {
+		if strings.HasPrefix(s, name+"(") && strings.HasSuffix(s, ")") {
+			return s[len(name)+1 : len(s)-1], name, true
+		}
+	}
+	return "", "", false
+}
+
+// parseCombinedSpec parses the operand list of a min(...) or product(...)
+// spec: operands separated by ';' at the top nesting level, so combinators
+// nest ("min(product(a;b);c)").
+func parseCombinedSpec(name, inner string) (Function, error) {
+	parts, err := splitTopLevel(inner)
+	if err != nil {
+		return nil, err
+	}
+	fns := make([]Function, 0, len(parts))
+	for _, part := range parts {
+		f, err := ParseSpec(part)
+		if err != nil {
+			return nil, err
+		}
+		fns = append(fns, f)
+	}
+	if name == "min" {
+		return NewMin(fns...)
+	}
+	return NewProduct(fns...)
+}
+
+// splitTopLevel splits s on ';' outside any parentheses.
+func splitTopLevel(s string) ([]string, error) {
+	var parts []string
+	depth, start := 0, 0
+	for i, r := range s {
+		switch r {
+		case '(':
+			depth++
+		case ')':
+			depth--
+			if depth < 0 {
+				return nil, fmt.Errorf("%w: unbalanced parentheses in %q", ErrBadSpec, s)
+			}
+		case ';':
+			if depth == 0 {
+				parts = append(parts, strings.TrimSpace(s[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	if depth != 0 {
+		return nil, fmt.Errorf("%w: unbalanced parentheses in %q", ErrBadSpec, s)
+	}
+	parts = append(parts, strings.TrimSpace(s[start:]))
+	for _, p := range parts {
+		if p == "" {
+			return nil, fmt.Errorf("%w: empty combinator operand in %q", ErrBadSpec, s)
+		}
+	}
+	return parts, nil
+}
+
+// formatCombinedSpec renders a combinator in the spec syntax.
+func formatCombinedSpec(name string, fns []Function) (string, error) {
+	parts := make([]string, 0, len(fns))
+	for _, f := range fns {
+		spec, err := FormatSpec(f)
+		if err != nil {
+			return "", err
+		}
+		parts = append(parts, spec)
+	}
+	return name + "(" + strings.Join(parts, ";") + ")", nil
 }
 
 type specValues struct {

@@ -57,10 +57,13 @@ func (f TwoStep) At(age time.Duration) float64 {
 	switch {
 	case f.Plateau == 0:
 		return 0
-	case age <= f.Persist:
-		return f.Plateau
+	// The expiry check precedes the plateau check so that a Wane of zero
+	// (where both cover age == Persist) yields zero at the declared
+	// ExpireAge, as the Expired/Validate contract requires.
 	case age >= f.Persist+f.Wane:
 		return 0
+	case age <= f.Persist:
+		return f.Plateau
 	default:
 		frac := float64(age-f.Persist) / float64(f.Wane)
 		return f.Plateau * (1 - frac)

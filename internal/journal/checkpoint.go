@@ -118,6 +118,7 @@ func WriteCheckpoint(dir string, cp Checkpoint) error {
 		return fmt.Errorf("journal: checkpoint temp: %w", err)
 	}
 	abort := func(err error) error {
+		//lint:ignore uncheckederr already aborting with the write error; the temp file is removed
 		f.Close()
 		os.Remove(tmp)
 		return err

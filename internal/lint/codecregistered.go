@@ -1,0 +1,119 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CodecRegisteredAnalyzer cross-references the importance package's
+// codec registries: every concrete type implementing the Function
+// interface must carry both a binary wire tag (a case in KindOf's type
+// switch, which mirrors AppendEncode) and a spec/JSON rendering (a case in
+// FormatSpec's type switch, which backs importance.JSON). A Function
+// family missing either registration serializes as ErrUnknownKind at
+// runtime -- an annotation type that works in simulation but silently
+// cannot be stored, probed or journalled.
+//
+// The check activates on any package declaring an interface named
+// Function together with functions KindOf and FormatSpec (the real
+// package and fixtures alike), so it needs no hard-coded import path.
+var CodecRegisteredAnalyzer = &Analyzer{
+	Name: "codecregistered",
+	Doc:  "every concrete importance.Function needs binary (KindOf) and spec/JSON (FormatSpec) codec registration",
+	Run:  runCodecRegistered,
+}
+
+func runCodecRegistered(pass *Pass) {
+	scope := pass.Pkg.Types.Scope()
+	iface := lookupInterface(scope, "Function")
+	if iface == nil || scope.Lookup("KindOf") == nil || scope.Lookup("FormatSpec") == nil {
+		return
+	}
+	binary := typeSwitchCases(pass, "KindOf")
+	spec := typeSwitchCases(pass, "FormatSpec")
+	if binary == nil || spec == nil {
+		return
+	}
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		if _, isIface := named.Underlying().(*types.Interface); isIface {
+			continue
+		}
+		if !types.Implements(named, iface) && !types.Implements(types.NewPointer(named), iface) {
+			continue
+		}
+		if !binary[tn] {
+			pass.Reportf(tn.Pos(),
+				"%s implements Function but has no binary codec tag: add a case in KindOf and AppendEncode/Decode",
+				name)
+		}
+		if !spec[tn] {
+			pass.Reportf(tn.Pos(),
+				"%s implements Function but has no spec/JSON rendering: add a case in FormatSpec (and ParseSpec)",
+				name)
+		}
+	}
+}
+
+// lookupInterface resolves a package-scope interface type by name.
+func lookupInterface(scope *types.Scope, name string) *types.Interface {
+	obj := scope.Lookup(name)
+	if obj == nil {
+		return nil
+	}
+	iface, ok := obj.Type().Underlying().(*types.Interface)
+	if !ok {
+		return nil
+	}
+	return iface
+}
+
+// typeSwitchCases collects the named types appearing as case types in the
+// first type switch of the named package-level function.
+func typeSwitchCases(pass *Pass, funcName string) map[*types.TypeName]bool {
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv != nil || fd.Name.Name != funcName || fd.Body == nil {
+				continue
+			}
+			var out map[*types.TypeName]bool
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				ts, ok := n.(*ast.TypeSwitchStmt)
+				if !ok || out != nil {
+					return true
+				}
+				out = make(map[*types.TypeName]bool)
+				for _, stmt := range ts.Body.List {
+					cc, ok := stmt.(*ast.CaseClause)
+					if !ok {
+						continue
+					}
+					for _, e := range cc.List {
+						tv, ok := pass.Pkg.Info.Types[e]
+						if !ok {
+							continue
+						}
+						t := tv.Type
+						if ptr, ok := t.(*types.Pointer); ok {
+							t = ptr.Elem()
+						}
+						if named, ok := t.(*types.Named); ok {
+							out[named.Obj()] = true
+						}
+					}
+				}
+				return false
+			})
+			return out
+		}
+	}
+	return nil
+}

@@ -1,0 +1,143 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+)
+
+// listPackage is the subset of `go list -json` output the loader consumes.
+type listPackage struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	GoFiles    []string
+	Imports    []string
+	ImportMap  map[string]string
+	Standard   bool
+	Error      *struct{ Err string }
+}
+
+// Load enumerates the packages matching patterns (relative to dir) with
+// `go list -json -deps`, parses their non-test sources and type-checks the
+// whole dependency closure from source -- no export data, no third-party
+// loader. `go list` emits dependencies before dependents, so a single
+// in-order sweep sees every import already checked. Standard-library
+// packages are checked for type facts only and flagged Standard so Run
+// skips analyzing them.
+//
+// CGO is disabled for the listing, which makes `go list` select the
+// pure-Go file set for packages like net -- the same sources a
+// CGO_ENABLED=0 build would compile.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-json", "-deps", "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, fmt.Errorf("lint: go list: %w", err)
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("lint: go list: %w", err)
+	}
+	var listed []*listPackage
+	dec := json.NewDecoder(stdout)
+	for {
+		lp := new(listPackage)
+		if err := dec.Decode(lp); err != nil {
+			if err == io.EOF {
+				break
+			}
+			cmd.Wait()
+			return nil, fmt.Errorf("lint: decode go list output: %w", err)
+		}
+		listed = append(listed, lp)
+	}
+	if err := cmd.Wait(); err != nil {
+		return nil, fmt.Errorf("lint: go list %v: %w\n%s", patterns, err, stderr.String())
+	}
+
+	fset := token.NewFileSet()
+	checked := map[string]*types.Package{"unsafe": types.Unsafe}
+	sizes := types.SizesFor("gc", runtime.GOARCH)
+	var pkgs []*Package
+	for _, lp := range listed {
+		if lp.ImportPath == "unsafe" {
+			continue
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("lint: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		files := make([]*ast.File, 0, len(lp.GoFiles))
+		for _, name := range lp.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, fmt.Errorf("lint: parse %s: %w", name, err)
+			}
+			files = append(files, f)
+		}
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		}
+		conf := types.Config{
+			Importer:    importerFunc(func(path string) (*types.Package, error) { return resolve(checked, lp, path) }),
+			Sizes:       sizes,
+			FakeImportC: true,
+		}
+		tpkg, err := conf.Check(lp.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("lint: typecheck %s: %w", lp.ImportPath, err)
+		}
+		checked[lp.ImportPath] = tpkg
+		if lp.Standard {
+			// Facts live on in the checked cache; the syntax does not.
+			pkgs = append(pkgs, &Package{Path: lp.ImportPath, Name: lp.Name, Dir: lp.Dir, Standard: true})
+			continue
+		}
+		pkgs = append(pkgs, &Package{
+			Path:  lp.ImportPath,
+			Name:  lp.Name,
+			Dir:   lp.Dir,
+			Fset:  fset,
+			Files: files,
+			Types: tpkg,
+			Info:  info,
+		})
+	}
+	return pkgs, nil
+}
+
+// resolve maps an import seen in lp's sources to its type-checked package,
+// honoring the vendoring ImportMap.
+func resolve(checked map[string]*types.Package, lp *listPackage, path string) (*types.Package, error) {
+	if mapped, ok := lp.ImportMap[path]; ok {
+		path = mapped
+	}
+	if tpkg, ok := checked[path]; ok {
+		return tpkg, nil
+	}
+	return nil, fmt.Errorf("lint: import %q of %s not yet type-checked (go list -deps order violated?)", path, lp.ImportPath)
+}
+
+// importerFunc adapts a lookup function to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

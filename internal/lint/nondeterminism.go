@@ -1,0 +1,86 @@
+package lint
+
+import (
+	"go/types"
+)
+
+// deterministicPkgs are the packages whose behavior feeds the paper's
+// reproducibility guarantees: the simulation engine, the storage unit, the
+// admission policies, the 5-10-year trace generator (whose output digest
+// is seed-pinned by internal/trace's determinism test) and the importance
+// functions themselves. Inside them, time must come from the injected
+// clock and randomness from a seeded *rand.Rand.
+var deterministicPkgs = []string{
+	"internal/sim",
+	"internal/store",
+	"internal/policy",
+	"internal/trace",
+	"internal/importance",
+}
+
+// wallClockFuncs are the time functions that read the process's wall
+// clock (or schedule against it) and therefore make two runs diverge.
+var wallClockFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+// seededRandCtors are the math/rand package-level functions that build
+// explicitly seeded generators rather than drawing from the global source.
+var seededRandCtors = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+// NondeterminismAnalyzer forbids wall-clock reads and global math/rand
+// draws inside the deterministic packages. PAPER.md's evaluation rests on
+// replaying identical traces; a single time.Now or rand.Intn in these
+// packages silently unpins every digest-guarded experiment.
+var NondeterminismAnalyzer = &Analyzer{
+	Name: "nondeterminism",
+	Doc:  "forbid wall-clock time and global math/rand in the simulation stack",
+	Run:  runNondeterminism,
+}
+
+func runNondeterminism(pass *Pass) {
+	restricted := false
+	for _, suffix := range deterministicPkgs {
+		if pathMatches(pass.Pkg.Path, suffix) {
+			restricted = true
+			break
+		}
+	}
+	if !restricted {
+		return
+	}
+	for ident, obj := range pass.Pkg.Info.Uses {
+		fn, ok := obj.(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			continue
+		}
+		if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+			continue // methods (e.g. (*rand.Rand).Intn) are injected state
+		}
+		switch fn.Pkg().Path() {
+		case "time":
+			if wallClockFuncs[fn.Name()] {
+				pass.Reportf(ident.Pos(),
+					"time.%s reads the wall clock in deterministic package %s; use the injected clock (time.Duration virtual time)",
+					fn.Name(), pass.Pkg.Path)
+			}
+		case "math/rand", "math/rand/v2":
+			if !seededRandCtors[fn.Name()] {
+				pass.Reportf(ident.Pos(),
+					"rand.%s draws from the global source in deterministic package %s; thread a seeded *rand.Rand instead",
+					fn.Name(), pass.Pkg.Path)
+			}
+		}
+	}
+}

@@ -1,0 +1,42 @@
+// Package consumer exercises deprecatedapi outside internal/metrics, the
+// suppression directive, and the wall-clock exemption for packages off the
+// deterministic list.
+package consumer
+
+import (
+	"time"
+
+	"fixture/internal/metrics"
+)
+
+// Legacy still instruments through the deprecated counter bundle.
+type Legacy struct {
+	counters metrics.CounterSet // want "metrics.CounterSet is deprecated"
+}
+
+// Touch bumps a counter through the embedded legacy set.
+func (l *Legacy) Touch() {
+	l.counters.Inc("touches")
+}
+
+// fresh builds a deprecated set at a new call site.
+func fresh() *metrics.CounterSet { // want "metrics.CounterSet is deprecated"
+	return metrics.NewCounterSet() // want "metrics.NewCounterSet is deprecated"
+}
+
+// grandfathered documents why one legacy use deliberately stays.
+//
+//lint:ignore deprecatedapi migration tracked for the next metrics PR
+var grandfathered = metrics.NewCounterSet()
+
+// bare is preceded by a reason-less directive; the directive itself is the
+// finding (lintdirective, asserted by the test harness) and suppresses
+// nothing.
+//
+//lint:ignore deprecatedapi
+var bare = time.Now().Unix()
+
+// Uptime may read the wall clock: consumer is not a deterministic package.
+func Uptime(start time.Time) time.Duration {
+	return time.Since(start)
+}

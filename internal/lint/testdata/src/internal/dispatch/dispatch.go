@@ -1,0 +1,44 @@
+// Package dispatch switches over the fixture wire.Op in the three shapes
+// the wireexhaustive analyzer distinguishes.
+package dispatch
+
+import "fixture/internal/wire"
+
+// Missing covers only some opcodes and has no default.
+func Missing(op wire.Op) int {
+	switch op { // want "misses opcodes OpGet, OpInvalid, OpOK"
+	case wire.OpPut:
+		return 1
+	}
+	return 0
+}
+
+// Exhaustive covers every declared opcode.
+func Exhaustive(op wire.Op) int {
+	switch op {
+	case wire.OpInvalid, wire.OpPut:
+		return 1
+	case wire.OpGet, wire.OpOK:
+		return 2
+	}
+	return 0
+}
+
+// Defaulted rejects unknown opcodes explicitly.
+func Defaulted(op wire.Op) int {
+	switch op {
+	case wire.OpPut:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// NotAnOp switches over a plain int and is out of scope.
+func NotAnOp(v int) int {
+	switch v {
+	case 1:
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,62 @@
+// Package importance is a codecregistered fixture: the analyzer activates
+// on the Function/KindOf/FormatSpec trio and must find Good fully
+// registered, Half missing its spec rendering and Bad missing both.
+package importance
+
+// Function is the annotation contract.
+type Function interface {
+	At(age int64) float64
+}
+
+// Kind tags a family on the wire.
+type Kind uint8
+
+// Wire kinds.
+const (
+	KindInvalid Kind = iota
+	KindGood
+	KindHalf
+)
+
+// Good is registered with both codecs.
+type Good struct{}
+
+// At implements Function.
+func (Good) At(int64) float64 { return 1 }
+
+// Half carries a binary tag but no spec rendering.
+type Half struct{} // want "no spec/JSON rendering"
+
+// At implements Function.
+func (Half) At(int64) float64 { return 0.5 }
+
+// Bad implements Function without registering anywhere.
+type Bad struct{} // want "no binary codec tag" "no spec/JSON rendering"
+
+// At implements Function.
+func (Bad) At(int64) float64 { return 0 }
+
+// Plain does not implement Function and is out of scope.
+type Plain struct{}
+
+// KindOf returns the binary wire tag of a concrete function.
+func KindOf(f Function) Kind {
+	switch f.(type) {
+	case Good:
+		return KindGood
+	case Half:
+		return KindHalf
+	default:
+		return KindInvalid
+	}
+}
+
+// FormatSpec renders a function in the spec syntax.
+func FormatSpec(f Function) (string, error) {
+	switch f.(type) {
+	case Good:
+		return "good", nil
+	default:
+		return "", nil
+	}
+}

@@ -1,0 +1,58 @@
+// Package journal is an uncheckederr fixture: Writer carries the
+// durability verbs (Append, Sync, Barrier, Close) whose dropped errors the
+// analyzer must flag at call sites, and WriteCheckpoint is the package-level
+// checkpoint writer.
+package journal
+
+import "errors"
+
+// ErrClosed reports a write after Close.
+var ErrClosed = errors.New("journal: closed")
+
+// Writer mimics the journalled write path.
+type Writer struct {
+	closed bool
+	recs   []string
+}
+
+// Append journals one record.
+func (w *Writer) Append(rec string) error {
+	if w.closed {
+		return ErrClosed
+	}
+	w.recs = append(w.recs, rec)
+	return nil
+}
+
+// Sync flushes to stable storage.
+func (w *Writer) Sync() error {
+	if w.closed {
+		return ErrClosed
+	}
+	return nil
+}
+
+// Barrier orders all prior appends before any later ones.
+func (w *Writer) Barrier() error {
+	if w.closed {
+		return ErrClosed
+	}
+	return nil
+}
+
+// Close performs the final flush and sync.
+func (w *Writer) Close() error {
+	if w.closed {
+		return ErrClosed
+	}
+	w.closed = true
+	return nil
+}
+
+// WriteCheckpoint snapshots live state into dir.
+func WriteCheckpoint(dir string) error {
+	if dir == "" {
+		return errors.New("journal: empty checkpoint dir")
+	}
+	return nil
+}

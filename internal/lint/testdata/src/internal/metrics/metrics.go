@@ -1,0 +1,30 @@
+// Package metrics is a deprecatedapi fixture: CounterSet is the legacy API
+// the analyzer bans outside this package; uses in here are exempt.
+package metrics
+
+import "sync"
+
+// CounterSet is the legacy counter bundle.
+type CounterSet struct {
+	mu sync.Mutex
+	m  map[string]int64
+}
+
+// NewCounterSet returns an empty set.
+func NewCounterSet() *CounterSet { return &CounterSet{} }
+
+// Inc bumps one counter.
+func (c *CounterSet) Inc(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.m == nil {
+		c.m = make(map[string]int64)
+	}
+	c.m[name]++
+}
+
+// defaultSet proves in-package use stays legal.
+var defaultSet = NewCounterSet()
+
+// IncDefault bumps the package-default set.
+func IncDefault(name string) { defaultSet.Inc(name) }

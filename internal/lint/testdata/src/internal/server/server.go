@@ -1,0 +1,31 @@
+// Package server is a lockdiscipline fixture for the checkpoint guard:
+// Server.chkMu (an RWMutex) guards the journal sink and the WAL handle.
+package server
+
+import "sync"
+
+// Server mirrors the node's checkpoint-guarded fields.
+type Server struct {
+	chkMu   sync.RWMutex
+	journal []string
+	wal     int
+}
+
+// Record journals one entry under the read side of chkMu.
+func (s *Server) Record(rec string) {
+	s.chkMu.RLock()
+	defer s.chkMu.RUnlock()
+	s.journal = append(s.journal, rec)
+}
+
+// Checkpoint swaps the WAL handle under the write lock.
+func (s *Server) Checkpoint() {
+	s.chkMu.Lock()
+	defer s.chkMu.Unlock()
+	s.wal++
+}
+
+// WALSeq reads a guarded field with no lock at all.
+func (s *Server) WALSeq() int {
+	return s.wal // want "reads guarded field wal without holding chkMu"
+}

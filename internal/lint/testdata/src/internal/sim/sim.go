@@ -1,0 +1,31 @@
+// Package sim is a nondeterminism fixture: it stands in for the real
+// simulation engine, so wall-clock reads and global math/rand draws here
+// must be flagged while injected clock and seeded-generator use stays
+// clean.
+package sim
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Bad reads the wall clock and draws from the global rand source.
+func Bad() (time.Time, int) {
+	now := time.Now()  // want "time.Now reads the wall clock"
+	n := rand.Intn(10) // want "rand.Intn draws from the global source"
+	return now, n
+}
+
+// Sleepy schedules against the wall clock.
+func Sleepy(ch chan struct{}) {
+	select {
+	case <-time.After(time.Second): // want "time.After reads the wall clock"
+	case <-ch:
+	}
+}
+
+// Good threads a seeded generator and virtual time only.
+func Good(seed int64, now time.Duration) time.Duration {
+	rng := rand.New(rand.NewSource(seed))
+	return now + time.Duration(rng.Intn(10))
+}

@@ -1,0 +1,60 @@
+// Package store is a lockdiscipline fixture mirroring the real storage
+// unit's guard table: Unit.mu guards free/residents/order/counters and
+// DensityRing.mu guards buf/next/full. The package is also on the
+// deterministic list, so it stays free of wall-clock and global rand.
+package store
+
+import "sync"
+
+// Unit mirrors the storage unit's guarded resident-set state.
+type Unit struct {
+	mu        sync.Mutex
+	free      int64
+	residents map[string]int64
+	order     []string
+	counters  int64
+}
+
+// Free reads a guarded field under the documented mutex.
+func (u *Unit) Free() int64 {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return u.free
+}
+
+// Leak reads a guarded field without taking the mutex.
+func (u *Unit) Leak() int64 {
+	return u.free // want "reads guarded field free without holding mu"
+}
+
+// OrderLocked declares a caller-held lock through its name suffix.
+func (u *Unit) OrderLocked() []string { return u.order }
+
+// peek is unexported and therefore not a lock boundary.
+func (u *Unit) peek() int64 { return u.counters }
+
+// DensityRing mirrors the sampler's guarded ring buffer.
+type DensityRing struct {
+	mu   sync.Mutex
+	buf  []float64
+	next int
+	full bool
+}
+
+// Record appends one sample under the mutex.
+func (r *DensityRing) Record(v float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.buf[r.next] = v
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+}
+
+// Cap is deliberately lock-free; the suppression below must silence the
+// finding the analyzer would otherwise raise.
+//
+//lint:ignore lockdiscipline the buf slice header is immutable after construction
+func (r *DensityRing) Cap() int { return len(r.buf) }

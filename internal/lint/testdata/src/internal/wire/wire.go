@@ -1,0 +1,14 @@
+// Package wire is a wireexhaustive fixture: a miniature opcode universe
+// whose switches the analyzer must audit wherever the Op type is used.
+package wire
+
+// Op identifies a message type.
+type Op uint8
+
+// Opcodes.
+const (
+	OpInvalid Op = iota
+	OpPut
+	OpGet
+	OpOK
+)

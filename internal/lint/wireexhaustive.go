@@ -1,0 +1,116 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// WireExhaustiveAnalyzer requires every switch over the wire.Op opcode
+// type to either cover all declared opcodes or carry an explicit default
+// clause. Opcode values are wire-stable and grow over time (PR 2 added
+// DENSITY_HISTORY); a switch that silently covers "the ops that existed
+// when it was written" is how a new op gets half-plumbed -- decoded but
+// never dispatched, or dispatched but never stringified. The declared-op
+// universe is read from the analyzed wire package itself, so adding an op
+// immediately re-arms the check everywhere.
+var WireExhaustiveAnalyzer = &Analyzer{
+	Name: "wireexhaustive",
+	Doc:  "switches over wire.Op must cover every declared opcode or have an explicit default",
+	Run:  runWireExhaustive,
+}
+
+func runWireExhaustive(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			tv, ok := pass.Pkg.Info.Types[sw.Tag]
+			if !ok {
+				return true
+			}
+			opType := asWireOp(tv.Type)
+			if opType == nil {
+				return true
+			}
+			declared := declaredOps(opType)
+			if len(declared) == 0 {
+				return true
+			}
+			covered := make(map[uint64]bool)
+			hasDefault := false
+			for _, stmt := range sw.Body.List {
+				cc, ok := stmt.(*ast.CaseClause)
+				if !ok {
+					continue
+				}
+				if cc.List == nil {
+					hasDefault = true
+					continue
+				}
+				for _, e := range cc.List {
+					etv, ok := pass.Pkg.Info.Types[e]
+					if !ok || etv.Value == nil {
+						continue
+					}
+					if v, ok := constant.Uint64Val(etv.Value); ok {
+						covered[v] = true
+					}
+				}
+			}
+			if hasDefault {
+				return true
+			}
+			var missing []string
+			for val, name := range declared {
+				if !covered[val] {
+					missing = append(missing, name)
+				}
+			}
+			if len(missing) > 0 {
+				sort.Strings(missing)
+				pass.Reportf(sw.Pos(),
+					"switch over %s misses opcodes %s and has no default; cover them or add a default that rejects unknown ops",
+					opType.Obj().Name(), strings.Join(missing, ", "))
+			}
+			return true
+		})
+	}
+}
+
+// asWireOp returns t as the wire package's Op named type, or nil.
+func asWireOp(t types.Type) *types.Named {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	obj := named.Obj()
+	if obj.Name() != "Op" || obj.Pkg() == nil || !pathMatches(obj.Pkg().Path(), "internal/wire") {
+		return nil
+	}
+	return named
+}
+
+// declaredOps maps each declared opcode value to one of its constant
+// names, reading the wire package's scope. Aliased values collapse to a
+// single entry, so covering any alias covers the value.
+func declaredOps(opType *types.Named) map[uint64]string {
+	out := make(map[uint64]string)
+	scope := opType.Obj().Pkg().Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(c.Type(), opType) {
+			continue
+		}
+		if v, ok := constant.Uint64Val(c.Val()); ok {
+			if _, seen := out[v]; !seen {
+				out[v] = name
+			}
+		}
+	}
+	return out
+}

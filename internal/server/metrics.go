@@ -40,6 +40,7 @@ type serverMetrics struct {
 	otherReqs    *metrics.Counter
 	otherLatency *metrics.Histogram
 	tracedReqs   *metrics.Counter
+	unknownOps   *metrics.Counter
 	putBytes     *metrics.Histogram
 }
 
@@ -63,6 +64,8 @@ func newServerMetrics() *serverMetrics {
 		latency:  make(map[wire.Op]*metrics.Histogram, len(instrumentedOps)),
 		tracedReqs: reg.Counter("besteffs_traced_requests_total",
 			"requests that carried a client trace ID"),
+		unknownOps: reg.Counter("besteffs_unknown_ops_total",
+			"well-formed frames whose opcode has no request handler"),
 		putBytes: reg.Histogram("besteffs_put_object_bytes",
 			"payload sizes offered via PUT and UPDATE", metrics.SizeBuckets),
 	}

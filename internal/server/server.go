@@ -376,6 +376,7 @@ func (s *Server) Serve(ctx context.Context, l net.Listener) error {
 			s.sampleDensity(ctx)
 		}()
 	}
+	//lint:ignore lockdiscipline wal is set once before Serve; chkMu orders appends against checkpoints, not this nil check
 	if s.checkpointEvery > 0 && s.wal != nil {
 		wg.Add(1)
 		go func() {
@@ -546,15 +547,32 @@ func (s *Server) dispatch(body []byte) (wire.Message, wire.Op, wire.TraceID) {
 	return s.execute(msg), msg.Op(), trace
 }
 
-// execute runs one decoded request.
+// UnknownOpError reports a well-formed frame whose opcode has no request
+// handler: a response opcode sent as a request, or an op from a newer
+// protocol revision. The server answers it with CodeBadRequest and counts
+// it in besteffs_unknown_ops_total.
+type UnknownOpError struct {
+	// Op is the offending opcode.
+	Op wire.Op
+}
+
+// Error implements error.
+func (e *UnknownOpError) Error() string {
+	return fmt.Sprintf("server: unknown request op %v", e.Op)
+}
+
+// execute runs one decoded request. The switch dispatches on the opcode and
+// covers every declared request op explicitly (the wireexhaustive lint check
+// keeps it that way); anything else falls through to a typed UnknownOpError.
 func (s *Server) execute(msg wire.Message) wire.Message {
 	now := s.clock()
-	switch m := msg.(type) {
-	case *wire.Put:
-		return s.handlePut(m, now)
-	case *wire.Get:
-		return s.handleGet(m, now)
-	case *wire.Delete:
+	switch op := msg.Op(); op {
+	case wire.OpPut:
+		return s.handlePut(msg.(*wire.Put), now)
+	case wire.OpGet:
+		return s.handleGet(msg.(*wire.Get), now)
+	case wire.OpDelete:
+		m := msg.(*wire.Delete)
 		s.chkMu.RLock()
 		defer s.chkMu.RUnlock()
 		if err := s.unit.Delete(m.ID); err != nil {
@@ -568,23 +586,24 @@ func (s *Server) execute(msg wire.Message) wire.Message {
 		}
 		s.journalAppend(journal.Record{Kind: journal.KindDelete, At: now, ID: m.ID})
 		return &wire.OK{}
-	case *wire.Stat:
+	case wire.OpStat:
 		return &wire.StatResult{
 			Capacity: s.unit.Capacity(),
 			Used:     s.unit.Used(),
 			Objects:  uint32(s.unit.Len()),
 			Density:  s.unit.DensityAt(now),
 		}
-	case *wire.Probe:
+	case wire.OpProbe:
+		m := msg.(*wire.Probe)
 		o, err := object.New("probe", m.Size, now, m.Importance)
 		if err != nil {
 			return &wire.ErrorMsg{Code: wire.CodeBadRequest, Text: err.Error()}
 		}
 		d := s.unit.Probe(o, now)
 		return &wire.ProbeResult{Admissible: d.Admit, Boundary: d.HighestPreempted}
-	case *wire.Density:
+	case wire.OpDensity:
 		return &wire.DensityResult{Density: s.unit.DensityAt(now)}
-	case *wire.DensityHistory:
+	case wire.OpDensityHistory:
 		samples := s.DensitySamples()
 		if len(samples) == 0 {
 			// Sampling disabled: answer with one on-demand sample so the
@@ -603,9 +622,10 @@ func (s *Server) execute(msg wire.Message) wire.Message {
 			}
 		}
 		return res
-	case *wire.Update:
-		return s.handleUpdate(m, now)
-	case *wire.Rejuvenate:
+	case wire.OpUpdate:
+		return s.handleUpdate(msg.(*wire.Update), now)
+	case wire.OpRejuvenate:
+		m := msg.(*wire.Rejuvenate)
 		s.chkMu.RLock()
 		defer s.chkMu.RUnlock()
 		fresh, err := s.unit.Rejuvenate(m.ID, m.Importance, now)
@@ -619,7 +639,7 @@ func (s *Server) execute(msg wire.Message) wire.Message {
 			Kind: journal.KindRejuvenate, At: now, ID: m.ID, Importance: m.Importance,
 		})
 		return &wire.RejuvenateResult{Version: uint32(fresh.Version)}
-	case *wire.List:
+	case wire.OpList:
 		residents := s.unit.Residents()
 		ids := make([]object.ID, len(residents))
 		for i, o := range residents {
@@ -627,9 +647,10 @@ func (s *Server) execute(msg wire.Message) wire.Message {
 		}
 		return &wire.ListResult{IDs: ids}
 	default:
+		s.met.unknownOps.Inc()
 		return &wire.ErrorMsg{
 			Code: wire.CodeBadRequest,
-			Text: fmt.Sprintf("unexpected request %v", msg.Op()),
+			Text: (&UnknownOpError{Op: op}).Error(),
 		}
 	}
 }

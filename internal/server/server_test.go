@@ -13,6 +13,7 @@ import (
 	"besteffs/internal/importance"
 	"besteffs/internal/object"
 	"besteffs/internal/policy"
+	"besteffs/internal/wire"
 )
 
 const day = importance.Day
@@ -461,5 +462,37 @@ func TestMaintenanceSweep(t *testing.T) {
 	}
 	if _, err := c.Get("durable"); err != nil {
 		t.Errorf("durable object lost: %v", err)
+	}
+}
+
+// TestUnknownOpRequest sends a response opcode as a request: the dispatch
+// switch must answer with a typed unknown-op error and count it, never
+// treat it as any real operation.
+func TestUnknownOpRequest(t *testing.T) {
+	srv, err := New(1<<20, policy.TemporalImportance{})
+	if err != nil {
+		t.Fatalf("server.New: %v", err)
+	}
+	res := srv.execute(&wire.OK{})
+	em, ok := res.(*wire.ErrorMsg)
+	if !ok {
+		t.Fatalf("execute(OpOK) = %T, want *wire.ErrorMsg", res)
+	}
+	if em.Code != wire.CodeBadRequest {
+		t.Errorf("code = %v, want CodeBadRequest", em.Code)
+	}
+	want := (&UnknownOpError{Op: wire.OpOK}).Error()
+	if em.Text != want {
+		t.Errorf("text = %q, want %q", em.Text, want)
+	}
+	if got := srv.met.unknownOps.Value(); got != 1 {
+		t.Errorf("besteffs_unknown_ops_total = %d, want 1", got)
+	}
+	// A real request must not touch the counter.
+	if res := srv.execute(&wire.Density{}); res == nil {
+		t.Fatal("execute(Density) returned nil")
+	}
+	if got := srv.met.unknownOps.Value(); got != 1 {
+		t.Errorf("unknown-op counter moved on a known op: %d", got)
 	}
 }
