@@ -33,10 +33,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 	"time"
@@ -69,6 +71,11 @@ func run(args []string) error {
 	}
 	cmd, rest := fs.Arg(0), fs.Args()[1:]
 
+	// Every request runs under this context: Ctrl-C cancels in-flight round
+	// trips instead of abandoning the terminal to a hung dial.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	// fsck works offline on a data directory; handle it before dialing so
 	// it runs exactly when the daemon is down (the only safe time).
 	if cmd == "fsck" {
@@ -86,7 +93,7 @@ func run(args []string) error {
 		}
 	}()
 	for _, addr := range addrList {
-		c, err := client.Dial(strings.TrimSpace(addr), *timeout)
+		c, err := client.Connect(strings.TrimSpace(addr), client.WithTimeout(*timeout))
 		if err != nil {
 			return err
 		}
@@ -95,9 +102,9 @@ func run(args []string) error {
 
 	switch cmd {
 	case "put":
-		return cmdPut(clients, rest, *impSpec, *owner, *class)
+		return cmdPut(ctx, clients, rest, *impSpec, *owner, *class)
 	case "get":
-		return cmdGet(clients, rest)
+		return cmdGet(ctx, clients, rest)
 	case "delete":
 		if len(rest) != 1 {
 			return fmt.Errorf("usage: delete <id>")
@@ -105,7 +112,7 @@ func run(args []string) error {
 		if len(clients) != 1 {
 			return fmt.Errorf("delete needs exactly one -addrs node")
 		}
-		return clients[0].Delete(object.ID(rest[0]))
+		return clients[0].DeleteCtx(ctx, object.ID(rest[0]))
 	case "rejuvenate":
 		if len(rest) != 1 {
 			return fmt.Errorf("usage: rejuvenate <id>")
@@ -117,26 +124,26 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		version, err := clients[0].Rejuvenate(object.ID(rest[0]), imp)
+		version, err := clients[0].RejuvenateCtx(ctx, object.ID(rest[0]), imp)
 		if err != nil {
 			return err
 		}
 		fmt.Printf("rejuvenated %s to version %d with %s\n", rest[0], version, *impSpec)
 		return nil
 	case "stat":
-		return cmdStat(clients, addrList)
+		return cmdStat(ctx, clients, addrList)
 	case "probe":
-		return cmdProbe(clients, addrList, rest, *impSpec)
+		return cmdProbe(ctx, clients, addrList, rest, *impSpec)
 	case "density":
-		return cmdDensity(clients, addrList)
+		return cmdDensity(ctx, clients, addrList)
 	case "list":
-		return cmdList(clients, addrList)
+		return cmdList(ctx, clients, addrList)
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
 	}
 }
 
-func cmdPut(clients []*client.Client, args []string, impSpec, owner string, class int) error {
+func cmdPut(ctx context.Context, clients []*client.Client, args []string, impSpec, owner string, class int) error {
 	if len(args) != 2 {
 		return fmt.Errorf("usage: put <id> <file>")
 	}
@@ -156,7 +163,7 @@ func cmdPut(clients []*client.Client, args []string, impSpec, owner string, clas
 		Payload:    payload,
 	}
 	if len(clients) == 1 {
-		res, err := clients[0].Put(req)
+		res, err := clients[0].PutCtx(ctx, req)
 		if err != nil {
 			return err
 		}
@@ -171,7 +178,7 @@ func cmdPut(clients []*client.Client, args []string, impSpec, owner string, clas
 	if err != nil {
 		return err
 	}
-	p, err := cc.Put(req)
+	p, err := cc.PutCtx(ctx, req)
 	if err != nil {
 		return err
 	}
@@ -180,7 +187,7 @@ func cmdPut(clients []*client.Client, args []string, impSpec, owner string, clas
 	return nil
 }
 
-func cmdGet(clients []*client.Client, args []string) error {
+func cmdGet(ctx context.Context, clients []*client.Client, args []string) error {
 	if len(args) < 1 || len(args) > 2 {
 		return fmt.Errorf("usage: get <id> [file]")
 	}
@@ -190,14 +197,14 @@ func cmdGet(clients []*client.Client, args []string) error {
 		err error
 	)
 	if len(clients) == 1 {
-		obj, err = clients[0].Get(id)
+		obj, err = clients[0].GetCtx(ctx, id)
 	} else {
 		var cc *client.ClusterClient
 		cc, err = client.NewClusterClient(clients, rand.New(rand.NewSource(1)))
 		if err != nil {
 			return err
 		}
-		obj, err = cc.Get(id)
+		obj, err = cc.GetCtx(ctx, id)
 	}
 	if err != nil {
 		return err
@@ -214,9 +221,9 @@ func cmdGet(clients []*client.Client, args []string) error {
 	return err
 }
 
-func cmdStat(clients []*client.Client, addrs []string) error {
+func cmdStat(ctx context.Context, clients []*client.Client, addrs []string) error {
 	for i, c := range clients {
-		st, err := c.Stat()
+		st, err := c.StatCtx(ctx)
 		if err != nil {
 			return fmt.Errorf("node %s: %w", addrs[i], err)
 		}
@@ -226,7 +233,7 @@ func cmdStat(clients []*client.Client, addrs []string) error {
 	return nil
 }
 
-func cmdProbe(clients []*client.Client, addrs, args []string, impSpec string) error {
+func cmdProbe(ctx context.Context, clients []*client.Client, addrs, args []string, impSpec string) error {
 	if len(args) != 1 {
 		return fmt.Errorf("usage: probe <size-bytes>")
 	}
@@ -239,7 +246,7 @@ func cmdProbe(clients []*client.Client, addrs, args []string, impSpec string) er
 		return err
 	}
 	for i, c := range clients {
-		admissible, boundary, err := c.Probe(size, imp)
+		admissible, boundary, err := c.ProbeCtx(ctx, size, imp)
 		if err != nil {
 			return fmt.Errorf("node %s: %w", addrs[i], err)
 		}
@@ -249,14 +256,14 @@ func cmdProbe(clients []*client.Client, addrs, args []string, impSpec string) er
 	return nil
 }
 
-func cmdDensity(clients []*client.Client, addrs []string) error {
+func cmdDensity(ctx context.Context, clients []*client.Client, addrs []string) error {
 	for i, c := range clients {
-		d, err := c.Density()
+		d, err := c.DensityCtx(ctx)
 		if err != nil {
 			return fmt.Errorf("node %s: %w", addrs[i], err)
 		}
 		fmt.Printf("%s: %.4f\n", addrs[i], d)
-		history, err := c.DensityHistory()
+		history, err := c.DensityHistoryCtx(ctx)
 		if err != nil {
 			// Older nodes do not speak DENSITY_HISTORY; the instantaneous
 			// density above is all they offer.
@@ -271,9 +278,9 @@ func cmdDensity(clients []*client.Client, addrs []string) error {
 	return nil
 }
 
-func cmdList(clients []*client.Client, addrs []string) error {
+func cmdList(ctx context.Context, clients []*client.Client, addrs []string) error {
 	for i, c := range clients {
-		ids, err := c.List()
+		ids, err := c.ListCtx(ctx)
 		if err != nil {
 			return fmt.Errorf("node %s: %w", addrs[i], err)
 		}

@@ -8,7 +8,8 @@
 //
 //	besteffsd [-addr HOST:PORT] [-capacity BYTES] [-policy NAME] [-data DIR]
 //	          [-sweep DUR] [-status HOST:PORT] [-pprof] [-sample DUR]
-//	          [-sample-window N] [-max-conns N] [-req-timeout DUR] [-drain DUR]
+//	          [-sample-window N] [-max-conns N] [-max-batch N] [-req-timeout DUR]
+//	          [-drain DUR]
 //
 // With -status, the address serves the JSON status snapshot at /, the
 // Prometheus text exposition at /metrics, and -- with -pprof -- the standard
@@ -84,6 +85,7 @@ func run(args []string) error {
 	checkpoint := fs.Duration("checkpoint", 10*time.Minute, "checkpoint live state and truncate the WAL every interval (0 disables; needs -data)")
 	walSegment := fs.Int64("wal-segment", journal.DefaultSegmentBytes, "WAL segment rotation size in bytes")
 	scrubInterval := fs.Duration("scrub-interval", 0, "verify payload CRCs and quarantine corrupt objects every interval (0 disables)")
+	maxBatch := fs.Int("max-batch", 0, "cap on sub-requests per BATCH frame and per coalesced put group (0 = protocol limit)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -92,6 +94,9 @@ func run(args []string) error {
 	}
 	if *maxConns < 0 {
 		return fmt.Errorf("-max-conns %d is negative", *maxConns)
+	}
+	if *maxBatch < 0 {
+		return fmt.Errorf("-max-batch %d is negative", *maxBatch)
 	}
 	if *pprof && *statusAddr == "" {
 		return errors.New("-pprof needs -status (profiling shares the status listener)")
@@ -111,6 +116,9 @@ func run(args []string) error {
 	}
 	if *maxConns > 0 {
 		opts = append(opts, server.WithConnLimit(*maxConns))
+	}
+	if *maxBatch > 0 {
+		opts = append(opts, server.WithMaxBatchSubs(*maxBatch))
 	}
 	if *reqTimeout > 0 {
 		opts = append(opts,

@@ -68,25 +68,34 @@ func run() error {
 		return err
 	}
 	fmt.Println("\nstoring 15 x 2MB objects at importance 0.6 (fills all three nodes):")
-	for i := 0; i < 15; i++ {
-		p, err := cc.Put(besteffs.PutRequest{
+	batch := make([]besteffs.PutRequest, 15)
+	for i := range batch {
+		batch[i] = besteffs.PutRequest{
 			ID:         besteffs.ObjectID(fmt.Sprintf("video/%02d", i)),
 			Owner:      "camera-1",
 			Class:      besteffs.ClassUniversity,
 			Importance: lifetime,
 			Payload:    make([]byte, 2<<20),
-		})
-		if err != nil {
-			return err
+		}
+	}
+	// One PutBatch call spreads the batch across the cluster by probe
+	// boundary and ships each node's chunk as a single BATCH frame.
+	outcomes, err := cc.PutBatch(ctx, batch)
+	if err != nil {
+		return err
+	}
+	for i, o := range outcomes {
+		if o.Err != nil {
+			return fmt.Errorf("video/%02d: %w", i, o.Err)
 		}
 		fmt.Printf("  video/%02d -> node %d (boundary %.2f, %d eviction(s))\n",
-			i, p.Node, p.Boundary, len(p.Evicted))
+			i, o.Node, o.Result.Boundary, len(o.Result.Evicted))
 	}
 
 	// The cluster is nearly full of 0.6-importance objects. A critical
 	// object preempts; a low-importance one is turned away.
 	fmt.Println("\ncritical object at importance 1.0:")
-	p, err := cc.Put(besteffs.PutRequest{
+	p, err := cc.PutCtx(ctx, besteffs.PutRequest{
 		ID:         "critical/backup",
 		Importance: besteffs.Constant{Level: 1},
 		Payload:    make([]byte, 2<<20),
@@ -97,7 +106,7 @@ func run() error {
 	fmt.Printf("  stored on node %d, preempting %v\n", p.Node, p.Evicted)
 
 	fmt.Println("\nunimportant object at importance 0.2:")
-	if _, err := cc.Put(besteffs.PutRequest{
+	if _, err := cc.PutCtx(ctx, besteffs.PutRequest{
 		ID:         "junk/cache",
 		Importance: besteffs.Constant{Level: 0.2},
 		Payload:    make([]byte, 2<<20),
@@ -108,14 +117,14 @@ func run() error {
 	}
 
 	// Density feedback per node.
-	avg, err := cc.AverageDensity()
+	avg, err := cc.AverageDensityCtx(ctx)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("\ncluster average storage importance density: %.3f\n", avg)
 
 	// Read one object back and show its server-evaluated importance.
-	got, err := cc.Get("critical/backup")
+	got, err := cc.GetCtx(ctx, "critical/backup")
 	if err != nil {
 		return err
 	}

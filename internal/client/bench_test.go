@@ -1,0 +1,141 @@
+package client
+
+// BenchmarkWirePut measures what the pipelined protocol buys on loopback:
+// the same fresh-ID put issued serially (one round trip per op), pipelined
+// from 64 goroutines over one connection, and batched 64 per BATCH frame.
+// BENCH_wire.json at the repo root records the numbers; the CI bench-smoke
+// job runs each case once to keep them compiling and honest.
+
+import (
+	"context"
+	"net"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"besteffs/internal/importance"
+	"besteffs/internal/object"
+	"besteffs/internal/policy"
+	"besteffs/internal/server"
+)
+
+// benchID hands out process-unique object IDs so every put is a fresh
+// admission no matter how many times the harness re-runs a case. Built with
+// strconv, not fmt, so harness overhead stays small next to the ~10us
+// round trips being measured.
+var benchID atomic.Uint64
+
+func nextBenchID() object.ID {
+	var buf [24]byte
+	b := append(buf[:0], "bench-"...)
+	b = strconv.AppendUint(b, benchID.Add(1), 10)
+	return object.ID(b)
+}
+
+// benchPayload is shared across puts: the client never mutates a request
+// payload (the wire encoder copies it into the frame), so one slice serves
+// every concurrent worker without a per-op allocation.
+var benchPayload = make([]byte, 128)
+
+// startBenchNode serves one huge node (free space never runs out, so
+// admission never ranks residents) and returns its address.
+func startBenchNode(b testing.TB) string {
+	b.Helper()
+	srv, err := server.New(1<<40, policy.TemporalImportance{},
+		server.WithLogger(discardLogger()))
+	if err != nil {
+		b.Fatalf("server.New: %v", err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatalf("listen: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ctx, l) }()
+	b.Cleanup(func() {
+		cancel()
+		if err := <-done; err != nil {
+			b.Errorf("Serve: %v", err)
+		}
+	})
+	return l.Addr().String()
+}
+
+func benchPut() PutRequest {
+	return PutRequest{
+		ID:         nextBenchID(),
+		Importance: importance.Constant{Level: 0.5},
+		Payload:    benchPayload,
+	}
+}
+
+func BenchmarkWirePut(b *testing.B) {
+	const window = 64
+
+	b.Run("single", func(b *testing.B) {
+		addr := startBenchNode(b)
+		c, err := Connect(addr, WithTimeout(time.Second))
+		if err != nil {
+			b.Fatalf("Connect: %v", err)
+		}
+		defer c.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := c.PutCtx(context.Background(), benchPut()); err != nil {
+				b.Fatalf("put: %v", err)
+			}
+		}
+	})
+
+	b.Run("pipelined64", func(b *testing.B) {
+		addr := startBenchNode(b)
+		c, err := Connect(addr, WithTimeout(time.Second), WithWindow(window))
+		if err != nil {
+			b.Fatalf("Connect: %v", err)
+		}
+		defer c.Close()
+		b.ResetTimer()
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < window; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for next.Add(1) <= int64(b.N) {
+					if _, err := c.PutCtx(context.Background(), benchPut()); err != nil {
+						b.Errorf("put: %v", err)
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+	})
+
+	b.Run("batch64", func(b *testing.B) {
+		addr := startBenchNode(b)
+		c, err := Connect(addr, WithTimeout(time.Second), WithMaxBatchSubs(window))
+		if err != nil {
+			b.Fatalf("Connect: %v", err)
+		}
+		defer c.Close()
+		b.ResetTimer()
+		for done := 0; done < b.N; {
+			n := window
+			if rest := b.N - done; rest < n {
+				n = rest
+			}
+			reqs := make([]PutRequest, n)
+			for i := range reqs {
+				reqs[i] = benchPut()
+			}
+			if _, err := c.PutBatch(context.Background(), reqs); err != nil {
+				b.Fatalf("put batch: %v", err)
+			}
+			done += n
+		}
+	})
+}

@@ -1,12 +1,21 @@
 // Package client is the Go client for Besteffs storage nodes: a
-// single-node connection speaking the wire protocol, plus ClusterClient,
-// which runs the paper's Section 5.3 placement algorithm over real sockets
-// -- probe a sample of nodes for the highest importance each would preempt,
-// retry up to m rounds, and store on the node with the lowest boundary.
+// single-node pipelined connection speaking the wire protocol, plus
+// ClusterClient, which runs the paper's Section 5.3 placement algorithm
+// over real sockets -- probe a sample of nodes for the highest importance
+// each would preempt, retry up to m rounds, and store on the node with the
+// lowest boundary.
+//
+// Every operation has a context-first form (PutCtx, GetCtx, ...); the
+// context cancels waiting for that request without disturbing the others
+// sharing the connection. The context-free forms remain as deprecated
+// wrappers over context.Background(). Requests from concurrent goroutines
+// are pipelined over the single connection (see mux.go), and PutBatch
+// ships many objects in one BATCH frame, admitted server-side as one
+// group against one policy snapshot.
 package client
 
 import (
-	"bufio"
+	"context"
 	"errors"
 	"fmt"
 	"log/slog"
@@ -42,8 +51,9 @@ var (
 
 // Config tunes a client's per-request robustness behavior.
 type Config struct {
-	// RequestTimeout bounds each request's socket writes and reads
-	// (0 disables deadlines).
+	// RequestTimeout bounds each request's round trip (0 disables the
+	// bound). A timed-out request poisons its connection: responses may
+	// still be on the wire, so the stream cannot be trusted afterwards.
 	RequestTimeout time.Duration
 	// MaxRetries is how many times a transport-failed request is retried
 	// over a fresh connection (0 fails fast). Retried requests are
@@ -54,7 +64,18 @@ type Config struct {
 	// jitter slept between reconnect attempts.
 	BackoffBase time.Duration
 	BackoffMax  time.Duration
+	// Window caps the requests in flight on the connection (0 means
+	// DefaultWindow). Senders beyond the cap block until a slot frees.
+	Window int
+	// MaxBatchSubs caps the sub-requests PutBatch packs into one BATCH
+	// frame (0 means DefaultBatchChunk); larger batches are split into
+	// consecutive frames. Keep it at or below the node's -max-batch.
+	MaxBatchSubs int
 }
+
+// DefaultBatchChunk is the default PutBatch chunk size, comfortably under
+// wire.MaxBatchSubs and any reasonable node-side limit.
+const DefaultBatchChunk = 128
 
 // DefaultConfig is the robustness configuration Dial uses: bounded
 // requests, a couple of reconnect attempts, sub-second backoff.
@@ -64,6 +85,8 @@ func DefaultConfig() Config {
 		MaxRetries:     2,
 		BackoffBase:    50 * time.Millisecond,
 		BackoffMax:     2 * time.Second,
+		Window:         DefaultWindow,
+		MaxBatchSubs:   DefaultBatchChunk,
 	}
 }
 
@@ -83,25 +106,27 @@ func backoff(cfg Config, attempt int) time.Duration {
 }
 
 // Client is a connection to one storage node. Methods are safe for
-// concurrent use; requests are serialized over the single connection.
+// concurrent use; concurrent requests are pipelined over the single
+// connection through a bounded in-flight window rather than serialized.
 type Client struct {
 	mu   sync.Mutex
-	conn net.Conn
-	br   *bufio.Reader
-	bw   *bufio.Writer
+	conn net.Conn // current socket; nil when dropped
+	mx   *mux     // pipelined transport over conn; lazily started
 
 	// addr is the redial target; empty for clients wrapping a raw conn,
 	// which cannot reconnect.
 	addr        string
 	dialTimeout time.Duration
 	cfg         Config
+	closed      bool // Close was called; no redials
 
 	met *clientMetrics
 	log *slog.Logger
 }
 
 // Dial connects to a node with DefaultConfig robustness: per-request
-// deadlines plus reconnect-on-error with exponential backoff.
+// deadlines plus reconnect-on-error with exponential backoff. See Connect
+// for the functional-options form.
 func Dial(addr string, timeout time.Duration) (*Client, error) {
 	return DialConfig(addr, timeout, DefaultConfig())
 }
@@ -125,8 +150,6 @@ func DialConfig(addr string, timeout time.Duration, cfg Config) (*Client, error)
 func NewClient(conn net.Conn) *Client {
 	return &Client{
 		conn: conn,
-		br:   bufio.NewReader(conn),
-		bw:   bufio.NewWriter(conn),
 		met:  newClientMetrics(),
 		log:  slog.Default(),
 	}
@@ -160,11 +183,18 @@ func (c *Client) setMetrics(m *clientMetrics) {
 	c.met = m
 }
 
-// Close closes the connection. Closing an already-dropped connection is
-// not an error.
+// Close closes the connection, failing any requests still in flight.
+// Closing an already-dropped connection is not an error.
 func (c *Client) Close() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.closed = true
+	if c.mx != nil {
+		c.mx.Close() // closes conn too
+		c.mx = nil
+		c.conn = nil
+		return nil
+	}
 	if c.conn == nil {
 		return nil
 	}
@@ -176,69 +206,99 @@ func (c *Client) Close() error {
 	return nil
 }
 
-// dropConnLocked tears down a connection the client no longer trusts.
-func (c *Client) dropConnLocked() {
+// muxLocked returns the live multiplexer, starting one over the current
+// connection on first use and discarding a poisoned one.
+func (c *Client) muxLocked() (*mux, error) {
+	if c.closed {
+		return nil, fmt.Errorf("%w: client closed", ErrNotConnected)
+	}
+	if c.mx != nil {
+		if !c.mx.isBroken() {
+			return c.mx, nil
+		}
+		// The mux closed the conn when it failed.
+		c.mx = nil
+		c.conn = nil
+	}
+	if c.conn == nil {
+		return nil, fmt.Errorf("%w (%s)", ErrNotConnected, c.addr)
+	}
+	c.mx = newMux(c.conn, c.cfg.Window, c.cfg.RequestTimeout)
+	return c.mx, nil
+}
+
+// currentMux is muxLocked under the client mutex.
+func (c *Client) currentMux() (*mux, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.muxLocked()
+}
+
+// redial replaces a poisoned connection with a fresh one. When another
+// goroutine already reconnected, its healthy mux is reused instead.
+func (c *Client) redial() (*mux, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, fmt.Errorf("%w: client closed", ErrNotConnected)
+	}
+	if c.mx != nil && !c.mx.isBroken() {
+		return c.mx, nil
+	}
+	if c.mx != nil {
+		c.mx.Close()
+		c.mx = nil
+	}
 	if c.conn != nil {
 		c.conn.Close()
 		c.conn = nil
 	}
-}
-
-// redialLocked replaces a dropped connection with a fresh one.
-func (c *Client) redialLocked() error {
-	c.dropConnLocked()
 	conn, err := net.DialTimeout("tcp", c.addr, c.dialTimeout)
 	if err != nil {
-		return fmt.Errorf("client: redial %s: %w", c.addr, err)
+		return nil, fmt.Errorf("client: redial %s: %w", c.addr, err)
 	}
 	c.conn = conn
-	c.br = bufio.NewReader(conn)
-	c.bw = bufio.NewWriter(conn)
+	c.mx = newMux(conn, c.cfg.Window, c.cfg.RequestTimeout)
 	c.met.Inc("reconnects")
-	return nil
+	return c.mx, nil
 }
 
-// exchangeLocked writes one request frame and reads one response under the
-// client's deadline. Any transport error drops the connection: after a
-// failed round trip the stream position is unknown, so the conn cannot be
-// reused safely.
-func (c *Client) exchangeLocked(body []byte) (wire.Message, error) {
-	if c.conn == nil {
-		return nil, fmt.Errorf("%w (%s)", ErrNotConnected, c.addr)
+// sendCtx runs the encoded frame through the pipeline-retry loop: one
+// attempt on the current connection, then up to MaxRetries fresh
+// connections for clients that know their node's address. Context
+// cancellation stops the loop immediately.
+func (c *Client) sendCtx(ctx context.Context, body []byte) (wire.Message, error) {
+	m, err := c.currentMux()
+	var resp wire.Message
+	if err == nil {
+		resp, err = m.do(ctx, body)
 	}
-	if c.cfg.RequestTimeout > 0 {
-		c.conn.SetDeadline(time.Now().Add(c.cfg.RequestTimeout))
+	for attempt := 0; err != nil && c.addr != "" && attempt < c.cfg.MaxRetries; attempt++ {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		c.met.Inc("retries")
+		select {
+		case <-time.After(backoff(c.cfg, attempt)):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		m, rerr := c.redial()
+		if rerr != nil {
+			err = rerr
+			continue
+		}
+		resp, err = m.do(ctx, body)
 	}
-	if err := wire.WriteFrame(c.bw, body); err != nil {
-		c.dropConnLocked()
-		return nil, fmt.Errorf("client: %w", err)
-	}
-	if err := c.bw.Flush(); err != nil {
-		c.dropConnLocked()
-		return nil, fmt.Errorf("client: flush: %w", err)
-	}
-	respBody, err := wire.ReadFrame(c.br)
-	if err != nil {
-		c.dropConnLocked()
-		return nil, fmt.Errorf("client: %w", err)
-	}
-	resp, err := wire.Decode(respBody)
-	if err != nil {
-		c.dropConnLocked()
-		return nil, fmt.Errorf("client: %w", err)
-	}
-	if c.cfg.RequestTimeout > 0 && c.conn != nil {
-		c.conn.SetDeadline(time.Time{})
-	}
-	return resp, nil
+	return resp, err
 }
 
-// roundTrip sends one request and reads one response, reconnecting with
+// roundTripCtx sends one request and reads one response, reconnecting with
 // backoff on transport errors when the client knows its node's address.
 // Every request carries a fresh trace ID in the frame trailer; the observed
 // latency (including any retries) lands in the per-op histogram and a Debug
 // log line carrying the same ID the server logs.
-func (c *Client) roundTrip(req wire.Message) (wire.Message, error) {
+func (c *Client) roundTripCtx(ctx context.Context, req wire.Message) (wire.Message, error) {
 	body, err := wire.Encode(req)
 	if err != nil {
 		return nil, fmt.Errorf("client: %w", err)
@@ -246,32 +306,19 @@ func (c *Client) roundTrip(req wire.Message) (wire.Message, error) {
 	trace := newTraceID()
 	body = wire.AppendTraceID(body, trace)
 	start := time.Now()
-	resp, err := c.send(body)
+	resp, err := c.sendCtx(ctx, body)
 	elapsed := time.Since(start)
 	c.met.observe(req.Op(), elapsed)
-	if err != nil {
-		c.log.Debug("request failed", "op", req.Op(), "trace", trace,
-			"dur", elapsed, "addr", c.addr, "err", err)
-	} else {
-		c.log.Debug("request done", "op", req.Op(), "trace", trace,
-			"dur", elapsed, "addr", c.addr)
-	}
-	return resp, err
-}
-
-// send runs the encoded frame through the exchange-retry loop.
-func (c *Client) send(body []byte) (wire.Message, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	resp, err := c.exchangeLocked(body)
-	for attempt := 0; err != nil && c.addr != "" && attempt < c.cfg.MaxRetries; attempt++ {
-		c.met.Inc("retries")
-		time.Sleep(backoff(c.cfg, attempt))
-		if rerr := c.redialLocked(); rerr != nil {
-			err = rerr
-			continue
+	// Guard the log call: building its argument list is measurable on the
+	// pipelined hot path, and debug logging is usually off.
+	if c.log.Enabled(ctx, slog.LevelDebug) {
+		if err != nil {
+			c.log.Debug("request failed", "op", req.Op(), "trace", trace,
+				"dur", elapsed, "addr", c.addr, "err", err)
+		} else {
+			c.log.Debug("request done", "op", req.Op(), "trace", trace,
+				"dur", elapsed, "addr", c.addr)
 		}
-		resp, err = c.exchangeLocked(body)
 	}
 	return resp, err
 }
@@ -303,6 +350,18 @@ type PutRequest struct {
 	Payload []byte
 }
 
+// putMessage converts the request to its wire form.
+func (req PutRequest) putMessage() *wire.Put {
+	return &wire.Put{
+		ID:         req.ID,
+		Owner:      req.Owner,
+		Class:      req.Class,
+		Version:    req.Version,
+		Importance: req.Importance,
+		Payload:    req.Payload,
+	}
+}
+
 // PutResult reports the admission outcome.
 type PutResult struct {
 	// Admitted reports whether the node stored the object.
@@ -314,21 +373,8 @@ type PutResult struct {
 	Evicted []object.ID
 }
 
-// Put stores an object on the node. A policy rejection is not an error; it
-// is reported through the result.
-func (c *Client) Put(req PutRequest) (PutResult, error) {
-	msg := &wire.Put{
-		ID:         req.ID,
-		Owner:      req.Owner,
-		Class:      req.Class,
-		Version:    req.Version,
-		Importance: req.Importance,
-		Payload:    req.Payload,
-	}
-	resp, err := c.roundTrip(msg)
-	if err != nil {
-		return PutResult{}, err
-	}
+// putResultFrom interprets a response as a PutResult.
+func putResultFrom(resp wire.Message) (PutResult, error) {
 	switch r := resp.(type) {
 	case *wire.PutResult:
 		return PutResult{Admitted: r.Admitted, Boundary: r.Boundary, Evicted: r.Evicted}, nil
@@ -339,11 +385,28 @@ func (c *Client) Put(req PutRequest) (PutResult, error) {
 	}
 }
 
-// Update supersedes the resident version of req.ID with new bytes and a
+// PutCtx stores an object on the node. A policy rejection is not an error;
+// it is reported through the result.
+func (c *Client) PutCtx(ctx context.Context, req PutRequest) (PutResult, error) {
+	resp, err := c.roundTripCtx(ctx, req.putMessage())
+	if err != nil {
+		return PutResult{}, err
+	}
+	return putResultFrom(resp)
+}
+
+// Put stores an object on the node.
+//
+// Deprecated: use PutCtx.
+func (c *Client) Put(req PutRequest) (PutResult, error) {
+	return c.PutCtx(context.Background(), req)
+}
+
+// UpdateCtx supersedes the resident version of req.ID with new bytes and a
 // new annotation (Besteffs versioned writes). The old version's space is
 // reclaimable by right; a rejection leaves it untouched. ErrNotFound means
-// nothing is resident under the ID (use Put instead).
-func (c *Client) Update(req PutRequest) (PutResult, error) {
+// nothing is resident under the ID (use PutCtx instead).
+func (c *Client) UpdateCtx(ctx context.Context, req PutRequest) (PutResult, error) {
 	msg := &wire.Update{
 		ID:         req.ID,
 		Owner:      req.Owner,
@@ -351,18 +414,80 @@ func (c *Client) Update(req PutRequest) (PutResult, error) {
 		Importance: req.Importance,
 		Payload:    req.Payload,
 	}
-	resp, err := c.roundTrip(msg)
+	resp, err := c.roundTripCtx(ctx, msg)
 	if err != nil {
 		return PutResult{}, err
 	}
-	switch r := resp.(type) {
-	case *wire.PutResult:
-		return PutResult{Admitted: r.Admitted, Boundary: r.Boundary, Evicted: r.Evicted}, nil
-	case *wire.ErrorMsg:
-		return PutResult{}, translateError(r)
-	default:
-		return PutResult{}, fmt.Errorf("%w: %v", ErrUnexpected, resp.Op())
+	return putResultFrom(resp)
+}
+
+// Update supersedes the resident version of req.ID.
+//
+// Deprecated: use UpdateCtx.
+func (c *Client) Update(req PutRequest) (PutResult, error) {
+	return c.UpdateCtx(context.Background(), req)
+}
+
+// BatchOutcome is one sub-request's result from PutBatch: its admission
+// verdict, or the error that failed it individually. A transport failure
+// mid-batch fails every sub-request that was not answered.
+type BatchOutcome struct {
+	Result PutResult
+	Err    error
+}
+
+// PutBatch stores many objects in BATCH frames: each chunk of up to
+// Config.MaxBatchSubs requests rides one frame, is admitted server-side as
+// ONE group against a single policy snapshot (batch members never preempt
+// each other), and is journaled through one WAL sync barrier. Outcomes are
+// positional. The returned error is the first transport failure; sub-
+// requests already answered keep their real outcomes, the rest carry the
+// error.
+func (c *Client) PutBatch(ctx context.Context, reqs []PutRequest) ([]BatchOutcome, error) {
+	out := make([]BatchOutcome, len(reqs))
+	chunk := c.cfg.MaxBatchSubs
+	if chunk <= 0 {
+		chunk = DefaultBatchChunk
 	}
+	if chunk > wire.MaxBatchSubs {
+		chunk = wire.MaxBatchSubs
+	}
+	for start := 0; start < len(reqs); start += chunk {
+		end := start + chunk
+		if end > len(reqs) {
+			end = len(reqs)
+		}
+		subs := make([]wire.Message, 0, end-start)
+		for _, req := range reqs[start:end] {
+			subs = append(subs, req.putMessage())
+		}
+		resp, err := c.roundTripCtx(ctx, &wire.Batch{Subs: subs})
+		if err == nil {
+			br, ok := resp.(*wire.BatchResult)
+			switch {
+			case !ok:
+				if em, isErr := resp.(*wire.ErrorMsg); isErr {
+					err = translateError(em)
+				} else {
+					err = fmt.Errorf("%w: %v", ErrUnexpected, resp.Op())
+				}
+			case len(br.Results) != end-start:
+				err = fmt.Errorf("%w: %d results for %d sub-requests",
+					ErrUnexpected, len(br.Results), end-start)
+			default:
+				for i, sub := range br.Results {
+					out[start+i].Result, out[start+i].Err = putResultFrom(sub)
+				}
+			}
+		}
+		if err != nil {
+			for i := start; i < len(reqs); i++ {
+				out[i].Err = err
+			}
+			return out, err
+		}
+	}
+	return out, nil
 }
 
 // Object is a retrieved object.
@@ -377,9 +502,9 @@ type Object struct {
 	Payload           []byte
 }
 
-// Get retrieves an object.
-func (c *Client) Get(id object.ID) (Object, error) {
-	resp, err := c.roundTrip(&wire.Get{ID: id})
+// GetCtx retrieves an object.
+func (c *Client) GetCtx(ctx context.Context, id object.ID) (Object, error) {
+	resp, err := c.roundTripCtx(ctx, &wire.Get{ID: id})
 	if err != nil {
 		return Object{}, err
 	}
@@ -402,9 +527,16 @@ func (c *Client) Get(id object.ID) (Object, error) {
 	}
 }
 
-// Delete removes an object.
-func (c *Client) Delete(id object.ID) error {
-	resp, err := c.roundTrip(&wire.Delete{ID: id})
+// Get retrieves an object.
+//
+// Deprecated: use GetCtx.
+func (c *Client) Get(id object.ID) (Object, error) {
+	return c.GetCtx(context.Background(), id)
+}
+
+// DeleteCtx removes an object.
+func (c *Client) DeleteCtx(ctx context.Context, id object.ID) error {
+	resp, err := c.roundTripCtx(ctx, &wire.Delete{ID: id})
 	if err != nil {
 		return err
 	}
@@ -418,6 +550,13 @@ func (c *Client) Delete(id object.ID) error {
 	}
 }
 
+// Delete removes an object.
+//
+// Deprecated: use DeleteCtx.
+func (c *Client) Delete(id object.ID) error {
+	return c.DeleteCtx(context.Background(), id)
+}
+
 // Stats reports a node's capacity, usage and density.
 type Stats struct {
 	Capacity, Used int64
@@ -425,9 +564,9 @@ type Stats struct {
 	Density        float64
 }
 
-// Stat fetches node statistics.
-func (c *Client) Stat() (Stats, error) {
-	resp, err := c.roundTrip(&wire.Stat{})
+// StatCtx fetches node statistics.
+func (c *Client) StatCtx(ctx context.Context) (Stats, error) {
+	resp, err := c.roundTripCtx(ctx, &wire.Stat{})
 	if err != nil {
 		return Stats{}, err
 	}
@@ -446,9 +585,17 @@ func (c *Client) Stat() (Stats, error) {
 	}
 }
 
-// Probe asks the node for the admission boundary of a hypothetical object.
-func (c *Client) Probe(size int64, imp importance.Function) (admissible bool, boundary float64, err error) {
-	resp, err := c.roundTrip(&wire.Probe{Size: size, Importance: imp})
+// Stat fetches node statistics.
+//
+// Deprecated: use StatCtx.
+func (c *Client) Stat() (Stats, error) {
+	return c.StatCtx(context.Background())
+}
+
+// ProbeCtx asks the node for the admission boundary of a hypothetical
+// object.
+func (c *Client) ProbeCtx(ctx context.Context, size int64, imp importance.Function) (admissible bool, boundary float64, err error) {
+	resp, err := c.roundTripCtx(ctx, &wire.Probe{Size: size, Importance: imp})
 	if err != nil {
 		return false, 0, err
 	}
@@ -462,13 +609,20 @@ func (c *Client) Probe(size int64, imp importance.Function) (admissible bool, bo
 	}
 }
 
-// Rejuvenate replaces a resident object's importance annotation with a
+// Probe asks the node for the admission boundary of a hypothetical object.
+//
+// Deprecated: use ProbeCtx.
+func (c *Client) Probe(size int64, imp importance.Function) (admissible bool, boundary float64, err error) {
+	return c.ProbeCtx(context.Background(), size, imp)
+}
+
+// RejuvenateCtx replaces a resident object's importance annotation with a
 // fresh function aging from the node's current time, returning the
 // object's new version. This is the paper's "active intervention by the
 // user" escape from monotone lifetimes: lower the importance after a
 // successful backup, or raise it on renewed interest.
-func (c *Client) Rejuvenate(id object.ID, imp importance.Function) (version uint32, err error) {
-	resp, err := c.roundTrip(&wire.Rejuvenate{ID: id, Importance: imp})
+func (c *Client) RejuvenateCtx(ctx context.Context, id object.ID, imp importance.Function) (version uint32, err error) {
+	resp, err := c.roundTripCtx(ctx, &wire.Rejuvenate{ID: id, Importance: imp})
 	if err != nil {
 		return 0, err
 	}
@@ -482,9 +636,16 @@ func (c *Client) Rejuvenate(id object.ID, imp importance.Function) (version uint
 	}
 }
 
-// Density fetches the node's storage importance density.
-func (c *Client) Density() (float64, error) {
-	resp, err := c.roundTrip(&wire.Density{})
+// Rejuvenate replaces a resident object's importance annotation.
+//
+// Deprecated: use RejuvenateCtx.
+func (c *Client) Rejuvenate(id object.ID, imp importance.Function) (version uint32, err error) {
+	return c.RejuvenateCtx(context.Background(), id, imp)
+}
+
+// DensityCtx fetches the node's storage importance density.
+func (c *Client) DensityCtx(ctx context.Context) (float64, error) {
+	resp, err := c.roundTripCtx(ctx, &wire.Density{})
 	if err != nil {
 		return 0, err
 	}
@@ -496,6 +657,13 @@ func (c *Client) Density() (float64, error) {
 	default:
 		return 0, fmt.Errorf("%w: %v", ErrUnexpected, resp.Op())
 	}
+}
+
+// Density fetches the node's storage importance density.
+//
+// Deprecated: use DensityCtx.
+func (c *Client) Density() (float64, error) {
+	return c.DensityCtx(context.Background())
 }
 
 // DensitySample is one point of a node's sampled density trajectory.
@@ -511,11 +679,11 @@ type DensitySample struct {
 	Boundary float64
 }
 
-// DensityHistory fetches the node's sampled density trajectory, oldest
+// DensityHistoryCtx fetches the node's sampled density trajectory, oldest
 // first. A node running without density sampling answers with a single
 // on-the-spot sample.
-func (c *Client) DensityHistory() ([]DensitySample, error) {
-	resp, err := c.roundTrip(&wire.DensityHistory{})
+func (c *Client) DensityHistoryCtx(ctx context.Context) ([]DensitySample, error) {
+	resp, err := c.roundTripCtx(ctx, &wire.DensityHistory{})
 	if err != nil {
 		return nil, err
 	}
@@ -538,9 +706,16 @@ func (c *Client) DensityHistory() ([]DensitySample, error) {
 	}
 }
 
-// List fetches the node's resident object IDs.
-func (c *Client) List() ([]object.ID, error) {
-	resp, err := c.roundTrip(&wire.List{})
+// DensityHistory fetches the node's sampled density trajectory.
+//
+// Deprecated: use DensityHistoryCtx.
+func (c *Client) DensityHistory() ([]DensitySample, error) {
+	return c.DensityHistoryCtx(context.Background())
+}
+
+// ListCtx fetches the node's resident object IDs.
+func (c *Client) ListCtx(ctx context.Context) ([]object.ID, error) {
+	resp, err := c.roundTripCtx(ctx, &wire.List{})
 	if err != nil {
 		return nil, err
 	}
@@ -552,6 +727,13 @@ func (c *Client) List() ([]object.ID, error) {
 	default:
 		return nil, fmt.Errorf("%w: %v", ErrUnexpected, resp.Op())
 	}
+}
+
+// List fetches the node's resident object IDs.
+//
+// Deprecated: use ListCtx.
+func (c *Client) List() ([]object.ID, error) {
+	return c.ListCtx(context.Background())
 }
 
 // Node health defaults for ClusterClient.
@@ -859,14 +1041,14 @@ func isRemoteError(err error) bool {
 		errors.Is(err, ErrUnexpected) || errors.As(err, &remote)
 }
 
-// Put places an object on the cluster: probe x sampled nodes per round for
-// up to m rounds, store immediately on a node with boundary zero, otherwise
-// on the admitting node with the lowest boundary. A node whose probe or
-// commit fails at the transport level is logged, marked suspect and skipped
-// -- the round continues on the healthy subset. ErrClusterFull means no
-// answering node would admit the object; ErrNoHealthyNodes means nothing
-// answered at all.
-func (cc *ClusterClient) Put(req PutRequest) (Placement, error) {
+// PutCtx places an object on the cluster: probe x sampled nodes per round
+// for up to m rounds, store immediately on a node with boundary zero,
+// otherwise on the admitting node with the lowest boundary. A node whose
+// probe or commit fails at the transport level is logged, marked suspect
+// and skipped -- the round continues on the healthy subset. ErrClusterFull
+// means no answering node would admit the object; ErrNoHealthyNodes means
+// nothing answered at all.
+func (cc *ClusterClient) PutCtx(ctx context.Context, req PutRequest) (Placement, error) {
 	size := int64(len(req.Payload))
 	type candidate struct {
 		idx      int
@@ -878,6 +1060,9 @@ func (cc *ClusterClient) Put(req PutRequest) (Placement, error) {
 	var lastErr error
 	for try := 0; try < cc.MaxTries; try++ {
 		for _, idx := range cc.sample(cc.SampleSize) {
+			if err := ctx.Err(); err != nil {
+				return Placement{}, err
+			}
 			if probed[idx] {
 				continue
 			}
@@ -886,8 +1071,11 @@ func (cc *ClusterClient) Put(req PutRequest) (Placement, error) {
 				continue // down or ejected; a later round may find it back
 			}
 			probed[idx] = true
-			admissible, boundary, err := c.Probe(size, req.Importance)
+			admissible, boundary, err := c.ProbeCtx(ctx, size, req.Importance)
 			if err != nil {
+				if ctx.Err() != nil {
+					return Placement{}, ctx.Err()
+				}
 				if isRemoteError(err) {
 					return Placement{}, fmt.Errorf("probe node %d: %w", idx, err)
 				}
@@ -902,7 +1090,7 @@ func (cc *ClusterClient) Put(req PutRequest) (Placement, error) {
 				continue
 			}
 			if boundary == 0 {
-				p, retryable, err := cc.commit(idx, req)
+				p, retryable, err := cc.commit(ctx, idx, req)
 				if err == nil {
 					return p, nil
 				}
@@ -919,7 +1107,7 @@ func (cc *ClusterClient) Put(req PutRequest) (Placement, error) {
 	// when a node dies between probe and put.
 	sort.Slice(cands, func(i, j int) bool { return cands[i].boundary < cands[j].boundary })
 	for i, cand := range cands {
-		p, retryable, err := cc.commit(cand.idx, req)
+		p, retryable, err := cc.commit(ctx, cand.idx, req)
 		if err == nil {
 			return p, nil
 		}
@@ -940,16 +1128,23 @@ func (cc *ClusterClient) Put(req PutRequest) (Placement, error) {
 	return Placement{}, fmt.Errorf("%w: %s", ErrClusterFull, req.ID)
 }
 
+// Put places an object on the cluster.
+//
+// Deprecated: use PutCtx.
+func (cc *ClusterClient) Put(req PutRequest) (Placement, error) {
+	return cc.PutCtx(context.Background(), req)
+}
+
 // commit stores the object on the chosen node. retryable reports whether
 // the caller may fall back to another candidate: transport failures and
 // refused-after-probe races are retryable, remote verdicts (duplicate ID,
 // protocol errors) are not.
-func (cc *ClusterClient) commit(idx int, req PutRequest) (p Placement, retryable bool, err error) {
+func (cc *ClusterClient) commit(ctx context.Context, idx int, req PutRequest) (p Placement, retryable bool, err error) {
 	c := cc.ready(idx)
 	if c == nil {
 		return Placement{}, true, fmt.Errorf("put on node %d: %w", idx, ErrNotConnected)
 	}
-	res, err := c.Put(req)
+	res, err := c.PutCtx(ctx, req)
 	if err != nil {
 		if isRemoteError(err) {
 			return Placement{}, false, fmt.Errorf("put on node %d: %w", idx, err)
@@ -967,17 +1162,134 @@ func (cc *ClusterClient) commit(idx int, req PutRequest) (p Placement, retryable
 	return Placement{Node: idx, Boundary: res.Boundary, Evicted: res.Evicted}, false, nil
 }
 
-// Get retrieves an object by asking every node until one has it. Dead or
+// ClusterBatchOutcome is one sub-request's result from
+// ClusterClient.PutBatch: the node that answered it plus its admission
+// verdict or individual error. Node is -1 when nothing answered it.
+type ClusterBatchOutcome struct {
+	Node   int
+	Result PutResult
+	Err    error
+}
+
+// PutBatch spreads a batch across the cluster by probe boundary: it probes
+// a sample of nodes with the batch's largest object, ranks the admitting
+// nodes by boundary (lowest first -- the cheapest space), splits the batch
+// into contiguous chunks across the best nodes, and ships each chunk as
+// one pipelined BATCH frame, concurrently. Outcomes are positional. When
+// no node admits the probe the whole call fails (ErrNoHealthyNodes if
+// nothing even answered); when a chunk's node fails mid-flight its sub-
+// requests carry the error while other chunks keep their outcomes.
+func (cc *ClusterClient) PutBatch(ctx context.Context, reqs []PutRequest) ([]ClusterBatchOutcome, error) {
+	out := make([]ClusterBatchOutcome, len(reqs))
+	for i := range out {
+		out[i].Node = -1
+	}
+	if len(reqs) == 0 {
+		return out, nil
+	}
+	// Probe with the hardest member: the largest payload and its own
+	// annotation. Nodes that admit it will usually admit the rest; the
+	// per-sub verdicts settle anything the approximation misses.
+	worst := 0
+	for i, r := range reqs {
+		if len(r.Payload) > len(reqs[worst].Payload) {
+			worst = i
+		}
+	}
+	type candidate struct {
+		idx      int
+		boundary float64
+	}
+	var cands []candidate
+	answered := 0
+	for _, idx := range cc.sample(cc.SampleSize) {
+		c := cc.ready(idx)
+		if c == nil {
+			continue
+		}
+		admissible, boundary, err := c.ProbeCtx(ctx, int64(len(reqs[worst].Payload)), reqs[worst].Importance)
+		if err != nil {
+			if ctx.Err() != nil {
+				return out, ctx.Err()
+			}
+			if isRemoteError(err) {
+				return out, fmt.Errorf("probe node %d: %w", idx, err)
+			}
+			cc.met.Inc("probe_failures")
+			cc.noteFailure(idx, err)
+			continue
+		}
+		cc.noteSuccess(idx)
+		answered++
+		if admissible {
+			cands = append(cands, candidate{idx, boundary})
+		}
+	}
+	if len(cands) == 0 {
+		if answered == 0 {
+			return out, fmt.Errorf("%w: batch of %d", ErrNoHealthyNodes, len(reqs))
+		}
+		return out, fmt.Errorf("%w: batch of %d", ErrClusterFull, len(reqs))
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].boundary < cands[j].boundary })
+
+	// Contiguous even split across the admitting nodes, best boundary
+	// first; a batch smaller than the candidate set uses fewer nodes.
+	nchunks := len(cands)
+	if nchunks > len(reqs) {
+		nchunks = len(reqs)
+	}
+	var wg sync.WaitGroup
+	for k := 0; k < nchunks; k++ {
+		start := k * len(reqs) / nchunks
+		end := (k + 1) * len(reqs) / nchunks
+		idx := cands[k].idx
+		wg.Add(1)
+		go func(idx, start, end int) {
+			defer wg.Done()
+			c := cc.ready(idx)
+			if c == nil {
+				for i := start; i < end; i++ {
+					out[i].Err = fmt.Errorf("batch chunk on node %d: %w", idx, ErrNotConnected)
+				}
+				return
+			}
+			outcomes, err := c.PutBatch(ctx, reqs[start:end])
+			if err != nil && !isRemoteError(err) {
+				cc.noteFailure(idx, err)
+			} else {
+				cc.noteSuccess(idx)
+			}
+			for i, o := range outcomes {
+				out[start+i] = ClusterBatchOutcome{Node: idx, Result: o.Result, Err: o.Err}
+			}
+		}(idx, start, end)
+	}
+	wg.Wait()
+	var firstErr error
+	for i := range out {
+		if out[i].Err != nil && !isRemoteError(out[i].Err) {
+			firstErr = out[i].Err
+			break
+		}
+	}
+	return out, firstErr
+}
+
+// GetCtx retrieves an object by asking every node until one has it. Dead or
 // ejected nodes are skipped; an object stored only on a dead node reports
 // ErrNotFound until the node returns.
-func (cc *ClusterClient) Get(id object.ID) (Object, error) {
+func (cc *ClusterClient) GetCtx(ctx context.Context, id object.ID) (Object, error) {
 	answered := 0
 	for i := range cc.nodes {
+		if err := ctx.Err(); err != nil {
+			return Object{}, err
+		}
 		c := cc.ready(i)
 		if c == nil {
 			continue
 		}
-		o, err := c.Get(id)
+		o, err := c.GetCtx(ctx, id)
 		if err == nil {
 			return o, nil
 		}
@@ -996,16 +1308,26 @@ func (cc *ClusterClient) Get(id object.ID) (Object, error) {
 	return Object{}, fmt.Errorf("%w: %s", ErrNotFound, id)
 }
 
-// AverageDensity averages the density across the reachable nodes.
-func (cc *ClusterClient) AverageDensity() (float64, error) {
+// Get retrieves an object from the cluster.
+//
+// Deprecated: use GetCtx.
+func (cc *ClusterClient) Get(id object.ID) (Object, error) {
+	return cc.GetCtx(context.Background(), id)
+}
+
+// AverageDensityCtx averages the density across the reachable nodes.
+func (cc *ClusterClient) AverageDensityCtx(ctx context.Context) (float64, error) {
 	total := 0.0
 	answered := 0
 	for i := range cc.nodes {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
 		c := cc.ready(i)
 		if c == nil {
 			continue
 		}
-		d, err := c.Density()
+		d, err := c.DensityCtx(ctx)
 		if err != nil {
 			if isRemoteError(err) {
 				return 0, fmt.Errorf("density of node %d: %w", i, err)
@@ -1021,4 +1343,11 @@ func (cc *ClusterClient) AverageDensity() (float64, error) {
 		return 0, ErrNoHealthyNodes
 	}
 	return total / float64(answered), nil
+}
+
+// AverageDensity averages the density across the reachable nodes.
+//
+// Deprecated: use AverageDensityCtx.
+func (cc *ClusterClient) AverageDensity() (float64, error) {
+	return cc.AverageDensityCtx(context.Background())
 }

@@ -39,7 +39,9 @@ type Plan struct {
 	// I/O operation.
 	MaxDelay time.Duration
 	// ResetAfterBytes resets every wrapped connection once its total
-	// written bytes exceed this budget (0 disables).
+	// written bytes exceed this budget (0 disables). Like a real RST, the
+	// write that crosses the budget is truncated at the boundary: bytes
+	// beyond it never reach the peer, even inside one large write.
 	ResetAfterBytes int64
 	// FailDials makes the first N Accept calls on a wrapped listener
 	// fail with ErrInjected, simulating unreachable nodes at startup.
@@ -214,19 +216,31 @@ func (c *conn) Write(p []byte) (int, error) {
 		}
 		return k, c.fail("tears")
 	}
+	if budget := c.inj.plan.ResetAfterBytes; budget > 0 {
+		c.mu.Lock()
+		remain := budget - c.written
+		c.mu.Unlock()
+		if int64(len(p)) > remain {
+			// This write crosses the budget: deliver only the bytes
+			// within it, then reset. The tail is lost, as it would be
+			// when a RST kills data queued behind it.
+			n := 0
+			if remain > 0 {
+				n, _ = c.Conn.Write(p[:remain])
+			}
+			c.mu.Lock()
+			c.written += int64(n)
+			c.mu.Unlock()
+			return n, c.fail("resets")
+		}
+	}
 	n, err := c.Conn.Write(p)
 	if err != nil {
 		return n, err
 	}
-	if budget := c.inj.plan.ResetAfterBytes; budget > 0 {
-		c.mu.Lock()
-		c.written += int64(n)
-		over := c.written > budget
-		c.mu.Unlock()
-		if over {
-			return n, c.fail("resets")
-		}
-	}
+	c.mu.Lock()
+	c.written += int64(n)
+	c.mu.Unlock()
 	return n, nil
 }
 

@@ -236,6 +236,48 @@ func (w *WAL) Append(r Record) error {
 	return nil
 }
 
+// AppendBatch appends a group of records under ONE lock acquisition and ONE
+// buffer flush, the journal half of the batched-put barrier (the caller
+// pairs it with a single Sync to make the whole group durable at once).
+// All records are encoded before any byte is written, so an encoding error
+// writes nothing; a write error mid-batch leaves a prefix of the group on
+// disk, which recovery handles exactly like a torn single append. The count
+// of appended records is meaningful only when err is nil.
+func (w *WAL) AppendBatch(recs []Record) (int, error) {
+	frames := make([][]byte, len(recs))
+	for i, r := range recs {
+		body, err := encode(r)
+		if err != nil {
+			return 0, err
+		}
+		frame := make([]byte, 8, 8+len(body))
+		binary.BigEndian.PutUint32(frame[:4], uint32(len(body)))
+		binary.BigEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(body))
+		frames[i] = append(frame, body...)
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return 0, ErrJournalClosed
+	}
+	for i, frame := range frames {
+		n := int64(len(frame))
+		if w.size > 0 && w.size+n > w.segBytes {
+			if err := w.rotateLocked(); err != nil {
+				return i, err
+			}
+		}
+		if _, err := w.bw.Write(frame); err != nil {
+			return i, fmt.Errorf("journal: append batch: %w", err)
+		}
+		w.size += n
+	}
+	if err := w.bw.Flush(); err != nil {
+		return 0, fmt.Errorf("journal: append batch: %w", err)
+	}
+	return len(frames), nil
+}
+
 // rotateLocked seals the active segment (flush, fsync, close) and opens the
 // next one, fsyncing the directory so the new name is durable.
 func (w *WAL) rotateLocked() error {

@@ -1,0 +1,89 @@
+package journal
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+func TestWALAppendBatchReplaysIdentically(t *testing.T) {
+	want := manyRecords(30)
+
+	single := t.TempDir()
+	w, err := OpenWAL(single, WithSegmentBytes(256))
+	if err != nil {
+		t.Fatalf("OpenWAL: %v", err)
+	}
+	appendAll(t, w, want)
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	batched := t.TempDir()
+	w, err = OpenWAL(batched, WithSegmentBytes(256))
+	if err != nil {
+		t.Fatalf("OpenWAL: %v", err)
+	}
+	// Append in uneven groups to cross rotation boundaries mid-batch.
+	for start := 0; start < len(want); {
+		end := start + 1 + start%5
+		if end > len(want) {
+			end = len(want)
+		}
+		n, err := w.AppendBatch(want[start:end])
+		if err != nil {
+			t.Fatalf("AppendBatch[%d:%d]: %v", start, end, err)
+		}
+		if n != end-start {
+			t.Fatalf("AppendBatch wrote %d, want %d", n, end-start)
+		}
+		start = end
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	replay := func(dir string) []Record {
+		var got []Record
+		if _, err := ReplayWAL(dir, 0, func(r Record) error {
+			got = append(got, r)
+			return nil
+		}); err != nil {
+			t.Fatalf("ReplayWAL(%s): %v", dir, err)
+		}
+		return got
+	}
+	one, grouped := replay(single), replay(batched)
+	if !reflect.DeepEqual(one, grouped) {
+		t.Fatalf("batched WAL replays %d records differently from single appends (%d)",
+			len(grouped), len(one))
+	}
+}
+
+func TestWALAppendBatchAfterClose(t *testing.T) {
+	w, err := OpenWAL(t.TempDir())
+	if err != nil {
+		t.Fatalf("OpenWAL: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, err := w.AppendBatch(manyRecords(2)); !errors.Is(err, ErrJournalClosed) {
+		t.Errorf("AppendBatch after Close = %v, want ErrJournalClosed", err)
+	}
+}
+
+func TestWALAppendBatchEmpty(t *testing.T) {
+	w, err := OpenWAL(t.TempDir())
+	if err != nil {
+		t.Fatalf("OpenWAL: %v", err)
+	}
+	defer w.Close()
+	n, err := w.AppendBatch(nil)
+	if err != nil || n != 0 {
+		t.Errorf("AppendBatch(nil) = %d, %v; want 0, nil", n, err)
+	}
+}

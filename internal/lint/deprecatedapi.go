@@ -4,38 +4,99 @@ import (
 	"go/types"
 )
 
-// DeprecatedAPIAnalyzer forbids new uses of the legacy metrics.CounterSet
-// outside its own package. PR 2 replaced it with the lock-free Registry
-// (~4x faster on the uncontended path, see BENCH_metrics.json) and
-// registry.go documents that "new call sites should instrument through a
-// Registry"; this check turns that comment into a build-time rule.
+// DeprecatedAPIAnalyzer forbids new internal uses of two deprecated API
+// families:
+//
+//   - metrics.CounterSet outside its own package. PR 2 replaced it with the
+//     lock-free Registry (~4x faster on the uncontended path, see
+//     BENCH_metrics.json) and registry.go documents that "new call sites
+//     should instrument through a Registry".
+//
+//   - the non-context client methods (Client.Put, ClusterClient.Get, ...)
+//     outside internal/client. PR 5 made every request context-first
+//     (PutCtx and friends); the old signatures survive as "// Deprecated:"
+//     wrappers for external callers, but in-repo code should pass a context
+//     so cancellation and deadlines propagate through the pipelined mux.
+//
+// This check turns those deprecation comments into build-time rules.
 // Benchmarks and tests are exempt by construction: the lint loader only
 // analyzes non-test files.
 var DeprecatedAPIAnalyzer = &Analyzer{
 	Name: "deprecatedapi",
-	Doc:  "forbid metrics.CounterSet outside internal/metrics; instrument through the Registry",
-	Run:  runDeprecatedAPI,
+	Doc: "forbid metrics.CounterSet outside internal/metrics and non-context " +
+		"client methods outside internal/client",
+	Run: runDeprecatedAPI,
+}
+
+// deprecatedClientMethods lists the context-free request methods by receiver
+// type. Each has a context-first replacement named <method>Ctx (except the
+// batch APIs, which were born context-first and are not listed).
+var deprecatedClientMethods = map[string]map[string]bool{
+	"Client": {
+		"Put": true, "Update": true, "Get": true, "Delete": true,
+		"Stat": true, "Probe": true, "Rejuvenate": true, "Density": true,
+		"DensityHistory": true, "List": true,
+	},
+	"ClusterClient": {
+		"Put": true, "Get": true, "AverageDensity": true,
+	},
 }
 
 func runDeprecatedAPI(pass *Pass) {
-	if pathMatches(pass.Pkg.Path, "internal/metrics") {
-		return
-	}
 	for ident, obj := range pass.Pkg.Info.Uses {
-		if obj.Pkg() == nil || !pathMatches(obj.Pkg().Path(), "internal/metrics") {
+		if obj.Pkg() == nil {
 			continue
 		}
-		deprecated := false
-		switch o := obj.(type) {
-		case *types.TypeName:
-			deprecated = o.Name() == "CounterSet"
-		case *types.Func:
-			deprecated = o.Name() == "NewCounterSet"
-		}
-		if deprecated {
+		switch {
+		case pathMatches(obj.Pkg().Path(), "internal/metrics"):
+			if pathMatches(pass.Pkg.Path, "internal/metrics") {
+				continue
+			}
+			deprecated := false
+			switch o := obj.(type) {
+			case *types.TypeName:
+				deprecated = o.Name() == "CounterSet"
+			case *types.Func:
+				deprecated = o.Name() == "NewCounterSet"
+			}
+			if deprecated {
+				pass.Reportf(ident.Pos(),
+					"metrics.%s is deprecated outside internal/metrics: instrument through a metrics.Registry (see registry.go)",
+					obj.Name())
+			}
+		case pathMatches(obj.Pkg().Path(), "internal/client"):
+			if pathMatches(pass.Pkg.Path, "internal/client") {
+				continue
+			}
+			fn, ok := obj.(*types.Func)
+			if !ok {
+				continue
+			}
+			recv := receiverTypeName(fn)
+			if recv == "" || !deprecatedClientMethods[recv][fn.Name()] {
+				continue
+			}
 			pass.Reportf(ident.Pos(),
-				"metrics.%s is deprecated outside internal/metrics: instrument through a metrics.Registry (see registry.go)",
-				obj.Name())
+				"client.%s.%s is deprecated: use %sCtx so cancellation and deadlines propagate",
+				recv, fn.Name(), fn.Name())
 		}
 	}
+}
+
+// receiverTypeName returns the name of fn's receiver's named type ("" for
+// plain functions), unwrapping one level of pointer.
+func receiverTypeName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	return named.Obj().Name()
 }

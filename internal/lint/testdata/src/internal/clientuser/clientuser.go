@@ -1,0 +1,39 @@
+// Package clientuser exercises deprecatedapi's context-first client rule
+// outside internal/client: context-free request methods are flagged, their
+// Ctx replacements are not, and a reasoned //lint:ignore keeps one legacy
+// call site alive on purpose.
+package clientuser
+
+import (
+	"context"
+
+	"fixture/internal/client"
+)
+
+// store uses the deprecated context-free put.
+func store(c *client.Client) error {
+	return c.Put("obj") // want "client.Client.Put is deprecated"
+}
+
+// fetch uses the deprecated context-free get.
+func fetch(c *client.Client) (string, error) {
+	return c.Get("obj") // want "client.Client.Get is deprecated"
+}
+
+// place uses the deprecated cluster put.
+func place(cc *client.ClusterClient) error {
+	return cc.Put("obj") // want "client.ClusterClient.Put is deprecated"
+}
+
+// storeCtx is the replacement shape: context-first methods pass clean.
+func storeCtx(ctx context.Context, c *client.Client) error {
+	return c.PutCtx(ctx, "obj")
+}
+
+// legacyProbe deliberately exercises the deprecated signature -- it exists
+// to prove the old wrappers keep working -- so the finding is suppressed
+// with a reason.
+func legacyProbe(c *client.Client) error {
+	//lint:ignore deprecatedapi exercising the deprecated wrapper is the point here
+	return c.Put("legacy")
+}

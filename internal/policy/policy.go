@@ -18,8 +18,12 @@ import (
 )
 
 // View is the read-only state a policy plans against. The Residents slice
-// is owned by the policy for the duration of Plan and may be reordered, but
-// the objects themselves must not be mutated.
+// is borrowed from the caller for the duration of Plan: policies must not
+// mutate it, reorder it, or retain it past the call (copy first to sort --
+// rankByImportance builds its own candidate slice, which is why admission
+// against a full unit never disturbs the caller's slice). This contract is
+// what lets stores hand their live resident slice to Plan without an
+// O(residents) defensive copy on every put.
 type View struct {
 	// Capacity is the unit's total size in bytes.
 	Capacity int64

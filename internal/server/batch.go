@@ -1,0 +1,168 @@
+package server
+
+// BATCH dispatch. A batch frame answers every sub-request in one response
+// frame, but the win is not only round trips: all Put subs are admitted as
+// ONE group -- one store lock acquisition, one policy view snapshot, one
+// resident ranking (policy.PlanGroup) -- and journaled through one WAL
+// append+sync barrier instead of N flushes. Non-Put subs (gets, deletes,
+// stats, probes...) execute individually after the put group, in sub order.
+//
+// Ordering contract: put subs are admitted before every other sub in the
+// batch, regardless of position. A batch mixing dependent operations on the
+// same ID (delete-then-put) should order them across separate requests;
+// within a batch the put always wins the race.
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"besteffs/internal/journal"
+	"besteffs/internal/object"
+	"besteffs/internal/store"
+	"besteffs/internal/wire"
+)
+
+func (s *Server) handleBatch(m *wire.Batch, now time.Duration) wire.Message {
+	if len(m.Subs) == 0 {
+		return &wire.ErrorMsg{Code: wire.CodeBadRequest, Text: "empty batch"}
+	}
+	if s.maxBatchSubs > 0 && len(m.Subs) > s.maxBatchSubs {
+		return &wire.ErrorMsg{Code: wire.CodeBadRequest,
+			Text: fmt.Sprintf("batch of %d sub-requests exceeds the node's limit of %d",
+				len(m.Subs), s.maxBatchSubs)}
+	}
+	results := make([]wire.Message, len(m.Subs))
+	var puts []*wire.Put
+	var putIdx []int
+	for i, sub := range m.Subs {
+		if p, ok := sub.(*wire.Put); ok {
+			puts = append(puts, p)
+			putIdx = append(putIdx, i)
+		}
+	}
+	if len(puts) > 0 {
+		for i, res := range s.executePutGroup(puts, now) {
+			results[putIdx[i]] = res
+		}
+	}
+	for i, sub := range m.Subs {
+		if results[i] != nil {
+			continue
+		}
+		results[i] = s.execute(sub)
+	}
+	return &wire.BatchResult{Results: results}
+}
+
+// executePutGroup admits a group of puts as one store transaction and
+// journals the admitted ones through one append+sync barrier. Returns one
+// response per put, in group order.
+func (s *Server) executePutGroup(puts []*wire.Put, now time.Duration) []wire.Message {
+	results := make([]wire.Message, len(puts))
+	objs := make([]*object.Object, len(puts))
+	for i, m := range puts {
+		if len(m.Payload) == 0 {
+			results[i] = &wire.ErrorMsg{Code: wire.CodeBadRequest, Text: "empty payload"}
+			continue
+		}
+		s.met.putBytes.Observe(float64(len(m.Payload)))
+		o, err := object.New(m.ID, int64(len(m.Payload)), now, m.Importance)
+		if err != nil {
+			results[i] = &wire.ErrorMsg{Code: wire.CodeBadRequest, Text: err.Error()}
+			continue
+		}
+		o.Owner = m.Owner
+		o.Class = m.Class
+		if m.Version > 0 {
+			o.Version = int(m.Version)
+		}
+		objs[i] = o
+	}
+	// Hold the checkpoint read-lock across the group's unit mutation AND
+	// its journal barrier, the same clean-cut discipline as single puts:
+	// no record of this group can land after a checkpoint barrier while
+	// its effect is missing from the snapshot.
+	s.chkMu.RLock()
+	defer s.chkMu.RUnlock()
+	outcomes := s.unit.PutBatch(objs, now)
+	recs := make([]journal.Record, 0, len(puts))
+	for i, m := range puts {
+		if results[i] != nil {
+			// Failed validation above; objs[i] is nil and its PutBatch
+			// outcome is the nil-object error, already reported.
+			continue
+		}
+		if err := outcomes[i].Err; err != nil {
+			if errors.Is(err, store.ErrDuplicateID) {
+				results[i] = &wire.ErrorMsg{Code: wire.CodeDuplicate, Text: string(m.ID)}
+			} else {
+				results[i] = &wire.ErrorMsg{Code: wire.CodeInternal, Text: err.Error()}
+			}
+			continue
+		}
+		d := outcomes[i].Decision
+		res := &wire.PutResult{
+			Admitted: d.Admit,
+			Boundary: d.HighestPreempted,
+			Reason:   uint8(d.Reason),
+		}
+		if d.Admit {
+			o := objs[i]
+			// Metadata first, payload second, exactly like handlePut: a
+			// blob failure rolls this sub's admission back without
+			// disturbing its neighbours.
+			if err := s.blobs.Put(o.ID, m.Payload); err != nil {
+				if delErr := s.unit.Delete(o.ID); delErr != nil {
+					s.log.Error("roll back admission", "id", o.ID, "err", delErr)
+				}
+				results[i] = &wire.ErrorMsg{Code: wire.CodeInternal, Text: err.Error()}
+				continue
+			}
+			recs = append(recs, journal.Record{
+				Kind: journal.KindPut, At: now, ID: o.ID, Size: o.Size,
+				Owner: o.Owner, Class: o.Class, Version: uint32(o.Version),
+				Importance: o.Importance,
+			})
+			for _, v := range d.Victims {
+				res.Evicted = append(res.Evicted, v.ID)
+			}
+		}
+		results[i] = res
+	}
+	s.journalGroup(recs)
+	return results
+}
+
+// journalGroup records a group of entries through one append+sync barrier
+// when the sink supports it (the segmented WAL does), falling back to
+// per-record appends otherwise. Eviction records for the group were already
+// appended by the unit's hook during PutBatch, so replay order stays valid:
+// space is freed before it is consumed. Failures are logged, never fatal,
+// matching journalAppend.
+func (s *Server) journalGroup(recs []journal.Record) {
+	if s.journal == nil || len(recs) == 0 {
+		return
+	}
+	type batchAppender interface {
+		AppendBatch([]journal.Record) (int, error)
+	}
+	if ba, ok := s.journal.(batchAppender); ok {
+		if _, err := ba.AppendBatch(recs); err != nil {
+			s.log.Error("journal append batch", "records", len(recs), "err", err)
+			return
+		}
+	} else {
+		for _, r := range recs {
+			s.journalAppend(r)
+		}
+	}
+	type syncer interface {
+		Sync() error
+	}
+	if sy, ok := s.journal.(syncer); ok {
+		if err := sy.Sync(); err != nil {
+			s.log.Error("journal sync batch", "err", err)
+		}
+	}
+}

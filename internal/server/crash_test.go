@@ -65,6 +65,20 @@ func crashWorkload(srv *Server, clock *manualClock) {
 	step(&wire.Put{ID: "e", Owner: "erin", Importance: importance.Constant{Level: 0.99}, Payload: make([]byte, 1024)})
 	step(&wire.Rejuvenate{ID: "d", Importance: importance.Constant{Level: 0.5}})
 	step(&wire.Put{ID: "f", Owner: "frank", Importance: importance.Constant{Level: 0.97}, Payload: make([]byte, 512)})
+	// Batched appends: puts admitted as one group journal through one
+	// barrier (with the harness's per-record sink they still append one
+	// frame per record, keeping the acked accounting exact). The first
+	// batch evicts to admit and mixes in a delete; the second forces
+	// evictions planned within the group.
+	step(&wire.Batch{Subs: []wire.Message{
+		&wire.Put{ID: "g", Owner: "gail", Importance: importance.Constant{Level: 0.98}, Payload: make([]byte, 256)},
+		&wire.Put{ID: "h", Owner: "hank", Importance: importance.Constant{Level: 0.96}, Payload: make([]byte, 256)},
+		&wire.Delete{ID: "a"},
+	}})
+	step(&wire.Batch{Subs: []wire.Message{
+		&wire.Put{ID: "i", Owner: "iris", Importance: importance.Constant{Level: 0.99}, Payload: make([]byte, 2048)},
+		&wire.Put{ID: "j", Owner: "jack", Importance: importance.Constant{Level: 0.99}, Payload: make([]byte, 512)},
+	}})
 }
 
 // ackSink wraps the WAL so the harness knows exactly which appends the

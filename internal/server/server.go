@@ -79,6 +79,10 @@ type Server struct {
 	sampleEvery time.Duration
 	samples     *store.DensityRing
 
+	// maxBatchSubs caps sub-requests per BATCH frame (wire.MaxBatchSubs
+	// is the protocol ceiling; operators may lower it).
+	maxBatchSubs int
+
 	met *serverMetrics
 }
 
@@ -237,6 +241,17 @@ func WithDensitySampling(interval time.Duration, size int) Option {
 	}
 }
 
+// WithMaxBatchSubs lowers the cap on sub-requests per BATCH frame below
+// the protocol ceiling (wire.MaxBatchSubs). Oversized batches are answered
+// with CodeBadRequest; n outside (0, wire.MaxBatchSubs] keeps the ceiling.
+func WithMaxBatchSubs(n int) Option {
+	return func(s *Server) {
+		if n > 0 && n <= wire.MaxBatchSubs {
+			s.maxBatchSubs = n
+		}
+	}
+}
+
 // NetCounters reports the server's connection-level robustness counters
 // ("conns_accepted", "conns_rejected_limit", "panics_recovered",
 // "read_timeouts", "conns_force_closed", plus the "conns_active" gauge).
@@ -265,9 +280,10 @@ func (s *Server) DensitySamples() []store.DensitySample {
 // New builds a node with the given capacity and policy.
 func New(capacity int64, pol policy.Policy, opts ...Option) (*Server, error) {
 	s := &Server{
-		blobs: blob.NewMemStore(),
-		log:   slog.Default(),
-		met:   newServerMetrics(),
+		blobs:        blob.NewMemStore(),
+		log:          slog.Default(),
+		met:          newServerMetrics(),
+		maxBatchSubs: wire.MaxBatchSubs,
 	}
 	s.scrub = newScrubMetrics(s.met.reg)
 	start := time.Now()
@@ -482,8 +498,15 @@ func (s *Server) handleConn(ctx context.Context, conn net.Conn) {
 	}()
 	s.met.connsActive.Add(1)
 	defer s.met.connsActive.Add(-1)
-	br := bufio.NewReader(conn)
-	bw := bufio.NewWriter(conn)
+	// 64 KiB buffers: the read side must hold a full pipelined burst for
+	// coalesce to group it (the 4 KiB default caps groups at ~20 small
+	// frames), and the write side must hold the burst's responses so they
+	// leave in one flush.
+	br := bufio.NewReaderSize(conn, 64<<10)
+	bw := bufio.NewWriterSize(conn, 64<<10)
+	// Resolve the log level once: building a Debug call's argument list
+	// per frame is measurable on the pipelined hot path.
+	debug := s.log.Enabled(ctx, slog.LevelDebug)
 	for {
 		if ctx.Err() != nil {
 			return
@@ -503,31 +526,44 @@ func (s *Server) handleConn(ctx context.Context, conn net.Conn) {
 			s.log.Debug("read frame", "remote", conn.RemoteAddr(), "err", err)
 			return
 		}
+		// Frames a pipelining client already streamed behind this one are
+		// sitting complete in the read buffer; serve the whole run as one
+		// group so its puts share a view snapshot and a WAL barrier.
+		bodies := s.coalesce(br, body)
 		start := time.Now()
-		resp, op, trace := s.dispatch(body)
+		outs := s.dispatchGroup(bodies)
 		elapsed := time.Since(start)
-		s.met.observe(op, trace != "", elapsed)
-		if trace != "" {
-			s.log.Debug("request served", "op", op, "trace", trace,
-				"dur", elapsed, "remote", conn.RemoteAddr())
-		} else {
-			s.log.Debug("request served", "op", op,
-				"dur", elapsed, "remote", conn.RemoteAddr())
-		}
-		out, err := wire.Encode(resp)
-		if err != nil {
-			s.log.Error("encode response", "err", err)
-			return
-		}
-		// Echo the trace trailer so intermediaries (and the client's own
-		// logs) can correlate the response frame with the request.
-		out = wire.AppendTraceID(out, trace)
 		if s.writeTimeout > 0 {
 			conn.SetWriteDeadline(time.Now().Add(s.writeTimeout))
 		}
-		if err := wire.WriteFrame(bw, out); err != nil {
-			s.log.Debug("write frame", "remote", conn.RemoteAddr(), "err", err)
-			return
+		for _, d := range outs {
+			s.met.observe(d.op, d.tr.Trace != "", elapsed)
+			if debug {
+				if d.tr.Trace != "" {
+					s.log.Debug("request served", "op", d.op, "trace", d.tr.Trace,
+						"dur", elapsed, "remote", conn.RemoteAddr())
+				} else {
+					s.log.Debug("request served", "op", d.op,
+						"dur", elapsed, "remote", conn.RemoteAddr())
+				}
+			}
+			out, err := wire.Encode(d.resp)
+			if err != nil {
+				s.log.Error("encode response", "err", err)
+				return
+			}
+			// Echo the trace trailer so intermediaries (and the client's
+			// own logs) can correlate the response frame with the request,
+			// and the sequence trailer so a pipelining client can
+			// demultiplex.
+			out = wire.AppendTraceID(out, d.tr.Trace)
+			if d.tr.HasSeq {
+				out = wire.AppendSeq(out, d.tr.Seq)
+			}
+			if err := wire.WriteFrame(bw, out); err != nil {
+				s.log.Debug("write frame", "remote", conn.RemoteAddr(), "err", err)
+				return
+			}
 		}
 		if err := bw.Flush(); err != nil {
 			return
@@ -536,15 +572,15 @@ func (s *Server) handleConn(ctx context.Context, conn net.Conn) {
 }
 
 // dispatch decodes and executes one request, returning the response, the
-// request's opcode (OpInvalid for undecodable frames) and its trace ID, if
-// the client attached one.
-func (s *Server) dispatch(body []byte) (wire.Message, wire.Op, wire.TraceID) {
-	msg, trace, err := wire.DecodeTraced(body)
+// request's opcode (OpInvalid for undecodable frames) and whatever optional
+// trailers the client attached.
+func (s *Server) dispatch(body []byte) (wire.Message, wire.Op, wire.Trailers) {
+	msg, tr, err := wire.DecodeWithTrailers(body)
 	if err != nil {
 		return &wire.ErrorMsg{Code: wire.CodeBadRequest, Text: err.Error()},
-			wire.OpInvalid, ""
+			wire.OpInvalid, wire.Trailers{}
 	}
-	return s.execute(msg), msg.Op(), trace
+	return s.execute(msg), msg.Op(), tr
 }
 
 // UnknownOpError reports a well-formed frame whose opcode has no request
@@ -639,6 +675,8 @@ func (s *Server) execute(msg wire.Message) wire.Message {
 			Kind: journal.KindRejuvenate, At: now, ID: m.ID, Importance: m.Importance,
 		})
 		return &wire.RejuvenateResult{Version: uint32(fresh.Version)}
+	case wire.OpBatch:
+		return s.handleBatch(msg.(*wire.Batch), now)
 	case wire.OpList:
 		residents := s.unit.Residents()
 		ids := make([]object.ID, len(residents))

@@ -173,13 +173,17 @@ func (u *Unit) CountersSnapshot() Counters {
 	return u.counters
 }
 
-// viewLocked builds a policy view with a fresh resident slice; the policy
-// may reorder it freely.
+// viewLocked builds a policy view over the LIVE resident slice -- no copy.
+// Policies borrow Residents read-only for the duration of Plan (the
+// policy.View contract), and every caller holds u.mu across the Plan call,
+// so the slice cannot change underneath the policy. Skipping the copy keeps
+// admission O(1) when free space suffices; the old per-put copy dominated
+// put throughput on large units.
 func (u *Unit) viewLocked() policy.View {
 	return policy.View{
 		Capacity:  u.capacity,
 		Free:      u.free,
-		Residents: append([]*object.Object(nil), u.order...),
+		Residents: u.order,
 	}
 }
 
@@ -216,6 +220,77 @@ func (u *Unit) Put(o *object.Object, now time.Duration) (policy.Decision, error)
 		u.onAdmit(o, now)
 	}
 	return d, nil
+}
+
+// BatchOutcome is the per-object result of PutBatch: the admission plan
+// that was executed, or the per-object error that kept the object out of
+// planning (nil object, duplicate ID).
+type BatchOutcome struct {
+	// Decision is the executed admission plan; zero when Err is set.
+	Decision policy.Decision
+	// Err reports a per-object failure. A failed object never fails the
+	// group: its neighbours are planned as if it were absent.
+	Err error
+}
+
+// PutBatch offers a group of objects for storage under ONE lock acquisition
+// and ONE policy view snapshot, instead of N locked re-plans. Group
+// semantics come from policy.PlanGroup: members never preempt each other,
+// and no resident is evicted twice. Eviction, rejection and admission hooks
+// fire exactly as they would for the equivalent sequence of Puts.
+func (u *Unit) PutBatch(objs []*object.Object, now time.Duration) []BatchOutcome {
+	out := make([]BatchOutcome, len(objs))
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	// Validate per object: duplicates (already resident, or repeated within
+	// the batch) and nils fail individually, never the group.
+	seen := make(map[object.ID]bool, len(objs))
+	plan := make([]*object.Object, len(objs))
+	for k, o := range objs {
+		switch {
+		case o == nil:
+			out[k].Err = errors.New("store: nil object")
+		case u.residents[o.ID] != nil:
+			out[k].Err = fmt.Errorf("%w: %s", ErrDuplicateID, o.ID)
+		case seen[o.ID]:
+			out[k].Err = fmt.Errorf("%w: %s (earlier in batch)", ErrDuplicateID, o.ID)
+		default:
+			seen[o.ID] = true
+			plan[k] = o
+		}
+	}
+	decisions := policy.PlanGroup(u.pol, u.viewLocked(), plan, now)
+	for k, o := range plan {
+		if o == nil {
+			continue
+		}
+		d := decisions[k]
+		out[k].Decision = d
+		if !d.Admit {
+			u.counters.Rejected++
+			if u.onReject != nil {
+				u.onReject(Rejection{Object: o, Time: now, Boundary: d.HighestPreempted, Reason: d.Reason})
+			}
+			continue
+		}
+		for _, victim := range d.Victims {
+			if u.residents[victim.ID] == nil {
+				// Defensive: a planner violating the no-double-eviction
+				// contract must not corrupt free-space accounting.
+				continue
+			}
+			u.evictLocked(victim, now, o.ID)
+		}
+		u.residents[o.ID] = o
+		u.order = append(u.order, o)
+		u.free -= o.Size
+		u.counters.Admitted++
+		u.counters.AdmittedBytes += o.Size
+		if u.onAdmit != nil {
+			u.onAdmit(o, now)
+		}
+	}
+	return out
 }
 
 // ErrOverCapacity reports a Restore that would exceed the unit's capacity.

@@ -1,0 +1,147 @@
+package wire
+
+// The BATCH op carries many requests in one frame so a burst of operations
+// costs one round trip instead of N (the group-admission workload of
+// short-lived-data ingest, see DESIGN.md "Pipelining and batches"). Framing:
+//
+//	[1]byte OpBatch  [2]byte count  count x ( [4]byte length  sub body )
+//
+// Each sub body is a complete encoded message starting with its own opcode.
+// The response mirrors the shape with OpBatchResult: result i answers sub i,
+// and a failed sub is reported in place as an OpError message, so one bad
+// sub never poisons its neighbours. Batches never nest: a batch sub that is
+// itself a batch is rejected at decode time, bounding recursion depth.
+
+import (
+	"errors"
+	"fmt"
+)
+
+// MaxBatchSubs bounds the sub-messages one BATCH frame may carry. The cap
+// exists for the same reason as MaxFrameSize: a hostile count must not
+// drive allocation; servers may enforce a lower operational limit.
+const MaxBatchSubs = 4096
+
+// ErrBatchNested reports a batch sub-message that is itself a batch.
+var ErrBatchNested = errors.New("wire: nested batch")
+
+// Batch groups many requests into one frame.
+type Batch struct {
+	// Subs are the sub-requests, answered positionally by BatchResult.
+	Subs []Message
+}
+
+// Op implements Message.
+func (*Batch) Op() Op { return OpBatch }
+
+// sizeHint sums the subs' hints so a batch frame encodes in one
+// allocation instead of growing through every append.
+func (m *Batch) sizeHint() int {
+	n := 64
+	for _, sub := range m.Subs {
+		if h, ok := sub.(sizeHinter); ok {
+			n += 4 + h.sizeHint()
+		} else {
+			n += 96
+		}
+	}
+	return n
+}
+
+func (m *Batch) append(dst []byte) ([]byte, error) {
+	return appendSubs(dst, OpBatch, m.Subs)
+}
+
+// BatchResult answers a Batch: Results[i] is the response to Subs[i],
+// an OpError message when that sub failed.
+type BatchResult struct {
+	Results []Message
+}
+
+// Op implements Message.
+func (*BatchResult) Op() Op { return OpBatchResult }
+
+func (m *BatchResult) append(dst []byte) ([]byte, error) {
+	return appendSubs(dst, OpBatchResult, m.Results)
+}
+
+func appendSubs(dst []byte, op Op, subs []Message) ([]byte, error) {
+	if len(subs) == 0 {
+		return nil, fmt.Errorf("wire: empty %v", op)
+	}
+	if len(subs) > MaxBatchSubs {
+		return nil, fmt.Errorf("wire: %v of %d subs exceeds %d", op, len(subs), MaxBatchSubs)
+	}
+	dst = appendU8(dst, uint8(op))
+	dst = appendU16(dst, uint16(len(subs)))
+	for i, sub := range subs {
+		if sub == nil {
+			return nil, fmt.Errorf("wire: %v sub %d is nil", op, i)
+		}
+		if sub.Op() == OpBatch || sub.Op() == OpBatchResult {
+			return nil, fmt.Errorf("%w: sub %d", ErrBatchNested, i)
+		}
+		body, err := sub.append(make([]byte, 0, 64))
+		if err != nil {
+			return nil, fmt.Errorf("wire: %v sub %d: %w", op, i, err)
+		}
+		dst = appendBytes(dst, body)
+	}
+	return dst, nil
+}
+
+func decodeBatch(c *cursor) (Message, error) {
+	subs, err := decodeSubs(c, OpBatch)
+	if err != nil {
+		return nil, err
+	}
+	return &Batch{Subs: subs}, nil
+}
+
+func decodeBatchResult(c *cursor) (Message, error) {
+	subs, err := decodeSubs(c, OpBatchResult)
+	if err != nil {
+		return nil, err
+	}
+	return &BatchResult{Results: subs}, nil
+}
+
+func decodeSubs(c *cursor, op Op) ([]Message, error) {
+	n, err := c.u16()
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("wire: empty %v", op)
+	}
+	if int(n) > MaxBatchSubs {
+		return nil, fmt.Errorf("wire: %v of %d subs exceeds %d", op, n, MaxBatchSubs)
+	}
+	// Every sub costs at least its 4-byte length prefix; reject impossible
+	// counts before allocating the slice.
+	if len(c.rest()) < int(n)*4 {
+		return nil, ErrShort
+	}
+	subs := make([]Message, 0, n)
+	for i := 0; i < int(n); i++ {
+		body, err := c.bytes()
+		if err != nil {
+			return nil, fmt.Errorf("wire: %v sub %d: %w", op, i, err)
+		}
+		// Refuse nesting before recursing into decodeMsg, so a crafted
+		// frame cannot stack batches inside batches.
+		if len(body) > 0 && (Op(body[0]) == OpBatch || Op(body[0]) == OpBatchResult) {
+			return nil, fmt.Errorf("%w: sub %d", ErrBatchNested, i)
+		}
+		sc := &cursor{buf: body}
+		sub, err := decodeMsg(sc)
+		if err != nil {
+			return nil, fmt.Errorf("wire: %v sub %d: %w", op, i, err)
+		}
+		if len(sc.rest()) > 0 {
+			return nil, fmt.Errorf("wire: %v sub %d has %d trailing bytes", op, i, len(sc.rest()))
+		}
+		subs = append(subs, sub)
+	}
+	return subs, nil
+}

@@ -19,9 +19,23 @@ type Message interface {
 // ErrUnknownOp reports an unrecognized opcode.
 var ErrUnknownOp = errors.New("wire: unknown opcode")
 
-// Encode serializes a message into a frame body.
+// sizeHinter lets payload-carrying messages report their rough encoded
+// size, so Encode can allocate once instead of growing through append.
+type sizeHinter interface {
+	sizeHint() int
+}
+
+// Encode serializes a message into a frame body. The returned slice carries
+// spare capacity for the optional trailers (AppendTraceID, AppendSeq), so
+// stamping a frame does not reallocate it.
 func Encode(m Message) ([]byte, error) {
-	body, err := m.append(make([]byte, 0, 64))
+	n := 64
+	if h, ok := m.(sizeHinter); ok {
+		if hint := h.sizeHint(); hint > n {
+			n = hint
+		}
+	}
+	body, err := m.append(make([]byte, 0, n))
 	if err != nil {
 		return nil, fmt.Errorf("wire: encode %v: %w", m.Op(), err)
 	}
@@ -64,6 +78,8 @@ func decodeMsg(c *cursor) (Message, error) {
 		m, err = decodeUpdate(c)
 	case OpDensityHistory:
 		m = &DensityHistory{}
+	case OpBatch:
+		m, err = decodeBatch(c)
 	case OpPutResult:
 		m, err = decodePutResult(c)
 	case OpObject:
@@ -84,6 +100,8 @@ func decodeMsg(c *cursor) (Message, error) {
 		m, err = decodeRejuvenateResult(c)
 	case OpDensityHistoryResult:
 		m, err = decodeDensityHistoryResult(c)
+	case OpBatchResult:
+		m, err = decodeBatchResult(c)
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrUnknownOp, op)
 	}
@@ -91,6 +109,25 @@ func decodeMsg(c *cursor) (Message, error) {
 		return nil, fmt.Errorf("wire: decode %v: %w", Op(op), err)
 	}
 	return m, nil
+}
+
+// appendImportance encodes an importance function in place with its u16
+// length prefix: the length slot is reserved, the function appends directly
+// onto dst, and the slot is backfilled -- no intermediate buffer.
+func appendImportance(dst []byte, f importance.Function) ([]byte, error) {
+	at := len(dst)
+	dst = appendU16(dst, 0)
+	dst, err := importance.AppendEncode(dst, f)
+	if err != nil {
+		return nil, err
+	}
+	n := len(dst) - at - 2
+	if n > 0xFFFF {
+		return nil, fmt.Errorf("wire: importance encoding too long: %d bytes", n)
+	}
+	dst[at] = byte(n >> 8)
+	dst[at+1] = byte(n)
+	return dst, nil
 }
 
 // Put stores an object with its importance annotation.
@@ -106,6 +143,12 @@ type Put struct {
 // Op implements Message.
 func (*Put) Op() Op { return OpPut }
 
+// sizeHint reserves one allocation for the frame: fields, payload, and
+// headroom for the importance encoding and the optional trailers.
+func (m *Put) sizeHint() int {
+	return 96 + len(m.ID) + len(m.Owner) + len(m.Payload)
+}
+
 func (m *Put) append(dst []byte) ([]byte, error) {
 	dst = appendU8(dst, uint8(OpPut))
 	dst, err := appendStr(dst, string(m.ID))
@@ -117,12 +160,10 @@ func (m *Put) append(dst []byte) ([]byte, error) {
 	}
 	dst = appendU8(dst, uint8(m.Class))
 	dst = appendU32(dst, m.Version)
-	imp, err := importance.Encode(m.Importance)
+	dst, err = appendImportance(dst, m.Importance)
 	if err != nil {
 		return nil, err
 	}
-	dst = appendU16(dst, uint16(len(imp)))
-	dst = append(dst, imp...)
 	return appendBytes(dst, m.Payload), nil
 }
 
@@ -192,12 +233,10 @@ func (m *Update) append(dst []byte) ([]byte, error) {
 		return nil, err
 	}
 	dst = appendU8(dst, uint8(m.Class))
-	imp, err := importance.Encode(m.Importance)
+	dst, err = appendImportance(dst, m.Importance)
 	if err != nil {
 		return nil, err
 	}
-	dst = appendU16(dst, uint16(len(imp)))
-	dst = append(dst, imp...)
 	return appendBytes(dst, m.Payload), nil
 }
 
@@ -293,12 +332,7 @@ func (*Probe) Op() Op { return OpProbe }
 func (m *Probe) append(dst []byte) ([]byte, error) {
 	dst = appendU8(dst, uint8(OpProbe))
 	dst = appendU64(dst, uint64(m.Size))
-	imp, err := importance.Encode(m.Importance)
-	if err != nil {
-		return nil, err
-	}
-	dst = appendU16(dst, uint16(len(imp)))
-	return append(dst, imp...), nil
+	return appendImportance(dst, m.Importance)
 }
 
 func decodeProbe(c *cursor) (Message, error) {
@@ -421,6 +455,11 @@ type ObjectMsg struct {
 // Op implements Message.
 func (*ObjectMsg) Op() Op { return OpObject }
 
+// sizeHint: see Put.sizeHint.
+func (m *ObjectMsg) sizeHint() int {
+	return 96 + len(m.ID) + len(m.Owner) + len(m.Payload)
+}
+
 func (m *ObjectMsg) append(dst []byte) ([]byte, error) {
 	dst = appendU8(dst, uint8(OpObject))
 	dst, err := appendStr(dst, string(m.ID))
@@ -432,12 +471,10 @@ func (m *ObjectMsg) append(dst []byte) ([]byte, error) {
 	}
 	dst = appendU8(dst, uint8(m.Class))
 	dst = appendU32(dst, m.Version)
-	imp, err := importance.Encode(m.Importance)
+	dst, err = appendImportance(dst, m.Importance)
 	if err != nil {
 		return nil, err
 	}
-	dst = appendU16(dst, uint16(len(imp)))
-	dst = append(dst, imp...)
 	dst = appendU64(dst, uint64(m.AgeNanos))
 	dst = appendF64(dst, m.CurrentImportance)
 	return appendBytes(dst, m.Payload), nil

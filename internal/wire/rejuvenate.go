@@ -26,12 +26,7 @@ func (m *Rejuvenate) append(dst []byte) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	imp, err := importance.Encode(m.Importance)
-	if err != nil {
-		return nil, err
-	}
-	dst = appendU16(dst, uint16(len(imp)))
-	return append(dst, imp...), nil
+	return appendImportance(dst, m.Importance)
 }
 
 func decodeRejuvenate(c *cursor) (Message, error) {

@@ -1,20 +1,33 @@
 package wire
 
-// Request tracing rides the existing frame format as an optional trailer
-// appended after a message's last field:
+// Optional trailers ride the existing frame format after a message's last
+// field. Two are defined:
 //
-//	[1]byte magic (0xA7)  [1]byte id length  id bytes
+//	trace:    [1]byte magic (0xA7)  [1]byte id length  id bytes
+//	sequence: [1]byte magic (0xA8)  [8]byte big-endian sequence ID
 //
 // Decoders have never checked for trailing bytes (mutation tests rely on
-// junk suffixes being ignored), so a traced frame decodes identically on a
-// pre-trace peer: new client -> old server and old client -> new server both
-// keep working, which is the backward-compatibility contract here. Peers
-// that do understand the trailer correlate one request across client logs,
-// server logs and both sides' latency histograms.
+// junk suffixes being ignored), so a trailered frame decodes identically on
+// an older peer: new client -> old server and old client -> new server both
+// keep working, which is the backward-compatibility contract here. The trace
+// trailer correlates one request across client logs, server logs and both
+// sides' latency histograms; the sequence trailer lets a pipelining client
+// demultiplex many in-flight responses on one connection (the server echoes
+// it verbatim on the response frame).
+//
+// Trailers may appear in any order, but the walk must consume the remainder
+// of the body exactly: any unrecognized or malformed byte discards ALL
+// trailers, never just the broken one. Half-parsed trailers would make the
+// "junk suffix" compatibility story ambiguous.
+
+import "encoding/binary"
 
 // traceMagic introduces the optional trace trailer. Chosen outside the
 // opcode ranges so a trailer misread as a message start fails cleanly.
 const traceMagic = 0xA7
+
+// seqMagic introduces the optional sequence trailer.
+const seqMagic = 0xA8
 
 // MaxTraceIDLen bounds a trace ID; longer IDs are silently not attached.
 const MaxTraceIDLen = 64
@@ -22,6 +35,17 @@ const MaxTraceIDLen = 64
 // TraceID identifies one request across client and server logs and
 // histograms. Empty means untraced.
 type TraceID string
+
+// Trailers carries every optional trailer found after a message body.
+type Trailers struct {
+	// Trace is the trace ID; empty means untraced.
+	Trace TraceID
+	// Seq is the pipelining sequence ID, valid only when HasSeq is set
+	// (zero is a legal sequence value).
+	Seq uint64
+	// HasSeq reports whether a sequence trailer was present.
+	HasSeq bool
+}
 
 // AppendTraceID appends the optional trace trailer to an encoded frame
 // body. Empty or oversized IDs leave the body unchanged.
@@ -33,27 +57,60 @@ func AppendTraceID(body []byte, id TraceID) []byte {
 	return append(body, id...)
 }
 
-// DecodeTraced decodes a frame body and extracts the trace trailer, if any.
-// A missing or malformed trailer yields an empty TraceID, never an error:
-// tracing is observability, not protocol.
-func DecodeTraced(body []byte) (Message, TraceID, error) {
+// AppendSeq appends the optional sequence trailer to an encoded frame body.
+func AppendSeq(body []byte, seq uint64) []byte {
+	body = append(body, seqMagic)
+	return binary.BigEndian.AppendUint64(body, seq)
+}
+
+// DecodeWithTrailers decodes a frame body and extracts every optional
+// trailer. Missing or malformed trailers yield the zero Trailers, never an
+// error: trailers are plumbing, not protocol.
+func DecodeWithTrailers(body []byte) (Message, Trailers, error) {
 	c := &cursor{buf: body}
 	m, err := decodeMsg(c)
 	if err != nil {
-		return nil, "", err
+		return nil, Trailers{}, err
 	}
-	return m, parseTraceTrailer(c.rest()), nil
+	return m, parseTrailers(c.rest()), nil
 }
 
-// parseTraceTrailer reads a trace trailer that spans rest exactly; anything
-// else (no trailer, junk, short) is treated as untraced.
-func parseTraceTrailer(rest []byte) TraceID {
-	if len(rest) < 2 || rest[0] != traceMagic {
-		return ""
+// DecodeTraced decodes a frame body and extracts the trace trailer, if any.
+func DecodeTraced(body []byte) (Message, TraceID, error) {
+	m, tr, err := DecodeWithTrailers(body)
+	if err != nil {
+		return nil, "", err
 	}
-	n := int(rest[1])
-	if n == 0 || n > MaxTraceIDLen || len(rest) != 2+n {
-		return ""
+	return m, tr.Trace, nil
+}
+
+// parseTrailers walks the bytes after the message fields. The walk must
+// consume rest exactly; anything unrecognized, short or malformed discards
+// all trailers (the frame is treated as if it had a junk suffix).
+func parseTrailers(rest []byte) Trailers {
+	var t Trailers
+	for len(rest) > 0 {
+		switch rest[0] {
+		case traceMagic:
+			if len(rest) < 2 {
+				return Trailers{}
+			}
+			n := int(rest[1])
+			if n == 0 || n > MaxTraceIDLen || len(rest) < 2+n {
+				return Trailers{}
+			}
+			t.Trace = TraceID(rest[2 : 2+n])
+			rest = rest[2+n:]
+		case seqMagic:
+			if len(rest) < 9 {
+				return Trailers{}
+			}
+			t.Seq = binary.BigEndian.Uint64(rest[1:9])
+			t.HasSeq = true
+			rest = rest[9:]
+		default:
+			return Trailers{}
+		}
 	}
-	return TraceID(rest[2 : 2+n])
+	return t
 }

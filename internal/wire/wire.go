@@ -40,6 +40,7 @@ const (
 	OpRejuvenate
 	OpUpdate
 	OpDensityHistory
+	OpBatch
 )
 
 // Response opcodes.
@@ -54,6 +55,7 @@ const (
 	OpError
 	OpRejuvenateResult
 	OpDensityHistoryResult
+	OpBatchResult
 )
 
 // RequestOps lists every request opcode in wire order, for callers that
@@ -62,6 +64,7 @@ func RequestOps() []Op {
 	return []Op{
 		OpPut, OpGet, OpDelete, OpStat, OpProbe,
 		OpDensity, OpList, OpRejuvenate, OpUpdate, OpDensityHistory,
+		OpBatch,
 	}
 }
 
@@ -88,6 +91,8 @@ func (o Op) String() string {
 		return "UPDATE"
 	case OpDensityHistory:
 		return "DENSITY_HISTORY"
+	case OpBatch:
+		return "BATCH"
 	case OpPutResult:
 		return "PUT_RESULT"
 	case OpObject:
@@ -108,6 +113,8 @@ func (o Op) String() string {
 		return "REJUVENATE_RESULT"
 	case OpDensityHistoryResult:
 		return "DENSITY_HISTORY_RESULT"
+	case OpBatchResult:
+		return "BATCH_RESULT"
 	default:
 		return fmt.Sprintf("OP(%d)", uint8(o))
 	}
