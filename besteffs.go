@@ -28,6 +28,7 @@
 package besteffs
 
 import (
+	"context"
 	"math/rand"
 	"time"
 
@@ -35,6 +36,7 @@ import (
 	"besteffs/internal/client"
 	"besteffs/internal/cluster"
 	"besteffs/internal/importance"
+	"besteffs/internal/member"
 	"besteffs/internal/object"
 	"besteffs/internal/policy"
 	"besteffs/internal/server"
@@ -229,4 +231,31 @@ func Dial(addr string, timeout time.Duration) (*Client, error) {
 // DialCluster connects to many nodes and returns the placement client.
 func DialCluster(addrs []string, timeout time.Duration, rng *rand.Rand) (*ClusterClient, error) {
 	return client.DialCluster(addrs, timeout, rng)
+}
+
+// DialClusterSeed connects to one seed node, asks it for the cluster's
+// live membership, and returns a placement client connected to every
+// alive member. Requires the nodes to run the membership protocol (a
+// MemberAgent attached via Server.SetMembership, or besteffsd -join).
+func DialClusterSeed(ctx context.Context, seed string, timeout time.Duration, rng *rand.Rand) (*ClusterClient, error) {
+	return client.DialClusterSeed(ctx, seed, timeout, rng)
+}
+
+// Cluster membership over the real wire.
+type (
+	// MemberAgent runs the gossip membership protocol for one live node:
+	// it advertises the node's address, importance boundary, free bytes
+	// and density to its peers, detects dead peers by advertisement
+	// staleness, and carries the push-sum density average over TCP.
+	// Attach it to the node with Server.SetMembership.
+	MemberAgent = member.Agent
+	// MemberConfig configures a MemberAgent.
+	MemberConfig = member.Config
+)
+
+// NewMemberAgent builds a membership agent; call its Run to start
+// gossiping and Server.SetMembership to let the node answer GOSSIP and
+// MEMBERS requests.
+func NewMemberAgent(cfg MemberConfig) (*MemberAgent, error) {
+	return member.NewAgent(cfg)
 }

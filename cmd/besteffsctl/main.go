@@ -23,6 +23,11 @@
 //	                    used bytes, importance boundary) from nodes running
 //	                    with -sample
 //	list                list resident object IDs per node
+//	members             print each node's membership table: every known
+//	                    member with its advertised importance boundary, free
+//	                    bytes, density and liveness
+//	repair-status       print each node's replication factor, threshold and
+//	                    repair counters (pushed, pulled, under-replicated...)
 //	fsck <data-dir>     offline integrity check of a stopped node's data
 //	                    directory: verifies WAL segment and checkpoint CRCs,
 //	                    blob payload CRCs, and cross-checks residents against
@@ -138,6 +143,10 @@ func run(args []string) error {
 		return cmdDensity(ctx, clients, addrList)
 	case "list":
 		return cmdList(ctx, clients, addrList)
+	case "members":
+		return cmdMembers(ctx, clients, addrList)
+	case "repair-status":
+		return cmdRepairStatus(ctx, clients, addrList)
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
 	}
@@ -274,6 +283,40 @@ func cmdDensity(ctx context.Context, clients []*client.Client, addrs []string) e
 			fmt.Printf("  t=%-14s density=%.4f used=%d boundary=%.3f\n",
 				s.At, s.Density, s.Used, s.Boundary)
 		}
+	}
+	return nil
+}
+
+func cmdMembers(ctx context.Context, clients []*client.Client, addrs []string) error {
+	for i, c := range clients {
+		members, err := c.MembersCtx(ctx)
+		if err != nil {
+			return fmt.Errorf("node %s: %w", addrs[i], err)
+		}
+		fmt.Printf("%s: %d member(s)\n", addrs[i], len(members))
+		for _, m := range members {
+			health := "alive"
+			if !m.Alive {
+				health = "dead"
+			}
+			fmt.Printf("  %-21s %-5s boundary=%.3f free=%d density=%.4f incarnation=%d version=%d\n",
+				m.Addr, health, m.Boundary, m.Free, m.Density, m.Incarnation, m.Version)
+		}
+	}
+	return nil
+}
+
+func cmdRepairStatus(ctx context.Context, clients []*client.Client, addrs []string) error {
+	for i, c := range clients {
+		st, err := c.RepairStatusCtx(ctx)
+		if err != nil {
+			return fmt.Errorf("node %s: %w", addrs[i], err)
+		}
+		fmt.Printf("%s: replicas=%d threshold=%.3f\n", addrs[i], st.Replicas, st.Threshold)
+		fmt.Printf("  pushed=%d push-failures=%d pulled=%d bytes-repaired=%d\n",
+			st.Pushed, st.PushFailures, st.Pulled, st.BytesRepaired)
+		fmt.Printf("  passes=%d under-replicated=%d pending=%d last-pass=%s\n",
+			st.Passes, st.UnderReplicated, st.Pending, time.Duration(st.LastPassNanos).Round(time.Millisecond))
 	}
 	return nil
 }

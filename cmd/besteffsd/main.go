@@ -9,7 +9,19 @@
 //	besteffsd [-addr HOST:PORT] [-capacity BYTES] [-policy NAME] [-data DIR]
 //	          [-sweep DUR] [-status HOST:PORT] [-pprof] [-sample DUR]
 //	          [-sample-window N] [-max-conns N] [-max-batch N] [-req-timeout DUR]
-//	          [-drain DUR]
+//	          [-drain DUR] [-join ADDRS] [-replicas N] [-repl-threshold F]
+//	          [-repair-interval DUR] [-gossip-interval DUR] [-advertise HOST:PORT]
+//
+// Cluster mode starts with -join (gossip with existing members at ADDRS,
+// comma-separated) or -replicas. Every clustered node runs the membership
+// heartbeat -- advertising its address, importance boundary and free
+// capacity -- and answers MEMBERS, so clients can discover the whole
+// cluster from any one node. With -replicas N > 1, an admitted object whose
+// initial importance reaches -repl-threshold is pushed to N-1 peers before
+// the put is acknowledged, and an anti-entropy loop re-replicates
+// under-replicated or divergent objects every -repair-interval. Use
+// -advertise when the listen address is not reachable by peers (e.g.
+// -addr :7459 behind NAT).
 //
 // With -status, the address serves the JSON status snapshot at /, the
 // Prometheus text exposition at /metrics, and -- with -pprof -- the standard
@@ -51,12 +63,16 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
+	"sync"
 	"syscall"
 	"time"
 
 	"besteffs/internal/blob"
 	"besteffs/internal/journal"
+	"besteffs/internal/member"
 	"besteffs/internal/policy"
+	"besteffs/internal/repair"
 	"besteffs/internal/server"
 )
 
@@ -86,6 +102,12 @@ func run(args []string) error {
 	walSegment := fs.Int64("wal-segment", journal.DefaultSegmentBytes, "WAL segment rotation size in bytes")
 	scrubInterval := fs.Duration("scrub-interval", 0, "verify payload CRCs and quarantine corrupt objects every interval (0 disables)")
 	maxBatch := fs.Int("max-batch", 0, "cap on sub-requests per BATCH frame and per coalesced put group (0 = protocol limit)")
+	join := fs.String("join", "", "comma-separated addresses of existing cluster members to gossip with (enables cluster mode)")
+	replicas := fs.Int("replicas", 0, "replication factor for objects above -repl-threshold (0 disables; >1 enables the repair loop)")
+	replThreshold := fs.Float64("repl-threshold", 0.5, "initial importance at or above which objects replicate")
+	repairInterval := fs.Duration("repair-interval", 5*time.Second, "anti-entropy repair pass period")
+	gossipInterval := fs.Duration("gossip-interval", 500*time.Millisecond, "membership heartbeat period")
+	advertise := fs.String("advertise", "", "address peers reach this node at (default: the listen address)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -103,6 +125,12 @@ func run(args []string) error {
 	}
 	if *sample > 0 && *sampleWindow < 1 {
 		return fmt.Errorf("-sample-window %d is not positive", *sampleWindow)
+	}
+	if *replicas < 0 {
+		return fmt.Errorf("-replicas %d is negative", *replicas)
+	}
+	if *replThreshold < 0 || *replThreshold > 1 {
+		return fmt.Errorf("-repl-threshold %v outside [0, 1]", *replThreshold)
 	}
 
 	pol, err := policyByName(*policyName, *share)
@@ -192,6 +220,75 @@ func run(args []string) error {
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
+
+	// Cluster mode: a membership agent gossiping this node's advertisement,
+	// plus -- with -replicas > 1 -- the repair manager. Both loops run on
+	// their own context so shutdown can stop them before the WAL closes:
+	// a repair pull mid-flight must not append to a closed journal.
+	var (
+		mgr           *repair.Manager
+		clusterWG     sync.WaitGroup
+		clusterCancel context.CancelFunc
+	)
+	if *join != "" || *replicas > 0 {
+		selfAddr := *advertise
+		if selfAddr == "" {
+			selfAddr = l.Addr().String()
+		}
+		var seeds []string
+		for _, seed := range strings.Split(*join, ",") {
+			seed = strings.TrimSpace(seed)
+			if seed != "" && seed != selfAddr {
+				seeds = append(seeds, seed)
+			}
+		}
+		agent, err := member.NewAgent(member.Config{
+			Addr: selfAddr,
+			Self: func() (float64, int64, float64) {
+				sm := srv.Unit().SampleAt(srv.Now())
+				return sm.Boundary, srv.Unit().Capacity() - srv.Unit().Used(), sm.Density
+			},
+			Seeds:    seeds,
+			Interval: *gossipInterval,
+			Logger:   log,
+		})
+		if err != nil {
+			return err
+		}
+		srv.SetMembership(agent)
+		if *replicas > 1 {
+			mgr, err = repair.NewManager(repair.Config{
+				Replicas:  *replicas,
+				Threshold: *replThreshold,
+				Interval:  *repairInterval,
+				SelfAddr:  selfAddr,
+				Local:     srv,
+				Peers:     agent,
+				Logger:    log,
+				Registry:  srv.Metrics(),
+			})
+			if err != nil {
+				return err
+			}
+			srv.SetRepair(mgr)
+		}
+		cctx, cancel := context.WithCancel(ctx)
+		clusterCancel = cancel
+		clusterWG.Add(1)
+		go func() {
+			defer clusterWG.Done()
+			agent.Run(cctx)
+		}()
+		if mgr != nil {
+			clusterWG.Add(1)
+			go func() {
+				defer clusterWG.Done()
+				mgr.Run(cctx)
+			}()
+		}
+		log.Info("cluster mode", "advertise", selfAddr, "seeds", seeds,
+			"replicas", *replicas, "repl_threshold", *replThreshold)
+	}
 	if *statusAddr != "" {
 		mux := http.NewServeMux()
 		mux.Handle("/", srv.StatusHandler())
@@ -221,6 +318,17 @@ func run(args []string) error {
 	}
 	if err := srv.Serve(ctx, l); err != nil {
 		return err
+	}
+	// Stop the cluster loops (and wait for an in-flight repair pass) before
+	// touching the WAL below; repair pulls append journal records.
+	if clusterCancel != nil {
+		clusterCancel()
+		clusterWG.Wait()
+		if mgr != nil {
+			if err := mgr.Close(); err != nil {
+				log.Error("close repair connections", "err", err)
+			}
+		}
 	}
 	// Serve has returned, so every handler -- and thus every journal
 	// append -- is done. Checkpoint the final state (making the next boot

@@ -1,9 +1,13 @@
 // Netstore: a live Besteffs deployment over TCP, in one process.
 //
-// The example starts three storage nodes on loopback listeners, connects a
-// cluster client, and stores objects with the paper's placement algorithm
-// running over real sockets: probe each sampled node for the highest
-// importance it would preempt, then store on the node with the lowest
+// The example starts three storage nodes on loopback listeners and joins
+// them into one cluster with the gossip membership protocol: every node
+// runs a MemberAgent that advertises its address, importance boundary and
+// free capacity to its peers. The client then discovers the whole cluster
+// from a single seed address (DialClusterSeed) -- it never sees the other
+// two addresses -- and stores objects with the paper's placement algorithm
+// running over real sockets: probe sampled nodes for the highest
+// importance a put would preempt, store on the node with the lowest
 // boundary. It then demonstrates preemption across the wire and reads the
 // density feedback from every node.
 //
@@ -35,8 +39,10 @@ func run() error {
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 
-	// Start three nodes.
-	var addrs []string
+	// Start three nodes. Each runs a membership agent next to its storage
+	// server; nodes 1 and 2 join through node 0's address, then gossip
+	// spreads the full table everywhere.
+	var seed string
 	for i := 0; i < 3; i++ {
 		srv, err := besteffs.NewServer(nodeCapacity, besteffs.TemporalImportance{})
 		if err != nil {
@@ -46,21 +52,45 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		addrs = append(addrs, l.Addr().String())
+		addr := l.Addr().String()
+		var seeds []string
+		if seed == "" {
+			seed = addr
+		} else {
+			seeds = []string{seed}
+		}
+		agent, err := besteffs.NewMemberAgent(besteffs.MemberConfig{
+			Addr: addr,
+			Self: func() (float64, int64, float64) {
+				sm := srv.Unit().SampleAt(srv.Now())
+				return sm.Boundary, srv.Unit().Capacity() - srv.Unit().Used(), sm.Density
+			},
+			Seeds:    seeds,
+			Interval: 100 * time.Millisecond,
+		})
+		if err != nil {
+			return err
+		}
+		srv.SetMembership(agent)
+		go agent.Run(ctx)
 		go func() {
 			if err := srv.Serve(ctx, l); err != nil {
 				log.Printf("node: %v", err)
 			}
 		}()
 		fmt.Printf("node %d listening on %s (%d MB, temporal-importance policy)\n",
-			i, l.Addr(), nodeCapacity>>20)
+			i, addr, nodeCapacity>>20)
 	}
 
-	cc, err := besteffs.DialCluster(addrs, 2*time.Second, rand.New(rand.NewSource(1)))
+	// Give the heartbeats a few rounds to spread all three advertisements,
+	// then discover the cluster from the single seed address.
+	time.Sleep(500 * time.Millisecond)
+	cc, err := besteffs.DialClusterSeed(ctx, seed, 2*time.Second, rand.New(rand.NewSource(1)))
 	if err != nil {
 		return err
 	}
 	defer cc.Close()
+	fmt.Printf("\ndiscovered the cluster from seed %s\n", seed)
 
 	// Store a batch of annotated objects across the cluster.
 	lifetime, err := besteffs.NewTwoStep(0.6, time.Hour, time.Hour)

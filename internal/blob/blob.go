@@ -21,6 +21,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"io"
 	"os"
 	"path/filepath"
 	"sync"
@@ -60,6 +61,13 @@ type Store interface {
 // heap.
 type Verifier interface {
 	Verify(id object.ID) error
+}
+
+// Summer is implemented by stores that can report a payload's recorded
+// CRC-32 without reading the bytes out. Anti-entropy index exchange uses it
+// to summarize every resident object cheaply.
+type Summer interface {
+	Sum(id object.ID) (uint32, error)
 }
 
 // MemStore is an in-memory Store. The zero value is not usable; construct
@@ -129,6 +137,17 @@ func (s *MemStore) Verify(id object.ID) error {
 		return fmt.Errorf("%w: %s", ErrCorrupt, id)
 	}
 	return nil
+}
+
+// Sum implements Summer.
+func (s *MemStore) Sum(id object.ID) (uint32, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sum, ok := s.sums[id]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	return sum, nil
 }
 
 // Corrupt flips one payload byte and leaves the recorded CRC alone,
@@ -272,6 +291,37 @@ func (s *FileStore) Verify(id object.ID) error {
 		return fmt.Errorf("%w: %s", ErrCorrupt, id)
 	}
 	return nil
+}
+
+// Sum implements Summer by reading only the 8-byte header. Legacy files
+// (no magic) are read fully and summed on the fly.
+func (s *FileStore) Sum(id object.ID) (uint32, error) {
+	f, err := os.Open(s.path(id))
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return 0, fmt.Errorf("%w: %s", ErrNotFound, id)
+		}
+		return 0, fmt.Errorf("blob: open: %w", err)
+	}
+	//lint:ignore uncheckederr read-only descriptor; close failure loses nothing
+	defer f.Close()
+	var hdr [8]byte
+	n, err := io.ReadFull(f, hdr[:])
+	if err != nil && !errors.Is(err, io.ErrUnexpectedEOF) && !errors.Is(err, io.EOF) {
+		return 0, fmt.Errorf("blob: read header: %w", err)
+	}
+	if n == 8 && bytes.Equal(hdr[:4], fileMagic) {
+		return binary.BigEndian.Uint32(hdr[4:]), nil
+	}
+	// Legacy file: the whole file is the payload.
+	h := crc32.NewIEEE()
+	if _, err := h.Write(hdr[:n]); err != nil {
+		return 0, fmt.Errorf("blob: sum: %w", err)
+	}
+	if _, err := io.Copy(h, f); err != nil {
+		return 0, fmt.Errorf("blob: sum: %w", err)
+	}
+	return h.Sum32(), nil
 }
 
 // Delete implements Store.

@@ -766,9 +766,20 @@ type node struct {
 // client keeps placing on the healthy subset -- the paper's best-effort
 // ethos applied to the cluster path itself.
 type ClusterClient struct {
-	nodes []*node
+	// nodes is append-only: discovery (RefreshMembers) may grow it, so
+	// every index handed out stays valid for the client's lifetime. Reads
+	// of the slice header go through snapshotNodes/nodeAt/numNodes.
+	nodesMu sync.RWMutex
+	nodes   []*node
+
 	rng   *rand.Rand
 	rngMu sync.Mutex
+
+	// adv caches the latest membership advertisement per node address
+	// (seed discovery and RefreshMembers fill it); placement prefers the
+	// advertised lowest-boundary nodes.
+	advMu sync.Mutex
+	adv   map[string]wire.MemberInfo
 
 	// SampleSize is x, the nodes probed per round.
 	SampleSize int
@@ -809,6 +820,31 @@ func newClusterClient(nodes []*node, rng *rand.Rand) (*ClusterClient, error) {
 		}
 	}
 	return cc, nil
+}
+
+// snapshotNodes returns the current node slice; append-only growth keeps a
+// snapshot's indexes valid forever.
+func (cc *ClusterClient) snapshotNodes() []*node {
+	cc.nodesMu.RLock()
+	defer cc.nodesMu.RUnlock()
+	return cc.nodes
+}
+
+// numNodes returns the current node count.
+func (cc *ClusterClient) numNodes() int {
+	cc.nodesMu.RLock()
+	defer cc.nodesMu.RUnlock()
+	return len(cc.nodes)
+}
+
+// nodeAt returns node i, or nil when i is out of range.
+func (cc *ClusterClient) nodeAt(i int) *node {
+	cc.nodesMu.RLock()
+	defer cc.nodesMu.RUnlock()
+	if i < 0 || i >= len(cc.nodes) {
+		return nil
+	}
+	return cc.nodes[i]
 }
 
 // NewClusterClient wraps per-node clients. The random source drives node
@@ -926,7 +962,7 @@ func DialCluster(addrs []string, timeout time.Duration, rng *rand.Rand, opts ...
 // Close closes every node connection, returning the first error.
 func (cc *ClusterClient) Close() error {
 	var first error
-	for _, n := range cc.nodes {
+	for _, n := range cc.snapshotNodes() {
 		n.mu.Lock()
 		c := n.client
 		n.mu.Unlock()
@@ -944,7 +980,10 @@ func (cc *ClusterClient) Close() error {
 // admits traffic, lazily redialing a down node whose eject period expired.
 // It returns nil for nodes that should be skipped.
 func (cc *ClusterClient) ready(i int) *Client {
-	n := cc.nodes[i]
+	n := cc.nodeAt(i)
+	if n == nil {
+		return nil
+	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if time.Now().Before(n.openUntil) {
@@ -983,7 +1022,10 @@ func (cc *ClusterClient) markFailureLocked(n *node, i int, err error) {
 
 // noteFailure marks node i suspect after a transport failure.
 func (cc *ClusterClient) noteFailure(i int, err error) {
-	n := cc.nodes[i]
+	n := cc.nodeAt(i)
+	if n == nil {
+		return
+	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	cc.markFailureLocked(n, i, err)
@@ -991,7 +1033,10 @@ func (cc *ClusterClient) noteFailure(i int, err error) {
 
 // noteSuccess resets node i's health after a successful request.
 func (cc *ClusterClient) noteSuccess(i int) {
-	n := cc.nodes[i]
+	n := cc.nodeAt(i)
+	if n == nil {
+		return
+	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.failures = 0
@@ -1000,9 +1045,9 @@ func (cc *ClusterClient) noteSuccess(i int) {
 
 // sample draws up to x distinct node indexes.
 func (cc *ClusterClient) sample(x int) []int {
+	n := cc.numNodes()
 	cc.rngMu.Lock()
 	defer cc.rngMu.Unlock()
-	n := len(cc.nodes)
 	if x >= n {
 		out := make([]int, n)
 		for i := range out {
@@ -1059,7 +1104,7 @@ func (cc *ClusterClient) PutCtx(ctx context.Context, req PutRequest) (Placement,
 	answered := 0
 	var lastErr error
 	for try := 0; try < cc.MaxTries; try++ {
-		for _, idx := range cc.sample(cc.SampleSize) {
+		for _, idx := range cc.placementSample(cc.SampleSize) {
 			if err := ctx.Err(); err != nil {
 				return Placement{}, err
 			}
@@ -1202,7 +1247,7 @@ func (cc *ClusterClient) PutBatch(ctx context.Context, reqs []PutRequest) ([]Clu
 	}
 	var cands []candidate
 	answered := 0
-	for _, idx := range cc.sample(cc.SampleSize) {
+	for _, idx := range cc.placementSample(cc.SampleSize) {
 		c := cc.ready(idx)
 		if c == nil {
 			continue
@@ -1281,7 +1326,7 @@ func (cc *ClusterClient) PutBatch(ctx context.Context, reqs []PutRequest) ([]Clu
 // ErrNotFound until the node returns.
 func (cc *ClusterClient) GetCtx(ctx context.Context, id object.ID) (Object, error) {
 	answered := 0
-	for i := range cc.nodes {
+	for i := range cc.snapshotNodes() {
 		if err := ctx.Err(); err != nil {
 			return Object{}, err
 		}
@@ -1319,7 +1364,7 @@ func (cc *ClusterClient) Get(id object.ID) (Object, error) {
 func (cc *ClusterClient) AverageDensityCtx(ctx context.Context) (float64, error) {
 	total := 0.0
 	answered := 0
-	for i := range cc.nodes {
+	for i := range cc.snapshotNodes() {
 		if err := ctx.Err(); err != nil {
 			return 0, err
 		}

@@ -1,0 +1,289 @@
+package client
+
+// Cluster-membership client surface: the per-node requests behind
+// replication and anti-entropy (REPLICATE, INDEX, INDEX_DIFF), the MEMBERS
+// and REPAIR_STATUS operator views, and seed-based discovery -- DialClusterSeed
+// asks one live node for the membership table and builds the cluster client
+// from it, so deployments hand clients a single address instead of a static
+// node list. Discovered advertisements (importance boundary, free bytes)
+// feed the Section 5.3 placement walk: instead of probing a blind random
+// sample, the walk samples the nodes advertising the lowest boundaries and
+// verifies them with probes.
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"besteffs/internal/wire"
+)
+
+// ReplicateCtx pushes one replica to the node; the node stores it like an
+// ordinary put (journaled, policy-admitted) unless it already holds a copy
+// that supersedes it.
+func (c *Client) ReplicateCtx(ctx context.Context, rep *wire.Replicate) (PutResult, error) {
+	resp, err := c.roundTripCtx(ctx, rep)
+	if err != nil {
+		return PutResult{}, err
+	}
+	return putResultFrom(resp)
+}
+
+// IndexCtx fetches the node's object index above the initial-importance
+// threshold (0 = everything).
+func (c *Client) IndexCtx(ctx context.Context, threshold float64) ([]wire.IndexEntry, error) {
+	resp, err := c.roundTripCtx(ctx, &wire.Index{Threshold: threshold})
+	if err != nil {
+		return nil, err
+	}
+	switch r := resp.(type) {
+	case *wire.IndexResult:
+		return r.Entries, nil
+	case *wire.ErrorMsg:
+		return nil, translateError(r)
+	default:
+		return nil, fmt.Errorf("%w: %v", ErrUnexpected, resp.Op())
+	}
+}
+
+// IndexDiffCtx sends this side's index and returns the node's comparison:
+// what we are missing from it, and what it needs from us.
+func (c *Client) IndexDiffCtx(ctx context.Context, threshold float64, entries []wire.IndexEntry) (*wire.IndexDiffResult, error) {
+	resp, err := c.roundTripCtx(ctx, &wire.IndexDiff{Threshold: threshold, Entries: entries})
+	if err != nil {
+		return nil, err
+	}
+	switch r := resp.(type) {
+	case *wire.IndexDiffResult:
+		return r, nil
+	case *wire.ErrorMsg:
+		return nil, translateError(r)
+	default:
+		return nil, fmt.Errorf("%w: %v", ErrUnexpected, resp.Op())
+	}
+}
+
+// MembersCtx fetches the node's membership table: every node it knows,
+// with advertised boundary, free bytes, density and liveness.
+func (c *Client) MembersCtx(ctx context.Context) ([]wire.MemberInfo, error) {
+	resp, err := c.roundTripCtx(ctx, &wire.Members{})
+	if err != nil {
+		return nil, err
+	}
+	switch r := resp.(type) {
+	case *wire.MembersResult:
+		return r.Members, nil
+	case *wire.ErrorMsg:
+		return nil, translateError(r)
+	default:
+		return nil, fmt.Errorf("%w: %v", ErrUnexpected, resp.Op())
+	}
+}
+
+// RepairStatusCtx fetches the node's replication/repair counters.
+func (c *Client) RepairStatusCtx(ctx context.Context) (*wire.RepairStatusResult, error) {
+	resp, err := c.roundTripCtx(ctx, &wire.RepairStatus{})
+	if err != nil {
+		return nil, err
+	}
+	switch r := resp.(type) {
+	case *wire.RepairStatusResult:
+		return r, nil
+	case *wire.ErrorMsg:
+		return nil, translateError(r)
+	default:
+		return nil, fmt.Errorf("%w: %v", ErrUnexpected, resp.Op())
+	}
+}
+
+// DialClusterSeed discovers the cluster from one seed node: it connects to
+// the seed, fetches the membership table, and builds a ClusterClient over
+// every known-alive member (the seed included). Discovery is best-effort
+// membership, so the client starts with whatever subset is reachable
+// (quorum 1 unless overridden) and lazily dials the rest; call
+// RefreshMembers to pick up nodes that join later.
+func DialClusterSeed(ctx context.Context, seed string, timeout time.Duration, rng *rand.Rand, opts ...ClusterOption) (*ClusterClient, error) {
+	sc, err := Dial(seed, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("client: discover via %s: %w", seed, err)
+	}
+	members, err := sc.MembersCtx(ctx)
+	closeErr := sc.Close()
+	if err != nil {
+		return nil, fmt.Errorf("client: discover via %s: %w", seed, err)
+	}
+	_ = closeErr // discovery connection; the cluster redials on demand
+	addrs := []string{seed}
+	adv := map[string]wire.MemberInfo{}
+	for _, mi := range members {
+		if mi.Addr == "" {
+			continue
+		}
+		adv[mi.Addr] = mi
+		if mi.Addr != seed && mi.Alive {
+			addrs = append(addrs, mi.Addr)
+		}
+	}
+	// Membership is live state: unreachable members must not fail the
+	// dial, so default to quorum 1 unless the caller asked otherwise.
+	hasQuorum := false
+	probe := clusterDialConfig{}
+	for _, opt := range opts {
+		opt(&probe)
+	}
+	hasQuorum = probe.quorum > 0
+	if !hasQuorum {
+		opts = append(opts, WithQuorum(1))
+	}
+	cc, err := DialCluster(addrs, timeout, rng, opts...)
+	if err != nil {
+		return nil, err
+	}
+	cc.adv = adv
+	return cc, nil
+}
+
+// RefreshMembers re-fetches the membership table from any reachable node,
+// adds newly discovered members to the cluster (existing node indexes stay
+// stable), and updates every node's cached advertisement. It returns how
+// many new nodes were added.
+func (cc *ClusterClient) RefreshMembers(ctx context.Context) (added int, err error) {
+	var members []wire.MemberInfo
+	var lastErr error
+	for _, i := range cc.sample(len(cc.snapshotNodes())) {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		c := cc.ready(i)
+		if c == nil {
+			continue
+		}
+		ms, err := c.MembersCtx(ctx)
+		if err != nil {
+			lastErr = err
+			if !isRemoteError(err) {
+				cc.noteFailure(i, err)
+			}
+			continue
+		}
+		cc.noteSuccess(i)
+		members = ms
+		break
+	}
+	if members == nil {
+		if lastErr != nil {
+			return 0, lastErr
+		}
+		return 0, ErrNoHealthyNodes
+	}
+
+	known := make(map[string]bool)
+	for _, n := range cc.snapshotNodes() {
+		if n.addr != "" {
+			known[n.addr] = true
+		}
+	}
+	cc.advMu.Lock()
+	if cc.adv == nil {
+		cc.adv = make(map[string]wire.MemberInfo)
+	}
+	for _, mi := range members {
+		if mi.Addr != "" {
+			cc.adv[mi.Addr] = mi
+		}
+	}
+	cc.advMu.Unlock()
+	for _, mi := range members {
+		if mi.Addr == "" || known[mi.Addr] || !mi.Alive {
+			continue
+		}
+		known[mi.Addr] = true
+		cc.addNode(mi.Addr)
+		added++
+	}
+	if added > 0 {
+		cc.log.Info("cluster membership grew", "added", added, "total", len(cc.snapshotNodes()))
+	}
+	return added, nil
+}
+
+// addNode appends one lazily-dialed node to the cluster, inheriting the
+// first node's config and dial timeout.
+func (cc *ClusterClient) addNode(addr string) {
+	cc.nodesMu.Lock()
+	defer cc.nodesMu.Unlock()
+	cfg := DefaultConfig()
+	timeout := 2 * time.Second
+	if len(cc.nodes) > 0 {
+		cfg = cc.nodes[0].cfg
+		if cc.nodes[0].dialTimeout > 0 {
+			timeout = cc.nodes[0].dialTimeout
+		}
+	}
+	cc.nodes = append(cc.nodes, &node{addr: addr, dialTimeout: timeout, cfg: cfg})
+}
+
+// Advertised returns the cached advertisement for a node index, if
+// discovery (or RefreshMembers) has seen one.
+func (cc *ClusterClient) advertised(n *node) (wire.MemberInfo, bool) {
+	if n.addr == "" {
+		return wire.MemberInfo{}, false
+	}
+	cc.advMu.Lock()
+	defer cc.advMu.Unlock()
+	mi, ok := cc.adv[n.addr]
+	return mi, ok
+}
+
+// placementSample picks the nodes for one placement round. With live
+// advertisements the walk goes where the membership layer says the cheapest
+// space is: the x-1 alive nodes advertising the lowest importance boundary
+// (free-bytes tiebreak), plus one random node so the view never ossifies.
+// Without advertisements it falls back to the blind random sample.
+func (cc *ClusterClient) placementSample(x int) []int {
+	nodes := cc.snapshotNodes()
+	type ranked struct {
+		idx int
+		mi  wire.MemberInfo
+	}
+	var advised []ranked
+	for i, n := range nodes {
+		if mi, ok := cc.advertised(n); ok && mi.Alive {
+			advised = append(advised, ranked{i, mi})
+		}
+	}
+	if len(advised) == 0 {
+		return cc.sample(x)
+	}
+	sort.Slice(advised, func(i, j int) bool {
+		if advised[i].mi.Boundary != advised[j].mi.Boundary {
+			return advised[i].mi.Boundary < advised[j].mi.Boundary
+		}
+		return advised[i].mi.Free > advised[j].mi.Free
+	})
+	take := x - 1
+	if take < 1 {
+		take = 1
+	}
+	if take > len(advised) {
+		take = len(advised)
+	}
+	out := make([]int, 0, take+1)
+	seen := make(map[int]bool, take+1)
+	for _, r := range advised[:take] {
+		out = append(out, r.idx)
+		seen[r.idx] = true
+	}
+	for _, i := range cc.sample(x) {
+		if len(out) >= x {
+			break
+		}
+		if !seen[i] {
+			out = append(out, i)
+			seen[i] = true
+		}
+	}
+	return out
+}

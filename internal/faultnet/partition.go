@@ -1,0 +1,128 @@
+package faultnet
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Partition blocks traffic between named endpoints, modelling a network
+// split: bidirectional (Block) or asymmetric (BlockOneWay), optionally
+// healing itself after a deadline (BlockFor). Endpoints are plain strings
+// -- typically listen addresses -- matched exactly. Probabilistic partial
+// partitions draw from the owning Injector's seeded source, so a flaky
+// split-brain window reproduces exactly from its seed.
+//
+// A Partition gates dials (Dialer) and per-message decisions (Blocked);
+// it does not tear established connections -- compose with Plan.DropRate
+// for that.
+type Partition struct {
+	inj   *Injector
+	mu    sync.Mutex
+	rules []partitionRule
+}
+
+// partitionRule blocks from->to until the deadline (zero = until Heal).
+type partitionRule struct {
+	from, to string
+	until    time.Time
+	// prob is the probability a crossing message is blocked; 1 is a full
+	// partition.
+	prob float64
+}
+
+// NewPartition returns an empty partition drawing probabilistic decisions
+// from the injector's seeded source.
+func (inj *Injector) NewPartition() *Partition {
+	return &Partition{inj: inj}
+}
+
+// Block splits a and b bidirectionally until Heal.
+func (p *Partition) Block(a, b string) { p.add(a, b, 0, 1); p.add(b, a, 0, 1) }
+
+// BlockOneWay drops traffic from -> to only, leaving the reverse direction
+// intact: the asymmetric failure mode where A can reach B but not vice
+// versa.
+func (p *Partition) BlockOneWay(from, to string) { p.add(from, to, 0, 1) }
+
+// BlockFor splits a and b bidirectionally and heals the split after d.
+func (p *Partition) BlockFor(a, b string, d time.Duration) {
+	until := time.Now().Add(d)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.rules = append(p.rules,
+		partitionRule{from: a, to: b, until: until, prob: 1},
+		partitionRule{from: b, to: a, until: until, prob: 1})
+}
+
+// BlockLossy drops traffic from -> to with probability prob until Heal,
+// for degraded-but-not-severed links.
+func (p *Partition) BlockLossy(from, to string, prob float64) {
+	p.add(from, to, 0, prob)
+}
+
+func (p *Partition) add(from, to string, until time.Duration, prob float64) {
+	var deadline time.Time
+	if until > 0 {
+		deadline = time.Now().Add(until)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.rules = append(p.rules, partitionRule{from: from, to: to, until: deadline, prob: prob})
+}
+
+// Heal removes every rule, ending the split immediately.
+func (p *Partition) Heal() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.rules = nil
+}
+
+// Blocked reports whether a message from -> to is blocked right now.
+// Expired rules are pruned as a side effect, so a BlockFor split heals
+// itself the first time anyone asks after the deadline.
+func (p *Partition) Blocked(from, to string) bool {
+	now := time.Now()
+	p.mu.Lock()
+	live := p.rules[:0]
+	var hit *partitionRule
+	for i := range p.rules {
+		r := p.rules[i]
+		if !r.until.IsZero() && now.After(r.until) {
+			continue // expired: healed
+		}
+		live = append(live, r)
+		if hit == nil && r.from == from && r.to == to {
+			hit = &live[len(live)-1]
+		}
+	}
+	p.rules = live
+	var prob float64
+	if hit != nil {
+		prob = hit.prob
+	}
+	p.mu.Unlock()
+	if hit == nil {
+		return false
+	}
+	if prob >= 1 || p.inj.roll(prob) {
+		p.inj.counters.inc("drops")
+		return true
+	}
+	return false
+}
+
+// Dialer wraps dial so that dials crossing the partition fail with
+// ErrInjected. from names the dialing endpoint; the dialed address is the
+// other end. Membership and repair components take an injectable dial
+// function, so this is the hook that creates a real split-brain window in
+// tests.
+func (p *Partition) Dialer(from string, dial func(addr string) (net.Conn, error)) func(addr string) (net.Conn, error) {
+	return func(addr string) (net.Conn, error) {
+		if p.Blocked(from, addr) {
+			return nil, fmt.Errorf("%w: partitioned %s -> %s", ErrInjected, from, addr)
+		}
+		return dial(addr)
+	}
+}

@@ -1,0 +1,94 @@
+package faultnet
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+)
+
+func TestPartitionBidirectional(t *testing.T) {
+	p := NewInjector(1, Plan{}).NewPartition()
+	p.Block("a:1", "b:1")
+	if !p.Blocked("a:1", "b:1") || !p.Blocked("b:1", "a:1") {
+		t.Fatal("bidirectional block not symmetric")
+	}
+	if p.Blocked("a:1", "c:1") || p.Blocked("c:1", "b:1") {
+		t.Fatal("uninvolved endpoint blocked")
+	}
+	p.Heal()
+	if p.Blocked("a:1", "b:1") || p.Blocked("b:1", "a:1") {
+		t.Fatal("heal did not clear the split")
+	}
+}
+
+func TestPartitionAsymmetric(t *testing.T) {
+	p := NewInjector(2, Plan{}).NewPartition()
+	p.BlockOneWay("a:1", "b:1")
+	if !p.Blocked("a:1", "b:1") {
+		t.Fatal("a->b not blocked")
+	}
+	if p.Blocked("b:1", "a:1") {
+		t.Fatal("reverse direction blocked on a one-way rule")
+	}
+}
+
+func TestPartitionHealsAfterDeadline(t *testing.T) {
+	p := NewInjector(3, Plan{}).NewPartition()
+	p.BlockFor("a:1", "b:1", 30*time.Millisecond)
+	if !p.Blocked("a:1", "b:1") {
+		t.Fatal("not blocked inside the window")
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for p.Blocked("a:1", "b:1") {
+		if time.Now().After(deadline) {
+			t.Fatal("partition never healed")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if p.Blocked("b:1", "a:1") {
+		t.Fatal("reverse rule survived the deadline")
+	}
+}
+
+func TestPartitionLossySeeded(t *testing.T) {
+	run := func(seed int64) (blocked int) {
+		p := NewInjector(seed, Plan{}).NewPartition()
+		p.BlockLossy("a:1", "b:1", 0.5)
+		for i := 0; i < 200; i++ {
+			if p.Blocked("a:1", "b:1") {
+				blocked++
+			}
+		}
+		return blocked
+	}
+	a, b := run(42), run(42)
+	if a != b {
+		t.Fatalf("same seed diverged: %d vs %d", a, b)
+	}
+	if a == 0 || a == 200 {
+		t.Fatalf("lossy rule blocked %d/200; want a partial partition", a)
+	}
+}
+
+func TestPartitionDialer(t *testing.T) {
+	inj := NewInjector(4, Plan{})
+	p := inj.NewPartition()
+	p.Block("a:1", "b:1")
+	dial := p.Dialer("a:1", func(addr string) (net.Conn, error) {
+		c, s := net.Pipe()
+		s.Close()
+		return c, nil
+	})
+	if _, err := dial("b:1"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("partitioned dial err = %v, want ErrInjected", err)
+	}
+	c, err := dial("c:1")
+	if err != nil {
+		t.Fatalf("unpartitioned dial failed: %v", err)
+	}
+	c.Close()
+	if inj.Counters()["drops"] == 0 {
+		t.Fatal("partition blocks not counted as drops")
+	}
+}

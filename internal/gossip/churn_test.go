@@ -1,0 +1,195 @@
+package gossip
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"besteffs/internal/faultnet"
+)
+
+// TestChurnLeaveMidRun: a node dying mid-run removes its mass detectably
+// (Mass drops by what it held) and the survivors still converge -- to the
+// mean of the remaining mass, not to garbage.
+func TestChurnLeaveMidRun(t *testing.T) {
+	const n = 100
+	g := buildGraph(t, n, 4, 11)
+	rng := rand.New(rand.NewSource(12))
+	values := make([]float64, n)
+	for i := range values {
+		values[i] = rng.Float64()
+	}
+	a, err := NewAverager(g, values, rng)
+	if err != nil {
+		t.Fatalf("NewAverager: %v", err)
+	}
+	for r := 0; r < 5; r++ {
+		if err := a.Step(); err != nil {
+			t.Fatalf("Step: %v", err)
+		}
+	}
+	vBefore, wBefore := a.Mass()
+	dead := 7
+	held := a.States()[dead]
+	if err := a.Leave(dead); err != nil {
+		t.Fatalf("Leave: %v", err)
+	}
+	vAfter, wAfter := a.Mass()
+	if math.Abs((vBefore-vAfter)-held.Value) > 1e-12 || math.Abs((wBefore-wAfter)-held.Weight) > 1e-12 {
+		t.Fatalf("Leave removed (%v, %v) mass, node held (%v, %v)",
+			vBefore-vAfter, wBefore-wAfter, held.Value, held.Weight)
+	}
+	if a.Active(dead) {
+		t.Fatal("dead node still active")
+	}
+
+	// Survivors converge; shares sent toward the dead node are lost, so
+	// mass may only shrink, never grow.
+	for r := 0; r < 400 && a.Spread() > 1e-6; r++ {
+		if err := a.Step(); err != nil {
+			t.Fatalf("Step: %v", err)
+		}
+	}
+	if a.Spread() > 1e-6 {
+		t.Fatalf("survivors did not converge, spread %v", a.Spread())
+	}
+	vEnd, wEnd := a.Mass()
+	if vEnd > vAfter+1e-9 || wEnd > wAfter+1e-9 {
+		t.Fatalf("mass grew after death: (%v, %v) -> (%v, %v)", vAfter, wAfter, vEnd, wEnd)
+	}
+	// The surviving estimate is the ratio of the remaining mass: the
+	// protocol's self-consistency under churn.
+	want := vEnd / wEnd
+	for i, e := range a.Estimates() {
+		if i == dead {
+			continue
+		}
+		if math.Abs(e-want) > 1e-5 {
+			t.Fatalf("node %d estimate %v, want %v", i, e, want)
+		}
+	}
+}
+
+// TestChurnRejoin: a node rejoining mid-run adds exactly (value, 1) mass
+// and the cluster re-converges including it.
+func TestChurnRejoin(t *testing.T) {
+	const n = 60
+	g := buildGraph(t, n, 4, 21)
+	rng := rand.New(rand.NewSource(22))
+	values := make([]float64, n)
+	for i := range values {
+		values[i] = 0.5
+	}
+	a, err := NewAverager(g, values, rng)
+	if err != nil {
+		t.Fatalf("NewAverager: %v", err)
+	}
+	if err := a.Leave(3); err != nil {
+		t.Fatalf("Leave: %v", err)
+	}
+	for r := 0; r < 10; r++ {
+		if err := a.Step(); err != nil {
+			t.Fatalf("Step: %v", err)
+		}
+	}
+	vBefore, wBefore := a.Mass()
+	if err := a.Rejoin(3, 0.9); err != nil {
+		t.Fatalf("Rejoin: %v", err)
+	}
+	vAfter, wAfter := a.Mass()
+	if math.Abs((vAfter-vBefore)-0.9) > 1e-12 || math.Abs((wAfter-wBefore)-1) > 1e-12 {
+		t.Fatalf("Rejoin added (%v, %v), want (0.9, 1)", vAfter-vBefore, wAfter-wBefore)
+	}
+	for r := 0; r < 400 && a.Spread() > 1e-6; r++ {
+		if err := a.Step(); err != nil {
+			t.Fatalf("Step: %v", err)
+		}
+	}
+	if a.Spread() > 1e-6 {
+		t.Fatalf("did not re-converge after rejoin, spread %v", a.Spread())
+	}
+	if err := a.Rejoin(n, 1); err == nil {
+		t.Error("Rejoin out of range accepted")
+	}
+	if err := a.Leave(-1); err == nil {
+		t.Error("Leave out of range accepted")
+	}
+}
+
+// TestChurnDroppedMessages: when faultnet drops a fraction of shares, mass
+// conservation degrades detectably -- the post-run mass deficit must match
+// nonzero injected drops, and it must never grow.
+func TestChurnDroppedMessages(t *testing.T) {
+	const n = 100
+	g := buildGraph(t, n, 4, 31)
+	rng := rand.New(rand.NewSource(32))
+	values := make([]float64, n)
+	for i := range values {
+		values[i] = rng.Float64()
+	}
+	a, err := NewAverager(g, values, rng)
+	if err != nil {
+		t.Fatalf("NewAverager: %v", err)
+	}
+	inj := faultnet.NewInjector(77, faultnet.Plan{DropRate: 0.05})
+	drop := func(from, to int) bool { return inj.ShouldDrop() }
+
+	v0, w0 := a.Mass()
+	for r := 0; r < 50; r++ {
+		if err := a.StepLossy(drop); err != nil {
+			t.Fatalf("StepLossy: %v", err)
+		}
+	}
+	v1, w1 := a.Mass()
+	drops := inj.Counters()["drops"]
+	if drops == 0 {
+		t.Fatal("no drops injected at 5% over 50 rounds; seed regression")
+	}
+	if w1 >= w0 {
+		t.Fatalf("weight mass did not degrade under drops: %v -> %v (%d drops)", w0, w1, drops)
+	}
+	if v1 > v0 {
+		t.Fatalf("value mass grew under drops: %v -> %v", v0, v1)
+	}
+	// Degradation is detectable, not silent: the run's estimates still
+	// agree with the surviving mass ratio once messages stop dropping.
+	for r := 0; r < 400 && a.Spread() > 1e-6; r++ {
+		if err := a.Step(); err != nil {
+			t.Fatalf("Step: %v", err)
+		}
+	}
+	vEnd, wEnd := a.Mass()
+	want := vEnd / wEnd
+	for i, e := range a.Estimates() {
+		if math.Abs(e-want) > 1e-5 {
+			t.Fatalf("node %d estimate %v, want %v", i, e, want)
+		}
+	}
+}
+
+// TestChurnLossFreeStepConservesMass: StepLossy(nil) and Step remain
+// mass-conserving with inactive nodes absent -- the invariant only ever
+// breaks by the faults injected.
+func TestChurnLossFreeStepConservesMass(t *testing.T) {
+	const n = 40
+	g := buildGraph(t, n, 3, 41)
+	rng := rand.New(rand.NewSource(42))
+	values := make([]float64, n)
+	for i := range values {
+		values[i] = float64(i)
+	}
+	a, err := NewAverager(g, values, rng)
+	if err != nil {
+		t.Fatalf("NewAverager: %v", err)
+	}
+	v0, w0 := a.Mass()
+	for r := 0; r < 30; r++ {
+		if err := a.StepLossy(nil); err != nil {
+			t.Fatalf("StepLossy: %v", err)
+		}
+		v, w := a.Mass()
+		if math.Abs(v-v0) > 1e-6*math.Abs(v0) || math.Abs(w-w0) > 1e-9 {
+			t.Fatalf("round %d: mass (%v, %v) drifted from (%v, %v)", r, v, w, v0, w0)
+		}
+	}
+}

@@ -6,7 +6,7 @@ import "fixture/internal/wire"
 
 // Missing covers only some opcodes and has no default.
 func Missing(op wire.Op) int {
-	switch op { // want "misses opcodes OpGet, OpInvalid, OpOK"
+	switch op { // want "misses opcodes OpGet, OpIndex, OpInvalid, OpOK, OpReplicate"
 	case wire.OpPut:
 		return 1
 	}
@@ -20,6 +20,8 @@ func Exhaustive(op wire.Op) int {
 		return 1
 	case wire.OpGet, wire.OpOK:
 		return 2
+	case wire.OpReplicate, wire.OpIndex:
+		return 3
 	}
 	return 0
 }

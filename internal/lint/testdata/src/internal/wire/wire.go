@@ -5,10 +5,14 @@ package wire
 // Op identifies a message type.
 type Op uint8
 
-// Opcodes.
+// Opcodes. OpReplicate and OpIndex mirror the cluster ops the real wire
+// package grew, so the fixtures prove the analyzer re-arms when the
+// universe expands.
 const (
 	OpInvalid Op = iota
 	OpPut
 	OpGet
 	OpOK
+	OpReplicate
+	OpIndex
 )

@@ -1,0 +1,431 @@
+// Package member maintains live cluster membership for Besteffs nodes: a
+// gossip heartbeat over TCP in which every node advertises its address, its
+// importance boundary (the highest importance a put would currently
+// preempt -- the Section 5.3 placement key), and its free capacity and
+// importance density. The same heartbeat carries a push-sum share (package
+// gossip's protocol, here on the real wire) so every node converges on the
+// cluster-wide average density, the paper's Section 5.1.2 feedback signal,
+// without any central component.
+//
+// Heartbeats are ordinary wire frames (OpGossip) sent to each peer's
+// serving address, so membership needs no second port: the storage server
+// answers gossip next to puts and gets. Failure detection is indirect
+// freshness: only the origin node bumps its own advertisement version, so
+// when a node dies its advertisement stops getting fresher anywhere, and
+// every peer independently times it out after DeadAfter.
+package member
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"math/rand"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"besteffs/internal/wire"
+)
+
+// Config configures an Agent.
+type Config struct {
+	// Addr is this node's advertised (and serving) address. Required.
+	Addr string
+	// Self reports the node's live placement state: importance boundary,
+	// free bytes, and importance density. Required.
+	Self func() (boundary float64, free int64, density float64)
+	// Seeds are addresses to contact at startup.
+	Seeds []string
+	// Interval is the heartbeat period (default 500ms).
+	Interval time.Duration
+	// Fanout is how many peers each heartbeat contacts (default 2).
+	Fanout int
+	// DeadAfter is how long a peer's advertisement may go stale before
+	// the peer is considered dead (default 5*Interval).
+	DeadAfter time.Duration
+	// Epoch is the push-sum epoch length: each epoch restarts the average
+	// from local values, so mass lost to dead nodes or dropped shares
+	// washes out instead of skewing the estimate forever (default
+	// 20*Interval).
+	Epoch time.Duration
+	// DialTimeout bounds one gossip exchange (default 2s).
+	DialTimeout time.Duration
+	// Dial overrides the transport (tests inject faultnet here). Default
+	// is a plain TCP dial.
+	Dial func(addr string) (net.Conn, error)
+	// Logger defaults to slog.Default.
+	Logger *slog.Logger
+	// Seed seeds peer selection; 0 uses the boot time.
+	Seed int64
+}
+
+// entry is one peer's membership record.
+type entry struct {
+	info wire.MemberInfo
+	// lastSeen advances only on direct contact or strictly fresher
+	// indirect news, so a dead peer's record stops advancing everywhere
+	// within a few rounds of its last heartbeat.
+	lastSeen time.Time
+}
+
+// Agent runs the membership protocol for one node.
+type Agent struct {
+	cfg         Config
+	log         *slog.Logger
+	incarnation uint64
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	version uint64
+	table   map[string]*entry
+	// Push-sum state, reset every epoch.
+	epoch       uint64
+	shareValue  float64
+	shareWeight float64
+
+	// Health counters for status output.
+	sent, failed uint64
+}
+
+// NewAgent builds an agent; Run starts it.
+func NewAgent(cfg Config) (*Agent, error) {
+	if cfg.Addr == "" {
+		return nil, fmt.Errorf("member: missing Addr")
+	}
+	if cfg.Self == nil {
+		return nil, fmt.Errorf("member: missing Self")
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = 500 * time.Millisecond
+	}
+	if cfg.Fanout <= 0 {
+		cfg.Fanout = 2
+	}
+	if cfg.DeadAfter <= 0 {
+		cfg.DeadAfter = 5 * cfg.Interval
+	}
+	if cfg.Epoch <= 0 {
+		cfg.Epoch = 20 * cfg.Interval
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 2 * time.Second
+	}
+	if cfg.Dial == nil {
+		timeout := cfg.DialTimeout
+		cfg.Dial = func(addr string) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, timeout)
+		}
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.Default()
+	}
+	boot := time.Now()
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = boot.UnixNano()
+	}
+	a := &Agent{
+		cfg:         cfg,
+		log:         cfg.Logger,
+		incarnation: uint64(boot.UnixNano()),
+		rng:         rand.New(rand.NewSource(seed)),
+		table:       make(map[string]*entry),
+	}
+	for _, s := range cfg.Seeds {
+		if s == "" || s == cfg.Addr {
+			continue
+		}
+		// Seeds start with a zero advertisement; any real heartbeat from
+		// them is fresher and replaces it.
+		a.table[s] = &entry{info: wire.MemberInfo{Addr: s}, lastSeen: boot}
+	}
+	return a, nil
+}
+
+// Addr returns this node's advertised address.
+func (a *Agent) Addr() string { return a.cfg.Addr }
+
+// fresher reports whether advertisement x carries strictly newer news than
+// y: a later incarnation (reboot), or the same incarnation at a higher
+// version (a newer heartbeat from the same process).
+func fresher(x, y wire.MemberInfo) bool {
+	if x.Incarnation != y.Incarnation {
+		return x.Incarnation > y.Incarnation
+	}
+	return x.Version > y.Version
+}
+
+// self builds this node's current advertisement. Callers hold a.mu.
+func (a *Agent) selfLocked() wire.MemberInfo {
+	boundary, free, density := a.cfg.Self()
+	return wire.MemberInfo{
+		Addr:        a.cfg.Addr,
+		Incarnation: a.incarnation,
+		Version:     a.version,
+		Boundary:    boundary,
+		Free:        free,
+		Density:     density,
+		Alive:       true,
+	}
+}
+
+// merge folds one advertisement into the table. Direct contact (the peer
+// itself spoke to us) always refreshes liveness; indirect news refreshes it
+// only when strictly fresher, so third-hand copies of a dead node's last
+// words cannot keep it alive.
+func (a *Agent) mergeLocked(mi wire.MemberInfo, direct bool, now time.Time) {
+	if mi.Addr == "" || mi.Addr == a.cfg.Addr {
+		return // we are authoritative about ourselves
+	}
+	e, ok := a.table[mi.Addr]
+	if !ok {
+		a.table[mi.Addr] = &entry{info: mi, lastSeen: now}
+		return
+	}
+	if fresher(mi, e.info) {
+		e.info = mi
+		e.lastSeen = now
+	} else if direct {
+		e.lastSeen = now
+	}
+}
+
+// snapshotLocked builds the membership list to gossip: self plus every
+// known peer, with Alive computed from this node's own freshness view.
+func (a *Agent) snapshotLocked(now time.Time) []wire.MemberInfo {
+	out := make([]wire.MemberInfo, 0, len(a.table)+1)
+	out = append(out, a.selfLocked())
+	for _, e := range a.table {
+		mi := e.info
+		mi.Alive = now.Sub(e.lastSeen) < a.cfg.DeadAfter
+		out = append(out, mi)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
+}
+
+// currentEpoch maps wall time to a push-sum epoch number.
+func (a *Agent) currentEpoch(now time.Time) uint64 {
+	return uint64(now.UnixNano()) / uint64(a.cfg.Epoch)
+}
+
+// rollEpochLocked resets the push-sum state when the epoch advances.
+func (a *Agent) rollEpochLocked(now time.Time) {
+	if ep := a.currentEpoch(now); ep != a.epoch {
+		_, _, density := a.cfg.Self()
+		a.epoch = ep
+		a.shareValue = density
+		a.shareWeight = 1
+	}
+}
+
+// Members returns the full membership view, self included, sorted by
+// address, with Alive computed against DeadAfter.
+func (a *Agent) Members() []wire.MemberInfo {
+	now := time.Now()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.snapshotLocked(now)
+}
+
+// AlivePeers returns the peers (self excluded) currently considered alive.
+func (a *Agent) AlivePeers() []wire.MemberInfo {
+	now := time.Now()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var out []wire.MemberInfo
+	for _, e := range a.table {
+		if now.Sub(e.lastSeen) < a.cfg.DeadAfter {
+			mi := e.info
+			mi.Alive = true
+			out = append(out, mi)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
+}
+
+// DensityEstimate returns this node's current estimate of the cluster-wide
+// average importance density (its own density until the first exchange of
+// an epoch completes).
+func (a *Agent) DensityEstimate() float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.shareWeight <= 0 {
+		_, _, density := a.cfg.Self()
+		return density
+	}
+	return a.shareValue / a.shareWeight
+}
+
+// Health reports heartbeat delivery counters for status output.
+func (a *Agent) Health() (sent, failed uint64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.sent, a.failed
+}
+
+// HandleGossip answers one inbound heartbeat: merge the sender's view,
+// absorb its push-sum share, and return this node's view plus a return
+// share (push-pull doubles the mixing rate of one exchange).
+func (a *Agent) HandleGossip(g *wire.Gossip) *wire.GossipResult {
+	now := time.Now()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.rollEpochLocked(now)
+	a.mergeLocked(g.From, true, now)
+	for _, mi := range g.Members {
+		a.mergeLocked(mi, false, now)
+	}
+	res := &wire.GossipResult{Epoch: a.epoch, Members: a.snapshotLocked(now)}
+	if g.Epoch == a.epoch && g.ShareWeight > 0 {
+		// Absorb the incoming share, then send half of the combined state
+		// back. Different-epoch shares are dropped: each epoch's average
+		// is computed only from that epoch's mass.
+		a.shareValue += g.ShareValue
+		a.shareWeight += g.ShareWeight
+		a.shareValue /= 2
+		a.shareWeight /= 2
+		res.ShareValue = a.shareValue
+		res.ShareWeight = a.shareWeight
+	}
+	return res
+}
+
+// Run heartbeats every Interval until ctx is cancelled.
+func (a *Agent) Run(ctx context.Context) {
+	a.Tick(ctx)
+	ticker := time.NewTicker(a.cfg.Interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			a.Tick(ctx)
+		}
+	}
+}
+
+// Tick runs one heartbeat round: bump the advertisement version, roll the
+// push-sum epoch if due, and exchange views with up to Fanout peers.
+func (a *Agent) Tick(ctx context.Context) {
+	now := time.Now()
+	a.mu.Lock()
+	a.version++
+	a.rollEpochLocked(now)
+	targets := a.pickLocked(now)
+	a.mu.Unlock()
+	for _, addr := range targets {
+		if ctx.Err() != nil {
+			return
+		}
+		a.exchange(addr)
+	}
+}
+
+// pickLocked selects up to Fanout gossip targets, preferring alive peers
+// but always including dead ones with some probability so a restarted peer
+// (or a healed partition) is rediscovered without waiting for it to dial
+// us.
+func (a *Agent) pickLocked(now time.Time) []string {
+	var alive, dead []string
+	for addr, e := range a.table {
+		if now.Sub(e.lastSeen) < a.cfg.DeadAfter {
+			alive = append(alive, addr)
+		} else {
+			dead = append(dead, addr)
+		}
+	}
+	a.rng.Shuffle(len(alive), func(i, j int) { alive[i], alive[j] = alive[j], alive[i] })
+	targets := alive
+	if len(targets) > a.cfg.Fanout {
+		targets = targets[:a.cfg.Fanout]
+	}
+	if len(dead) > 0 && (len(alive) == 0 || a.rng.Intn(4) == 0) {
+		targets = append(targets, dead[a.rng.Intn(len(dead))])
+	}
+	return targets
+}
+
+// exchange runs one push-pull gossip round trip with addr.
+func (a *Agent) exchange(addr string) {
+	now := time.Now()
+	a.mu.Lock()
+	a.rollEpochLocked(now)
+	// Halve the share: keep half, send half. A failed send restores the
+	// sent half, so only genuinely in-flight loss (a crash mid-exchange)
+	// costs mass -- and the epoch roll re-baselines even that.
+	a.shareValue /= 2
+	a.shareWeight /= 2
+	g := &wire.Gossip{
+		From:        a.selfLocked(),
+		Epoch:       a.epoch,
+		ShareValue:  a.shareValue,
+		ShareWeight: a.shareWeight,
+		Members:     a.snapshotLocked(now),
+	}
+	a.sent++
+	a.mu.Unlock()
+
+	res, err := a.roundTrip(addr, g)
+
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if err != nil {
+		a.failed++
+		if a.epoch == g.Epoch {
+			// Undo the halving; the share never left.
+			a.shareValue += g.ShareValue
+			a.shareWeight += g.ShareWeight
+		}
+		a.log.Debug("gossip exchange failed", "peer", addr, "err", err)
+		return
+	}
+	now = time.Now()
+	for _, mi := range res.Members {
+		// The response proves the peer itself is alive; everything else in
+		// its view is indirect.
+		a.mergeLocked(mi, mi.Addr == addr, now)
+	}
+	if e, ok := a.table[addr]; ok {
+		e.lastSeen = now
+	}
+	if res.Epoch == a.epoch && res.ShareWeight > 0 {
+		a.shareValue += res.ShareValue
+		a.shareWeight += res.ShareWeight
+	}
+}
+
+// roundTrip performs one framed request/response exchange with addr.
+func (a *Agent) roundTrip(addr string, g *wire.Gossip) (*wire.GossipResult, error) {
+	conn, err := a.cfg.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	if err := conn.SetDeadline(time.Now().Add(a.cfg.DialTimeout)); err != nil {
+		return nil, err
+	}
+	body, err := wire.Encode(g)
+	if err != nil {
+		return nil, err
+	}
+	if err := wire.WriteFrame(conn, body); err != nil {
+		return nil, err
+	}
+	respBody, err := wire.ReadFrame(conn)
+	if err != nil {
+		return nil, err
+	}
+	msg, err := wire.Decode(respBody)
+	if err != nil {
+		return nil, err
+	}
+	res, ok := msg.(*wire.GossipResult)
+	if !ok {
+		return nil, fmt.Errorf("member: peer %s answered gossip with %v", addr, msg.Op())
+	}
+	return res, nil
+}

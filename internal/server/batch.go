@@ -55,10 +55,11 @@ func (s *Server) handleBatch(m *wire.Batch, now time.Duration) wire.Message {
 	return &wire.BatchResult{Results: results}
 }
 
-// executePutGroup admits a group of puts as one store transaction and
+// admitPutGroup admits a group of puts as one store transaction and
 // journals the admitted ones through one append+sync barrier. Returns one
-// response per put, in group order.
-func (s *Server) executePutGroup(puts []*wire.Put, now time.Duration) []wire.Message {
+// response per put, in group order. Replication of the admitted subs
+// happens in executePutGroup, after the checkpoint lock is released.
+func (s *Server) admitPutGroup(puts []*wire.Put, now time.Duration) []wire.Message {
 	results := make([]wire.Message, len(puts))
 	objs := make([]*object.Object, len(puts))
 	for i, m := range puts {

@@ -25,6 +25,7 @@ import (
 
 	"besteffs/internal/blob"
 	"besteffs/internal/journal"
+	"besteffs/internal/metrics"
 	"besteffs/internal/object"
 	"besteffs/internal/policy"
 	"besteffs/internal/store"
@@ -82,6 +83,12 @@ type Server struct {
 	// maxBatchSubs caps sub-requests per BATCH frame (wire.MaxBatchSubs
 	// is the protocol ceiling; operators may lower it).
 	maxBatchSubs int
+
+	// Cluster components, attached by the daemon before Serve (nil on a
+	// single-node server; the cluster opcodes answer CodeBadRequest).
+	membership   Membership
+	repl         Replicator
+	repairedGets *metrics.Counter
 
 	met *serverMetrics
 }
@@ -677,6 +684,27 @@ func (s *Server) execute(msg wire.Message) wire.Message {
 		return &wire.RejuvenateResult{Version: uint32(fresh.Version)}
 	case wire.OpBatch:
 		return s.handleBatch(msg.(*wire.Batch), now)
+	case wire.OpReplicate:
+		return s.handleReplicate(msg.(*wire.Replicate), now)
+	case wire.OpIndex:
+		return &wire.IndexResult{Entries: s.IndexEntries(msg.(*wire.Index).Threshold)}
+	case wire.OpIndexDiff:
+		return s.handleIndexDiff(msg.(*wire.IndexDiff))
+	case wire.OpGossip:
+		if s.membership == nil {
+			return errNotClustered("membership")
+		}
+		return s.membership.HandleGossip(msg.(*wire.Gossip))
+	case wire.OpMembers:
+		if s.membership == nil {
+			return errNotClustered("membership")
+		}
+		return &wire.MembersResult{Members: s.membership.Members()}
+	case wire.OpRepairStatus:
+		if s.repl == nil {
+			return errNotClustered("repair")
+		}
+		return s.repl.Status()
 	case wire.OpList:
 		residents := s.unit.Residents()
 		ids := make([]object.ID, len(residents))
@@ -693,7 +721,17 @@ func (s *Server) execute(msg wire.Message) wire.Message {
 	}
 }
 
+// handlePut admits one put, then -- with repair attached -- synchronously
+// pushes an admitted above-threshold object to its replicas before the
+// response leaves the node.
 func (s *Server) handlePut(m *wire.Put, now time.Duration) wire.Message {
+	res := s.admitPut(m, now)
+	s.replicateAdmitted(res, m)
+	return res
+}
+
+// admitPut runs the admission half of a put under the checkpoint read-lock.
+func (s *Server) admitPut(m *wire.Put, now time.Duration) wire.Message {
 	if len(m.Payload) == 0 {
 		return &wire.ErrorMsg{Code: wire.CodeBadRequest, Text: "empty payload"}
 	}
@@ -809,9 +847,14 @@ func (s *Server) handleGet(m *wire.Get, now time.Duration) wire.Message {
 		}
 		if errors.Is(err, blob.ErrCorrupt) {
 			// Never serve corrupt bytes: quarantine the object (evict and
-			// count) and answer as if it were already gone. Single-copy
-			// semantics mean there is no replica to repair from.
+			// count), then ask the cluster: with repair attached the object
+			// is fetched back from a replica, restored locally, and served
+			// as if nothing happened. Not-found only when no replica is
+			// reachable (or the node runs single-copy).
 			s.quarantine(m.ID, now, err)
+			if obj := s.recoverQuarantined(m.ID); obj != nil {
+				return obj
+			}
 			return &wire.ErrorMsg{Code: wire.CodeNotFound, Text: string(m.ID)}
 		}
 		return &wire.ErrorMsg{Code: wire.CodeInternal, Text: err.Error()}

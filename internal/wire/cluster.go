@@ -1,0 +1,635 @@
+package wire
+
+// Cluster messages: membership gossip, replication, and anti-entropy index
+// exchange. A REPLICATE is a Put pushed node-to-node (answered by a
+// PutResult); INDEX / INDEX_DIFF exchange per-node object summaries so the
+// repair loop can detect under-replicated or divergent objects; GOSSIP
+// carries one membership heartbeat plus a push-sum share for the
+// cluster-wide density average; MEMBERS and REPAIR_STATUS are the
+// operator-facing views.
+
+import (
+	"fmt"
+
+	"besteffs/internal/importance"
+	"besteffs/internal/object"
+)
+
+// Replicate pushes one object to a peer replica. The field layout matches
+// Put with the object's server-side age appended, so the receiver can
+// restore the original arrival time and the importance decays identically
+// on every replica. Answered by a PutResult.
+type Replicate struct {
+	ID         object.ID
+	Owner      string
+	Class      object.Class
+	Version    uint32
+	Importance importance.Function
+	// AgeNanos is the object's age on the sending node at encode time.
+	AgeNanos int64
+	Payload  []byte
+}
+
+// Op implements Message.
+func (*Replicate) Op() Op { return OpReplicate }
+
+// sizeHint: see Put.sizeHint.
+func (m *Replicate) sizeHint() int {
+	return 96 + len(m.ID) + len(m.Owner) + len(m.Payload)
+}
+
+func (m *Replicate) append(dst []byte) ([]byte, error) {
+	dst = appendU8(dst, uint8(OpReplicate))
+	dst, err := appendStr(dst, string(m.ID))
+	if err != nil {
+		return nil, err
+	}
+	if dst, err = appendStr(dst, m.Owner); err != nil {
+		return nil, err
+	}
+	dst = appendU8(dst, uint8(m.Class))
+	dst = appendU32(dst, m.Version)
+	dst, err = appendImportance(dst, m.Importance)
+	if err != nil {
+		return nil, err
+	}
+	dst = appendU64(dst, uint64(m.AgeNanos))
+	return appendBytes(dst, m.Payload), nil
+}
+
+func decodeReplicate(c *cursor) (Message, error) {
+	m := &Replicate{}
+	id, err := c.str()
+	if err != nil {
+		return nil, err
+	}
+	m.ID = object.ID(id)
+	if m.Owner, err = c.str(); err != nil {
+		return nil, err
+	}
+	class, err := c.u8()
+	if err != nil {
+		return nil, err
+	}
+	m.Class = object.Class(class)
+	if m.Version, err = c.u32(); err != nil {
+		return nil, err
+	}
+	impLen, err := c.u16()
+	if err != nil {
+		return nil, err
+	}
+	if len(c.rest()) < int(impLen) {
+		return nil, ErrShort
+	}
+	f, consumed, err := importance.Decode(c.rest()[:impLen])
+	if err != nil {
+		return nil, err
+	}
+	if consumed != int(impLen) {
+		return nil, fmt.Errorf("wire: importance encoding has %d trailing bytes", int(impLen)-consumed)
+	}
+	if err := c.advance(int(impLen)); err != nil {
+		return nil, err
+	}
+	m.Importance = f
+	age, err := c.u64()
+	if err != nil {
+		return nil, err
+	}
+	m.AgeNanos = int64(age)
+	if m.Payload, err = c.bytes(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// IndexEntry summarizes one resident object for anti-entropy comparison.
+// Initial is the importance at age zero -- the replication threshold key
+// and the repair ordering key. CRC detects divergent payloads at equal
+// versions.
+type IndexEntry struct {
+	ID       object.ID
+	Version  uint32
+	CRC      uint32
+	Size     int64
+	Initial  float64
+	AgeNanos int64
+}
+
+func appendIndexEntry(dst []byte, e IndexEntry) ([]byte, error) {
+	dst, err := appendStr(dst, string(e.ID))
+	if err != nil {
+		return nil, err
+	}
+	dst = appendU32(dst, e.Version)
+	dst = appendU32(dst, e.CRC)
+	dst = appendU64(dst, uint64(e.Size))
+	dst = appendF64(dst, e.Initial)
+	dst = appendU64(dst, uint64(e.AgeNanos))
+	return dst, nil
+}
+
+func decodeIndexEntry(c *cursor) (IndexEntry, error) {
+	var e IndexEntry
+	id, err := c.str()
+	if err != nil {
+		return e, err
+	}
+	e.ID = object.ID(id)
+	if e.Version, err = c.u32(); err != nil {
+		return e, err
+	}
+	if e.CRC, err = c.u32(); err != nil {
+		return e, err
+	}
+	size, err := c.u64()
+	if err != nil {
+		return e, err
+	}
+	e.Size = int64(size)
+	if e.Initial, err = c.f64(); err != nil {
+		return e, err
+	}
+	age, err := c.u64()
+	if err != nil {
+		return e, err
+	}
+	e.AgeNanos = int64(age)
+	return e, nil
+}
+
+func appendIndexEntries(dst []byte, entries []IndexEntry) ([]byte, error) {
+	dst = appendU32(dst, uint32(len(entries)))
+	var err error
+	for _, e := range entries {
+		if dst, err = appendIndexEntry(dst, e); err != nil {
+			return nil, err
+		}
+	}
+	return dst, nil
+}
+
+func decodeIndexEntries(c *cursor) ([]IndexEntry, error) {
+	n, err := c.u32()
+	if err != nil {
+		return nil, err
+	}
+	var entries []IndexEntry
+	for i := 0; i < int(n); i++ {
+		e, err := decodeIndexEntry(c)
+		if err != nil {
+			return nil, err
+		}
+		entries = append(entries, e)
+	}
+	return entries, nil
+}
+
+// Index requests the receiver's object index above an initial-importance
+// threshold. Answered by an IndexResult.
+type Index struct {
+	// Threshold filters the index to objects whose initial importance is
+	// at or above it; zero means every resident object.
+	Threshold float64
+}
+
+// Op implements Message.
+func (*Index) Op() Op { return OpIndex }
+
+func (m *Index) append(dst []byte) ([]byte, error) {
+	dst = appendU8(dst, uint8(OpIndex))
+	return appendF64(dst, m.Threshold), nil
+}
+
+func decodeIndex(c *cursor) (Message, error) {
+	m := &Index{}
+	var err error
+	if m.Threshold, err = c.f64(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// IndexResult carries a node's object index.
+type IndexResult struct {
+	Entries []IndexEntry
+}
+
+// Op implements Message.
+func (*IndexResult) Op() Op { return OpIndexResult }
+
+func (m *IndexResult) sizeHint() int { return 16 + 64*len(m.Entries) }
+
+func (m *IndexResult) append(dst []byte) ([]byte, error) {
+	dst = appendU8(dst, uint8(OpIndexResult))
+	return appendIndexEntries(dst, m.Entries)
+}
+
+func decodeIndexResult(c *cursor) (Message, error) {
+	m := &IndexResult{}
+	var err error
+	if m.Entries, err = decodeIndexEntries(c); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// IndexDiff sends the caller's index so the receiver can report the
+// difference: which of the receiver's objects the caller is missing and
+// which of the caller's objects the receiver needs. Answered by an
+// IndexDiffResult; an entry supersedes another when its version is higher,
+// or versions are equal and the CRC differs (divergence, resolved by the
+// higher CRC as an arbitrary but convergent tiebreak).
+type IndexDiff struct {
+	Threshold float64
+	Entries   []IndexEntry
+}
+
+// Op implements Message.
+func (*IndexDiff) Op() Op { return OpIndexDiff }
+
+func (m *IndexDiff) sizeHint() int { return 16 + 64*len(m.Entries) }
+
+func (m *IndexDiff) append(dst []byte) ([]byte, error) {
+	dst = appendU8(dst, uint8(OpIndexDiff))
+	dst = appendF64(dst, m.Threshold)
+	return appendIndexEntries(dst, m.Entries)
+}
+
+func decodeIndexDiff(c *cursor) (Message, error) {
+	m := &IndexDiff{}
+	var err error
+	if m.Threshold, err = c.f64(); err != nil {
+		return nil, err
+	}
+	if m.Entries, err = decodeIndexEntries(c); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// IndexDiffResult reports both directions of an index comparison.
+type IndexDiffResult struct {
+	// Missing lists objects the receiver holds that the caller lacks or
+	// holds a superseded copy of: candidates for the caller to pull.
+	Missing []IndexEntry
+	// Need lists IDs the caller advertised that the receiver lacks or
+	// holds a superseded copy of.
+	Need []object.ID
+}
+
+// Op implements Message.
+func (*IndexDiffResult) Op() Op { return OpIndexDiffResult }
+
+func (m *IndexDiffResult) sizeHint() int { return 16 + 64*len(m.Missing) + 32*len(m.Need) }
+
+func (m *IndexDiffResult) append(dst []byte) ([]byte, error) {
+	dst = appendU8(dst, uint8(OpIndexDiffResult))
+	dst, err := appendIndexEntries(dst, m.Missing)
+	if err != nil {
+		return nil, err
+	}
+	dst = appendU32(dst, uint32(len(m.Need)))
+	for _, id := range m.Need {
+		if dst, err = appendStr(dst, string(id)); err != nil {
+			return nil, err
+		}
+	}
+	return dst, nil
+}
+
+func decodeIndexDiffResult(c *cursor) (Message, error) {
+	m := &IndexDiffResult{}
+	var err error
+	if m.Missing, err = decodeIndexEntries(c); err != nil {
+		return nil, err
+	}
+	n, err := c.u32()
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < int(n); i++ {
+		id, err := c.str()
+		if err != nil {
+			return nil, err
+		}
+		m.Need = append(m.Need, object.ID(id))
+	}
+	return m, nil
+}
+
+// MemberInfo advertises one node's identity and placement state: its
+// address, boot incarnation, per-incarnation version (bumped by the origin
+// on every heartbeat, so staleness is totally ordered), the highest
+// importance a put would currently preempt (the Section 5.3 placement key),
+// free bytes, and importance density.
+type MemberInfo struct {
+	Addr        string
+	Incarnation uint64
+	Version     uint64
+	Boundary    float64
+	Free        int64
+	Density     float64
+	Alive       bool
+}
+
+func appendMemberInfo(dst []byte, mi MemberInfo) ([]byte, error) {
+	dst, err := appendStr(dst, mi.Addr)
+	if err != nil {
+		return nil, err
+	}
+	dst = appendU64(dst, mi.Incarnation)
+	dst = appendU64(dst, mi.Version)
+	dst = appendF64(dst, mi.Boundary)
+	dst = appendU64(dst, uint64(mi.Free))
+	dst = appendF64(dst, mi.Density)
+	dst = appendU8(dst, boolByte(mi.Alive))
+	return dst, nil
+}
+
+func decodeMemberInfo(c *cursor) (MemberInfo, error) {
+	var mi MemberInfo
+	var err error
+	if mi.Addr, err = c.str(); err != nil {
+		return mi, err
+	}
+	if mi.Incarnation, err = c.u64(); err != nil {
+		return mi, err
+	}
+	if mi.Version, err = c.u64(); err != nil {
+		return mi, err
+	}
+	if mi.Boundary, err = c.f64(); err != nil {
+		return mi, err
+	}
+	free, err := c.u64()
+	if err != nil {
+		return mi, err
+	}
+	mi.Free = int64(free)
+	if mi.Density, err = c.f64(); err != nil {
+		return mi, err
+	}
+	alive, err := c.u8()
+	if err != nil {
+		return mi, err
+	}
+	mi.Alive = alive != 0
+	return mi, nil
+}
+
+func appendMemberInfos(dst []byte, members []MemberInfo) ([]byte, error) {
+	dst = appendU16(dst, uint16(len(members)))
+	var err error
+	for _, mi := range members {
+		if dst, err = appendMemberInfo(dst, mi); err != nil {
+			return nil, err
+		}
+	}
+	return dst, nil
+}
+
+func decodeMemberInfos(c *cursor) ([]MemberInfo, error) {
+	n, err := c.u16()
+	if err != nil {
+		return nil, err
+	}
+	var members []MemberInfo
+	for i := 0; i < int(n); i++ {
+		mi, err := decodeMemberInfo(c)
+		if err != nil {
+			return nil, err
+		}
+		members = append(members, mi)
+	}
+	return members, nil
+}
+
+// Gossip carries one membership heartbeat: the sender's own advertisement,
+// its view of the cluster, and a push-sum share (Kempe et al.) for the
+// cluster-wide density average, scoped to an epoch so restarts cannot leak
+// mass forever. Answered by a GossipResult carrying the receiver's view and
+// return share (push-pull).
+type Gossip struct {
+	From        MemberInfo
+	Epoch       uint64
+	ShareValue  float64
+	ShareWeight float64
+	Members     []MemberInfo
+}
+
+// Op implements Message.
+func (*Gossip) Op() Op { return OpGossip }
+
+func (m *Gossip) sizeHint() int { return 96 + 80*(len(m.Members)+1) }
+
+func (m *Gossip) append(dst []byte) ([]byte, error) {
+	dst = appendU8(dst, uint8(OpGossip))
+	dst, err := appendMemberInfo(dst, m.From)
+	if err != nil {
+		return nil, err
+	}
+	dst = appendU64(dst, m.Epoch)
+	dst = appendF64(dst, m.ShareValue)
+	dst = appendF64(dst, m.ShareWeight)
+	return appendMemberInfos(dst, m.Members)
+}
+
+func decodeGossip(c *cursor) (Message, error) {
+	m := &Gossip{}
+	var err error
+	if m.From, err = decodeMemberInfo(c); err != nil {
+		return nil, err
+	}
+	if m.Epoch, err = c.u64(); err != nil {
+		return nil, err
+	}
+	if m.ShareValue, err = c.f64(); err != nil {
+		return nil, err
+	}
+	if m.ShareWeight, err = c.f64(); err != nil {
+		return nil, err
+	}
+	if m.Members, err = decodeMemberInfos(c); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// GossipResult answers a Gossip with the receiver's view and return share.
+type GossipResult struct {
+	Epoch       uint64
+	ShareValue  float64
+	ShareWeight float64
+	Members     []MemberInfo
+}
+
+// Op implements Message.
+func (*GossipResult) Op() Op { return OpGossipResult }
+
+func (m *GossipResult) sizeHint() int { return 64 + 80*len(m.Members) }
+
+func (m *GossipResult) append(dst []byte) ([]byte, error) {
+	dst = appendU8(dst, uint8(OpGossipResult))
+	dst = appendU64(dst, m.Epoch)
+	dst = appendF64(dst, m.ShareValue)
+	dst = appendF64(dst, m.ShareWeight)
+	return appendMemberInfos(dst, m.Members)
+}
+
+func decodeGossipResult(c *cursor) (Message, error) {
+	m := &GossipResult{}
+	var err error
+	if m.Epoch, err = c.u64(); err != nil {
+		return nil, err
+	}
+	if m.ShareValue, err = c.f64(); err != nil {
+		return nil, err
+	}
+	if m.ShareWeight, err = c.f64(); err != nil {
+		return nil, err
+	}
+	if m.Members, err = decodeMemberInfos(c); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Members requests the receiver's membership table. Answered by a
+// MembersResult; clients use it to discover the cluster from one seed.
+type Members struct{}
+
+// Op implements Message.
+func (*Members) Op() Op { return OpMembers }
+
+func (m *Members) append(dst []byte) ([]byte, error) {
+	return appendU8(dst, uint8(OpMembers)), nil
+}
+
+// MembersResult carries the receiver's membership table.
+type MembersResult struct {
+	Members []MemberInfo
+}
+
+// Op implements Message.
+func (*MembersResult) Op() Op { return OpMembersResult }
+
+func (m *MembersResult) sizeHint() int { return 16 + 80*len(m.Members) }
+
+func (m *MembersResult) append(dst []byte) ([]byte, error) {
+	dst = appendU8(dst, uint8(OpMembersResult))
+	return appendMemberInfos(dst, m.Members)
+}
+
+func decodeMembersResult(c *cursor) (Message, error) {
+	m := &MembersResult{}
+	var err error
+	if m.Members, err = decodeMemberInfos(c); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// RepairStatus requests the receiver's anti-entropy repair counters.
+// Answered by a RepairStatusResult.
+type RepairStatus struct{}
+
+// Op implements Message.
+func (*RepairStatus) Op() Op { return OpRepairStatus }
+
+func (m *RepairStatus) append(dst []byte) ([]byte, error) {
+	return appendU8(dst, uint8(OpRepairStatus)), nil
+}
+
+// RepairStatusResult reports the repair loop's configuration and counters.
+type RepairStatusResult struct {
+	// Replicas is the configured replication factor R.
+	Replicas uint32
+	// Threshold is the initial-importance replication threshold.
+	Threshold float64
+	// Pushed counts objects pushed synchronously at ingest.
+	Pushed uint64
+	// Pulled counts objects pulled by anti-entropy passes.
+	Pulled uint64
+	// PushFailures counts failed ingest-time pushes.
+	PushFailures uint64
+	// Passes counts completed anti-entropy passes.
+	Passes uint64
+	// UnderReplicated is the deficit observed at the start of the most
+	// recent pass (objects below replication factor R).
+	UnderReplicated uint64
+	// Pending is the deficit remaining after the most recent pass.
+	Pending uint64
+	// BytesRepaired counts payload bytes pulled by repair.
+	BytesRepaired uint64
+	// LastPassNanos is the wall-clock duration of the most recent pass.
+	LastPassNanos int64
+}
+
+// Op implements Message.
+func (*RepairStatusResult) Op() Op { return OpRepairStatusResult }
+
+func (m *RepairStatusResult) append(dst []byte) ([]byte, error) {
+	dst = appendU8(dst, uint8(OpRepairStatusResult))
+	dst = appendU32(dst, m.Replicas)
+	dst = appendF64(dst, m.Threshold)
+	dst = appendU64(dst, m.Pushed)
+	dst = appendU64(dst, m.Pulled)
+	dst = appendU64(dst, m.PushFailures)
+	dst = appendU64(dst, m.Passes)
+	dst = appendU64(dst, m.UnderReplicated)
+	dst = appendU64(dst, m.Pending)
+	dst = appendU64(dst, m.BytesRepaired)
+	dst = appendU64(dst, uint64(m.LastPassNanos))
+	return dst, nil
+}
+
+func decodeRepairStatusResult(c *cursor) (Message, error) {
+	m := &RepairStatusResult{}
+	var err error
+	if m.Replicas, err = c.u32(); err != nil {
+		return nil, err
+	}
+	if m.Threshold, err = c.f64(); err != nil {
+		return nil, err
+	}
+	if m.Pushed, err = c.u64(); err != nil {
+		return nil, err
+	}
+	if m.Pulled, err = c.u64(); err != nil {
+		return nil, err
+	}
+	if m.PushFailures, err = c.u64(); err != nil {
+		return nil, err
+	}
+	if m.Passes, err = c.u64(); err != nil {
+		return nil, err
+	}
+	if m.UnderReplicated, err = c.u64(); err != nil {
+		return nil, err
+	}
+	if m.Pending, err = c.u64(); err != nil {
+		return nil, err
+	}
+	if m.BytesRepaired, err = c.u64(); err != nil {
+		return nil, err
+	}
+	last, err := c.u64()
+	if err != nil {
+		return nil, err
+	}
+	m.LastPassNanos = int64(last)
+	return m, nil
+}
+
+// Supersedes reports whether version a at CRC aCRC supersedes version b at
+// CRC bCRC: strictly newer version wins; at equal versions a differing CRC
+// is divergence, resolved toward the higher CRC so every replica converges
+// to the same copy without coordination.
+func Supersedes(aVer, bVer uint32, aCRC, bCRC uint32) bool {
+	if aVer != bVer {
+		return aVer > bVer
+	}
+	return aCRC > bCRC
+}

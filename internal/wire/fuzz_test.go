@@ -29,6 +29,26 @@ func TestDecodeNeverPanicsOnMutation(t *testing.T) {
 		mustEncode(t, &ListResult{IDs: []object.ID{"x", "y", "z"}}),
 		mustEncode(t, &Rejuvenate{ID: "o", Importance: importance.Linear{Start: 1, Expire: importance.Day}}),
 		mustEncode(t, &ErrorMsg{Code: CodeNotFound, Text: "gone"}),
+		mustEncode(t, &Replicate{
+			ID: "r1", Owner: "peer", Version: 3,
+			Importance: importance.Constant{Level: 0.9},
+			AgeNanos:   12345, Payload: []byte("replica-bytes"),
+		}),
+		mustEncode(t, &IndexDiff{Threshold: 0.5, Entries: []IndexEntry{
+			{ID: "a", Version: 1, CRC: 42, Size: 10, Initial: 0.9, AgeNanos: 7},
+			{ID: "b", Version: 2, CRC: 43, Size: 20, Initial: 0.8, AgeNanos: 8},
+		}}),
+		mustEncode(t, &IndexDiffResult{
+			Missing: []IndexEntry{{ID: "c", Version: 1, CRC: 1, Size: 1, Initial: 1}},
+			Need:    []object.ID{"a"},
+		}),
+		mustEncode(t, &Gossip{
+			From:  MemberInfo{Addr: "h:1", Incarnation: 1, Version: 2, Boundary: 0.1, Free: 9, Density: 0.5, Alive: true},
+			Epoch: 3, ShareValue: 0.25, ShareWeight: 0.5,
+			Members: []MemberInfo{{Addr: "h:2", Alive: true}},
+		}),
+		mustEncode(t, &MembersResult{Members: []MemberInfo{{Addr: "h:3", Boundary: 0.4}}}),
+		mustEncode(t, &RepairStatusResult{Replicas: 2, Threshold: 0.8, Pushed: 5}),
 	}
 	for round := 0; round < 20000; round++ {
 		seed := seeds[rng.Intn(len(seeds))]

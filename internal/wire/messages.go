@@ -80,6 +80,18 @@ func decodeMsg(c *cursor) (Message, error) {
 		m = &DensityHistory{}
 	case OpBatch:
 		m, err = decodeBatch(c)
+	case OpReplicate:
+		m, err = decodeReplicate(c)
+	case OpIndex:
+		m, err = decodeIndex(c)
+	case OpIndexDiff:
+		m, err = decodeIndexDiff(c)
+	case OpGossip:
+		m, err = decodeGossip(c)
+	case OpMembers:
+		m = &Members{}
+	case OpRepairStatus:
+		m = &RepairStatus{}
 	case OpPutResult:
 		m, err = decodePutResult(c)
 	case OpObject:
@@ -102,6 +114,16 @@ func decodeMsg(c *cursor) (Message, error) {
 		m, err = decodeDensityHistoryResult(c)
 	case OpBatchResult:
 		m, err = decodeBatchResult(c)
+	case OpIndexResult:
+		m, err = decodeIndexResult(c)
+	case OpIndexDiffResult:
+		m, err = decodeIndexDiffResult(c)
+	case OpGossipResult:
+		m, err = decodeGossipResult(c)
+	case OpMembersResult:
+		m, err = decodeMembersResult(c)
+	case OpRepairStatusResult:
+		m, err = decodeRepairStatusResult(c)
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrUnknownOp, op)
 	}

@@ -41,6 +41,12 @@ const (
 	OpUpdate
 	OpDensityHistory
 	OpBatch
+	OpReplicate
+	OpIndex
+	OpIndexDiff
+	OpGossip
+	OpMembers
+	OpRepairStatus
 )
 
 // Response opcodes.
@@ -56,6 +62,11 @@ const (
 	OpRejuvenateResult
 	OpDensityHistoryResult
 	OpBatchResult
+	OpIndexResult
+	OpIndexDiffResult
+	OpGossipResult
+	OpMembersResult
+	OpRepairStatusResult
 )
 
 // RequestOps lists every request opcode in wire order, for callers that
@@ -64,7 +75,8 @@ func RequestOps() []Op {
 	return []Op{
 		OpPut, OpGet, OpDelete, OpStat, OpProbe,
 		OpDensity, OpList, OpRejuvenate, OpUpdate, OpDensityHistory,
-		OpBatch,
+		OpBatch, OpReplicate, OpIndex, OpIndexDiff, OpGossip,
+		OpMembers, OpRepairStatus,
 	}
 }
 
@@ -93,6 +105,18 @@ func (o Op) String() string {
 		return "DENSITY_HISTORY"
 	case OpBatch:
 		return "BATCH"
+	case OpReplicate:
+		return "REPLICATE"
+	case OpIndex:
+		return "INDEX"
+	case OpIndexDiff:
+		return "INDEX_DIFF"
+	case OpGossip:
+		return "GOSSIP"
+	case OpMembers:
+		return "MEMBERS"
+	case OpRepairStatus:
+		return "REPAIR_STATUS"
 	case OpPutResult:
 		return "PUT_RESULT"
 	case OpObject:
@@ -115,6 +139,16 @@ func (o Op) String() string {
 		return "DENSITY_HISTORY_RESULT"
 	case OpBatchResult:
 		return "BATCH_RESULT"
+	case OpIndexResult:
+		return "INDEX_RESULT"
+	case OpIndexDiffResult:
+		return "INDEX_DIFF_RESULT"
+	case OpGossipResult:
+		return "GOSSIP_RESULT"
+	case OpMembersResult:
+		return "MEMBERS_RESULT"
+	case OpRepairStatusResult:
+		return "REPAIR_STATUS_RESULT"
 	default:
 		return fmt.Sprintf("OP(%d)", uint8(o))
 	}
