@@ -28,6 +28,14 @@
 //	                    bytes, density and liveness
 //	repair-status       print each node's replication factor, threshold and
 //	                    repair counters (pushed, pulled, under-replicated...)
+//	trace <trace-id>    fan a TRACE_DUMP out to every live member and print
+//	                    the assembled cross-node span tree with per-hop
+//	                    latencies; put prints the trace ID to feed this
+//	cluster-status      merge every live member's density, boundary,
+//	                    occupancy and repair deficit into one table
+//	events [limit]      dump each node's flight recorder (admissions,
+//	                    evictions, boundary moves, replica traffic,
+//	                    membership transitions), most recent last
 //	fsck <data-dir>     offline integrity check of a stopped node's data
 //	                    directory: verifies WAL segment and checkpoint CRCs,
 //	                    blob payload CRCs, and cross-checks residents against
@@ -51,6 +59,7 @@ import (
 	"besteffs/internal/client"
 	"besteffs/internal/importance"
 	"besteffs/internal/object"
+	"besteffs/internal/telemetry"
 )
 
 func main() {
@@ -147,6 +156,12 @@ func run(args []string) error {
 		return cmdMembers(ctx, clients, addrList)
 	case "repair-status":
 		return cmdRepairStatus(ctx, clients, addrList)
+	case "trace":
+		return cmdTrace(ctx, clients, addrList, rest, *timeout)
+	case "cluster-status":
+		return cmdClusterStatus(ctx, clients, addrList, *timeout)
+	case "events":
+		return cmdEvents(ctx, clients, addrList, rest)
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
 	}
@@ -171,6 +186,11 @@ func cmdPut(ctx context.Context, clients []*client.Client, args []string, impSpe
 		Importance: imp,
 		Payload:    payload,
 	}
+	// Run the put under a fresh root trace and print its ID, so the stored
+	// object's whole fan-out (placement probes, the put, replica pushes) can
+	// be replayed with `besteffsctl trace <id>`.
+	sc := telemetry.NewRoot()
+	ctx = telemetry.NewContext(ctx, sc)
 	if len(clients) == 1 {
 		res, err := clients[0].PutCtx(ctx, req)
 		if err != nil {
@@ -181,6 +201,7 @@ func cmdPut(ctx context.Context, clients []*client.Client, args []string, impSpe
 		}
 		fmt.Printf("stored %s (%d bytes); preempted %d object(s), highest importance %.3f\n",
 			req.ID, len(payload), len(res.Evicted), res.Boundary)
+		fmt.Printf("trace %s\n", sc.Trace)
 		return nil
 	}
 	cc, err := client.NewClusterClient(clients, rand.New(rand.NewSource(time.Now().UnixNano())))
@@ -193,6 +214,7 @@ func cmdPut(ctx context.Context, clients []*client.Client, args []string, impSpe
 	}
 	fmt.Printf("stored %s on node %d (boundary %.3f, %d eviction(s))\n",
 		req.ID, p.Node, p.Boundary, len(p.Evicted))
+	fmt.Printf("trace %s\n", sc.Trace)
 	return nil
 }
 

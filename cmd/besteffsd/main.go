@@ -11,6 +11,7 @@
 //	          [-sample-window N] [-max-conns N] [-max-batch N] [-req-timeout DUR]
 //	          [-drain DUR] [-join ADDRS] [-replicas N] [-repl-threshold F]
 //	          [-repair-interval DUR] [-gossip-interval DUR] [-advertise HOST:PORT]
+//	          [-slow-threshold DUR]
 //
 // Cluster mode starts with -join (gossip with existing members at ADDRS,
 // comma-separated) or -replicas. Every clustered node runs the membership
@@ -44,6 +45,13 @@
 //
 // Policies: temporal (default), fifo, traditional, fair-share (per-owner
 // quotas; tune with -share).
+//
+// Every request runs under a distributed trace (see besteffsctl trace), and
+// a bounded flight recorder keeps the node's recent decisions -- admissions,
+// evictions, boundary moves, replica traffic, membership transitions.
+// SIGQUIT dumps the recorder to stderr without stopping the node; with
+// -slow-threshold, any request at least that slow logs its span tree at
+// WARN.
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM: it stops accepting,
 // lets in-flight requests finish for up to -drain, then syncs and closes the
@@ -108,8 +116,12 @@ func run(args []string) error {
 	repairInterval := fs.Duration("repair-interval", 5*time.Second, "anti-entropy repair pass period")
 	gossipInterval := fs.Duration("gossip-interval", 500*time.Millisecond, "membership heartbeat period")
 	advertise := fs.String("advertise", "", "address peers reach this node at (default: the listen address)")
+	slowThreshold := fs.Duration("slow-threshold", 0, "log any request taking at least this long at WARN, with its span tree (0 disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *slowThreshold < 0 {
+		return fmt.Errorf("-slow-threshold %v is negative", *slowThreshold)
 	}
 	if *walSegment <= 0 {
 		return fmt.Errorf("-wal-segment %d is not positive", *walSegment)
@@ -162,6 +174,16 @@ func run(args []string) error {
 	if *scrubInterval > 0 {
 		opts = append(opts, server.WithScrub(*scrubInterval))
 	}
+	if *slowThreshold > 0 {
+		opts = append(opts, server.WithSlowThreshold(*slowThreshold))
+	}
+	// Spans record the advertised address so cross-node trace trees name
+	// nodes the way peers and operators reach them.
+	nodeAddr := *advertise
+	if nodeAddr == "" {
+		nodeAddr = *addr
+	}
+	opts = append(opts, server.WithNodeAddr(nodeAddr))
 	var wal *journal.WAL
 	if *dataDir != "" {
 		files, err := blob.NewFileStore(filepath.Join(*dataDir, "blobs"))
@@ -221,6 +243,21 @@ func run(args []string) error {
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
+	// SIGQUIT dumps the flight recorder to stderr and keeps serving: the
+	// black box is most wanted exactly when the node is misbehaving, so the
+	// dump must not require stopping it.
+	quitc := make(chan os.Signal, 1)
+	signal.Notify(quitc, syscall.SIGQUIT)
+	defer signal.Stop(quitc)
+	go func() {
+		for range quitc {
+			fmt.Fprintf(os.Stderr, "=== flight recorder (SIGQUIT, %d events) ===\n",
+				srv.Events().Len())
+			srv.Events().Dump(os.Stderr)
+			fmt.Fprintln(os.Stderr, "=== end flight recorder ===")
+		}
+	}()
+
 	// Cluster mode: a membership agent gossiping this node's advertisement,
 	// plus -- with -replicas > 1 -- the repair manager. Both loops run on
 	// their own context so shutdown can stop them before the WAL closes:
@@ -251,6 +288,8 @@ func run(args []string) error {
 			Seeds:    seeds,
 			Interval: *gossipInterval,
 			Logger:   log,
+			Registry: srv.Metrics(),
+			Events:   srv.Events(),
 		})
 		if err != nil {
 			return err
@@ -266,6 +305,7 @@ func run(args []string) error {
 				Peers:     agent,
 				Logger:    log,
 				Registry:  srv.Metrics(),
+				Events:    srv.Events(),
 			})
 			if err != nil {
 				return err

@@ -28,6 +28,7 @@ import (
 	"besteffs/internal/importance"
 	"besteffs/internal/metrics"
 	"besteffs/internal/object"
+	"besteffs/internal/telemetry"
 	"besteffs/internal/wire"
 )
 
@@ -295,16 +296,27 @@ func (c *Client) sendCtx(ctx context.Context, body []byte) (wire.Message, error)
 
 // roundTripCtx sends one request and reads one response, reconnecting with
 // backoff on transport errors when the client knows its node's address.
-// Every request carries a fresh trace ID in the frame trailer; the observed
+// Every request carries a trace ID in the frame trailer; the observed
 // latency (including any retries) lands in the per-op histogram and a Debug
-// log line carrying the same ID the server logs.
+// log line carrying the same ID the server logs. A caller that attached a
+// telemetry span context to ctx joins its trace instead of minting a fresh
+// one: the hop gets a child span ID stamped alongside the trace, which the
+// receiving server records -- this is how replication pushes, repair pulls
+// and besteffsctl traces stay one distributed trace across nodes.
 func (c *Client) roundTripCtx(ctx context.Context, req wire.Message) (wire.Message, error) {
 	body, err := wire.Encode(req)
 	if err != nil {
 		return nil, fmt.Errorf("client: %w", err)
 	}
-	trace := newTraceID()
-	body = wire.AppendTraceID(body, trace)
+	var trace wire.TraceID
+	if sc, ok := telemetry.FromContext(ctx); ok {
+		trace = wire.TraceID(sc.Trace)
+		body = wire.AppendTraceID(body, trace)
+		body = wire.AppendSpan(body, telemetry.NewSpanID(), sc.Span)
+	} else {
+		trace = newTraceID()
+		body = wire.AppendTraceID(body, trace)
+	}
 	start := time.Now()
 	resp, err := c.sendCtx(ctx, body)
 	elapsed := time.Since(start)

@@ -98,6 +98,41 @@ func (c *Client) RepairStatusCtx(ctx context.Context) (*wire.RepairStatusResult,
 	}
 }
 
+// TraceDumpCtx fetches the spans the node recorded for one trace ID, or
+// its whole span ring when trace is empty. Each node only holds its own
+// hops; callers fan out across members and telemetry.Assemble the union.
+func (c *Client) TraceDumpCtx(ctx context.Context, trace string) (*wire.TraceDumpResult, error) {
+	resp, err := c.roundTripCtx(ctx, &wire.TraceDump{Trace: trace})
+	if err != nil {
+		return nil, err
+	}
+	switch r := resp.(type) {
+	case *wire.TraceDumpResult:
+		return r, nil
+	case *wire.ErrorMsg:
+		return nil, translateError(r)
+	default:
+		return nil, fmt.Errorf("%w: %v", ErrUnexpected, resp.Op())
+	}
+}
+
+// EventsCtx fetches the tail of the node's flight recorder (limit 0 = the
+// whole ring).
+func (c *Client) EventsCtx(ctx context.Context, limit uint32) (*wire.EventsResult, error) {
+	resp, err := c.roundTripCtx(ctx, &wire.Events{Limit: limit})
+	if err != nil {
+		return nil, err
+	}
+	switch r := resp.(type) {
+	case *wire.EventsResult:
+		return r, nil
+	case *wire.ErrorMsg:
+		return nil, translateError(r)
+	default:
+		return nil, fmt.Errorf("%w: %v", ErrUnexpected, resp.Op())
+	}
+}
+
 // DialClusterSeed discovers the cluster from one seed node: it connects to
 // the seed, fetches the membership table, and builds a ClusterClient over
 // every known-alive member (the seed included). Discovery is best-effort

@@ -1,13 +1,11 @@
 package client
 
 import (
-	"crypto/rand"
-	"encoding/hex"
 	"strings"
-	"sync/atomic"
 	"time"
 
 	"besteffs/internal/metrics"
+	"besteffs/internal/telemetry"
 	"besteffs/internal/wire"
 )
 
@@ -80,37 +78,10 @@ func (m *clientMetrics) observe(op wire.Op, d time.Duration) {
 	}
 }
 
-// Request IDs: a per-process random prefix plus an atomic sequence, so IDs
-// from concurrent clients on one host stay distinct and greppable without
-// any coordination. The ID rides the wire as an optional trailer (see
-// wire.AppendTraceID); servers echo it back and log it.
-var (
-	tracePrefix = func() string {
-		var b [4]byte
-		if _, err := rand.Read(b[:]); err != nil {
-			// Degrade to sequence-only IDs; tracing is best-effort.
-			return "c0"
-		}
-		return hex.EncodeToString(b[:])
-	}()
-	traceSeq atomic.Uint64
-)
-
-// newTraceID mints the next request ID, e.g. "9f3a1c2b-00004d". Built by
-// hand rather than fmt.Sprintf: one ID is minted per request, and the
-// formatter's overhead is measurable on the pipelined hot path.
+// newTraceID mints the next request ID, e.g. "9f3a1c2b-00004d". The minting
+// lives in the telemetry package now (same prefix+sequence scheme, same
+// hand-built hot-path encoding), so client-minted root traces and
+// besteffsctl-minted span roots draw from one namespace per process.
 func newTraceID() wire.TraceID {
-	seq := traceSeq.Add(1)
-	const hexdigits = "0123456789abcdef"
-	digits := 6
-	for v := seq >> 24; v > 0; v >>= 4 {
-		digits++
-	}
-	var buf [32]byte
-	b := append(buf[:0], tracePrefix...)
-	b = append(b, '-')
-	for i := digits*4 - 4; i >= 0; i -= 4 {
-		b = append(b, hexdigits[(seq>>uint(i))&0xF])
-	}
-	return wire.TraceID(b)
+	return wire.TraceID(telemetry.NewTraceID())
 }

@@ -3,8 +3,9 @@
 // enforce the paper's invariants at build time: determinism of the
 // simulation stack, durability of the journalled write path, lock
 // discipline around shared state, exhaustiveness of wire-op dispatch,
-// codec registration for importance functions, and retirement of
-// deprecated APIs.
+// codec registration for importance functions, retirement of deprecated
+// APIs, and flight-recorder coverage of admission/eviction/repair
+// decision paths.
 //
 // The framework is deliberately small: packages are enumerated with
 // `go list -json -deps`, parsed with go/parser and type-checked with
@@ -102,6 +103,7 @@ func Analyzers() []*Analyzer {
 		WireExhaustiveAnalyzer,
 		CodecRegisteredAnalyzer,
 		DeprecatedAPIAnalyzer,
+		EventRecordedAnalyzer,
 	}
 }
 

@@ -6,7 +6,7 @@ import "fixture/internal/wire"
 
 // Missing covers only some opcodes and has no default.
 func Missing(op wire.Op) int {
-	switch op { // want "misses opcodes OpGet, OpIndex, OpInvalid, OpOK, OpReplicate"
+	switch op { // want "misses opcodes OpEvents, OpGet, OpIndex, OpInvalid, OpOK, OpReplicate, OpTraceDump"
 	case wire.OpPut:
 		return 1
 	}
@@ -22,6 +22,8 @@ func Exhaustive(op wire.Op) int {
 		return 2
 	case wire.OpReplicate, wire.OpIndex:
 		return 3
+	case wire.OpTraceDump, wire.OpEvents:
+		return 4
 	}
 	return 0
 }

@@ -1,14 +1,36 @@
-// Package server is a lockdiscipline fixture for the checkpoint guard:
-// Server.chkMu (an RWMutex) guards the journal sink and the WAL handle.
+// Package server is a lockdiscipline fixture for the checkpoint guard
+// (Server.chkMu, an RWMutex, guards the journal sink and the WAL handle)
+// and an eventrecorded fixture for the server rows of the decision-path
+// table: recordAdmission, quarantine, recoverQuarantined, storeReplica and
+// New must all leave a flight-recorder event behind.
 package server
 
-import "sync"
+import (
+	"sync"
 
-// Server mirrors the node's checkpoint-guarded fields.
+	"fixture/internal/telemetry"
+)
+
+// Server mirrors the node's checkpoint-guarded fields and its telemetry
+// sinks.
 type Server struct {
 	chkMu   sync.RWMutex
 	journal []string
 	wal     int
+
+	events  *telemetry.Recorder
+	spans   *telemetry.SpanRing
+	onEvict func(id string)
+}
+
+// New mirrors the real constructor's eviction hook: the Record call lives
+// inside a func literal, which the analyzer must still see.
+func New() *Server {
+	s := &Server{events: &telemetry.Recorder{}, spans: &telemetry.SpanRing{}}
+	s.onEvict = func(id string) {
+		s.events.Record(telemetry.Event{Kind: telemetry.EventEvict, ID: id})
+	}
+	return s
 }
 
 // Record journals one entry under the read side of chkMu.
@@ -29,3 +51,33 @@ func (s *Server) Checkpoint() {
 func (s *Server) WALSeq() int {
 	return s.wal // want "reads guarded field wal without holding chkMu"
 }
+
+// recordAdmission stamps the admission verdict into the flight recorder.
+func (s *Server) recordAdmission(id string, admitted bool) {
+	kind := telemetry.EventAdmit
+	if !admitted {
+		kind = telemetry.EventEvict
+	}
+	s.events.Record(telemetry.Event{Kind: kind, ID: id})
+}
+
+// quarantine records the decision to sideline a corrupt object.
+func (s *Server) quarantine(id string) {
+	s.events.Record(telemetry.Event{Kind: telemetry.EventQuarantine, ID: id})
+}
+
+// recoverQuarantined records only a span -- the wrong ring. The analyzer
+// must reject it: spans are sampling, the flight recorder is the contract.
+func (s *Server) recoverQuarantined(id string) { // want "decision path Server.recoverQuarantined records no flight-recorder event"
+	s.spans.Record("recover " + id)
+}
+
+// storeReplica is deliberately event-free; the suppression below must
+// silence the finding the analyzer would otherwise raise.
+//
+//lint:ignore eventrecorded the fixture replica path defers its event to an imagined caller
+func (s *Server) storeReplica(id string) {
+	s.journalish(id)
+}
+
+func (s *Server) journalish(id string) { _ = id }

@@ -6,8 +6,8 @@ package wire
 type Op uint8
 
 // Opcodes. OpReplicate and OpIndex mirror the cluster ops the real wire
-// package grew, so the fixtures prove the analyzer re-arms when the
-// universe expands.
+// package grew, and OpTraceDump and OpEvents the telemetry ops after them,
+// so the fixtures prove the analyzer re-arms when the universe expands.
 const (
 	OpInvalid Op = iota
 	OpPut
@@ -15,4 +15,6 @@ const (
 	OpOK
 	OpReplicate
 	OpIndex
+	OpTraceDump
+	OpEvents
 )

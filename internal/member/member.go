@@ -25,6 +25,8 @@ import (
 	"sync"
 	"time"
 
+	"besteffs/internal/metrics"
+	"besteffs/internal/telemetry"
 	"besteffs/internal/wire"
 )
 
@@ -58,6 +60,12 @@ type Config struct {
 	Logger *slog.Logger
 	// Seed seeds peer selection; 0 uses the boot time.
 	Seed int64
+	// Registry receives the per-peer gossip counters and the
+	// besteffs_member_alive gauges; nil uses a private registry.
+	Registry *metrics.Registry
+	// Events receives flight-recorder events for membership transitions;
+	// nil disables recording (the Recorder is nil-safe).
+	Events *telemetry.Recorder
 }
 
 // entry is one peer's membership record.
@@ -67,6 +75,10 @@ type entry struct {
 	// indirect news, so a dead peer's record stops advancing everywhere
 	// within a few rounds of its last heartbeat.
 	lastSeen time.Time
+	// alive is the last liveness verdict the transition sweep published
+	// (events + besteffs_member_alive gauge); it trails the DeadAfter
+	// computation by at most one Tick.
+	alive bool
 }
 
 // Agent runs the membership protocol for one node.
@@ -74,6 +86,8 @@ type Agent struct {
 	cfg         Config
 	log         *slog.Logger
 	incarnation uint64
+	reg         *metrics.Registry
+	events      *telemetry.Recorder
 
 	mu      sync.Mutex
 	rng     *rand.Rand
@@ -125,10 +139,16 @@ func NewAgent(cfg Config) (*Agent, error) {
 	if seed == 0 {
 		seed = boot.UnixNano()
 	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
 	a := &Agent{
 		cfg:         cfg,
 		log:         cfg.Logger,
 		incarnation: uint64(boot.UnixNano()),
+		reg:         reg,
+		events:      cfg.Events,
 		rng:         rand.New(rand.NewSource(seed)),
 		table:       make(map[string]*entry),
 	}
@@ -308,13 +328,40 @@ func (a *Agent) Run(ctx context.Context) {
 	}
 }
 
+// sweepLocked publishes liveness transitions: any peer whose DeadAfter
+// verdict changed since the last sweep gets a member-up or member-down
+// flight-recorder event and its besteffs_member_alive gauge flipped. The
+// verdict itself stays a pure function of lastSeen (Members and AlivePeers
+// compute it directly); the sweep only publishes edges, so it can lag by a
+// heartbeat without anyone observing stale liveness. Callers hold a.mu.
+func (a *Agent) sweepLocked(now time.Time) {
+	for addr, e := range a.table {
+		alive := now.Sub(e.lastSeen) < a.cfg.DeadAfter
+		if alive == e.alive {
+			continue
+		}
+		e.alive = alive
+		val, kind := 0.0, telemetry.EventMemberDown
+		if alive {
+			val, kind = 1.0, telemetry.EventMemberUp
+		}
+		a.reg.Gauge("besteffs_member_alive",
+			"1 while the peer's advertisement is fresh, 0 once it ages past DeadAfter",
+			metrics.L("peer", addr)).Set(val)
+		a.events.Record(telemetry.Event{Kind: kind, Peer: addr})
+		a.log.Info("membership transition", "peer", addr, "alive", alive)
+	}
+}
+
 // Tick runs one heartbeat round: bump the advertisement version, roll the
-// push-sum epoch if due, and exchange views with up to Fanout peers.
+// push-sum epoch if due, sweep liveness transitions, and exchange views
+// with up to Fanout peers.
 func (a *Agent) Tick(ctx context.Context) {
 	now := time.Now()
 	a.mu.Lock()
 	a.version++
 	a.rollEpochLocked(now)
+	a.sweepLocked(now)
 	targets := a.pickLocked(now)
 	a.mu.Unlock()
 	for _, addr := range targets {
@@ -369,12 +416,16 @@ func (a *Agent) exchange(addr string) {
 	a.sent++
 	a.mu.Unlock()
 
+	start := time.Now()
 	res, err := a.roundTrip(addr, g)
+	rtt := time.Since(start)
 
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	if err != nil {
 		a.failed++
+		a.reg.Counter("besteffs_gossip_failures_total",
+			"failed gossip exchanges, by peer", metrics.L("peer", addr)).Inc()
 		if a.epoch == g.Epoch {
 			// Undo the halving; the share never left.
 			a.shareValue += g.ShareValue
@@ -383,6 +434,11 @@ func (a *Agent) exchange(addr string) {
 		a.log.Debug("gossip exchange failed", "peer", addr, "err", err)
 		return
 	}
+	a.reg.Counter("besteffs_gossip_exchanges_total",
+		"completed gossip exchanges, by peer", metrics.L("peer", addr)).Inc()
+	a.reg.Histogram("besteffs_gossip_rtt_seconds",
+		"round-trip time of completed gossip exchanges, by peer",
+		metrics.LatencyBuckets, metrics.L("peer", addr)).Observe(rtt.Seconds())
 	now = time.Now()
 	for _, mi := range res.Members {
 		// The response proves the peer itself is alive; everything else in
@@ -396,6 +452,9 @@ func (a *Agent) exchange(addr string) {
 		a.shareValue += res.ShareValue
 		a.shareWeight += res.ShareWeight
 	}
+	// A successful exchange can flip a formerly dead peer back up; publish
+	// the edge now instead of waiting out the next heartbeat.
+	a.sweepLocked(now)
 }
 
 // roundTrip performs one framed request/response exchange with addr.

@@ -17,6 +17,7 @@ import (
 	"math/rand"
 	"net"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -72,15 +73,8 @@ func (n *chaosNode) start(seeds []string) {
 		n.t.Fatalf("open wal: %v", err)
 	}
 	n.wal = wal
-	srv, err := server.New(nodeCapacity, policy.TemporalImportance{},
-		server.WithBlobStore(files), server.WithWAL(wal), server.WithLogger(quiet))
-	if err != nil {
-		n.t.Fatalf("server.New: %v", err)
-	}
-	n.srv = srv
-	if _, err := srv.RestoreDir(n.dir); err != nil {
-		n.t.Fatalf("restore %s: %v", n.dir, err)
-	}
+	// Listen before building the server so the node's final address can be
+	// stamped onto its spans (WithNodeAddr), same as besteffsd -advertise.
 	listenAddr := n.addr
 	if listenAddr == "" {
 		listenAddr = "127.0.0.1:0"
@@ -90,6 +84,16 @@ func (n *chaosNode) start(seeds []string) {
 		n.t.Fatalf("listen %s: %v", listenAddr, err)
 	}
 	n.addr = l.Addr().String()
+	srv, err := server.New(nodeCapacity, policy.TemporalImportance{},
+		server.WithBlobStore(files), server.WithWAL(wal), server.WithLogger(quiet),
+		server.WithNodeAddr(n.addr))
+	if err != nil {
+		n.t.Fatalf("server.New: %v", err)
+	}
+	n.srv = srv
+	if _, err := srv.RestoreDir(n.dir); err != nil {
+		n.t.Fatalf("restore %s: %v", n.dir, err)
+	}
 
 	cfg := member.Config{
 		Addr: n.addr,
@@ -101,6 +105,8 @@ func (n *chaosNode) start(seeds []string) {
 		Interval: 25 * time.Millisecond,
 		Logger:   quiet,
 		Seed:     1,
+		Registry: srv.Metrics(),
+		Events:   srv.Events(),
 	}
 	if n.gossipDial != nil {
 		cfg.Dial = n.gossipDial(n.addr, func(addr string) (net.Conn, error) {
@@ -123,6 +129,7 @@ func (n *chaosNode) start(seeds []string) {
 		Peers:     agent,
 		Logger:    quiet,
 		Registry:  srv.Metrics(),
+		Events:    srv.Events(),
 	})
 	if err != nil {
 		n.t.Fatalf("repair.NewManager: %v", err)
@@ -176,6 +183,18 @@ func startCluster(t *testing.T, gossipDial func(self string, dial func(string) (
 	t.Cleanup(func() {
 		for _, n := range nodes {
 			n.kill()
+		}
+		// A failed chaos test dumps every node's flight recorder: the
+		// black box that says what each node decided while the test saw
+		// only the wire. The rings outlive kill(), so this works even for
+		// nodes that died mid-test.
+		if t.Failed() {
+			for _, n := range nodes {
+				t.Logf("=== flight recorder %s (%d events) ===", n.addr, n.srv.Events().Len())
+				var buf strings.Builder
+				n.srv.Events().Dump(&buf)
+				t.Log(buf.String())
+			}
 		}
 	})
 	waitFor(t, 10*time.Second, func() bool {

@@ -33,6 +33,7 @@ import (
 	"besteffs/internal/client"
 	"besteffs/internal/metrics"
 	"besteffs/internal/object"
+	"besteffs/internal/telemetry"
 	"besteffs/internal/wire"
 )
 
@@ -80,10 +81,14 @@ type Config struct {
 	Peers    Peers
 	Logger   *slog.Logger
 	Registry *metrics.Registry
+	// Events receives flight-recorder events for replica pushes and pulls;
+	// nil disables recording (the Recorder is nil-safe).
+	Events *telemetry.Recorder
 }
 
 // repairMetrics are the repair counters on the node's metrics registry.
 type repairMetrics struct {
+	reg             *metrics.Registry
 	pushed          *metrics.Counter
 	pulled          *metrics.Counter
 	pushFailures    *metrics.Counter
@@ -94,8 +99,36 @@ type repairMetrics struct {
 	lastPass        *metrics.Gauge
 }
 
+// Per-peer series. Registration is idempotent and these paths are not hot
+// (one replica transfer dwarfs one registry lookup), so the series are
+// minted at the call site instead of being cached per peer.
+func (rm *repairMetrics) peerPushed(peer string, d time.Duration) {
+	rm.reg.Counter("besteffs_repair_peer_pushed_total",
+		"replicas pushed at ingest, by peer", metrics.L("peer", peer)).Inc()
+	rm.peerRTT(peer, d)
+}
+
+func (rm *repairMetrics) peerPulled(peer string, d time.Duration) {
+	rm.reg.Counter("besteffs_repair_peer_pulled_total",
+		"objects pulled by anti-entropy, by peer", metrics.L("peer", peer)).Inc()
+	rm.peerRTT(peer, d)
+}
+
+func (rm *repairMetrics) peerFailure(peer string) {
+	rm.reg.Counter("besteffs_repair_peer_failures_total",
+		"failed repair exchanges (push, pull, or index), by peer",
+		metrics.L("peer", peer)).Inc()
+}
+
+func (rm *repairMetrics) peerRTT(peer string, d time.Duration) {
+	rm.reg.Histogram("besteffs_repair_peer_rtt_seconds",
+		"round-trip time of successful repair exchanges, by peer",
+		metrics.LatencyBuckets, metrics.L("peer", peer)).Observe(d.Seconds())
+}
+
 func newRepairMetrics(reg *metrics.Registry) repairMetrics {
 	return repairMetrics{
+		reg: reg,
 		pushed: reg.Counter("besteffs_repair_pushed_total",
 			"objects pushed to peers at ingest"),
 		pulled: reg.Counter("besteffs_repair_pulled_total",
@@ -263,6 +296,7 @@ func (m *Manager) PushSync(ctx context.Context, rep *wire.Replicate) int {
 	if want <= 0 {
 		return copies
 	}
+	sc, _ := telemetry.FromContext(ctx)
 	for _, peer := range m.alivePeers() {
 		if copies-1 >= want {
 			break
@@ -273,11 +307,14 @@ func (m *Manager) PushSync(ctx context.Context, rep *wire.Replicate) int {
 		c, err := m.peerClient(peer.Addr)
 		if err != nil {
 			m.met.pushFailures.Inc()
+			m.met.peerFailure(peer.Addr)
 			m.log.Warn("replica push dial failed", "peer", peer.Addr, "id", rep.ID, "err", err)
 			continue
 		}
+		start := time.Now()
 		if _, err := c.ReplicateCtx(ctx, rep); err != nil {
 			m.met.pushFailures.Inc()
+			m.met.peerFailure(peer.Addr)
 			if !isRemoteVerdict(err) {
 				m.dropClient(peer.Addr, c)
 			}
@@ -285,6 +322,11 @@ func (m *Manager) PushSync(ctx context.Context, rep *wire.Replicate) int {
 			continue
 		}
 		m.met.pushed.Inc()
+		m.met.peerPushed(peer.Addr, time.Since(start))
+		m.cfg.Events.Record(telemetry.Event{
+			Kind: telemetry.EventReplicaPush, ID: string(rep.ID),
+			Peer: peer.Addr, Trace: sc.Trace, Importance: rep.Importance.At(0),
+		})
 		copies++
 	}
 	return copies
@@ -398,6 +440,14 @@ type pullItem struct {
 func (m *Manager) PassNow(ctx context.Context) (Pass, error) {
 	var pass Pass
 	start := time.Now()
+	// Every pass runs under a trace: the index exchanges and pulls below
+	// join whatever span context the caller supplied (the 3-node tests
+	// thread a put's trace through to its eventual repair), or a fresh root
+	// so unsolicited passes are still reconstructable with `besteffsctl
+	// trace`.
+	if _, ok := telemetry.FromContext(ctx); !ok {
+		ctx = telemetry.NewContext(ctx, telemetry.NewRoot())
+	}
 	local := m.cfg.Local.IndexEntries(m.cfg.Threshold)
 	localByID := make(map[object.ID]wire.IndexEntry, len(local))
 	for _, e := range local {
@@ -412,17 +462,21 @@ func (m *Manager) PassNow(ctx context.Context) (Pass, error) {
 		}
 		c, err := m.peerClient(peer.Addr)
 		if err != nil {
+			m.met.peerFailure(peer.Addr)
 			m.log.Warn("repair index exchange dial failed", "peer", peer.Addr, "err", err)
 			continue
 		}
+		exchangeStart := time.Now()
 		res, err := c.IndexDiffCtx(ctx, m.cfg.Threshold, local)
 		if err != nil {
+			m.met.peerFailure(peer.Addr)
 			if !isRemoteVerdict(err) {
 				m.dropClient(peer.Addr, c)
 			}
 			m.log.Warn("repair index exchange failed", "peer", peer.Addr, "err", err)
 			continue
 		}
+		m.met.peerRTT(peer.Addr, time.Since(exchangeStart))
 		d := peerDiff{
 			addr:    peer.Addr,
 			missing: make(map[object.ID]wire.IndexEntry, len(res.Missing)),
@@ -586,10 +640,13 @@ func pullRank(id object.ID, addr string) uint64 {
 func (m *Manager) pull(ctx context.Context, p pullItem) (int64, error) {
 	c, err := m.peerClient(p.from)
 	if err != nil {
+		m.met.peerFailure(p.from)
 		return 0, err
 	}
+	start := time.Now()
 	o, err := c.GetCtx(ctx, p.entry.ID)
 	if err != nil {
+		m.met.peerFailure(p.from)
 		if !isRemoteVerdict(err) {
 			m.dropClient(p.from, c)
 		}
@@ -610,5 +667,11 @@ func (m *Manager) pull(ctx context.Context, p pullItem) (int64, error) {
 	if !stored {
 		return 0, nil // our copy caught up while the pull was in flight
 	}
+	m.met.peerPulled(p.from, time.Since(start))
+	sc, _ := telemetry.FromContext(ctx)
+	m.cfg.Events.Record(telemetry.Event{
+		Kind: telemetry.EventReplicaPull, ID: string(o.ID),
+		Peer: p.from, Trace: sc.Trace, Importance: o.Importance.At(0),
+	})
 	return int64(len(o.Payload)), nil
 }

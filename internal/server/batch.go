@@ -20,10 +20,16 @@ import (
 	"besteffs/internal/journal"
 	"besteffs/internal/object"
 	"besteffs/internal/store"
+	"besteffs/internal/telemetry"
 	"besteffs/internal/wire"
 )
 
-func (s *Server) handleBatch(m *wire.Batch, now time.Duration) wire.Message {
+// handleBatch dispatches a batch under the batch frame's span context:
+// every sub-request -- the put group and the individually executed rest --
+// inherits the caller's trace, so a traced batch's replica pushes carry the
+// same trace ID a traced single put would (they were silently dropped here
+// before the span context existed).
+func (s *Server) handleBatch(m *wire.Batch, now time.Duration, sc telemetry.SpanContext) wire.Message {
 	if len(m.Subs) == 0 {
 		return &wire.ErrorMsg{Code: wire.CodeBadRequest, Text: "empty batch"}
 	}
@@ -34,15 +40,17 @@ func (s *Server) handleBatch(m *wire.Batch, now time.Duration) wire.Message {
 	}
 	results := make([]wire.Message, len(m.Subs))
 	var puts []*wire.Put
+	var putScs []telemetry.SpanContext
 	var putIdx []int
 	for i, sub := range m.Subs {
 		if p, ok := sub.(*wire.Put); ok {
 			puts = append(puts, p)
+			putScs = append(putScs, sc)
 			putIdx = append(putIdx, i)
 		}
 	}
 	if len(puts) > 0 {
-		for i, res := range s.executePutGroup(puts, now) {
+		for i, res := range s.executePutGroup(puts, putScs, now) {
 			results[putIdx[i]] = res
 		}
 	}
@@ -50,7 +58,7 @@ func (s *Server) handleBatch(m *wire.Batch, now time.Duration) wire.Message {
 		if results[i] != nil {
 			continue
 		}
-		results[i] = s.execute(sub)
+		results[i] = s.executeTraced(sub, sc)
 	}
 	return &wire.BatchResult{Results: results}
 }
@@ -58,8 +66,10 @@ func (s *Server) handleBatch(m *wire.Batch, now time.Duration) wire.Message {
 // admitPutGroup admits a group of puts as one store transaction and
 // journals the admitted ones through one append+sync barrier. Returns one
 // response per put, in group order. Replication of the admitted subs
-// happens in executePutGroup, after the checkpoint lock is released.
-func (s *Server) admitPutGroup(puts []*wire.Put, now time.Duration) []wire.Message {
+// happens in executePutGroup, after the checkpoint lock is released. scs
+// aligns with puts and links each verdict's flight-recorder event to its
+// frame's trace.
+func (s *Server) admitPutGroup(puts []*wire.Put, scs []telemetry.SpanContext, now time.Duration) []wire.Message {
 	results := make([]wire.Message, len(puts))
 	objs := make([]*object.Object, len(puts))
 	for i, m := range puts {
@@ -108,6 +118,11 @@ func (s *Server) admitPutGroup(puts []*wire.Put, now time.Duration) []wire.Messa
 			Boundary: d.HighestPreempted,
 			Reason:   uint8(d.Reason),
 		}
+		var trace string
+		if i < len(scs) {
+			trace = scs[i].Trace
+		}
+		s.recordAdmission(m.ID, m.Importance.At(0), d.Admit, d.HighestPreempted, trace)
 		if d.Admit {
 			o := objs[i]
 			// Metadata first, payload second, exactly like handlePut: a

@@ -20,6 +20,7 @@ import (
 	"besteffs/internal/journal"
 	"besteffs/internal/object"
 	"besteffs/internal/store"
+	"besteffs/internal/telemetry"
 	"besteffs/internal/wire"
 )
 
@@ -221,6 +222,11 @@ func (s *Server) storeReplica(m *wire.Replicate, now time.Duration) (replicaOutc
 		return replicaRefused, err
 	}
 	if !d.Admit {
+		s.events.Record(telemetry.Event{
+			Kind: telemetry.EventReject, ID: string(m.ID),
+			Importance: m.Importance.At(0), Boundary: d.HighestPreempted,
+			Detail: "replica",
+		})
 		return replicaRefused, nil
 	}
 	if err := s.blobs.Put(o.ID, m.Payload); err != nil {
@@ -235,6 +241,11 @@ func (s *Server) storeReplica(m *wire.Replicate, now time.Duration) (replicaOutc
 		Kind: journal.KindPut, At: arrival, ID: o.ID, Size: o.Size,
 		Owner: o.Owner, Class: o.Class, Version: version,
 		Importance: o.Importance,
+	})
+	s.events.Record(telemetry.Event{
+		Kind: telemetry.EventAdmit, ID: string(o.ID),
+		Importance: m.Importance.At(0), Boundary: d.HighestPreempted,
+		Detail: "replica",
 	})
 	return replicaStored, nil
 }
@@ -282,8 +293,9 @@ func (s *Server) handleReplicate(m *wire.Replicate, now time.Duration) wire.Mess
 // R-1 peers, synchronously: the response has not been written yet, so an
 // acknowledged high-importance object already has its replicas. Runs after
 // the admission lock is released -- pushes are network I/O and must not
-// stall checkpoints.
-func (s *Server) replicateAdmitted(res wire.Message, m *wire.Put) {
+// stall checkpoints. The span context rides the push context so each
+// outgoing REPLICATE hop joins the put's trace.
+func (s *Server) replicateAdmitted(res wire.Message, m *wire.Put, sc telemetry.SpanContext) {
 	if s.repl == nil {
 		return
 	}
@@ -300,6 +312,7 @@ func (s *Server) replicateAdmitted(res wire.Message, m *wire.Put) {
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), replicateTimeout)
 	defer cancel()
+	ctx = telemetry.NewContext(ctx, sc)
 	s.repl.PushSync(ctx, &wire.Replicate{
 		ID:         m.ID,
 		Owner:      m.Owner,
@@ -313,11 +326,16 @@ func (s *Server) replicateAdmitted(res wire.Message, m *wire.Put) {
 
 // executePutGroup admits a group of puts as one store transaction, then
 // pushes the admitted above-threshold ones to their replicas. Returns one
-// response per put, in group order.
-func (s *Server) executePutGroup(puts []*wire.Put, now time.Duration) []wire.Message {
-	results := s.admitPutGroup(puts, now)
+// response per put, in group order. scs aligns with puts: each put's pushes
+// ride its own frame's span context.
+func (s *Server) executePutGroup(puts []*wire.Put, scs []telemetry.SpanContext, now time.Duration) []wire.Message {
+	results := s.admitPutGroup(puts, scs, now)
 	for i, m := range puts {
-		s.replicateAdmitted(results[i], m)
+		var sc telemetry.SpanContext
+		if i < len(scs) {
+			sc = scs[i]
+		}
+		s.replicateAdmitted(results[i], m, sc)
 	}
 	return results
 }
@@ -325,12 +343,15 @@ func (s *Server) executePutGroup(puts []*wire.Put, now time.Duration) []wire.Mes
 // recoverQuarantined tries to heal a just-quarantined corrupt object from
 // a replica: fetch the best live copy, restore it locally, and serve it.
 // Returns nil when the node is not clustered or no replica is reachable.
-func (s *Server) recoverQuarantined(id object.ID) wire.Message {
+// The get's span context rides the recovery pulls, so healing hops join the
+// get's trace.
+func (s *Server) recoverQuarantined(id object.ID, sc telemetry.SpanContext) wire.Message {
 	if s.repl == nil {
 		return nil
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), replicateTimeout)
 	defer cancel()
+	ctx = telemetry.NewContext(ctx, sc)
 	rep, err := s.repl.Recover(ctx, id)
 	if err != nil {
 		s.log.Warn("quarantined object has no reachable replica", "id", id, "err", err)
@@ -342,6 +363,10 @@ func (s *Server) recoverQuarantined(id object.ID) wire.Message {
 		// local restore failed.
 	}
 	s.repairedGets.Inc()
+	s.events.Record(telemetry.Event{
+		Kind: telemetry.EventHeal, ID: string(id), Trace: sc.Trace,
+		Detail: "healed from replica",
+	})
 	s.log.Info("corrupt object healed from replica", "id", id)
 	age := time.Duration(rep.AgeNanos)
 	return &wire.ObjectMsg{

@@ -18,9 +18,24 @@ type storeCounters = store.Counters
 // frames fall into the op="other" series.
 var instrumentedOps = wire.RequestOps()
 
+// opLabels caches the rendered label for every request opcode: opLabel runs
+// once per recorded span, and lowercasing allocates.
+var opLabels = func() map[wire.Op]string {
+	m := make(map[wire.Op]string, len(instrumentedOps))
+	for _, op := range instrumentedOps {
+		m[op] = strings.ToLower(op.String())
+	}
+	return m
+}()
+
 // opLabel renders an opcode as a Prometheus label value ("put", "get",
 // "density_history", ...).
-func opLabel(op wire.Op) string { return strings.ToLower(op.String()) }
+func opLabel(op wire.Op) string {
+	if l, ok := opLabels[op]; ok {
+		return l
+	}
+	return strings.ToLower(op.String())
+}
 
 // serverMetrics bundles the node's registry with the hot-path instrument
 // handles, so request handling never takes the registry's registration

@@ -19,6 +19,7 @@ import (
 	"bufio"
 	"encoding/binary"
 
+	"besteffs/internal/telemetry"
 	"besteffs/internal/wire"
 )
 
@@ -56,11 +57,32 @@ func (s *Server) coalesce(br *bufio.Reader, first []byte) [][]byte {
 }
 
 // dispatched is one frame's outcome: the response to encode plus the opcode
-// and trailers needed for metrics and the response's trailer echo.
+// and trailers needed for metrics and the response's trailer echo, and the
+// frame's resolved span identity (sc.Span is the span this frame's handling
+// is recorded under, parent the client's own span).
 type dispatched struct {
-	resp wire.Message
-	op   wire.Op
-	tr   wire.Trailers
+	resp   wire.Message
+	op     wire.Op
+	tr     wire.Trailers
+	sc     telemetry.SpanContext
+	parent uint64
+}
+
+// spanContext resolves the span identity of a traced frame: the span ID the
+// client minted for this hop, or a freshly minted one when the client sent
+// only a trace trailer (legacy root behavior -- the hop becomes a trace
+// root). Untraced frames get the zero context.
+func spanContext(tr wire.Trailers) (telemetry.SpanContext, uint64) {
+	// Only frames carrying the explicit span trailer join the span ring.
+	// The legacy trace-ID-only trailer (every client stamps one) keeps its
+	// original cost -- log correlation, no per-request span allocation --
+	// so tracing stays opt-in per request and the untraced hot path pays
+	// nothing. Everything cluster-internal (replication, repair, gossip-era
+	// ctl commands) mints span contexts, so cross-node trees stay complete.
+	if tr.Trace == "" || !tr.HasSpan {
+		return telemetry.SpanContext{}, 0
+	}
+	return telemetry.SpanContext{Trace: string(tr.Trace), Span: tr.Span}, tr.Parent
 }
 
 // dispatchGroup executes a coalesced run of frames. Put frames are admitted
@@ -70,11 +92,12 @@ type dispatched struct {
 func (s *Server) dispatchGroup(bodies [][]byte) []dispatched {
 	outs := make([]dispatched, len(bodies))
 	if len(bodies) == 1 {
-		outs[0].resp, outs[0].op, outs[0].tr = s.dispatch(bodies[0])
+		outs[0] = s.dispatch(bodies[0])
 		return outs
 	}
 	msgs := make([]wire.Message, len(bodies))
 	var puts []*wire.Put
+	var putScs []telemetry.SpanContext
 	var putIdx []int
 	for i, body := range bodies {
 		msg, tr, err := wire.DecodeWithTrailers(body)
@@ -88,14 +111,16 @@ func (s *Server) dispatchGroup(bodies [][]byte) []dispatched {
 		msgs[i] = msg
 		outs[i].op = msg.Op()
 		outs[i].tr = tr
+		outs[i].sc, outs[i].parent = spanContext(tr)
 		if p, ok := msg.(*wire.Put); ok {
 			puts = append(puts, p)
+			putScs = append(putScs, outs[i].sc)
 			putIdx = append(putIdx, i)
 		}
 	}
 	if len(puts) > 0 {
 		now := s.clock()
-		for k, res := range s.executePutGroup(puts, now) {
+		for k, res := range s.executePutGroup(puts, putScs, now) {
 			outs[putIdx[k]].resp = res
 		}
 	}
@@ -103,7 +128,7 @@ func (s *Server) dispatchGroup(bodies [][]byte) []dispatched {
 		if msg == nil || outs[i].resp != nil {
 			continue
 		}
-		outs[i].resp = s.execute(msg)
+		outs[i].resp = s.executeTraced(msg, outs[i].sc)
 	}
 	return outs
 }

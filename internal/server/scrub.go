@@ -11,6 +11,7 @@ import (
 	"besteffs/internal/metrics"
 	"besteffs/internal/object"
 	"besteffs/internal/store"
+	"besteffs/internal/telemetry"
 )
 
 // Online scrub: a background pass that re-verifies every resident's payload
@@ -158,5 +159,8 @@ func (s *Server) quarantine(id object.ID, now time.Duration, cause error) {
 	} else {
 		s.scrub.corrupt.Inc()
 	}
+	s.events.Record(telemetry.Event{
+		Kind: telemetry.EventQuarantine, ID: string(id), Detail: cause.Error(),
+	})
 	s.log.Warn("object quarantined", "id", id, "cause", cause)
 }

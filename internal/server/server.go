@@ -29,6 +29,7 @@ import (
 	"besteffs/internal/object"
 	"besteffs/internal/policy"
 	"besteffs/internal/store"
+	"besteffs/internal/telemetry"
 	"besteffs/internal/wire"
 )
 
@@ -89,6 +90,17 @@ type Server struct {
 	membership   Membership
 	repl         Replicator
 	repairedGets *metrics.Counter
+
+	// Telemetry: the span ring behind TRACE_DUMP and the flight recorder
+	// behind EVENTS. Always on -- both are fixed-size and lock-free.
+	spans  *telemetry.SpanRing
+	events *telemetry.Recorder
+	// nodeAddr is the advertised address stamped onto recorded spans and
+	// telemetry dumps ("" on a single-node server).
+	nodeAddr string
+	// slowThreshold makes requests at or above it log their span tree at
+	// WARN (0 disables).
+	slowThreshold time.Duration
 
 	met *serverMetrics
 }
@@ -248,6 +260,26 @@ func WithDensitySampling(interval time.Duration, size int) Option {
 	}
 }
 
+// WithNodeAddr sets the advertised address stamped onto recorded spans and
+// telemetry dumps, so `besteffsctl trace` can say which node executed each
+// hop. Daemons pass their -advertise address.
+func WithNodeAddr(addr string) Option {
+	return func(s *Server) {
+		s.nodeAddr = addr
+	}
+}
+
+// WithSlowThreshold logs any request that takes at least d at WARN, with the
+// request's completed span tree (per-hop timings from the local span ring)
+// attached when the request was traced (0 disables).
+func WithSlowThreshold(d time.Duration) Option {
+	return func(s *Server) {
+		if d > 0 {
+			s.slowThreshold = d
+		}
+	}
+}
+
 // WithMaxBatchSubs lowers the cap on sub-requests per BATCH frame below
 // the protocol ceiling (wire.MaxBatchSubs). Oversized batches are answered
 // with CodeBadRequest; n outside (0, wire.MaxBatchSubs] keeps the ceiling.
@@ -291,6 +323,8 @@ func New(capacity int64, pol policy.Policy, opts ...Option) (*Server, error) {
 		log:          slog.Default(),
 		met:          newServerMetrics(),
 		maxBatchSubs: wire.MaxBatchSubs,
+		spans:        telemetry.NewSpanRing(0),
+		events:       telemetry.NewRecorder(0),
 	}
 	s.scrub = newScrubMetrics(s.met.reg)
 	start := time.Now()
@@ -304,6 +338,9 @@ func New(capacity int64, pol policy.Policy, opts ...Option) (*Server, error) {
 			}
 			s.journalAppend(journal.Record{
 				Kind: journal.KindEvict, At: e.Time, ID: e.Object.ID,
+			})
+			s.events.Record(telemetry.Event{
+				Kind: telemetry.EventEvict, ID: string(e.Object.ID),
 			})
 		}),
 	)
@@ -331,6 +368,15 @@ func (s *Server) journalAppend(r journal.Record) {
 
 // Unit exposes the underlying storage unit (for stats and tests).
 func (s *Server) Unit() *store.Unit { return s.unit }
+
+// Spans exposes the node's span ring (for cluster components that record
+// their own hops, and for tests).
+func (s *Server) Spans() *telemetry.SpanRing { return s.spans }
+
+// Events exposes the node's flight recorder, so daemons can dump it on
+// SIGQUIT, chaos tests on failure, and cluster components can record their
+// decisions into the same black box.
+func (s *Server) Events() *telemetry.Recorder { return s.events }
 
 // Now returns the node's current time.
 func (s *Server) Now() time.Duration { return s.clock() }
@@ -475,10 +521,18 @@ func (s *Server) maintain(ctx context.Context) {
 	}
 }
 
+// boundaryEventDelta is how far the importance boundary must move between
+// density samples before the flight recorder notes it. Small oscillations
+// are churn; a material move marks real reclamation pressure changing.
+const boundaryEventDelta = 0.05
+
 // sampleDensity records one density trajectory sample per interval (plus
-// one at startup, so a freshly started node already has a point to show).
+// one at startup, so a freshly started node already has a point to show),
+// and flight-records material importance-boundary movement between samples.
 func (s *Server) sampleDensity(ctx context.Context) {
-	s.samples.Record(s.unit.SampleAt(s.clock()))
+	first := s.unit.SampleAt(s.clock())
+	s.samples.Record(first)
+	lastBoundary := first.Boundary
 	ticker := time.NewTicker(s.sampleEvery)
 	defer ticker.Stop()
 	for {
@@ -486,7 +540,16 @@ func (s *Server) sampleDensity(ctx context.Context) {
 		case <-ctx.Done():
 			return
 		case <-ticker.C:
-			s.samples.Record(s.unit.SampleAt(s.clock()))
+			sm := s.unit.SampleAt(s.clock())
+			s.samples.Record(sm)
+			if d := sm.Boundary - lastBoundary; d >= boundaryEventDelta || d <= -boundaryEventDelta {
+				s.events.Record(telemetry.Event{
+					Kind:       telemetry.EventBoundary,
+					Importance: sm.Boundary,
+					Boundary:   lastBoundary,
+				})
+				lastBoundary = sm.Boundary
+			}
 		}
 	}
 }
@@ -512,8 +575,10 @@ func (s *Server) handleConn(ctx context.Context, conn net.Conn) {
 	br := bufio.NewReaderSize(conn, 64<<10)
 	bw := bufio.NewWriterSize(conn, 64<<10)
 	// Resolve the log level once: building a Debug call's argument list
-	// per frame is measurable on the pipelined hot path.
+	// per frame is measurable on the pipelined hot path. Same for the
+	// remote address: net.Addr.String formats and allocates per call.
 	debug := s.log.Enabled(ctx, slog.LevelDebug)
+	remote := conn.RemoteAddr().String()
 	for {
 		if ctx.Err() != nil {
 			return
@@ -545,6 +610,25 @@ func (s *Server) handleConn(ctx context.Context, conn net.Conn) {
 		}
 		for _, d := range outs {
 			s.met.observe(d.op, d.tr.Trace != "", elapsed)
+			if d.sc.Valid() {
+				s.spans.Record(telemetry.Span{
+					Trace:    d.sc.Trace,
+					ID:       d.sc.Span,
+					Parent:   d.parent,
+					Name:     opLabel(d.op),
+					Node:     s.nodeAddr,
+					Peer:     remote,
+					Start:    start,
+					Duration: elapsed,
+					Note:     spanNote(d.resp),
+				})
+				if s.slowThreshold > 0 && elapsed >= s.slowThreshold {
+					s.logSlowRequest(d, elapsed, remote)
+				}
+			} else if s.slowThreshold > 0 && elapsed >= s.slowThreshold {
+				s.log.Warn("slow request", "op", d.op, "dur", elapsed,
+					"remote", remote)
+			}
 			if debug {
 				if d.tr.Trace != "" {
 					s.log.Debug("request served", "op", d.op, "trace", d.tr.Trace,
@@ -579,15 +663,21 @@ func (s *Server) handleConn(ctx context.Context, conn net.Conn) {
 }
 
 // dispatch decodes and executes one request, returning the response, the
-// request's opcode (OpInvalid for undecodable frames) and whatever optional
-// trailers the client attached.
-func (s *Server) dispatch(body []byte) (wire.Message, wire.Op, wire.Trailers) {
+// request's opcode (OpInvalid for undecodable frames), whatever optional
+// trailers the client attached, and the frame's resolved span identity.
+func (s *Server) dispatch(body []byte) dispatched {
 	msg, tr, err := wire.DecodeWithTrailers(body)
 	if err != nil {
-		return &wire.ErrorMsg{Code: wire.CodeBadRequest, Text: err.Error()},
-			wire.OpInvalid, wire.Trailers{}
+		return dispatched{
+			resp: &wire.ErrorMsg{Code: wire.CodeBadRequest, Text: err.Error()},
+			op:   wire.OpInvalid,
+		}
 	}
-	return s.execute(msg), msg.Op(), tr
+	sc, parent := spanContext(tr)
+	return dispatched{
+		resp: s.executeTraced(msg, sc), op: msg.Op(), tr: tr,
+		sc: sc, parent: parent,
+	}
 }
 
 // UnknownOpError reports a well-formed frame whose opcode has no request
@@ -604,16 +694,25 @@ func (e *UnknownOpError) Error() string {
 	return fmt.Sprintf("server: unknown request op %v", e.Op)
 }
 
-// execute runs one decoded request. The switch dispatches on the opcode and
+// execute runs one decoded request without a span context: the entry point
+// for untraced internal callers (tests, recovery). Traced dispatch goes
+// through executeTraced.
+func (s *Server) execute(msg wire.Message) wire.Message {
+	return s.executeTraced(msg, telemetry.SpanContext{})
+}
+
+// executeTraced runs one decoded request under the frame's span context, so
+// handlers that fan out to peers (put replication, corrupt-get recovery)
+// propagate the caller's trace. The switch dispatches on the opcode and
 // covers every declared request op explicitly (the wireexhaustive lint check
 // keeps it that way); anything else falls through to a typed UnknownOpError.
-func (s *Server) execute(msg wire.Message) wire.Message {
+func (s *Server) executeTraced(msg wire.Message, sc telemetry.SpanContext) wire.Message {
 	now := s.clock()
 	switch op := msg.Op(); op {
 	case wire.OpPut:
-		return s.handlePut(msg.(*wire.Put), now)
+		return s.handlePut(msg.(*wire.Put), now, sc)
 	case wire.OpGet:
-		return s.handleGet(msg.(*wire.Get), now)
+		return s.handleGet(msg.(*wire.Get), now, sc)
 	case wire.OpDelete:
 		m := msg.(*wire.Delete)
 		s.chkMu.RLock()
@@ -683,7 +782,7 @@ func (s *Server) execute(msg wire.Message) wire.Message {
 		})
 		return &wire.RejuvenateResult{Version: uint32(fresh.Version)}
 	case wire.OpBatch:
-		return s.handleBatch(msg.(*wire.Batch), now)
+		return s.handleBatch(msg.(*wire.Batch), now, sc)
 	case wire.OpReplicate:
 		return s.handleReplicate(msg.(*wire.Replicate), now)
 	case wire.OpIndex:
@@ -705,6 +804,10 @@ func (s *Server) execute(msg wire.Message) wire.Message {
 			return errNotClustered("repair")
 		}
 		return s.repl.Status()
+	case wire.OpTraceDump:
+		return s.handleTraceDump(msg.(*wire.TraceDump))
+	case wire.OpEvents:
+		return s.handleEvents(msg.(*wire.Events))
 	case wire.OpList:
 		residents := s.unit.Residents()
 		ids := make([]object.ID, len(residents))
@@ -723,15 +826,16 @@ func (s *Server) execute(msg wire.Message) wire.Message {
 
 // handlePut admits one put, then -- with repair attached -- synchronously
 // pushes an admitted above-threshold object to its replicas before the
-// response leaves the node.
-func (s *Server) handlePut(m *wire.Put, now time.Duration) wire.Message {
-	res := s.admitPut(m, now)
-	s.replicateAdmitted(res, m)
+// response leaves the node. The span context rides into the replica pushes,
+// so a traced put's replication hops join its trace.
+func (s *Server) handlePut(m *wire.Put, now time.Duration, sc telemetry.SpanContext) wire.Message {
+	res := s.admitPut(m, now, sc)
+	s.replicateAdmitted(res, m, sc)
 	return res
 }
 
 // admitPut runs the admission half of a put under the checkpoint read-lock.
-func (s *Server) admitPut(m *wire.Put, now time.Duration) wire.Message {
+func (s *Server) admitPut(m *wire.Put, now time.Duration, sc telemetry.SpanContext) wire.Message {
 	if len(m.Payload) == 0 {
 		return &wire.ErrorMsg{Code: wire.CodeBadRequest, Text: "empty payload"}
 	}
@@ -778,7 +882,22 @@ func (s *Server) admitPut(m *wire.Put, now time.Duration) wire.Message {
 			res.Evicted = append(res.Evicted, v.ID)
 		}
 	}
+	s.recordAdmission(m.ID, m.Importance.At(0), d.Admit, d.HighestPreempted, sc.Trace)
 	return res
+}
+
+// recordAdmission flight-records one admission verdict: the object, its
+// initial importance, and the importance boundary that admitted or blocked
+// it.
+func (s *Server) recordAdmission(id object.ID, initial float64, admitted bool, boundary float64, trace string) {
+	kind := telemetry.EventAdmit
+	if !admitted {
+		kind = telemetry.EventReject
+	}
+	s.events.Record(telemetry.Event{
+		Kind: kind, ID: string(id), Trace: trace,
+		Importance: initial, Boundary: boundary,
+	})
 }
 
 // handleUpdate supersedes a resident version with new bytes.
@@ -807,6 +926,7 @@ func (s *Server) handleUpdate(m *wire.Update, now time.Duration) wire.Message {
 		Boundary: d.HighestPreempted,
 		Reason:   uint8(d.Reason),
 	}
+	s.recordAdmission(m.ID, m.Importance.At(0), d.Admit, d.HighestPreempted, "")
 	if !d.Admit {
 		return res
 	}
@@ -833,7 +953,7 @@ func (s *Server) handleUpdate(m *wire.Update, now time.Duration) wire.Message {
 	return res
 }
 
-func (s *Server) handleGet(m *wire.Get, now time.Duration) wire.Message {
+func (s *Server) handleGet(m *wire.Get, now time.Duration, sc telemetry.SpanContext) wire.Message {
 	o, err := s.unit.Get(m.ID)
 	if err != nil {
 		return &wire.ErrorMsg{Code: wire.CodeNotFound, Text: string(m.ID)}
@@ -852,7 +972,7 @@ func (s *Server) handleGet(m *wire.Get, now time.Duration) wire.Message {
 			// as if nothing happened. Not-found only when no replica is
 			// reachable (or the node runs single-copy).
 			s.quarantine(m.ID, now, err)
-			if obj := s.recoverQuarantined(m.ID); obj != nil {
+			if obj := s.recoverQuarantined(m.ID, sc); obj != nil {
 				return obj
 			}
 			return &wire.ErrorMsg{Code: wire.CodeNotFound, Text: string(m.ID)}

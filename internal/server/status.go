@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"net/http"
 	"time"
+
+	"besteffs/internal/telemetry"
 )
 
 // Status is the observability snapshot a node exposes over HTTP.
@@ -33,10 +35,32 @@ type Status struct {
 	// Scrub is cumulative scrub activity: payloads verified and objects
 	// quarantined for corruption or missing bytes.
 	Scrub ScrubStats `json:"scrub"`
+	// EventsRecorded counts flight-recorder events ever recorded; Events is
+	// the recorder's tail (most recent last), the same black box the EVENTS
+	// wire op dumps.
+	EventsRecorded uint64        `json:"events_recorded"`
+	Events         []StatusEvent `json:"events,omitempty"`
 	// Recovery describes how the node last came up, present after a
 	// RestoreDir recovery.
 	Recovery *RestoreStats `json:"recovery,omitempty"`
 }
+
+// StatusEvent mirrors one flight-recorder event for JSON.
+type StatusEvent struct {
+	Seq        uint64  `json:"seq"`
+	Wall       string  `json:"at"`
+	Kind       string  `json:"kind"`
+	ID         string  `json:"id,omitempty"`
+	Peer       string  `json:"peer,omitempty"`
+	Trace      string  `json:"trace,omitempty"`
+	Importance float64 `json:"importance,omitempty"`
+	Boundary   float64 `json:"boundary,omitempty"`
+	Detail     string  `json:"detail,omitempty"`
+}
+
+// statusEventTail bounds how much flight-recorder history status JSON
+// carries; the EVENTS wire op serves the full ring.
+const statusEventTail = 64
 
 // StatusSample mirrors store.DensitySample for JSON.
 type StatusSample struct {
@@ -85,8 +109,33 @@ func (s *Server) StatusSnapshot() Status {
 		Net:            s.NetCounters(),
 		DensityHistory: history,
 		Scrub:          s.ScrubStats(),
+		EventsRecorded: s.events.Len(),
+		Events:         statusEvents(s.events, statusEventTail),
 		Recovery:       s.lastRestore,
 	}
+}
+
+// statusEvents converts the recorder's tail for status JSON.
+func statusEvents(rec *telemetry.Recorder, limit int) []StatusEvent {
+	evs := rec.Snapshot()
+	if len(evs) > limit {
+		evs = evs[len(evs)-limit:]
+	}
+	out := make([]StatusEvent, len(evs))
+	for i, e := range evs {
+		out[i] = StatusEvent{
+			Seq:        e.Seq,
+			Wall:       e.Wall.Format(time.RFC3339Nano),
+			Kind:       e.Kind.String(),
+			ID:         e.ID,
+			Peer:       e.Peer,
+			Trace:      e.Trace,
+			Importance: e.Importance,
+			Boundary:   e.Boundary,
+			Detail:     e.Detail,
+		}
+	}
+	return out
 }
 
 // StatusHandler serves the status snapshot as JSON on GET (headers only on

@@ -1,0 +1,49 @@
+package telemetry
+
+import "context"
+
+// SpanContext is the traced-call state a caller threads through a
+// context.Context: the trace the work belongs to and the span the next hop
+// should descend from. It is what the wire trailers carry between nodes --
+// the client reads it from the context, stamps it onto the frame, and the
+// receiving server records its handling as a child of Span.
+type SpanContext struct {
+	// Trace is the trace ID ("" means untraced).
+	Trace string
+	// Span is the current span's ID; child hops use it as their parent
+	// (0 at the root, before any span has been recorded).
+	Span uint64
+}
+
+// Valid reports whether the context carries a trace.
+func (sc SpanContext) Valid() bool { return sc.Trace != "" }
+
+// Child returns the context for work nested under a freshly minted span of
+// this trace, returning both the new span's ID and the derived context.
+func (sc SpanContext) Child() (uint64, SpanContext) {
+	id := NewSpanID()
+	return id, SpanContext{Trace: sc.Trace, Span: id}
+}
+
+// NewRoot mints a fresh trace with no parent span: the starting point for a
+// traced operation (besteffsctl trace-enabled puts, traced repair passes).
+func NewRoot() SpanContext {
+	return SpanContext{Trace: NewTraceID()}
+}
+
+type ctxKey struct{}
+
+// NewContext attaches a span context to ctx. An invalid sc returns ctx
+// unchanged.
+func NewContext(ctx context.Context, sc SpanContext) context.Context {
+	if !sc.Valid() {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, sc)
+}
+
+// FromContext extracts the span context attached to ctx, if any.
+func FromContext(ctx context.Context) (SpanContext, bool) {
+	sc, ok := ctx.Value(ctxKey{}).(SpanContext)
+	return sc, ok && sc.Valid()
+}

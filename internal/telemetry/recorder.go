@@ -1,0 +1,179 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// EventKind classifies a flight-recorder event.
+type EventKind uint8
+
+// Flight-recorder event kinds. Values ride the EVENTS wire op; append,
+// never renumber.
+const (
+	// EventAdmit: the admission policy accepted an object (Importance is
+	// its initial importance, Boundary the highest importance preempted).
+	EventAdmit EventKind = iota
+	// EventReject: the admission policy refused an object (Boundary is the
+	// importance that blocked it).
+	EventReject
+	// EventEvict: a resident was preempted or swept.
+	EventEvict
+	// EventBoundary: the importance boundary moved materially between
+	// density samples (Importance is the new boundary, Boundary the old).
+	EventBoundary
+	// EventReplicaPush: an ingest-time replica push to Peer completed
+	// (Detail says admitted/failed).
+	EventReplicaPush
+	// EventReplicaPull: an anti-entropy pull from Peer completed.
+	EventReplicaPull
+	// EventMemberUp: a member transitioned to alive (first sighting or a
+	// dead peer's return).
+	EventMemberUp
+	// EventMemberDown: a member's advertisement went stale past DeadAfter.
+	EventMemberDown
+	// EventQuarantine: a resident's payload failed verification and the
+	// object was quarantined.
+	EventQuarantine
+	// EventHeal: a quarantined object was restored from a replica.
+	EventHeal
+)
+
+// String returns the kind mnemonic.
+func (k EventKind) String() string {
+	switch k {
+	case EventAdmit:
+		return "admit"
+	case EventReject:
+		return "reject"
+	case EventEvict:
+		return "evict"
+	case EventBoundary:
+		return "boundary"
+	case EventReplicaPush:
+		return "replica-push"
+	case EventReplicaPull:
+		return "replica-pull"
+	case EventMemberUp:
+		return "member-up"
+	case EventMemberDown:
+		return "member-down"
+	case EventQuarantine:
+		return "quarantine"
+	case EventHeal:
+		return "heal"
+	default:
+		return fmt.Sprintf("event(%d)", uint8(k))
+	}
+}
+
+// Event is one structured flight-recorder entry: a decision the node made,
+// with the numbers that drove it.
+type Event struct {
+	// Seq is the recorder-assigned global order (assigned by Record).
+	Seq uint64
+	// Wall is the wall-clock time of the event (assigned by Record).
+	Wall time.Time
+	// Kind classifies the event.
+	Kind EventKind
+	// ID is the object concerned ("" for membership events).
+	ID string
+	// Peer is the remote node concerned ("" for local-only events).
+	Peer string
+	// Trace links the event to a distributed trace ("" when untraced).
+	Trace string
+	// Importance is the kind-specific primary value (initial importance,
+	// new boundary, density -- see the kind docs).
+	Importance float64
+	// Boundary is the kind-specific secondary value (preempting
+	// importance, old boundary).
+	Boundary float64
+	// Detail is a short free-form annotation.
+	Detail string
+}
+
+// Recorder is the flight recorder: a fixed-size lock-free ring of events,
+// cheap enough to record every admission verdict on the hot path and
+// bounded enough to leave running forever. It is the node's black box: the
+// EVENTS wire op, the status endpoint, SIGQUIT and failing chaos tests all
+// dump it.
+type Recorder struct {
+	slots []atomic.Pointer[Event]
+	next  atomic.Uint64
+}
+
+// DefaultRecorderSize holds the recent decision history of a busy node.
+const DefaultRecorderSize = 4096
+
+// NewRecorder builds a recorder holding the most recent size events
+// (size <= 0 uses DefaultRecorderSize).
+func NewRecorder(size int) *Recorder {
+	if size <= 0 {
+		size = DefaultRecorderSize
+	}
+	return &Recorder{slots: make([]atomic.Pointer[Event], size)}
+}
+
+// Record publishes one event, stamping its sequence number and wall time.
+// Nil recorders drop the event, so call sites need no enabled-check.
+func (r *Recorder) Record(e Event) {
+	if r == nil {
+		return
+	}
+	i := r.next.Add(1) - 1
+	e.Seq = i
+	e.Wall = time.Now()
+	ev := e
+	r.slots[i%uint64(len(r.slots))].Store(&ev)
+}
+
+// Len reports how many events were ever recorded.
+func (r *Recorder) Len() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.next.Load()
+}
+
+// Snapshot returns the events currently held, oldest first.
+func (r *Recorder) Snapshot() []Event {
+	if r == nil {
+		return nil
+	}
+	out := make([]Event, 0, len(r.slots))
+	for i := range r.slots {
+		if ev := r.slots[i].Load(); ev != nil {
+			out = append(out, *ev)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// Dump writes the held events to w in a compact human-readable form, one
+// per line, oldest first -- the postmortem format SIGQUIT and failing chaos
+// tests emit.
+func (r *Recorder) Dump(w io.Writer) {
+	for _, e := range r.Snapshot() {
+		fmt.Fprintf(w, "%6d %s %-12s", e.Seq, e.Wall.Format("15:04:05.000"), e.Kind)
+		if e.ID != "" {
+			fmt.Fprintf(w, " id=%s", e.ID)
+		}
+		if e.Peer != "" {
+			fmt.Fprintf(w, " peer=%s", e.Peer)
+		}
+		if e.Importance != 0 || e.Boundary != 0 {
+			fmt.Fprintf(w, " imp=%.3f boundary=%.3f", e.Importance, e.Boundary)
+		}
+		if e.Trace != "" {
+			fmt.Fprintf(w, " trace=%s", e.Trace)
+		}
+		if e.Detail != "" {
+			fmt.Fprintf(w, " %s", e.Detail)
+		}
+		fmt.Fprintln(w)
+	}
+}

@@ -1,0 +1,171 @@
+// Package telemetry is the cluster observability core: distributed spans
+// collected per node in a lock-free ring, and a bounded flight recorder of
+// structured decision events (admissions, evictions, boundary movement,
+// replication, membership, quarantine). Both are allocation-light enough to
+// run on the request hot path and bounded enough to run forever.
+//
+// The span model is deliberately small. A trace ID names one logical
+// operation end to end (a put and the replica pushes it fans out, a
+// quarantined get and the healing pull behind it, one anti-entropy pass).
+// Every hop of that operation is one span: a span ID, the parent span it
+// descends from, the node that executed it, and its start/duration. Spans
+// are recorded where the work happened; `besteffsctl trace` gathers each
+// node's ring via the TRACE_DUMP wire op and Assemble stitches the
+// cross-node tree back together.
+//
+// The package depends only on the standard library so every layer -- wire,
+// client, server, member, repair -- can use it without import cycles.
+package telemetry
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// Span is one recorded hop of a traced operation.
+type Span struct {
+	// Trace names the operation this span belongs to.
+	Trace string
+	// ID identifies this span within the trace.
+	ID uint64
+	// Parent is the span this one descends from (0 for roots).
+	Parent uint64
+	// Name says what the hop did ("put", "replicate", "repair-pull", ...).
+	Name string
+	// Node is the advertised address of the node that executed the span.
+	Node string
+	// Peer is the remote address for cross-node hops ("" otherwise).
+	Peer string
+	// Start is the wall-clock start of the span.
+	Start time.Time
+	// Duration is how long the span took.
+	Duration time.Duration
+	// Note carries a short outcome annotation ("admitted", "refused", an
+	// error string).
+	Note string
+}
+
+// SpanRing is a fixed-size lock-free ring of completed spans. Writers claim
+// a slot with one atomic add and publish with one atomic pointer store; a
+// ring under concurrent writers loses nothing but age order, and readers
+// see whatever set of recent spans was published when they looked. There is
+// no coordination with readers at all: Snapshot is wait-free too.
+type SpanRing struct {
+	slots []atomic.Pointer[Span]
+	next  atomic.Uint64
+}
+
+// DefaultSpanRingSize holds a few minutes of traced traffic on a busy node.
+const DefaultSpanRingSize = 4096
+
+// NewSpanRing builds a ring holding the most recent size spans (size <= 0
+// uses DefaultSpanRingSize).
+func NewSpanRing(size int) *SpanRing {
+	if size <= 0 {
+		size = DefaultSpanRingSize
+	}
+	return &SpanRing{slots: make([]atomic.Pointer[Span], size)}
+}
+
+// Record publishes one completed span. Nil rings drop the span, so call
+// sites need no enabled-check. The span is copied; callers may reuse it.
+func (r *SpanRing) Record(s Span) {
+	if r == nil {
+		return
+	}
+	i := r.next.Add(1) - 1
+	sp := s
+	r.slots[i%uint64(len(r.slots))].Store(&sp)
+}
+
+// Len reports how many spans were ever recorded (not how many the ring
+// still holds).
+func (r *SpanRing) Len() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.next.Load()
+}
+
+// Snapshot returns the spans currently held, oldest first by start time.
+func (r *SpanRing) Snapshot() []Span {
+	if r == nil {
+		return nil
+	}
+	out := make([]Span, 0, len(r.slots))
+	for i := range r.slots {
+		if sp := r.slots[i].Load(); sp != nil {
+			out = append(out, *sp)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start.Before(out[j].Start) })
+	return out
+}
+
+// TraceSpans returns the held spans belonging to one trace, oldest first.
+func (r *SpanRing) TraceSpans(trace string) []Span {
+	if r == nil || trace == "" {
+		return nil
+	}
+	var out []Span
+	for i := range r.slots {
+		if sp := r.slots[i].Load(); sp != nil && sp.Trace == trace {
+			out = append(out, *sp)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start.Before(out[j].Start) })
+	return out
+}
+
+// ID minting: a per-process random prefix plus an atomic sequence, the same
+// no-coordination scheme the client has always used for trace IDs. Span IDs
+// pack the prefix into the high 32 bits so IDs minted on different nodes of
+// one trace cannot collide.
+var (
+	idPrefix = func() uint64 {
+		var b [4]byte
+		if _, err := rand.Read(b[:]); err != nil {
+			return uint64(time.Now().UnixNano()) & 0xFFFFFFFF
+		}
+		return uint64(binary.BigEndian.Uint32(b[:]))
+	}()
+	idSeq atomic.Uint64
+
+	tracePrefix = func() string {
+		var b [4]byte
+		if _, err := rand.Read(b[:]); err != nil {
+			return "t0"
+		}
+		return hex.EncodeToString(b[:])
+	}()
+	traceSeq atomic.Uint64
+)
+
+// NewSpanID mints a process-unique, cluster-collision-resistant span ID.
+// Never returns 0 (0 means "no parent").
+func NewSpanID() uint64 {
+	return idPrefix<<32 | (idSeq.Add(1) & 0xFFFFFFFF)
+}
+
+// NewTraceID mints a trace ID, e.g. "9f3a1c2b-00004d": a per-process random
+// prefix plus a sequence, built by hand because one is minted per request
+// and fmt overhead is measurable on the pipelined hot path.
+func NewTraceID() string {
+	seq := traceSeq.Add(1)
+	const hexdigits = "0123456789abcdef"
+	digits := 6
+	for v := seq >> 24; v > 0; v >>= 4 {
+		digits++
+	}
+	var buf [32]byte
+	b := append(buf[:0], tracePrefix...)
+	b = append(b, '-')
+	for i := digits*4 - 4; i >= 0; i -= 4 {
+		b = append(b, hexdigits[(seq>>uint(i))&0xF])
+	}
+	return string(b)
+}

@@ -1,0 +1,197 @@
+package telemetry
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanRingRecordAndTrace(t *testing.T) {
+	r := NewSpanRing(8)
+	base := time.Now()
+	for i := 0; i < 5; i++ {
+		trace := "t1"
+		if i%2 == 1 {
+			trace = "t2"
+		}
+		r.Record(Span{Trace: trace, ID: uint64(i + 1), Name: "put",
+			Start: base.Add(time.Duration(i) * time.Millisecond)})
+	}
+	if got := len(r.Snapshot()); got != 5 {
+		t.Fatalf("Snapshot: got %d spans, want 5", got)
+	}
+	t1 := r.TraceSpans("t1")
+	if len(t1) != 3 {
+		t.Fatalf("TraceSpans(t1): got %d, want 3", len(t1))
+	}
+	for i := 1; i < len(t1); i++ {
+		if t1[i].Start.Before(t1[i-1].Start) {
+			t.Fatalf("TraceSpans not ordered by start")
+		}
+	}
+}
+
+func TestSpanRingWraps(t *testing.T) {
+	r := NewSpanRing(4)
+	for i := 0; i < 10; i++ {
+		r.Record(Span{Trace: "t", ID: uint64(i + 1)})
+	}
+	got := r.Snapshot()
+	if len(got) != 4 {
+		t.Fatalf("ring of 4 holds %d after 10 records", len(got))
+	}
+	if r.Len() != 10 {
+		t.Fatalf("Len: got %d, want 10", r.Len())
+	}
+	for _, sp := range got {
+		if sp.ID <= 6 {
+			t.Fatalf("old span %d survived the wrap", sp.ID)
+		}
+	}
+}
+
+func TestSpanRingConcurrent(t *testing.T) {
+	r := NewSpanRing(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.Record(Span{Trace: "t", ID: NewSpanID()})
+				_ = r.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Len() != 4000 {
+		t.Fatalf("Len: got %d, want 4000", r.Len())
+	}
+}
+
+func TestNilRingAndRecorderAreSafe(t *testing.T) {
+	var r *SpanRing
+	r.Record(Span{})
+	if r.Snapshot() != nil || r.TraceSpans("x") != nil || r.Len() != 0 {
+		t.Fatalf("nil ring not inert")
+	}
+	var rec *Recorder
+	rec.Record(Event{})
+	if rec.Snapshot() != nil || rec.Len() != 0 {
+		t.Fatalf("nil recorder not inert")
+	}
+	rec.Dump(&strings.Builder{})
+}
+
+func TestRecorderSeqAndDump(t *testing.T) {
+	rec := NewRecorder(8)
+	rec.Record(Event{Kind: EventAdmit, ID: "a", Importance: 0.9, Boundary: 0.2})
+	rec.Record(Event{Kind: EventEvict, ID: "b"})
+	rec.Record(Event{Kind: EventMemberDown, Peer: "10.0.0.2:7459"})
+	evs := rec.Snapshot()
+	if len(evs) != 3 {
+		t.Fatalf("got %d events, want 3", len(evs))
+	}
+	for i, e := range evs {
+		if e.Seq != uint64(i) {
+			t.Fatalf("event %d has seq %d", i, e.Seq)
+		}
+		if e.Wall.IsZero() {
+			t.Fatalf("event %d missing wall time", i)
+		}
+	}
+	var sb strings.Builder
+	rec.Dump(&sb)
+	out := sb.String()
+	for _, want := range []string{"admit", "evict", "member-down", "id=a", "peer=10.0.0.2:7459"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("dump missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestEventKindStrings(t *testing.T) {
+	kinds := []EventKind{EventAdmit, EventReject, EventEvict, EventBoundary,
+		EventReplicaPush, EventReplicaPull, EventMemberUp, EventMemberDown,
+		EventQuarantine, EventHeal}
+	seen := make(map[string]bool)
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" || strings.HasPrefix(s, "event(") {
+			t.Fatalf("kind %d has no mnemonic", k)
+		}
+		if seen[s] {
+			t.Fatalf("duplicate mnemonic %q", s)
+		}
+		seen[s] = true
+	}
+	if got := EventKind(200).String(); got != "event(200)" {
+		t.Fatalf("unknown kind: got %q", got)
+	}
+}
+
+func TestSpanContext(t *testing.T) {
+	root := NewRoot()
+	if !root.Valid() || root.Span != 0 {
+		t.Fatalf("NewRoot: %+v", root)
+	}
+	id, child := root.Child()
+	if id == 0 || child.Span != id || child.Trace != root.Trace {
+		t.Fatalf("Child: id=%d child=%+v", id, child)
+	}
+	ctx := NewContext(context.Background(), child)
+	got, ok := FromContext(ctx)
+	if !ok || got != child {
+		t.Fatalf("FromContext: %+v ok=%t", got, ok)
+	}
+	if _, ok := FromContext(context.Background()); ok {
+		t.Fatalf("FromContext on bare ctx returned a span context")
+	}
+	if NewContext(context.Background(), SpanContext{}) != context.Background() {
+		t.Fatalf("invalid span context should not allocate a context")
+	}
+}
+
+func TestNewSpanIDUnique(t *testing.T) {
+	seen := make(map[uint64]bool)
+	for i := 0; i < 1000; i++ {
+		id := NewSpanID()
+		if id == 0 || seen[id] {
+			t.Fatalf("span ID %d duplicated or zero", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestAssembleCrossNodeTree(t *testing.T) {
+	base := time.Now()
+	spans := []Span{
+		{Trace: "t", ID: 1, Parent: 0, Name: "put", Node: "n1", Start: base, Duration: 5 * time.Millisecond},
+		{Trace: "t", ID: 2, Parent: 1, Name: "replicate", Node: "n2", Start: base.Add(time.Millisecond), Duration: time.Millisecond},
+		{Trace: "t", ID: 3, Parent: 1, Name: "replicate", Node: "n3", Start: base.Add(2 * time.Millisecond), Duration: time.Millisecond},
+		{Trace: "t", ID: 4, Parent: 99, Name: "repair-pull", Node: "n3", Start: base.Add(3 * time.Millisecond), Duration: time.Millisecond},
+	}
+	roots := Assemble(spans)
+	if len(roots) != 2 {
+		t.Fatalf("got %d roots, want 2 (tree root + orphan)", len(roots))
+	}
+	if roots[0].Span.ID != 1 || len(roots[0].Children) != 2 {
+		t.Fatalf("root: %+v with %d children", roots[0].Span, len(roots[0].Children))
+	}
+	if roots[0].Children[0].Span.Node != "n2" || roots[0].Children[1].Span.Node != "n3" {
+		t.Fatalf("children out of start order: %+v", roots[0].Children)
+	}
+	if CountSpans(roots) != 4 {
+		t.Fatalf("CountSpans: got %d, want 4", CountSpans(roots))
+	}
+	var sb strings.Builder
+	FormatTree(&sb, roots)
+	out := sb.String()
+	for _, want := range []string{"put", "replicate", "repair-pull", "n1", "n2", "n3"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("FormatTree missing %q:\n%s", want, out)
+		}
+	}
+}

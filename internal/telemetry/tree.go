@@ -1,0 +1,93 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// TreeNode is one span with its children, as assembled by Assemble.
+type TreeNode struct {
+	Span     Span
+	Children []*TreeNode
+}
+
+// Assemble stitches spans (typically gathered from several nodes' rings)
+// into parent/child trees. A span whose parent is absent from the set --
+// the root hop of a trace, or a hop whose parent fell out of some node's
+// ring -- becomes a root. Roots and children are ordered by start time, so
+// walking the forest reads as a timeline.
+func Assemble(spans []Span) []*TreeNode {
+	nodes := make(map[uint64]*TreeNode, len(spans))
+	for i := range spans {
+		sp := spans[i]
+		if _, dup := nodes[sp.ID]; dup && sp.ID != 0 {
+			continue // the same hop dumped by two nodes; keep the first
+		}
+		nodes[sp.ID] = &TreeNode{Span: sp}
+	}
+	var roots []*TreeNode
+	for _, n := range nodes {
+		if p, ok := nodes[n.Span.Parent]; ok && n.Span.Parent != 0 && p != n {
+			p.Children = append(p.Children, n)
+		} else {
+			roots = append(roots, n)
+		}
+	}
+	sortTree(roots)
+	return roots
+}
+
+func sortTree(ns []*TreeNode) {
+	sort.Slice(ns, func(i, j int) bool {
+		if !ns[i].Span.Start.Equal(ns[j].Span.Start) {
+			return ns[i].Span.Start.Before(ns[j].Span.Start)
+		}
+		return ns[i].Span.ID < ns[j].Span.ID
+	})
+	for _, n := range ns {
+		sortTree(n.Children)
+	}
+}
+
+// CountSpans reports the total spans in the forest.
+func CountSpans(roots []*TreeNode) int {
+	n := 0
+	for _, r := range roots {
+		n += 1 + CountSpans(r.Children)
+	}
+	return n
+}
+
+// FormatTree writes the forest as an indented timeline with per-hop
+// latencies: each line shows the hop's offset from the trace start, its
+// duration, the node that executed it, and what it did.
+func FormatTree(w io.Writer, roots []*TreeNode) {
+	var epoch time.Time
+	for _, r := range roots {
+		if epoch.IsZero() || r.Span.Start.Before(epoch) {
+			epoch = r.Span.Start
+		}
+	}
+	for _, r := range roots {
+		formatNode(w, r, epoch, 0)
+	}
+}
+
+func formatNode(w io.Writer, n *TreeNode, epoch time.Time, depth int) {
+	sp := n.Span
+	fmt.Fprintf(w, "%*s+%-9s %-9s %-21s %s", depth*2, "",
+		sp.Start.Sub(epoch).Round(time.Microsecond),
+		sp.Duration.Round(time.Microsecond), sp.Node, sp.Name)
+	if sp.Peer != "" {
+		fmt.Fprintf(w, " peer=%s", sp.Peer)
+	}
+	if sp.Note != "" {
+		fmt.Fprintf(w, " (%s)", sp.Note)
+	}
+	fmt.Fprintln(w)
+	for _, c := range n.Children {
+		formatNode(w, c, epoch, depth+1)
+	}
+}

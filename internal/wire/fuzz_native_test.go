@@ -36,6 +36,14 @@ func FuzzDecode(f *testing.F) {
 		&ListResult{IDs: []object.ID{"a", "b"}},
 		&ErrorMsg{Code: CodeNotFound, Text: "x"},
 		&RejuvenateResult{Version: 2},
+		&TraceDump{Trace: "t-1"},
+		&TraceDumpResult{Node: "h:1", Spans: []Span{
+			{Trace: "t-1", ID: 1, Name: "put", Node: "h:1", StartUnixNanos: 7, DurationNanos: 3},
+		}},
+		&Events{Limit: 8},
+		&EventsResult{Node: "h:1", Events: []EventRecord{
+			{Seq: 0, WallUnixNanos: 9, Kind: 2, ID: "a", Importance: 0.5, Boundary: 0.4, Detail: "swept"},
+		}},
 	}
 	for _, m := range seeds {
 		body, err := Encode(m)

@@ -49,6 +49,17 @@ func TestDecodeNeverPanicsOnMutation(t *testing.T) {
 		}),
 		mustEncode(t, &MembersResult{Members: []MemberInfo{{Addr: "h:3", Boundary: 0.4}}}),
 		mustEncode(t, &RepairStatusResult{Replicas: 2, Threshold: 0.8, Pushed: 5}),
+		mustEncode(t, &TraceDump{Trace: "9f3a1c2b-000001"}),
+		mustEncode(t, &TraceDumpResult{Node: "h:1", Spans: []Span{
+			{Trace: "t", ID: 7, Parent: 3, Name: "put", Node: "h:1", Peer: "h:2",
+				StartUnixNanos: 1234567890, DurationNanos: 4096, Note: "admitted"},
+			{Trace: "t", ID: 8, Parent: 7, Name: "replicate", Node: "h:2"},
+		}}),
+		mustEncode(t, &Events{Limit: 64}),
+		mustEncode(t, &EventsResult{Node: "h:2", Events: []EventRecord{
+			{Seq: 1, WallUnixNanos: 99, Kind: 0, ID: "a", Importance: 0.9, Boundary: 0.2},
+			{Seq: 2, WallUnixNanos: 100, Kind: 5, Peer: "h:3", Trace: "t", Detail: "pulled"},
+		}}),
 	}
 	for round := 0; round < 20000; round++ {
 		seed := seeds[rng.Intn(len(seeds))]

@@ -92,6 +92,10 @@ func decodeMsg(c *cursor) (Message, error) {
 		m = &Members{}
 	case OpRepairStatus:
 		m = &RepairStatus{}
+	case OpTraceDump:
+		m, err = decodeTraceDump(c)
+	case OpEvents:
+		m, err = decodeEvents(c)
 	case OpPutResult:
 		m, err = decodePutResult(c)
 	case OpObject:
@@ -124,6 +128,10 @@ func decodeMsg(c *cursor) (Message, error) {
 		m, err = decodeMembersResult(c)
 	case OpRepairStatusResult:
 		m, err = decodeRepairStatusResult(c)
+	case OpTraceDumpResult:
+		m, err = decodeTraceDumpResult(c)
+	case OpEventsResult:
+		m, err = decodeEventsResult(c)
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrUnknownOp, op)
 	}

@@ -1,0 +1,302 @@
+package wire
+
+// Telemetry messages: TRACE_DUMP drains a node's span ring so `besteffsctl
+// trace` can assemble a cross-node timeline, and EVENTS drains the flight
+// recorder for postmortems. Both are operator-facing reads; the structs here
+// are the wire image of the telemetry package's Span and Event (converted at
+// the server boundary, like MemberInfo), with wall-clock fields flattened to
+// Unix nanoseconds.
+
+// Span is the wire image of one recorded telemetry span.
+type Span struct {
+	Trace string
+	// ID identifies the span within its trace; Parent is the span it
+	// descends from (0 for roots).
+	ID     uint64
+	Parent uint64
+	// Name says what the hop did; Node is the recording node's advertised
+	// address; Peer the remote address for cross-node hops.
+	Name string
+	Node string
+	Peer string
+	// StartUnixNanos is the span's wall-clock start; DurationNanos how long
+	// it took.
+	StartUnixNanos int64
+	DurationNanos  int64
+	// Note carries a short outcome annotation.
+	Note string
+}
+
+func appendSpanRecord(dst []byte, s Span) ([]byte, error) {
+	dst, err := appendStr(dst, s.Trace)
+	if err != nil {
+		return nil, err
+	}
+	dst = appendU64(dst, s.ID)
+	dst = appendU64(dst, s.Parent)
+	if dst, err = appendStr(dst, s.Name); err != nil {
+		return nil, err
+	}
+	if dst, err = appendStr(dst, s.Node); err != nil {
+		return nil, err
+	}
+	if dst, err = appendStr(dst, s.Peer); err != nil {
+		return nil, err
+	}
+	dst = appendU64(dst, uint64(s.StartUnixNanos))
+	dst = appendU64(dst, uint64(s.DurationNanos))
+	return appendStr(dst, s.Note)
+}
+
+func decodeSpanRecord(c *cursor) (Span, error) {
+	var s Span
+	var err error
+	if s.Trace, err = c.str(); err != nil {
+		return s, err
+	}
+	if s.ID, err = c.u64(); err != nil {
+		return s, err
+	}
+	if s.Parent, err = c.u64(); err != nil {
+		return s, err
+	}
+	if s.Name, err = c.str(); err != nil {
+		return s, err
+	}
+	if s.Node, err = c.str(); err != nil {
+		return s, err
+	}
+	if s.Peer, err = c.str(); err != nil {
+		return s, err
+	}
+	start, err := c.u64()
+	if err != nil {
+		return s, err
+	}
+	s.StartUnixNanos = int64(start)
+	dur, err := c.u64()
+	if err != nil {
+		return s, err
+	}
+	s.DurationNanos = int64(dur)
+	if s.Note, err = c.str(); err != nil {
+		return s, err
+	}
+	return s, nil
+}
+
+// TraceDump requests the spans a node holds for one trace (or its whole span
+// ring when Trace is empty). Answered by a TraceDumpResult.
+type TraceDump struct {
+	// Trace filters the dump to one trace ID; empty returns every held span.
+	Trace string
+}
+
+// Op implements Message.
+func (*TraceDump) Op() Op { return OpTraceDump }
+
+func (m *TraceDump) append(dst []byte) ([]byte, error) {
+	dst = appendU8(dst, uint8(OpTraceDump))
+	return appendStr(dst, m.Trace)
+}
+
+func decodeTraceDump(c *cursor) (Message, error) {
+	m := &TraceDump{}
+	var err error
+	if m.Trace, err = c.str(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// TraceDumpResult carries the requested spans, oldest first.
+type TraceDumpResult struct {
+	// Node is the advertised address of the answering node.
+	Node  string
+	Spans []Span
+}
+
+// Op implements Message.
+func (*TraceDumpResult) Op() Op { return OpTraceDumpResult }
+
+func (m *TraceDumpResult) sizeHint() int { return 32 + 96*len(m.Spans) }
+
+func (m *TraceDumpResult) append(dst []byte) ([]byte, error) {
+	dst = appendU8(dst, uint8(OpTraceDumpResult))
+	dst, err := appendStr(dst, m.Node)
+	if err != nil {
+		return nil, err
+	}
+	dst = appendU32(dst, uint32(len(m.Spans)))
+	for _, s := range m.Spans {
+		if dst, err = appendSpanRecord(dst, s); err != nil {
+			return nil, err
+		}
+	}
+	return dst, nil
+}
+
+func decodeTraceDumpResult(c *cursor) (Message, error) {
+	m := &TraceDumpResult{}
+	var err error
+	if m.Node, err = c.str(); err != nil {
+		return nil, err
+	}
+	n, err := c.u32()
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < int(n); i++ {
+		s, err := decodeSpanRecord(c)
+		if err != nil {
+			return nil, err
+		}
+		m.Spans = append(m.Spans, s)
+	}
+	return m, nil
+}
+
+// EventRecord is the wire image of one flight-recorder event.
+type EventRecord struct {
+	// Seq is the recorder-assigned order; WallUnixNanos the wall-clock time.
+	Seq           uint64
+	WallUnixNanos int64
+	// Kind is the telemetry.EventKind value.
+	Kind uint8
+	// ID is the object concerned, Peer the remote node, Trace the linked
+	// trace ID (each "" when not applicable).
+	ID    string
+	Peer  string
+	Trace string
+	// Importance and Boundary are the kind-specific decision values.
+	Importance float64
+	Boundary   float64
+	// Detail is a short free-form annotation.
+	Detail string
+}
+
+func appendEventRecord(dst []byte, e EventRecord) ([]byte, error) {
+	dst = appendU64(dst, e.Seq)
+	dst = appendU64(dst, uint64(e.WallUnixNanos))
+	dst = appendU8(dst, e.Kind)
+	dst, err := appendStr(dst, e.ID)
+	if err != nil {
+		return nil, err
+	}
+	if dst, err = appendStr(dst, e.Peer); err != nil {
+		return nil, err
+	}
+	if dst, err = appendStr(dst, e.Trace); err != nil {
+		return nil, err
+	}
+	dst = appendF64(dst, e.Importance)
+	dst = appendF64(dst, e.Boundary)
+	return appendStr(dst, e.Detail)
+}
+
+func decodeEventRecord(c *cursor) (EventRecord, error) {
+	var e EventRecord
+	var err error
+	if e.Seq, err = c.u64(); err != nil {
+		return e, err
+	}
+	wall, err := c.u64()
+	if err != nil {
+		return e, err
+	}
+	e.WallUnixNanos = int64(wall)
+	if e.Kind, err = c.u8(); err != nil {
+		return e, err
+	}
+	if e.ID, err = c.str(); err != nil {
+		return e, err
+	}
+	if e.Peer, err = c.str(); err != nil {
+		return e, err
+	}
+	if e.Trace, err = c.str(); err != nil {
+		return e, err
+	}
+	if e.Importance, err = c.f64(); err != nil {
+		return e, err
+	}
+	if e.Boundary, err = c.f64(); err != nil {
+		return e, err
+	}
+	if e.Detail, err = c.str(); err != nil {
+		return e, err
+	}
+	return e, nil
+}
+
+// Events requests the tail of a node's flight recorder. Answered by an
+// EventsResult.
+type Events struct {
+	// Limit caps the dump to the most recent Limit events; 0 returns every
+	// held event.
+	Limit uint32
+}
+
+// Op implements Message.
+func (*Events) Op() Op { return OpEvents }
+
+func (m *Events) append(dst []byte) ([]byte, error) {
+	dst = appendU8(dst, uint8(OpEvents))
+	return appendU32(dst, m.Limit), nil
+}
+
+func decodeEvents(c *cursor) (Message, error) {
+	m := &Events{}
+	var err error
+	if m.Limit, err = c.u32(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// EventsResult carries the requested flight-recorder events, oldest first.
+type EventsResult struct {
+	// Node is the advertised address of the answering node.
+	Node   string
+	Events []EventRecord
+}
+
+// Op implements Message.
+func (*EventsResult) Op() Op { return OpEventsResult }
+
+func (m *EventsResult) sizeHint() int { return 32 + 96*len(m.Events) }
+
+func (m *EventsResult) append(dst []byte) ([]byte, error) {
+	dst = appendU8(dst, uint8(OpEventsResult))
+	dst, err := appendStr(dst, m.Node)
+	if err != nil {
+		return nil, err
+	}
+	dst = appendU32(dst, uint32(len(m.Events)))
+	for _, e := range m.Events {
+		if dst, err = appendEventRecord(dst, e); err != nil {
+			return nil, err
+		}
+	}
+	return dst, nil
+}
+
+func decodeEventsResult(c *cursor) (Message, error) {
+	m := &EventsResult{}
+	var err error
+	if m.Node, err = c.str(); err != nil {
+		return nil, err
+	}
+	n, err := c.u32()
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < int(n); i++ {
+		e, err := decodeEventRecord(c)
+		if err != nil {
+			return nil, err
+		}
+		m.Events = append(m.Events, e)
+	}
+	return m, nil
+}

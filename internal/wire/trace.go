@@ -1,10 +1,11 @@
 package wire
 
 // Optional trailers ride the existing frame format after a message's last
-// field. Two are defined:
+// field. Three are defined:
 //
 //	trace:    [1]byte magic (0xA7)  [1]byte id length  id bytes
 //	sequence: [1]byte magic (0xA8)  [8]byte big-endian sequence ID
+//	span:     [1]byte magic (0xA9)  [8]byte span ID  [8]byte parent span ID
 //
 // Decoders have never checked for trailing bytes (mutation tests rely on
 // junk suffixes being ignored), so a trailered frame decodes identically on
@@ -13,7 +14,11 @@ package wire
 // trailer correlates one request across client logs, server logs and both
 // sides' latency histograms; the sequence trailer lets a pipelining client
 // demultiplex many in-flight responses on one connection (the server echoes
-// it verbatim on the response frame).
+// it verbatim on the response frame); the span trailer promotes the trace
+// into a distributed span tree -- the sender mints the hop's span ID, names
+// its own current span as the parent, and the receiver records its handling
+// of the frame under the received IDs, so `besteffsctl trace` can stitch the
+// cross-node tree back together.
 //
 // Trailers may appear in any order, but the walk must consume the remainder
 // of the body exactly: any unrecognized or malformed byte discards ALL
@@ -28,6 +33,9 @@ const traceMagic = 0xA7
 
 // seqMagic introduces the optional sequence trailer.
 const seqMagic = 0xA8
+
+// spanMagic introduces the optional span trailer.
+const spanMagic = 0xA9
 
 // MaxTraceIDLen bounds a trace ID; longer IDs are silently not attached.
 const MaxTraceIDLen = 64
@@ -45,6 +53,14 @@ type Trailers struct {
 	Seq uint64
 	// HasSeq reports whether a sequence trailer was present.
 	HasSeq bool
+	// Span is the span ID the sender minted for this hop, valid only when
+	// HasSpan is set.
+	Span uint64
+	// Parent is the sender's own span, which Span descends from (0 when the
+	// sender is the trace root).
+	Parent uint64
+	// HasSpan reports whether a span trailer was present.
+	HasSpan bool
 }
 
 // AppendTraceID appends the optional trace trailer to an encoded frame
@@ -61,6 +77,18 @@ func AppendTraceID(body []byte, id TraceID) []byte {
 func AppendSeq(body []byte, seq uint64) []byte {
 	body = append(body, seqMagic)
 	return binary.BigEndian.AppendUint64(body, seq)
+}
+
+// AppendSpan appends the optional span trailer to an encoded frame body: the
+// span ID minted for this hop and the sender's own span it descends from. A
+// zero span ID leaves the body unchanged (0 means "no span").
+func AppendSpan(body []byte, span, parent uint64) []byte {
+	if span == 0 {
+		return body
+	}
+	body = append(body, spanMagic)
+	body = binary.BigEndian.AppendUint64(body, span)
+	return binary.BigEndian.AppendUint64(body, parent)
 }
 
 // DecodeWithTrailers decodes a frame body and extracts every optional
@@ -108,6 +136,14 @@ func parseTrailers(rest []byte) Trailers {
 			t.Seq = binary.BigEndian.Uint64(rest[1:9])
 			t.HasSeq = true
 			rest = rest[9:]
+		case spanMagic:
+			if len(rest) < 17 {
+				return Trailers{}
+			}
+			t.Span = binary.BigEndian.Uint64(rest[1:9])
+			t.Parent = binary.BigEndian.Uint64(rest[9:17])
+			t.HasSpan = true
+			rest = rest[17:]
 		default:
 			return Trailers{}
 		}

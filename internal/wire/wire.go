@@ -47,6 +47,8 @@ const (
 	OpGossip
 	OpMembers
 	OpRepairStatus
+	OpTraceDump
+	OpEvents
 )
 
 // Response opcodes.
@@ -67,6 +69,8 @@ const (
 	OpGossipResult
 	OpMembersResult
 	OpRepairStatusResult
+	OpTraceDumpResult
+	OpEventsResult
 )
 
 // RequestOps lists every request opcode in wire order, for callers that
@@ -76,7 +80,7 @@ func RequestOps() []Op {
 		OpPut, OpGet, OpDelete, OpStat, OpProbe,
 		OpDensity, OpList, OpRejuvenate, OpUpdate, OpDensityHistory,
 		OpBatch, OpReplicate, OpIndex, OpIndexDiff, OpGossip,
-		OpMembers, OpRepairStatus,
+		OpMembers, OpRepairStatus, OpTraceDump, OpEvents,
 	}
 }
 
@@ -117,6 +121,10 @@ func (o Op) String() string {
 		return "MEMBERS"
 	case OpRepairStatus:
 		return "REPAIR_STATUS"
+	case OpTraceDump:
+		return "TRACE_DUMP"
+	case OpEvents:
+		return "EVENTS"
 	case OpPutResult:
 		return "PUT_RESULT"
 	case OpObject:
@@ -149,6 +157,10 @@ func (o Op) String() string {
 		return "MEMBERS_RESULT"
 	case OpRepairStatusResult:
 		return "REPAIR_STATUS_RESULT"
+	case OpTraceDumpResult:
+		return "TRACE_DUMP_RESULT"
+	case OpEventsResult:
+		return "EVENTS_RESULT"
 	default:
 		return fmt.Sprintf("OP(%d)", uint8(o))
 	}
