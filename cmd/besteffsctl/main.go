@@ -43,10 +43,15 @@
 //
 // Importance specs use the syntax of importance.ParseSpec, e.g.
 // "twostep:p=1,persist=15d,wane=15d", "constant:p=0.5", "dirac".
+//
+// Against a TLS cluster, pass -tls -tls-dir DIR: the directory holds this
+// client's certificate (minted on first use) and the tool prints its device
+// ID, which operators pin in besteffsd's -tls-peers allowlist.
 package main
 
 import (
 	"context"
+	"crypto/tls"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -59,8 +64,14 @@ import (
 	"besteffs/internal/client"
 	"besteffs/internal/importance"
 	"besteffs/internal/object"
+	"besteffs/internal/secure"
 	"besteffs/internal/telemetry"
 )
+
+// dialTLS is the client TLS configuration every dial in this process shares
+// (the -addrs seeds and the extra connections fan-out discovery opens); nil
+// means cleartext. Set once in run from -tls/-tls-dir.
+var dialTLS *tls.Config
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
@@ -76,8 +87,30 @@ func run(args []string) error {
 	owner := fs.String("owner", "", "object owner for put")
 	class := fs.Int("class", 0, "object class for put (0 generic, 1 university, 2 student)")
 	timeout := fs.Duration("timeout", 5*time.Second, "dial timeout")
+	tlsOn := fs.Bool("tls", false, "dial nodes over TLS with mutual authentication")
+	tlsDir := fs.String("tls-dir", "", "directory for this client's certificate and key (created on first use; needs -tls)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *tlsDir != "" && !*tlsOn {
+		return fmt.Errorf("-tls-dir needs -tls")
+	}
+	if *tlsOn {
+		if *tlsDir == "" {
+			return fmt.Errorf("-tls needs -tls-dir")
+		}
+		cert, err := secure.LoadOrCreate(*tlsDir)
+		if err != nil {
+			return err
+		}
+		id, err := secure.IDFromTLSCert(cert)
+		if err != nil {
+			return err
+		}
+		// The client identity must be in the nodes' -tls-peers allowlist
+		// (unless the cluster runs open); print it so the operator can pin it.
+		fmt.Fprintf(os.Stderr, "(client device %s)\n", id.Short())
+		dialTLS = secure.ClientConfig(cert, nil)
 	}
 	if fs.NArg() < 1 {
 		fs.Usage()
@@ -107,7 +140,8 @@ func run(args []string) error {
 		}
 	}()
 	for _, addr := range addrList {
-		c, err := client.Connect(strings.TrimSpace(addr), client.WithTimeout(*timeout))
+		c, err := client.Connect(strings.TrimSpace(addr),
+			client.WithTimeout(*timeout), client.WithTLS(dialTLS))
 		if err != nil {
 			return err
 		}
@@ -321,8 +355,12 @@ func cmdMembers(ctx context.Context, clients []*client.Client, addrs []string) e
 			if !m.Alive {
 				health = "dead"
 			}
-			fmt.Printf("  %-21s %-5s boundary=%.3f free=%d density=%.4f incarnation=%d version=%d\n",
-				m.Addr, health, m.Boundary, m.Free, m.Density, m.Incarnation, m.Version)
+			device := "-"
+			if m.Device != "" {
+				device = secure.DeviceID(m.Device).Short()
+			}
+			fmt.Printf("  %-21s %-5s boundary=%.3f free=%d density=%.4f incarnation=%d version=%d device=%s cfgv=%d\n",
+				m.Addr, health, m.Boundary, m.Free, m.Density, m.Incarnation, m.Version, device, m.ConfigVersion)
 		}
 	}
 	return nil

@@ -57,7 +57,7 @@ func discoverAll(ctx context.Context, clients []*client.Client, addrs []string, 
 	sort.Strings(discovered)
 	var extras []*client.Client
 	for _, addr := range discovered {
-		c, err := client.Connect(addr, client.WithTimeout(timeout))
+		c, err := client.Connect(addr, client.WithTimeout(timeout), client.WithTLS(dialTLS))
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "  (discovered member %s unreachable: %v)\n", addr, err)
 			continue
@@ -153,8 +153,8 @@ func cmdClusterStatus(ctx context.Context, clients []*client.Client, addrs []str
 		densitySum          float64
 		answered            int
 	)
-	fmt.Printf("%-21s %-6s %8s %10s %10s %8s %9s %8s\n",
-		"node", "state", "density", "boundary", "used", "objects", "deficit", "pending")
+	fmt.Printf("%-21s %-6s %8s %10s %10s %8s %9s %8s %5s\n",
+		"node", "state", "density", "boundary", "used", "objects", "deficit", "pending", "cfgv")
 	for _, n := range nodes {
 		st, err := n.c.StatCtx(ctx)
 		if err != nil {
@@ -162,9 +162,10 @@ func cmdClusterStatus(ctx context.Context, clients []*client.Client, addrs []str
 			continue
 		}
 		answered++
-		state, boundary := "alive", "-"
+		state, boundary, cfgv := "alive", "-", "-"
 		if ad, ok := ads[n.addr]; ok {
 			boundary = fmt.Sprintf("%.3f", ad.Boundary)
+			cfgv = strconv.FormatUint(ad.ConfigVersion, 10)
 			if !ad.Alive {
 				state = "dead?" // reachable by us, stale to the cluster
 			}
@@ -175,8 +176,8 @@ func cmdClusterStatus(ctx context.Context, clients []*client.Client, addrs []str
 			pending = strconv.FormatUint(rs.Pending, 10)
 			totalDeficit += rs.UnderReplicated
 		}
-		fmt.Printf("%-21s %-6s %8.4f %10s %10d %8d %9s %8s\n",
-			n.addr, state, st.Density, boundary, st.Used, st.Objects, deficit, pending)
+		fmt.Printf("%-21s %-6s %8.4f %10s %10d %8d %9s %8s %5s\n",
+			n.addr, state, st.Density, boundary, st.Used, st.Objects, deficit, pending, cfgv)
 		totalCap += st.Capacity
 		totalUsed += st.Used
 		totalObjects += st.Objects

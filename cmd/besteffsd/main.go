@@ -11,7 +11,8 @@
 //	          [-sample-window N] [-max-conns N] [-max-batch N] [-req-timeout DUR]
 //	          [-drain DUR] [-join ADDRS] [-replicas N] [-repl-threshold F]
 //	          [-repair-interval DUR] [-gossip-interval DUR] [-advertise HOST:PORT]
-//	          [-slow-threshold DUR]
+//	          [-slow-threshold DUR] [-tls] [-tls-dir DIR] [-tls-peers IDS]
+//	          [-config-version N]
 //
 // Cluster mode starts with -join (gossip with existing members at ADDRS,
 // comma-separated) or -replicas. Every clustered node runs the membership
@@ -23,6 +24,22 @@
 // under-replicated or divergent objects every -repair-interval. Use
 // -advertise when the listen address is not reachable by peers (e.g.
 // -addr :7459 behind NAT).
+//
+// With -tls, every connection -- gossip, replication, repair and clients --
+// runs over TLS with mutual authentication. The node mints a self-signed
+// certificate under -tls-dir (default DIR/tls under -data) at first boot and
+// logs its device ID, the hash of the certificate's public key. -tls-peers
+// pins the device IDs admitted to this node (comma-separated; empty admits
+// any authenticated device). Cleartext remains the explicit default for
+// closed networks; a cleartext client dialing a TLS node fails during the
+// handshake, before any request is read.
+//
+// Clustered nodes also gossip a versioned cluster config (replication
+// factor, threshold, loop intervals). A bootstrap node (no -join) publishes
+// its flags as config version 1 (override with -config-version); joining
+// nodes start at version 0 and adopt the cluster's config, and a node whose
+// equal-version config conflicts is rejected at gossip time with a
+// config-mismatch error, recorded on both sides' flight recorders.
 //
 // With -status, the address serves the JSON status snapshot at /, the
 // Prometheus text exposition at /metrics, and -- with -pprof -- the standard
@@ -61,6 +78,7 @@ package main
 
 import (
 	"context"
+	"crypto/tls"
 	"errors"
 	"flag"
 	"fmt"
@@ -77,11 +95,14 @@ import (
 	"time"
 
 	"besteffs/internal/blob"
+	"besteffs/internal/client"
 	"besteffs/internal/journal"
 	"besteffs/internal/member"
 	"besteffs/internal/policy"
 	"besteffs/internal/repair"
+	"besteffs/internal/secure"
 	"besteffs/internal/server"
+	"besteffs/internal/wire"
 )
 
 func main() {
@@ -117,6 +138,10 @@ func run(args []string) error {
 	gossipInterval := fs.Duration("gossip-interval", 500*time.Millisecond, "membership heartbeat period")
 	advertise := fs.String("advertise", "", "address peers reach this node at (default: the listen address)")
 	slowThreshold := fs.Duration("slow-threshold", 0, "log any request taking at least this long at WARN, with its span tree (0 disables)")
+	tlsOn := fs.Bool("tls", false, "serve and dial over TLS with mutual authentication")
+	tlsDir := fs.String("tls-dir", "", "directory for the node certificate and key (default: DIR/tls under -data)")
+	tlsPeers := fs.String("tls-peers", "", "comma-separated device IDs admitted to this node (empty: any authenticated device)")
+	configVersion := fs.Uint64("config-version", 0, "cluster config version this node publishes (0: 1 when bootstrapping, adopt when joining)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -143,6 +168,12 @@ func run(args []string) error {
 	}
 	if *replThreshold < 0 || *replThreshold > 1 {
 		return fmt.Errorf("-repl-threshold %v outside [0, 1]", *replThreshold)
+	}
+	if !*tlsOn && (*tlsDir != "" || *tlsPeers != "") {
+		return errors.New("-tls-dir and -tls-peers need -tls")
+	}
+	if *tlsOn && *tlsDir == "" && *dataDir == "" {
+		return errors.New("-tls needs -tls-dir (or -data to default under)")
 	}
 
 	pol, err := policyByName(*policyName, *share)
@@ -233,12 +264,51 @@ func run(args []string) error {
 			"dropped_no_payload", stats.DroppedNoPayload,
 			"dropped_orphan_blobs", stats.DroppedOrphanBlobs)
 	}
+	// Transport security: one certificate identity shared by the accept
+	// side and every outbound path (gossip, repair pulls, replica pushes).
+	var (
+		tlsServerCfg *tls.Config
+		tlsClientCfg *tls.Config
+		device       secure.DeviceID
+	)
+	if *tlsOn {
+		dir := *tlsDir
+		if dir == "" {
+			dir = filepath.Join(*dataDir, "tls")
+		}
+		cert, err := secure.LoadOrCreate(dir)
+		if err != nil {
+			return err
+		}
+		device, err = secure.IDFromTLSCert(cert)
+		if err != nil {
+			return err
+		}
+		var allow *secure.Allowlist
+		if *tlsPeers != "" {
+			var ids []secure.DeviceID
+			for _, id := range strings.Split(*tlsPeers, ",") {
+				if id = strings.TrimSpace(id); id != "" {
+					ids = append(ids, secure.DeviceID(id))
+				}
+			}
+			allow = secure.NewAllowlist(ids...)
+		}
+		tlsServerCfg = secure.ServerConfig(cert, allow)
+		tlsClientCfg = secure.ClientConfig(cert, allow)
+		log.Info("tls enabled", "device", device.Short(), "dir", dir,
+			"pinned_peers", allow.Len())
+	}
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return fmt.Errorf("listen on %s: %w", *addr, err)
 	}
+	if tlsServerCfg != nil {
+		l = tls.NewListener(l, tlsServerCfg)
+	}
 	log.Info("besteffsd listening",
-		"addr", l.Addr().String(), "capacity", *capacity, "policy", pol.Name())
+		"addr", l.Addr().String(), "capacity", *capacity, "policy", pol.Name(),
+		"tls", *tlsOn)
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
@@ -279,7 +349,15 @@ func run(args []string) error {
 				seeds = append(seeds, seed)
 			}
 		}
-		agent, err := member.NewAgent(member.Config{
+		// A bootstrap node (no seeds) publishes its flags as the cluster
+		// config; joiners start at version 0 and adopt whatever the
+		// cluster gossips back. The policy fields always reflect this
+		// node's flags, so adopting a conflicting config is detectable.
+		ver := *configVersion
+		if ver == 0 && len(seeds) == 0 {
+			ver = 1
+		}
+		mcfg := member.Config{
 			Addr: selfAddr,
 			Self: func() (float64, int64, float64) {
 				sm := srv.Unit().SampleAt(srv.Now())
@@ -290,13 +368,26 @@ func run(args []string) error {
 			Logger:   log,
 			Registry: srv.Metrics(),
 			Events:   srv.Events(),
-		})
+			Device:   string(device),
+			Cluster: wire.ClusterConfig{
+				Version:             ver,
+				Origin:              selfAddr,
+				Replicas:            uint32(*replicas),
+				Threshold:           *replThreshold,
+				GossipIntervalNanos: int64(*gossipInterval),
+				RepairIntervalNanos: int64(*repairInterval),
+			},
+		}
+		if tlsClientCfg != nil {
+			mcfg.Dial = secure.Dialer(tlsClientCfg, 2*time.Second)
+		}
+		agent, err := member.NewAgent(mcfg)
 		if err != nil {
 			return err
 		}
 		srv.SetMembership(agent)
 		if *replicas > 1 {
-			mgr, err = repair.NewManager(repair.Config{
+			rcfg := repair.Config{
 				Replicas:  *replicas,
 				Threshold: *replThreshold,
 				Interval:  *repairInterval,
@@ -306,7 +397,16 @@ func run(args []string) error {
 				Logger:    log,
 				Registry:  srv.Metrics(),
 				Events:    srv.Events(),
-			})
+				Cluster:   agent,
+			}
+			if tlsClientCfg != nil {
+				ccfg := client.DefaultConfig()
+				ccfg.TLS = tlsClientCfg
+				rcfg.Connect = func(addr string) (*client.Client, error) {
+					return client.DialConfig(addr, 2*time.Second, ccfg)
+				}
+			}
+			mgr, err = repair.NewManager(rcfg)
 			if err != nil {
 				return err
 			}

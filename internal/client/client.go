@@ -16,6 +16,7 @@ package client
 
 import (
 	"context"
+	"crypto/tls"
 	"errors"
 	"fmt"
 	"log/slog"
@@ -72,6 +73,11 @@ type Config struct {
 	// frame (0 means DefaultBatchChunk); larger batches are split into
 	// consecutive frames. Keep it at or below the node's -max-batch.
 	MaxBatchSubs int
+	// TLS, when set, wraps every dial (including redials and lazily-dialed
+	// cluster nodes) in a TLS session with an eager handshake, so an
+	// unauthorized certificate fails the dial instead of the first request.
+	// Build it with secure.ClientConfig; nil dials cleartext.
+	TLS *tls.Config
 }
 
 // DefaultBatchChunk is the default PutBatch chunk size, comfortably under
@@ -134,7 +140,7 @@ func Dial(addr string, timeout time.Duration) (*Client, error) {
 
 // DialConfig connects to a node with explicit robustness settings.
 func DialConfig(addr string, timeout time.Duration, cfg Config) (*Client, error) {
-	conn, err := net.DialTimeout("tcp", addr, timeout)
+	conn, err := dialNode(addr, timeout, cfg.TLS)
 	if err != nil {
 		return nil, fmt.Errorf("client: dial %s: %w", addr, err)
 	}
@@ -143,6 +149,40 @@ func DialConfig(addr string, timeout time.Duration, cfg Config) (*Client, error)
 	c.dialTimeout = timeout
 	c.cfg = cfg
 	return c, nil
+}
+
+// dialNode is the one TCP dial in the client: cleartext, or TLS with the
+// handshake completed eagerly under the dial timeout so certificate refusals
+// (and cleartext/TLS mismatches) surface as dial errors, not request hangs.
+func dialNode(addr string, timeout time.Duration, tlsCfg *tls.Config) (net.Conn, error) {
+	raw, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	if tlsCfg == nil {
+		return raw, nil
+	}
+	conn := tls.Client(raw, tlsCfg)
+	if timeout > 0 {
+		if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
+			//lint:ignore uncheckederr closing a failed connection; the error adds nothing
+			raw.Close()
+			return nil, err
+		}
+	}
+	if err := conn.Handshake(); err != nil {
+		//lint:ignore uncheckederr closing a failed connection; the error adds nothing
+		raw.Close()
+		return nil, fmt.Errorf("tls handshake: %w", err)
+	}
+	if timeout > 0 {
+		if err := conn.SetDeadline(time.Time{}); err != nil {
+			//lint:ignore uncheckederr closing a failed connection; the error adds nothing
+			conn.Close()
+			return nil, err
+		}
+	}
+	return conn, nil
 }
 
 // NewClient wraps an established connection (tests use net.Pipe). Wrapped
@@ -254,7 +294,7 @@ func (c *Client) redial() (*mux, error) {
 		c.conn.Close()
 		c.conn = nil
 	}
-	conn, err := net.DialTimeout("tcp", c.addr, c.dialTimeout)
+	conn, err := dialNode(c.addr, c.dialTimeout, c.cfg.TLS)
 	if err != nil {
 		return nil, fmt.Errorf("client: redial %s: %w", c.addr, err)
 	}

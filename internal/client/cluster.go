@@ -65,6 +65,25 @@ func (c *Client) IndexDiffCtx(ctx context.Context, threshold float64, entries []
 	}
 }
 
+// IndexDeltaCtx sends an incremental index update (or a full snapshot when
+// d.Full) and returns the node's comparison plus its acknowledgment of
+// d.Seq. A Resync answer means the node's mirror of this side's index is
+// gone or stale; resend with Full set.
+func (c *Client) IndexDeltaCtx(ctx context.Context, d *wire.IndexDelta) (*wire.IndexDeltaResult, error) {
+	resp, err := c.roundTripCtx(ctx, d)
+	if err != nil {
+		return nil, err
+	}
+	switch r := resp.(type) {
+	case *wire.IndexDeltaResult:
+		return r, nil
+	case *wire.ErrorMsg:
+		return nil, translateError(r)
+	default:
+		return nil, fmt.Errorf("%w: %v", ErrUnexpected, resp.Op())
+	}
+}
+
 // MembersCtx fetches the node's membership table: every node it knows,
 // with advertised boundary, free bytes, density and liveness.
 func (c *Client) MembersCtx(ctx context.Context) ([]wire.MemberInfo, error) {
@@ -140,7 +159,17 @@ func (c *Client) EventsCtx(ctx context.Context, limit uint32) (*wire.EventsResul
 // (quorum 1 unless overridden) and lazily dials the rest; call
 // RefreshMembers to pick up nodes that join later.
 func DialClusterSeed(ctx context.Context, seed string, timeout time.Duration, rng *rand.Rand, opts ...ClusterOption) (*ClusterClient, error) {
-	sc, err := Dial(seed, timeout)
+	// The probe dial must honor the caller's client config -- a TLS cluster
+	// rejects a cleartext discovery connection outright.
+	probe := clusterDialConfig{}
+	for _, opt := range opts {
+		opt(&probe)
+	}
+	seedCfg := DefaultConfig()
+	if probe.haveCfg {
+		seedCfg = probe.clientCfg
+	}
+	sc, err := DialConfig(seed, timeout, seedCfg)
 	if err != nil {
 		return nil, fmt.Errorf("client: discover via %s: %w", seed, err)
 	}
@@ -163,13 +192,7 @@ func DialClusterSeed(ctx context.Context, seed string, timeout time.Duration, rn
 	}
 	// Membership is live state: unreachable members must not fail the
 	// dial, so default to quorum 1 unless the caller asked otherwise.
-	hasQuorum := false
-	probe := clusterDialConfig{}
-	for _, opt := range opts {
-		opt(&probe)
-	}
-	hasQuorum = probe.quorum > 0
-	if !hasQuorum {
+	if probe.quorum <= 0 {
 		opts = append(opts, WithQuorum(1))
 	}
 	cc, err := DialCluster(addrs, timeout, rng, opts...)

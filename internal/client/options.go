@@ -5,7 +5,10 @@ package client
 // options-first twin of the positional Dial(addr, timeout); both produce
 // the same Client.
 
-import "time"
+import (
+	"crypto/tls"
+	"time"
+)
 
 // DefaultDialTimeout bounds Connect's dial when WithTimeout is not given.
 const DefaultDialTimeout = 5 * time.Second
@@ -39,6 +42,12 @@ func WithWindow(n int) Option {
 // WithMaxBatchSubs caps the sub-requests PutBatch packs per BATCH frame.
 func WithMaxBatchSubs(n int) Option {
 	return func(c *dialConfig) { c.cfg.MaxBatchSubs = n }
+}
+
+// WithTLS dials over TLS with mutual auth (see secure.ClientConfig); nil
+// keeps the cleartext default.
+func WithTLS(tc *tls.Config) Option {
+	return func(c *dialConfig) { c.cfg.TLS = tc }
 }
 
 // Connect connects to a node, configured by options. With none it behaves

@@ -45,7 +45,7 @@ var eventPaths = []eventPathEntry{
 	{
 		PkgSuffix: "internal/member",
 		TypeName:  "Agent",
-		Funcs:     []string{"sweepLocked"},
+		Funcs:     []string{"sweepLocked", "applyConfigLocked"},
 	},
 }
 

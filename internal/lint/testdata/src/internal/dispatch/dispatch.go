@@ -6,7 +6,7 @@ import "fixture/internal/wire"
 
 // Missing covers only some opcodes and has no default.
 func Missing(op wire.Op) int {
-	switch op { // want "misses opcodes OpEvents, OpGet, OpIndex, OpInvalid, OpOK, OpReplicate, OpTraceDump"
+	switch op { // want "misses opcodes OpEvents, OpGet, OpIndex, OpIndexDelta, OpInvalid, OpOK, OpReplicate, OpTraceDump"
 	case wire.OpPut:
 		return 1
 	}
@@ -24,6 +24,8 @@ func Exhaustive(op wire.Op) int {
 		return 3
 	case wire.OpTraceDump, wire.OpEvents:
 		return 4
+	case wire.OpIndexDelta:
+		return 5
 	}
 	return 0
 }

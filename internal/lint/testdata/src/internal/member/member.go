@@ -1,0 +1,34 @@
+// Package member is an eventrecorded fixture for the membership rows of the
+// decision-path table: both sweepLocked (liveness transitions) and
+// applyConfigLocked (cluster-config adoption and conflicts) must leave a
+// flight-recorder event behind, and the table row must keep resolving to
+// real methods on Agent.
+package member
+
+import "fixture/internal/telemetry"
+
+// Agent mirrors the gossip agent's telemetry sink and versioned config.
+type Agent struct {
+	events  *telemetry.Recorder
+	alive   map[string]bool
+	version uint64
+}
+
+// sweepLocked publishes liveness transitions into the flight recorder.
+func (a *Agent) sweepLocked() {
+	for peer, up := range a.alive {
+		if !up {
+			a.events.Record(telemetry.Event{Kind: telemetry.EventEvict, ID: peer})
+		}
+	}
+}
+
+// applyConfigLocked adopts a strictly newer cluster config, recording the
+// transition; the event call is what the analyzer demands.
+func (a *Agent) applyConfigLocked(version uint64, peer string) error {
+	if version > a.version {
+		a.events.Record(telemetry.Event{Kind: telemetry.EventConfigMismatch, ID: peer})
+		a.version = version
+	}
+	return nil
+}

@@ -13,6 +13,7 @@ const (
 	EventQuarantine
 	EventHeal
 	EventReplicaPush
+	EventConfigMismatch
 )
 
 // Event is one structured flight-recorder entry.

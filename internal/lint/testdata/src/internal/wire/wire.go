@@ -6,8 +6,9 @@ package wire
 type Op uint8
 
 // Opcodes. OpReplicate and OpIndex mirror the cluster ops the real wire
-// package grew, and OpTraceDump and OpEvents the telemetry ops after them,
-// so the fixtures prove the analyzer re-arms when the universe expands.
+// package grew, OpTraceDump and OpEvents the telemetry ops after them, and
+// OpIndexDelta the incremental anti-entropy exchange, so the fixtures prove
+// the analyzer re-arms when the universe expands.
 const (
 	OpInvalid Op = iota
 	OpPut
@@ -17,4 +18,5 @@ const (
 	OpIndex
 	OpTraceDump
 	OpEvents
+	OpIndexDelta
 )

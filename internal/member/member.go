@@ -17,6 +17,7 @@ package member
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"log/slog"
 	"math/rand"
@@ -29,6 +30,11 @@ import (
 	"besteffs/internal/telemetry"
 	"besteffs/internal/wire"
 )
+
+// ErrConfigMismatch reports a gossip exchange rejected because the two
+// sides hold conflicting cluster configs at the same version: neither can
+// adopt the other, so an operator must mint a newer version.
+var ErrConfigMismatch = errors.New("member: cluster config mismatch")
 
 // Config configures an Agent.
 type Config struct {
@@ -66,6 +72,14 @@ type Config struct {
 	// Events receives flight-recorder events for membership transitions;
 	// nil disables recording (the Recorder is nil-safe).
 	Events *telemetry.Recorder
+	// Device is this node's TLS device ID, advertised to peers; "" on
+	// cleartext clusters.
+	Device string
+	// Cluster is the node's initial cluster config. Version 0 means the
+	// node has no opinion and adopts whatever the cluster gossips back;
+	// the policy fields still describe the node's flag-derived defaults so
+	// adoption of a conflicting policy is detectable and recorded.
+	Cluster wire.ClusterConfig
 }
 
 // entry is one peer's membership record.
@@ -93,6 +107,9 @@ type Agent struct {
 	rng     *rand.Rand
 	version uint64
 	table   map[string]*entry
+	// config is the cluster config this node currently enforces; adopted
+	// from gossip when a strictly newer version arrives.
+	config wire.ClusterConfig
 	// Push-sum state, reset every epoch.
 	epoch       uint64
 	shareValue  float64
@@ -151,7 +168,9 @@ func NewAgent(cfg Config) (*Agent, error) {
 		events:      cfg.Events,
 		rng:         rand.New(rand.NewSource(seed)),
 		table:       make(map[string]*entry),
+		config:      cfg.Cluster,
 	}
+	a.configGauge().Set(float64(a.config.Version))
 	for _, s := range cfg.Seeds {
 		if s == "" || s == cfg.Addr {
 			continue
@@ -180,13 +199,69 @@ func fresher(x, y wire.MemberInfo) bool {
 func (a *Agent) selfLocked() wire.MemberInfo {
 	boundary, free, density := a.cfg.Self()
 	return wire.MemberInfo{
-		Addr:        a.cfg.Addr,
-		Incarnation: a.incarnation,
-		Version:     a.version,
-		Boundary:    boundary,
-		Free:        free,
-		Density:     density,
-		Alive:       true,
+		Addr:          a.cfg.Addr,
+		Incarnation:   a.incarnation,
+		Version:       a.version,
+		Boundary:      boundary,
+		Free:          free,
+		Density:       density,
+		Alive:         true,
+		Device:        a.cfg.Device,
+		ConfigVersion: a.config.Version,
+	}
+}
+
+// ClusterConfig returns the config this node currently enforces. The repair
+// manager reads it so replication factor and threshold track the cluster,
+// not the boot flags.
+func (a *Agent) ClusterConfig() wire.ClusterConfig {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.config
+}
+
+// configGauge mints the gauge operators compare across nodes to confirm the
+// cluster has converged on one policy.
+func (a *Agent) configGauge() *metrics.Gauge {
+	return a.reg.Gauge("besteffs_cluster_config_version",
+		"version of the cluster config this node is enforcing (0 = none adopted yet)")
+}
+
+// applyConfigLocked folds a config carried by gossip into this node's:
+// strictly newer versions are adopted, equal versions must agree on policy
+// or the exchange is rejected with ErrConfigMismatch, older versions are
+// ignored (the reply carries ours, so the peer adopts). Both the adoption
+// of a different policy and a rejection leave a config-mismatch
+// flight-recorder event behind. Callers hold a.mu.
+func (a *Agent) applyConfigLocked(c wire.ClusterConfig, peer string) error {
+	switch {
+	case c.IsZero() || c.Version < a.config.Version:
+		return nil
+	case c.Version == a.config.Version:
+		if a.config.IsZero() || c.SamePolicy(a.config) {
+			return nil
+		}
+		a.events.Record(telemetry.Event{
+			Kind: telemetry.EventConfigMismatch, Peer: peer,
+			Detail: fmt.Sprintf("conflicting policy at config v%d (origin %s vs %s)",
+				c.Version, c.Origin, a.config.Origin),
+		})
+		a.log.Warn("cluster config conflict", "peer", peer, "version", c.Version)
+		return fmt.Errorf("%w: conflicting policy at version %d", ErrConfigMismatch, c.Version)
+	default: // strictly newer: adopt
+		if !c.SamePolicy(a.config) {
+			a.events.Record(telemetry.Event{
+				Kind: telemetry.EventConfigMismatch, Peer: peer,
+				Detail: fmt.Sprintf("adopted config v%d from %s (was v%d)",
+					c.Version, c.Origin, a.config.Version),
+			})
+			a.log.Info("adopted cluster config", "peer", peer,
+				"version", c.Version, "origin", c.Origin,
+				"replicas", c.Replicas, "threshold", c.Threshold)
+		}
+		a.config = c
+		a.configGauge().Set(float64(c.Version))
+		return nil
 	}
 }
 
@@ -286,19 +361,26 @@ func (a *Agent) Health() (sent, failed uint64) {
 	return a.sent, a.failed
 }
 
-// HandleGossip answers one inbound heartbeat: merge the sender's view,
-// absorb its push-sum share, and return this node's view plus a return
-// share (push-pull doubles the mixing rate of one exchange).
-func (a *Agent) HandleGossip(g *wire.Gossip) *wire.GossipResult {
+// HandleGossip answers one inbound heartbeat: reconcile cluster configs,
+// merge the sender's view, absorb its push-sum share, and return this
+// node's view plus a return share (push-pull doubles the mixing rate of
+// one exchange). A sender whose config conflicts with ours at an equal
+// version is rejected with a CodeConfigMismatch error before its view is
+// merged: a node enforcing a different policy must not shape this one's
+// membership or density estimate.
+func (a *Agent) HandleGossip(g *wire.Gossip) wire.Message {
 	now := time.Now()
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	if err := a.applyConfigLocked(g.Config, g.From.Addr); err != nil {
+		return &wire.ErrorMsg{Code: wire.CodeConfigMismatch, Text: err.Error()}
+	}
 	a.rollEpochLocked(now)
 	a.mergeLocked(g.From, true, now)
 	for _, mi := range g.Members {
 		a.mergeLocked(mi, false, now)
 	}
-	res := &wire.GossipResult{Epoch: a.epoch, Members: a.snapshotLocked(now)}
+	res := &wire.GossipResult{Epoch: a.epoch, Members: a.snapshotLocked(now), Config: a.config}
 	if g.Epoch == a.epoch && g.ShareWeight > 0 {
 		// Absorb the incoming share, then send half of the combined state
 		// back. Different-epoch shares are dropped: each epoch's average
@@ -412,6 +494,7 @@ func (a *Agent) exchange(addr string) {
 		ShareValue:  a.shareValue,
 		ShareWeight: a.shareWeight,
 		Members:     a.snapshotLocked(now),
+		Config:      a.config,
 	}
 	a.sent++
 	a.mu.Unlock()
@@ -431,7 +514,16 @@ func (a *Agent) exchange(addr string) {
 			a.shareValue += g.ShareValue
 			a.shareWeight += g.ShareWeight
 		}
-		a.log.Debug("gossip exchange failed", "peer", addr, "err", err)
+		if errors.Is(err, ErrConfigMismatch) {
+			// The peer refused our config: record the rejection on this side
+			// too, so both flight recorders explain the stalled join.
+			a.events.Record(telemetry.Event{
+				Kind: telemetry.EventConfigMismatch, Peer: addr, Detail: err.Error(),
+			})
+			a.log.Warn("gossip rejected over cluster config", "peer", addr, "err", err)
+		} else {
+			a.log.Debug("gossip exchange failed", "peer", addr, "err", err)
+		}
 		return
 	}
 	a.reg.Counter("besteffs_gossip_exchanges_total",
@@ -439,6 +531,12 @@ func (a *Agent) exchange(addr string) {
 	a.reg.Histogram("besteffs_gossip_rtt_seconds",
 		"round-trip time of completed gossip exchanges, by peer",
 		metrics.LatencyBuckets, metrics.L("peer", addr)).Observe(rtt.Seconds())
+	// The reply carries the peer's config; adopt a newer one. A conflict at
+	// equal versions was already recorded by applyConfigLocked -- drop the
+	// rest of the reply, the peer is enforcing a different policy.
+	if err := a.applyConfigLocked(res.Config, addr); err != nil {
+		return
+	}
 	now = time.Now()
 	for _, mi := range res.Members {
 		// The response proves the peer itself is alive; everything else in
@@ -484,6 +582,9 @@ func (a *Agent) roundTrip(addr string, g *wire.Gossip) (*wire.GossipResult, erro
 	}
 	res, ok := msg.(*wire.GossipResult)
 	if !ok {
+		if em, ok := msg.(*wire.ErrorMsg); ok && em.Code == wire.CodeConfigMismatch {
+			return nil, fmt.Errorf("%w: rejected by %s: %s", ErrConfigMismatch, addr, em.Text)
+		}
 		return nil, fmt.Errorf("member: peer %s answered gossip with %v", addr, msg.Op())
 	}
 	return res, nil

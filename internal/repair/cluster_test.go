@@ -11,6 +11,7 @@ package repair_test
 
 import (
 	"context"
+	"crypto/tls"
 	"fmt"
 	"io"
 	"log/slog"
@@ -30,6 +31,7 @@ import (
 	"besteffs/internal/object"
 	"besteffs/internal/policy"
 	"besteffs/internal/repair"
+	"besteffs/internal/secure"
 	"besteffs/internal/server"
 )
 
@@ -53,9 +55,23 @@ type chaosNode struct {
 	done    chan error
 	stopped bool
 
+	// tls runs the node with mutual-auth TLS on every path (accept loop,
+	// gossip, repair dials), the -tls besteffsd wiring. The certificate
+	// lives under the data dir, so restarts keep the device identity.
+	tls       bool
+	clientTLS *tls.Config
+
 	// gossipDial lets the partition test inject faults into the
 	// membership transport; nil uses plain TCP.
 	gossipDial func(self string, dial func(string) (net.Conn, error)) func(string) (net.Conn, error)
+}
+
+// dial opens a client connection to the node, over TLS when the node
+// requires it.
+func (n *chaosNode) dial(timeout time.Duration) (*client.Client, error) {
+	cfg := client.DefaultConfig()
+	cfg.TLS = n.clientTLS
+	return client.DialConfig(n.addr, timeout, cfg)
 }
 
 // start boots (or reboots) the node from its data directory: restore from
@@ -84,6 +100,14 @@ func (n *chaosNode) start(seeds []string) {
 		n.t.Fatalf("listen %s: %v", listenAddr, err)
 	}
 	n.addr = l.Addr().String()
+	if n.tls {
+		cert, err := secure.LoadOrCreate(filepath.Join(n.dir, "tls"))
+		if err != nil {
+			n.t.Fatalf("node certificate: %v", err)
+		}
+		l = tls.NewListener(l, secure.ServerConfig(cert, nil))
+		n.clientTLS = secure.ClientConfig(cert, nil)
+	}
 	srv, err := server.New(nodeCapacity, policy.TemporalImportance{},
 		server.WithBlobStore(files), server.WithWAL(wal), server.WithLogger(quiet),
 		server.WithNodeAddr(n.addr))
@@ -112,6 +136,8 @@ func (n *chaosNode) start(seeds []string) {
 		cfg.Dial = n.gossipDial(n.addr, func(addr string) (net.Conn, error) {
 			return net.DialTimeout("tcp", addr, time.Second)
 		})
+	} else if n.tls {
+		cfg.Dial = secure.Dialer(n.clientTLS, time.Second)
 	}
 	agent, err := member.NewAgent(cfg)
 	if err != nil {
@@ -120,7 +146,7 @@ func (n *chaosNode) start(seeds []string) {
 	n.agent = agent
 	srv.SetMembership(agent)
 
-	mgr, err := repair.NewManager(repair.Config{
+	rcfg := repair.Config{
 		Replicas:  2,
 		Threshold: replThreshold,
 		Interval:  time.Hour, // passes run manually via PassNow
@@ -130,7 +156,15 @@ func (n *chaosNode) start(seeds []string) {
 		Logger:    quiet,
 		Registry:  srv.Metrics(),
 		Events:    srv.Events(),
-	})
+	}
+	if n.tls {
+		ccfg := client.DefaultConfig()
+		ccfg.TLS = n.clientTLS
+		rcfg.Connect = func(addr string) (*client.Client, error) {
+			return client.DialConfig(addr, time.Second, ccfg)
+		}
+	}
+	mgr, err := repair.NewManager(rcfg)
 	if err != nil {
 		n.t.Fatalf("repair.NewManager: %v", err)
 	}
@@ -170,11 +204,15 @@ func (n *chaosNode) kill() {
 }
 
 func startCluster(t *testing.T, gossipDial func(self string, dial func(string) (net.Conn, error)) func(string) (net.Conn, error)) []*chaosNode {
+	return startClusterTLS(t, gossipDial, false)
+}
+
+func startClusterTLS(t *testing.T, gossipDial func(self string, dial func(string) (net.Conn, error)) func(string) (net.Conn, error), useTLS bool) []*chaosNode {
 	t.Helper()
 	nodes := make([]*chaosNode, 3)
 	var seeds []string
 	for i := range nodes {
-		nodes[i] = &chaosNode{t: t, dir: t.TempDir(), gossipDial: gossipDial}
+		nodes[i] = &chaosNode{t: t, dir: t.TempDir(), gossipDial: gossipDial, tls: useTLS}
 		nodes[i].start(seeds)
 		if i == 0 {
 			seeds = []string{nodes[0].addr}
@@ -226,7 +264,7 @@ func holders(t *testing.T, ctx context.Context, nodes []*chaosNode, id object.ID
 	t.Helper()
 	var out []string
 	for _, n := range nodes {
-		c, err := client.Dial(n.addr, time.Second)
+		c, err := n.dial(time.Second)
 		if err != nil {
 			continue // dead node: holds nothing reachable
 		}
@@ -272,13 +310,32 @@ func repairUntilConverged(t *testing.T, ctx context.Context, nodes []*chaosNode)
 }
 
 func TestKillOneOfThreeLosesNoAcknowledgedObject(t *testing.T) {
+	testKillOneOfThree(t, false)
+}
+
+// TestKillOneOfThreeLosesNoAcknowledgedObjectTLS reruns the kill chaos test
+// with every connection -- gossip, replication, repair pulls, clients --
+// over mutual-auth TLS, including the victim's restart reloading its
+// certificate identity from disk.
+func TestKillOneOfThreeLosesNoAcknowledgedObjectTLS(t *testing.T) {
+	testKillOneOfThree(t, true)
+}
+
+func testKillOneOfThree(t *testing.T, useTLS bool) {
 	if testing.Short() {
 		t.Skip("multi-node chaos test")
 	}
 	ctx := context.Background()
-	nodes := startCluster(t, nil)
+	nodes := startClusterTLS(t, nil, useTLS)
 
-	cc, err := client.DialClusterSeed(ctx, nodes[0].addr, time.Second, rand.New(rand.NewSource(1)))
+	seedOpts := []client.ClusterOption{}
+	if useTLS {
+		ccfg := client.DefaultConfig()
+		ccfg.TLS = nodes[0].clientTLS
+		seedOpts = append(seedOpts, client.WithClientConfig(ccfg))
+	}
+	cc, err := client.DialClusterSeed(ctx, nodes[0].addr, time.Second,
+		rand.New(rand.NewSource(1)), seedOpts...)
 	if err != nil {
 		t.Fatalf("DialClusterSeed: %v", err)
 	}
@@ -288,7 +345,7 @@ func TestKillOneOfThreeLosesNoAcknowledgedObject(t *testing.T) {
 	// orphans a copy; ingest replication pushes the second copy to a peer
 	// before the ack returns.
 	victim := nodes[1]
-	vc, err := client.Dial(victim.addr, time.Second)
+	vc, err := victim.dial(time.Second)
 	if err != nil {
 		t.Fatalf("dial victim: %v", err)
 	}
@@ -371,7 +428,7 @@ func TestKillOneOfThreeLosesNoAcknowledgedObject(t *testing.T) {
 	// The wire-visible repair counters back the story: passes ran, pulls
 	// happened, and nobody is left under-replicated.
 	for _, n := range survivors {
-		c, err := client.Dial(n.addr, time.Second)
+		c, err := n.dial(time.Second)
 		if err != nil {
 			t.Fatalf("dial %s: %v", n.addr, err)
 		}
@@ -476,7 +533,7 @@ func payloadFor(id object.ID) []byte {
 func fetchFromAny(t *testing.T, ctx context.Context, nodes []*chaosNode, id object.ID) []byte {
 	t.Helper()
 	for _, n := range nodes {
-		c, err := client.Dial(n.addr, time.Second)
+		c, err := n.dial(time.Second)
 		if err != nil {
 			continue
 		}

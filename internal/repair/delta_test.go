@@ -1,0 +1,107 @@
+package repair_test
+
+// Incremental anti-entropy: after the cluster converges, a further repair
+// pass must ship zero index entries -- the per-peer delta state means a
+// quiet cluster exchanges empty deltas, not full snapshots. A new object
+// then travels as exactly one upsert, and a restarted peer (whose mirror is
+// gone) forces the full-snapshot resync fallback.
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"besteffs/internal/client"
+	"besteffs/internal/importance"
+	"besteffs/internal/object"
+)
+
+func TestSteadyStateDeltaSendsNoEntries(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-node test")
+	}
+	ctx := context.Background()
+	nodes := startCluster(t, nil)
+
+	cc, err := client.DialClusterSeed(ctx, nodes[0].addr, time.Second, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatalf("DialClusterSeed: %v", err)
+	}
+	defer cc.Close()
+	for i := 0; i < 6; i++ {
+		id := object.ID(fmt.Sprintf("vital/steady-%02d", i))
+		if _, err := cc.PutCtx(ctx, client.PutRequest{
+			ID:         id,
+			Importance: importance.Constant{Level: 1},
+			Payload:    payloadFor(id),
+		}); err != nil {
+			t.Fatalf("put %s: %v", id, err)
+		}
+	}
+	repairUntilConverged(t, ctx, nodes)
+
+	// Drain the passes that still carry delta state changes (the convergence
+	// loop's last round already acked everything, but be explicit): from here
+	// on, every pass on every node must send zero entries and no full syncs.
+	for round := 0; round < 3; round++ {
+		for _, n := range nodes {
+			pass, err := n.mgr.PassNow(ctx)
+			if err != nil {
+				t.Fatalf("steady pass on %s: %v", n.addr, err)
+			}
+			if round > 0 && (pass.IndexEntriesSent != 0 || pass.FullSyncs != 0) {
+				t.Errorf("steady-state pass on %s sent %d index entries (%d full syncs), want 0",
+					n.addr, pass.IndexEntriesSent, pass.FullSyncs)
+			}
+		}
+	}
+
+	// One new object travels as an incremental delta: the writer's next pass
+	// sends only the changed entries, never a full snapshot.
+	fresh := object.ID("vital/steady-new")
+	c0, err := nodes[0].dial(time.Second)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	if _, err := c0.PutCtx(ctx, client.PutRequest{
+		ID:         fresh,
+		Importance: importance.Constant{Level: 1},
+		Payload:    payloadFor(fresh),
+	}); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	c0.Close()
+	pass, err := nodes[0].mgr.PassNow(ctx)
+	if err != nil {
+		t.Fatalf("delta pass: %v", err)
+	}
+	if pass.FullSyncs != 0 {
+		t.Errorf("a single new object forced %d full syncs, want 0", pass.FullSyncs)
+	}
+	if pass.IndexEntriesSent == 0 || pass.IndexEntriesSent > 2*len(nodes) {
+		t.Errorf("delta pass sent %d entries for one new object across %d peers",
+			pass.IndexEntriesSent, len(nodes)-1)
+	}
+
+	// A restarted peer lost its mirrors; the next pass against it must fall
+	// back to a full snapshot (Resync path) and converge again.
+	nodes[1].kill()
+	nodes[1].start([]string{nodes[0].addr})
+	waitFor(t, 10*time.Second, func() bool {
+		return len(nodes[1].agent.AlivePeers()) == 2
+	}, "restart rejoin")
+	full := 0
+	deadline := time.Now().Add(10 * time.Second)
+	for full == 0 && time.Now().Before(deadline) {
+		pass, err := nodes[0].mgr.PassNow(ctx)
+		if err != nil {
+			t.Fatalf("resync pass: %v", err)
+		}
+		full += pass.FullSyncs
+	}
+	if full == 0 {
+		t.Error("no full sync after a peer restart wiped its index mirror")
+	}
+}

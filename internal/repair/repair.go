@@ -57,6 +57,14 @@ type Peers interface {
 	AlivePeers() []wire.MemberInfo
 }
 
+// ConfigSource supplies the cluster-wide config negotiated at gossip join;
+// implemented by member.Agent. When present and non-zero it overrides the
+// flag-derived Replicas and Threshold, so repair enforces what the cluster
+// agreed on, not what this node booted with.
+type ConfigSource interface {
+	ClusterConfig() wire.ClusterConfig
+}
+
 // Config configures a Manager. Local, Peers and SelfAddr are required.
 type Config struct {
 	// Replicas is R, the copies each above-threshold object should have
@@ -84,19 +92,27 @@ type Config struct {
 	// Events receives flight-recorder events for replica pushes and pulls;
 	// nil disables recording (the Recorder is nil-safe).
 	Events *telemetry.Recorder
+	// Cluster, when set, overrides Replicas and Threshold with the live
+	// cluster config (member.Agent); nil keeps the flag-derived values.
+	Cluster ConfigSource
+	// Connect overrides how peer clients are dialed (TLS clusters inject a
+	// secure dial here); nil uses a cleartext client.Dial.
+	Connect func(addr string) (*client.Client, error)
 }
 
 // repairMetrics are the repair counters on the node's metrics registry.
 type repairMetrics struct {
-	reg             *metrics.Registry
-	pushed          *metrics.Counter
-	pulled          *metrics.Counter
-	pushFailures    *metrics.Counter
-	passes          *metrics.Counter
-	bytes           *metrics.Counter
-	underReplicated *metrics.Gauge
-	pending         *metrics.Gauge
-	lastPass        *metrics.Gauge
+	reg              *metrics.Registry
+	pushed           *metrics.Counter
+	pulled           *metrics.Counter
+	pushFailures     *metrics.Counter
+	passes           *metrics.Counter
+	bytes            *metrics.Counter
+	indexEntriesSent *metrics.Counter
+	indexFullSyncs   *metrics.Counter
+	underReplicated  *metrics.Gauge
+	pending          *metrics.Gauge
+	lastPass         *metrics.Gauge
 }
 
 // Per-peer series. Registration is idempotent and these paths are not hot
@@ -139,6 +155,10 @@ func newRepairMetrics(reg *metrics.Registry) repairMetrics {
 			"completed anti-entropy passes"),
 		bytes: reg.Counter("besteffs_repair_bytes_total",
 			"payload bytes pulled by repair"),
+		indexEntriesSent: reg.Counter("besteffs_repair_index_entries_sent_total",
+			"index entries (upserts plus removals) shipped by delta exchanges"),
+		indexFullSyncs: reg.Counter("besteffs_repair_index_full_syncs_total",
+			"index exchanges that fell back to a full snapshot"),
 		underReplicated: reg.Gauge("besteffs_repair_under_replicated",
 			"objects below the replication factor at the last pass"),
 		pending: reg.Gauge("besteffs_repair_pending",
@@ -158,6 +178,20 @@ type Manager struct {
 	// evicts the entry so the next use redials.
 	clientMu sync.Mutex
 	clients  map[string]*client.Client
+
+	// peerSync tracks, per peer, the last index snapshot that peer
+	// acknowledged, so each pass sends only the delta (see PassNow).
+	syncMu   sync.Mutex
+	peerSync map[string]*peerSync
+}
+
+// peerSync is the caller side of the incremental index exchange with one
+// peer: the last acknowledged sequence and the snapshot it covered.
+type peerSync struct {
+	seq       uint64
+	acked     bool
+	threshold float64
+	sent      map[object.ID]wire.IndexEntry
 }
 
 // NewManager validates cfg and returns a Manager.
@@ -193,26 +227,47 @@ func NewManager(cfg Config) (*Manager, error) {
 	if reg == nil {
 		reg = metrics.NewRegistry()
 	}
+	if cfg.Connect == nil {
+		timeout := cfg.DialTimeout
+		cfg.Connect = func(addr string) (*client.Client, error) {
+			return client.Dial(addr, timeout)
+		}
+	}
 	return &Manager{
-		cfg:     cfg,
-		log:     cfg.Logger,
-		met:     newRepairMetrics(reg),
-		clients: make(map[string]*client.Client),
+		cfg:      cfg,
+		log:      cfg.Logger,
+		met:      newRepairMetrics(reg),
+		clients:  make(map[string]*client.Client),
+		peerSync: make(map[string]*peerSync),
 	}, nil
 }
 
-// Threshold returns the replication threshold; the server pre-filters
-// ingest pushes with it.
-func (m *Manager) Threshold() float64 { return m.cfg.Threshold }
+// Threshold returns the replication threshold the cluster currently
+// enforces; the server pre-filters ingest pushes with it.
+func (m *Manager) Threshold() float64 {
+	if m.cfg.Cluster != nil {
+		if cc := m.cfg.Cluster.ClusterConfig(); !cc.IsZero() {
+			return cc.Threshold
+		}
+	}
+	return m.cfg.Threshold
+}
 
-// Replicas returns the configured replication factor R.
-func (m *Manager) Replicas() int { return m.cfg.Replicas }
+// Replicas returns the replication factor R the cluster currently enforces.
+func (m *Manager) Replicas() int {
+	if m.cfg.Cluster != nil {
+		if cc := m.cfg.Cluster.ClusterConfig(); !cc.IsZero() && cc.Replicas > 0 {
+			return int(cc.Replicas)
+		}
+	}
+	return m.cfg.Replicas
+}
 
 // Status reports the repair configuration and counters.
 func (m *Manager) Status() *wire.RepairStatusResult {
 	return &wire.RepairStatusResult{
-		Replicas:        uint32(m.cfg.Replicas),
-		Threshold:       m.cfg.Threshold,
+		Replicas:        uint32(m.Replicas()),
+		Threshold:       m.Threshold(),
 		Pushed:          uint64(m.met.pushed.Value()),
 		Pulled:          uint64(m.met.pulled.Value()),
 		PushFailures:    uint64(m.met.pushFailures.Value()),
@@ -231,7 +286,7 @@ func (m *Manager) peerClient(addr string) (*client.Client, error) {
 	if c, ok := m.clients[addr]; ok {
 		return c, nil
 	}
-	c, err := client.Dial(addr, m.cfg.DialTimeout)
+	c, err := m.cfg.Connect(addr)
 	if err != nil {
 		return nil, err
 	}
@@ -292,7 +347,7 @@ func (m *Manager) alivePeers() []wire.MemberInfo {
 // what ingest could not place.
 func (m *Manager) PushSync(ctx context.Context, rep *wire.Replicate) int {
 	copies := 1
-	want := m.cfg.Replicas - 1
+	want := m.Replicas() - 1
 	if want <= 0 {
 		return copies
 	}
@@ -419,6 +474,12 @@ type Pass struct {
 	Pending int
 	// Bytes is the payload bytes pulled.
 	Bytes int64
+	// IndexEntriesSent counts index entries (upserts plus removals) shipped
+	// to peers this pass; zero once the cluster is converged and quiet.
+	IndexEntriesSent int
+	// FullSyncs counts peers that needed a full index snapshot this pass
+	// (first contact, restart on either side, or threshold change).
+	FullSyncs int
 }
 
 // peerDiff is one peer's answer to the index exchange.
@@ -448,7 +509,8 @@ func (m *Manager) PassNow(ctx context.Context) (Pass, error) {
 	if _, ok := telemetry.FromContext(ctx); !ok {
 		ctx = telemetry.NewContext(ctx, telemetry.NewRoot())
 	}
-	local := m.cfg.Local.IndexEntries(m.cfg.Threshold)
+	threshold := m.Threshold()
+	local := m.cfg.Local.IndexEntries(threshold)
 	localByID := make(map[object.ID]wire.IndexEntry, len(local))
 	for _, e := range local {
 		localByID[e.ID] = e
@@ -467,7 +529,13 @@ func (m *Manager) PassNow(ctx context.Context) (Pass, error) {
 			continue
 		}
 		exchangeStart := time.Now()
-		res, err := c.IndexDiffCtx(ctx, m.cfg.Threshold, local)
+		res, sent, full, err := m.exchangeDelta(ctx, c, peer.Addr, threshold, local, localByID)
+		pass.IndexEntriesSent += sent
+		if full {
+			pass.FullSyncs++
+			m.met.indexFullSyncs.Inc()
+		}
+		m.met.indexEntriesSent.Add(int64(sent))
 		if err != nil {
 			m.met.peerFailure(peer.Addr)
 			if !isRemoteVerdict(err) {
@@ -531,6 +599,87 @@ func (m *Manager) PassNow(ctx context.Context) (Pass, error) {
 	return pass, nil
 }
 
+// entryChanged reports whether an index entry changed in a way peers must
+// hear about. AgeNanos is deliberately excluded: it advances on every
+// snapshot, and including it would mark every entry changed every pass,
+// reducing the delta protocol to a full resend.
+func entryChanged(a, b wire.IndexEntry) bool {
+	return a.Version != b.Version || a.CRC != b.CRC ||
+		a.Size != b.Size || a.Initial != b.Initial
+}
+
+// exchangeDelta runs the incremental index exchange with one peer: send
+// what changed since the peer's last acknowledged snapshot (or a full
+// snapshot on first contact / threshold change), fall back to a full resend
+// when the peer asks for a resync, and record the acknowledged state only
+// after a successful round trip -- a transport failure leaves the previous
+// acknowledgment in place, and the sequence check on the peer sorts out
+// whether the lost exchange was applied. It returns the peer's comparison,
+// how many entries crossed the wire, and whether a full snapshot was sent.
+func (m *Manager) exchangeDelta(ctx context.Context, c *client.Client, addr string, threshold float64, local []wire.IndexEntry, localByID map[object.ID]wire.IndexEntry) (*wire.IndexDeltaResult, int, bool, error) {
+	m.syncMu.Lock()
+	ps, ok := m.peerSync[addr]
+	if !ok {
+		ps = &peerSync{}
+		m.peerSync[addr] = ps
+	}
+	full := !ps.acked || ps.threshold != threshold
+	d := &wire.IndexDelta{
+		From:      m.cfg.SelfAddr,
+		Threshold: threshold,
+		BaseSeq:   ps.seq,
+		Seq:       ps.seq + 1,
+		Full:      full,
+	}
+	if full {
+		d.Upserts = local
+	} else {
+		for _, e := range local {
+			if prev, ok := ps.sent[e.ID]; !ok || entryChanged(prev, e) {
+				d.Upserts = append(d.Upserts, e)
+			}
+		}
+		for id := range ps.sent {
+			if _, held := localByID[id]; !held {
+				d.Removed = append(d.Removed, id)
+			}
+		}
+	}
+	m.syncMu.Unlock()
+
+	sent := len(d.Upserts) + len(d.Removed)
+	res, err := c.IndexDeltaCtx(ctx, d)
+	if err != nil {
+		return nil, sent, full, err
+	}
+	if res.Resync && !full {
+		// The peer's mirror is gone or stale (restart, eviction): resend
+		// everything under the same sequence.
+		full = true
+		d = &wire.IndexDelta{
+			From: m.cfg.SelfAddr, Threshold: threshold,
+			Seq: d.Seq, Full: true, Upserts: local,
+		}
+		sent += len(local)
+		if res, err = c.IndexDeltaCtx(ctx, d); err != nil {
+			return nil, sent, full, err
+		}
+	}
+	if res.Resync {
+		return nil, sent, full, fmt.Errorf("repair: peer %s rejected a full index snapshot", addr)
+	}
+	m.syncMu.Lock()
+	ps.seq = d.Seq
+	ps.acked = true
+	ps.threshold = threshold
+	ps.sent = make(map[object.ID]wire.IndexEntry, len(localByID))
+	for id, e := range localByID {
+		ps.sent[id] = e
+	}
+	m.syncMu.Unlock()
+	return res, sent, full, nil
+}
+
 // planPulls decides which objects this node pulls this pass. Three cases:
 //
 //   - An object we hold that a peer supersedes: pull the better copy
@@ -544,6 +693,7 @@ func (m *Manager) PassNow(ctx context.Context) (Pass, error) {
 //     but is pulled by the nodes that lack it, on their own passes.
 func (m *Manager) planPulls(localByID map[object.ID]wire.IndexEntry, diffs []peerDiff, pass *Pass) []pullItem {
 	var pulls []pullItem
+	replicas := m.Replicas()
 
 	// Objects we hold: count holders, detect superseding peer copies.
 	for id, mine := range localByID {
@@ -565,7 +715,7 @@ func (m *Manager) planPulls(localByID map[object.ID]wire.IndexEntry, diffs []pee
 			pass.UnderReplicated++
 			continue
 		}
-		if holders < m.cfg.Replicas {
+		if holders < replicas {
 			pass.UnderReplicated++
 		}
 	}
@@ -594,7 +744,7 @@ func (m *Manager) planPulls(localByID map[object.ID]wire.IndexEntry, diffs []pee
 		}
 	}
 	for id, a := range absents {
-		deficit := m.cfg.Replicas - a.holders
+		deficit := replicas - a.holders
 		if deficit <= 0 {
 			continue
 		}

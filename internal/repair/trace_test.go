@@ -129,7 +129,7 @@ func TestTraceCoversPutReplicationAndRepair(t *testing.T) {
 		names[sp.Name]++
 		nodesSeen[sp.Node] = true
 	}
-	for _, want := range []string{"put", "replicate", "index_diff", "get"} {
+	for _, want := range []string{"put", "replicate", "index_delta", "get"} {
 		if names[want] == 0 {
 			t.Errorf("trace has no %q span (got %v)", want, names)
 		}

@@ -1,0 +1,287 @@
+// Package secure is the transport-security layer for Besteffs clusters,
+// following the syncthing BEP template: TLS 1.2+ is the session layer for
+// every node-to-node and client-to-node connection, and authentication is
+// based solely on the certificate presented -- each node mints one
+// self-signed certificate at first boot, and its identity is the hash of
+// that certificate's public key (the device ID). There is no CA: a peer is
+// whoever holds the private key for the device ID it presents, and an
+// optional allowlist pins which device IDs may connect at all.
+//
+// The handshake is mutual: servers require a client certificate
+// (RequireAnyClientCert) and clients skip chain verification in favor of
+// the same device-ID pinning, so an unknown certificate is refused during
+// the handshake -- before a single opcode is dispatched.
+package secure
+
+import (
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/sha256"
+	"crypto/tls"
+	"crypto/x509"
+	"crypto/x509/pkix"
+	"encoding/hex"
+	"encoding/pem"
+	"errors"
+	"fmt"
+	"math/big"
+	"net"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// Certificate file names under the TLS directory.
+const (
+	CertFile = "cert.pem"
+	KeyFile  = "key.pem"
+)
+
+// certLifetime is how long a generated certificate is valid. Identity is
+// the key hash, not the validity window, so the window is generous; it only
+// exists because x509 requires one.
+const certLifetime = 50 * 365 * 24 * time.Hour
+
+// DeviceID is a node or client identity: the hex SHA-256 of the
+// certificate's public key (SubjectPublicKeyInfo bytes). Two certificates
+// with the same key pair are the same device; reissuing a certificate over
+// the same key keeps the identity.
+type DeviceID string
+
+// Short returns the truncated display form operators compare by eye.
+func (d DeviceID) Short() string {
+	if len(d) <= 12 {
+		return string(d)
+	}
+	return string(d[:12])
+}
+
+// IDFromCert computes the device ID of a parsed certificate.
+func IDFromCert(cert *x509.Certificate) DeviceID {
+	sum := sha256.Sum256(cert.RawSubjectPublicKeyInfo)
+	return DeviceID(hex.EncodeToString(sum[:]))
+}
+
+// IDFromTLSCert computes the device ID of a tls.Certificate (the local
+// identity loaded by LoadOrCreate).
+func IDFromTLSCert(cert tls.Certificate) (DeviceID, error) {
+	if len(cert.Certificate) == 0 {
+		return "", errors.New("secure: certificate chain is empty")
+	}
+	leaf, err := x509.ParseCertificate(cert.Certificate[0])
+	if err != nil {
+		return "", fmt.Errorf("secure: parse certificate: %w", err)
+	}
+	return IDFromCert(leaf), nil
+}
+
+// LoadOrCreate loads the node certificate from dir, generating and
+// persisting a fresh self-signed one (ECDSA P-256) on first boot. The key
+// is written 0600; the directory is created if missing.
+func LoadOrCreate(dir string) (tls.Certificate, error) {
+	certPath := filepath.Join(dir, CertFile)
+	keyPath := filepath.Join(dir, KeyFile)
+	if _, err := os.Stat(certPath); err == nil {
+		cert, err := tls.LoadX509KeyPair(certPath, keyPath)
+		if err != nil {
+			return tls.Certificate{}, fmt.Errorf("secure: load %s: %w", dir, err)
+		}
+		return cert, nil
+	}
+	if err := os.MkdirAll(dir, 0o700); err != nil {
+		return tls.Certificate{}, fmt.Errorf("secure: create %s: %w", dir, err)
+	}
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return tls.Certificate{}, fmt.Errorf("secure: generate key: %w", err)
+	}
+	serial, err := rand.Int(rand.Reader, new(big.Int).Lsh(big.NewInt(1), 128))
+	if err != nil {
+		return tls.Certificate{}, fmt.Errorf("secure: serial: %w", err)
+	}
+	now := time.Now()
+	tmpl := x509.Certificate{
+		SerialNumber:          serial,
+		Subject:               pkix.Name{CommonName: "besteffs"},
+		NotBefore:             now.Add(-time.Hour), // tolerate peer clock skew
+		NotAfter:              now.Add(certLifetime),
+		KeyUsage:              x509.KeyUsageDigitalSignature | x509.KeyUsageKeyEncipherment,
+		ExtKeyUsage:           []x509.ExtKeyUsage{x509.ExtKeyUsageServerAuth, x509.ExtKeyUsageClientAuth},
+		BasicConstraintsValid: true,
+	}
+	der, err := x509.CreateCertificate(rand.Reader, &tmpl, &tmpl, &key.PublicKey, key)
+	if err != nil {
+		return tls.Certificate{}, fmt.Errorf("secure: create certificate: %w", err)
+	}
+	keyDER, err := x509.MarshalECPrivateKey(key)
+	if err != nil {
+		return tls.Certificate{}, fmt.Errorf("secure: marshal key: %w", err)
+	}
+	certPEM := pem.EncodeToMemory(&pem.Block{Type: "CERTIFICATE", Bytes: der})
+	keyPEM := pem.EncodeToMemory(&pem.Block{Type: "EC PRIVATE KEY", Bytes: keyDER})
+	// Key first: a crash between the writes leaves no cert, so the next boot
+	// regenerates both instead of loading a cert with no key.
+	if err := os.WriteFile(keyPath, keyPEM, 0o600); err != nil {
+		return tls.Certificate{}, fmt.Errorf("secure: write key: %w", err)
+	}
+	if err := os.WriteFile(certPath, certPEM, 0o644); err != nil {
+		return tls.Certificate{}, fmt.Errorf("secure: write certificate: %w", err)
+	}
+	cert, err := tls.X509KeyPair(certPEM, keyPEM)
+	if err != nil {
+		return tls.Certificate{}, fmt.Errorf("secure: assemble key pair: %w", err)
+	}
+	return cert, nil
+}
+
+// ErrNotAllowed reports a handshake refused by the allowlist. It surfaces
+// inside the peer's handshake error, so the refusal happens before any
+// opcode is read.
+var ErrNotAllowed = errors.New("secure: device not in cluster allowlist")
+
+// Allowlist pins the device IDs admitted to a cluster. A nil or empty
+// allowlist admits any authenticated device: the session is still mutually
+// authenticated and encrypted, membership is just open -- the mode a
+// cluster bootstraps in before the operator pins IDs. The set is safe for
+// concurrent use, so membership changes can feed it live.
+type Allowlist struct {
+	mu  sync.RWMutex
+	ids map[DeviceID]bool
+}
+
+// NewAllowlist builds an allowlist over the given device IDs.
+func NewAllowlist(ids ...DeviceID) *Allowlist {
+	a := &Allowlist{ids: make(map[DeviceID]bool, len(ids))}
+	for _, id := range ids {
+		a.ids[id] = true
+	}
+	return a
+}
+
+// Add admits a device ID.
+func (a *Allowlist) Add(id DeviceID) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.ids == nil {
+		a.ids = make(map[DeviceID]bool)
+	}
+	a.ids[id] = true
+}
+
+// Allow reports whether id may connect. Nil receiver or empty set = open.
+func (a *Allowlist) Allow(id DeviceID) bool {
+	if a == nil {
+		return true
+	}
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return len(a.ids) == 0 || a.ids[id]
+}
+
+// Len reports how many device IDs are pinned (0 = open).
+func (a *Allowlist) Len() int {
+	if a == nil {
+		return 0
+	}
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return len(a.ids)
+}
+
+// verifyPeer is the VerifyPeerCertificate hook shared by both sides: the
+// peer must present a certificate (mutual auth) and its device ID must pass
+// the allowlist. Chain verification is deliberately absent -- identity is
+// the key hash, BEP-style.
+func verifyPeer(allow *Allowlist) func(rawCerts [][]byte, _ [][]*x509.Certificate) error {
+	return func(rawCerts [][]byte, _ [][]*x509.Certificate) error {
+		if len(rawCerts) == 0 {
+			return errors.New("secure: peer presented no certificate")
+		}
+		leaf, err := x509.ParseCertificate(rawCerts[0])
+		if err != nil {
+			return fmt.Errorf("secure: parse peer certificate: %w", err)
+		}
+		if id := IDFromCert(leaf); !allow.Allow(id) {
+			return fmt.Errorf("%w: %s", ErrNotAllowed, id.Short())
+		}
+		return nil
+	}
+}
+
+// ServerConfig builds the accept-side TLS configuration: present cert,
+// require a client certificate, and verify the client's device ID against
+// the allowlist during the handshake.
+func ServerConfig(cert tls.Certificate, allow *Allowlist) *tls.Config {
+	return &tls.Config{
+		MinVersion:            tls.VersionTLS12,
+		Certificates:          []tls.Certificate{cert},
+		ClientAuth:            tls.RequireAnyClientCert,
+		VerifyPeerCertificate: verifyPeer(allow),
+	}
+}
+
+// ClientConfig builds the dial-side TLS configuration: present cert and pin
+// the server by device ID instead of by certificate chain
+// (InsecureSkipVerify defers entirely to VerifyPeerCertificate, which
+// always runs).
+func ClientConfig(cert tls.Certificate, allow *Allowlist) *tls.Config {
+	return &tls.Config{
+		MinVersion:            tls.VersionTLS12,
+		Certificates:          []tls.Certificate{cert},
+		InsecureSkipVerify:    true,
+		VerifyPeerCertificate: verifyPeer(allow),
+	}
+}
+
+// Dialer returns a dial function that establishes a TLS session within
+// timeout, completing the handshake eagerly so certificate refusals fail
+// the dial instead of the first request. It plugs directly into
+// member.Config.Dial and the client dial paths.
+func Dialer(cfg *tls.Config, timeout time.Duration) func(addr string) (net.Conn, error) {
+	return func(addr string) (net.Conn, error) {
+		raw, err := net.DialTimeout("tcp", addr, timeout)
+		if err != nil {
+			return nil, err
+		}
+		conn := tls.Client(raw, cfg)
+		if err := handshake(conn, timeout); err != nil {
+			//lint:ignore uncheckederr closing a failed connection; the error adds nothing
+			raw.Close()
+			return nil, fmt.Errorf("secure: handshake with %s: %w", addr, err)
+		}
+		return conn, nil
+	}
+}
+
+// handshake completes conn's TLS handshake under a deadline, so a peer that
+// accepts TCP but never speaks TLS fails fast instead of hanging the dial.
+func handshake(conn *tls.Conn, timeout time.Duration) error {
+	if timeout > 0 {
+		if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
+			return err
+		}
+	}
+	if err := conn.Handshake(); err != nil {
+		return err
+	}
+	if timeout > 0 {
+		return conn.SetDeadline(time.Time{})
+	}
+	return nil
+}
+
+// PeerID extracts the device ID a TLS connection's peer authenticated
+// with, or "" for cleartext connections and unfinished handshakes.
+func PeerID(conn net.Conn) DeviceID {
+	tc, ok := conn.(*tls.Conn)
+	if !ok {
+		return ""
+	}
+	state := tc.ConnectionState()
+	if !state.HandshakeComplete || len(state.PeerCertificates) == 0 {
+		return ""
+	}
+	return IDFromCert(state.PeerCertificates[0])
+}

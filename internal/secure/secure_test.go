@@ -1,0 +1,282 @@
+package secure
+
+import (
+	"crypto/tls"
+	"errors"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestLoadOrCreatePersistsIdentity(t *testing.T) {
+	dir := t.TempDir()
+	cert, err := LoadOrCreate(dir)
+	if err != nil {
+		t.Fatalf("first boot: %v", err)
+	}
+	id, err := IDFromTLSCert(cert)
+	if err != nil {
+		t.Fatalf("device id: %v", err)
+	}
+	if len(id) != 64 {
+		t.Fatalf("device id %q is not a hex sha-256", id)
+	}
+	if fi, err := os.Stat(filepath.Join(dir, KeyFile)); err != nil {
+		t.Fatalf("key file: %v", err)
+	} else if perm := fi.Mode().Perm(); perm != 0o600 {
+		t.Errorf("key file mode %o, want 600", perm)
+	}
+
+	// A second boot loads the same identity instead of minting a new one.
+	again, err := LoadOrCreate(dir)
+	if err != nil {
+		t.Fatalf("second boot: %v", err)
+	}
+	id2, err := IDFromTLSCert(again)
+	if err != nil {
+		t.Fatalf("device id: %v", err)
+	}
+	if id2 != id {
+		t.Fatalf("identity changed across boots: %s != %s", id2.Short(), id.Short())
+	}
+
+	// A fresh directory is a fresh device.
+	other, err := LoadOrCreate(t.TempDir())
+	if err != nil {
+		t.Fatalf("other boot: %v", err)
+	}
+	id3, err := IDFromTLSCert(other)
+	if err != nil {
+		t.Fatalf("device id: %v", err)
+	}
+	if id3 == id {
+		t.Fatal("two independent directories produced the same device ID")
+	}
+}
+
+func TestLoadOrCreateRegeneratesAfterPartialWrite(t *testing.T) {
+	// Key-only state (crash between the two writes) must regenerate, not
+	// fail to load.
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, KeyFile), []byte("garbage"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadOrCreate(dir); err != nil {
+		t.Fatalf("regenerate over orphaned key: %v", err)
+	}
+}
+
+func TestDeviceIDShort(t *testing.T) {
+	if got := DeviceID("abcdef0123456789").Short(); got != "abcdef012345" {
+		t.Errorf("Short() = %q", got)
+	}
+	if got := DeviceID("ab").Short(); got != "ab" {
+		t.Errorf("Short() on short id = %q", got)
+	}
+}
+
+func TestAllowlistSemantics(t *testing.T) {
+	var nilList *Allowlist
+	if !nilList.Allow("anything") {
+		t.Error("nil allowlist must admit any authenticated device")
+	}
+	empty := NewAllowlist()
+	if !empty.Allow("anything") {
+		t.Error("empty allowlist must admit any authenticated device")
+	}
+	pinned := NewAllowlist("aa", "bb")
+	if !pinned.Allow("aa") || !pinned.Allow("bb") {
+		t.Error("pinned IDs must be admitted")
+	}
+	if pinned.Allow("cc") {
+		t.Error("unpinned ID must be refused")
+	}
+	pinned.Add("cc")
+	if !pinned.Allow("cc") {
+		t.Error("Add must admit the new ID")
+	}
+	if pinned.Len() != 3 {
+		t.Errorf("Len() = %d, want 3", pinned.Len())
+	}
+}
+
+// handshakePair runs a full TLS handshake between a listener configured with
+// ServerConfig and a dialer using Dialer, then confirms the session with a
+// one-byte exchange (under TLS 1.3 a server's client-cert refusal surfaces
+// on the client's first read, not its Handshake call). Returns both sides'
+// errors.
+func handshakePair(t *testing.T, server, client *tls.Config) (serverErr, clientErr error) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	done := make(chan error, 1)
+	go func() {
+		raw, err := ln.Accept()
+		if err != nil {
+			done <- err
+			return
+		}
+		defer raw.Close()
+		tc := tls.Server(raw, server)
+		if err := handshake(tc, 2*time.Second); err != nil {
+			done <- err
+			return
+		}
+		_, err = tc.Write([]byte{0})
+		done <- err
+	}()
+	conn, err := Dialer(client, 2*time.Second)(ln.Addr().String())
+	if err != nil {
+		return <-done, err
+	}
+	defer conn.Close()
+	if err := conn.SetReadDeadline(time.Now().Add(2 * time.Second)); err != nil {
+		return <-done, err
+	}
+	_, err = conn.Read(make([]byte, 1))
+	return <-done, err
+}
+
+func TestMutualAuthHandshake(t *testing.T) {
+	serverCert, err := LoadOrCreate(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	clientCert, err := LoadOrCreate(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	serverID, _ := IDFromTLSCert(serverCert)
+	clientID, _ := IDFromTLSCert(clientCert)
+
+	t.Run("both allowlisted", func(t *testing.T) {
+		sErr, cErr := handshakePair(t,
+			ServerConfig(serverCert, NewAllowlist(clientID)),
+			ClientConfig(clientCert, NewAllowlist(serverID)))
+		if sErr != nil || cErr != nil {
+			t.Fatalf("handshake failed: server=%v client=%v", sErr, cErr)
+		}
+	})
+
+	t.Run("open allowlist admits any device", func(t *testing.T) {
+		sErr, cErr := handshakePair(t,
+			ServerConfig(serverCert, nil),
+			ClientConfig(clientCert, nil))
+		if sErr != nil || cErr != nil {
+			t.Fatalf("handshake failed: server=%v client=%v", sErr, cErr)
+		}
+	})
+
+	t.Run("unknown client refused by server", func(t *testing.T) {
+		sErr, cErr := handshakePair(t,
+			ServerConfig(serverCert, NewAllowlist("someone-else")),
+			ClientConfig(clientCert, nil))
+		if sErr == nil {
+			t.Fatal("server accepted a device not in its allowlist")
+		}
+		if !strings.Contains(sErr.Error(), "allowlist") {
+			t.Errorf("server error %v does not mention the allowlist", sErr)
+		}
+		if cErr == nil {
+			t.Fatal("client session survived a refused handshake")
+		}
+	})
+
+	t.Run("unknown server refused by client", func(t *testing.T) {
+		_, cErr := handshakePair(t,
+			ServerConfig(serverCert, nil),
+			ClientConfig(clientCert, NewAllowlist("someone-else")))
+		if cErr == nil {
+			t.Fatal("client accepted a server not in its allowlist")
+		}
+		if !errors.Is(cErr, ErrNotAllowed) {
+			t.Errorf("client error %v, want ErrNotAllowed", cErr)
+		}
+	})
+}
+
+func TestDialerFailsFastAgainstCleartextServer(t *testing.T) {
+	// A TCP server that accepts but never speaks TLS: the handshake deadline
+	// must bound the dial.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			// Hold the connection open silently.
+			defer conn.Close()
+		}
+	}()
+	cert, err := LoadOrCreate(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, err = Dialer(ClientConfig(cert, nil), 500*time.Millisecond)(ln.Addr().String())
+	if err == nil {
+		t.Fatal("dial to a silent cleartext server succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("dial took %v; the handshake deadline did not bound it", elapsed)
+	}
+}
+
+func TestPeerIDOnConnections(t *testing.T) {
+	serverCert, err := LoadOrCreate(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	clientCert, err := LoadOrCreate(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	clientID, _ := IDFromTLSCert(clientCert)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	got := make(chan DeviceID, 1)
+	go func() {
+		raw, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer raw.Close()
+		tc := tls.Server(raw, ServerConfig(serverCert, nil))
+		if err := handshake(tc, 2*time.Second); err != nil {
+			got <- ""
+			return
+		}
+		got <- PeerID(tc)
+	}()
+	conn, err := Dialer(ClientConfig(clientCert, nil), 2*time.Second)(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if id := <-got; id != clientID {
+		t.Errorf("server saw peer %s, want %s", id.Short(), clientID.Short())
+	}
+
+	// Cleartext connections have no device identity.
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	if id := PeerID(a); id != "" {
+		t.Errorf("cleartext PeerID = %q, want empty", id)
+	}
+}

@@ -31,8 +31,10 @@ const replicateTimeout = 5 * time.Second
 // Membership is the server's view of the gossip agent (internal/member).
 type Membership interface {
 	// HandleGossip merges one incoming heartbeat and returns the local
-	// view plus the push-pull return share.
-	HandleGossip(g *wire.Gossip) *wire.GossipResult
+	// view plus the push-pull return share -- or a wire.ErrorMsg with
+	// CodeConfigMismatch when the sender's cluster config conflicts with
+	// this node's at an equal version.
+	HandleGossip(g *wire.Gossip) wire.Message
 	// Members lists every known node, self included.
 	Members() []wire.MemberInfo
 }
@@ -115,6 +117,96 @@ func (s *Server) handleIndexDiff(m *wire.IndexDiff) wire.Message {
 	res := &wire.IndexDiffResult{}
 	remote := make(map[object.ID]bool, len(m.Entries))
 	for _, e := range m.Entries {
+		remote[e.ID] = true
+		l, ok := byID[e.ID]
+		switch {
+		case !ok:
+			res.Need = append(res.Need, e.ID)
+		case wire.Supersedes(e.Version, l.Version, e.CRC, l.CRC):
+			res.Need = append(res.Need, e.ID)
+		case wire.Supersedes(l.Version, e.Version, l.CRC, e.CRC):
+			res.Missing = append(res.Missing, l)
+		}
+	}
+	for _, l := range local {
+		if !remote[l.ID] {
+			res.Missing = append(res.Missing, l)
+		}
+	}
+	return res
+}
+
+// maxPeerMirrors caps the index mirrors kept for INDEX_DELTA callers. An
+// evicted peer is not broken, just demoted: its next delta misses the
+// sequence check and resyncs with a full snapshot.
+const maxPeerMirrors = 64
+
+// peerMirror is this node's copy of one anti-entropy caller's index: the
+// entries it sent, the sequence of its last applied exchange, and the
+// threshold the entries were filtered by. A delta whose BaseSeq or threshold
+// does not match is refused with Resync -- the caller's view of what we
+// mirror has diverged (restart, eviction, lost ack) and only a full snapshot
+// re-establishes it.
+type peerMirror struct {
+	seq       uint64
+	threshold float64
+	entries   map[object.ID]wire.IndexEntry
+}
+
+// handleIndexDelta answers the incremental INDEX_DIFF: apply the caller's
+// delta to our mirror of its index, then run the same comparison as
+// handleIndexDiff against the mirrored entries. Full snapshots replace the
+// mirror unconditionally; partial deltas must extend the exact state we
+// acknowledged (m.BaseSeq, same threshold) or the caller is told to Resync.
+func (s *Server) handleIndexDelta(m *wire.IndexDelta) wire.Message {
+	s.peerIdxMu.Lock()
+	if s.peerIdx == nil {
+		s.peerIdx = make(map[string]*peerMirror)
+	}
+	pm := s.peerIdx[m.From]
+	switch {
+	case m.Full:
+		entries := make(map[object.ID]wire.IndexEntry, len(m.Upserts))
+		for _, e := range m.Upserts {
+			entries[e.ID] = e
+		}
+		pm = &peerMirror{seq: m.Seq, threshold: m.Threshold, entries: entries}
+		if s.peerIdx[m.From] == nil && len(s.peerIdx) >= maxPeerMirrors {
+			// Evict an arbitrary mirror; that peer just resyncs.
+			for k := range s.peerIdx {
+				delete(s.peerIdx, k)
+				break
+			}
+		}
+		s.peerIdx[m.From] = pm
+	case pm == nil || pm.seq != m.BaseSeq || pm.threshold != m.Threshold:
+		s.peerIdxMu.Unlock()
+		return &wire.IndexDeltaResult{Resync: true}
+	default:
+		for _, e := range m.Upserts {
+			pm.entries[e.ID] = e
+		}
+		for _, id := range m.Removed {
+			delete(pm.entries, id)
+		}
+		pm.seq = m.Seq
+	}
+	// Snapshot the mirror before unlocking: IndexEntries reads payload
+	// checksums and must not run under peerIdxMu.
+	mirrored := make([]wire.IndexEntry, 0, len(pm.entries))
+	for _, e := range pm.entries {
+		mirrored = append(mirrored, e)
+	}
+	s.peerIdxMu.Unlock()
+
+	local := s.IndexEntries(m.Threshold)
+	byID := make(map[object.ID]wire.IndexEntry, len(local))
+	for _, e := range local {
+		byID[e.ID] = e
+	}
+	res := &wire.IndexDeltaResult{AckSeq: m.Seq}
+	remote := make(map[object.ID]bool, len(mirrored))
+	for _, e := range mirrored {
 		remote[e.ID] = true
 		l, ok := byID[e.ID]
 		switch {

@@ -91,6 +91,13 @@ type Server struct {
 	repl         Replicator
 	repairedGets *metrics.Counter
 
+	// Per-peer index mirrors behind INDEX_DELTA: each anti-entropy caller's
+	// last-acknowledged index snapshot, so steady-state passes ship only
+	// changes. Bounded (maxPeerMirrors); eviction just forces that peer back
+	// to a full exchange.
+	peerIdxMu sync.Mutex
+	peerIdx   map[string]*peerMirror
+
 	// Telemetry: the span ring behind TRACE_DUMP and the flight recorder
 	// behind EVENTS. Always on -- both are fixed-size and lock-free.
 	spans  *telemetry.SpanRing
@@ -789,6 +796,8 @@ func (s *Server) executeTraced(msg wire.Message, sc telemetry.SpanContext) wire.
 		return &wire.IndexResult{Entries: s.IndexEntries(msg.(*wire.Index).Threshold)}
 	case wire.OpIndexDiff:
 		return s.handleIndexDiff(msg.(*wire.IndexDiff))
+	case wire.OpIndexDelta:
+		return s.handleIndexDelta(msg.(*wire.IndexDelta))
 	case wire.OpGossip:
 		if s.membership == nil {
 			return errNotClustered("membership")

@@ -40,6 +40,11 @@ const (
 	EventQuarantine
 	// EventHeal: a quarantined object was restored from a replica.
 	EventHeal
+	// EventConfigMismatch: a gossip exchange carried a cluster config that
+	// conflicted with ours -- adopted when strictly newer, rejected when it
+	// disagreed at an equal version (Detail says which; Peer is the other
+	// side).
+	EventConfigMismatch
 )
 
 // String returns the kind mnemonic.
@@ -65,6 +70,8 @@ func (k EventKind) String() string {
 		return "quarantine"
 	case EventHeal:
 		return "heal"
+	case EventConfigMismatch:
+		return "config-mismatch"
 	default:
 		return fmt.Sprintf("event(%d)", uint8(k))
 	}

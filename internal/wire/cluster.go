@@ -319,11 +319,167 @@ func decodeIndexDiffResult(c *cursor) (Message, error) {
 	return m, nil
 }
 
+// IndexDelta is the incremental successor to IndexDiff: instead of
+// resending the full above-threshold index every anti-entropy pass, the
+// caller sends only the entries added, changed or removed since the
+// receiver last acknowledged its sequence. Seq numbers the caller's
+// snapshot generations per peer; BaseSeq is the generation the delta
+// applies on top of. Full carries a complete snapshot (first contact, or
+// recovery after a sequence gap). The receiver reconstructs the caller's
+// index from its mirror, answers with the same Missing/Need comparison
+// IndexDiff performs, and acknowledges Seq -- or asks for a resync when its
+// mirror does not match BaseSeq (restart on either side, eviction of the
+// mirror, or a changed threshold).
+type IndexDelta struct {
+	// From identifies the caller's mirror on the receiver (its serving
+	// address, stable across connections).
+	From      string
+	Threshold float64
+	BaseSeq   uint64
+	Seq       uint64
+	Full      bool
+	// Upserts are entries added or superseded since BaseSeq (the whole
+	// index when Full).
+	Upserts []IndexEntry
+	// Removed are IDs that dropped out of the above-threshold index.
+	Removed []object.ID
+}
+
+// Op implements Message.
+func (*IndexDelta) Op() Op { return OpIndexDelta }
+
+func (m *IndexDelta) sizeHint() int { return 64 + 64*len(m.Upserts) + 32*len(m.Removed) }
+
+func (m *IndexDelta) append(dst []byte) ([]byte, error) {
+	dst = appendU8(dst, uint8(OpIndexDelta))
+	dst, err := appendStr(dst, m.From)
+	if err != nil {
+		return nil, err
+	}
+	dst = appendF64(dst, m.Threshold)
+	dst = appendU64(dst, m.BaseSeq)
+	dst = appendU64(dst, m.Seq)
+	dst = appendU8(dst, boolByte(m.Full))
+	if dst, err = appendIndexEntries(dst, m.Upserts); err != nil {
+		return nil, err
+	}
+	dst = appendU32(dst, uint32(len(m.Removed)))
+	for _, id := range m.Removed {
+		if dst, err = appendStr(dst, string(id)); err != nil {
+			return nil, err
+		}
+	}
+	return dst, nil
+}
+
+func decodeIndexDelta(c *cursor) (Message, error) {
+	m := &IndexDelta{}
+	var err error
+	if m.From, err = c.str(); err != nil {
+		return nil, err
+	}
+	if m.Threshold, err = c.f64(); err != nil {
+		return nil, err
+	}
+	if m.BaseSeq, err = c.u64(); err != nil {
+		return nil, err
+	}
+	if m.Seq, err = c.u64(); err != nil {
+		return nil, err
+	}
+	full, err := c.u8()
+	if err != nil {
+		return nil, err
+	}
+	m.Full = full != 0
+	if m.Upserts, err = decodeIndexEntries(c); err != nil {
+		return nil, err
+	}
+	n, err := c.u32()
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < int(n); i++ {
+		id, err := c.str()
+		if err != nil {
+			return nil, err
+		}
+		m.Removed = append(m.Removed, object.ID(id))
+	}
+	return m, nil
+}
+
+// IndexDeltaResult answers an IndexDelta. When Resync is set the receiver
+// could not apply the delta (sequence gap); the caller must resend Full and
+// the comparison fields are empty. Otherwise AckSeq acknowledges the
+// applied generation and Missing/Need carry the IndexDiff-style comparison
+// against the receiver's own index.
+type IndexDeltaResult struct {
+	Resync bool
+	AckSeq uint64
+	// Missing lists objects the receiver holds that the caller lacks or
+	// holds a superseded copy of: candidates for the caller to pull.
+	Missing []IndexEntry
+	// Need lists IDs the caller advertised that the receiver lacks or
+	// holds a superseded copy of.
+	Need []object.ID
+}
+
+// Op implements Message.
+func (*IndexDeltaResult) Op() Op { return OpIndexDeltaResult }
+
+func (m *IndexDeltaResult) sizeHint() int { return 32 + 64*len(m.Missing) + 32*len(m.Need) }
+
+func (m *IndexDeltaResult) append(dst []byte) ([]byte, error) {
+	dst = appendU8(dst, uint8(OpIndexDeltaResult))
+	dst = appendU8(dst, boolByte(m.Resync))
+	dst = appendU64(dst, m.AckSeq)
+	dst, err := appendIndexEntries(dst, m.Missing)
+	if err != nil {
+		return nil, err
+	}
+	dst = appendU32(dst, uint32(len(m.Need)))
+	for _, id := range m.Need {
+		if dst, err = appendStr(dst, string(id)); err != nil {
+			return nil, err
+		}
+	}
+	return dst, nil
+}
+
+func decodeIndexDeltaResult(c *cursor) (Message, error) {
+	m := &IndexDeltaResult{}
+	resync, err := c.u8()
+	if err != nil {
+		return nil, err
+	}
+	m.Resync = resync != 0
+	if m.AckSeq, err = c.u64(); err != nil {
+		return nil, err
+	}
+	if m.Missing, err = decodeIndexEntries(c); err != nil {
+		return nil, err
+	}
+	n, err := c.u32()
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < int(n); i++ {
+		id, err := c.str()
+		if err != nil {
+			return nil, err
+		}
+		m.Need = append(m.Need, object.ID(id))
+	}
+	return m, nil
+}
+
 // MemberInfo advertises one node's identity and placement state: its
 // address, boot incarnation, per-incarnation version (bumped by the origin
 // on every heartbeat, so staleness is totally ordered), the highest
 // importance a put would currently preempt (the Section 5.3 placement key),
-// free bytes, and importance density.
+// free bytes, importance density, the node's TLS device ID (empty on
+// cleartext clusters), and the cluster-config version it is enforcing.
 type MemberInfo struct {
 	Addr        string
 	Incarnation uint64
@@ -332,6 +488,12 @@ type MemberInfo struct {
 	Free        int64
 	Density     float64
 	Alive       bool
+	// Device is the hex hash of the node's certificate public key; ""
+	// when the node runs cleartext.
+	Device string
+	// ConfigVersion is the cluster-config version the node has adopted;
+	// 0 means no opinion yet.
+	ConfigVersion uint64
 }
 
 func appendMemberInfo(dst []byte, mi MemberInfo) ([]byte, error) {
@@ -345,6 +507,10 @@ func appendMemberInfo(dst []byte, mi MemberInfo) ([]byte, error) {
 	dst = appendU64(dst, uint64(mi.Free))
 	dst = appendF64(dst, mi.Density)
 	dst = appendU8(dst, boolByte(mi.Alive))
+	if dst, err = appendStr(dst, mi.Device); err != nil {
+		return nil, err
+	}
+	dst = appendU64(dst, mi.ConfigVersion)
 	return dst, nil
 }
 
@@ -376,6 +542,12 @@ func decodeMemberInfo(c *cursor) (MemberInfo, error) {
 		return mi, err
 	}
 	mi.Alive = alive != 0
+	if mi.Device, err = c.str(); err != nil {
+		return mi, err
+	}
+	if mi.ConfigVersion, err = c.u64(); err != nil {
+		return mi, err
+	}
 	return mi, nil
 }
 
@@ -406,23 +578,100 @@ func decodeMemberInfos(c *cursor) ([]MemberInfo, error) {
 	return members, nil
 }
 
+// ClusterConfig is the versioned policy every replica must jointly enforce:
+// replication factor R, the initial-importance replication threshold, and
+// the gossip/repair cadences. Versions are monotonic and minted by the
+// origin node; a node seeing a higher version adopts it, so the whole
+// cluster converges to one policy instead of silently drifting on per-node
+// flags. Version 0 means "no opinion": the zero value is both the
+// wire-compatible default and the join-time stance of a node that defers to
+// the cluster.
+type ClusterConfig struct {
+	Version uint64
+	// Origin is the address of the node that minted this version.
+	Origin string
+	// Replicas is the replication factor R.
+	Replicas uint32
+	// Threshold is the initial-importance replication threshold.
+	Threshold float64
+	// GossipIntervalNanos and RepairIntervalNanos are the loop cadences;
+	// carried for consistency checking, applied at restart.
+	GossipIntervalNanos int64
+	RepairIntervalNanos int64
+}
+
+// IsZero reports whether the config carries no opinion.
+func (c ClusterConfig) IsZero() bool { return c.Version == 0 }
+
+// SamePolicy reports whether two configs agree on the enforced policy
+// (everything but the version bookkeeping).
+func (c ClusterConfig) SamePolicy(o ClusterConfig) bool {
+	return c.Replicas == o.Replicas && c.Threshold == o.Threshold &&
+		c.GossipIntervalNanos == o.GossipIntervalNanos &&
+		c.RepairIntervalNanos == o.RepairIntervalNanos
+}
+
+func appendClusterConfig(dst []byte, cc ClusterConfig) ([]byte, error) {
+	dst = appendU64(dst, cc.Version)
+	dst, err := appendStr(dst, cc.Origin)
+	if err != nil {
+		return nil, err
+	}
+	dst = appendU32(dst, cc.Replicas)
+	dst = appendF64(dst, cc.Threshold)
+	dst = appendU64(dst, uint64(cc.GossipIntervalNanos))
+	dst = appendU64(dst, uint64(cc.RepairIntervalNanos))
+	return dst, nil
+}
+
+func decodeClusterConfig(c *cursor) (ClusterConfig, error) {
+	var cc ClusterConfig
+	var err error
+	if cc.Version, err = c.u64(); err != nil {
+		return cc, err
+	}
+	if cc.Origin, err = c.str(); err != nil {
+		return cc, err
+	}
+	if cc.Replicas, err = c.u32(); err != nil {
+		return cc, err
+	}
+	if cc.Threshold, err = c.f64(); err != nil {
+		return cc, err
+	}
+	gi, err := c.u64()
+	if err != nil {
+		return cc, err
+	}
+	cc.GossipIntervalNanos = int64(gi)
+	ri, err := c.u64()
+	if err != nil {
+		return cc, err
+	}
+	cc.RepairIntervalNanos = int64(ri)
+	return cc, nil
+}
+
 // Gossip carries one membership heartbeat: the sender's own advertisement,
-// its view of the cluster, and a push-sum share (Kempe et al.) for the
+// its view of the cluster, a push-sum share (Kempe et al.) for the
 // cluster-wide density average, scoped to an epoch so restarts cannot leak
-// mass forever. Answered by a GossipResult carrying the receiver's view and
-// return share (push-pull).
+// mass forever, and the sender's cluster config so policy converges at the
+// same cadence as membership. Answered by a GossipResult carrying the
+// receiver's view and return share (push-pull), or by an Error with
+// CodeConfigMismatch when the configs conflict at equal versions.
 type Gossip struct {
 	From        MemberInfo
 	Epoch       uint64
 	ShareValue  float64
 	ShareWeight float64
 	Members     []MemberInfo
+	Config      ClusterConfig
 }
 
 // Op implements Message.
 func (*Gossip) Op() Op { return OpGossip }
 
-func (m *Gossip) sizeHint() int { return 96 + 80*(len(m.Members)+1) }
+func (m *Gossip) sizeHint() int { return 160 + 80*(len(m.Members)+1) }
 
 func (m *Gossip) append(dst []byte) ([]byte, error) {
 	dst = appendU8(dst, uint8(OpGossip))
@@ -433,7 +682,10 @@ func (m *Gossip) append(dst []byte) ([]byte, error) {
 	dst = appendU64(dst, m.Epoch)
 	dst = appendF64(dst, m.ShareValue)
 	dst = appendF64(dst, m.ShareWeight)
-	return appendMemberInfos(dst, m.Members)
+	if dst, err = appendMemberInfos(dst, m.Members); err != nil {
+		return nil, err
+	}
+	return appendClusterConfig(dst, m.Config)
 }
 
 func decodeGossip(c *cursor) (Message, error) {
@@ -454,28 +706,37 @@ func decodeGossip(c *cursor) (Message, error) {
 	if m.Members, err = decodeMemberInfos(c); err != nil {
 		return nil, err
 	}
+	if m.Config, err = decodeClusterConfig(c); err != nil {
+		return nil, err
+	}
 	return m, nil
 }
 
-// GossipResult answers a Gossip with the receiver's view and return share.
+// GossipResult answers a Gossip with the receiver's view, return share, and
+// cluster config.
 type GossipResult struct {
 	Epoch       uint64
 	ShareValue  float64
 	ShareWeight float64
 	Members     []MemberInfo
+	Config      ClusterConfig
 }
 
 // Op implements Message.
 func (*GossipResult) Op() Op { return OpGossipResult }
 
-func (m *GossipResult) sizeHint() int { return 64 + 80*len(m.Members) }
+func (m *GossipResult) sizeHint() int { return 128 + 80*len(m.Members) }
 
 func (m *GossipResult) append(dst []byte) ([]byte, error) {
 	dst = appendU8(dst, uint8(OpGossipResult))
 	dst = appendU64(dst, m.Epoch)
 	dst = appendF64(dst, m.ShareValue)
 	dst = appendF64(dst, m.ShareWeight)
-	return appendMemberInfos(dst, m.Members)
+	dst, err := appendMemberInfos(dst, m.Members)
+	if err != nil {
+		return nil, err
+	}
+	return appendClusterConfig(dst, m.Config)
 }
 
 func decodeGossipResult(c *cursor) (Message, error) {
@@ -491,6 +752,9 @@ func decodeGossipResult(c *cursor) (Message, error) {
 		return nil, err
 	}
 	if m.Members, err = decodeMemberInfos(c); err != nil {
+		return nil, err
+	}
+	if m.Config, err = decodeClusterConfig(c); err != nil {
 		return nil, err
 	}
 	return m, nil

@@ -17,8 +17,13 @@ func TestClusterMessageRoundTrips(t *testing.T) {
 		{ID: "b/2", Version: 1, CRC: 7, Size: 1, Initial: 1, AgeNanos: 0},
 	}
 	members := []MemberInfo{
-		{Addr: "10.0.0.1:7070", Incarnation: 11, Version: 3, Boundary: 0.25, Free: 1 << 30, Density: 0.8, Alive: true},
+		{Addr: "10.0.0.1:7070", Incarnation: 11, Version: 3, Boundary: 0.25, Free: 1 << 30, Density: 0.8, Alive: true,
+			Device: "ab12cd34ef56", ConfigVersion: 3},
 		{Addr: "10.0.0.2:7070", Incarnation: 9, Version: 88, Boundary: 0, Free: 0, Density: 0.1, Alive: false},
+	}
+	cfg := ClusterConfig{
+		Version: 3, Origin: "10.0.0.1:7070", Replicas: 2, Threshold: 0.8,
+		GossipIntervalNanos: int64(time.Second), RepairIntervalNanos: int64(30 * time.Second),
 	}
 	tests := []Message{
 		&Replicate{
@@ -35,9 +40,20 @@ func TestClusterMessageRoundTrips(t *testing.T) {
 		&IndexDiffResult{},
 		&Gossip{
 			From: members[0], Epoch: 4,
-			ShareValue: 0.41, ShareWeight: 0.5, Members: members,
+			ShareValue: 0.41, ShareWeight: 0.5, Members: members, Config: cfg,
 		},
-		&GossipResult{Epoch: 4, ShareValue: 0.2, ShareWeight: 0.25, Members: members},
+		&Gossip{From: members[1]},
+		&GossipResult{Epoch: 4, ShareValue: 0.2, ShareWeight: 0.25, Members: members, Config: cfg},
+		&GossipResult{},
+		&IndexDelta{
+			From: "10.0.0.1:7070", Threshold: 0.8, BaseSeq: 6, Seq: 7,
+			Upserts: entries, Removed: []object.ID{"e", "f"},
+		},
+		&IndexDelta{From: "10.0.0.2:7070", Full: true, Seq: 1, Upserts: entries},
+		&IndexDelta{},
+		&IndexDeltaResult{AckSeq: 7, Missing: entries, Need: []object.ID{"c"}},
+		&IndexDeltaResult{Resync: true},
+		&IndexDeltaResult{},
 		&Members{},
 		&MembersResult{Members: members},
 		&MembersResult{},

@@ -44,6 +44,23 @@ func FuzzDecode(f *testing.F) {
 		&EventsResult{Node: "h:1", Events: []EventRecord{
 			{Seq: 0, WallUnixNanos: 9, Kind: 2, ID: "a", Importance: 0.5, Boundary: 0.4, Detail: "swept"},
 		}},
+		&Gossip{
+			From:  MemberInfo{Addr: "h:1", Incarnation: 3, Version: 5, Alive: true, Device: "ab12", ConfigVersion: 2},
+			Epoch: 1, ShareValue: 0.5, ShareWeight: 0.25,
+			Config: ClusterConfig{Version: 2, Origin: "h:1", Replicas: 2, Threshold: 0.8,
+				GossipIntervalNanos: 1e9, RepairIntervalNanos: 5e9},
+		},
+		&GossipResult{Members: []MemberInfo{{Addr: "h:2", Alive: true}},
+			Config: ClusterConfig{Version: 1, Origin: "h:2", Replicas: 3, Threshold: 0.5}},
+		&IndexDelta{From: "h:1", Threshold: 0.8, BaseSeq: 4, Seq: 5,
+			Upserts: []IndexEntry{{ID: "a", Version: 2, CRC: 7, Size: 128, Initial: 0.9, AgeNanos: 11}},
+			Removed: []object.ID{"b"}},
+		&IndexDelta{From: "h:1", Full: true, Seq: 1,
+			Upserts: []IndexEntry{{ID: "a", Version: 1}}},
+		&IndexDeltaResult{AckSeq: 5,
+			Missing: []IndexEntry{{ID: "c", Version: 1, CRC: 9, Size: 64, Initial: 0.7}},
+			Need:    []object.ID{"a"}},
+		&IndexDeltaResult{Resync: true},
 	}
 	for _, m := range seeds {
 		body, err := Encode(m)

@@ -43,9 +43,22 @@ func TestDecodeNeverPanicsOnMutation(t *testing.T) {
 			Need:    []object.ID{"a"},
 		}),
 		mustEncode(t, &Gossip{
-			From:  MemberInfo{Addr: "h:1", Incarnation: 1, Version: 2, Boundary: 0.1, Free: 9, Density: 0.5, Alive: true},
+			From: MemberInfo{Addr: "h:1", Incarnation: 1, Version: 2, Boundary: 0.1, Free: 9, Density: 0.5, Alive: true,
+				Device: "f00d", ConfigVersion: 2},
 			Epoch: 3, ShareValue: 0.25, ShareWeight: 0.5,
 			Members: []MemberInfo{{Addr: "h:2", Alive: true}},
+			Config: ClusterConfig{Version: 2, Origin: "h:1", Replicas: 2, Threshold: 0.8,
+				GossipIntervalNanos: 1e9, RepairIntervalNanos: 3e10},
+		}),
+		mustEncode(t, &IndexDelta{
+			From: "h:1", Threshold: 0.8, BaseSeq: 3, Seq: 4,
+			Upserts: []IndexEntry{{ID: "d", Version: 2, CRC: 9, Size: 5, Initial: 0.95}},
+			Removed: []object.ID{"gone"},
+		}),
+		mustEncode(t, &IndexDeltaResult{
+			AckSeq:  4,
+			Missing: []IndexEntry{{ID: "m", Version: 1, CRC: 2, Size: 3, Initial: 0.9}},
+			Need:    []object.ID{"d"},
 		}),
 		mustEncode(t, &MembersResult{Members: []MemberInfo{{Addr: "h:3", Boundary: 0.4}}}),
 		mustEncode(t, &RepairStatusResult{Replicas: 2, Threshold: 0.8, Pushed: 5}),

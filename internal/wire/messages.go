@@ -96,6 +96,8 @@ func decodeMsg(c *cursor) (Message, error) {
 		m, err = decodeTraceDump(c)
 	case OpEvents:
 		m, err = decodeEvents(c)
+	case OpIndexDelta:
+		m, err = decodeIndexDelta(c)
 	case OpPutResult:
 		m, err = decodePutResult(c)
 	case OpObject:
@@ -132,6 +134,8 @@ func decodeMsg(c *cursor) (Message, error) {
 		m, err = decodeTraceDumpResult(c)
 	case OpEventsResult:
 		m, err = decodeEventsResult(c)
+	case OpIndexDeltaResult:
+		m, err = decodeIndexDeltaResult(c)
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrUnknownOp, op)
 	}
@@ -692,6 +696,9 @@ const (
 	CodeNotFound
 	CodeDuplicate
 	CodeBadRequest
+	// CodeConfigMismatch rejects a gossip join whose cluster config
+	// conflicts with the receiver's at an equal version.
+	CodeConfigMismatch
 )
 
 // ErrorMsg reports a request failure.

@@ -49,6 +49,7 @@ const (
 	OpRepairStatus
 	OpTraceDump
 	OpEvents
+	OpIndexDelta
 )
 
 // Response opcodes.
@@ -71,6 +72,7 @@ const (
 	OpRepairStatusResult
 	OpTraceDumpResult
 	OpEventsResult
+	OpIndexDeltaResult
 )
 
 // RequestOps lists every request opcode in wire order, for callers that
@@ -80,7 +82,7 @@ func RequestOps() []Op {
 		OpPut, OpGet, OpDelete, OpStat, OpProbe,
 		OpDensity, OpList, OpRejuvenate, OpUpdate, OpDensityHistory,
 		OpBatch, OpReplicate, OpIndex, OpIndexDiff, OpGossip,
-		OpMembers, OpRepairStatus, OpTraceDump, OpEvents,
+		OpMembers, OpRepairStatus, OpTraceDump, OpEvents, OpIndexDelta,
 	}
 }
 
@@ -125,6 +127,8 @@ func (o Op) String() string {
 		return "TRACE_DUMP"
 	case OpEvents:
 		return "EVENTS"
+	case OpIndexDelta:
+		return "INDEX_DELTA"
 	case OpPutResult:
 		return "PUT_RESULT"
 	case OpObject:
@@ -161,6 +165,8 @@ func (o Op) String() string {
 		return "TRACE_DUMP_RESULT"
 	case OpEventsResult:
 		return "EVENTS_RESULT"
+	case OpIndexDeltaResult:
+		return "INDEX_DELTA_RESULT"
 	default:
 		return fmt.Sprintf("OP(%d)", uint8(o))
 	}
