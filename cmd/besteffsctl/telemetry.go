@@ -67,7 +67,6 @@ func discoverAll(ctx context.Context, clients []*client.Client, addrs []string, 
 	}
 	return nodes, func() {
 		for _, c := range extras {
-			//lint:ignore uncheckederr closing a read-only introspection connection
 			c.Close()
 		}
 	}

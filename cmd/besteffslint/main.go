@@ -5,7 +5,8 @@
 //
 // Each finding prints as file:line:col: check: message. Flags:
 //
-//	-json            emit findings as a JSON array instead of text
+//	-format f        output format: text (default), json, or sarif
+//	-json            shorthand for -format json
 //	-checks a,b,...  run only the named checks (default: all)
 //	-list            print the available checks and exit
 //	-C dir           change to dir before resolving package patterns
@@ -19,19 +20,22 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"besteffs/internal/lint"
 )
 
 func main() {
-	os.Exit(run(os.Args[1:]))
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(args []string) int {
+func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("besteffslint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		jsonOut = fs.Bool("json", false, "emit findings as JSON")
+		format  = fs.String("format", "text", "output format: text, json, or sarif")
+		jsonOut = fs.Bool("json", false, "shorthand for -format json")
 		checks  = fs.String("checks", "", "comma-separated checks to run (default: all)")
 		list    = fs.Bool("list", false, "list available checks and exit")
 		chdir   = fs.String("C", ".", "directory to resolve package patterns in")
@@ -39,15 +43,24 @@ func run(args []string) int {
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	if *jsonOut {
+		*format = "json"
+	}
+	switch *format {
+	case "text", "json", "sarif":
+	default:
+		fmt.Fprintf(stderr, "besteffslint: unknown format %q (want text, json, or sarif)\n", *format)
+		return 2
+	}
 	if *list {
 		for _, a := range lint.Analyzers() {
-			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stdout, "%-16s %s\n", a.Name, a.Doc)
 		}
 		return 0
 	}
 	analyzers, err := lint.Select(*checks)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		fmt.Fprintln(stderr, err)
 		return 2
 	}
 	patterns := fs.Args()
@@ -56,11 +69,12 @@ func run(args []string) int {
 	}
 	pkgs, err := lint.Load(*chdir, patterns...)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		fmt.Fprintln(stderr, err)
 		return 2
 	}
 	diags := lint.Run(pkgs, analyzers)
-	if *jsonOut {
+	switch *format {
+	case "json":
 		type finding struct {
 			File    string `json:"file"`
 			Line    int    `json:"line"`
@@ -72,22 +86,32 @@ func run(args []string) int {
 		for i, d := range diags {
 			out[i] = finding{File: d.Pos.Filename, Line: d.Pos.Line, Col: d.Pos.Column, Check: d.Check, Message: d.Message}
 		}
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(out); err != nil {
-			fmt.Fprintln(os.Stderr, err)
+		if err := encodeIndented(stdout, out); err != nil {
+			fmt.Fprintln(stderr, err)
 			return 2
 		}
-	} else {
+	case "sarif":
+		if err := encodeIndented(stdout, sarifReport(analyzers, diags)); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+	default:
 		for _, d := range diags {
-			fmt.Println(d)
+			fmt.Fprintln(stdout, d)
 		}
 	}
 	if len(diags) > 0 {
-		if !*jsonOut {
-			fmt.Fprintf(os.Stderr, "besteffslint: %d finding(s)\n", len(diags))
+		if *format == "text" {
+			fmt.Fprintf(stderr, "besteffslint: %d finding(s)\n", len(diags))
 		}
 		return 1
 	}
 	return 0
+}
+
+// encodeIndented writes v as two-space-indented JSON.
+func encodeIndented(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
 }

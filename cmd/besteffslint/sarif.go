@@ -1,0 +1,90 @@
+package main
+
+// Minimal SARIF 2.1.0 encoding of a lint run, enough for code-scanning
+// uploaders and editors that ingest the standard: one run, one driver, one
+// rule per selected check, one result per finding with a physical
+// location. Fields beyond that (fixes, code flows, fingerprints) are
+// deliberately omitted until something consumes them.
+
+import "besteffs/internal/lint"
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn"`
+}
+
+// sarifReport renders the run: every selected analyzer becomes a rule (so
+// a clean run still documents what was checked), every diagnostic a
+// warning-level result.
+func sarifReport(analyzers []*lint.Analyzer, diags []lint.Diagnostic) sarifLog {
+	rules := make([]sarifRule, len(analyzers))
+	for i, a := range analyzers {
+		rules[i] = sarifRule{ID: a.Name, ShortDescription: sarifMessage{Text: a.Doc}}
+	}
+	results := make([]sarifResult, len(diags))
+	for i, d := range diags {
+		results[i] = sarifResult{
+			RuleID:  d.Check,
+			Level:   "warning",
+			Message: sarifMessage{Text: d.Message},
+			Locations: []sarifLocation{{PhysicalLocation: sarifPhysicalLocation{
+				ArtifactLocation: sarifArtifactLocation{URI: d.Pos.Filename},
+				Region:           sarifRegion{StartLine: d.Pos.Line, StartColumn: d.Pos.Column},
+			}}},
+		}
+	}
+	return sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs:    []sarifRun{{Tool: sarifTool{Driver: sarifDriver{Name: "besteffslint", Rules: rules}}, Results: results}},
+	}
+}

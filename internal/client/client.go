@@ -165,19 +165,16 @@ func dialNode(addr string, timeout time.Duration, tlsCfg *tls.Config) (net.Conn,
 	conn := tls.Client(raw, tlsCfg)
 	if timeout > 0 {
 		if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
-			//lint:ignore uncheckederr closing a failed connection; the error adds nothing
 			raw.Close()
 			return nil, err
 		}
 	}
 	if err := conn.Handshake(); err != nil {
-		//lint:ignore uncheckederr closing a failed connection; the error adds nothing
 		raw.Close()
 		return nil, fmt.Errorf("tls handshake: %w", err)
 	}
 	if timeout > 0 {
 		if err := conn.SetDeadline(time.Time{}); err != nil {
-			//lint:ignore uncheckederr closing a failed connection; the error adds nothing
 			conn.Close()
 			return nil, err
 		}

@@ -180,46 +180,8 @@ func (m *mux) writeLoop() {
 	for {
 		select {
 		case p := <-m.writeCh:
-			if p.abandoned.Load() {
-				m.resolve(p, muxResult{err: errAbandoned})
-				continue
-			}
-			m.mu.Lock()
-			if m.err != nil {
-				// Failed while p sat in the queue; fail collected the
-				// registered set already, so resolve p directly.
-				err := m.err
-				m.mu.Unlock()
-				m.resolve(p, muxResult{err: err})
-				continue
-			}
-			m.nextSeq++
-			p.seq = m.nextSeq
-			p.sentAt = time.Now()
-			m.inflight[p.seq] = p
-			m.fifo = append(m.fifo, p)
-			m.mu.Unlock()
-			frame := wire.AppendSeq(p.body, p.seq)
-			if err := wire.WriteFrame(m.bw, frame); err != nil {
-				m.fail(fmt.Errorf("client: %w", err))
+			if !m.writeOne(p) {
 				return
-			}
-			if len(m.writeCh) == 0 && m.inflightLen() > 1 {
-				// Micro-batch: other callers are already blocked on
-				// responses, so latency is not at stake -- yield a few
-				// times so producers woken by a response burst can append
-				// to this one before it is flushed. Without this the
-				// pipeline degenerates into per-frame ping-pong: one
-				// frame out, one response back, one producer woken.
-				for i := 0; i < 32 && len(m.writeCh) == 0; i++ {
-					runtime.Gosched()
-				}
-			}
-			if len(m.writeCh) == 0 {
-				if err := m.bw.Flush(); err != nil {
-					m.fail(fmt.Errorf("client: flush: %w", err))
-					return
-				}
 			}
 		case <-m.broken:
 			// Fail whatever is still queued so no caller waits forever.
@@ -233,6 +195,61 @@ func (m *mux) writeLoop() {
 			}
 		}
 	}
+}
+
+// writeOne registers and writes one queued frame: the per-frame segment of
+// the pipelined send path. Registration (seq, inflight, fifo) happens under
+// the mutex BEFORE the frame is written, so the reader can never see a
+// response to an unregistered request. Returns false when the mux failed
+// and the loop should exit.
+//
+//besteffs:hotpath
+func (m *mux) writeOne(p *pending) bool {
+	if p.abandoned.Load() {
+		m.resolve(p, muxResult{err: errAbandoned})
+		return true
+	}
+	m.mu.Lock()
+	if m.err != nil {
+		// Failed while p sat in the queue; fail collected the
+		// registered set already, so resolve p directly.
+		err := m.err
+		m.mu.Unlock()
+		m.resolve(p, muxResult{err: err})
+		return true
+	}
+	m.nextSeq++
+	p.seq = m.nextSeq
+	p.sentAt = time.Now()
+	m.inflight[p.seq] = p
+	//lint:ignore hotpath grows the window-bounded fifo once, then amortized
+	m.fifo = append(m.fifo, p)
+	m.mu.Unlock()
+	frame := wire.AppendSeq(p.body, p.seq)
+	if err := wire.WriteFrame(m.bw, frame); err != nil {
+		//lint:ignore hotpath connection-teardown path
+		m.fail(fmt.Errorf("client: %w", err))
+		return false
+	}
+	if len(m.writeCh) == 0 && m.inflightLen() > 1 {
+		// Micro-batch: other callers are already blocked on
+		// responses, so latency is not at stake -- yield a few
+		// times so producers woken by a response burst can append
+		// to this one before it is flushed. Without this the
+		// pipeline degenerates into per-frame ping-pong: one
+		// frame out, one response back, one producer woken.
+		for i := 0; i < 32 && len(m.writeCh) == 0; i++ {
+			runtime.Gosched()
+		}
+	}
+	if len(m.writeCh) == 0 {
+		if err := m.bw.Flush(); err != nil {
+			//lint:ignore hotpath connection-teardown path
+			m.fail(fmt.Errorf("client: flush: %w", err))
+			return false
+		}
+	}
+	return true
 }
 
 // readLoop reads response frames and routes each to its pending request.
@@ -289,6 +306,8 @@ func (m *mux) take(tr wire.Trailers) *pending {
 // resolve delivers a result to p exactly once and releases its in-flight
 // slot. The buffered channel makes delivery non-blocking even when the
 // caller abandoned the request.
+//
+//besteffs:hotpath-ok the result channel is buffered (cap 1, single resolver) and the window receive releases a held slot; neither can block
 func (m *mux) resolve(p *pending, r muxResult) {
 	if p.resolved.Swap(true) {
 		return
@@ -300,6 +319,8 @@ func (m *mux) resolve(p *pending, r muxResult) {
 // fail poisons the mux: records the first error, wakes everyone via the
 // broken channel, closes the connection (unblocking both loops) and fails
 // every request that was written but not answered. Idempotent.
+//
+//besteffs:hotpath-ok mux teardown; runs at most once per connection
 func (m *mux) fail(err error) {
 	m.once.Do(func() {
 		m.mu.Lock()

@@ -2,7 +2,6 @@ package importance
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 	"time"
 )
@@ -76,8 +75,18 @@ func (f Piecewise) At(age time.Duration) float64 {
 	if age >= f.points[n-1].Age {
 		return f.points[n-1].Value
 	}
-	// First breakpoint strictly beyond age; interpolate on [i-1, i].
-	i := sort.Search(n, func(i int) bool { return f.points[i].Age > age })
+	// First breakpoint strictly beyond age; interpolate on [i-1, i]. Open
+	// binary search instead of sort.Search: At runs once per resident per
+	// admission plan, and the search closure's capture was the single
+	// allocation on that path.
+	i, j := 1, n-1
+	for i < j {
+		if mid := (i + j) / 2; f.points[mid].Age > age {
+			j = mid
+		} else {
+			i = mid + 1
+		}
+	}
 	lo, hi := f.points[i-1], f.points[i]
 	frac := float64(age-lo.Age) / float64(hi.Age-lo.Age)
 	return lo.Value + (hi.Value-lo.Value)*frac

@@ -219,6 +219,8 @@ var ErrJournalClosed = errors.New("journal: closed")
 var ErrClosed = ErrJournalClosed
 
 // Append writes one record.
+//
+//besteffs:hotpath-ok the journalled write IS the durability cost: encode, frame, flush
 func (w *Writer) Append(r Record) error {
 	body, err := encode(r)
 	if err != nil {
@@ -250,6 +252,8 @@ func (w *Writer) Append(r Record) error {
 // Sync flushes buffered records to the OS and fsyncs the file. After Close
 // it is a no-op: Close already flushed everything, so a late Sync from a
 // shutdown race has nothing left to do and nothing to report.
+//
+//besteffs:hotpath-ok the fsync barrier the ack waits on
 func (w *Writer) Sync() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()

@@ -204,6 +204,8 @@ func (w *WAL) openSegmentLocked(seq uint64, size int64) error {
 // the active one is full. Like the single-file journal it flushes per record
 // without fsync: sealed segments are fsynced at rotation, and a crash can
 // tear only the active segment's final record, which recovery truncates.
+//
+//besteffs:hotpath-ok the journalled write IS the durability cost: encode, frame, flush
 func (w *WAL) Append(r Record) error {
 	body, err := encode(r)
 	if err != nil {
@@ -243,6 +245,8 @@ func (w *WAL) Append(r Record) error {
 // writes nothing; a write error mid-batch leaves a prefix of the group on
 // disk, which recovery handles exactly like a torn single append. The count
 // of appended records is meaningful only when err is nil.
+//
+//besteffs:hotpath-ok the group's one journal barrier: encode buffers and the segment write are its contract
 func (w *WAL) AppendBatch(recs []Record) (int, error) {
 	frames := make([][]byte, len(recs))
 	for i, r := range recs {
@@ -360,6 +364,8 @@ func removeSegmentsThrough(dir string, seq, keepSeq uint64) (int, error) {
 
 // Sync flushes buffered records and fsyncs the active segment, making every
 // acknowledged append durable. After Close it is a no-op.
+//
+//besteffs:hotpath-ok the fsync barrier the ack waits on
 func (w *WAL) Sync() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()

@@ -1,0 +1,146 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// loadFixtureGraph type-checks the fixture module once and builds its call
+// graph; the hot/hotdep/lockpair packages double as the synthetic subject
+// for the graph-level assertions below.
+func loadFixtureGraph(t *testing.T) *Graph {
+	t.Helper()
+	pkgs, err := Load("testdata/src", "./...")
+	if err != nil {
+		t.Fatalf("Load(testdata/src): %v", err)
+	}
+	return BuildGraph(pkgs)
+}
+
+// edgeTo reports whether n has an edge of the given kind to callee.
+func edgeTo(n *Node, kind EdgeKind, callee *Node) bool {
+	for _, e := range n.Edges {
+		if e.Kind == kind && e.Callee == callee {
+			return true
+		}
+	}
+	return false
+}
+
+func TestGraphStaticEdges(t *testing.T) {
+	g := loadFixtureGraph(t)
+	entry := g.Lookup("internal/hot", "", "Entry")
+	grow := g.Lookup("internal/hot", "", "grow")
+	if entry == nil || grow == nil {
+		t.Fatalf("Lookup(hot.Entry)=%v, Lookup(hot.grow)=%v; want both", entry, grow)
+	}
+	if !edgeTo(entry, EdgeCall, grow) {
+		t.Errorf("no EdgeCall hot.Entry -> hot.grow; edges: %v", entry.Edges)
+	}
+
+	// Cross-package static call.
+	entryAppend := g.Lookup("internal/hot", "", "EntryAppend")
+	depGrow := g.Lookup("internal/hotdep", "", "Grow")
+	if entryAppend == nil || depGrow == nil {
+		t.Fatal("EntryAppend or hotdep.Grow missing from the graph")
+	}
+	if !edgeTo(entryAppend, EdgeCall, depGrow) {
+		t.Errorf("no EdgeCall hot.EntryAppend -> hotdep.Grow")
+	}
+}
+
+func TestGraphDispatchEdges(t *testing.T) {
+	g := loadFixtureGraph(t)
+	push := g.Lookup("internal/hot", "", "Push")
+	write := g.Lookup("internal/hotdep", "BoxSink", "Write")
+	if push == nil || write == nil {
+		t.Fatalf("Lookup(hot.Push)=%v, Lookup(hotdep.BoxSink.Write)=%v; want both", push, write)
+	}
+	if !edgeTo(push, EdgeDispatch, write) {
+		t.Errorf("interface call hot.Push -> Sink.Write did not expand to EdgeDispatch on hotdep.(*BoxSink).Write")
+	}
+}
+
+func TestGraphGoEdgesAndSpawns(t *testing.T) {
+	g := loadFixtureGraph(t)
+	spawn := g.Lookup("internal/hot", "", "SpawnIt")
+	noop := g.Lookup("internal/hot", "", "noop")
+	if spawn == nil || noop == nil {
+		t.Fatal("SpawnIt or noop missing from the graph")
+	}
+	if !edgeTo(spawn, EdgeGo, noop) {
+		t.Errorf("no EdgeGo hot.SpawnIt -> hot.noop")
+	}
+	if len(spawn.Effects.Spawns) != 1 {
+		t.Errorf("SpawnIt.Effects.Spawns = %d, want 1", len(spawn.Effects.Spawns))
+	}
+	// Path walks synchronous edges only; the spawned callee is not on the
+	// caller's path.
+	if p := g.Path(spawn, noop); p != nil {
+		t.Errorf("Path(SpawnIt, noop) over sync edges = %v, want nil", p)
+	}
+}
+
+func TestGraphReachability(t *testing.T) {
+	g := loadFixtureGraph(t)
+	push := g.Lookup("internal/hot", "", "Push")
+	write := g.Lookup("internal/hotdep", "BoxSink", "Write")
+	p := g.Path(push, write)
+	if p == nil {
+		t.Fatal("Path(hot.Push, hotdep.(*BoxSink).Write) = nil; want a dispatch path")
+	}
+	var names []string
+	for _, n := range p {
+		names = append(names, n.Name())
+	}
+	if got := strings.Join(names, " -> "); got != "hot.Push -> hotdep.(*BoxSink).Write" {
+		t.Errorf("Path = %q", got)
+	}
+	grow := g.Lookup("internal/hot", "", "grow")
+	if p := g.Path(grow, push); p != nil {
+		t.Errorf("Path(grow, Push) = %v, want nil (unreachable)", p)
+	}
+}
+
+func TestGraphEffectSummaries(t *testing.T) {
+	g := loadFixtureGraph(t)
+
+	grow := g.Lookup("internal/hot", "", "grow")
+	if len(grow.Effects.Allocs) != 1 || grow.Effects.Allocs[0].Desc != "make" {
+		t.Errorf("grow.Allocs = %v, want one make", grow.Effects.Allocs)
+	}
+
+	send := g.Lookup("internal/hot", "", "Send")
+	if len(send.Effects.Blocks) != 1 || send.Effects.Blocks[0].Desc != "channel send" {
+		t.Errorf("Send.Blocks = %v, want one channel send", send.Effects.Blocks)
+	}
+
+	apply := g.Lookup("internal/hot", "", "Apply")
+	if len(apply.Effects.Dynamic) != 1 {
+		t.Errorf("Apply.Dynamic = %v, want one function-value call", apply.Effects.Dynamic)
+	}
+
+	bump := g.Lookup("internal/hot", "Gauge", "Bump")
+	if len(bump.Effects.Acquires) != 1 {
+		t.Fatalf("Bump.Acquires = %v, want one", bump.Effects.Acquires)
+	}
+	if got := bump.Effects.Acquires[0].Name; got != "Gauge.mu" {
+		t.Errorf("Bump acquires %q, want Gauge.mu", got)
+	}
+
+	// Transitive acquisition: AcquireAB holds A.mu and takes B.mu.
+	ab := g.Lookup("internal/lockpair", "", "AcquireAB")
+	classes := g.AcquiredClasses(ab)
+	var haveA, haveB bool
+	for c := range classes {
+		if strings.HasSuffix(c, "lockpair.A.mu") {
+			haveA = true
+		}
+		if strings.HasSuffix(c, "lockpair.B.mu") {
+			haveB = true
+		}
+	}
+	if !haveA || !haveB {
+		t.Errorf("AcquiredClasses(AcquireAB) = %v, want A.mu and B.mu", classes)
+	}
+}

@@ -1,6 +1,7 @@
 package lint
 
 import (
+	"fmt"
 	"go/token"
 	"strings"
 )
@@ -19,6 +20,8 @@ type ignoreDirective struct {
 	file  string
 	line  int // line of the directive itself
 	check string
+	pos   token.Position
+	used  bool // suppressed at least one finding this Run
 }
 
 // ignoresFor collects the package's well-formed ignore directives.
@@ -32,7 +35,7 @@ func ignoresFor(pkg *Package) []ignoreDirective {
 					continue
 				}
 				pos := pkg.Fset.Position(c.Pos())
-				out = append(out, ignoreDirective{file: pos.Filename, line: pos.Line, check: check})
+				out = append(out, ignoreDirective{file: pos.Filename, line: pos.Line, check: check, pos: pos})
 			}
 		}
 	}
@@ -78,29 +81,71 @@ func parseIgnore(text string) (check, reason string, ok bool) {
 	return fields[0], strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(rest), fields[0])), true
 }
 
-// filterIgnored drops diagnostics covered by an ignore directive.
-func filterIgnored(pkgs []*Package, diags []Diagnostic) []Diagnostic {
-	type key struct {
-		file  string
-		line  int
-		check string
+// ignoreKey addresses one suppressible (file, line, check) slot.
+type ignoreKey struct {
+	file  string
+	line  int
+	check string
+}
+
+// filterIgnored drops diagnostics covered by an ignore directive and
+// reports directive rot: a well-formed directive that names an unknown
+// check, or one whose check ran over the package yet suppressed nothing,
+// is itself a lintdirective finding -- dead suppressions are the fastest
+// way for a lint suite to quietly stop meaning anything.
+func filterIgnored(pkgs []*Package, analyzers []*Analyzer, diags []Diagnostic) []Diagnostic {
+	known := make(map[string]bool, len(Analyzers())+1)
+	for _, a := range Analyzers() {
+		known[a.Name] = true
 	}
-	covered := make(map[key]bool)
+	known["lintdirective"] = true
+	ran := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
+
+	var all []*ignoreDirective
+	covered := make(map[ignoreKey]*ignoreDirective)
 	for _, pkg := range pkgs {
 		if pkg.Standard {
 			continue
 		}
 		for _, ig := range ignoresFor(pkg) {
-			covered[key{ig.file, ig.line, ig.check}] = true
-			covered[key{ig.file, ig.line + 1, ig.check}] = true
+			ig := ig
+			all = append(all, &ig)
+			covered[ignoreKey{ig.file, ig.line, ig.check}] = &ig
+			covered[ignoreKey{ig.file, ig.line + 1, ig.check}] = &ig
 		}
 	}
-	if len(covered) == 0 {
-		return diags
-	}
+
 	kept := diags[:0]
 	for _, d := range diags {
-		if covered[key{d.Pos.Filename, d.Pos.Line, d.Check}] {
+		if ig := covered[ignoreKey{d.Pos.Filename, d.Pos.Line, d.Check}]; ig != nil {
+			ig.used = true
+			continue
+		}
+		kept = append(kept, d)
+	}
+
+	for _, ig := range all {
+		var msg string
+		switch {
+		case !known[ig.check]:
+			msg = fmt.Sprintf("//lint:ignore names unknown check %q", ig.check)
+		case !ig.used && ig.check != "lintdirective" && ran[ig.check]:
+			// Only checks that actually ran can prove a directive dead:
+			// under a -checks subset an ignore for an unselected check is
+			// merely untested, not stale.
+			msg = fmt.Sprintf("stale //lint:ignore %s: no %s finding is suppressed here", ig.check, ig.check)
+		default:
+			continue
+		}
+		d := Diagnostic{Pos: ig.pos, Check: "lintdirective", Message: msg}
+		// A stale-directive finding is itself suppressible, so deliberate
+		// keep-alives (an ignore guarding a flaky environment-dependent
+		// finding) stay possible -- with a reason, like everything else.
+		if ig2 := covered[ignoreKey{d.Pos.Filename, d.Pos.Line, "lintdirective"}]; ig2 != nil {
+			ig2.used = true
 			continue
 		}
 		kept = append(kept, d)

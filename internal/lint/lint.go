@@ -75,6 +75,27 @@ type Analyzer struct {
 	Run func(*Pass)
 }
 
+// session is the state one Run shares across analyzers and packages: the
+// loaded package set and the lazily-built interprocedural call graph. The
+// once-guards let global analyses (lockorder's cycle detection, hotpath's
+// cross-package annotation index) run exactly once per Run no matter how
+// many packages trigger them.
+type session struct {
+	pkgs  []*Package
+	graph *Graph
+
+	hotpath   *hotpathIndex
+	lockorder bool // global lockorder pass already ran
+}
+
+// Graph returns the session's call graph, building it on first use.
+func (s *session) Graph() *Graph {
+	if s.graph == nil {
+		s.graph = BuildGraph(s.pkgs)
+	}
+	return s.graph
+}
+
 // Pass carries one analyzer's view of one package.
 type Pass struct {
 	// Analyzer is the running check.
@@ -82,8 +103,17 @@ type Pass struct {
 	// Pkg is the package under analysis.
 	Pkg *Package
 
-	diags *[]Diagnostic
+	session *session
+	diags   *[]Diagnostic
 }
+
+// Graph returns the interprocedural call graph over every loaded package,
+// shared by all analyzers in this Run.
+func (p *Pass) Graph() *Graph { return p.session.Graph() }
+
+// AllPackages returns every loaded package (standard ones included), for
+// analyses whose scope is the whole build.
+func (p *Pass) AllPackages() []*Package { return p.session.pkgs }
 
 // Reportf records a finding at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
@@ -104,6 +134,9 @@ func Analyzers() []*Analyzer {
 		CodecRegisteredAnalyzer,
 		DeprecatedAPIAnalyzer,
 		EventRecordedAnalyzer,
+		HotPathAnalyzer,
+		LockOrderAnalyzer,
+		GoroutineLifecycleAnalyzer,
 	}
 }
 
@@ -144,20 +177,22 @@ func checkNames(as []*Analyzer) []string {
 }
 
 // Run applies the analyzers to each non-standard package, filters
-// suppressed findings through the lint:ignore directives, and returns the
-// surviving diagnostics sorted by position.
+// suppressed findings through the lint:ignore directives, reports stale
+// directives that suppressed nothing, and returns the surviving
+// diagnostics sorted by position.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	var diags []Diagnostic
+	sess := &session{pkgs: pkgs}
 	for _, pkg := range pkgs {
 		if pkg.Standard {
 			continue
 		}
 		for _, a := range analyzers {
-			a.Run(&Pass{Analyzer: a, Pkg: pkg, diags: &diags})
+			a.Run(&Pass{Analyzer: a, Pkg: pkg, session: sess, diags: &diags})
 		}
 		diags = append(diags, ignoreErrors(pkg)...)
 	}
-	diags = filterIgnored(pkgs, diags)
+	diags = filterIgnored(pkgs, analyzers, diags)
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {

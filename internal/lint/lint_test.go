@@ -66,6 +66,7 @@ func TestAnalyzersOnFixtures(t *testing.T) {
 	}
 	byCheck := make(map[string]int)
 	directives := 0
+	var directiveProblems []string
 	for _, d := range diags {
 		byCheck[d.Check]++
 		if d.Check == "lintdirective" {
@@ -73,6 +74,10 @@ func TestAnalyzersOnFixtures(t *testing.T) {
 			if base := filepath.Base(d.Pos.Filename); base != "consumer.go" {
 				t.Errorf("lintdirective finding outside consumer.go: %s", d)
 			}
+			continue
+		}
+		if d.Check == "hotpath" && filepath.Base(d.Pos.Filename) == "directives.go" {
+			directiveProblems = append(directiveProblems, d.Message)
 			continue
 		}
 		k := fixtureKey{filepath.Base(d.Pos.Filename), d.Pos.Line}
@@ -89,11 +94,30 @@ func TestAnalyzersOnFixtures(t *testing.T) {
 			t.Errorf("unexpected diagnostic: %s", d)
 		}
 	}
-	// consumer.go carries exactly one reason-less directive; its want cannot
-	// be written as a trailing comment (the directive would swallow it as
-	// the reason), so it is asserted here instead.
-	if directives != 1 {
-		t.Errorf("lintdirective findings = %d, want exactly 1 (consumer.go's bare //lint:ignore)", directives)
+	// consumer.go carries exactly three directive findings -- the bare
+	// (reason-less) //lint:ignore, the stale one, and the unknown-check
+	// one. Their wants cannot be written as trailing comments (the
+	// directive would swallow them as the reason), so they are asserted
+	// here instead.
+	if directives != 3 {
+		t.Errorf("lintdirective findings = %d, want exactly 3 (consumer.go's bare, stale, and unknown-check directives)", directives)
+	}
+	// directives.go's misplaced root and reason-less waiver are likewise
+	// reported on the directive comments themselves, where no trailing
+	// want can ride.
+	if len(directiveProblems) != 2 {
+		t.Errorf("hotpath directive problems in directives.go = %d (%v), want exactly 2", len(directiveProblems), directiveProblems)
+	}
+	for _, wantSub := range []string{"misplaced //besteffs:hotpath directive", "malformed waiver"} {
+		found := false
+		for _, m := range directiveProblems {
+			if strings.Contains(m, wantSub) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("no hotpath directive problem matching %q in %v", wantSub, directiveProblems)
+		}
 	}
 	for k, ws := range wants {
 		for i, w := range ws {

@@ -1,12 +1,21 @@
 // Package blob is an uncheckederr fixture: Put, Delete and Corrupt are the
 // payload mutations whose errors must never be dropped; Get is read-only
-// and out of scope.
+// and out of scope. MemStore mirrors the real in-memory store's map lock,
+// which the hotpath lock allowlist names and validates.
 package blob
 
-import "errors"
+import (
+	"errors"
+	"sync"
+)
 
 // ErrNotFound reports a missing payload.
 var ErrNotFound = errors.New("blob: not found")
+
+// MemStore mirrors the in-memory payload store's guarded map.
+type MemStore struct {
+	mu sync.Mutex
+}
 
 // Store mimics the payload store.
 type Store struct {

@@ -1,10 +1,20 @@
 // Package client is a deprecatedapi fixture: it mirrors the real client's
 // shape after the context-first redesign -- PutCtx and friends are current,
 // the context-free names survive as deprecated wrappers. Uses inside this
-// package are exempt; the real wrappers live here too.
+// package are exempt; the real wrappers live here too. The mux type
+// mirrors the multiplexer's registration lock, which the hotpath lock
+// allowlist names and validates.
 package client
 
-import "context"
+import (
+	"context"
+	"sync"
+)
+
+// mux mirrors the connection multiplexer's guarded registration state.
+type mux struct {
+	mu sync.Mutex
+}
 
 // Client mirrors the single-node client.
 type Client struct{}

@@ -36,6 +36,19 @@ var grandfathered = metrics.NewCounterSet()
 //lint:ignore deprecatedapi
 var bare = time.Now().Unix()
 
+// stale carries a directive that suppresses nothing: uncheckederr runs and
+// finds nothing on the covered lines, so the directive itself is the
+// finding (lintdirective, asserted by the test harness).
+//
+//lint:ignore uncheckederr the call below used to drop its error
+var stale = "nothing left to suppress"
+
+// typoed names a check that does not exist; the directive is the finding
+// (lintdirective, asserted by the test harness).
+//
+//lint:ignore nosuchcheck survives every rename of the real checks
+var typoed = 1
+
 // Uptime may read the wall clock: consumer is not a deterministic package.
 func Uptime(start time.Time) time.Duration {
 	return time.Since(start)

@@ -1,0 +1,15 @@
+// Misplaced and malformed hot-path directives. Their findings land on the
+// directive comments themselves, where a trailing // want comment cannot
+// ride along, so the test harness asserts this file's diagnostics
+// explicitly instead.
+
+package hot
+
+//besteffs:hotpath
+var maxInflight = 64
+
+// reserved is waived with no reason, which the check rejects: a waiver is
+// a reviewed budget decision and the reason is the review trail.
+//
+//besteffs:hotpath-ok
+func reserved() {}

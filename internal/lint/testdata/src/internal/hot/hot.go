@@ -1,0 +1,120 @@
+// Package hot is the hotpath fixture: each annotated root below owns one
+// reachable effect -- an allocation one call deep, a cross-package
+// allocation, an interface-dispatched allocation, a blocking channel op, an
+// off-allowlist lock, a goroutine spawn, an unanalyzable function-value
+// call -- and the waived boundary proves traversal stops at
+// //besteffs:hotpath-ok.
+package hot
+
+import (
+	"fmt"
+	"sync"
+
+	"fixture/internal/hotdep"
+)
+
+// Sink abstracts a payload sink; Push calls through it, so the
+// conservative dispatch approximation must descend into every
+// implementation in the load.
+type Sink interface {
+	Write(b []byte)
+}
+
+// Entry reaches an allocation one static call deep; the finding lands at
+// the make in grow with the full chain.
+//
+//besteffs:hotpath
+func Entry(n int) []int {
+	return grow(n)
+}
+
+// grow allocates on behalf of Entry.
+func grow(n int) []int {
+	return make([]int, n) // want "allocation on the hot path: make (chain: hot.Entry -> hot.grow)"
+}
+
+// EntryAppend reaches an allocation across the package boundary: the
+// finding lands in hotdep with this root at the head of its chain.
+//
+//besteffs:hotpath
+func EntryAppend(dst []string, s string) []string {
+	return hotdep.Grow(dst, s)
+}
+
+// Push dispatches through the Sink interface; the only implementation in
+// the load is hotdep.BoxSink, whose Write allocates.
+//
+//besteffs:hotpath
+func Push(s Sink, b []byte) {
+	s.Write(b)
+}
+
+// Send blocks on a channel directly in the root.
+//
+//besteffs:hotpath
+func Send(ch chan int, v int) {
+	ch <- v // want "blocking call on the hot path: channel send (chain: hot.Send)"
+}
+
+// Gauge owns a mutex that is deliberately NOT on the hot-path lock
+// allowlist.
+type Gauge struct {
+	mu sync.Mutex
+	v  int
+}
+
+// Bump acquires the off-allowlist lock.
+//
+//besteffs:hotpath
+func (g *Gauge) Bump() {
+	g.mu.Lock() // want "lock acquisition on the hot path: hot.Gauge.mu is not on the hot-path allowlist (chain: hot.(*Gauge).Bump)"
+	g.v++
+	g.mu.Unlock()
+}
+
+// SpawnIt hands work to a goroutine; the spawn itself is the finding, the
+// spawned callee is off this path.
+//
+//besteffs:hotpath
+func SpawnIt() {
+	go noop() // want "goroutine spawned on the hot path (chain: hot.SpawnIt)"
+}
+
+func noop() {}
+
+// Apply calls through a function value the graph cannot see into.
+//
+//besteffs:hotpath
+func Apply(f func() int) int {
+	return f() // want "unanalyzable call through function value f on the hot path (chain: hot.Apply)"
+}
+
+// Capture returns a closure over its parameter; the literal's capture is
+// the allocation.
+//
+//besteffs:hotpath
+func Capture(n int) func() int {
+	return func() int { return n } // want "allocation on the hot path: function literal captures variables (chain: hot.Capture)"
+}
+
+// Describe formats through fmt, which allocates by contract.
+//
+//besteffs:hotpath
+func Describe(id string) string {
+	return fmt.Sprintf("object %s", id) // want "allocation on the hot path: fmt.Sprintf formats into fresh allocations (chain: hot.Describe)"
+}
+
+// EntryWaived calls only the waived boundary; nothing is reported even
+// though the boundary allocates.
+//
+//besteffs:hotpath
+func EntryWaived() []byte {
+	return boundary()
+}
+
+// boundary's allocation is its contract: the waiver stops traversal here.
+//
+//besteffs:hotpath-ok the fresh buffer is the function's documented output
+func boundary() []byte {
+	return make([]byte, 64)
+}

@@ -1,18 +1,28 @@
 // Package journal is an uncheckederr fixture: Writer carries the
 // durability verbs (Append, Sync, Barrier, Close) whose dropped errors the
 // analyzer must flag at call sites, and WriteCheckpoint is the package-level
-// checkpoint writer.
+// checkpoint writer. Writer.mu and WAL.mu mirror the real sinks' internal
+// serialization, which the hotpath lock allowlist names and validates.
 package journal
 
-import "errors"
+import (
+	"errors"
+	"sync"
+)
 
 // ErrClosed reports a write after Close.
 var ErrClosed = errors.New("journal: closed")
 
 // Writer mimics the journalled write path.
 type Writer struct {
+	mu     sync.Mutex
 	closed bool
 	recs   []string
+}
+
+// WAL mirrors the segmented write-ahead log's serialization lock.
+type WAL struct {
+	mu sync.Mutex
 }
 
 // Append journals one record.

@@ -1,0 +1,40 @@
+// Package lockpair is the lockorder fixture: AcquireAB and AcquireBA nest
+// the pair's two mutexes in opposite orders -- the canonical two-lock
+// deadlock. The ordering graph gets both A.mu -> B.mu and B.mu -> A.mu,
+// and the analyzer must report the cycle once, at its first witness.
+package lockpair
+
+import "sync"
+
+// A owns the first lock of the inverted pair.
+type A struct {
+	mu sync.Mutex
+	n  int
+}
+
+// B owns the second lock.
+type B struct {
+	mu sync.Mutex
+	n  int
+}
+
+// AcquireAB nests B's lock inside A's: the A.mu -> B.mu ordering.
+func AcquireAB(a *A, b *B) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock() // want "lock-order cycle: lockpair.A.mu -> lockpair.B.mu"
+	b.n++
+	b.mu.Unlock()
+	a.n++
+}
+
+// AcquireBA nests A's lock inside B's: the inverted ordering that closes
+// the cycle.
+func AcquireBA(a *A, b *B) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	a.mu.Lock()
+	a.n++
+	a.mu.Unlock()
+	b.n++
+}

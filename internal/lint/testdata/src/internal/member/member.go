@@ -32,3 +32,17 @@ func (a *Agent) applyConfigLocked(version uint64, peer string) error {
 	}
 	return nil
 }
+
+// Start is the goroutinelifecycle fixture pair: member is a long-lived
+// package, so every spawn here must show its shutdown tie. The first
+// goroutine ties itself to done; the second answers to nobody.
+func (a *Agent) Start(done chan struct{}) {
+	go func() {
+		<-done
+	}()
+	go func() { // want "goroutine is not tied to a shutdown mechanism"
+		for {
+			a.sweepLocked()
+		}
+	}()
+}

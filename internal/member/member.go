@@ -195,16 +195,33 @@ func fresher(x, y wire.MemberInfo) bool {
 	return x.Version > y.Version
 }
 
-// self builds this node's current advertisement. Callers hold a.mu.
-func (a *Agent) selfLocked() wire.MemberInfo {
+// selfStat is one sample of the cfg.Self callback. The callback reaches
+// back into the caller's store (the production one reads the admission
+// boundary and free space under the store's own locks), so it must never
+// run while a.mu is held: a.mu stays a leaf in the lock order. Every path
+// that needs the values samples them BEFORE locking and passes them in.
+type selfStat struct {
+	boundary float64
+	free     int64
+	density  float64
+}
+
+// sampleSelf reads the placement callback. Callers must NOT hold a.mu.
+func (a *Agent) sampleSelf() selfStat {
 	boundary, free, density := a.cfg.Self()
+	return selfStat{boundary: boundary, free: free, density: density}
+}
+
+// selfLocked builds this node's current advertisement from a pre-lock
+// sample. Callers hold a.mu.
+func (a *Agent) selfLocked(st selfStat) wire.MemberInfo {
 	return wire.MemberInfo{
 		Addr:          a.cfg.Addr,
 		Incarnation:   a.incarnation,
 		Version:       a.version,
-		Boundary:      boundary,
-		Free:          free,
-		Density:       density,
+		Boundary:      st.boundary,
+		Free:          st.free,
+		Density:       st.density,
 		Alive:         true,
 		Device:        a.cfg.Device,
 		ConfigVersion: a.config.Version,
@@ -288,9 +305,9 @@ func (a *Agent) mergeLocked(mi wire.MemberInfo, direct bool, now time.Time) {
 
 // snapshotLocked builds the membership list to gossip: self plus every
 // known peer, with Alive computed from this node's own freshness view.
-func (a *Agent) snapshotLocked(now time.Time) []wire.MemberInfo {
+func (a *Agent) snapshotLocked(now time.Time, st selfStat) []wire.MemberInfo {
 	out := make([]wire.MemberInfo, 0, len(a.table)+1)
-	out = append(out, a.selfLocked())
+	out = append(out, a.selfLocked(st))
 	for _, e := range a.table {
 		mi := e.info
 		mi.Alive = now.Sub(e.lastSeen) < a.cfg.DeadAfter
@@ -305,12 +322,12 @@ func (a *Agent) currentEpoch(now time.Time) uint64 {
 	return uint64(now.UnixNano()) / uint64(a.cfg.Epoch)
 }
 
-// rollEpochLocked resets the push-sum state when the epoch advances.
-func (a *Agent) rollEpochLocked(now time.Time) {
+// rollEpochLocked resets the push-sum state when the epoch advances,
+// re-baselining this node's share from the pre-lock self sample.
+func (a *Agent) rollEpochLocked(now time.Time, st selfStat) {
 	if ep := a.currentEpoch(now); ep != a.epoch {
-		_, _, density := a.cfg.Self()
 		a.epoch = ep
-		a.shareValue = density
+		a.shareValue = st.density
 		a.shareWeight = 1
 	}
 }
@@ -319,9 +336,10 @@ func (a *Agent) rollEpochLocked(now time.Time) {
 // address, with Alive computed against DeadAfter.
 func (a *Agent) Members() []wire.MemberInfo {
 	now := time.Now()
+	st := a.sampleSelf()
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	return a.snapshotLocked(now)
+	return a.snapshotLocked(now, st)
 }
 
 // AlivePeers returns the peers (self excluded) currently considered alive.
@@ -345,11 +363,11 @@ func (a *Agent) AlivePeers() []wire.MemberInfo {
 // average importance density (its own density until the first exchange of
 // an epoch completes).
 func (a *Agent) DensityEstimate() float64 {
+	st := a.sampleSelf()
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	if a.shareWeight <= 0 {
-		_, _, density := a.cfg.Self()
-		return density
+		return st.density
 	}
 	return a.shareValue / a.shareWeight
 }
@@ -370,17 +388,18 @@ func (a *Agent) Health() (sent, failed uint64) {
 // membership or density estimate.
 func (a *Agent) HandleGossip(g *wire.Gossip) wire.Message {
 	now := time.Now()
+	st := a.sampleSelf()
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	if err := a.applyConfigLocked(g.Config, g.From.Addr); err != nil {
 		return &wire.ErrorMsg{Code: wire.CodeConfigMismatch, Text: err.Error()}
 	}
-	a.rollEpochLocked(now)
+	a.rollEpochLocked(now, st)
 	a.mergeLocked(g.From, true, now)
 	for _, mi := range g.Members {
 		a.mergeLocked(mi, false, now)
 	}
-	res := &wire.GossipResult{Epoch: a.epoch, Members: a.snapshotLocked(now), Config: a.config}
+	res := &wire.GossipResult{Epoch: a.epoch, Members: a.snapshotLocked(now, st), Config: a.config}
 	if g.Epoch == a.epoch && g.ShareWeight > 0 {
 		// Absorb the incoming share, then send half of the combined state
 		// back. Different-epoch shares are dropped: each epoch's average
@@ -440,9 +459,10 @@ func (a *Agent) sweepLocked(now time.Time) {
 // with up to Fanout peers.
 func (a *Agent) Tick(ctx context.Context) {
 	now := time.Now()
+	st := a.sampleSelf()
 	a.mu.Lock()
 	a.version++
-	a.rollEpochLocked(now)
+	a.rollEpochLocked(now, st)
 	a.sweepLocked(now)
 	targets := a.pickLocked(now)
 	a.mu.Unlock()
@@ -481,19 +501,20 @@ func (a *Agent) pickLocked(now time.Time) []string {
 // exchange runs one push-pull gossip round trip with addr.
 func (a *Agent) exchange(addr string) {
 	now := time.Now()
+	st := a.sampleSelf()
 	a.mu.Lock()
-	a.rollEpochLocked(now)
+	a.rollEpochLocked(now, st)
 	// Halve the share: keep half, send half. A failed send restores the
 	// sent half, so only genuinely in-flight loss (a crash mid-exchange)
 	// costs mass -- and the epoch roll re-baselines even that.
 	a.shareValue /= 2
 	a.shareWeight /= 2
 	g := &wire.Gossip{
-		From:        a.selfLocked(),
+		From:        a.selfLocked(st),
 		Epoch:       a.epoch,
 		ShareValue:  a.shareValue,
 		ShareWeight: a.shareWeight,
-		Members:     a.snapshotLocked(now),
+		Members:     a.snapshotLocked(now, st),
 		Config:      a.config,
 	}
 	a.sent++

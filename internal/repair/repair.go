@@ -279,18 +279,31 @@ func (m *Manager) Status() *wire.RepairStatusResult {
 	}
 }
 
-// peerClient returns a cached connection to addr, dialing if needed.
+// peerClient returns a cached connection to addr, dialing if needed. The
+// dial happens OUTSIDE clientMu -- holding a mutex across a network
+// connect would stall every other peer lookup (including cache hits) for
+// the duration of a slow or timing-out dial -- so two repairers can race
+// to the same address; the loser's connection is closed and the winner's
+// cached.
 func (m *Manager) peerClient(addr string) (*client.Client, error) {
 	m.clientMu.Lock()
-	defer m.clientMu.Unlock()
-	if c, ok := m.clients[addr]; ok {
+	c, ok := m.clients[addr]
+	m.clientMu.Unlock()
+	if ok {
 		return c, nil
 	}
 	c, err := m.cfg.Connect(addr)
 	if err != nil {
 		return nil, err
 	}
+	m.clientMu.Lock()
+	if cached, ok := m.clients[addr]; ok {
+		m.clientMu.Unlock()
+		c.Close()
+		return cached, nil
+	}
 	m.clients[addr] = c
+	m.clientMu.Unlock()
 	return c, nil
 }
 
@@ -301,7 +314,6 @@ func (m *Manager) dropClient(addr string, c *client.Client) {
 		delete(m.clients, addr)
 	}
 	m.clientMu.Unlock()
-	//lint:ignore uncheckederr closing a failed connection; the error adds nothing
 	c.Close()
 }
 
@@ -776,11 +788,8 @@ func (m *Manager) planPulls(localByID map[object.ID]wire.IndexEntry, diffs []pee
 // the hash break by address so the order is total.
 func pullRank(id object.ID, addr string) uint64 {
 	h := fnv.New64a()
-	//lint:ignore uncheckederr hash.Hash Write cannot fail
 	h.Write([]byte(id))
-	//lint:ignore uncheckederr hash.Hash Write cannot fail
 	h.Write([]byte{'|'})
-	//lint:ignore uncheckederr hash.Hash Write cannot fail
 	h.Write([]byte(addr))
 	return h.Sum64()
 }

@@ -247,7 +247,6 @@ func Dialer(cfg *tls.Config, timeout time.Duration) func(addr string) (net.Conn,
 		}
 		conn := tls.Client(raw, cfg)
 		if err := handshake(conn, timeout); err != nil {
-			//lint:ignore uncheckederr closing a failed connection; the error adds nothing
 			raw.Close()
 			return nil, fmt.Errorf("secure: handshake with %s: %w", addr, err)
 		}

@@ -29,29 +29,35 @@ import (
 // inherits the caller's trace, so a traced batch's replica pushes carry the
 // same trace ID a traced single put would (they were silently dropped here
 // before the span context existed).
+//
+//besteffs:hotpath
 func (s *Server) handleBatch(m *wire.Batch, now time.Duration, sc telemetry.SpanContext) wire.Message {
 	if len(m.Subs) == 0 {
 		return &wire.ErrorMsg{Code: wire.CodeBadRequest, Text: "empty batch"}
 	}
 	if s.maxBatchSubs > 0 && len(m.Subs) > s.maxBatchSubs {
 		return &wire.ErrorMsg{Code: wire.CodeBadRequest,
+			//lint:ignore hotpath the reject path formats its refusal once
 			Text: fmt.Sprintf("batch of %d sub-requests exceeds the node's limit of %d",
 				len(m.Subs), s.maxBatchSubs)}
 	}
+	//lint:ignore hotpath escapes into the BatchResult response
 	results := make([]wire.Message, len(m.Subs))
-	var puts []*wire.Put
-	var putScs []telemetry.SpanContext
-	var putIdx []int
+	scratch := getScratch()
+	defer scratch.release()
 	for i, sub := range m.Subs {
 		if p, ok := sub.(*wire.Put); ok {
-			puts = append(puts, p)
-			putScs = append(putScs, sc)
-			putIdx = append(putIdx, i)
+			//lint:ignore hotpath grows the pooled scratch once, then amortized
+			scratch.puts = append(scratch.puts, p)
+			//lint:ignore hotpath grows the pooled scratch once, then amortized
+			scratch.scs = append(scratch.scs, sc)
+			//lint:ignore hotpath grows the pooled scratch once, then amortized
+			scratch.idx = append(scratch.idx, i)
 		}
 	}
-	if len(puts) > 0 {
-		for i, res := range s.executePutGroup(puts, putScs, now) {
-			results[putIdx[i]] = res
+	if len(scratch.puts) > 0 {
+		for i, res := range s.executePutGroup(scratch.puts, scratch.scs, now) {
+			results[scratch.idx[i]] = res
 		}
 	}
 	for i, sub := range m.Subs {
@@ -69,9 +75,19 @@ func (s *Server) handleBatch(m *wire.Batch, now time.Duration, sc telemetry.Span
 // happens in executePutGroup, after the checkpoint lock is released. scs
 // aligns with puts and links each verdict's flight-recorder event to its
 // frame's trace.
+//
+//besteffs:hotpath
 func (s *Server) admitPutGroup(puts []*wire.Put, scs []telemetry.SpanContext, now time.Duration) []wire.Message {
+	//lint:ignore hotpath escapes into the group's responses
 	results := make([]wire.Message, len(puts))
-	objs := make([]*object.Object, len(puts))
+	scratch := getScratch()
+	defer scratch.release()
+	objs := scratch.objs
+	for range puts {
+		//lint:ignore hotpath grows the pooled scratch once, then amortized
+		objs = append(objs, nil)
+	}
+	scratch.objs = objs
 	for i, m := range puts {
 		if len(m.Payload) == 0 {
 			results[i] = &wire.ErrorMsg{Code: wire.CodeBadRequest, Text: "empty payload"}
@@ -97,7 +113,7 @@ func (s *Server) admitPutGroup(puts []*wire.Put, scs []telemetry.SpanContext, no
 	s.chkMu.RLock()
 	defer s.chkMu.RUnlock()
 	outcomes := s.unit.PutBatch(objs, now)
-	recs := make([]journal.Record, 0, len(puts))
+	recs := scratch.recs
 	for i, m := range puts {
 		if results[i] != nil {
 			// Failed validation above; objs[i] is nil and its PutBatch
@@ -130,22 +146,29 @@ func (s *Server) admitPutGroup(puts []*wire.Put, scs []telemetry.SpanContext, no
 			// disturbing its neighbours.
 			if err := s.blobs.Put(o.ID, m.Payload); err != nil {
 				if delErr := s.unit.Delete(o.ID); delErr != nil {
+					//lint:ignore hotpath error-path logging on a failed rollback
 					s.log.Error("roll back admission", "id", o.ID, "err", delErr)
 				}
 				results[i] = &wire.ErrorMsg{Code: wire.CodeInternal, Text: err.Error()}
 				continue
 			}
+			//lint:ignore hotpath grows the pooled scratch once, then amortized
 			recs = append(recs, journal.Record{
 				Kind: journal.KindPut, At: now, ID: o.ID, Size: o.Size,
 				Owner: o.Owner, Class: o.Class, Version: uint32(o.Version),
 				Importance: o.Importance,
 			})
-			for _, v := range d.Victims {
-				res.Evicted = append(res.Evicted, v.ID)
+			if len(d.Victims) > 0 {
+				//lint:ignore hotpath exact-sized; escapes into the response
+				res.Evicted = make([]object.ID, len(d.Victims))
+				for vi, v := range d.Victims {
+					res.Evicted[vi] = v.ID
+				}
 			}
 		}
 		results[i] = res
 	}
+	scratch.recs = recs // return any regrown backing array to the pool
 	s.journalGroup(recs)
 	return results
 }
@@ -156,6 +179,8 @@ func (s *Server) admitPutGroup(puts []*wire.Put, scs []telemetry.SpanContext, no
 // appended by the unit's hook during PutBatch, so replay order stays valid:
 // space is freed before it is consumed. Failures are logged, never fatal,
 // matching journalAppend.
+//
+//besteffs:hotpath
 func (s *Server) journalGroup(recs []journal.Record) {
 	if s.journal == nil || len(recs) == 0 {
 		return
@@ -165,6 +190,7 @@ func (s *Server) journalGroup(recs []journal.Record) {
 	}
 	if ba, ok := s.journal.(batchAppender); ok {
 		if _, err := ba.AppendBatch(recs); err != nil {
+			//lint:ignore hotpath error-path logging
 			s.log.Error("journal append batch", "records", len(recs), "err", err)
 			return
 		}
@@ -178,6 +204,7 @@ func (s *Server) journalGroup(recs []journal.Record) {
 	}
 	if sy, ok := s.journal.(syncer); ok {
 		if err := sy.Sync(); err != nil {
+			//lint:ignore hotpath error-path logging
 			s.log.Error("journal sync batch", "err", err)
 		}
 	}

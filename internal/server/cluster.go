@@ -387,6 +387,8 @@ func (s *Server) handleReplicate(m *wire.Replicate, now time.Duration) wire.Mess
 // the admission lock is released -- pushes are network I/O and must not
 // stall checkpoints. The span context rides the push context so each
 // outgoing REPLICATE hop joins the put's trace.
+//
+//besteffs:hotpath-ok replica fan-out happens after the local admission is acknowledged
 func (s *Server) replicateAdmitted(res wire.Message, m *wire.Put, sc telemetry.SpanContext) {
 	if s.repl == nil {
 		return

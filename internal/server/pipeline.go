@@ -26,9 +26,13 @@ import (
 // coalesce drains complete frames already buffered behind the one just
 // read, never blocking and never consuming a partial frame. The group is
 // capped at the node's batch limit so one greedy connection cannot build an
-// unbounded put group.
-func (s *Server) coalesce(br *bufio.Reader, first []byte) [][]byte {
-	bodies := [][]byte{first}
+// unbounded put group. scratch is the connection's reusable backing slice;
+// the caller keeps the returned slice as next call's scratch.
+//
+//besteffs:hotpath
+func (s *Server) coalesce(br *bufio.Reader, first []byte, scratch [][]byte) [][]byte {
+	//lint:ignore hotpath grows the connection's scratch once, then amortized
+	bodies := append(scratch[:0], first)
 	limit := s.maxBatchSubs
 	if limit <= 0 || limit > wire.MaxBatchSubs {
 		limit = wire.MaxBatchSubs
@@ -51,6 +55,7 @@ func (s *Server) coalesce(br *bufio.Reader, first []byte) [][]byte {
 		if err != nil {
 			return bodies
 		}
+		//lint:ignore hotpath grows the connection's scratch once, then amortized
 		bodies = append(bodies, body)
 	}
 	return bodies
@@ -89,16 +94,18 @@ func spanContext(tr wire.Trailers) (telemetry.SpanContext, uint64) {
 // as one group, sharing the ordering contract documented on handleBatch:
 // puts first, everything else after in arrival order. Undecodable frames
 // answer CodeBadRequest individually without disturbing their neighbours.
+//
+//besteffs:hotpath
 func (s *Server) dispatchGroup(bodies [][]byte) []dispatched {
+	//lint:ignore hotpath escapes into the connection's response loop
 	outs := make([]dispatched, len(bodies))
 	if len(bodies) == 1 {
 		outs[0] = s.dispatch(bodies[0])
 		return outs
 	}
-	msgs := make([]wire.Message, len(bodies))
-	var puts []*wire.Put
-	var putScs []telemetry.SpanContext
-	var putIdx []int
+	scratch := getScratch()
+	defer scratch.release()
+	msgs := scratch.msgs
 	for i, body := range bodies {
 		msg, tr, err := wire.DecodeWithTrailers(body)
 		if err != nil {
@@ -106,22 +113,30 @@ func (s *Server) dispatchGroup(bodies [][]byte) []dispatched {
 				resp: &wire.ErrorMsg{Code: wire.CodeBadRequest, Text: err.Error()},
 				op:   wire.OpInvalid,
 			}
+			//lint:ignore hotpath grows the pooled scratch once, then amortized
+			msgs = append(msgs, nil)
 			continue
 		}
-		msgs[i] = msg
+		//lint:ignore hotpath grows the pooled scratch once, then amortized
+		msgs = append(msgs, msg)
 		outs[i].op = msg.Op()
 		outs[i].tr = tr
 		outs[i].sc, outs[i].parent = spanContext(tr)
 		if p, ok := msg.(*wire.Put); ok {
-			puts = append(puts, p)
-			putScs = append(putScs, outs[i].sc)
-			putIdx = append(putIdx, i)
+			//lint:ignore hotpath grows the pooled scratch once, then amortized
+			scratch.puts = append(scratch.puts, p)
+			//lint:ignore hotpath grows the pooled scratch once, then amortized
+			scratch.scs = append(scratch.scs, outs[i].sc)
+			//lint:ignore hotpath grows the pooled scratch once, then amortized
+			scratch.idx = append(scratch.idx, i)
 		}
 	}
-	if len(puts) > 0 {
+	scratch.msgs = msgs
+	if len(scratch.puts) > 0 {
+		//lint:ignore hotpath injected clock (simulation support); allocation-free by contract
 		now := s.clock()
-		for k, res := range s.executePutGroup(puts, putScs, now) {
-			outs[putIdx[k]].resp = res
+		for k, res := range s.executePutGroup(scratch.puts, scratch.scs, now) {
+			outs[scratch.idx[k]].resp = res
 		}
 	}
 	for i, msg := range msgs {

@@ -369,6 +369,7 @@ func (s *Server) journalAppend(r journal.Record) {
 		return
 	}
 	if err := s.journal.Append(r); err != nil {
+		//lint:ignore hotpath error-path logging
 		s.log.Error("journal append", "kind", r.Kind, "id", r.ID, "err", err)
 	}
 }
@@ -586,6 +587,8 @@ func (s *Server) handleConn(ctx context.Context, conn net.Conn) {
 	// remote address: net.Addr.String formats and allocates per call.
 	debug := s.log.Enabled(ctx, slog.LevelDebug)
 	remote := conn.RemoteAddr().String()
+	// Per-connection coalescing scratch, reused across groups.
+	var bodyScratch [][]byte
 	for {
 		if ctx.Err() != nil {
 			return
@@ -608,7 +611,8 @@ func (s *Server) handleConn(ctx context.Context, conn net.Conn) {
 		// Frames a pipelining client already streamed behind this one are
 		// sitting complete in the read buffer; serve the whole run as one
 		// group so its puts share a view snapshot and a WAL barrier.
-		bodies := s.coalesce(br, body)
+		bodies := s.coalesce(br, body, bodyScratch)
+		bodyScratch = bodies
 		start := time.Now()
 		outs := s.dispatchGroup(bodies)
 		elapsed := time.Since(start)
@@ -713,6 +717,8 @@ func (s *Server) execute(msg wire.Message) wire.Message {
 // propagate the caller's trace. The switch dispatches on the opcode and
 // covers every declared request op explicitly (the wireexhaustive lint check
 // keeps it that way); anything else falls through to a typed UnknownOpError.
+//
+//besteffs:hotpath-ok non-Put subs execute their op's own cost; the group path only orders them
 func (s *Server) executeTraced(msg wire.Message, sc telemetry.SpanContext) wire.Message {
 	now := s.clock()
 	switch op := msg.Op(); op {
