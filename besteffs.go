@@ -197,6 +197,14 @@ type (
 	Server = server.Server
 	// ServerOption configures a Server.
 	ServerOption = server.Option
+	// EngineConfig sizes a Server's storage engine: total capacity, the
+	// admission policy, and the in-process shard count splitting both
+	// (zero Shards means one, the unsharded layout).
+	EngineConfig = server.EngineConfig
+	// StorageEngine is a Server's sharded storage engine: it routes object
+	// IDs over the shards and presents the merged node-level view
+	// (density, importance boundary, residents).
+	StorageEngine = store.Engine
 	// Client is a connection to one node.
 	Client = client.Client
 	// ClusterClient places objects across live nodes with the paper's
@@ -206,10 +214,28 @@ type (
 	PutRequest = client.PutRequest
 )
 
-// NewServer builds a live storage node.
-func NewServer(capacity int64, pol Policy, opts ...ServerOption) (*Server, error) {
-	return server.New(capacity, pol, opts...)
+// NewServer builds a live storage node from an engine configuration:
+//
+//	srv, err := besteffs.NewServer(besteffs.EngineConfig{
+//		Capacity: 1 << 30,
+//		Policy:   besteffs.TemporalImportance{},
+//		Shards:   4, // optional: partition over 4 in-process shards
+//	})
+func NewServer(cfg EngineConfig, opts ...ServerOption) (*Server, error) {
+	return server.New(cfg, opts...)
 }
+
+// NewUnshardedServer builds a single-shard live storage node.
+//
+// Deprecated: use NewServer with an EngineConfig; this shim keeps the old
+// positional construction compiling for one release.
+func NewUnshardedServer(capacity int64, pol Policy, opts ...ServerOption) (*Server, error) {
+	return server.New(server.EngineConfig{Capacity: capacity, Policy: pol}, opts...)
+}
+
+// WithShards overrides the engine configuration's shard count, for callers
+// assembling option lists (equivalent to setting EngineConfig.Shards).
+var WithShards = server.WithShards
 
 // BlobStore holds payload bytes for a live node.
 type BlobStore = blob.Store

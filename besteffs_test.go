@@ -115,7 +115,7 @@ func TestFacadeLiveNode(t *testing.T) {
 	if err != nil {
 		t.Fatalf("NewFileBlobStore: %v", err)
 	}
-	srv, err := besteffs.NewServer(1<<20, besteffs.TemporalImportance{},
+	srv, err := besteffs.NewServer(besteffs.EngineConfig{Capacity: 1 << 20, Policy: besteffs.TemporalImportance{}},
 		besteffs.WithBlobStore(files))
 	if err != nil {
 		t.Fatalf("NewServer: %v", err)
@@ -145,7 +145,7 @@ func TestFacadeLiveNode(t *testing.T) {
 	if err != nil {
 		t.Fatalf("NewTwoStep: %v", err)
 	}
-	p, err := cc.Put(besteffs.PutRequest{
+	p, err := cc.PutCtx(context.Background(), besteffs.PutRequest{
 		ID:         "api/obj",
 		Importance: lifetime,
 		Payload:    []byte("payload"),
@@ -156,7 +156,7 @@ func TestFacadeLiveNode(t *testing.T) {
 	if p.Node != 0 {
 		t.Errorf("node = %d", p.Node)
 	}
-	got, err := cc.Get("api/obj")
+	got, err := cc.GetCtx(context.Background(), "api/obj")
 	if err != nil || string(got.Payload) != "payload" {
 		t.Errorf("Get = %+v, %v", got, err)
 	}

@@ -4,7 +4,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"os"
 	"path/filepath"
+	"regexp"
+	"sort"
 
 	"besteffs/internal/blob"
 	"besteffs/internal/journal"
@@ -26,11 +29,15 @@ import (
 //     files, and payload files must belong to residents (mismatches are
 //     repaired automatically at the next boot, so they are warnings).
 //
+// A sharded data dir (shard-000, shard-001, ... subdirectories, each with
+// its own WAL stream) gets the checkpoint and segment passes per shard;
+// the blob cross-check then runs against the union of every shard's
+// resident set, since payloads are shared across shards.
+//
 // It returns an error -- besteffsctl exits nonzero -- iff hard damage was
 // found. Run it only while the daemon is stopped; a live WAL legitimately
 // has an in-flight tail.
 func cmdFsck(dataDir string, out io.Writer) error {
-	walDir := filepath.Join(dataDir, server.WALDirName)
 	problems := 0
 	warn := func(format string, args ...any) {
 		fmt.Fprintf(out, "  warning: "+format+"\n", args...)
@@ -40,82 +47,26 @@ func cmdFsck(dataDir string, out io.Writer) error {
 		fmt.Fprintf(out, "  DAMAGE: "+format+"\n", args...)
 	}
 
-	// Checkpoints: validate every file, remember the newest intact one.
-	fmt.Fprintf(out, "checkpoints in %s:\n", walDir)
-	seqs, err := journal.ListCheckpoints(walDir)
+	walDirs, err := fsckWALDirs(dataDir)
 	if err != nil {
 		return err
 	}
-	var newest *journal.Checkpoint
-	for _, seq := range seqs {
-		path := journal.CheckpointPath(walDir, seq)
-		cp, err := journal.ReadCheckpoint(path)
-		if err != nil {
-			damage("checkpoint %s: %v", filepath.Base(path), err)
-			continue
-		}
-		fmt.Fprintf(out, "  %s: covers segment %d, %d objects, ok\n",
-			filepath.Base(path), cp.CoversSeq, len(cp.Objects))
-		newest = &cp
-	}
-	if len(seqs) == 0 {
-		fmt.Fprintln(out, "  none")
-	}
 
-	// Segments: full scan, reporting every damaged file, while rebuilding
-	// the resident set the WAL implies on top of the newest checkpoint.
+	// Metadata pass per WAL stream: checkpoints, segments, and the replayed
+	// resident set each stream implies. Every stream must be trustworthy for
+	// the blob cross-check to mean anything.
 	resident := make(map[object.ID]bool)
-	afterSeq := uint64(0)
-	if newest != nil {
-		afterSeq = newest.CoversSeq
-		for _, r := range newest.Objects {
-			resident[r.ID] = true
-		}
-	}
-	apply := func(r journal.Record) {
-		switch r.Kind {
-		case journal.KindPut:
-			resident[r.ID] = true
-		case journal.KindDelete, journal.KindEvict:
-			delete(resident, r.ID)
-		}
-	}
-	fmt.Fprintf(out, "wal segments in %s:\n", walDir)
-	reports, err := journal.CheckWAL(walDir, nil)
-	if err != nil {
-		return err
-	}
 	stateTrusted := true
-	for _, rep := range reports {
-		switch rep.Damage {
-		case journal.DamageNone:
-			fmt.Fprintf(out, "  %s: %d records, %d bytes, ok\n",
-				filepath.Base(rep.Path), rep.Records, rep.TotalBytes)
-		case journal.DamageTornTail:
-			fmt.Fprintf(out, "  %s: %d records, torn tail (%d of %d bytes valid; truncated at next boot)\n",
-				filepath.Base(rep.Path), rep.Records, rep.ValidBytes, rep.TotalBytes)
-		default:
-			damage("segment %s corrupt at offset %d (%d records before the fault)",
-				filepath.Base(rep.Path), rep.ValidBytes, rep.Records)
-			stateTrusted = false
+	for _, walDir := range walDirs {
+		ok, err := fsckWALDir(walDir, out, damage, resident)
+		if err != nil {
+			return err
 		}
-	}
-	if len(reports) == 0 {
-		fmt.Fprintln(out, "  none")
-	}
-	// Replay for the cross-check (only meaningful when the WAL is clean
-	// enough that the next boot would accept it).
-	if stateTrusted {
-		if _, err := journal.ReplayWAL(walDir, afterSeq, func(r journal.Record) error {
-			apply(r)
-			return nil
-		}); err != nil {
-			damage("replay: %v", err)
-			stateTrusted = false
-		}
+		stateTrusted = stateTrusted && ok
 	}
 
-	// Blobs: verify every payload file on disk.
+	// Blobs: verify every payload file on disk. Shards share one payload
+	// store, so this pass runs once regardless of layout.
 	blobDir := filepath.Join(dataDir, "blobs")
 	fmt.Fprintf(out, "blobs in %s:\n", blobDir)
 	files, err := blob.NewFileStore(blobDir)
@@ -164,4 +115,107 @@ func cmdFsck(dataDir string, out io.Writer) error {
 	}
 	fmt.Fprintln(out, "fsck: clean")
 	return nil
+}
+
+// shardDirPattern matches the per-shard subdirectories RestoreDir lays
+// down on a multi-shard node.
+var shardDirPattern = regexp.MustCompile(`^shard-\d{3}$`)
+
+// fsckWALDirs discovers the node's WAL streams: the shard-NNN
+// subdirectories on a sharded data dir, or the single top-level wal
+// directory on a legacy/unsharded one.
+func fsckWALDirs(dataDir string) ([]string, error) {
+	entries, err := os.ReadDir(dataDir)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, err
+	}
+	var dirs []string
+	for _, e := range entries {
+		if e.IsDir() && shardDirPattern.MatchString(e.Name()) {
+			dirs = append(dirs, filepath.Join(dataDir, e.Name(), server.WALDirName))
+		}
+	}
+	if len(dirs) == 0 {
+		return []string{filepath.Join(dataDir, server.WALDirName)}, nil
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// fsckWALDir runs the checkpoint and segment passes over one WAL stream,
+// folding the residents the stream implies into resident. It reports
+// whether the stream was clean enough that the next boot would accept it
+// (its contribution to the resident set is only meaningful then).
+func fsckWALDir(walDir string, out io.Writer, damage func(string, ...any), resident map[object.ID]bool) (bool, error) {
+	// Checkpoints: validate every file, remember the newest intact one.
+	fmt.Fprintf(out, "checkpoints in %s:\n", walDir)
+	seqs, err := journal.ListCheckpoints(walDir)
+	if err != nil {
+		return false, err
+	}
+	var newest *journal.Checkpoint
+	for _, seq := range seqs {
+		path := journal.CheckpointPath(walDir, seq)
+		cp, err := journal.ReadCheckpoint(path)
+		if err != nil {
+			damage("checkpoint %s: %v", filepath.Base(path), err)
+			continue
+		}
+		fmt.Fprintf(out, "  %s: covers segment %d, %d objects, ok\n",
+			filepath.Base(path), cp.CoversSeq, len(cp.Objects))
+		newest = &cp
+	}
+	if len(seqs) == 0 {
+		fmt.Fprintln(out, "  none")
+	}
+
+	// Segments: full scan, reporting every damaged file, while rebuilding
+	// the resident set the WAL implies on top of the newest checkpoint.
+	afterSeq := uint64(0)
+	if newest != nil {
+		afterSeq = newest.CoversSeq
+		for _, r := range newest.Objects {
+			resident[r.ID] = true
+		}
+	}
+	fmt.Fprintf(out, "wal segments in %s:\n", walDir)
+	reports, err := journal.CheckWAL(walDir, nil)
+	if err != nil {
+		return false, err
+	}
+	stateTrusted := true
+	for _, rep := range reports {
+		switch rep.Damage {
+		case journal.DamageNone:
+			fmt.Fprintf(out, "  %s: %d records, %d bytes, ok\n",
+				filepath.Base(rep.Path), rep.Records, rep.TotalBytes)
+		case journal.DamageTornTail:
+			fmt.Fprintf(out, "  %s: %d records, torn tail (%d of %d bytes valid; truncated at next boot)\n",
+				filepath.Base(rep.Path), rep.Records, rep.ValidBytes, rep.TotalBytes)
+		default:
+			damage("segment %s corrupt at offset %d (%d records before the fault)",
+				filepath.Base(rep.Path), rep.ValidBytes, rep.Records)
+			stateTrusted = false
+		}
+	}
+	if len(reports) == 0 {
+		fmt.Fprintln(out, "  none")
+	}
+	// Replay for the cross-check (only meaningful when the WAL is clean
+	// enough that the next boot would accept it).
+	if stateTrusted {
+		if _, err := journal.ReplayWAL(walDir, afterSeq, func(r journal.Record) error {
+			switch r.Kind {
+			case journal.KindPut:
+				resident[r.ID] = true
+			case journal.KindDelete, journal.KindEvict:
+				delete(resident, r.ID)
+			}
+			return nil
+		}); err != nil {
+			damage("replay: %v", err)
+			stateTrusted = false
+		}
+	}
+	return stateTrusted, nil
 }

@@ -294,6 +294,12 @@ func cmdStat(ctx context.Context, clients []*client.Client, addrs []string) erro
 		}
 		fmt.Printf("%s: %d/%d bytes used, %d objects, density %.4f\n",
 			addrs[i], st.Used, st.Capacity, st.Objects, st.Density)
+		if len(st.Shards) > 1 {
+			for si, sh := range st.Shards {
+				fmt.Printf("  shard %d: %d/%d bytes used, %d objects, density %.4f, boundary %.3f\n",
+					si, sh.Used, sh.Capacity, sh.Objects, sh.Density, sh.Boundary)
+			}
+		}
 	}
 	return nil
 }

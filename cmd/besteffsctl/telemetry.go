@@ -177,6 +177,18 @@ func cmdClusterStatus(ctx context.Context, clients []*client.Client, addrs []str
 		}
 		fmt.Printf("%-21s %-6s %8.4f %10s %10d %8d %9s %8s %5s\n",
 			n.addr, state, st.Density, boundary, st.Used, st.Objects, deficit, pending, cfgv)
+		// Sharded nodes get one sub-row per shard: where inside the node
+		// the density and boundary pressure actually sits.
+		if len(st.Shards) > 1 {
+			for i, sh := range st.Shards {
+				occ := 0.0
+				if sh.Capacity > 0 {
+					occ = float64(sh.Used) / float64(sh.Capacity)
+				}
+				fmt.Printf("  shard %-3d          %-6s %8.4f %10.3f %10d %8d (%.1f%% full)\n",
+					i, "", sh.Density, sh.Boundary, sh.Used, sh.Objects, 100*occ)
+			}
+		}
 		totalCap += st.Capacity
 		totalUsed += st.Used
 		totalObjects += st.Objects

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	besteffsd [-addr HOST:PORT] [-capacity BYTES] [-policy NAME] [-data DIR]
+//	besteffsd [-addr HOST:PORT] [-capacity BYTES] [-shards N] [-policy NAME] [-data DIR]
 //	          [-sweep DUR] [-status HOST:PORT] [-pprof] [-sample DUR]
 //	          [-sample-window N] [-max-conns N] [-max-batch N] [-req-timeout DUR]
 //	          [-drain DUR] [-join ADDRS] [-replicas N] [-repl-threshold F]
@@ -48,9 +48,16 @@
 // -sample-window samples, visible in status JSON, /metrics and
 // "besteffsctl density".
 //
+// With -shards N > 1, the capacity is partitioned over N in-process shards,
+// each with its own lock and WAL stream, so concurrent puts on a multi-core
+// box contend on N locks instead of one. Shard routing hashes the object ID,
+// so the same key lands on the same shard across restarts. Checkpoints cut
+// all shards at one instant, and recovery rebuilds every shard to that cut.
+//
 // With -data, payload bytes are kept in crash-safe files under DIR/blobs and
 // a segmented metadata write-ahead log grows under DIR/wal (rotating at
-// -wal-segment bytes). On startup the node loads its newest checkpoint,
+// -wal-segment bytes; with -shards N > 1, under DIR/shard-NNN/wal per
+// shard -- an existing unsharded DIR/wal is migrated on first sharded boot). On startup the node loads its newest checkpoint,
 // replays only the segments written after it, truncates any torn tail a
 // crash left behind, and reconciles metadata against the payload files. A
 // pre-WAL DIR/journal.log is migrated automatically on first boot. The
@@ -116,6 +123,7 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("besteffsd", flag.ContinueOnError)
 	addr := fs.String("addr", "127.0.0.1:7459", "listen address")
 	capacity := fs.Int64("capacity", 1<<30, "storage capacity in bytes")
+	shards := fs.Int("shards", 1, "in-process shards splitting the capacity (1 = unsharded)")
 	policyName := fs.String("policy", "temporal", "admission policy: temporal, fifo, traditional or fair-share")
 	share := fs.Float64("share", 0.5, "per-owner capacity fraction for -policy fair-share")
 	dataDir := fs.String("data", "", "directory for on-disk payloads (default: in-memory)")
@@ -150,6 +158,9 @@ func run(args []string) error {
 	}
 	if *walSegment <= 0 {
 		return fmt.Errorf("-wal-segment %d is not positive", *walSegment)
+	}
+	if *shards < 1 {
+		return fmt.Errorf("-shards %d is not positive", *shards)
 	}
 	if *maxConns < 0 {
 		return fmt.Errorf("-max-conns %d is negative", *maxConns)
@@ -215,14 +226,13 @@ func run(args []string) error {
 		nodeAddr = *addr
 	}
 	opts = append(opts, server.WithNodeAddr(nodeAddr))
-	var wal *journal.WAL
+	var wals []*journal.WAL
 	if *dataDir != "" {
 		files, err := blob.NewFileStore(filepath.Join(*dataDir, "blobs"))
 		if err != nil {
 			return err
 		}
-		walDir := filepath.Join(*dataDir, server.WALDirName)
-		wal, err = journal.OpenWAL(walDir, journal.WithSegmentBytes(*walSegment))
+		wals, err = server.OpenShardWALs(*dataDir, *shards, journal.WithSegmentBytes(*walSegment))
 		if err != nil {
 			if errors.Is(err, journal.ErrCorrupt) {
 				return fmt.Errorf("%w\nrun \"besteffsctl fsck %s\" to inspect the damage", err, *dataDir)
@@ -232,17 +242,22 @@ func run(args []string) error {
 		// Safety net for early-exit paths; the normal path closes
 		// explicitly after Serve drains (Close is idempotent).
 		defer func() {
-			if err := wal.Close(); err != nil {
-				log.Error("close wal", "err", err)
+			for _, w := range wals {
+				if err := w.Close(); err != nil {
+					log.Error("close wal", "err", err)
+				}
 			}
 		}()
-		opts = append(opts, server.WithBlobStore(files), server.WithWAL(wal))
+		opts = append(opts, server.WithBlobStore(files), server.WithWALs(wals))
 		if *checkpoint > 0 {
 			opts = append(opts, server.WithCheckpointInterval(*checkpoint))
 		}
-		log.Info("persistent node", "blobs", files.Root(), "wal", walDir)
+		log.Info("persistent node", "blobs", files.Root(),
+			"wal", server.ShardWALDir(*dataDir, *shards, 0), "shards", *shards)
 	}
-	srv, err := server.New(*capacity, pol, opts...)
+	srv, err := server.New(server.EngineConfig{
+		Capacity: *capacity, Policy: pol, Shards: *shards,
+	}, opts...)
 	if err != nil {
 		return err
 	}
@@ -360,8 +375,10 @@ func run(args []string) error {
 		mcfg := member.Config{
 			Addr: selfAddr,
 			Self: func() (float64, int64, float64) {
-				sm := srv.Unit().SampleAt(srv.Now())
-				return sm.Boundary, srv.Unit().Capacity() - srv.Unit().Used(), sm.Density
+				// The advertisement is the engine's merged view: boundary is
+				// the cheapest shard's, free and density span all shards.
+				sm := srv.Engine().SampleAt(srv.Now())
+				return sm.Boundary, srv.Engine().Free(), sm.Density
 			},
 			Seeds:    seeds,
 			Interval: *gossipInterval,
@@ -474,7 +491,7 @@ func run(args []string) error {
 	// append -- is done. Checkpoint the final state (making the next boot
 	// replay-free), then sync and close the WAL while we can still report
 	// failures, instead of relying on the deferred Close.
-	if wal != nil {
+	if len(wals) > 0 {
 		if *checkpoint > 0 {
 			if cp, err := srv.Checkpoint(); err != nil {
 				log.Error("final checkpoint", "err", err)
@@ -482,11 +499,13 @@ func run(args []string) error {
 				log.Info("final checkpoint", "seq", cp.Seq, "objects", cp.Objects)
 			}
 		}
-		if err := wal.Sync(); err != nil {
-			log.Error("sync wal", "err", err)
-		}
-		if err := wal.Close(); err != nil {
-			log.Error("close wal", "err", err)
+		for _, w := range wals {
+			if err := w.Sync(); err != nil {
+				log.Error("sync wal", "err", err)
+			}
+			if err := w.Close(); err != nil {
+				log.Error("close wal", "err", err)
+			}
 		}
 	}
 	log.Info("besteffsd stopped")

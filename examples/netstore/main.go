@@ -44,7 +44,7 @@ func run() error {
 	// spreads the full table everywhere.
 	var seed string
 	for i := 0; i < 3; i++ {
-		srv, err := besteffs.NewServer(nodeCapacity, besteffs.TemporalImportance{})
+		srv, err := besteffs.NewServer(besteffs.EngineConfig{Capacity: nodeCapacity, Policy: besteffs.TemporalImportance{}})
 		if err != nil {
 			return err
 		}

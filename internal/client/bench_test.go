@@ -45,7 +45,7 @@ var benchPayload = make([]byte, 128)
 // admission never ranks residents) and returns its address.
 func startBenchNode(b testing.TB) string {
 	b.Helper()
-	srv, err := server.New(1<<40, policy.TemporalImportance{},
+	srv, err := server.New(server.EngineConfig{Capacity: 1 << 40, Policy: policy.TemporalImportance{}},
 		server.WithLogger(discardLogger()))
 	if err != nil {
 		b.Fatalf("server.New: %v", err)
@@ -82,7 +82,7 @@ func startBenchNodeTLS(b testing.TB) (string, *tls.Config) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	srv, err := server.New(1<<40, policy.TemporalImportance{},
+	srv, err := server.New(server.EngineConfig{Capacity: 1 << 40, Policy: policy.TemporalImportance{}},
 		server.WithLogger(discardLogger()))
 	if err != nil {
 		b.Fatalf("server.New: %v", err)
@@ -209,4 +209,97 @@ func BenchmarkWirePutTLS(b *testing.B) {
 		}()
 	}
 	wg.Wait()
+}
+
+// BenchmarkWirePutSharded measures what keyspace sharding buys on a
+// saturated node. Unlike BenchmarkWirePut's never-full store, this node's
+// capacity is tiny next to the offered load, so every put pays the real
+// reclamation path: rank the shard's residents by current importance,
+// preempt the least dense prefix, admit. That cost is O(n log n) in the
+// shard's resident count, so 4 shards cut each admission's sort to a
+// quarter of the keyspace on top of letting the four connections take
+// four different shard locks. The CI bench-smoke job runs shards=1
+// against shards=4 at GOMAXPROCS=4 and fails below 2.5x; BENCH_wire.json
+// records both.
+func BenchmarkWirePutSharded(b *testing.B) {
+	const (
+		conns    = 4
+		capacity = 128 << 10 // ~4096 residents of 32 bytes: sorts dominate RTT
+		prefill  = capacity / 32
+	)
+	// Linearly waning importance keeps the resident set strictly ordered by
+	// arrival: every fresh put outranks the oldest resident, so admissions
+	// preempt rather than bounce off the boundary.
+	imp := importance.Linear{Start: 1, Expire: importance.Day}
+	payload := make([]byte, 32)
+	put := func() PutRequest {
+		return PutRequest{ID: nextBenchID(), Importance: imp, Payload: payload}
+	}
+	for _, shards := range []int{1, 4} {
+		b.Run("shards="+strconv.Itoa(shards), func(b *testing.B) {
+			srv, err := server.New(server.EngineConfig{
+				Capacity: capacity, Policy: policy.TemporalImportance{}, Shards: shards,
+			}, server.WithLogger(discardLogger()))
+			if err != nil {
+				b.Fatalf("server.New: %v", err)
+			}
+			l, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				b.Fatalf("listen: %v", err)
+			}
+			ctx, cancel := context.WithCancel(context.Background())
+			done := make(chan error, 1)
+			go func() { done <- srv.Serve(ctx, l) }()
+			b.Cleanup(func() {
+				cancel()
+				if err := <-done; err != nil {
+					b.Errorf("Serve: %v", err)
+				}
+			})
+
+			clients := make([]*Client, conns)
+			for i := range clients {
+				c, err := Connect(l.Addr().String(), WithTimeout(5*time.Second), WithMaxBatchSubs(64))
+				if err != nil {
+					b.Fatalf("Connect: %v", err)
+				}
+				clients[i] = c
+				defer c.Close()
+			}
+
+			// Saturate before timing so iteration one already ranks a full
+			// resident set.
+			for filled := 0; filled < prefill; {
+				n := 64
+				if rest := prefill - filled; rest < n {
+					n = rest
+				}
+				reqs := make([]PutRequest, n)
+				for i := range reqs {
+					reqs[i] = put()
+				}
+				if _, err := clients[0].PutBatch(context.Background(), reqs); err != nil {
+					b.Fatalf("prefill: %v", err)
+				}
+				filled += n
+			}
+
+			b.ResetTimer()
+			var next atomic.Int64
+			var wg sync.WaitGroup
+			for w := 0; w < conns; w++ {
+				wg.Add(1)
+				go func(c *Client) {
+					defer wg.Done()
+					for next.Add(1) <= int64(b.N) {
+						if _, err := c.PutCtx(context.Background(), put()); err != nil {
+							b.Errorf("put: %v", err)
+							return
+						}
+					}
+				}(clients[w])
+			}
+			wg.Wait()
+		})
+	}
 }

@@ -444,13 +444,6 @@ func (c *Client) PutCtx(ctx context.Context, req PutRequest) (PutResult, error) 
 	return putResultFrom(resp)
 }
 
-// Put stores an object on the node.
-//
-// Deprecated: use PutCtx.
-func (c *Client) Put(req PutRequest) (PutResult, error) {
-	return c.PutCtx(context.Background(), req)
-}
-
 // UpdateCtx supersedes the resident version of req.ID with new bytes and a
 // new annotation (Besteffs versioned writes). The old version's space is
 // reclaimable by right; a rejection leaves it untouched. ErrNotFound means
@@ -468,13 +461,6 @@ func (c *Client) UpdateCtx(ctx context.Context, req PutRequest) (PutResult, erro
 		return PutResult{}, err
 	}
 	return putResultFrom(resp)
-}
-
-// Update supersedes the resident version of req.ID.
-//
-// Deprecated: use UpdateCtx.
-func (c *Client) Update(req PutRequest) (PutResult, error) {
-	return c.UpdateCtx(context.Background(), req)
 }
 
 // BatchOutcome is one sub-request's result from PutBatch: its admission
@@ -576,13 +562,6 @@ func (c *Client) GetCtx(ctx context.Context, id object.ID) (Object, error) {
 	}
 }
 
-// Get retrieves an object.
-//
-// Deprecated: use GetCtx.
-func (c *Client) Get(id object.ID) (Object, error) {
-	return c.GetCtx(context.Background(), id)
-}
-
 // DeleteCtx removes an object.
 func (c *Client) DeleteCtx(ctx context.Context, id object.ID) error {
 	resp, err := c.roundTripCtx(ctx, &wire.Delete{ID: id})
@@ -599,18 +578,24 @@ func (c *Client) DeleteCtx(ctx context.Context, id object.ID) error {
 	}
 }
 
-// Delete removes an object.
-//
-// Deprecated: use DeleteCtx.
-func (c *Client) Delete(id object.ID) error {
-	return c.DeleteCtx(context.Background(), id)
-}
-
 // Stats reports a node's capacity, usage and density.
 type Stats struct {
 	Capacity, Used int64
 	Objects        int
 	Density        float64
+	// Shards is the node's per-shard breakdown, in shard order (a single
+	// entry on unsharded nodes).
+	Shards []ShardStats
+}
+
+// ShardStats is one shard's slice of a node's Stats.
+type ShardStats struct {
+	Capacity, Used int64
+	Objects        int
+	Density        float64
+	// Boundary is the shard's importance boundary: what an arrival routed
+	// there must exceed once the shard is full.
+	Boundary float64
 }
 
 // StatCtx fetches node statistics.
@@ -621,24 +606,27 @@ func (c *Client) StatCtx(ctx context.Context) (Stats, error) {
 	}
 	switch r := resp.(type) {
 	case *wire.StatResult:
-		return Stats{
+		st := Stats{
 			Capacity: r.Capacity,
 			Used:     r.Used,
 			Objects:  int(r.Objects),
 			Density:  r.Density,
-		}, nil
+		}
+		for _, sh := range r.Shards {
+			st.Shards = append(st.Shards, ShardStats{
+				Capacity: sh.Capacity,
+				Used:     sh.Used,
+				Objects:  int(sh.Objects),
+				Density:  sh.Density,
+				Boundary: sh.Boundary,
+			})
+		}
+		return st, nil
 	case *wire.ErrorMsg:
 		return Stats{}, translateError(r)
 	default:
 		return Stats{}, fmt.Errorf("%w: %v", ErrUnexpected, resp.Op())
 	}
-}
-
-// Stat fetches node statistics.
-//
-// Deprecated: use StatCtx.
-func (c *Client) Stat() (Stats, error) {
-	return c.StatCtx(context.Background())
 }
 
 // ProbeCtx asks the node for the admission boundary of a hypothetical
@@ -656,13 +644,6 @@ func (c *Client) ProbeCtx(ctx context.Context, size int64, imp importance.Functi
 	default:
 		return false, 0, fmt.Errorf("%w: %v", ErrUnexpected, resp.Op())
 	}
-}
-
-// Probe asks the node for the admission boundary of a hypothetical object.
-//
-// Deprecated: use ProbeCtx.
-func (c *Client) Probe(size int64, imp importance.Function) (admissible bool, boundary float64, err error) {
-	return c.ProbeCtx(context.Background(), size, imp)
 }
 
 // RejuvenateCtx replaces a resident object's importance annotation with a
@@ -685,13 +666,6 @@ func (c *Client) RejuvenateCtx(ctx context.Context, id object.ID, imp importance
 	}
 }
 
-// Rejuvenate replaces a resident object's importance annotation.
-//
-// Deprecated: use RejuvenateCtx.
-func (c *Client) Rejuvenate(id object.ID, imp importance.Function) (version uint32, err error) {
-	return c.RejuvenateCtx(context.Background(), id, imp)
-}
-
 // DensityCtx fetches the node's storage importance density.
 func (c *Client) DensityCtx(ctx context.Context) (float64, error) {
 	resp, err := c.roundTripCtx(ctx, &wire.Density{})
@@ -706,13 +680,6 @@ func (c *Client) DensityCtx(ctx context.Context) (float64, error) {
 	default:
 		return 0, fmt.Errorf("%w: %v", ErrUnexpected, resp.Op())
 	}
-}
-
-// Density fetches the node's storage importance density.
-//
-// Deprecated: use DensityCtx.
-func (c *Client) Density() (float64, error) {
-	return c.DensityCtx(context.Background())
 }
 
 // DensitySample is one point of a node's sampled density trajectory.
@@ -755,13 +722,6 @@ func (c *Client) DensityHistoryCtx(ctx context.Context) ([]DensitySample, error)
 	}
 }
 
-// DensityHistory fetches the node's sampled density trajectory.
-//
-// Deprecated: use DensityHistoryCtx.
-func (c *Client) DensityHistory() ([]DensitySample, error) {
-	return c.DensityHistoryCtx(context.Background())
-}
-
 // ListCtx fetches the node's resident object IDs.
 func (c *Client) ListCtx(ctx context.Context) ([]object.ID, error) {
 	resp, err := c.roundTripCtx(ctx, &wire.List{})
@@ -776,13 +736,6 @@ func (c *Client) ListCtx(ctx context.Context) ([]object.ID, error) {
 	default:
 		return nil, fmt.Errorf("%w: %v", ErrUnexpected, resp.Op())
 	}
-}
-
-// List fetches the node's resident object IDs.
-//
-// Deprecated: use ListCtx.
-func (c *Client) List() ([]object.ID, error) {
-	return c.ListCtx(context.Background())
 }
 
 // Node health defaults for ClusterClient.
@@ -1222,13 +1175,6 @@ func (cc *ClusterClient) PutCtx(ctx context.Context, req PutRequest) (Placement,
 	return Placement{}, fmt.Errorf("%w: %s", ErrClusterFull, req.ID)
 }
 
-// Put places an object on the cluster.
-//
-// Deprecated: use PutCtx.
-func (cc *ClusterClient) Put(req PutRequest) (Placement, error) {
-	return cc.PutCtx(context.Background(), req)
-}
-
 // commit stores the object on the chosen node. retryable reports whether
 // the caller may fall back to another candidate: transport failures and
 // refused-after-probe races are retryable, remote verdicts (duplicate ID,
@@ -1402,13 +1348,6 @@ func (cc *ClusterClient) GetCtx(ctx context.Context, id object.ID) (Object, erro
 	return Object{}, fmt.Errorf("%w: %s", ErrNotFound, id)
 }
 
-// Get retrieves an object from the cluster.
-//
-// Deprecated: use GetCtx.
-func (cc *ClusterClient) Get(id object.ID) (Object, error) {
-	return cc.GetCtx(context.Background(), id)
-}
-
 // AverageDensityCtx averages the density across the reachable nodes.
 func (cc *ClusterClient) AverageDensityCtx(ctx context.Context) (float64, error) {
 	total := 0.0
@@ -1437,11 +1376,4 @@ func (cc *ClusterClient) AverageDensityCtx(ctx context.Context) (float64, error)
 		return 0, ErrNoHealthyNodes
 	}
 	return total / float64(answered), nil
-}
-
-// AverageDensity averages the density across the reachable nodes.
-//
-// Deprecated: use AverageDensityCtx.
-func (cc *ClusterClient) AverageDensity() (float64, error) {
-	return cc.AverageDensityCtx(context.Background())
 }

@@ -23,7 +23,7 @@ func startNodes(t *testing.T, n int, capacity int64) []*Client {
 	t.Helper()
 	clients := make([]*Client, n)
 	for i := 0; i < n; i++ {
-		srv, err := server.New(capacity, policy.TemporalImportance{})
+		srv, err := server.New(server.EngineConfig{Capacity: capacity, Policy: policy.TemporalImportance{}})
 		if err != nil {
 			t.Fatalf("server.New: %v", err)
 		}
@@ -58,7 +58,7 @@ func TestClusterClientPlacesAcrossNodes(t *testing.T) {
 	}
 	seen := make(map[int]bool)
 	for i := 0; i < 20; i++ {
-		p, err := cc.Put(PutRequest{
+		p, err := cc.PutCtx(context.Background(), PutRequest{
 			ID:         object.ID(fmt.Sprintf("o%02d", i)),
 			Importance: importance.Constant{Level: 0.5},
 			Payload:    make([]byte, 200),
@@ -74,7 +74,7 @@ func TestClusterClientPlacesAcrossNodes(t *testing.T) {
 	// Every object is retrievable through the cluster.
 	for i := 0; i < 20; i++ {
 		id := object.ID(fmt.Sprintf("o%02d", i))
-		got, err := cc.Get(id)
+		got, err := cc.GetCtx(context.Background(), id)
 		if err != nil {
 			t.Fatalf("Get %s: %v", id, err)
 		}
@@ -82,7 +82,7 @@ func TestClusterClientPlacesAcrossNodes(t *testing.T) {
 			t.Errorf("Get %s = %+v", id, got)
 		}
 	}
-	avg, err := cc.AverageDensity()
+	avg, err := cc.AverageDensityCtx(context.Background())
 	if err != nil {
 		t.Fatalf("AverageDensity: %v", err)
 	}
@@ -98,7 +98,7 @@ func TestClusterClientLowestBoundary(t *testing.T) {
 	// land on the 0.2 node.
 	levels := []float64{0.9, 0.9, 0.2}
 	for i, c := range clients {
-		if _, err := c.Put(PutRequest{
+		if _, err := c.PutCtx(context.Background(), PutRequest{
 			ID:         object.ID(fmt.Sprintf("fill%d", i)),
 			Importance: importance.Constant{Level: levels[i]},
 			Payload:    make([]byte, 100),
@@ -110,7 +110,7 @@ func TestClusterClientLowestBoundary(t *testing.T) {
 	if err != nil {
 		t.Fatalf("NewClusterClient: %v", err)
 	}
-	p, err := cc.Put(PutRequest{
+	p, err := cc.PutCtx(context.Background(), PutRequest{
 		ID:         "in",
 		Importance: importance.Constant{Level: 0.5},
 		Payload:    make([]byte, 50),
@@ -129,7 +129,7 @@ func TestClusterClientLowestBoundary(t *testing.T) {
 func TestClusterClientFull(t *testing.T) {
 	clients := startNodes(t, 3, 100)
 	for i, c := range clients {
-		if _, err := c.Put(PutRequest{
+		if _, err := c.PutCtx(context.Background(), PutRequest{
 			ID:         object.ID(fmt.Sprintf("fill%d", i)),
 			Importance: importance.Constant{Level: 1},
 			Payload:    make([]byte, 100),
@@ -141,7 +141,7 @@ func TestClusterClientFull(t *testing.T) {
 	if err != nil {
 		t.Fatalf("NewClusterClient: %v", err)
 	}
-	_, err = cc.Put(PutRequest{
+	_, err = cc.PutCtx(context.Background(), PutRequest{
 		ID:         "in",
 		Importance: importance.Constant{Level: 0.5},
 		Payload:    make([]byte, 50),
@@ -149,7 +149,7 @@ func TestClusterClientFull(t *testing.T) {
 	if !errors.Is(err, ErrClusterFull) {
 		t.Errorf("Put on saturated cluster err = %v, want ErrClusterFull", err)
 	}
-	if _, err := cc.Get("missing"); !errors.Is(err, ErrNotFound) {
+	if _, err := cc.GetCtx(context.Background(), "missing"); !errors.Is(err, ErrNotFound) {
 		t.Errorf("Get missing err = %v, want ErrNotFound", err)
 	}
 }
@@ -184,7 +184,7 @@ func TestDialClusterClosesOnPartialFailure(t *testing.T) {
 func TestProbeThenAgeOverWire(t *testing.T) {
 	clients := startNodes(t, 1, 100)
 	c := clients[0]
-	if _, err := c.Put(PutRequest{
+	if _, err := c.PutCtx(context.Background(), PutRequest{
 		ID:         "waning",
 		Importance: importance.TwoStep{Plateau: 0.8, Persist: 0, Wane: 10 * day},
 		Payload:    make([]byte, 100),
@@ -192,7 +192,7 @@ func TestProbeThenAgeOverWire(t *testing.T) {
 		t.Fatalf("Put: %v", err)
 	}
 	// Immediately after storing, a 0.5 probe is blocked (resident ~0.8).
-	admissible, boundary, err := c.Probe(50, importance.Constant{Level: 0.5})
+	admissible, boundary, err := c.ProbeCtx(context.Background(), 50, importance.Constant{Level: 0.5})
 	if err != nil {
 		t.Fatalf("Probe: %v", err)
 	}
@@ -200,7 +200,7 @@ func TestProbeThenAgeOverWire(t *testing.T) {
 		t.Errorf("probe admitted against fresher 0.8 resident (boundary %v)", boundary)
 	}
 	// A stronger arrival is admissible.
-	admissible, boundary, err = c.Probe(50, importance.Constant{Level: 0.9})
+	admissible, boundary, err = c.ProbeCtx(context.Background(), 50, importance.Constant{Level: 0.9})
 	if err != nil {
 		t.Fatalf("Probe: %v", err)
 	}

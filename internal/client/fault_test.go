@@ -45,7 +45,7 @@ func startLiveNodes(t *testing.T, n int, capacity int64) []*liveNode {
 	t.Helper()
 	nodes := make([]*liveNode, n)
 	for i := 0; i < n; i++ {
-		srv, err := server.New(capacity, policy.TemporalImportance{})
+		srv, err := server.New(server.EngineConfig{Capacity: capacity, Policy: policy.TemporalImportance{}})
 		if err != nil {
 			t.Fatalf("server.New: %v", err)
 		}
@@ -99,7 +99,7 @@ func TestClusterClientSurvivesNodeKill(t *testing.T) {
 	cc.EjectFor = 50 * time.Millisecond
 
 	put := func(id string) error {
-		_, err := cc.Put(PutRequest{
+		_, err := cc.PutCtx(context.Background(), PutRequest{
 			ID:         object.ID(id),
 			Importance: importance.Constant{Level: 0.5},
 			Payload:    make([]byte, 128),
@@ -145,7 +145,7 @@ func TestClusterClientSurvivesNodeKill(t *testing.T) {
 	for w := 0; w < 3; w++ {
 		for i := 0; i < 10; i++ {
 			id := object.ID(fmt.Sprintf("after-w%d-%02d", w, i))
-			if _, err := cc.Get(id); err != nil {
+			if _, err := cc.GetCtx(context.Background(), id); err != nil {
 				t.Errorf("Get %s: %v", id, err)
 			}
 		}
@@ -184,7 +184,7 @@ func TestClusterClientAllNodesDead(t *testing.T) {
 	for _, n := range nodes {
 		n.kill(t)
 	}
-	_, err = cc.Put(PutRequest{
+	_, err = cc.PutCtx(context.Background(), PutRequest{
 		ID:         "doomed",
 		Importance: importance.Constant{Level: 0.5},
 		Payload:    make([]byte, 16),
@@ -223,7 +223,7 @@ func TestDialClusterQuorum(t *testing.T) {
 	cc.EjectFor = 20 * time.Millisecond
 
 	if err := func() error {
-		_, err := cc.Put(PutRequest{
+		_, err := cc.PutCtx(context.Background(), PutRequest{
 			ID:         "early",
 			Importance: importance.Constant{Level: 0.5},
 			Payload:    make([]byte, 16),
@@ -234,7 +234,7 @@ func TestDialClusterQuorum(t *testing.T) {
 	}
 
 	// Bring the late node up; the cluster should redial it lazily.
-	srv, err := server.New(1<<20, policy.TemporalImportance{})
+	srv, err := server.New(server.EngineConfig{Capacity: 1 << 20, Policy: policy.TemporalImportance{}})
 	if err != nil {
 		t.Fatalf("server.New: %v", err)
 	}
@@ -281,7 +281,7 @@ func TestClientReconnectsAfterReset(t *testing.T) {
 	c.mu.Lock()
 	c.conn.Close()
 	c.mu.Unlock()
-	if _, err := c.Stat(); err != nil {
+	if _, err := c.StatCtx(context.Background()); err != nil {
 		t.Fatalf("Stat after connection drop: %v", err)
 	}
 	if c.Counters()["reconnects"] == 0 {
@@ -293,7 +293,7 @@ func TestClientReconnectsAfterReset(t *testing.T) {
 // fault-injecting pipe and checks the client surfaces injected faults as
 // errors instead of hanging (the deadline path).
 func TestClientThroughFaultyConn(t *testing.T) {
-	srv, err := server.New(1<<20, policy.TemporalImportance{})
+	srv, err := server.New(server.EngineConfig{Capacity: 1 << 20, Policy: policy.TemporalImportance{}})
 	if err != nil {
 		t.Fatalf("server.New: %v", err)
 	}
@@ -321,7 +321,7 @@ func TestClientThroughFaultyConn(t *testing.T) {
 
 	sawError := false
 	for i := 0; i < 20; i++ {
-		_, err := c.Stat()
+		_, err := c.StatCtx(context.Background())
 		if err != nil {
 			sawError = true
 			break

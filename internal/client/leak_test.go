@@ -74,7 +74,7 @@ func (l *countedListener) Accept() (net.Conn, error) {
 // accept side.
 func startCountedNode(t *testing.T, clustered bool, tlsCfg *tls.Config) (string, *connCounter) {
 	t.Helper()
-	srv, err := server.New(1<<20, policy.TemporalImportance{},
+	srv, err := server.New(server.EngineConfig{Capacity: 1 << 20, Policy: policy.TemporalImportance{}},
 		server.WithLogger(discardLogger()))
 	if err != nil {
 		t.Fatalf("server.New: %v", err)

@@ -57,7 +57,7 @@ func guardGoroutines(t *testing.T) {
 // store for verification.
 func startFaultyNode(t *testing.T, inj *faultnet.Injector, capacity int64) (faulty, clean string) {
 	t.Helper()
-	srv, err := server.New(capacity, policy.TemporalImportance{},
+	srv, err := server.New(server.EngineConfig{Capacity: capacity, Policy: policy.TemporalImportance{}},
 		server.WithLogger(discardLogger()))
 	if err != nil {
 		t.Fatalf("server.New: %v", err)

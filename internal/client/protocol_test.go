@@ -1,6 +1,7 @@
 package client
 
 import (
+	"context"
 	"errors"
 	"net"
 	"testing"
@@ -47,30 +48,30 @@ func TestClientRejectsMismatchedResponses(t *testing.T) {
 	c := pipeClient(t, wrong)
 	imp := importance.Constant{Level: 1}
 
-	if _, err := c.Put(PutRequest{ID: "x", Importance: imp, Payload: []byte("p")}); !errors.Is(err, ErrUnexpected) {
+	if _, err := c.PutCtx(context.Background(), PutRequest{ID: "x", Importance: imp, Payload: []byte("p")}); !errors.Is(err, ErrUnexpected) {
 		t.Errorf("Put err = %v, want ErrUnexpected", err)
 	}
-	if _, err := c.Get("x"); !errors.Is(err, ErrUnexpected) {
+	if _, err := c.GetCtx(context.Background(), "x"); !errors.Is(err, ErrUnexpected) {
 		t.Errorf("Get err = %v, want ErrUnexpected", err)
 	}
-	if _, err := c.Stat(); !errors.Is(err, ErrUnexpected) {
+	if _, err := c.StatCtx(context.Background()); !errors.Is(err, ErrUnexpected) {
 		t.Errorf("Stat err = %v, want ErrUnexpected", err)
 	}
-	if _, _, err := c.Probe(1, imp); !errors.Is(err, ErrUnexpected) {
+	if _, _, err := c.ProbeCtx(context.Background(), 1, imp); !errors.Is(err, ErrUnexpected) {
 		t.Errorf("Probe err = %v, want ErrUnexpected", err)
 	}
-	if _, err := c.Density(); !errors.Is(err, ErrUnexpected) {
+	if _, err := c.DensityCtx(context.Background()); !errors.Is(err, ErrUnexpected) {
 		t.Errorf("Density err = %v, want ErrUnexpected", err)
 	}
-	if _, err := c.List(); !errors.Is(err, ErrUnexpected) {
+	if _, err := c.ListCtx(context.Background()); !errors.Is(err, ErrUnexpected) {
 		t.Errorf("List err = %v, want ErrUnexpected", err)
 	}
-	if _, err := c.Rejuvenate("x", imp); !errors.Is(err, ErrUnexpected) {
+	if _, err := c.RejuvenateCtx(context.Background(), "x", imp); !errors.Is(err, ErrUnexpected) {
 		t.Errorf("Rejuvenate err = %v, want ErrUnexpected", err)
 	}
 
 	del := pipeClient(t, &wire.PutResult{}) // wrong for Delete
-	if err := del.Delete("x"); !errors.Is(err, ErrUnexpected) {
+	if err := del.DeleteCtx(context.Background(), "x"); !errors.Is(err, ErrUnexpected) {
 		t.Errorf("Delete err = %v, want ErrUnexpected", err)
 	}
 }
@@ -88,28 +89,28 @@ func TestClientSurfacesRemoteErrors(t *testing.T) {
 		t.Run(tt.name, func(t *testing.T) {
 			c := pipeClient(t, tt.resp)
 			imp := importance.Constant{Level: 1}
-			if _, err := c.Put(PutRequest{ID: "x", Importance: imp, Payload: []byte("p")}); !errors.Is(err, tt.want) {
+			if _, err := c.PutCtx(context.Background(), PutRequest{ID: "x", Importance: imp, Payload: []byte("p")}); !errors.Is(err, tt.want) {
 				t.Errorf("Put err = %v, want %v", err, tt.want)
 			}
-			if _, err := c.Get("x"); !errors.Is(err, tt.want) {
+			if _, err := c.GetCtx(context.Background(), "x"); !errors.Is(err, tt.want) {
 				t.Errorf("Get err = %v, want %v", err, tt.want)
 			}
-			if err := c.Delete("x"); !errors.Is(err, tt.want) {
+			if err := c.DeleteCtx(context.Background(), "x"); !errors.Is(err, tt.want) {
 				t.Errorf("Delete err = %v, want %v", err, tt.want)
 			}
-			if _, err := c.Stat(); !errors.Is(err, tt.want) {
+			if _, err := c.StatCtx(context.Background()); !errors.Is(err, tt.want) {
 				t.Errorf("Stat err = %v, want %v", err, tt.want)
 			}
-			if _, _, err := c.Probe(1, imp); !errors.Is(err, tt.want) {
+			if _, _, err := c.ProbeCtx(context.Background(), 1, imp); !errors.Is(err, tt.want) {
 				t.Errorf("Probe err = %v, want %v", err, tt.want)
 			}
-			if _, err := c.Density(); !errors.Is(err, tt.want) {
+			if _, err := c.DensityCtx(context.Background()); !errors.Is(err, tt.want) {
 				t.Errorf("Density err = %v, want %v", err, tt.want)
 			}
-			if _, err := c.List(); !errors.Is(err, tt.want) {
+			if _, err := c.ListCtx(context.Background()); !errors.Is(err, tt.want) {
 				t.Errorf("List err = %v, want %v", err, tt.want)
 			}
-			if _, err := c.Rejuvenate("x", imp); !errors.Is(err, tt.want) {
+			if _, err := c.RejuvenateCtx(context.Background(), "x", imp); !errors.Is(err, tt.want) {
 				t.Errorf("Rejuvenate err = %v, want %v", err, tt.want)
 			}
 		})
@@ -118,7 +119,7 @@ func TestClientSurfacesRemoteErrors(t *testing.T) {
 
 func TestClientInternalErrorPassesThrough(t *testing.T) {
 	c := pipeClient(t, &wire.ErrorMsg{Code: wire.CodeInternal, Text: "disk on fire"})
-	_, err := c.Density()
+	_, err := c.DensityCtx(context.Background())
 	if err == nil || errors.Is(err, ErrNotFound) || errors.Is(err, ErrDuplicate) {
 		t.Errorf("internal error mis-translated: %v", err)
 	}
@@ -133,7 +134,7 @@ func TestClientClosedConnection(t *testing.T) {
 	serverEnd.Close()
 	c := NewClient(clientEnd)
 	defer c.Close()
-	if _, err := c.Density(); err == nil {
+	if _, err := c.DensityCtx(context.Background()); err == nil {
 		t.Error("request on closed connection succeeded")
 	}
 }
@@ -141,17 +142,17 @@ func TestClientClosedConnection(t *testing.T) {
 func TestClientSuccessResponses(t *testing.T) {
 	// Well-formed responses decode into the typed results.
 	c := pipeClient(t, &wire.StatResult{Capacity: 100, Used: 40, Objects: 2, Density: 0.3})
-	st, err := c.Stat()
+	st, err := c.StatCtx(context.Background())
 	if err != nil || st.Capacity != 100 || st.Used != 40 || st.Objects != 2 || st.Density != 0.3 {
 		t.Errorf("Stat = %+v, %v", st, err)
 	}
 	c2 := pipeClient(t, &wire.RejuvenateResult{Version: 7})
-	v, err := c2.Rejuvenate("x", importance.Constant{Level: 1})
+	v, err := c2.RejuvenateCtx(context.Background(), "x", importance.Constant{Level: 1})
 	if err != nil || v != 7 {
 		t.Errorf("Rejuvenate = %d, %v", v, err)
 	}
 	c3 := pipeClient(t, &wire.ListResult{IDs: nil})
-	ids, err := c3.List()
+	ids, err := c3.ListCtx(context.Background())
 	if err != nil || len(ids) != 0 {
 		t.Errorf("List = %v, %v", ids, err)
 	}

@@ -4,42 +4,23 @@ import (
 	"go/types"
 )
 
-// DeprecatedAPIAnalyzer forbids new internal uses of two deprecated API
-// families:
+// DeprecatedAPIAnalyzer forbids new internal uses of deprecated API
+// families. Today that is metrics.CounterSet outside its own package: PR 2
+// replaced it with the lock-free Registry (~4x faster on the uncontended
+// path, see BENCH_metrics.json) and registry.go documents that "new call
+// sites should instrument through a Registry".
 //
-//   - metrics.CounterSet outside its own package. PR 2 replaced it with the
-//     lock-free Registry (~4x faster on the uncontended path, see
-//     BENCH_metrics.json) and registry.go documents that "new call sites
-//     should instrument through a Registry".
+// The table once also carried the non-context client methods (Client.Put,
+// ClusterClient.Get, ...); those wrappers have since been deleted outright,
+// so the compiler enforces what this check used to.
 //
-//   - the non-context client methods (Client.Put, ClusterClient.Get, ...)
-//     outside internal/client. PR 5 made every request context-first
-//     (PutCtx and friends); the old signatures survive as "// Deprecated:"
-//     wrappers for external callers, but in-repo code should pass a context
-//     so cancellation and deadlines propagate through the pipelined mux.
-//
-// This check turns those deprecation comments into build-time rules.
-// Benchmarks and tests are exempt by construction: the lint loader only
-// analyzes non-test files.
+// This check turns deprecation comments into build-time rules. Benchmarks
+// and tests are exempt by construction: the lint loader only analyzes
+// non-test files.
 var DeprecatedAPIAnalyzer = &Analyzer{
 	Name: "deprecatedapi",
-	Doc: "forbid metrics.CounterSet outside internal/metrics and non-context " +
-		"client methods outside internal/client",
-	Run: runDeprecatedAPI,
-}
-
-// deprecatedClientMethods lists the context-free request methods by receiver
-// type. Each has a context-first replacement named <method>Ctx (except the
-// batch APIs, which were born context-first and are not listed).
-var deprecatedClientMethods = map[string]map[string]bool{
-	"Client": {
-		"Put": true, "Update": true, "Get": true, "Delete": true,
-		"Stat": true, "Probe": true, "Rejuvenate": true, "Density": true,
-		"DensityHistory": true, "List": true,
-	},
-	"ClusterClient": {
-		"Put": true, "Get": true, "AverageDensity": true,
-	},
+	Doc:  "forbid metrics.CounterSet outside internal/metrics",
+	Run:  runDeprecatedAPI,
 }
 
 func runDeprecatedAPI(pass *Pass) {
@@ -47,56 +28,23 @@ func runDeprecatedAPI(pass *Pass) {
 		if obj.Pkg() == nil {
 			continue
 		}
-		switch {
-		case pathMatches(obj.Pkg().Path(), "internal/metrics"):
-			if pathMatches(pass.Pkg.Path, "internal/metrics") {
-				continue
-			}
-			deprecated := false
-			switch o := obj.(type) {
-			case *types.TypeName:
-				deprecated = o.Name() == "CounterSet"
-			case *types.Func:
-				deprecated = o.Name() == "NewCounterSet"
-			}
-			if deprecated {
-				pass.Reportf(ident.Pos(),
-					"metrics.%s is deprecated outside internal/metrics: instrument through a metrics.Registry (see registry.go)",
-					obj.Name())
-			}
-		case pathMatches(obj.Pkg().Path(), "internal/client"):
-			if pathMatches(pass.Pkg.Path, "internal/client") {
-				continue
-			}
-			fn, ok := obj.(*types.Func)
-			if !ok {
-				continue
-			}
-			recv := receiverTypeName(fn)
-			if recv == "" || !deprecatedClientMethods[recv][fn.Name()] {
-				continue
-			}
+		if !pathMatches(obj.Pkg().Path(), "internal/metrics") {
+			continue
+		}
+		if pathMatches(pass.Pkg.Path, "internal/metrics") {
+			continue
+		}
+		deprecated := false
+		switch o := obj.(type) {
+		case *types.TypeName:
+			deprecated = o.Name() == "CounterSet"
+		case *types.Func:
+			deprecated = o.Name() == "NewCounterSet"
+		}
+		if deprecated {
 			pass.Reportf(ident.Pos(),
-				"client.%s.%s is deprecated: use %sCtx so cancellation and deadlines propagate",
-				recv, fn.Name(), fn.Name())
+				"metrics.%s is deprecated outside internal/metrics: instrument through a metrics.Registry (see registry.go)",
+				obj.Name())
 		}
 	}
-}
-
-// receiverTypeName returns the name of fn's receiver's named type ("" for
-// plain functions), unwrapping one level of pointer.
-func receiverTypeName(fn *types.Func) string {
-	sig, ok := fn.Type().(*types.Signature)
-	if !ok || sig.Recv() == nil {
-		return ""
-	}
-	t := sig.Recv().Type()
-	if p, ok := t.(*types.Pointer); ok {
-		t = p.Elem()
-	}
-	named, ok := t.(*types.Named)
-	if !ok {
-		return ""
-	}
-	return named.Obj().Name()
 }

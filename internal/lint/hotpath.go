@@ -55,7 +55,7 @@ type hotpathLockEntry struct {
 // blob store's map lock, and the client mux's registration lock.
 var hotpathAllowedLocks = []hotpathLockEntry{
 	{"internal/store", "Unit", "mu", "one acquisition per admission group"},
-	{"internal/server", "Server", "chkMu", "read side; orders mutations against checkpoints"},
+	{"internal/server", "shard", "chkMu", "read side; orders shard mutations against the coordinated checkpoint"},
 	{"internal/journal", "Writer", "mu", "journal sink serialization"},
 	{"internal/journal", "WAL", "mu", "WAL segment serialization"},
 	{"internal/blob", "MemStore", "mu", "payload map serialization"},

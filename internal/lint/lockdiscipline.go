@@ -25,9 +25,9 @@ type guardEntry struct {
 
 // lockGuards is the repository's documented field-to-mutex map. Sources:
 // store.Unit's mu serializes all resident-set state (store.go); the
-// DensityRing's mu guards its ring buffer (sampler.go); the server's chkMu
-// makes checkpoints a clean cut over the journal sink and WAL
-// (server.go's field comment).
+// DensityRing's mu guards its ring buffer (sampler.go); each server shard's
+// chkMu makes the coordinated checkpoint a clean cut over that shard's
+// journal sink and WAL (server.go's shard comment).
 var lockGuards = []guardEntry{
 	{
 		PkgSuffix: "internal/store",
@@ -43,7 +43,7 @@ var lockGuards = []guardEntry{
 	},
 	{
 		PkgSuffix: "internal/server",
-		TypeName:  "Server",
+		TypeName:  "shard",
 		Mutex:     "chkMu",
 		Fields:    []string{"journal", "wal"},
 	},

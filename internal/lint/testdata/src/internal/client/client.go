@@ -1,8 +1,6 @@
-// Package client is a deprecatedapi fixture: it mirrors the real client's
-// shape after the context-first redesign -- PutCtx and friends are current,
-// the context-free names survive as deprecated wrappers. Uses inside this
-// package are exempt; the real wrappers live here too. The mux type
-// mirrors the multiplexer's registration lock, which the hotpath lock
+// Package client mirrors the real client's shape after the context-free
+// wrappers were removed: every request method is context-first. The mux
+// type mirrors the multiplexer's registration lock, which the hotpath lock
 // allowlist names and validates.
 package client
 
@@ -22,20 +20,10 @@ type Client struct{}
 // PutCtx is the context-first put.
 func (c *Client) PutCtx(ctx context.Context, id string) error { return ctx.Err() }
 
-// Put stores an object.
-//
-// Deprecated: use PutCtx.
-func (c *Client) Put(id string) error { return c.PutCtx(context.Background(), id) }
-
 // GetCtx is the context-first get.
 func (c *Client) GetCtx(ctx context.Context, id string) (string, error) {
 	return "", ctx.Err()
 }
-
-// Get fetches an object.
-//
-// Deprecated: use GetCtx.
-func (c *Client) Get(id string) (string, error) { return c.GetCtx(context.Background(), id) }
 
 // ClusterClient mirrors the multi-node client.
 type ClusterClient struct{}
@@ -43,17 +31,11 @@ type ClusterClient struct{}
 // PutCtx is the context-first cluster put.
 func (cc *ClusterClient) PutCtx(ctx context.Context, id string) error { return ctx.Err() }
 
-// Put places an object on the cluster.
-//
-// Deprecated: use PutCtx.
-func (cc *ClusterClient) Put(id string) error { return cc.PutCtx(context.Background(), id) }
-
-// roundTrip proves in-package use of the deprecated names stays legal: the
-// wrappers themselves and their tests live here.
-func roundTrip(c *Client) error {
-	if err := c.Put("probe"); err != nil {
+// roundTrip keeps the request methods referenced from inside the package.
+func roundTrip(ctx context.Context, c *Client) error {
+	if err := c.PutCtx(ctx, "probe"); err != nil {
 		return err
 	}
-	_, err := c.Get("probe")
+	_, err := c.GetCtx(ctx, "probe")
 	return err
 }

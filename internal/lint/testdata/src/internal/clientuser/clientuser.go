@@ -1,7 +1,7 @@
-// Package clientuser exercises deprecatedapi's context-first client rule
-// outside internal/client: context-free request methods are flagged, their
-// Ctx replacements are not, and a reasoned //lint:ignore keeps one legacy
-// call site alive on purpose.
+// Package clientuser exercises the client surface after the context-free
+// wrappers were removed: every request method is context-first, so there is
+// nothing for deprecatedapi to flag here anymore -- the package documents
+// the post-migration shape and must stay finding-free.
 package clientuser
 
 import (
@@ -10,30 +10,17 @@ import (
 	"fixture/internal/client"
 )
 
-// store uses the deprecated context-free put.
-func store(c *client.Client) error {
-	return c.Put("obj") // want "client.Client.Put is deprecated"
-}
-
-// fetch uses the deprecated context-free get.
-func fetch(c *client.Client) (string, error) {
-	return c.Get("obj") // want "client.Client.Get is deprecated"
-}
-
-// place uses the deprecated cluster put.
-func place(cc *client.ClusterClient) error {
-	return cc.Put("obj") // want "client.ClusterClient.Put is deprecated"
-}
-
-// storeCtx is the replacement shape: context-first methods pass clean.
+// storeCtx is the current request shape: context-first methods pass clean.
 func storeCtx(ctx context.Context, c *client.Client) error {
 	return c.PutCtx(ctx, "obj")
 }
 
-// legacyProbe deliberately exercises the deprecated signature -- it exists
-// to prove the old wrappers keep working -- so the finding is suppressed
-// with a reason.
-func legacyProbe(c *client.Client) error {
-	//lint:ignore deprecatedapi exercising the deprecated wrapper is the point here
-	return c.Put("legacy")
+// fetchCtx fetches with a context.
+func fetchCtx(ctx context.Context, c *client.Client) (string, error) {
+	return c.GetCtx(ctx, "obj")
+}
+
+// placeCtx places on the cluster with a context.
+func placeCtx(ctx context.Context, cc *client.ClusterClient) error {
+	return cc.PutCtx(ctx, "obj")
 }

@@ -1,8 +1,8 @@
 // Package server is a lockdiscipline fixture for the checkpoint guard
-// (Server.chkMu, an RWMutex, guards the journal sink and the WAL handle)
-// and an eventrecorded fixture for the server rows of the decision-path
-// table: recordAdmission, quarantine, recoverQuarantined, storeReplica and
-// New must all leave a flight-recorder event behind.
+// (shard.chkMu, an RWMutex, guards the shard's journal sink and WAL
+// handle) and an eventrecorded fixture for the server rows of the
+// decision-path table: recordAdmission, quarantine, recoverQuarantined,
+// storeReplica and New must all leave a flight-recorder event behind.
 package server
 
 import (
@@ -11,13 +11,15 @@ import (
 	"fixture/internal/telemetry"
 )
 
-// Server mirrors the node's checkpoint-guarded fields and its telemetry
-// sinks.
-type Server struct {
+// shard mirrors one shard's checkpoint-guarded fields.
+type shard struct {
 	chkMu   sync.RWMutex
 	journal []string
 	wal     int
+}
 
+// Server mirrors the node's telemetry sinks.
+type Server struct {
 	events  *telemetry.Recorder
 	spans   *telemetry.SpanRing
 	onEvict func(id string)
@@ -34,22 +36,22 @@ func New() *Server {
 }
 
 // Record journals one entry under the read side of chkMu.
-func (s *Server) Record(rec string) {
-	s.chkMu.RLock()
-	defer s.chkMu.RUnlock()
-	s.journal = append(s.journal, rec)
+func (sh *shard) Record(rec string) {
+	sh.chkMu.RLock()
+	defer sh.chkMu.RUnlock()
+	sh.journal = append(sh.journal, rec)
 }
 
 // Checkpoint swaps the WAL handle under the write lock.
-func (s *Server) Checkpoint() {
-	s.chkMu.Lock()
-	defer s.chkMu.Unlock()
-	s.wal++
+func (sh *shard) Checkpoint() {
+	sh.chkMu.Lock()
+	defer sh.chkMu.Unlock()
+	sh.wal++
 }
 
 // WALSeq reads a guarded field with no lock at all.
-func (s *Server) WALSeq() int {
-	return s.wal // want "reads guarded field wal without holding chkMu"
+func (sh *shard) WALSeq() int {
+	return sh.wal // want "reads guarded field wal without holding chkMu"
 }
 
 // recordAdmission stamps the admission verdict into the flight recorder.

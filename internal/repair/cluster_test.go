@@ -108,7 +108,7 @@ func (n *chaosNode) start(seeds []string) {
 		l = tls.NewListener(l, secure.ServerConfig(cert, nil))
 		n.clientTLS = secure.ClientConfig(cert, nil)
 	}
-	srv, err := server.New(nodeCapacity, policy.TemporalImportance{},
+	srv, err := server.New(server.EngineConfig{Capacity: nodeCapacity, Policy: policy.TemporalImportance{}},
 		server.WithBlobStore(files), server.WithWAL(wal), server.WithLogger(quiet),
 		server.WithNodeAddr(n.addr))
 	if err != nil {

@@ -69,10 +69,12 @@ func (s *Server) handleBatch(m *wire.Batch, now time.Duration, sc telemetry.Span
 	return &wire.BatchResult{Results: results}
 }
 
-// admitPutGroup admits a group of puts as one store transaction and
-// journals the admitted ones through one append+sync barrier. Returns one
+// admitPutGroup admits a group of puts, split by target shard: each
+// shard's sub-group is one store transaction journaled through that
+// shard's append+sync barrier, so a batch spanning shards takes each
+// shard's lock exactly once and never holds two at a time. Returns one
 // response per put, in group order. Replication of the admitted subs
-// happens in executePutGroup, after the checkpoint lock is released. scs
+// happens in executePutGroup, after the checkpoint locks are released. scs
 // aligns with puts and links each verdict's flight-recorder event to its
 // frame's trace.
 //
@@ -106,25 +108,89 @@ func (s *Server) admitPutGroup(puts []*wire.Put, scs []telemetry.SpanContext, no
 		}
 		objs[i] = o
 	}
-	// Hold the checkpoint read-lock across the group's unit mutation AND
-	// its journal barrier, the same clean-cut discipline as single puts:
-	// no record of this group can land after a checkpoint barrier while
-	// its effect is missing from the snapshot.
-	s.chkMu.RLock()
-	defer s.chkMu.RUnlock()
-	outcomes := s.unit.PutBatch(objs, now)
+	if len(s.shards) == 1 {
+		// Unsharded fast path: the whole group is one transaction, no
+		// routing or sub-group staging.
+		s.admitShardGroup(s.shards[0], puts, objs, scs, nil, results, now)
+		return results
+	}
+	// Route each valid put, then walk the shards in index order, gathering
+	// and admitting each shard's sub-group. Strictly sequential: at most
+	// one shard lock is ever held, so the group path cannot deadlock
+	// against the coordinated checkpoint's ascending lock sweep.
+	route := scratch.idx
+	for _, o := range objs {
+		target := -1
+		if o != nil {
+			target = s.engine.Place(o, now)
+		}
+		//lint:ignore hotpath grows the pooled scratch once, then amortized
+		route = append(route, target)
+	}
+	scratch.idx = route
+	sub := getScratch()
+	defer sub.release()
+	for si := range s.shards {
+		sub.puts = sub.puts[:0]
+		sub.objs = sub.objs[:0]
+		sub.scs = sub.scs[:0]
+		sub.idx = sub.idx[:0]
+		for i, target := range route {
+			if target != si {
+				continue
+			}
+			//lint:ignore hotpath grows the pooled scratch once, then amortized
+			sub.puts = append(sub.puts, puts[i])
+			//lint:ignore hotpath grows the pooled scratch once, then amortized
+			sub.objs = append(sub.objs, objs[i])
+			var sc telemetry.SpanContext
+			if i < len(scs) {
+				sc = scs[i]
+			}
+			//lint:ignore hotpath grows the pooled scratch once, then amortized
+			sub.scs = append(sub.scs, sc)
+			//lint:ignore hotpath grows the pooled scratch once, then amortized
+			sub.idx = append(sub.idx, i)
+		}
+		if len(sub.puts) > 0 {
+			s.admitShardGroup(s.shards[si], sub.puts, sub.objs, sub.scs, sub.idx, results, now)
+		}
+	}
+	return results
+}
+
+// admitShardGroup admits one shard's slice of a put group as one store
+// transaction under the shard's checkpoint read-lock -- held across the
+// unit mutation AND the journal barrier, the same clean-cut discipline as
+// single puts: no record of this sub-group can land after the shard's
+// checkpoint barrier while its effect is missing from the snapshot.
+// gidx maps sub-group positions back to group positions in results (nil =
+// identity). puts, objs and scs align with each other.
+//
+//besteffs:hotpath
+func (s *Server) admitShardGroup(sh *shard, puts []*wire.Put, objs []*object.Object,
+	scs []telemetry.SpanContext, gidx []int, results []wire.Message, now time.Duration) {
+	scratch := getScratch()
+	defer scratch.release()
+	sh.chkMu.RLock()
+	defer sh.chkMu.RUnlock()
+	outcomes := sh.unit.PutBatch(objs, now)
 	recs := scratch.recs
 	for i, m := range puts {
-		if results[i] != nil {
+		ri := i
+		if gidx != nil {
+			ri = gidx[i]
+		}
+		if results[ri] != nil {
 			// Failed validation above; objs[i] is nil and its PutBatch
 			// outcome is the nil-object error, already reported.
 			continue
 		}
 		if err := outcomes[i].Err; err != nil {
 			if errors.Is(err, store.ErrDuplicateID) {
-				results[i] = &wire.ErrorMsg{Code: wire.CodeDuplicate, Text: string(m.ID)}
+				results[ri] = &wire.ErrorMsg{Code: wire.CodeDuplicate, Text: string(m.ID)}
 			} else {
-				results[i] = &wire.ErrorMsg{Code: wire.CodeInternal, Text: err.Error()}
+				results[ri] = &wire.ErrorMsg{Code: wire.CodeInternal, Text: err.Error()}
 			}
 			continue
 		}
@@ -145,11 +211,11 @@ func (s *Server) admitPutGroup(puts []*wire.Put, scs []telemetry.SpanContext, no
 			// blob failure rolls this sub's admission back without
 			// disturbing its neighbours.
 			if err := s.blobs.Put(o.ID, m.Payload); err != nil {
-				if delErr := s.unit.Delete(o.ID); delErr != nil {
+				if delErr := sh.unit.Delete(o.ID); delErr != nil {
 					//lint:ignore hotpath error-path logging on a failed rollback
 					s.log.Error("roll back admission", "id", o.ID, "err", delErr)
 				}
-				results[i] = &wire.ErrorMsg{Code: wire.CodeInternal, Text: err.Error()}
+				results[ri] = &wire.ErrorMsg{Code: wire.CodeInternal, Text: err.Error()}
 				continue
 			}
 			//lint:ignore hotpath grows the pooled scratch once, then amortized
@@ -166,29 +232,28 @@ func (s *Server) admitPutGroup(puts []*wire.Put, scs []telemetry.SpanContext, no
 				}
 			}
 		}
-		results[i] = res
+		results[ri] = res
 	}
 	scratch.recs = recs // return any regrown backing array to the pool
-	s.journalGroup(recs)
-	return results
+	s.journalGroup(sh, recs)
 }
 
 // journalGroup records a group of entries through one append+sync barrier
-// when the sink supports it (the segmented WAL does), falling back to
-// per-record appends otherwise. Eviction records for the group were already
-// appended by the unit's hook during PutBatch, so replay order stays valid:
-// space is freed before it is consumed. Failures are logged, never fatal,
-// matching journalAppend.
+// on the shard's sink when it supports batching (the segmented WAL does),
+// falling back to per-record appends otherwise. Eviction records for the
+// group were already appended by the unit's hook during PutBatch, so
+// replay order stays valid: space is freed before it is consumed. Failures
+// are logged, never fatal, matching journalTo.
 //
 //besteffs:hotpath
-func (s *Server) journalGroup(recs []journal.Record) {
-	if s.journal == nil || len(recs) == 0 {
+func (s *Server) journalGroup(sh *shard, recs []journal.Record) {
+	if sh.journal == nil || len(recs) == 0 {
 		return
 	}
 	type batchAppender interface {
 		AppendBatch([]journal.Record) (int, error)
 	}
-	if ba, ok := s.journal.(batchAppender); ok {
+	if ba, ok := sh.journal.(batchAppender); ok {
 		if _, err := ba.AppendBatch(recs); err != nil {
 			//lint:ignore hotpath error-path logging
 			s.log.Error("journal append batch", "records", len(recs), "err", err)
@@ -196,13 +261,13 @@ func (s *Server) journalGroup(recs []journal.Record) {
 		}
 	} else {
 		for _, r := range recs {
-			s.journalAppend(r)
+			s.journalTo(sh, r)
 		}
 	}
 	type syncer interface {
 		Sync() error
 	}
-	if sy, ok := s.journal.(syncer); ok {
+	if sy, ok := sh.journal.(syncer); ok {
 		if err := sy.Sync(); err != nil {
 			//lint:ignore hotpath error-path logging
 			s.log.Error("journal sync batch", "err", err)

@@ -12,7 +12,7 @@ import (
 
 func newBatchTestServer(t *testing.T, capacity int64, opts ...Option) *Server {
 	t.Helper()
-	srv, err := New(capacity, policy.TemporalImportance{},
+	srv, err := New(EngineConfig{Capacity: capacity, Policy: policy.TemporalImportance{}},
 		append([]Option{WithLogger(quietLogger())}, opts...)...)
 	if err != nil {
 		t.Fatalf("New: %v", err)

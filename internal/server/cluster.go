@@ -79,7 +79,7 @@ func (s *Server) IndexEntries(threshold float64) []wire.IndexEntry {
 	summer, _ := s.blobs.(blob.Summer)
 	now := s.clock()
 	var entries []wire.IndexEntry
-	for _, o := range s.unit.Residents() {
+	for _, o := range s.engine.Residents() {
 		initial := o.Importance.At(0)
 		if initial < threshold {
 			continue
@@ -230,7 +230,7 @@ func (s *Server) handleIndexDelta(m *wire.IndexDelta) wire.Message {
 // carrying the object's current age so importance decays identically on
 // every replica.
 func (s *Server) ReplicaSource(id object.ID) (*wire.Replicate, error) {
-	o, err := s.unit.Get(id)
+	o, err := s.engine.Get(id)
 	if err != nil {
 		return nil, err
 	}
@@ -267,13 +267,16 @@ const (
 // errBadReplica marks validation failures (vs. internal storage errors).
 var errBadReplica = errors.New("server: bad replica")
 
-// storeReplica admits one replica under the same discipline as a put: one
-// checkpoint read-lock across the unit mutation and the journal append,
+// storeReplica admits one replica under the same discipline as a put: a
+// checkpoint read-lock across each shard mutation and its journal append,
 // metadata first, payload second with rollback. The replica's arrival time
 // is reconstructed from its advertised age, so a copy pushed an hour after
 // its original write decays exactly like the original. Divergent residents
 // are resolved by wire.Supersedes: the losing copy is deleted and the
-// winner admitted in its place.
+// winner admitted in its place. The delete and the admission may land on
+// different shards (boundary placement); each runs under its own shard's
+// lock, never both at once, so replicas cannot deadlock against the
+// coordinated checkpoint.
 func (s *Server) storeReplica(m *wire.Replicate, now time.Duration) (replicaOutcome, error) {
 	if len(m.Payload) == 0 {
 		return replicaRefused, fmt.Errorf("%w: empty payload", errBadReplica)
@@ -288,19 +291,24 @@ func (s *Server) storeReplica(m *wire.Replicate, now time.Duration) (replicaOutc
 	}
 	inCRC := crc32.ChecksumIEEE(m.Payload)
 
-	s.chkMu.RLock()
-	defer s.chkMu.RUnlock()
-	if existing, err := s.unit.Get(m.ID); err == nil {
-		if !wire.Supersedes(version, uint32(existing.Version), inCRC, s.payloadCRC(m.ID)) {
-			return replicaSuperseded, nil
+	if idx, resident := s.engine.Locate(m.ID); resident {
+		sh := s.shards[idx]
+		sh.chkMu.RLock()
+		if existing, err := sh.unit.Get(m.ID); err == nil {
+			if !wire.Supersedes(version, uint32(existing.Version), inCRC, s.payloadCRC(m.ID)) {
+				sh.chkMu.RUnlock()
+				return replicaSuperseded, nil
+			}
+			if err := sh.unit.Delete(m.ID); err != nil && !errors.Is(err, store.ErrNotFound) {
+				sh.chkMu.RUnlock()
+				return replicaRefused, err
+			}
+			if err := s.blobs.Delete(m.ID); err != nil && !errors.Is(err, blob.ErrNotFound) {
+				s.log.Error("drop superseded payload", "id", m.ID, "err", err)
+			}
+			s.journalTo(sh, journal.Record{Kind: journal.KindDelete, At: now, ID: m.ID})
 		}
-		if err := s.unit.Delete(m.ID); err != nil && !errors.Is(err, store.ErrNotFound) {
-			return replicaRefused, err
-		}
-		if err := s.blobs.Delete(m.ID); err != nil && !errors.Is(err, blob.ErrNotFound) {
-			s.log.Error("drop superseded payload", "id", m.ID, "err", err)
-		}
-		s.journalAppend(journal.Record{Kind: journal.KindDelete, At: now, ID: m.ID})
+		sh.chkMu.RUnlock()
 	}
 	o, err := object.New(m.ID, int64(len(m.Payload)), arrival, m.Importance)
 	if err != nil {
@@ -309,7 +317,10 @@ func (s *Server) storeReplica(m *wire.Replicate, now time.Duration) (replicaOutc
 	o.Owner = m.Owner
 	o.Class = m.Class
 	o.Version = int(version)
-	d, err := s.unit.Put(o, now)
+	sh := s.shards[s.engine.Place(o, now)]
+	sh.chkMu.RLock()
+	defer sh.chkMu.RUnlock()
+	d, err := sh.unit.Put(o, now)
 	if err != nil {
 		return replicaRefused, err
 	}
@@ -322,14 +333,14 @@ func (s *Server) storeReplica(m *wire.Replicate, now time.Duration) (replicaOutc
 		return replicaRefused, nil
 	}
 	if err := s.blobs.Put(o.ID, m.Payload); err != nil {
-		if delErr := s.unit.Delete(o.ID); delErr != nil {
+		if delErr := sh.unit.Delete(o.ID); delErr != nil {
 			s.log.Error("roll back replica admission", "id", o.ID, "err", delErr)
 		}
 		return replicaRefused, err
 	}
 	// Journal the reconstructed arrival, not now: replay must restore the
 	// same decay clock the replica was admitted under.
-	s.journalAppend(journal.Record{
+	s.journalTo(sh, journal.Record{
 		Kind: journal.KindPut, At: arrival, ID: o.ID, Size: o.Size,
 		Owner: o.Owner, Class: o.Class, Version: version,
 		Importance: o.Importance,

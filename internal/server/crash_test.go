@@ -113,13 +113,13 @@ func runCrashWorkload(t *testing.T, dataDir string, budget int64) int {
 		t.Fatalf("OpenWAL: %v", err)
 	}
 	clock := &manualClock{}
-	srv, err := New(crashCapacity, policy.TemporalImportance{},
+	srv, err := New(EngineConfig{Capacity: crashCapacity, Policy: policy.TemporalImportance{}},
 		WithClock(clock.Now), WithWAL(wal), WithLogger(quietLogger()))
 	if err != nil {
 		t.Fatalf("New: %v", err)
 	}
 	sink := &ackSink{wal: wal}
-	srv.journal = sink
+	srv.shards[0].journal = sink
 	crashWorkload(srv, clock)
 	wal.Close() // the crashed run's final flush may fail; the bytes on disk are what count
 	return sink.acked
@@ -165,7 +165,7 @@ func frameEnds(t *testing.T, walDir string) []int64 {
 // records.
 func referenceStates(t *testing.T, recs []journal.Record) []map[object.ID]*object.Object {
 	t.Helper()
-	srv, err := New(crashCapacity, policy.TemporalImportance{}, WithLogger(quietLogger()))
+	srv, err := New(EngineConfig{Capacity: crashCapacity, Policy: policy.TemporalImportance{}}, WithLogger(quietLogger()))
 	if err != nil {
 		t.Fatalf("New: %v", err)
 	}
@@ -176,7 +176,7 @@ func referenceStates(t *testing.T, recs []journal.Record) []map[object.ID]*objec
 			t.Fatalf("reference record %d: %v", k, err)
 		}
 		m := make(map[object.ID]*object.Object)
-		for _, o := range srv.unit.Residents() {
+		for _, o := range srv.engine.Residents() {
 			m[o.ID] = o
 		}
 		states[k+1] = m
@@ -188,7 +188,7 @@ func referenceStates(t *testing.T, recs []journal.Record) []map[object.ID]*objec
 // unit must satisfy, whatever the crash point.
 func checkUnitInvariants(t *testing.T, srv *Server, budget int64) {
 	t.Helper()
-	u := srv.unit
+	u := srv.engine
 	if u.Used()+u.Free() != u.Capacity() {
 		t.Errorf("budget %d: used %d + free %d != capacity %d",
 			budget, u.Used(), u.Free(), u.Capacity())
@@ -250,7 +250,7 @@ func TestCrashAtEveryWriteOffset(t *testing.T) {
 				budget, acked, wantRecords)
 		}
 
-		rec, err := New(crashCapacity, policy.TemporalImportance{}, WithLogger(quietLogger()))
+		rec, err := New(EngineConfig{Capacity: crashCapacity, Policy: policy.TemporalImportance{}}, WithLogger(quietLogger()))
 		if err != nil {
 			t.Fatalf("New: %v", err)
 		}
@@ -265,10 +265,10 @@ func TestCrashAtEveryWriteOffset(t *testing.T) {
 		checkUnitInvariants(t, rec, budget)
 
 		want := states[wantRecords]
-		if rec.unit.Len() != len(want) {
-			t.Fatalf("budget %d: %d residents, want %d", budget, rec.unit.Len(), len(want))
+		if rec.engine.Len() != len(want) {
+			t.Fatalf("budget %d: %d residents, want %d", budget, rec.engine.Len(), len(want))
 		}
-		for _, o := range rec.unit.Residents() {
+		for _, o := range rec.engine.Residents() {
 			ref, ok := want[o.ID]
 			if !ok {
 				t.Fatalf("budget %d: unexpected resident %s", budget, o.ID)
@@ -293,7 +293,7 @@ func TestRestartAfterCheckpointReplaysOnlyYoungerSegments(t *testing.T) {
 		t.Fatalf("OpenWAL: %v", err)
 	}
 	clock := &manualClock{}
-	srv, err := New(crashCapacity, policy.TemporalImportance{},
+	srv, err := New(EngineConfig{Capacity: crashCapacity, Policy: policy.TemporalImportance{}},
 		WithClock(clock.Now), WithWAL(wal), WithLogger(quietLogger()))
 	if err != nil {
 		t.Fatalf("New: %v", err)
@@ -344,7 +344,7 @@ func TestRestartAfterCheckpointReplaysOnlyYoungerSegments(t *testing.T) {
 		}
 	}
 
-	rec, err := New(crashCapacity, policy.TemporalImportance{}, WithLogger(quietLogger()))
+	rec, err := New(EngineConfig{Capacity: crashCapacity, Policy: policy.TemporalImportance{}}, WithLogger(quietLogger()))
 	if err != nil {
 		t.Fatalf("New: %v", err)
 	}
@@ -360,13 +360,13 @@ func TestRestartAfterCheckpointReplaysOnlyYoungerSegments(t *testing.T) {
 	if stats.Records != 3 {
 		t.Errorf("replayed %d records, want 3 (post-checkpoint tail only)", stats.Records)
 	}
-	if rec.unit.Len() != 5 {
-		t.Errorf("recovered %d residents, want 5 (a,c,d,e,f)", rec.unit.Len())
+	if rec.engine.Len() != 5 {
+		t.Errorf("recovered %d residents, want 5 (a,c,d,e,f)", rec.engine.Len())
 	}
-	if _, err := rec.unit.Get("b"); err == nil {
+	if _, err := rec.engine.Get("b"); err == nil {
 		t.Error("deleted object b resurrected by recovery")
 	}
-	a, err := rec.unit.Get("a")
+	a, err := rec.engine.Get("a")
 	if err != nil {
 		t.Fatalf("Get a: %v", err)
 	}

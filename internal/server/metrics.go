@@ -114,29 +114,29 @@ func (m *serverMetrics) observe(op wire.Op, traced bool, d time.Duration) {
 	}
 }
 
-// registerUnitMetrics exposes the storage unit's live state through the
-// registry: admission counters read straight from the unit (no double
-// bookkeeping) and the paper's operational signals -- density and the
+// registerUnitMetrics exposes the storage engine's merged live state
+// through the registry: admission counters read straight from the shards
+// (no double bookkeeping) and the paper's operational signals -- density and the
 // importance boundary -- as gauges evaluated at scrape time.
 func (s *Server) registerUnitMetrics() {
 	reg := s.met.reg
 	reg.GaugeFunc("besteffs_density",
 		"instantaneous storage importance density (Section 5.1.2), in [0,1]",
-		func() float64 { return s.unit.DensityAt(s.clock()) })
+		func() float64 { return s.engine.DensityAt(s.clock()) })
 	reg.GaugeFunc("besteffs_importance_boundary",
 		"importance an arrival must exceed to claim the next byte (0 while free space remains)",
-		func() float64 { return s.unit.BoundaryAt(s.clock()) })
+		func() float64 { return s.engine.BoundaryAt(s.clock()) })
 	reg.GaugeFunc("besteffs_capacity_bytes", "configured storage capacity",
-		func() float64 { return float64(s.unit.Capacity()) })
+		func() float64 { return float64(s.engine.Capacity()) })
 	reg.GaugeFunc("besteffs_used_bytes", "bytes allocated to resident objects",
-		func() float64 { return float64(s.unit.Used()) })
+		func() float64 { return float64(s.engine.Used()) })
 	reg.GaugeFunc("besteffs_free_bytes", "unallocated bytes",
-		func() float64 { return float64(s.unit.Free()) })
+		func() float64 { return float64(s.engine.Free()) })
 	reg.GaugeFunc("besteffs_objects", "resident object count",
-		func() float64 { return float64(s.unit.Len()) })
+		func() float64 { return float64(s.engine.Len()) })
 	counter := func(name, help string, read func(c storeCounters) int64) {
 		reg.CounterFunc(name, help, func() float64 {
-			return float64(read(s.unit.CountersSnapshot()))
+			return float64(read(s.engine.CountersSnapshot()))
 		})
 	}
 	counter("besteffs_admitted_total", "objects admitted",

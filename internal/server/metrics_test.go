@@ -43,14 +43,14 @@ func scrape(t *testing.T, h http.Handler) string {
 
 func TestMetricsEndpoint(t *testing.T) {
 	c, srv, _ := startNode(t, 1000)
-	if _, err := c.Put(client.PutRequest{
+	if _, err := c.PutCtx(context.Background(), client.PutRequest{
 		ID:         "a",
 		Importance: importance.Constant{Level: 0.5},
 		Payload:    make([]byte, 400),
 	}); err != nil {
 		t.Fatalf("Put: %v", err)
 	}
-	if _, err := c.Stat(); err != nil {
+	if _, err := c.StatCtx(context.Background()); err != nil {
 		t.Fatalf("Stat: %v", err)
 	}
 
@@ -104,7 +104,7 @@ func debugLogger(w io.Writer) *slog.Logger {
 func TestRequestTracing(t *testing.T) {
 	var srvLog, cliLog lockedBuffer
 	clock := &manualClock{}
-	srv, err := New(1000, policy.TemporalImportance{},
+	srv, err := New(EngineConfig{Capacity: 1000, Policy: policy.TemporalImportance{}},
 		WithClock(clock.Now), WithLogger(debugLogger(&srvLog)))
 	if err != nil {
 		t.Fatalf("New: %v", err)
@@ -129,7 +129,7 @@ func TestRequestTracing(t *testing.T) {
 	t.Cleanup(func() { c.Close() })
 	c.SetLogger(debugLogger(&cliLog))
 
-	if _, err := c.Put(client.PutRequest{
+	if _, err := c.PutCtx(context.Background(), client.PutRequest{
 		ID:         "traced",
 		Importance: importance.Constant{Level: 0.9},
 		Payload:    []byte("hello"),
@@ -175,7 +175,7 @@ func TestRequestTracing(t *testing.T) {
 
 func TestDensitySamplingLive(t *testing.T) {
 	clock := &manualClock{}
-	srv, err := New(1000, policy.TemporalImportance{},
+	srv, err := New(EngineConfig{Capacity: 1000, Policy: policy.TemporalImportance{}},
 		WithClock(clock.Now), WithDensitySampling(2*time.Millisecond, 32))
 	if err != nil {
 		t.Fatalf("New: %v", err)
@@ -206,7 +206,7 @@ func TestDensitySamplingLive(t *testing.T) {
 		}
 		time.Sleep(time.Millisecond)
 	}
-	history, err := c.DensityHistory()
+	history, err := c.DensityHistoryCtx(context.Background())
 	if err != nil {
 		t.Fatalf("DensityHistory: %v", err)
 	}
@@ -218,14 +218,14 @@ func TestDensitySamplingLive(t *testing.T) {
 func TestDensityHistoryOnDemand(t *testing.T) {
 	// Without sampling, DENSITY_HISTORY answers with one fresh sample.
 	c, _, _ := startNode(t, 1000)
-	if _, err := c.Put(client.PutRequest{
+	if _, err := c.PutCtx(context.Background(), client.PutRequest{
 		ID:         "a",
 		Importance: importance.Constant{Level: 0.5},
 		Payload:    make([]byte, 400),
 	}); err != nil {
 		t.Fatalf("Put: %v", err)
 	}
-	history, err := c.DensityHistory()
+	history, err := c.DensityHistoryCtx(context.Background())
 	if err != nil {
 		t.Fatalf("DensityHistory: %v", err)
 	}

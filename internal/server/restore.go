@@ -14,8 +14,46 @@ import (
 )
 
 // WALDirName is the subdirectory of a node's data dir holding WAL segments
-// and checkpoints.
+// and checkpoints (of the only shard on an unsharded node, of one shard
+// under its ShardDirName on a sharded one).
 const WALDirName = "wal"
+
+// ShardDirName returns the data-dir subdirectory owning shard i's state on
+// a sharded node ("shard-000", "shard-001", ...).
+func ShardDirName(i int) string { return fmt.Sprintf("shard-%03d", i) }
+
+// ShardWALDir returns the WAL directory for shard i of a node with the
+// given shard count. A single-shard node keeps the legacy dataDir/wal
+// layout, byte-compatible with pre-sharding data directories; sharded
+// nodes nest each shard's WAL under its shard directory.
+func ShardWALDir(dataDir string, shards, i int) string {
+	if shards <= 1 {
+		return filepath.Join(dataDir, WALDirName)
+	}
+	return filepath.Join(dataDir, ShardDirName(i), WALDirName)
+}
+
+// OpenShardWALs opens one segmented WAL per shard under dataDir, in shard
+// order, laid out per ShardWALDir. The returned slice feeds WithWALs; the
+// caller owns closing them after Serve returns.
+func OpenShardWALs(dataDir string, shards int, opts ...journal.WALOption) ([]*journal.WAL, error) {
+	if shards <= 0 {
+		shards = 1
+	}
+	wals := make([]*journal.WAL, shards)
+	for i := range wals {
+		w, err := journal.OpenWAL(ShardWALDir(dataDir, shards, i), opts...)
+		if err != nil {
+			for _, open := range wals[:i] {
+				//lint:ignore uncheckederr already aborting with the open error; nothing was appended yet
+				open.Close()
+			}
+			return nil, fmt.Errorf("server: open shard %d wal: %w", i, err)
+		}
+		wals[i] = w
+	}
+	return wals, nil
+}
 
 // restoreProgressEvery is how many replayed records pass between progress
 // log lines during recovery.
@@ -61,9 +99,38 @@ type RestoreStats struct {
 	LegacyMigrated bool `json:"legacy_migrated,omitempty"`
 }
 
-// applyRecord replays one journal record into the unit. Deletes and
-// evictions of absent objects are tolerated: the journal may record an
+// applyRecordTo replays one journal record into the given unit. Deletes
+// and evictions of absent objects are tolerated: the journal may record an
 // eviction whose put landed in a segment already folded into a checkpoint.
+func (s *Server) applyRecordTo(u *store.Unit, r journal.Record) error {
+	switch r.Kind {
+	case journal.KindPut:
+		o, err := r.Object()
+		if err != nil {
+			return err
+		}
+		return u.Restore(o)
+	case journal.KindDelete, journal.KindEvict:
+		if err := u.Remove(r.ID); err != nil && !errors.Is(err, store.ErrNotFound) {
+			return err
+		}
+		return nil
+	case journal.KindRejuvenate:
+		if _, err := u.Rejuvenate(r.ID, r.Importance, r.At); err != nil &&
+			!errors.Is(err, store.ErrNotFound) {
+			return err
+		}
+		return nil
+	default:
+		return fmt.Errorf("server: unknown journal record %v", r.Kind)
+	}
+}
+
+// applyRecord replays one journal record routed through engine placement:
+// the path for unsharded history (one shard, or a legacy layout being
+// folded into a sharded engine). Per-shard WAL replay uses applyRecordTo
+// directly, because a record in shard i's WAL belongs to shard i by
+// construction, whatever the routing function says today.
 func (s *Server) applyRecord(r journal.Record) error {
 	switch r.Kind {
 	case journal.KindPut:
@@ -71,18 +138,13 @@ func (s *Server) applyRecord(r journal.Record) error {
 		if err != nil {
 			return err
 		}
-		return s.unit.Restore(o)
-	case journal.KindDelete, journal.KindEvict:
-		if err := s.unit.Remove(r.ID); err != nil && !errors.Is(err, store.ErrNotFound) {
-			return err
+		return s.shards[s.engine.Place(o, r.At)].unit.Restore(o)
+	case journal.KindDelete, journal.KindEvict, journal.KindRejuvenate:
+		idx, resident := s.engine.Locate(r.ID)
+		if !resident {
+			return nil
 		}
-		return nil
-	case journal.KindRejuvenate:
-		if _, err := s.unit.Rejuvenate(r.ID, r.Importance, r.At); err != nil &&
-			!errors.Is(err, store.ErrNotFound) {
-			return err
-		}
-		return nil
+		return s.applyRecordTo(s.shards[idx].unit, r)
 	default:
 		return fmt.Errorf("server: unknown journal record %v", r.Kind)
 	}
@@ -111,81 +173,203 @@ func (s *Server) Restore(path string) (RestoreStats, error) {
 	return stats, nil
 }
 
-// RestoreDir recovers the node from its data directory: load the newest
-// valid checkpoint under dataDir/wal, replay only the WAL segments younger
-// than it, and reconcile payloads. Recovery cost is proportional to the
-// live data set plus the records written since the last checkpoint, not
-// the node's full write history.
+// RestoreDir recovers the node from its data directory: for every shard,
+// load the newest valid checkpoint under the shard's WAL directory, replay
+// only the WAL segments younger than it, then reconcile payloads once at
+// the end. Recovery cost is proportional to the live data set plus the
+// records written since the last coordinated checkpoint, not the node's
+// full write history. Because Checkpoint cuts all shards at one instant,
+// the per-shard recoveries land on one consistent node state.
 //
-// A pre-WAL dataDir/journal.log is migrated on first boot: its records are
-// replayed in full, then the file is renamed aside so the migration runs
+// Legacy layouts migrate on first boot: a pre-WAL dataDir/journal.log is
+// replayed in full and renamed aside, and -- on a sharded node -- a
+// pre-sharding dataDir/wal directory is replayed through engine placement,
+// persisted into the shard WALs, and renamed aside, so each migration runs
 // exactly once.
 func (s *Server) RestoreDir(dataDir string) (RestoreStats, error) {
 	var stats RestoreStats
-	walDir := filepath.Join(dataDir, WALDirName)
 	resume := time.Duration(0)
+	for i, sh := range s.shards {
+		walDir := ShardWALDir(dataDir, len(s.shards), i)
+		if err := s.restoreShard(sh, dataDir, walDir, len(s.shards) == 1, &stats, &resume); err != nil {
+			return stats, err
+		}
+	}
+	if len(s.shards) > 1 {
+		if err := s.migrateLegacyLayout(dataDir, &stats, &resume); err != nil {
+			return stats, err
+		}
+	}
+	if err := s.finishRestore(&stats, resume); err != nil {
+		return stats, err
+	}
+	return stats, nil
+}
 
+// restoreShard recovers one shard from its WAL directory: checkpoint base
+// image first, then the segments younger than it. legacyJournal enables
+// the pre-WAL journal.log migration, which only the single-shard layout
+// runs here (the sharded migration routes it in migrateLegacyLayout).
+// Aggregates into stats; resume advances to the newest applied instant.
+func (s *Server) restoreShard(sh *shard, dataDir, walDir string, legacyJournal bool,
+	stats *RestoreStats, resume *time.Duration) error {
 	// Checkpoint first: it is the base image everything else layers on.
 	cp, skipped, err := journal.LoadLatestCheckpoint(walDir)
-	stats.CheckpointsSkipped = skipped
+	stats.CheckpointsSkipped += skipped
+	coversSeq := uint64(0)
 	switch {
 	case err == nil:
 		objs := make([]*object.Object, 0, len(cp.Objects))
 		for _, r := range cp.Objects {
 			o, objErr := r.Object()
 			if objErr != nil {
-				return stats, fmt.Errorf("server: restore checkpoint: %w", objErr)
+				return fmt.Errorf("server: restore checkpoint: %w", objErr)
 			}
 			objs = append(objs, o)
 		}
-		if err := s.unit.LoadSnapshot(objs); err != nil {
-			return stats, fmt.Errorf("server: restore checkpoint: %w", err)
+		if err := sh.unit.LoadSnapshot(objs); err != nil {
+			return fmt.Errorf("server: restore checkpoint: %w", err)
 		}
-		stats.CheckpointSeq = cp.CoversSeq
-		stats.CheckpointObjects = len(objs)
-		resume = cp.Resume
-		s.log.Info("checkpoint loaded", "seq", cp.CoversSeq,
+		coversSeq = cp.CoversSeq
+		if coversSeq > stats.CheckpointSeq {
+			stats.CheckpointSeq = coversSeq
+		}
+		stats.CheckpointObjects += len(objs)
+		if cp.Resume > *resume {
+			*resume = cp.Resume
+		}
+		s.log.Info("checkpoint loaded", "shard", sh.idx, "seq", cp.CoversSeq,
 			"objects", len(objs), "skipped", skipped)
 	case errors.Is(err, journal.ErrNoCheckpoint):
 		// Fresh WAL (or pre-checkpoint data dir): maybe a legacy journal
 		// to migrate, then a full replay from segment 1.
-		migrated, migErr := s.migrateLegacyJournal(dataDir, &resume)
-		if migErr != nil {
-			return stats, migErr
+		if legacyJournal {
+			migrated, migErr := s.migrateLegacyJournal(dataDir, resume)
+			if migErr != nil {
+				return migErr
+			}
+			stats.LegacyMigrated = stats.LegacyMigrated || migrated
 		}
-		stats.LegacyMigrated = migrated
 	default:
-		return stats, fmt.Errorf("server: restore: %w", err)
+		return fmt.Errorf("server: restore: %w", err)
 	}
 
 	// Replay the segments the checkpoint does not cover, one record at a
 	// time -- memory stays bounded by one segment's read buffer plus one
-	// record, regardless of history size.
+	// record, regardless of history size. Records in this shard's WAL
+	// belong to this shard by construction, so no re-routing.
 	applied := 0
-	walStats, err := journal.ReplayWAL(walDir, stats.CheckpointSeq, func(r journal.Record) error {
-		if r.At > resume {
-			resume = r.At
+	walStats, err := journal.ReplayWAL(walDir, coversSeq, func(r journal.Record) error {
+		if r.At > *resume {
+			*resume = r.At
 		}
 		applied++
 		if applied%restoreProgressEvery == 0 {
-			s.log.Info("replay progress", "records", applied)
+			s.log.Info("replay progress", "shard", sh.idx, "records", applied)
 		}
+		return s.applyRecordTo(sh.unit, r)
+	})
+	if err != nil {
+		return fmt.Errorf("server: restore: %w", err)
+	}
+	stats.Records += walStats.Records
+	stats.SegmentsReplayed += walStats.Segments
+	stats.TornTailBytes += walStats.TornTailBytes
+	if walStats.TornTailBytes > 0 {
+		s.log.Warn("torn journal tail truncated", "shard", sh.idx,
+			"segment", walStats.LastSeq, "bytes", walStats.TornTailBytes)
+	}
+	return nil
+}
+
+// migrateLegacyLayout folds a pre-sharding data directory into a sharded
+// engine, exactly once: the legacy dataDir/journal.log (if any) and the
+// legacy unsharded dataDir/wal checkpoint+segments (if any) are replayed
+// through engine placement, the resulting resident set is persisted into
+// each owning shard's WAL, and the legacy WAL directory is renamed aside.
+// Without attached WALs the replay still populates the engine but nothing
+// is renamed, so the migration re-runs next boot rather than silently
+// dropping durability.
+func (s *Server) migrateLegacyLayout(dataDir string, stats *RestoreStats, resume *time.Duration) error {
+	migrated, err := s.migrateLegacyJournal(dataDir, resume)
+	if err != nil {
+		return err
+	}
+	stats.LegacyMigrated = stats.LegacyMigrated || migrated
+
+	legacyDir := filepath.Join(dataDir, WALDirName)
+	if _, err := os.Stat(legacyDir); errors.Is(err, os.ErrNotExist) {
+		return nil
+	} else if err != nil {
+		return fmt.Errorf("server: restore: %w", err)
+	}
+
+	// Base image, then post-checkpoint records, all routed by placement.
+	records := 0
+	coversSeq := uint64(0)
+	cp, skipped, err := journal.LoadLatestCheckpoint(legacyDir)
+	stats.CheckpointsSkipped += skipped
+	switch {
+	case err == nil:
+		coversSeq = cp.CoversSeq
+		if cp.Resume > *resume {
+			*resume = cp.Resume
+		}
+		for _, r := range cp.Objects {
+			if applyErr := s.applyRecord(r); applyErr != nil {
+				return fmt.Errorf("server: migrate legacy wal: %w", applyErr)
+			}
+			records++
+		}
+	case errors.Is(err, journal.ErrNoCheckpoint):
+	default:
+		return fmt.Errorf("server: migrate legacy wal: %w", err)
+	}
+	walStats, err := journal.ReplayWAL(legacyDir, coversSeq, func(r journal.Record) error {
+		if r.At > *resume {
+			*resume = r.At
+		}
+		records++
 		return s.applyRecord(r)
 	})
 	if err != nil {
-		return stats, fmt.Errorf("server: restore: %w", err)
+		return fmt.Errorf("server: migrate legacy wal: %w", err)
 	}
-	stats.Records = walStats.Records
-	stats.SegmentsReplayed = walStats.Segments
-	stats.TornTailBytes = walStats.TornTailBytes
-	if walStats.TornTailBytes > 0 {
-		s.log.Warn("torn journal tail truncated",
-			"segment", walStats.LastSeq, "bytes", walStats.TornTailBytes)
+	stats.Records += walStats.Records
+
+	// Persist the migrated state: each shard's final resident set becomes
+	// put records in that shard's WAL, so the next boot recovers from the
+	// sharded layout alone.
+	for _, sh := range s.shards {
+		if sh.wal == nil {
+			s.log.Warn("legacy wal replayed without shard WALs; migration not persisted",
+				"dir", legacyDir)
+			return nil
+		}
 	}
-	if err := s.finishRestore(&stats, resume); err != nil {
-		return stats, err
+	for _, sh := range s.shards {
+		residents := sh.unit.Residents()
+		if len(residents) == 0 {
+			continue
+		}
+		recs := make([]journal.Record, len(residents))
+		for k, o := range residents {
+			recs[k] = journal.ObjectRecord(o)
+		}
+		if _, err := sh.wal.AppendBatch(recs); err != nil {
+			return fmt.Errorf("server: persist migrated shard %d: %w", sh.idx, err)
+		}
+		if err := sh.wal.Sync(); err != nil {
+			return fmt.Errorf("server: persist migrated shard %d: %w", sh.idx, err)
+		}
 	}
-	return stats, nil
+	if err := os.Rename(legacyDir, legacyDir+".migrated"); err != nil {
+		return fmt.Errorf("server: retire legacy wal: %w", err)
+	}
+	stats.LegacyMigrated = true
+	s.log.Info("legacy unsharded wal migrated",
+		"records", records, "shards", len(s.shards))
+	return nil
 }
 
 // migrateLegacyJournal replays a pre-WAL dataDir/journal.log if present and
@@ -222,7 +406,7 @@ func (s *Server) finishRestore(stats *RestoreStats, resume time.Duration) error 
 			return err
 		}
 	}
-	stats.Residents = s.unit.Len()
+	stats.Residents = s.engine.Len()
 	stats.Resume = resume
 	start := time.Now()
 	s.clock = func() time.Duration { return resume + time.Since(start) }
@@ -243,12 +427,13 @@ func (s *Server) reconcileBlobs(files *blob.FileStore, stats *RestoreStats) erro
 	for _, id := range onDisk {
 		present[id] = true
 	}
-	for _, o := range s.unit.Residents() {
+	for _, o := range s.engine.Residents() {
 		if present[o.ID] {
 			delete(present, o.ID)
 			continue
 		}
-		if err := s.unit.Remove(o.ID); err != nil {
+		idx, _ := s.engine.Locate(o.ID)
+		if err := s.shards[idx].unit.Remove(o.ID); err != nil {
 			return fmt.Errorf("server: reconcile drop %s: %w", o.ID, err)
 		}
 		stats.DroppedNoPayload++

@@ -35,7 +35,7 @@ func startPersistentNode(t *testing.T, dir string, clock *manualClock) (*client.
 	if clock != nil {
 		opts = append(opts, WithClock(clock.Now))
 	}
-	srv, err := New(1<<20, policy.TemporalImportance{}, opts...)
+	srv, err := New(EngineConfig{Capacity: 1 << 20, Policy: policy.TemporalImportance{}}, opts...)
 	if err != nil {
 		t.Fatalf("New: %v", err)
 	}
@@ -81,7 +81,7 @@ func TestRestoreAcrossRestart(t *testing.T) {
 	}
 	twoStep := importance.TwoStep{Plateau: 1, Persist: 10 * day, Wane: 10 * day}
 	for _, id := range []string{"a", "b", "c"} {
-		if _, err := c1.Put(client.PutRequest{
+		if _, err := c1.PutCtx(context.Background(), client.PutRequest{
 			ID: object.ID(id), Owner: "owner-" + id,
 			Importance: twoStep, Payload: []byte("payload-" + id),
 		}); err != nil {
@@ -89,13 +89,13 @@ func TestRestoreAcrossRestart(t *testing.T) {
 		}
 		clock.Advance(time.Hour)
 	}
-	if err := c1.Delete("b"); err != nil {
+	if err := c1.DeleteCtx(context.Background(), "b"); err != nil {
 		t.Fatalf("Delete: %v", err)
 	}
-	if _, err := c1.Rejuvenate("c", importance.Constant{Level: 0.3}); err != nil {
+	if _, err := c1.RejuvenateCtx(context.Background(), "c", importance.Constant{Level: 0.3}); err != nil {
 		t.Fatalf("Rejuvenate: %v", err)
 	}
-	if res, err := c1.Update(client.PutRequest{
+	if res, err := c1.UpdateCtx(context.Background(), client.PutRequest{
 		ID: "a", Owner: "owner-a", Importance: twoStep, Payload: []byte("payload-a-v2"),
 	}); err != nil || !res.Admitted {
 		t.Fatalf("Update = %+v, %v", res, err)
@@ -120,17 +120,17 @@ func TestRestoreAcrossRestart(t *testing.T) {
 		t.Errorf("clock %v did not resume from %v", srv2.Now(), stats2.Resume)
 	}
 
-	got, err := c2.Get("a")
+	got, err := c2.GetCtx(context.Background(), "a")
 	if err != nil {
 		t.Fatalf("Get a after restart: %v", err)
 	}
 	if string(got.Payload) != "payload-a-v2" || got.Owner != "owner-a" || got.Version != 2 {
 		t.Errorf("restored a = version %d, %q, owner %q", got.Version, got.Payload, got.Owner)
 	}
-	if _, err := c2.Get("b"); !errors.Is(err, client.ErrNotFound) {
+	if _, err := c2.GetCtx(context.Background(), "b"); !errors.Is(err, client.ErrNotFound) {
 		t.Errorf("deleted object resurrected: %v", err)
 	}
-	gotC, err := c2.Get("c")
+	gotC, err := c2.GetCtx(context.Background(), "c")
 	if err != nil {
 		t.Fatalf("Get c: %v", err)
 	}
@@ -144,7 +144,7 @@ func TestRestoreReconcilesMissingPayload(t *testing.T) {
 	clock := &manualClock{}
 	c1, _, _ := startPersistentNode(t, dir, clock)
 	for _, id := range []string{"keep", "lost"} {
-		if _, err := c1.Put(client.PutRequest{
+		if _, err := c1.PutCtx(context.Background(), client.PutRequest{
 			ID: object.ID(id), Importance: importance.Constant{Level: 1},
 			Payload: []byte(id),
 		}); err != nil {
@@ -164,10 +164,10 @@ func TestRestoreReconcilesMissingPayload(t *testing.T) {
 	if stats.DroppedNoPayload != 1 {
 		t.Errorf("DroppedNoPayload = %d, want 1", stats.DroppedNoPayload)
 	}
-	if _, err := c2.Get("lost"); !errors.Is(err, client.ErrNotFound) {
+	if _, err := c2.GetCtx(context.Background(), "lost"); !errors.Is(err, client.ErrNotFound) {
 		t.Errorf("payloadless object still resident: %v", err)
 	}
-	if _, err := c2.Get("keep"); err != nil {
+	if _, err := c2.GetCtx(context.Background(), "keep"); err != nil {
 		t.Errorf("intact object lost: %v", err)
 	}
 }

@@ -22,7 +22,7 @@ func startNodeOpts(t *testing.T, capacity int64, opts ...Option) (*Server, strin
 	// Panics, limit rejections and timeouts are expected here; keep their
 	// logs out of the test output.
 	quiet := WithLogger(slog.New(slog.NewTextHandler(io.Discard, nil)))
-	srv, err := New(capacity, policy.TemporalImportance{}, append([]Option{quiet}, opts...)...)
+	srv, err := New(EngineConfig{Capacity: capacity, Policy: policy.TemporalImportance{}}, append([]Option{quiet}, opts...)...)
 	if err != nil {
 		t.Fatalf("server.New: %v", err)
 	}
@@ -77,7 +77,7 @@ func TestServerRecoversPanickedHandler(t *testing.T) {
 		t.Fatalf("dial: %v", err)
 	}
 	defer c1.Close()
-	if _, err := c1.Stat(); err == nil {
+	if _, err := c1.StatCtx(context.Background()); err == nil {
 		t.Fatal("request served by a panicking handler succeeded")
 	}
 
@@ -88,7 +88,7 @@ func TestServerRecoversPanickedHandler(t *testing.T) {
 		t.Fatalf("dial after panic: %v", err)
 	}
 	defer c2.Close()
-	if _, err := c2.Stat(); err != nil {
+	if _, err := c2.StatCtx(context.Background()); err != nil {
 		t.Fatalf("Stat after recovered panic: %v", err)
 	}
 	if got := srv.NetCounters()["panics_recovered"]; got != 1 {
@@ -104,7 +104,7 @@ func TestServerConnLimit(t *testing.T) {
 		t.Fatalf("dial: %v", err)
 	}
 	defer c1.Close()
-	if _, err := c1.Stat(); err != nil {
+	if _, err := c1.StatCtx(context.Background()); err != nil {
 		t.Fatalf("Stat on first conn: %v", err)
 	}
 
@@ -115,7 +115,7 @@ func TestServerConnLimit(t *testing.T) {
 		t.Fatalf("dial second: %v", err)
 	}
 	defer c2.Close()
-	if _, err := c2.Stat(); err == nil {
+	if _, err := c2.StatCtx(context.Background()); err == nil {
 		t.Fatal("request over the connection limit succeeded")
 	}
 	if got := srv.NetCounters()["conns_rejected_limit"]; got == 0 {
@@ -128,7 +128,7 @@ func TestServerConnLimit(t *testing.T) {
 	for {
 		c3, err := client.DialConfig(addr, time.Second, noRetry())
 		if err == nil {
-			_, err = c3.Stat()
+			_, err = c3.StatCtx(context.Background())
 			c3.Close()
 			if err == nil {
 				break
@@ -187,7 +187,7 @@ func TestServerDrainFinishesInFlightRequest(t *testing.T) {
 	}
 	out := make(chan putOut, 1)
 	go func() {
-		res, err := c.Put(client.PutRequest{
+		res, err := c.PutCtx(context.Background(), client.PutRequest{
 			ID:         "slow",
 			Importance: importance.Constant{Level: 0.5},
 			Payload:    []byte("worth waiting for"),
@@ -226,7 +226,7 @@ func TestServerDrainForceClosesStragglers(t *testing.T) {
 
 	errCh := make(chan error, 1)
 	go func() {
-		_, err := c.Put(client.PutRequest{
+		_, err := c.PutCtx(context.Background(), client.PutRequest{
 			ID:         "straggler",
 			Importance: importance.Constant{Level: 0.5},
 			Payload:    []byte("too slow"),

@@ -82,7 +82,7 @@ func (s *Server) ScrubNow(ctx context.Context) (ScrubPass, error) {
 		return pass, fmt.Errorf("server: blob store %T cannot verify payloads", s.blobs)
 	}
 	start := time.Now()
-	for _, o := range s.unit.Residents() {
+	for _, o := range s.engine.Residents() {
 		if ctx.Err() != nil {
 			return pass, ctx.Err()
 		}
@@ -97,7 +97,7 @@ func (s *Server) ScrubNow(ctx context.Context) (ScrubPass, error) {
 		case errors.Is(err, blob.ErrNotFound):
 			// A delete or eviction may have raced the scan; only a still-
 			// resident object with no payload is damage.
-			if _, getErr := s.unit.Get(o.ID); getErr == nil {
+			if _, getErr := s.engine.Get(o.ID); getErr == nil {
 				pass.Missing++
 				s.quarantine(o.ID, s.clock(), err)
 			}
@@ -141,9 +141,10 @@ func (s *Server) scrubLoop(ctx context.Context) {
 // agrees. The damage counters distinguish corrupt payloads from missing
 // ones.
 func (s *Server) quarantine(id object.ID, now time.Duration, cause error) {
-	s.chkMu.RLock()
-	defer s.chkMu.RUnlock()
-	if err := s.unit.Remove(id); err != nil {
+	sh := s.shardFor(id)
+	sh.chkMu.RLock()
+	defer sh.chkMu.RUnlock()
+	if err := sh.unit.Remove(id); err != nil {
 		if errors.Is(err, store.ErrNotFound) {
 			return // lost a race with a delete or eviction; nothing to do
 		}
@@ -153,7 +154,7 @@ func (s *Server) quarantine(id object.ID, now time.Duration, cause error) {
 	if err := s.blobs.Delete(id); err != nil {
 		s.log.Error("quarantine delete payload", "id", id, "err", err)
 	}
-	s.journalAppend(journal.Record{Kind: journal.KindEvict, At: now, ID: id})
+	s.journalTo(sh, journal.Record{Kind: journal.KindEvict, At: now, ID: id})
 	if errors.Is(cause, blob.ErrNotFound) {
 		s.scrub.missing.Inc()
 	} else {

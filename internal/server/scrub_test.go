@@ -26,7 +26,7 @@ func scrubNode(t *testing.T, dataDir string) (*Server, *blob.MemStore, *manualCl
 	}
 	t.Cleanup(func() { wal.Close() })
 	clock := &manualClock{}
-	srv, err := New(1<<20, policy.TemporalImportance{},
+	srv, err := New(EngineConfig{Capacity: 1 << 20, Policy: policy.TemporalImportance{}},
 		WithClock(clock.Now), WithWAL(wal), WithBlobStore(mem), WithLogger(quietLogger()))
 	if err != nil {
 		t.Fatalf("New: %v", err)
@@ -57,11 +57,11 @@ func TestScrubQuarantinesCorruptPayload(t *testing.T) {
 	if pass.Checked != 3 || pass.Corrupt != 1 || pass.Missing != 0 {
 		t.Errorf("pass = %+v, want checked 3 corrupt 1 missing 0", pass)
 	}
-	if _, err := srv.unit.Get("b"); err == nil {
+	if _, err := srv.engine.Get("b"); err == nil {
 		t.Error("corrupt object still resident after scrub")
 	}
-	if srv.unit.Len() != 2 {
-		t.Errorf("residents = %d, want 2", srv.unit.Len())
+	if srv.engine.Len() != 2 {
+		t.Errorf("residents = %d, want 2", srv.engine.Len())
 	}
 	stats := srv.ScrubStats()
 	if stats.Passes != 1 || stats.Corrupt != 1 || stats.Checked != 3 {
@@ -69,7 +69,7 @@ func TestScrubQuarantinesCorruptPayload(t *testing.T) {
 	}
 
 	// The quarantine was journaled: a restart must not resurrect b.
-	rec, err := New(1<<20, policy.TemporalImportance{}, WithLogger(quietLogger()))
+	rec, err := New(EngineConfig{Capacity: 1 << 20, Policy: policy.TemporalImportance{}}, WithLogger(quietLogger()))
 	if err != nil {
 		t.Fatalf("New: %v", err)
 	}
@@ -77,10 +77,10 @@ func TestScrubQuarantinesCorruptPayload(t *testing.T) {
 	if err != nil {
 		t.Fatalf("RestoreDir: %v", err)
 	}
-	if rec.unit.Len() != 2 {
-		t.Errorf("recovered %d residents, want 2 (stats %+v)", rec.unit.Len(), rstats)
+	if rec.engine.Len() != 2 {
+		t.Errorf("recovered %d residents, want 2 (stats %+v)", rec.engine.Len(), rstats)
 	}
-	if _, err := rec.unit.Get("b"); err == nil {
+	if _, err := rec.engine.Get("b"); err == nil {
 		t.Error("quarantined object resurrected by replay")
 	}
 }
@@ -113,7 +113,7 @@ func TestGetQuarantinesCorruptPayload(t *testing.T) {
 	if !ok || em.Code != wire.CodeNotFound {
 		t.Fatalf("Get corrupt object = %+v, want NotFound error", res)
 	}
-	if _, err := srv.unit.Get("a"); err == nil {
+	if _, err := srv.engine.Get("a"); err == nil {
 		t.Error("corrupt object still resident after Get")
 	}
 	if got := srv.ScrubStats().Corrupt; got != 1 {
@@ -153,7 +153,7 @@ func TestScrubLoopRunsUnderServe(t *testing.T) {
 	deadline := time.Now().Add(5 * time.Second)
 	for time.Now().Before(deadline) {
 		if srv.ScrubStats().Corrupt >= 1 {
-			if _, err := srv.unit.Get("b"); err == nil {
+			if _, err := srv.engine.Get("b"); err == nil {
 				t.Error("corrupt object still resident")
 			}
 			return

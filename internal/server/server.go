@@ -43,24 +43,47 @@ type journalSink interface {
 	Append(journal.Record) error
 }
 
-// Server is one Besteffs storage node.
-type Server struct {
+// shard is one slice of the node: a store unit plus the durability state
+// that must stay consistent with it. Every shard owns its own WAL segment
+// stream, journal sink, checkpoint lock and density ring, so mutations on
+// different shards contend on nothing but the blob store.
+type shard struct {
+	idx     int
 	unit    *store.Unit
-	clock   Clock
-	log     *slog.Logger
-	blobs   blob.Store
 	journal journalSink
 	wal     *journal.WAL
 
+	// chkMu serializes this shard's mutations against checkpointing:
+	// every mutating request holds the read side across its unit mutation
+	// and journal append, and the coordinated Checkpoint holds every
+	// shard's write side across the WAL barriers and resident snapshots.
+	// That makes a checkpoint a clean cut per shard -- no mutation's
+	// journal record can land after the shard's barrier while its effect
+	// is missing from the shard's snapshot, or vice versa -- and, because
+	// all write sides are held at once, one consistent cut for the node.
+	chkMu sync.RWMutex
+
+	// samples is this shard's density trajectory ring (nil when sampling
+	// is disabled).
+	samples *store.DensityRing
+}
+
+// Server is one Besteffs storage node.
+type Server struct {
+	engine *store.Engine
+	shards []*shard
+	clock  Clock
+	log    *slog.Logger
+	blobs  blob.Store
+
 	maintenance time.Duration
 
-	// chkMu serializes mutations against checkpointing: every mutating
-	// request holds the read side across its unit mutation and journal
-	// append, and Checkpoint holds the write side across the WAL barrier
-	// and the resident snapshot. That makes a checkpoint a clean cut: no
-	// mutation's journal record can land after the barrier while its
-	// effect is missing from the snapshot, or vice versa.
-	chkMu           sync.RWMutex
+	// Construction staging, consumed by New after options run: shard
+	// count override and the journal sinks to attach per shard.
+	optShards      int
+	pendingWALs    []*journal.WAL
+	pendingJournal journalSink
+
 	checkpointEvery time.Duration
 
 	// Online scrub (zero = disabled).
@@ -161,11 +184,12 @@ func WithMaintenance(interval time.Duration) Option {
 // to a legacy single-file journal so Restore can rebuild the node after a
 // restart. Journal failures are logged, never fatal to requests: the
 // journal is history, not a commit log. New deployments should prefer
-// WithWAL, which adds segment rotation and checkpoint truncation.
+// WithWAL, which adds segment rotation and checkpoint truncation. On a
+// sharded server every shard appends to the same writer.
 func WithJournal(w *journal.Writer) Option {
 	return func(s *Server) {
 		if w != nil {
-			s.journal = w
+			s.pendingJournal = w
 		}
 	}
 }
@@ -173,12 +197,34 @@ func WithJournal(w *journal.Writer) Option {
 // WithWAL records the node's history to a segmented write-ahead log. A WAL
 // (unlike the legacy journal) can be barriered and truncated, which is what
 // makes checkpoints possible: Checkpoint seals the active segment, writes
-// the live state, and deletes the segments the checkpoint covers.
+// the live state, and deletes the segments the checkpoint covers. WithWAL
+// attaches one log to a single-shard server; sharded servers use WithWALs.
 func WithWAL(w *journal.WAL) Option {
 	return func(s *Server) {
 		if w != nil {
-			s.journal = w
-			s.wal = w
+			s.pendingWALs = []*journal.WAL{w}
+		}
+	}
+}
+
+// WithWALs attaches one segmented write-ahead log per shard, in shard
+// order. New fails unless the count matches the engine's shard count; use
+// OpenShardWALs to open a matching set from a data directory.
+func WithWALs(wals []*journal.WAL) Option {
+	return func(s *Server) {
+		if len(wals) > 0 {
+			s.pendingWALs = wals
+		}
+	}
+}
+
+// WithShards overrides the engine's shard count, letting callers of the
+// deprecated positional constructor opt into sharding. A zero or negative
+// n keeps the EngineConfig value.
+func WithShards(n int) Option {
+	return func(s *Server) {
+		if n > 0 {
+			s.optShards = n
 		}
 	}
 }
@@ -323,8 +369,15 @@ func (s *Server) DensitySamples() []store.DensitySample {
 	return s.samples.Samples()
 }
 
-// New builds a node with the given capacity and policy.
-func New(capacity int64, pol policy.Policy, opts ...Option) (*Server, error) {
+// EngineConfig sizes the server's storage engine: shard count, total byte
+// capacity and admission policy. It is an alias of store.EngineConfig, so
+// the placement knob travels with it.
+type EngineConfig = store.EngineConfig
+
+// New builds a node over a sharded storage engine. The zero Shards value
+// means one shard, which is byte-compatible on disk with pre-sharding data
+// directories.
+func New(cfg EngineConfig, opts ...Option) (*Server, error) {
 	s := &Server{
 		blobs:        blob.NewMemStore(),
 		log:          slog.Default(),
@@ -336,46 +389,103 @@ func New(capacity int64, pol policy.Policy, opts ...Option) (*Server, error) {
 	s.scrub = newScrubMetrics(s.met.reg)
 	start := time.Now()
 	s.clock = func() time.Duration { return time.Since(start) }
-	unit, err := store.New(capacity, pol,
-		store.WithEvictionHook(func(e store.Eviction) {
-			// The unit lock is held here; the blob store and journal
-			// synchronize themselves and never call back into the unit.
+	// Options only stage configuration (shard count, WALs, clocks), so
+	// they run before the engine exists.
+	for _, opt := range opts {
+		opt(s)
+	}
+	if s.optShards > 0 {
+		cfg.Shards = s.optShards
+	}
+	if cfg.Shards == 0 {
+		cfg.Shards = 1
+	}
+	engine, err := store.NewEngine(cfg, func(i int) []store.Option {
+		return []store.Option{store.WithEvictionHook(func(e store.Eviction) {
+			// The shard's unit lock is held here; the blob store and
+			// journal synchronize themselves and never call back into the
+			// unit.
 			if err := s.blobs.Delete(e.Object.ID); err != nil {
 				s.log.Error("drop evicted payload", "id", e.Object.ID, "err", err)
 			}
-			s.journalAppend(journal.Record{
+			s.journalTo(s.shards[i], journal.Record{
 				Kind: journal.KindEvict, At: e.Time, ID: e.Object.ID,
 			})
 			s.events.Record(telemetry.Event{
 				Kind: telemetry.EventEvict, ID: string(e.Object.ID),
 			})
-		}),
-	)
+		})}
+	})
 	if err != nil {
 		return nil, fmt.Errorf("server: %w", err)
 	}
-	s.unit = unit
-	for _, opt := range opts {
-		opt(s)
+	s.engine = engine
+	s.shards = make([]*shard, engine.NumShards())
+	for i := range s.shards {
+		s.shards[i] = &shard{idx: i, unit: engine.Shard(i)}
+	}
+	switch {
+	case len(s.pendingWALs) > 0:
+		if len(s.pendingWALs) != len(s.shards) {
+			return nil, fmt.Errorf("server: %d WALs for %d shards", len(s.pendingWALs), len(s.shards))
+		}
+		for i, w := range s.pendingWALs {
+			s.shards[i].wal = w
+			s.shards[i].journal = w
+		}
+	case s.pendingJournal != nil:
+		for _, sh := range s.shards {
+			sh.journal = s.pendingJournal
+		}
+	}
+	if s.sampleEvery > 0 && s.samples != nil {
+		for _, sh := range s.shards {
+			sh.samples = store.NewDensityRing(s.samples.Cap())
+		}
 	}
 	// After options, so the gauges close over the final clock.
 	s.registerUnitMetrics()
 	return s, nil
 }
 
-// journalAppend records one journal entry, logging failures.
-func (s *Server) journalAppend(r journal.Record) {
-	if s.journal == nil {
+// NewUnsharded builds a single-shard node with the given capacity and
+// policy.
+//
+// Deprecated: use New with an EngineConfig (optionally plus WithShards).
+// Retained one release for callers of the pre-sharding positional
+// constructor.
+func NewUnsharded(capacity int64, pol policy.Policy, opts ...Option) (*Server, error) {
+	return New(EngineConfig{Capacity: capacity, Policy: pol}, opts...)
+}
+
+// journalTo records one journal entry on the shard's sink, logging
+// failures.
+func (s *Server) journalTo(sh *shard, r journal.Record) {
+	if sh.journal == nil {
 		return
 	}
-	if err := s.journal.Append(r); err != nil {
+	if err := sh.journal.Append(r); err != nil {
 		//lint:ignore hotpath error-path logging
 		s.log.Error("journal append", "kind", r.Kind, "id", r.ID, "err", err)
 	}
 }
 
-// Unit exposes the underlying storage unit (for stats and tests).
-func (s *Server) Unit() *store.Unit { return s.unit }
+// Engine exposes the underlying storage engine: the merged node-level view
+// plus per-shard access (for stats, gossip advertisements and tests).
+func (s *Server) Engine() *store.Engine { return s.engine }
+
+// Unit exposes shard 0's storage unit.
+//
+// Deprecated: use Engine, whose merged view is correct for any shard
+// count. Unit remains for single-shard callers and tests.
+func (s *Server) Unit() *store.Unit { return s.engine.Shard(0) }
+
+// shardFor returns the shard holding id, or -- when absent everywhere --
+// the id's home shard.
+func (s *Server) shardFor(id object.ID) *shard {
+	idx, _ := s.engine.Locate(id)
+	return s.shards[idx]
+}
 
 // Spans exposes the node's span ring (for cluster components that record
 // their own hops, and for tests).
@@ -453,8 +563,7 @@ func (s *Server) Serve(ctx context.Context, l net.Listener) error {
 			s.sampleDensity(ctx)
 		}()
 	}
-	//lint:ignore lockdiscipline wal is set once before Serve; chkMu orders appends against checkpoints, not this nil check
-	if s.checkpointEvery > 0 && s.wal != nil {
+	if s.checkpointEvery > 0 && s.shards[0].wal != nil {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -519,9 +628,12 @@ func (s *Server) maintain(ctx context.Context) {
 		case <-ctx.Done():
 			return
 		case <-ticker.C:
-			s.chkMu.RLock()
-			n := s.unit.DropExpired(s.clock())
-			s.chkMu.RUnlock()
+			n := 0
+			for _, sh := range s.shards {
+				sh.chkMu.RLock()
+				n += sh.unit.DropExpired(s.clock())
+				sh.chkMu.RUnlock()
+			}
 			if n > 0 {
 				s.log.Debug("maintenance sweep", "reclaimed", n)
 			}
@@ -538,8 +650,7 @@ const boundaryEventDelta = 0.05
 // one at startup, so a freshly started node already has a point to show),
 // and flight-records material importance-boundary movement between samples.
 func (s *Server) sampleDensity(ctx context.Context) {
-	first := s.unit.SampleAt(s.clock())
-	s.samples.Record(first)
+	first := s.sampleOnce()
 	lastBoundary := first.Boundary
 	ticker := time.NewTicker(s.sampleEvery)
 	defer ticker.Stop()
@@ -548,8 +659,7 @@ func (s *Server) sampleDensity(ctx context.Context) {
 		case <-ctx.Done():
 			return
 		case <-ticker.C:
-			sm := s.unit.SampleAt(s.clock())
-			s.samples.Record(sm)
+			sm := s.sampleOnce()
 			if d := sm.Boundary - lastBoundary; d >= boundaryEventDelta || d <= -boundaryEventDelta {
 				s.events.Record(telemetry.Event{
 					Kind:       telemetry.EventBoundary,
@@ -560,6 +670,21 @@ func (s *Server) sampleDensity(ctx context.Context) {
 			}
 		}
 	}
+}
+
+// sampleOnce records one node-level sample into the merged ring and, on a
+// sharded engine, one sample per shard into that shard's ring, all at the
+// same instant. The merged sample is returned for boundary-event tracking.
+func (s *Server) sampleOnce() store.DensitySample {
+	now := s.clock()
+	merged := s.engine.SampleAt(now)
+	s.samples.Record(merged)
+	for _, sh := range s.shards {
+		if sh.samples != nil {
+			sh.samples.Record(sh.unit.SampleAt(now))
+		}
+	}
+	return merged
 }
 
 // handleConn serves one connection's request loop. A panic while serving
@@ -728,9 +853,10 @@ func (s *Server) executeTraced(msg wire.Message, sc telemetry.SpanContext) wire.
 		return s.handleGet(msg.(*wire.Get), now, sc)
 	case wire.OpDelete:
 		m := msg.(*wire.Delete)
-		s.chkMu.RLock()
-		defer s.chkMu.RUnlock()
-		if err := s.unit.Delete(m.ID); err != nil {
+		sh := s.shardFor(m.ID)
+		sh.chkMu.RLock()
+		defer sh.chkMu.RUnlock()
+		if err := sh.unit.Delete(m.ID); err != nil {
 			if errors.Is(err, store.ErrNotFound) {
 				return &wire.ErrorMsg{Code: wire.CodeNotFound, Text: string(m.ID)}
 			}
@@ -739,31 +865,26 @@ func (s *Server) executeTraced(msg wire.Message, sc telemetry.SpanContext) wire.
 		if err := s.blobs.Delete(m.ID); err != nil {
 			return &wire.ErrorMsg{Code: wire.CodeInternal, Text: err.Error()}
 		}
-		s.journalAppend(journal.Record{Kind: journal.KindDelete, At: now, ID: m.ID})
+		s.journalTo(sh, journal.Record{Kind: journal.KindDelete, At: now, ID: m.ID})
 		return &wire.OK{}
 	case wire.OpStat:
-		return &wire.StatResult{
-			Capacity: s.unit.Capacity(),
-			Used:     s.unit.Used(),
-			Objects:  uint32(s.unit.Len()),
-			Density:  s.unit.DensityAt(now),
-		}
+		return s.statResult(now)
 	case wire.OpProbe:
 		m := msg.(*wire.Probe)
 		o, err := object.New("probe", m.Size, now, m.Importance)
 		if err != nil {
 			return &wire.ErrorMsg{Code: wire.CodeBadRequest, Text: err.Error()}
 		}
-		d := s.unit.Probe(o, now)
+		d := s.engine.ProbeBest(o, now)
 		return &wire.ProbeResult{Admissible: d.Admit, Boundary: d.HighestPreempted}
 	case wire.OpDensity:
-		return &wire.DensityResult{Density: s.unit.DensityAt(now)}
+		return &wire.DensityResult{Density: s.engine.DensityAt(now)}
 	case wire.OpDensityHistory:
 		samples := s.DensitySamples()
 		if len(samples) == 0 {
 			// Sampling disabled: answer with one on-demand sample so the
 			// trajectory command still shows the current point.
-			samples = []store.DensitySample{s.unit.SampleAt(now)}
+			samples = []store.DensitySample{s.engine.SampleAt(now)}
 		}
 		res := &wire.DensityHistoryResult{
 			Samples: make([]wire.HistorySample, len(samples)),
@@ -781,16 +902,17 @@ func (s *Server) executeTraced(msg wire.Message, sc telemetry.SpanContext) wire.
 		return s.handleUpdate(msg.(*wire.Update), now)
 	case wire.OpRejuvenate:
 		m := msg.(*wire.Rejuvenate)
-		s.chkMu.RLock()
-		defer s.chkMu.RUnlock()
-		fresh, err := s.unit.Rejuvenate(m.ID, m.Importance, now)
+		sh := s.shardFor(m.ID)
+		sh.chkMu.RLock()
+		defer sh.chkMu.RUnlock()
+		fresh, err := sh.unit.Rejuvenate(m.ID, m.Importance, now)
 		if err != nil {
 			if errors.Is(err, store.ErrNotFound) {
 				return &wire.ErrorMsg{Code: wire.CodeNotFound, Text: string(m.ID)}
 			}
 			return &wire.ErrorMsg{Code: wire.CodeBadRequest, Text: err.Error()}
 		}
-		s.journalAppend(journal.Record{
+		s.journalTo(sh, journal.Record{
 			Kind: journal.KindRejuvenate, At: now, ID: m.ID, Importance: m.Importance,
 		})
 		return &wire.RejuvenateResult{Version: uint32(fresh.Version)}
@@ -824,7 +946,7 @@ func (s *Server) executeTraced(msg wire.Message, sc telemetry.SpanContext) wire.
 	case wire.OpEvents:
 		return s.handleEvents(msg.(*wire.Events))
 	case wire.OpList:
-		residents := s.unit.Residents()
+		residents := s.engine.Residents()
 		ids := make([]object.ID, len(residents))
 		for i, o := range residents {
 			ids[i] = o.ID
@@ -864,9 +986,10 @@ func (s *Server) admitPut(m *wire.Put, now time.Duration, sc telemetry.SpanConte
 	if m.Version > 0 {
 		o.Version = int(m.Version)
 	}
-	s.chkMu.RLock()
-	defer s.chkMu.RUnlock()
-	d, err := s.unit.Put(o, now)
+	sh := s.shards[s.engine.Place(o, now)]
+	sh.chkMu.RLock()
+	defer sh.chkMu.RUnlock()
+	d, err := sh.unit.Put(o, now)
 	if err != nil {
 		if errors.Is(err, store.ErrDuplicateID) {
 			return &wire.ErrorMsg{Code: wire.CodeDuplicate, Text: string(m.ID)}
@@ -883,12 +1006,12 @@ func (s *Server) admitPut(m *wire.Put, now time.Duration, sc telemetry.SpanConte
 		// sees not-found, never a torn object. A blob failure rolls the
 		// admission back.
 		if err := s.blobs.Put(o.ID, m.Payload); err != nil {
-			if delErr := s.unit.Delete(o.ID); delErr != nil {
+			if delErr := sh.unit.Delete(o.ID); delErr != nil {
 				s.log.Error("roll back admission", "id", o.ID, "err", delErr)
 			}
 			return &wire.ErrorMsg{Code: wire.CodeInternal, Text: err.Error()}
 		}
-		s.journalAppend(journal.Record{
+		s.journalTo(sh, journal.Record{
 			Kind: journal.KindPut, At: now, ID: o.ID, Size: o.Size,
 			Owner: o.Owner, Class: o.Class, Version: uint32(o.Version),
 			Importance: o.Importance,
@@ -927,9 +1050,12 @@ func (s *Server) handleUpdate(m *wire.Update, now time.Duration) wire.Message {
 	}
 	o.Owner = m.Owner
 	o.Class = m.Class
-	s.chkMu.RLock()
-	defer s.chkMu.RUnlock()
-	d, err := s.unit.Update(o, now)
+	// An update supersedes a resident version, so it routes to the shard
+	// already holding the object, not to fresh placement.
+	sh := s.shardFor(m.ID)
+	sh.chkMu.RLock()
+	defer sh.chkMu.RUnlock()
+	d, err := sh.unit.Update(o, now)
 	if err != nil {
 		if errors.Is(err, store.ErrNotResident) {
 			return &wire.ErrorMsg{Code: wire.CodeNotFound, Text: string(m.ID)}
@@ -945,19 +1071,19 @@ func (s *Server) handleUpdate(m *wire.Update, now time.Duration) wire.Message {
 	if !d.Admit {
 		return res
 	}
-	fresh, err := s.unit.Get(o.ID)
+	fresh, err := sh.unit.Get(o.ID)
 	if err != nil {
 		return &wire.ErrorMsg{Code: wire.CodeInternal, Text: err.Error()}
 	}
 	if err := s.blobs.Put(o.ID, m.Payload); err != nil {
 		// The old version is already gone; losing the new payload means
 		// the object is effectively lost (single-copy semantics).
-		if delErr := s.unit.Delete(o.ID); delErr != nil {
+		if delErr := sh.unit.Delete(o.ID); delErr != nil {
 			s.log.Error("roll back update", "id", o.ID, "err", delErr)
 		}
 		return &wire.ErrorMsg{Code: wire.CodeInternal, Text: err.Error()}
 	}
-	s.journalAppend(journal.Record{
+	s.journalTo(sh, journal.Record{
 		Kind: journal.KindPut, At: now, ID: o.ID, Size: o.Size,
 		Owner: o.Owner, Class: o.Class, Version: uint32(fresh.Version),
 		Importance: o.Importance,
@@ -969,7 +1095,7 @@ func (s *Server) handleUpdate(m *wire.Update, now time.Duration) wire.Message {
 }
 
 func (s *Server) handleGet(m *wire.Get, now time.Duration, sc telemetry.SpanContext) wire.Message {
-	o, err := s.unit.Get(m.ID)
+	o, err := s.engine.Get(m.ID)
 	if err != nil {
 		return &wire.ErrorMsg{Code: wire.CodeNotFound, Text: string(m.ID)}
 	}

@@ -41,7 +41,7 @@ func (c *manualClock) Advance(d time.Duration) {
 func startNode(t *testing.T, capacity int64) (*client.Client, *Server, *manualClock) {
 	t.Helper()
 	clock := &manualClock{}
-	srv, err := New(capacity, policy.TemporalImportance{}, WithClock(clock.Now))
+	srv, err := New(EngineConfig{Capacity: capacity, Policy: policy.TemporalImportance{}}, WithClock(clock.Now))
 	if err != nil {
 		t.Fatalf("server.New: %v", err)
 	}
@@ -69,7 +69,7 @@ func startNode(t *testing.T, capacity int64) (*client.Client, *Server, *manualCl
 func TestPutGetDeleteOverTCP(t *testing.T) {
 	c, _, _ := startNode(t, 1<<20)
 	payload := []byte("lecture video bytes")
-	res, err := c.Put(client.PutRequest{
+	res, err := c.PutCtx(context.Background(), client.PutRequest{
 		ID:         "cs101/l1",
 		Owner:      "prof",
 		Class:      object.ClassUniversity,
@@ -83,7 +83,7 @@ func TestPutGetDeleteOverTCP(t *testing.T) {
 		t.Fatalf("Put result = %+v", res)
 	}
 
-	got, err := c.Get("cs101/l1")
+	got, err := c.GetCtx(context.Background(), "cs101/l1")
 	if err != nil {
 		t.Fatalf("Get: %v", err)
 	}
@@ -97,13 +97,13 @@ func TestPutGetDeleteOverTCP(t *testing.T) {
 		t.Errorf("current importance = %v, want 1 (at plateau)", got.CurrentImportance)
 	}
 
-	if err := c.Delete("cs101/l1"); err != nil {
+	if err := c.DeleteCtx(context.Background(), "cs101/l1"); err != nil {
 		t.Fatalf("Delete: %v", err)
 	}
-	if _, err := c.Get("cs101/l1"); !errors.Is(err, client.ErrNotFound) {
+	if _, err := c.GetCtx(context.Background(), "cs101/l1"); !errors.Is(err, client.ErrNotFound) {
 		t.Errorf("Get after delete err = %v, want ErrNotFound", err)
 	}
-	if err := c.Delete("cs101/l1"); !errors.Is(err, client.ErrNotFound) {
+	if err := c.DeleteCtx(context.Background(), "cs101/l1"); !errors.Is(err, client.ErrNotFound) {
 		t.Errorf("second Delete err = %v, want ErrNotFound", err)
 	}
 }
@@ -113,22 +113,22 @@ func TestDuplicatePut(t *testing.T) {
 	req := client.PutRequest{
 		ID: "dup", Importance: importance.Constant{Level: 1}, Payload: []byte("x"),
 	}
-	if _, err := c.Put(req); err != nil {
+	if _, err := c.PutCtx(context.Background(), req); err != nil {
 		t.Fatalf("Put: %v", err)
 	}
-	if _, err := c.Put(req); !errors.Is(err, client.ErrDuplicate) {
+	if _, err := c.PutCtx(context.Background(), req); !errors.Is(err, client.ErrDuplicate) {
 		t.Errorf("duplicate Put err = %v, want ErrDuplicate", err)
 	}
 }
 
 func TestPutValidation(t *testing.T) {
 	c, _, _ := startNode(t, 1<<20)
-	if _, err := c.Put(client.PutRequest{
+	if _, err := c.PutCtx(context.Background(), client.PutRequest{
 		ID: "empty", Importance: importance.Constant{Level: 1},
 	}); err == nil {
 		t.Error("empty payload accepted")
 	}
-	if _, err := c.Put(client.PutRequest{
+	if _, err := c.PutCtx(context.Background(), client.PutRequest{
 		Importance: importance.Constant{Level: 1}, Payload: []byte("x"),
 	}); err == nil {
 		t.Error("empty ID accepted")
@@ -142,7 +142,7 @@ func TestPreemptionOverTCP(t *testing.T) {
 		Importance: importance.TwoStep{Plateau: 0.4, Persist: 10 * day, Wane: 0},
 		Payload:    make([]byte, 100),
 	}
-	if res, err := c.Put(low); err != nil || !res.Admitted {
+	if res, err := c.PutCtx(context.Background(), low); err != nil || !res.Admitted {
 		t.Fatalf("Put low = %+v, %v", res, err)
 	}
 
@@ -152,7 +152,7 @@ func TestPreemptionOverTCP(t *testing.T) {
 		Importance: importance.Constant{Level: 0.4},
 		Payload:    make([]byte, 50),
 	}
-	res, err := c.Put(equal)
+	res, err := c.PutCtx(context.Background(), equal)
 	if err != nil {
 		t.Fatalf("Put equal: %v", err)
 	}
@@ -161,7 +161,7 @@ func TestPreemptionOverTCP(t *testing.T) {
 	}
 
 	// Probe agrees.
-	admissible, boundary, err := c.Probe(50, importance.Constant{Level: 0.4})
+	admissible, boundary, err := c.ProbeCtx(context.Background(), 50, importance.Constant{Level: 0.4})
 	if err != nil {
 		t.Fatalf("Probe: %v", err)
 	}
@@ -175,7 +175,7 @@ func TestPreemptionOverTCP(t *testing.T) {
 		Importance: importance.Constant{Level: 0.9},
 		Payload:    make([]byte, 80),
 	}
-	res, err = c.Put(high)
+	res, err = c.PutCtx(context.Background(), high)
 	if err != nil {
 		t.Fatalf("Put high: %v", err)
 	}
@@ -183,13 +183,13 @@ func TestPreemptionOverTCP(t *testing.T) {
 		t.Fatalf("high Put = %+v, want eviction of low", res)
 	}
 	// The evicted object's payload is gone with its metadata.
-	if _, err := c.Get("low"); !errors.Is(err, client.ErrNotFound) {
+	if _, err := c.GetCtx(context.Background(), "low"); !errors.Is(err, client.ErrNotFound) {
 		t.Errorf("evicted object still retrievable: %v", err)
 	}
 
 	// Aging works over the wire: advance past expiry and re-check.
 	clock.Advance(30 * day)
-	got, err := c.Get("high")
+	got, err := c.GetCtx(context.Background(), "high")
 	if err != nil {
 		t.Fatalf("Get high: %v", err)
 	}
@@ -203,7 +203,7 @@ func TestPreemptionOverTCP(t *testing.T) {
 
 func TestRejuvenateOverTCP(t *testing.T) {
 	c, _, clock := startNode(t, 1000)
-	if _, err := c.Put(client.PutRequest{
+	if _, err := c.PutCtx(context.Background(), client.PutRequest{
 		ID:         "v",
 		Importance: importance.TwoStep{Plateau: 1, Persist: 10 * day, Wane: 10 * day},
 		Payload:    make([]byte, 100),
@@ -211,14 +211,14 @@ func TestRejuvenateOverTCP(t *testing.T) {
 		t.Fatalf("Put: %v", err)
 	}
 	clock.Advance(15 * day)
-	version, err := c.Rejuvenate("v", importance.TwoStep{Plateau: 1, Persist: 30 * day, Wane: 0})
+	version, err := c.RejuvenateCtx(context.Background(), "v", importance.TwoStep{Plateau: 1, Persist: 30 * day, Wane: 0})
 	if err != nil {
 		t.Fatalf("Rejuvenate: %v", err)
 	}
 	if version != 2 {
 		t.Errorf("version = %d, want 2", version)
 	}
-	got, err := c.Get("v")
+	got, err := c.GetCtx(context.Background(), "v")
 	if err != nil {
 		t.Fatalf("Get: %v", err)
 	}
@@ -229,17 +229,17 @@ func TestRejuvenateOverTCP(t *testing.T) {
 		t.Errorf("age = %v, want re-aged near zero", got.Age)
 	}
 	// Errors travel cleanly.
-	if _, err := c.Rejuvenate("missing", importance.Constant{Level: 1}); !errors.Is(err, client.ErrNotFound) {
+	if _, err := c.RejuvenateCtx(context.Background(), "missing", importance.Constant{Level: 1}); !errors.Is(err, client.ErrNotFound) {
 		t.Errorf("missing rejuvenate err = %v, want ErrNotFound", err)
 	}
-	if _, err := c.Rejuvenate("v", importance.Dirac{}); err == nil {
+	if _, err := c.RejuvenateCtx(context.Background(), "v", importance.Dirac{}); err == nil {
 		t.Error("expired replacement accepted over the wire")
 	}
 }
 
 func TestUpdateOverTCP(t *testing.T) {
 	c, _, clock := startNode(t, 1000)
-	if _, err := c.Put(client.PutRequest{
+	if _, err := c.PutCtx(context.Background(), client.PutRequest{
 		ID:         "doc",
 		Importance: importance.Constant{Level: 0.5},
 		Payload:    []byte("version-one"),
@@ -247,7 +247,7 @@ func TestUpdateOverTCP(t *testing.T) {
 		t.Fatalf("Put: %v", err)
 	}
 	clock.Advance(day)
-	res, err := c.Update(client.PutRequest{
+	res, err := c.UpdateCtx(context.Background(), client.PutRequest{
 		ID:         "doc",
 		Importance: importance.Constant{Level: 0.8},
 		Payload:    []byte("version-two-bigger"),
@@ -255,7 +255,7 @@ func TestUpdateOverTCP(t *testing.T) {
 	if err != nil || !res.Admitted {
 		t.Fatalf("Update = %+v, %v", res, err)
 	}
-	got, err := c.Get("doc")
+	got, err := c.GetCtx(context.Background(), "doc")
 	if err != nil {
 		t.Fatalf("Get: %v", err)
 	}
@@ -268,7 +268,7 @@ func TestUpdateOverTCP(t *testing.T) {
 		t.Errorf("age = %v, want re-aged from the update", got.Age)
 	}
 	// Updating an absent object reports not-found.
-	if _, err := c.Update(client.PutRequest{
+	if _, err := c.UpdateCtx(context.Background(), client.PutRequest{
 		ID: "ghost", Importance: importance.Constant{Level: 1}, Payload: []byte("x"),
 	}); !errors.Is(err, client.ErrNotFound) {
 		t.Errorf("Update absent err = %v, want ErrNotFound", err)
@@ -278,7 +278,7 @@ func TestUpdateOverTCP(t *testing.T) {
 func TestStatDensityList(t *testing.T) {
 	c, _, _ := startNode(t, 1000)
 	for i := 0; i < 3; i++ {
-		if _, err := c.Put(client.PutRequest{
+		if _, err := c.PutCtx(context.Background(), client.PutRequest{
 			ID:         object.ID(fmt.Sprintf("o%d", i)),
 			Importance: importance.Constant{Level: 0.5},
 			Payload:    make([]byte, 100),
@@ -286,7 +286,7 @@ func TestStatDensityList(t *testing.T) {
 			t.Fatalf("Put %d: %v", i, err)
 		}
 	}
-	st, err := c.Stat()
+	st, err := c.StatCtx(context.Background())
 	if err != nil {
 		t.Fatalf("Stat: %v", err)
 	}
@@ -296,11 +296,11 @@ func TestStatDensityList(t *testing.T) {
 	if st.Density != 0.15 { // 300 bytes at importance 0.5 over 1000
 		t.Errorf("density = %v, want 0.15", st.Density)
 	}
-	d, err := c.Density()
+	d, err := c.DensityCtx(context.Background())
 	if err != nil || d != st.Density {
 		t.Errorf("Density = %v, %v", d, err)
 	}
-	ids, err := c.List()
+	ids, err := c.ListCtx(context.Background())
 	if err != nil || len(ids) != 3 {
 		t.Fatalf("List = %v, %v", ids, err)
 	}
@@ -347,7 +347,7 @@ func TestConcurrentClients(t *testing.T) {
 			defer c.Close()
 			for i := 0; i < 50; i++ {
 				id := object.ID(fmt.Sprintf("w%d/o%d", w, i))
-				if _, err := c.Put(client.PutRequest{
+				if _, err := c.PutCtx(context.Background(), client.PutRequest{
 					ID:         id,
 					Importance: importance.Constant{Level: 0.5},
 					Payload:    []byte("data"),
@@ -355,7 +355,7 @@ func TestConcurrentClients(t *testing.T) {
 					errs <- err
 					return
 				}
-				if _, err := c.Get(id); err != nil {
+				if _, err := c.GetCtx(context.Background(), id); err != nil {
 					errs <- err
 					return
 				}
@@ -373,7 +373,7 @@ func TestConcurrentClients(t *testing.T) {
 }
 
 func TestGracefulShutdown(t *testing.T) {
-	srv, err := New(1000, policy.TemporalImportance{})
+	srv, err := New(EngineConfig{Capacity: 1000, Policy: policy.TemporalImportance{}})
 	if err != nil {
 		t.Fatalf("New: %v", err)
 	}
@@ -400,7 +400,7 @@ func TestServerRejectsGarbageFrame(t *testing.T) {
 	_ = srv
 	// A valid client keeps working even after a bad actor sends garbage
 	// on its own connection (the server just drops that connection).
-	if _, err := c.Put(client.PutRequest{
+	if _, err := c.PutCtx(context.Background(), client.PutRequest{
 		ID: "ok", Importance: importance.Constant{Level: 1}, Payload: []byte("x"),
 	}); err != nil {
 		t.Fatalf("Put: %v", err)
@@ -409,7 +409,7 @@ func TestServerRejectsGarbageFrame(t *testing.T) {
 
 func TestMaintenanceSweep(t *testing.T) {
 	clock := &manualClock{}
-	srv, err := New(1000, policy.TemporalImportance{},
+	srv, err := New(EngineConfig{Capacity: 1000, Policy: policy.TemporalImportance{}},
 		WithClock(clock.Now),
 		WithMaintenance(20*time.Millisecond))
 	if err != nil {
@@ -434,14 +434,14 @@ func TestMaintenanceSweep(t *testing.T) {
 	}
 	t.Cleanup(func() { c.Close() })
 
-	if _, err := c.Put(client.PutRequest{
+	if _, err := c.PutCtx(context.Background(), client.PutRequest{
 		ID:         "ephemeral",
 		Importance: importance.TwoStep{Plateau: 1, Persist: day, Wane: 0},
 		Payload:    []byte("x"),
 	}); err != nil {
 		t.Fatalf("Put: %v", err)
 	}
-	if _, err := c.Put(client.PutRequest{
+	if _, err := c.PutCtx(context.Background(), client.PutRequest{
 		ID:         "durable",
 		Importance: importance.Constant{Level: 1},
 		Payload:    []byte("y"),
@@ -457,10 +457,10 @@ func TestMaintenanceSweep(t *testing.T) {
 		}
 		time.Sleep(10 * time.Millisecond)
 	}
-	if _, err := c.Get("ephemeral"); !errors.Is(err, client.ErrNotFound) {
+	if _, err := c.GetCtx(context.Background(), "ephemeral"); !errors.Is(err, client.ErrNotFound) {
 		t.Errorf("expired object still retrievable: %v", err)
 	}
-	if _, err := c.Get("durable"); err != nil {
+	if _, err := c.GetCtx(context.Background(), "durable"); err != nil {
 		t.Errorf("durable object lost: %v", err)
 	}
 }
@@ -469,7 +469,7 @@ func TestMaintenanceSweep(t *testing.T) {
 // switch must answer with a typed unknown-op error and count it, never
 // treat it as any real operation.
 func TestUnknownOpRequest(t *testing.T) {
-	srv, err := New(1<<20, policy.TemporalImportance{})
+	srv, err := New(EngineConfig{Capacity: 1 << 20, Policy: policy.TemporalImportance{}})
 	if err != nil {
 		t.Fatalf("server.New: %v", err)
 	}

@@ -1,0 +1,467 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"besteffs/internal/faultnet"
+	"besteffs/internal/importance"
+	"besteffs/internal/journal"
+	"besteffs/internal/object"
+	"besteffs/internal/policy"
+	"besteffs/internal/wire"
+)
+
+// The sharded variant of the kill-at-every-write-offset harness: the same
+// scripted workload runs against a 4-shard server whose four WAL streams
+// share one faultnet.WriteBudget, so a single byte budget cuts the node's
+// combined journal traffic at every possible offset. For each crash point
+// a fresh 4-shard server recovers via RestoreDir and must hold zero acked
+// loss: shard by shard, the recovered resident set equals the net effect
+// of exactly the appends that shard's sink acknowledged. A second sweep
+// takes a coordinated checkpoint mid-workload and cuts every offset after
+// it, covering crashes during and after the snapshot (earlier cuts would
+// checkpoint in-memory state the journal never acknowledged, which is the
+// snapshot doing its job but leaves the acked-records ledger no ground
+// truth to compare against).
+
+const shardedCrashShards = 4
+
+// recSink wraps one shard's WAL and keeps every acknowledged record: the
+// ground truth for what recovery owes that shard.
+type recSink struct {
+	wal   *journal.WAL
+	acked []journal.Record
+}
+
+func (a *recSink) Append(r journal.Record) error {
+	err := a.wal.Append(r)
+	if err == nil {
+		a.acked = append(a.acked, r)
+	}
+	return err
+}
+
+// shardedCrashWorkload is crashWorkload against a sharded server, with an
+// optional hook between the first and second half: the snapshot sweep
+// injects the coordinated checkpoint there.
+func shardedCrashWorkload(srv *Server, clock *manualClock, mid func()) {
+	two := importance.TwoStep{Plateau: 0.9, Persist: 10 * day, Wane: 10 * day}
+	step := func(msg wire.Message) {
+		srv.execute(msg)
+		clock.Advance(time.Hour)
+	}
+	step(&wire.Put{ID: "a", Owner: "alice", Importance: two, Payload: make([]byte, 1024)})
+	step(&wire.Put{ID: "b", Owner: "bob", Importance: two, Payload: make([]byte, 1024)})
+	step(&wire.Put{ID: "c", Owner: "carol", Importance: importance.Constant{Level: 0.2}, Payload: make([]byte, 1024)})
+	step(&wire.Rejuvenate{ID: "b", Importance: importance.Constant{Level: 0.8}})
+	step(&wire.Update{ID: "a", Owner: "alice", Importance: two, Payload: make([]byte, 512)})
+	step(&wire.Delete{ID: "c"})
+
+	if mid != nil {
+		mid()
+	}
+
+	step(&wire.Put{ID: "d", Owner: "dave", Importance: importance.Constant{Level: 0.95}, Payload: make([]byte, 2048)})
+	step(&wire.Put{ID: "e", Owner: "erin", Importance: importance.Constant{Level: 0.99}, Payload: make([]byte, 1024)})
+	step(&wire.Rejuvenate{ID: "d", Importance: importance.Constant{Level: 0.5}})
+	step(&wire.Put{ID: "f", Owner: "frank", Importance: importance.Constant{Level: 0.97}, Payload: make([]byte, 512)})
+	step(&wire.Batch{Subs: []wire.Message{
+		&wire.Put{ID: "g", Owner: "gail", Importance: importance.Constant{Level: 0.98}, Payload: make([]byte, 256)},
+		&wire.Put{ID: "h", Owner: "hank", Importance: importance.Constant{Level: 0.96}, Payload: make([]byte, 256)},
+		&wire.Delete{ID: "a"},
+	}})
+	step(&wire.Batch{Subs: []wire.Message{
+		&wire.Put{ID: "i", Owner: "iris", Importance: importance.Constant{Level: 0.99}, Payload: make([]byte, 2048)},
+		&wire.Put{ID: "j", Owner: "jack", Importance: importance.Constant{Level: 0.99}, Payload: make([]byte, 512)},
+	}})
+}
+
+// runShardedCrashWorkload runs the sharded workload over a fresh data dir
+// whose combined WAL byte stream stops flowing after budget bytes (budget
+// < 0 means unlimited). withCheckpoint injects the coordinated snapshot
+// between the workload's halves. It returns the per-shard acknowledged
+// records, the bytes the run consumed, and the bytes consumed by the time
+// the checkpoint returned (0 without one).
+func runShardedCrashWorkload(t *testing.T, dataDir string, budget int64, withCheckpoint bool) ([][]journal.Record, int64, int64) {
+	t.Helper()
+	if budget < 0 {
+		budget = 1 << 40
+	}
+	shared := faultnet.NewWriteBudget(budget)
+	wals, err := OpenShardWALs(dataDir, shardedCrashShards,
+		journal.WithSegmentBytes(crashSegBytes),
+		journal.WithWriteWrapper(func(seq uint64, w io.Writer) io.Writer {
+			return shared.Writer(w)
+		}))
+	if err != nil {
+		t.Fatalf("OpenShardWALs: %v", err)
+	}
+	clock := &manualClock{}
+	srv, err := New(EngineConfig{Capacity: crashCapacity, Policy: policy.TemporalImportance{}, Shards: shardedCrashShards},
+		WithClock(clock.Now), WithWALs(wals), WithLogger(quietLogger()))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	sinks := make([]*recSink, shardedCrashShards)
+	for i, sh := range srv.shards {
+		sinks[i] = &recSink{wal: wals[i]}
+		sh.journal = sinks[i]
+	}
+	atCheckpoint := int64(0)
+	var mid func()
+	if withCheckpoint {
+		mid = func() {
+			// Coordinated snapshot: every shard cut at one instant. With a
+			// tight budget the barriers may fail; that is a legitimate
+			// crash outcome, not a test failure.
+			//lint:ignore uncheckederr a cut budget legitimately fails the snapshot mid-sweep
+			srv.Checkpoint()
+			atCheckpoint = budget - shared.Remaining()
+		}
+	}
+	shardedCrashWorkload(srv, clock, mid)
+	for _, w := range wals {
+		w.Close() // the crashed run's final flush may fail; the bytes on disk are what count
+	}
+	acked := make([][]journal.Record, shardedCrashShards)
+	for i, s := range sinks {
+		acked[i] = s.acked
+	}
+	return acked, budget - shared.Remaining(), atCheckpoint
+}
+
+// shardResidentsFromRecords replays one shard's acknowledged records into
+// a fresh reference server's matching shard and returns its resident set.
+func shardResidentsFromRecords(t *testing.T, recs [][]journal.Record) []map[object.ID]*object.Object {
+	t.Helper()
+	ref, err := New(EngineConfig{Capacity: crashCapacity, Policy: policy.TemporalImportance{}, Shards: shardedCrashShards},
+		WithLogger(quietLogger()))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	out := make([]map[object.ID]*object.Object, shardedCrashShards)
+	for i, shardRecs := range recs {
+		for k, r := range shardRecs {
+			if err := ref.applyRecordTo(ref.shards[i].unit, r); err != nil {
+				t.Fatalf("reference shard %d record %d: %v", i, k, err)
+			}
+		}
+		m := make(map[object.ID]*object.Object)
+		for _, o := range ref.shards[i].unit.Residents() {
+			m[o.ID] = o
+		}
+		out[i] = m
+	}
+	return out
+}
+
+// verifyShardedRecovery restores dataDir into a fresh 4-shard server and
+// asserts each shard recovered exactly the net effect of its acknowledged
+// appends. It returns the recovery stats for extra assertions.
+func verifyShardedRecovery(t *testing.T, dataDir string, acked [][]journal.Record, budget int64) RestoreStats {
+	t.Helper()
+	rec, err := New(EngineConfig{Capacity: crashCapacity, Policy: policy.TemporalImportance{}, Shards: shardedCrashShards},
+		WithLogger(quietLogger()))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	stats, err := rec.RestoreDir(dataDir)
+	if err != nil {
+		t.Fatalf("budget %d: RestoreDir: %v", budget, err)
+	}
+	checkUnitInvariants(t, rec, budget)
+
+	want := shardResidentsFromRecords(t, acked)
+	for i := range rec.shards {
+		got := rec.shards[i].unit.Residents()
+		if len(got) != len(want[i]) {
+			t.Fatalf("budget %d: shard %d recovered %d residents, want %d",
+				budget, i, len(got), len(want[i]))
+		}
+		for _, o := range got {
+			ref, ok := want[i][o.ID]
+			if !ok {
+				t.Fatalf("budget %d: shard %d has unexpected resident %s", budget, i, o.ID)
+			}
+			if o.Size != ref.Size || o.Version != ref.Version || o.Arrival != ref.Arrival {
+				t.Fatalf("budget %d: shard %d resident %s = {size %d v%d arrival %v}, want {size %d v%d arrival %v}",
+					budget, i, o.ID, o.Size, o.Version, o.Arrival, ref.Size, ref.Version, ref.Arrival)
+			}
+		}
+	}
+	return stats
+}
+
+func TestShardedCrashAtEveryWriteOffset(t *testing.T) {
+	root := t.TempDir()
+
+	// Reference run: unlimited budget, clean close. Its consumption bounds
+	// the budget sweep; every smaller budget is a distinct crash point in
+	// the node's combined journal byte stream.
+	refAcked, total, _ := runShardedCrashWorkload(t, filepath.Join(root, "ref"), -1, false)
+	refRecords := 0
+	perShard := 0
+	for _, recs := range refAcked {
+		refRecords += len(recs)
+		if len(recs) > 0 {
+			perShard++
+		}
+	}
+	if refRecords == 0 {
+		t.Fatal("reference run acknowledged no appends")
+	}
+	if perShard < 2 {
+		t.Fatalf("workload exercised %d shard(s); want >= 2 so crashes interleave streams", perShard)
+	}
+	t.Logf("reference: %d records over %d shards, %d bytes", refRecords, perShard, total)
+
+	for budget := int64(0); budget <= total; budget++ {
+		dataDir := filepath.Join(root, fmt.Sprintf("crash-%05d", budget))
+		acked, _, _ := runShardedCrashWorkload(t, dataDir, budget, false)
+		verifyShardedRecovery(t, dataDir, acked, budget)
+	}
+}
+
+// TestShardedCrashAcrossCoordinatedSnapshot sweeps every crash offset from
+// the instant the coordinated checkpoint completes to the end of the
+// workload: the snapshot plus each shard's post-checkpoint tail must
+// recover to exactly the acknowledged state, and the snapshot must
+// actually be what recovery loads.
+func TestShardedCrashAcrossCoordinatedSnapshot(t *testing.T) {
+	root := t.TempDir()
+
+	refAcked, total, atCkpt := runShardedCrashWorkload(t, filepath.Join(root, "ref"), -1, true)
+	if atCkpt == 0 || atCkpt >= total {
+		t.Fatalf("checkpoint mark %d outside the workload's %d bytes", atCkpt, total)
+	}
+	refRecords := 0
+	for _, recs := range refAcked {
+		refRecords += len(recs)
+	}
+	t.Logf("reference: %d records, checkpoint at byte %d of %d", refRecords, atCkpt, total)
+
+	sawCheckpoint := false
+	for budget := atCkpt; budget <= total; budget++ {
+		dataDir := filepath.Join(root, fmt.Sprintf("crash-%05d", budget))
+		acked, _, mark := runShardedCrashWorkload(t, dataDir, budget, true)
+		if mark != atCkpt {
+			t.Fatalf("budget %d: checkpoint consumed through byte %d, reference says %d (nondeterministic workload?)",
+				budget, mark, atCkpt)
+		}
+		stats := verifyShardedRecovery(t, dataDir, acked, budget)
+		if stats.CheckpointSeq > 0 {
+			sawCheckpoint = true
+		}
+	}
+	if !sawCheckpoint {
+		t.Error("no recovery in the sweep loaded the coordinated snapshot")
+	}
+}
+
+// TestShardRoutingDeterminism: the shard owning a key is a pure function
+// of the key, so the same ID lands on the same shard in a fresh engine, in
+// a restarted engine, and after recovery from disk.
+func TestShardRoutingDeterminism(t *testing.T) {
+	dataDir := t.TempDir()
+	wals, err := OpenShardWALs(dataDir, shardedCrashShards, journal.WithSegmentBytes(crashSegBytes))
+	if err != nil {
+		t.Fatalf("OpenShardWALs: %v", err)
+	}
+	srv, err := New(EngineConfig{Capacity: 1 << 20, Policy: policy.TemporalImportance{}, Shards: shardedCrashShards},
+		WithWALs(wals), WithLogger(quietLogger()))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ids := make([]object.ID, 0, 64)
+	for i := 0; i < 64; i++ {
+		ids = append(ids, object.ID(fmt.Sprintf("route-%02d", i)))
+	}
+	home := make(map[object.ID]int, len(ids))
+	for _, id := range ids {
+		srv.execute(&wire.Put{ID: id, Importance: importance.Constant{Level: 0.9}, Payload: make([]byte, 64)})
+		idx, ok := srv.engine.Locate(id)
+		if !ok {
+			t.Fatalf("%s not resident after put", id)
+		}
+		home[id] = idx
+		if got := srv.engine.Home(id); got != idx {
+			t.Errorf("%s resident on shard %d but Home says %d", id, idx, got)
+		}
+	}
+	for _, w := range wals {
+		if err := w.Close(); err != nil {
+			t.Fatalf("wal close: %v", err)
+		}
+	}
+
+	rec, err := New(EngineConfig{Capacity: 1 << 20, Policy: policy.TemporalImportance{}, Shards: shardedCrashShards},
+		WithLogger(quietLogger()))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if _, err := rec.RestoreDir(dataDir); err != nil {
+		t.Fatalf("RestoreDir: %v", err)
+	}
+	for _, id := range ids {
+		idx, ok := rec.engine.Locate(id)
+		if !ok {
+			t.Fatalf("%s lost across restart", id)
+		}
+		if idx != home[id] {
+			t.Errorf("%s moved from shard %d to shard %d across restart", id, home[id], idx)
+		}
+	}
+}
+
+// TestLegacyLayoutMigratesOnceToSharded: a pre-sharding data dir (a single
+// top-level wal directory) boots on a 4-shard server exactly once through
+// migration -- residents preserved, legacy wal renamed aside, and the next
+// boot recovering from the sharded layout alone.
+func TestLegacyLayoutMigratesOnceToSharded(t *testing.T) {
+	dataDir := t.TempDir()
+
+	// Seed a legacy unsharded node.
+	wal, err := journal.OpenWAL(filepath.Join(dataDir, WALDirName), journal.WithSegmentBytes(crashSegBytes))
+	if err != nil {
+		t.Fatalf("OpenWAL: %v", err)
+	}
+	legacy, err := New(EngineConfig{Capacity: 1 << 20, Policy: policy.TemporalImportance{}},
+		WithWAL(wal), WithLogger(quietLogger()))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ids := []object.ID{"alpha", "beta", "gamma", "delta", "epsilon", "zeta"}
+	for _, id := range ids {
+		legacy.execute(&wire.Put{ID: id, Importance: importance.Constant{Level: 0.9}, Payload: make([]byte, 128)})
+	}
+	legacy.execute(&wire.Delete{ID: "beta"})
+	if err := wal.Close(); err != nil {
+		t.Fatalf("wal close: %v", err)
+	}
+
+	// First sharded boot: migrate.
+	wals, err := OpenShardWALs(dataDir, shardedCrashShards, journal.WithSegmentBytes(crashSegBytes))
+	if err != nil {
+		t.Fatalf("OpenShardWALs: %v", err)
+	}
+	srv, err := New(EngineConfig{Capacity: 1 << 20, Policy: policy.TemporalImportance{}, Shards: shardedCrashShards},
+		WithWALs(wals), WithLogger(quietLogger()))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	stats, err := srv.RestoreDir(dataDir)
+	if err != nil {
+		t.Fatalf("RestoreDir: %v", err)
+	}
+	if !stats.LegacyMigrated {
+		t.Error("first sharded boot did not report a legacy migration")
+	}
+	if stats.Residents != len(ids)-1 {
+		t.Errorf("migrated %d residents, want %d", stats.Residents, len(ids)-1)
+	}
+	if _, err := srv.engine.Get("beta"); err == nil {
+		t.Error("deleted object beta resurrected by migration")
+	}
+	if _, err := os.Stat(filepath.Join(dataDir, WALDirName)); !os.IsNotExist(err) {
+		t.Errorf("legacy wal directory still present after migration (stat err %v)", err)
+	}
+	if _, err := os.Stat(filepath.Join(dataDir, WALDirName+".migrated")); err != nil {
+		t.Errorf("legacy wal directory not retired aside: %v", err)
+	}
+	for _, w := range wals {
+		if err := w.Close(); err != nil {
+			t.Fatalf("wal close: %v", err)
+		}
+	}
+
+	// Second sharded boot: recover from the sharded layout alone.
+	rec, err := New(EngineConfig{Capacity: 1 << 20, Policy: policy.TemporalImportance{}, Shards: shardedCrashShards},
+		WithLogger(quietLogger()))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	stats2, err := rec.RestoreDir(dataDir)
+	if err != nil {
+		t.Fatalf("second RestoreDir: %v", err)
+	}
+	if stats2.LegacyMigrated {
+		t.Error("second boot re-ran the legacy migration")
+	}
+	if rec.engine.Len() != len(ids)-1 {
+		t.Errorf("second boot recovered %d residents, want %d", rec.engine.Len(), len(ids)-1)
+	}
+	for _, id := range ids {
+		if id == "beta" {
+			continue
+		}
+		if _, err := rec.engine.Get(id); err != nil {
+			t.Errorf("resident %s lost after migration + restart: %v", id, err)
+		}
+	}
+}
+
+// TestSingleShardDirOpensUnmodified: an unsharded server over an existing
+// single-shard data dir must leave the legacy layout exactly as it found
+// it -- no shard directories, no renames, same segment files.
+func TestSingleShardDirOpensUnmodified(t *testing.T) {
+	dataDir := t.TempDir()
+	wal, err := journal.OpenWAL(filepath.Join(dataDir, WALDirName), journal.WithSegmentBytes(crashSegBytes))
+	if err != nil {
+		t.Fatalf("OpenWAL: %v", err)
+	}
+	srv, err := New(EngineConfig{Capacity: 1 << 20, Policy: policy.TemporalImportance{}},
+		WithWAL(wal), WithLogger(quietLogger()))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	for _, id := range []object.ID{"a", "b", "c"} {
+		srv.execute(&wire.Put{ID: id, Importance: importance.Constant{Level: 0.9}, Payload: make([]byte, 128)})
+	}
+	if err := wal.Close(); err != nil {
+		t.Fatalf("wal close: %v", err)
+	}
+	layoutBefore := listDir(t, dataDir)
+
+	rec, err := New(EngineConfig{Capacity: 1 << 20, Policy: policy.TemporalImportance{}},
+		WithLogger(quietLogger()))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if _, err := rec.RestoreDir(dataDir); err != nil {
+		t.Fatalf("RestoreDir: %v", err)
+	}
+	if rec.engine.Len() != 3 {
+		t.Errorf("recovered %d residents, want 3", rec.engine.Len())
+	}
+	layoutAfter := listDir(t, dataDir)
+	if layoutBefore != layoutAfter {
+		t.Errorf("single-shard recovery modified the data dir:\nbefore: %s\nafter:  %s",
+			layoutBefore, layoutAfter)
+	}
+}
+
+// listDir returns a stable one-line listing of every path under root.
+func listDir(t *testing.T, root string) string {
+	t.Helper()
+	var names []string
+	err := filepath.Walk(root, func(path string, _ os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		names = append(names, rel)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("walk %s: %v", root, err)
+	}
+	return fmt.Sprint(names)
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"besteffs/internal/telemetry"
+	"besteffs/internal/wire"
 )
 
 // Status is the observability snapshot a node exposes over HTTP.
@@ -43,6 +44,28 @@ type Status struct {
 	// Recovery describes how the node last came up, present after a
 	// RestoreDir recovery.
 	Recovery *RestoreStats `json:"recovery,omitempty"`
+	// Shards is the per-shard breakdown of the merged view above, present
+	// when the node runs more than one shard. The top-level merged fields
+	// keep their pre-sharding meaning (and stay byte-stable for old
+	// scrapers) whatever the shard count.
+	Shards []StatusShard `json:"shards,omitempty"`
+}
+
+// StatusShard is one shard's slice of the node state.
+type StatusShard struct {
+	// Shard is the shard index.
+	Shard int `json:"shard"`
+	// Capacity, Used and Free are the shard's byte counts.
+	Capacity int64 `json:"capacity_bytes"`
+	Used     int64 `json:"used_bytes"`
+	Free     int64 `json:"free_bytes"`
+	// Objects is the shard's resident count.
+	Objects int `json:"objects"`
+	// Density is the shard's storage importance density.
+	Density float64 `json:"density"`
+	// Boundary is the shard's importance boundary: what an arrival routed
+	// here must exceed once the shard is full.
+	Boundary float64 `json:"boundary"`
 }
 
 // StatusEvent mirrors one flight-recorder event for JSON.
@@ -83,21 +106,38 @@ type StatusCounters struct {
 // StatusSnapshot assembles the current status.
 func (s *Server) StatusSnapshot() Status {
 	now := s.clock()
-	c := s.unit.CountersSnapshot()
+	c := s.engine.CountersSnapshot()
 	var history []StatusSample
 	for _, sm := range s.DensitySamples() {
 		history = append(history, StatusSample{
 			At: sm.At, Density: sm.Density, Used: sm.Used, Boundary: sm.Boundary,
 		})
 	}
+	var perShard []StatusShard
+	if s.engine.NumShards() > 1 {
+		perShard = make([]StatusShard, s.engine.NumShards())
+		for i := range perShard {
+			u := s.engine.Shard(i)
+			sm := u.SampleAt(now)
+			perShard[i] = StatusShard{
+				Shard:    i,
+				Capacity: u.Capacity(),
+				Used:     sm.Used,
+				Free:     u.Capacity() - sm.Used,
+				Objects:  u.Len(),
+				Density:  sm.Density,
+				Boundary: sm.Boundary,
+			}
+		}
+	}
 	return Status{
 		Now:      now,
-		Capacity: s.unit.Capacity(),
-		Used:     s.unit.Used(),
-		Free:     s.unit.Free(),
-		Objects:  s.unit.Len(),
-		Density:  s.unit.DensityAt(now),
-		Policy:   s.unit.Policy().Name(),
+		Capacity: s.engine.Capacity(),
+		Used:     s.engine.Used(),
+		Free:     s.engine.Free(),
+		Objects:  s.engine.Len(),
+		Density:  s.engine.DensityAt(now),
+		Policy:   s.engine.Policy().Name(),
 		Counters: StatusCounters{
 			Admitted:      c.Admitted,
 			Rejected:      c.Rejected,
@@ -112,7 +152,33 @@ func (s *Server) StatusSnapshot() Status {
 		EventsRecorded: s.events.Len(),
 		Events:         statusEvents(s.events, statusEventTail),
 		Recovery:       s.lastRestore,
+		Shards:         perShard,
 	}
+}
+
+// statResult answers the STAT wire op: the merged node view plus the
+// per-shard breakdown (one entry even when unsharded, so clients need no
+// special case).
+func (s *Server) statResult(now time.Duration) *wire.StatResult {
+	res := &wire.StatResult{
+		Capacity: s.engine.Capacity(),
+		Used:     s.engine.Used(),
+		Objects:  uint32(s.engine.Len()),
+		Density:  s.engine.DensityAt(now),
+		Shards:   make([]wire.ShardStat, s.engine.NumShards()),
+	}
+	for i := range res.Shards {
+		u := s.engine.Shard(i)
+		sm := u.SampleAt(now)
+		res.Shards[i] = wire.ShardStat{
+			Capacity: u.Capacity(),
+			Used:     sm.Used,
+			Objects:  uint32(u.Len()),
+			Density:  sm.Density,
+			Boundary: sm.Boundary,
+		}
+	}
+	return res
 }
 
 // statusEvents converts the recorder's tail for status JSON.

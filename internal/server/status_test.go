@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
@@ -15,7 +16,7 @@ import (
 
 func TestStatusHandler(t *testing.T) {
 	c, srv, clock := startNode(t, 1000)
-	if _, err := c.Put(client.PutRequest{
+	if _, err := c.PutCtx(context.Background(), client.PutRequest{
 		ID:         "a",
 		Importance: importance.Constant{Level: 0.5},
 		Payload:    make([]byte, 400),
@@ -99,7 +100,7 @@ func TestStatusHandler(t *testing.T) {
 
 func TestStatusDensityHistory(t *testing.T) {
 	// A node without sampling omits the field entirely.
-	plain, err := New(1000, policy.TemporalImportance{})
+	plain, err := New(EngineConfig{Capacity: 1000, Policy: policy.TemporalImportance{}})
 	if err != nil {
 		t.Fatalf("New: %v", err)
 	}
@@ -111,14 +112,14 @@ func TestStatusDensityHistory(t *testing.T) {
 
 	// With sampling enabled, recorded samples surface in the snapshot.
 	clock := &manualClock{}
-	srv, err := New(1000, policy.TemporalImportance{},
+	srv, err := New(EngineConfig{Capacity: 1000, Policy: policy.TemporalImportance{}},
 		WithClock(clock.Now), WithDensitySampling(time.Hour, 4))
 	if err != nil {
 		t.Fatalf("New: %v", err)
 	}
-	srv.samples.Record(srv.unit.SampleAt(clock.Now()))
+	srv.samples.Record(srv.engine.SampleAt(clock.Now()))
 	clock.Advance(day)
-	srv.samples.Record(srv.unit.SampleAt(clock.Now()))
+	srv.samples.Record(srv.engine.SampleAt(clock.Now()))
 	st := srv.StatusSnapshot()
 	if len(st.DensityHistory) != 2 {
 		t.Fatalf("density_history = %+v, want 2 samples", st.DensityHistory)

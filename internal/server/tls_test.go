@@ -28,7 +28,7 @@ import (
 // address plus the server (for metrics assertions).
 func startTLSServer(t *testing.T, tcfg *ctls.Config) (string, *Server) {
 	t.Helper()
-	srv, err := New(1<<20, policy.TemporalImportance{}, WithLogger(quietLogger()))
+	srv, err := New(EngineConfig{Capacity: 1 << 20, Policy: policy.TemporalImportance{}}, WithLogger(quietLogger()))
 	if err != nil {
 		t.Fatalf("New: %v", err)
 	}

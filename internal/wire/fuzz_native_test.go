@@ -30,7 +30,8 @@ func FuzzDecode(f *testing.F) {
 		&PutResult{Admitted: true, Boundary: 0.5, Evicted: []object.ID{"a"}},
 		&ObjectMsg{ID: "o", Importance: importance.Constant{Level: 1}, Payload: []byte{1}},
 		&OK{},
-		&StatResult{Capacity: 100, Used: 50, Objects: 1, Density: 0.5},
+		&StatResult{Capacity: 100, Used: 50, Objects: 1, Density: 0.5,
+			Shards: []ShardStat{{Capacity: 100, Used: 50, Objects: 1, Density: 0.5, Boundary: 0.2}}},
 		&ProbeResult{Admissible: true, Boundary: 0.1},
 		&DensityResult{Density: 0.9},
 		&ListResult{IDs: []object.ID{"a", "b"}},

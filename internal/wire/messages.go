@@ -569,11 +569,24 @@ func (m *OK) append(dst []byte) ([]byte, error) {
 	return appendU8(dst, uint8(OpOK)), nil
 }
 
-// StatResult reports unit statistics.
+// StatResult reports node statistics: the merged totals followed by the
+// per-shard breakdown (a single entry on unsharded nodes).
 type StatResult struct {
 	Capacity, Used int64
 	Objects        uint32
 	Density        float64
+	// Shards is the per-shard slice of the merged view, in shard order.
+	Shards []ShardStat
+}
+
+// ShardStat is one shard's slice of a StatResult.
+type ShardStat struct {
+	Capacity, Used int64
+	Objects        uint32
+	Density        float64
+	// Boundary is the shard's importance boundary: the importance an
+	// arrival routed to this shard must exceed once it is full.
+	Boundary float64
 }
 
 // Op implements Message.
@@ -584,7 +597,23 @@ func (m *StatResult) append(dst []byte) ([]byte, error) {
 	dst = appendU64(dst, uint64(m.Capacity))
 	dst = appendU64(dst, uint64(m.Used))
 	dst = appendU32(dst, m.Objects)
-	return appendF64(dst, m.Density), nil
+	dst = appendF64(dst, m.Density)
+	// The shard list is unconditional (count-prefixed, possibly zero):
+	// trailers reject unknown bytes wholesale, so optional sections cannot
+	// ride behind the fixed fields.
+	if len(m.Shards) > int(^uint16(0)) {
+		return nil, fmt.Errorf("wire: %d shards exceed the u16 count", len(m.Shards))
+	}
+	dst = appendU16(dst, uint16(len(m.Shards)))
+	for i := range m.Shards {
+		sh := &m.Shards[i]
+		dst = appendU64(dst, uint64(sh.Capacity))
+		dst = appendU64(dst, uint64(sh.Used))
+		dst = appendU32(dst, sh.Objects)
+		dst = appendF64(dst, sh.Density)
+		dst = appendF64(dst, sh.Boundary)
+	}
+	return dst, nil
 }
 
 func decodeStatResult(c *cursor) (Message, error) {
@@ -604,6 +633,34 @@ func decodeStatResult(c *cursor) (Message, error) {
 	}
 	if m.Density, err = c.f64(); err != nil {
 		return nil, err
+	}
+	n, err := c.u16()
+	if err != nil {
+		return nil, err
+	}
+	if n > 0 {
+		m.Shards = make([]ShardStat, n)
+		for i := range m.Shards {
+			sh := &m.Shards[i]
+			u, err := c.u64()
+			if err != nil {
+				return nil, err
+			}
+			sh.Capacity = int64(u)
+			if u, err = c.u64(); err != nil {
+				return nil, err
+			}
+			sh.Used = int64(u)
+			if sh.Objects, err = c.u32(); err != nil {
+				return nil, err
+			}
+			if sh.Density, err = c.f64(); err != nil {
+				return nil, err
+			}
+			if sh.Boundary, err = c.f64(); err != nil {
+				return nil, err
+			}
+		}
 	}
 	return m, nil
 }

@@ -102,7 +102,13 @@ func TestMessageRoundTrips(t *testing.T) {
 			CurrentImportance: 0.5, Payload: []byte{0, 1, 2},
 		},
 		&OK{},
-		&StatResult{Capacity: 80 << 30, Used: 1 << 20, Objects: 42, Density: 0.8369},
+		&StatResult{Capacity: 80 << 30, Used: 1 << 20, Objects: 42, Density: 0.8369,
+			Shards: []ShardStat{
+				{Capacity: 40 << 30, Used: 1 << 19, Objects: 21, Density: 0.91, Boundary: 0.125},
+				{Capacity: 40 << 30, Used: 1 << 19, Objects: 21, Density: 0.77, Boundary: 0},
+			}},
+		&StatResult{Capacity: 1 << 20, Used: 4096, Objects: 3, Density: 0.25,
+			Shards: []ShardStat{{Capacity: 1 << 20, Used: 4096, Objects: 3, Density: 0.25, Boundary: 0.5}}},
 		&ProbeResult{Admissible: true, Boundary: 0.3},
 		&DensityResult{Density: 0.5},
 		&ListResult{IDs: []object.ID{"a", "b", "c"}},
